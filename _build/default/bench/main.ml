@@ -1,0 +1,235 @@
+(** Benchmark harness: one Bechamel group per experiment of DESIGN.md plus
+    substrate micro-benchmarks. Prints one OLS-estimated time per bench.
+
+    The E8 group is the quantitative half of the defense-overhead
+    experiment: the same benign pool-server workload timed under every
+    defense configuration. *)
+
+open Bechamel
+open Toolkit
+module Config = Pna_defense.Config
+module Interp = Pna_minicpp.Interp
+module Machine = Pna_machine.Machine
+module Driver = Pna_attacks.Driver
+module All = Pna_attacks.All
+module Catalog = Pna_attacks.Catalog
+
+let stage = Staged.stage
+
+(* ------------------------------------------------------------------ *)
+(* substrate micro-benchmarks                                           *)
+
+let vmem_for_micro =
+  let open Pna_vmem in
+  let m = Vmem.create () in
+  let _ = Vmem.map m ~kind:Segment.Data ~base:0x1000 ~size:0x1000 ~perm:Perm.rw in
+  m
+
+let micro_group =
+  [
+    Test.make ~name:"vmem/write_u32" (stage (fun () ->
+        Pna_vmem.Vmem.write_u32 vmem_for_micro 0x1100 0xdeadbeef));
+    Test.make ~name:"vmem/read_u32" (stage (fun () ->
+        ignore (Pna_vmem.Vmem.read_u32 vmem_for_micro 0x1100)));
+    Test.make ~name:"vmem/blit_64B" (stage (fun () ->
+        Pna_vmem.Vmem.blit vmem_for_micro ~src:0x1100 ~dst:0x1400 ~len:64));
+    Test.make ~name:"layout/compute_schema" (stage (fun () ->
+        let env = Pna_layout.Layout.create_env () in
+        List.iter (Pna_layout.Layout.define env)
+          (Pna_attacks.Schema.base_classes @ Pna_attacks.Schema.virtual_classes);
+        ignore (Pna_layout.Layout.of_class env "GradStudentV")));
+    Test.make ~name:"heap/malloc_free_pair" (stage (
+        let open Pna_vmem in
+        let m = Vmem.create () in
+        let _ = Vmem.map m ~kind:Segment.Heap ~base:0x10000 ~size:0x10000 ~perm:Perm.rw in
+        let h = Pna_machine.Heap.create m ~base:0x10000 ~size:0x10000 in
+        fun () ->
+          match Pna_machine.Heap.malloc h 32 with
+          | Some a -> Pna_machine.Heap.free h a
+          | None -> assert false));
+    Test.make ~name:"machine/load_image" (stage (fun () ->
+        ignore (Interp.load ~config:Config.none Pna_attacks.L11_data_bss.attack.Catalog.program)));
+    Test.make ~name:"interp/pool_server_100" (stage (fun () ->
+        ignore (Pna.Workloads.run Pna.Workloads.pool_server ~n:100)));
+    Test.make ~name:"interp/heap_churn_100" (stage (fun () ->
+        ignore (Pna.Workloads.run Pna.Workloads.heap_churn ~n:100)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* experiment benches                                                   *)
+
+(* attacks that complete in microseconds; the deliberately-slow DoS/OOM
+   runs are benched separately with their own budgets *)
+let fast_attacks =
+  List.filter
+    (fun a -> a.Catalog.id <> "L15-dos" && a.Catalog.id <> "L23-oom")
+    All.attacks
+
+let bench_attack (a : Catalog.t) =
+  Test.make ~name:("e1/" ^ a.Catalog.id) (stage (fun () ->
+      ignore (Driver.run ~config:Config.none a)))
+
+let e1_group = List.map bench_attack fast_attacks
+
+let e2_e3_group =
+  [
+    Test.make ~name:"e2/naive_vs_stackguard" (stage (fun () ->
+        ignore (Driver.run ~config:Config.stackguard Pna_attacks.L13_stack_ret.attack)));
+    Test.make ~name:"e3/bypass_vs_stackguard" (stage (fun () ->
+        ignore (Driver.run ~config:Config.stackguard Pna_attacks.L13_stack_ret.bypass)));
+  ]
+
+let e4_group =
+  [
+    Test.make ~name:"e4/leak_array" (stage (fun () ->
+        ignore (Driver.run Pna_attacks.L21_leak_array.attack)));
+    Test.make ~name:"e4/leak_object" (stage (fun () ->
+        ignore (Driver.run Pna_attacks.L22_leak_object.attack)));
+  ]
+
+(* E5: the DoS curve — time per request as the forced bound grows *)
+let e5_group =
+  List.map
+    (fun n ->
+      Test.make ~name:(Fmt.str "e5/dos_n_%d" n) (stage (fun () ->
+          ignore
+            (Interp.execute ~config:Config.none ~max_steps:10_000_000
+               ~input_ints:[ n ] Pna_attacks.L15_stack_var.program_))))
+    [ 5; 100; 10_000 ]
+
+let e6_group =
+  List.map
+    (fun iters ->
+      Test.make ~name:(Fmt.str "e6/memleak_%d_iters" iters) (stage (fun () ->
+          let prog = Pna_attacks.L23_memleak.mk_program ~checked:false in
+          let m = Interp.load ~config:Config.none prog in
+          Machine.set_input ~ints:[ iters ] ~strings:[] m;
+          ignore (Interp.run m prog ~entry:"main"))))
+    [ 50; 200 ]
+
+let e7_group =
+  [
+    Test.make ~name:"e7/placement_checker_all" (stage (fun () ->
+        List.iter
+          (fun (a : Catalog.t) ->
+            ignore (Pna_analysis.Placement_checker.analyze a.Catalog.program))
+          All.attacks));
+    Test.make ~name:"e7/legacy_checker_all" (stage (fun () ->
+        List.iter
+          (fun (a : Catalog.t) ->
+            ignore (Pna_analysis.Legacy_checker.analyze a.Catalog.program))
+          All.attacks));
+  ]
+
+(* E8: the benign workload under each defense — the overhead table *)
+let e8_group =
+  List.map
+    (fun config ->
+      Test.make
+        ~name:(Fmt.str "e8/pool_server_500_%s" config.Config.name)
+        (stage (fun () -> ignore (Pna.Workloads.run ~config Pna.Workloads.pool_server ~n:500))))
+    (Config.all @ [ Config.pool_discipline ])
+
+(* syntax toolchain: print and parse the whole catalogue *)
+let syntax_group =
+  [
+    Test.make ~name:"syntax/print_catalogue" (stage (fun () ->
+        List.iter
+          (fun (a : Catalog.t) ->
+            ignore (Pna_minicpp.Cpp_print.program_to_string a.Catalog.program))
+          All.attacks));
+    Test.make ~name:"syntax/parse_catalogue" (stage (
+        let sources =
+          List.map
+            (fun (a : Catalog.t) ->
+              Pna_minicpp.Cpp_print.program_to_string a.Catalog.program)
+            All.attacks
+        in
+        fun () ->
+          List.iter (fun src -> ignore (Pna_minicpp.Parser.program src)) sources));
+  ]
+
+(* interprocedural vs intraprocedural analysis cost *)
+let analysis_mode_group =
+  [
+    Test.make ~name:"e7/intraproc_all" (stage (fun () ->
+        List.iter
+          (fun (a : Catalog.t) ->
+            ignore (Pna_analysis.Placement_checker.analyze a.Catalog.program))
+          All.attacks));
+    Test.make ~name:"e7/interproc_all" (stage (fun () ->
+        List.iter
+          (fun (a : Catalog.t) ->
+            ignore
+              (Pna_analysis.Placement_checker.analyze ~interproc:true
+                 a.Catalog.program))
+          All.attacks));
+  ]
+
+(* wire format encode/decode round *)
+let serial_group =
+  [
+    Test.make ~name:"serial/encode_grad" (stage (fun () ->
+        ignore
+          (Pna_serial.Wire.encode
+             (Pna_serial.Wire.grad_student ~courses:[ 1; 2; 3; 4 ] ()))));
+    Test.make ~name:"serial/serve_datagram" (stage (
+        let payload = Pna_serial.Wire.encode (Pna_serial.Wire.student ()) in
+        fun () ->
+          ignore (Driver.run ~config:Config.none Pna_attacks.Ser_remote_object.grad_object |> ignore);
+          ignore payload));
+  ]
+
+(* E10: hardening the whole catalogue *)
+let e10_group =
+  [
+    Test.make ~name:"e10/harden_catalogue" (stage (fun () ->
+        List.iter
+          (fun (a : Catalog.t) ->
+            ignore (Pna_analysis.Hardener.harden a.Catalog.program))
+          All.attacks));
+  ]
+
+(* ablation: image load vs full attack run — separates setup cost from
+   interpretation cost *)
+let ablation_group =
+  [
+    Test.make ~name:"ablation/l13_load_only" (stage (fun () ->
+        ignore (Interp.load ~config:Config.none (Pna_attacks.L13_stack_ret.mk_program ~checked:false))));
+    Test.make ~name:"ablation/l13_full_run" (stage (fun () ->
+        ignore (Driver.run Pna_attacks.L13_stack_ret.attack)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let all_tests =
+  micro_group @ e1_group @ e2_e3_group @ e4_group @ e5_group @ e6_group
+  @ e7_group @ e8_group @ syntax_group @ analysis_mode_group @ serial_group
+  @ e10_group @ ablation_group
+
+let benchmark test =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  Benchmark.all cfg instances test
+
+let () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  Fmt.pr "%-40s %16s@." "benchmark" "time/run";
+  Fmt.pr "%s@." (String.make 58 '-');
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let time =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> Fmt.str "%12.1f ns" est
+            | _ -> "(no estimate)"
+          in
+          Fmt.pr "%-40s %16s@." name time)
+        results)
+    all_tests;
+  Fmt.pr "@.bench: done (%d benchmarks)@." (List.length all_tests)

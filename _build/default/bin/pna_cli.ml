@@ -1,0 +1,419 @@
+(** pna — command-line front end for the placement-new attack study.
+
+    Subcommands map one-to-one onto the experiments of DESIGN.md:
+    [matrix] (E1), [stackguard] (E2/E3), [leak] (E4), [dos] (E5),
+    [memleak] (E6), [audit] (E7), [defmatrix]/[overhead] (E8), plus
+    [list]/[run]/[layout] for exploration and [all] to regenerate
+    everything. *)
+
+open Cmdliner
+module Catalog = Pna_attacks.Catalog
+module Driver = Pna_attacks.Driver
+module All = Pna_attacks.All
+module Config = Pna_defense.Config
+module E = Pna.Experiments
+
+let config_arg =
+  let parse s =
+    match Config.by_name s with
+    | Some c -> Ok c
+    | None ->
+      Error
+        (`Msg
+          (Fmt.str "unknown config %s (try: %s)" s
+             (String.concat ", "
+                (List.map
+                   (fun c -> c.Config.name)
+                   (Config.pool_discipline :: Config.all)))))
+  in
+  let print ppf c = Fmt.string ppf c.Config.name in
+  Arg.conv (parse, print)
+
+let config_t =
+  Arg.(
+    value
+    & opt config_arg Config.none
+    & info [ "d"; "defense" ] ~docv:"CONFIG"
+        ~doc:"Defense configuration (none, stackguard, shadow-stack, \
+              bounds-check, sanitize, nx-stack, strict-align, \
+              pool-discipline, full).")
+
+let verbose_t =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the event stream.")
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (a : Catalog.t) ->
+        Fmt.pr "%-14s L%-3s §%-8s %-9s %s@." a.Catalog.id
+          (match a.Catalog.listing with Some l -> string_of_int l | None -> "--")
+          a.Catalog.section
+          (Catalog.segment_name a.Catalog.segment)
+          a.Catalog.name)
+      All.attacks
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the attack catalogue.")
+    Term.(const run $ const ())
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let id_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTACK-ID")
+  in
+  let run id config verbose =
+    match All.find id with
+    | None ->
+      Fmt.epr "unknown attack %s; see `pna_cli list`@." id;
+      exit 1
+    | Some a ->
+      let r = Driver.run ~config a in
+      Fmt.pr "%a@." Driver.pp_result r;
+      if verbose then
+        List.iter
+          (fun e -> Fmt.pr "  event: %s@." (Pna_machine.Event.to_string e))
+          r.Driver.outcome.Pna_minicpp.Outcome.events;
+      (match Driver.run_hardened ~config a with
+      | None -> ()
+      | Some (o, safe) ->
+        Fmt.pr "hardened variant: %s (%a)@."
+          (if safe then "safe" else "STILL VULNERABLE")
+          Pna_minicpp.Outcome.pp_status o.Pna_minicpp.Outcome.status)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one attack (and its hardened variant, if any).")
+    Term.(const run $ id_t $ config_t $ verbose_t)
+
+(* ---- experiments ---- *)
+
+let simple name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+
+let matrix_cmd =
+  simple "matrix" "E1: run every attack with defenses off." (fun () ->
+      Fmt.pr "%a@." E.pp_e1 (E.e1 ()))
+
+let stackguard_cmd =
+  simple "stackguard" "E2/E3: StackGuard detection and the selective bypass."
+    (fun () -> Fmt.pr "%a@." E.pp_e2_e3 (E.e2_e3 ()))
+
+let leak_cmd =
+  simple "leak" "E4: information leakage with and without sanitization."
+    (fun () -> Fmt.pr "%a@." E.pp_e4 (E.e4 ()))
+
+let dos_cmd =
+  simple "dos" "E5: DoS response curve for attacker-chosen loop bounds."
+    (fun () -> Fmt.pr "%a@." E.pp_e5 (E.e5 ()))
+
+let memleak_cmd =
+  simple "memleak" "E6: memory-leak growth per iteration." (fun () ->
+      Fmt.pr "%a@." E.pp_e6 (E.e6 ()))
+
+let audit_cmd =
+  let id_t = Arg.(value & pos 0 (some string) None & info [] ~docv:"ATTACK-ID") in
+  let run id =
+    match id with
+    | None -> Fmt.pr "%a@." E.pp_e7 (E.e7 ())
+    | Some id -> (
+      match All.find id with
+      | None ->
+        Fmt.epr "unknown attack %s@." id;
+        exit 1
+      | Some a ->
+        Fmt.pr "--- vulnerable program ---@.%a@." Pna_analysis.Audit.pp_report
+          (Pna_analysis.Audit.analyze a.Catalog.program);
+        Option.iter
+          (fun h ->
+            Fmt.pr "--- hardened program ---@.%a@." Pna_analysis.Audit.pp_report
+              (Pna_analysis.Audit.analyze h))
+          a.Catalog.hardened)
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"E7: static detection table, or detailed findings for one attack.")
+    Term.(const run $ id_t)
+
+let defmatrix_cmd =
+  simple "defmatrix" "E8: attack x defense matrix." (fun () ->
+      Fmt.pr "%a@." E.pp_e8_matrix (E.e8_matrix ()))
+
+let overhead_cmd =
+  simple "overhead" "E8: benign workload under each defense." (fun () ->
+      Fmt.pr "%a@." E.pp_e8_overhead (E.e8_overhead ()))
+
+let fuzz_cmd =
+  simple "fuzz" "E9: random testing vs the directed attacker." (fun () ->
+      Fmt.pr "%a@." E.pp_e9 (E.e9 ()))
+
+let repair_cmd =
+  simple "repair" "E10: auto-harden the whole catalogue and replay the attacks."
+    (fun () -> Fmt.pr "%a@." E.pp_e10 (E.e10 ()))
+
+let all_cmd =
+  simple "all" "Run every experiment (E1-E8)." (fun () ->
+      E.run_all Fmt.stdout ())
+
+(* ---- layout ---- *)
+
+let layout_cmd =
+  let run () =
+    let env = Pna_minicpp.Interp.build_env
+        (Pna_minicpp.Ast.program
+           ~classes:
+             (Pna_attacks.Schema.base_classes @ Pna_attacks.Schema.virtual_classes)
+           [])
+    in
+    List.iter
+      (fun c ->
+        Fmt.pr "%a@.@." Pna_layout.Layout.pp (Pna_layout.Layout.of_class env c))
+      [ "Student"; "GradStudent"; "StudentV"; "GradStudentV" ]
+  in
+  Cmd.v
+    (Cmd.info "layout" ~doc:"Print the running example's object layouts.")
+    Term.(const run $ const ())
+
+(* ---- source ---- *)
+
+let source_cmd =
+  let id_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTACK-ID")
+  in
+  let run id =
+    match All.find id with
+    | None ->
+      Fmt.epr "unknown attack %s@." id;
+      exit 1
+    | Some a ->
+      Fmt.pr "// %s — %s (§%s)@.// goal: %s@.@.%a@." a.Catalog.id
+        a.Catalog.name a.Catalog.section a.Catalog.goal
+        Pna_minicpp.Cpp_print.pp_program a.Catalog.program;
+      Option.iter
+        (fun h ->
+          Fmt.pr "// ---- hardened variant (§5.1 correct coding) ----@.@.%a@."
+            Pna_minicpp.Cpp_print.pp_program h)
+        a.Catalog.hardened
+  in
+  Cmd.v
+    (Cmd.info "source" ~doc:"Print an attack's program as C++ source.")
+    Term.(const run $ id_t)
+
+(* ---- inspect ---- *)
+
+let inspect_cmd =
+  let id_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTACK-ID")
+  in
+  let run id config =
+    match All.find id with
+    | None ->
+      Fmt.epr "unknown attack %s@." id;
+      exit 1
+    | Some a ->
+      let m = Pna_minicpp.Interp.load ~config a.Catalog.program in
+      Fmt.pr "=== %s — %s ===@.@." a.Catalog.id a.Catalog.name;
+      Fmt.pr "memory map:@.%a@.@." Pna_vmem.Vmem.pp (Pna_machine.Machine.mem m);
+      Fmt.pr "globals:@.";
+      List.iter
+        (fun g ->
+          let name = g.Pna_minicpp.Ast.g_name in
+          match Pna_machine.Machine.global m name with
+          | Some (addr, ty) ->
+            Fmt.pr "  0x%08x %-14s %a (%d bytes)@." addr name
+              Pna_layout.Ctype.pp ty
+              (Pna_layout.Layout.sizeof (Pna_machine.Machine.env m) ty)
+          | None -> ())
+        a.Catalog.program.Pna_minicpp.Ast.p_globals;
+      Fmt.pr "@.classes:@.";
+      List.iter
+        (fun c ->
+          Fmt.pr "%a@.@." Pna_layout.Layout.pp
+            (Pna_layout.Layout.of_class (Pna_machine.Machine.env m)
+               c.Pna_layout.Class_def.c_name))
+        a.Catalog.program.Pna_minicpp.Ast.p_classes;
+      Fmt.pr "attacker input against this image:@.";
+      let ints, strings = a.Catalog.mk_input m in
+      Fmt.pr "  ints:    %a@." Fmt.(Dump.list (fun ppf v -> pf ppf "0x%08x" v)) ints;
+      Fmt.pr "  strings: %a@." Fmt.(Dump.list Dump.string) strings;
+      (* run it and show the post-mortem *)
+      Pna_machine.Machine.set_input ~ints ~strings m;
+      let o = Pna_minicpp.Interp.run m a.Catalog.program ~entry:a.Catalog.entry in
+      Fmt.pr "@.run: %a@." Pna_minicpp.Outcome.pp_status o.Pna_minicpp.Outcome.status;
+      Fmt.pr "events:@.";
+      List.iter
+        (fun e -> Fmt.pr "  %s@." (Pna_machine.Event.to_string e))
+        o.Pna_minicpp.Outcome.events;
+      Fmt.pr "@.post-mortem globals (value / tainted bytes):@.";
+      List.iter
+        (fun g ->
+          let name = g.Pna_minicpp.Ast.g_name in
+          match Pna_machine.Machine.global m name with
+          | Some (addr, ty) ->
+            let size = Pna_layout.Layout.sizeof (Pna_machine.Machine.env m) ty in
+            Fmt.pr "  %-14s 0x%08x  taint %d/%d@." name
+              (Pna_vmem.Vmem.read_u32 (Pna_machine.Machine.mem m) addr)
+              (Pna_vmem.Vmem.tainted_bytes (Pna_machine.Machine.mem m) addr size)
+              size
+          | None -> ())
+        a.Catalog.program.Pna_minicpp.Ast.p_globals
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Dump an attack's process image, attacker input and post-mortem.")
+    Term.(const run $ id_t $ config_t)
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let id_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTACK-ID")
+  in
+  let run id config =
+    match All.find id with
+    | None ->
+      Fmt.epr "unknown attack %s@." id;
+      exit 1
+    | Some a ->
+      let m = Pna_minicpp.Interp.load ~config a.Catalog.program in
+      let ints, strings = a.Catalog.mk_input m in
+      Pna_machine.Machine.set_input ~ints ~strings m;
+      let cov, hook = Pna.Coverage.collector () in
+      let o =
+        Pna_minicpp.Interp.run ~on_stmt:hook m a.Catalog.program
+          ~entry:a.Catalog.entry
+      in
+      Fmt.pr "%s under %s: %a@.@." a.Catalog.id config.Config.name
+        Pna_minicpp.Outcome.pp_status o.Pna_minicpp.Outcome.status;
+      Fmt.pr "%a@." Pna.Coverage.pp (cov, a.Catalog.program)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run an attack with statement-level profiling: what executed,              where, how often.")
+    Term.(const run $ id_t $ config_t)
+
+(* ---- check / exec: the toolchain on user-supplied source files ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_file path =
+  match Pna_minicpp.Parser.program (read_file path) with
+  | prog -> prog
+  | exception Pna_minicpp.Parser.Error { line; message } ->
+    Fmt.epr "%s:%d: parse error: %s@." path line message;
+    exit 1
+  | exception Pna_minicpp.Lexer.Error { line; message } ->
+    Fmt.epr "%s:%d: lex error: %s@." path line message;
+    exit 1
+
+let file_t = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cpp")
+
+let check_cmd =
+  let run path =
+    let prog = parse_file path in
+    let r = Pna_analysis.Audit.analyze prog in
+    let actionable = Pna_analysis.Audit.actionable r.Pna_analysis.Audit.placement in
+    if actionable = [] then begin
+      Fmt.pr "%s: no actionable placement-new findings@." path;
+      exit 0
+    end
+    else begin
+      List.iter (fun f -> Fmt.pr "%s: %a@." path Pna_analysis.Finding.pp f) actionable;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Parse a MiniC++ source file and run the placement-new checker              (exit 1 when findings exist) — CI-gate style.")
+    Term.(const run $ file_t)
+
+let exec_cmd =
+  let ints_t =
+    Arg.(value & opt_all int [] & info [ "i"; "int" ] ~docv:"N"
+           ~doc:"Attacker int input (repeatable).")
+  in
+  let strs_t =
+    Arg.(value & opt_all string [] & info [ "s"; "str" ] ~docv:"S"
+           ~doc:"Attacker string input (repeatable).")
+  in
+  let run path config ints strings verbose =
+    let prog = parse_file path in
+    let o =
+      Pna_minicpp.Interp.execute ~config ~input_ints:ints ~input_strings:strings
+        prog
+    in
+    Fmt.pr "%a@." Pna_minicpp.Outcome.pp o;
+    if verbose then
+      List.iter
+        (fun e -> Fmt.pr "  event: %s@." (Pna_machine.Event.to_string e))
+        o.Pna_minicpp.Outcome.events
+  in
+  Cmd.v
+    (Cmd.info "exec"
+       ~doc:"Parse a MiniC++ source file and run it on the simulated machine.")
+    Term.(const run $ file_t $ config_t $ ints_t $ strs_t $ verbose_t)
+
+(* ---- harden ---- *)
+
+let harden_cmd =
+  let id_or_file_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTACK-ID|FILE.cpp")
+  in
+  let run target =
+    let prog =
+      if Sys.file_exists target then parse_file target
+      else
+        match All.find target with
+        | Some a -> a.Catalog.program
+        | None ->
+          Fmt.epr "%s: neither a file nor a known attack id@." target;
+          exit 1
+    in
+    let repaired = Pna_analysis.Hardener.harden prog in
+    Fmt.pr "// auto-hardened: %d placement site(s) repaired (§5.1 / §7)@.@.%a@."
+      (Pna_analysis.Hardener.count_repairs prog)
+      Pna_minicpp.Cpp_print.pp_program repaired;
+    let residual = Pna_analysis.Placement_checker.actionable repaired in
+    if residual <> [] then begin
+      Fmt.epr "// residual findings the repair cannot address:@.";
+      List.iter (fun f -> Fmt.epr "//   %a@." Pna_analysis.Finding.pp f) residual
+    end
+  in
+  Cmd.v
+    (Cmd.info "harden"
+       ~doc:"Automatically repair a program's placement discipline and print              the fixed source (the paper's §7 tool).")
+    Term.(const run $ id_or_file_t)
+
+
+let () =
+  let doc = "reproduction of `A New Class of Buffer Overflow Attacks' (ICDCS 2011)" in
+  let info = Cmd.info "pna_cli" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd;
+            run_cmd;
+            matrix_cmd;
+            stackguard_cmd;
+            leak_cmd;
+            dos_cmd;
+            memleak_cmd;
+            audit_cmd;
+            defmatrix_cmd;
+            overhead_cmd;
+            fuzz_cmd;
+            repair_cmd;
+            layout_cmd;
+            inspect_cmd;
+            source_cmd;
+            check_cmd;
+            exec_cmd;
+            trace_cmd;
+            harden_cmd;
+            all_cmd;
+          ]))

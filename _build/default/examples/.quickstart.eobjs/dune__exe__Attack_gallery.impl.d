@@ -1,0 +1,1 @@
+examples/attack_gallery.ml: Fmt List Pna_attacks Pna_minicpp

@@ -1,0 +1,1 @@
+examples/custom_attack.ml: Fmt List Pna_defense Pna_layout Pna_machine Pna_minicpp

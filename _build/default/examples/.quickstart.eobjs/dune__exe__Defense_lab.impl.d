@@ -1,0 +1,1 @@
+examples/defense_lab.ml: Fmt List Pna_attacks Pna_defense Pna_minicpp

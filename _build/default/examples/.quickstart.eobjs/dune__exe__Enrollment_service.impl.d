@@ -1,0 +1,1 @@
+examples/enrollment_service.ml: Fmt List Pna_analysis Pna_defense Pna_machine Pna_minicpp Pna_serial Pna_vmem

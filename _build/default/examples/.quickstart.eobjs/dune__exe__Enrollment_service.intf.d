@@ -1,0 +1,1 @@
+examples/enrollment_service.mli:

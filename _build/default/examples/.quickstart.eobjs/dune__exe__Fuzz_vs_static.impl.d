@@ -1,0 +1,1 @@
+examples/fuzz_vs_static.ml: Fmt List Pna_analysis Pna_attacks Pna_defense Pna_minicpp Random

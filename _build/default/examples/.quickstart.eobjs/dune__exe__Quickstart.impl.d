@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Pna_defense Pna_layout Pna_machine Pna_minicpp Pna_vmem

@@ -1,0 +1,1 @@
+examples/static_audit.ml: Fmt List Pna_analysis Pna_attacks

@@ -1,0 +1,1 @@
+lib/analysis/absdom.ml: Fmt Hashtbl

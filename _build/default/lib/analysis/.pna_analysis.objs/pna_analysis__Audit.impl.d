@@ -1,0 +1,1 @@
+lib/analysis/audit.ml: Finding Fmt Legacy_checker List Placement_checker Pna_minicpp String

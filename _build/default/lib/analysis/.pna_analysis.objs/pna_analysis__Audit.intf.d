@@ -1,0 +1,1 @@
+lib/analysis/audit.mli: Finding Format Pna_minicpp

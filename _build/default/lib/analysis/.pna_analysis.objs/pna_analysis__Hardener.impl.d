@@ -1,0 +1,1 @@
+lib/analysis/hardener.ml: List Pna_minicpp

@@ -1,0 +1,1 @@
+lib/analysis/hardener.mli: Pna_minicpp

@@ -1,0 +1,1 @@
+lib/analysis/legacy_checker.ml: Ctype Finding Fmt Hashtbl List Pna_layout Pna_minicpp

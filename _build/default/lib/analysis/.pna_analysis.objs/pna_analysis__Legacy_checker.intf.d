@@ -1,0 +1,1 @@
+lib/analysis/legacy_checker.mli: Finding Pna_minicpp

@@ -1,0 +1,1 @@
+lib/analysis/placement_checker.ml: Absdom Ctype Finding Fmt Hashtbl Layout List Option Pna_layout Pna_minicpp String

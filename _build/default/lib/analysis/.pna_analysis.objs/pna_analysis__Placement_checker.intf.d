@@ -1,0 +1,1 @@
+lib/analysis/placement_checker.mli: Finding Pna_minicpp

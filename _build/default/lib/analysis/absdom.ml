@@ -1,0 +1,104 @@
+(** Abstract domain shared by the static checkers.
+
+    Sizes and counts are tracked as: exactly known, bounded above (after a
+    recognized guard), attacker-tainted, or unknown. Pointers are tracked
+    as regions with a byte size and, when known, the class of the object at
+    their base — enough to decide whether a placement fits its arena and
+    whether an indexed copy fits a member array. *)
+
+type size =
+  | Known of int
+  | Bounded of int  (** <= the bound (guard-refined) *)
+  | Tainted  (** influenced by attacker input *)
+  | Unknown
+
+let pp_size ppf = function
+  | Known n -> Fmt.pf ppf "=%d" n
+  | Bounded n -> Fmt.pf ppf "<=%d" n
+  | Tainted -> Fmt.string ppf "tainted"
+  | Unknown -> Fmt.string ppf "?"
+
+(* Arithmetic over abstract sizes: taint is sticky; bounds survive
+   multiplication/addition by non-negative constants. *)
+let lift2 op a b =
+  match (a, b) with
+  | Known x, Known y -> Known (op x y)
+  | Tainted, _ | _, Tainted -> Tainted
+  (* an upper bound survives the op only when the other operand is a
+     non-negative constant (the op is then monotone in the bounded side) *)
+  | Bounded x, Known y when y >= 0 -> Bounded (op x y)
+  | Known x, Bounded y when x >= 0 -> Bounded (op x y)
+  | _ -> Unknown
+
+let add = lift2 ( + )
+let mul = lift2 ( * )
+
+(* does a placement/copy of [placed] bytes provably fit in [arena]? *)
+type fit = Fits | Overflows | May_overflow | Attacker_controlled | No_idea
+
+let fits ~placed ~arena =
+  match (placed, arena) with
+  | Known p, Known a -> if p <= a then Fits else Overflows
+  | Bounded p, Known a -> if p <= a then Fits else May_overflow
+  | Tainted, Known _ -> Attacker_controlled
+  | Unknown, Known _ -> May_overflow
+  | _, (Bounded _ | Tainted | Unknown) -> No_idea
+
+type region_kind =
+  | Global_region of string
+  | Local_region of string
+  | Member_region of string  (** field of a larger object: "stud1 of player" *)
+  | Heap_region
+  | Placed_region  (** pointer produced by a placement-new *)
+  | Remote_region  (** came in from outside the function/process *)
+  | Unknown_region
+
+type region = {
+  r_kind : region_kind;
+  r_size : size;  (** usable bytes from the region base *)
+  r_class : string option;  (** class of the object at base, when known *)
+  r_align : int option;  (** alignment guaranteed at base; None = unknown *)
+  r_name : string;  (** human-readable, for messages and memset matching *)
+}
+
+let region ?class_ ?align ~kind ~size name =
+  { r_kind = kind; r_size = size; r_class = class_; r_align = align; r_name = name }
+
+let unknown_region =
+  region ~kind:Unknown_region ~size:Unknown "<unknown>"
+
+let remote_region name =
+  region ~kind:Remote_region ~size:Unknown name
+
+type aval =
+  | Int_v of size
+  | Ptr_v of region
+  | Other_v
+
+let pp_region ppf r = Fmt.pf ppf "%s(%a)" r.r_name pp_size r.r_size
+
+(* Per-function abstract environment. A plain mutable table: the checkers
+   do a single forward pass per function (the listings have no loops whose
+   second iteration changes the verdict). *)
+type env = { vars : (string, aval) Hashtbl.t; mutable clobbered : bool }
+
+let create_env () = { vars = Hashtbl.create 16; clobbered = false }
+
+let set env x v = Hashtbl.replace env.vars x v
+
+let get env x =
+  match Hashtbl.find_opt env.vars x with
+  | Some v when env.clobbered -> (
+    (* after a detected overflow, any previously-established constant or
+       bound may have been overwritten in memory *)
+    match v with
+    | Int_v (Known _ | Bounded _) -> Int_v Tainted
+    | v -> v)
+  | Some v -> v
+  | None -> Other_v
+
+(* Mark every established fact as attacker-clobberable: called when the
+   checker finds an overflowing placement, since from that point on the
+   contents of neighbouring variables are not trustworthy. This is what
+   lets the checker see through the paper's §4.1 two-step attack. *)
+let clobber env = env.clobbered <- true

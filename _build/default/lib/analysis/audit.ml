@@ -1,0 +1,45 @@
+(** Run both static checkers over a program and summarize — the engine
+    behind experiment E7. *)
+
+module Ast = Pna_minicpp.Ast
+
+type report = {
+  placement : Finding.t list;  (** our placement-new checker *)
+  legacy : Finding.t list;  (** the string-op baseline *)
+}
+
+let analyze prog =
+  { placement = Placement_checker.analyze prog; legacy = Legacy_checker.analyze prog }
+
+let actionable fs = List.filter Finding.actionable fs
+
+(* does the report contain an actionable finding of one of [kinds]? *)
+let flags kinds fs =
+  List.exists (fun f -> Finding.actionable f && List.mem f.Finding.kind kinds) fs
+
+let overflow_kinds =
+  Finding.
+    [ Overflow_certain; Overflow_possible; Tainted_size; Copy_overflow ]
+
+let leak_kinds = Finding.[ Info_leak ]
+let memleak_kinds = Finding.[ Memory_leak ]
+
+(* The vulnerability categories an attack id belongs to, for measuring
+   "did the checker flag the *relevant* defect". *)
+let relevant_kinds id =
+  if String.length id >= 3 && String.sub id 0 3 = "L21" then leak_kinds
+  else if String.length id >= 3 && String.sub id 0 3 = "L22" then leak_kinds
+  else if String.length id >= 3 && String.sub id 0 3 = "L23" then memleak_kinds
+  else overflow_kinds
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>placement checker: %d findings (%d actionable)@,%a@,legacy checker: \
+     %d findings (%d actionable)@,%a@]"
+    (List.length r.placement)
+    (List.length (actionable r.placement))
+    (Fmt.list ~sep:Fmt.cut Finding.pp)
+    (actionable r.placement) (List.length r.legacy)
+    (List.length (actionable r.legacy))
+    (Fmt.list ~sep:Fmt.cut Finding.pp)
+    r.legacy

@@ -1,0 +1,23 @@
+(** Run both static checkers over a program and summarize — the engine
+    behind experiment E7. *)
+
+type report = {
+  placement : Finding.t list;  (** our placement-new checker *)
+  legacy : Finding.t list;  (** the string-op baseline *)
+}
+
+val analyze : Pna_minicpp.Ast.program -> report
+val actionable : Finding.t list -> Finding.t list
+
+val flags : Finding.kind list -> Finding.t list -> bool
+(** Is there an actionable finding of one of these kinds? *)
+
+val overflow_kinds : Finding.kind list
+val leak_kinds : Finding.kind list
+val memleak_kinds : Finding.kind list
+
+val relevant_kinds : string -> Finding.kind list
+(** The finding kinds that would catch the defect behind a given attack
+    id (leak attacks need leak findings, etc.). *)
+
+val pp_report : Format.formatter -> report -> unit

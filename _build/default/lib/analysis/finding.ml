@@ -1,0 +1,51 @@
+(** Findings produced by the static checkers. *)
+
+type kind =
+  | Overflow_certain  (** placed footprint provably exceeds the arena *)
+  | Overflow_possible  (** placed footprint may exceed the arena *)
+  | Tainted_size  (** attacker input reaches a placement/copy size *)
+  | Copy_overflow  (** remote-bounded copy loop writes past a fixed member *)
+  | Info_leak  (** smaller object placed over unsanitized larger arena *)
+  | Memory_leak  (** placement delete mismatch strands arena bytes *)
+  | Misalignment  (** placement target's alignment is weaker than required *)
+  | Unchecked_placement  (** informational: placement with no size guard *)
+  | String_misuse  (** legacy-checker finding: risky string builtin *)
+
+type severity = High | Medium | Info
+
+let severity_of = function
+  | Overflow_certain | Tainted_size -> High
+  | Overflow_possible | Copy_overflow | Info_leak | Memory_leak
+  | Misalignment ->
+    Medium
+  | Unchecked_placement | String_misuse -> Info
+
+let kind_name = function
+  | Overflow_certain -> "overflow-certain"
+  | Overflow_possible -> "overflow-possible"
+  | Tainted_size -> "tainted-size"
+  | Copy_overflow -> "copy-overflow"
+  | Info_leak -> "info-leak"
+  | Memory_leak -> "memory-leak"
+  | Misalignment -> "misalignment"
+  | Unchecked_placement -> "unchecked-placement"
+  | String_misuse -> "string-misuse"
+
+let severity_name = function High -> "HIGH" | Medium -> "MEDIUM" | Info -> "info"
+
+type t = {
+  kind : kind;
+  func : string;  (** function containing the flagged statement *)
+  message : string;
+}
+
+let v kind func fmt = Fmt.kstr (fun message -> { kind; func; message }) fmt
+
+let severity t = severity_of t.kind
+
+let pp ppf t =
+  Fmt.pf ppf "[%s] %s in %s: %s"
+    (severity_name (severity t))
+    (kind_name t.kind) t.func t.message
+
+let actionable t = severity t <> Info

@@ -1,0 +1,26 @@
+(** Findings produced by the static checkers. *)
+
+type kind =
+  | Overflow_certain  (** placed footprint provably exceeds the arena *)
+  | Overflow_possible
+  | Tainted_size  (** attacker input reaches a placement/copy size *)
+  | Copy_overflow  (** remote-bounded copy loop past a fixed member *)
+  | Info_leak
+  | Memory_leak
+  | Misalignment  (** placement target alignment weaker than required (§2.5) *)
+  | Unchecked_placement  (** informational audit record *)
+  | String_misuse  (** legacy-checker finding *)
+
+type severity = High | Medium | Info
+
+type t = { kind : kind; func : string; message : string }
+
+val severity_of : kind -> severity
+val kind_name : kind -> string
+val severity_name : severity -> string
+val v : kind -> string -> ('a, Format.formatter, unit, t) format4 -> 'a
+val severity : t -> severity
+val pp : Format.formatter -> t -> unit
+
+val actionable : t -> bool
+(** High or Medium. *)

@@ -1,0 +1,112 @@
+(** Automatic repair — the second half of the paper's §7 future work ("a
+    tool for ... detecting vulnerabilities due to placement new, and
+    automatically addressing these vulnerabilities").
+
+    Source-to-source transformation applying §5.1 correct coding:
+
+    - every placement new is wrapped in a bounds guard against the backing
+      arena (via the [__arena_size] intrinsic, the source-level spelling of
+      libsafe's interposition); when the guard fails, the §5.1 fallback —
+      the non-placement [new] — is used instead;
+    - the arena is sanitized ([memset] of its full remaining extent) before
+      reuse, closing the §4.3 information leaks;
+    - [delete\[T\] p] (the placed delete of §4.5) becomes a real [delete],
+      returning the whole block to the allocator.
+
+    The transform is deliberately local and syntactic: it repairs the
+    placement discipline, not program logic — a copy loop that overruns a
+    *correctly placed* object (Listings 6/10) is out of scope, exactly as
+    it is for the runtime bounds-check defense. *)
+
+module Ast = Pna_minicpp.Ast
+
+let arena_size_of place = Ast.Call ("__arena_size", [ place ])
+
+(* the footprint expression of a placement, in the exact shape the checker
+   recognizes as a guard (structural equality) *)
+let footprint = function
+  | Ast.Pnew (_, ty, _) -> Ast.Sizeof ty
+  | Ast.Pnew_arr (_, ty, n) -> Ast.Bin (Ast.Mul, n, Ast.Sizeof ty)
+  | _ -> invalid_arg "Hardener.footprint"
+
+let fallback = function
+  | Ast.Pnew (_, ty, args) -> Ast.New (ty, args)
+  | Ast.Pnew_arr (_, ty, n) -> Ast.New_arr (ty, n)
+  | e -> e
+
+let place_of = function
+  | Ast.Pnew (p, _, _) | Ast.Pnew_arr (p, _, _) -> p
+  | _ -> invalid_arg "Hardener.place_of"
+
+(* wrap one placement-producing statement builder into the guarded form:
+     memset(place, 0, __arena_size(place));
+     if (__arena_size(place) >= <footprint>) <stmt with placement>
+     else <stmt with heap fallback> *)
+let guard pnew ~with_placement ~with_fallback =
+  let place = place_of pnew in
+  [
+    Ast.Expr
+      (Ast.Call ("memset", [ place; Ast.Int 0; arena_size_of place ]));
+    Ast.If
+      ( Ast.Bin (Ast.Ge, arena_size_of place, footprint pnew),
+        with_placement,
+        with_fallback );
+  ]
+
+let is_placement = function
+  | Ast.Pnew _ | Ast.Pnew_arr _ -> true
+  | _ -> false
+
+(* Rewrite one statement into one-or-more hardened statements. Placements
+   nested in other expression positions are left alone: the catalogue (and
+   idiomatic C++) binds placement results directly. *)
+let rec harden_stmt (s : Ast.stmt) : Ast.stmt list =
+  match s with
+  | Ast.Decl (x, ty, Some pnew) when is_placement pnew ->
+    (* T *x = new (place) C(...)  -->  declare, then guarded assignment *)
+    Ast.Decl (x, ty, None)
+    :: guard pnew
+         ~with_placement:[ Ast.Assign (Ast.Var x, pnew) ]
+         ~with_fallback:[ Ast.Assign (Ast.Var x, fallback pnew) ]
+  | Ast.Assign (lv, pnew) when is_placement pnew ->
+    guard pnew
+      ~with_placement:[ Ast.Assign (lv, pnew) ]
+      ~with_fallback:[ Ast.Assign (lv, fallback pnew) ]
+  | Ast.Expr pnew when is_placement pnew ->
+    guard pnew
+      ~with_placement:[ Ast.Expr pnew ]
+      ~with_fallback:[ Ast.Expr (fallback pnew) ]
+  | Ast.Delete_placed (e, _) ->
+    (* §4.5: release the whole arena through the allocator *)
+    [ Ast.Delete e ]
+  | Ast.If (c, t, f) -> [ Ast.If (c, harden_block t, harden_block f) ]
+  | Ast.While (c, b) -> [ Ast.While (c, harden_block b) ]
+  | Ast.For (init, c, step, b) ->
+    (* init/step are simple statements; placements do not occur there in
+       any program we accept *)
+    [ Ast.For (init, c, step, harden_block b) ]
+  | Ast.Decl _ | Ast.Decl_obj _ | Ast.Assign _ | Ast.Expr _ | Ast.Return _
+  | Ast.Delete _ | Ast.Cout _ ->
+    [ s ]
+
+and harden_block body = List.concat_map harden_stmt body
+
+let harden_func (fn : Ast.func) =
+  { fn with Ast.fn_body = harden_block fn.Ast.fn_body }
+
+(** Apply the §5.1 repairs to every function of the program. *)
+let harden (p : Ast.program) : Ast.program =
+  { p with Ast.p_funcs = List.map harden_func p.Ast.p_funcs }
+
+(* How many repairs would be applied — for reporting. *)
+let count_repairs (p : Ast.program) =
+  Ast.fold_program
+    (fun acc s ->
+      match s with
+      | Ast.Decl (_, _, Some e) when is_placement e -> acc + 1
+      | Ast.Assign (_, e) when is_placement e -> acc + 1
+      | Ast.Expr e when is_placement e -> acc + 1
+      | Ast.Delete_placed _ -> acc + 1
+      | _ -> acc)
+    (fun acc _ -> acc)
+    0 p

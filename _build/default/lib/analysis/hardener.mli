@@ -1,0 +1,16 @@
+(** Automatic repair — the paper's §7 "automatically addressing these
+    vulnerabilities": wrap every placement new in an [__arena_size] bounds
+    guard with the §5.1 heap-new fallback, sanitize arenas before reuse,
+    and turn placed deletes into real deletes.
+
+    Scope: repairs the placement discipline, not program logic — copy
+    loops that overrun a correctly placed object (Listings 6/10) survive,
+    exactly as they survive the runtime bounds-check defense; the checker
+    still reports them on the hardened output. *)
+
+val harden : Pna_minicpp.Ast.program -> Pna_minicpp.Ast.program
+
+val harden_func : Pna_minicpp.Ast.func -> Pna_minicpp.Ast.func
+
+val count_repairs : Pna_minicpp.Ast.program -> int
+(** Number of sites {!harden} would rewrite. *)

@@ -1,0 +1,85 @@
+(** A baseline modelled on the pre-2011 generation of static checkers the
+    paper lists (ITS4, Flawfinder, ...): lexical/string-operation focused.
+
+    It knows that [strcpy] is unbounded, and it can compare a literal
+    [strncpy]/[memcpy] length against a lexically-declared destination
+    array. It has no model of placement new whatsoever — which is the
+    paper's point ("none of the existing tools can detect buffer overflow
+    vulnerabilities due to placement new"). *)
+
+open Pna_layout
+module Ast = Pna_minicpp.Ast
+
+type ctx = {
+  prog : Ast.program;
+  decls : (string, Ctype.t) Hashtbl.t;
+  mutable cur_func : string;
+  mutable findings : Finding.t list;
+}
+
+let report ctx kind fmt =
+  Fmt.kstr
+    (fun message ->
+      ctx.findings <-
+        { Finding.kind; func = ctx.cur_func; message } :: ctx.findings)
+    fmt
+
+(* capacity of a lexically-visible char-array destination *)
+let dest_capacity ctx = function
+  | Ast.Var x -> (
+    match Hashtbl.find_opt ctx.decls x with
+    | Some (Ctype.Array (_, k)) -> Some (k, x)
+    | _ -> (
+      match List.find_opt (fun g -> g.Ast.g_name = x) ctx.prog.Ast.p_globals with
+      | Some { Ast.g_type = Ctype.Array (_, k); _ } -> Some (k, x)
+      | _ -> None))
+  | _ -> None
+
+let literal_len = function Ast.Int n -> Some n | _ -> None
+
+let on_expr ctx () (e : Ast.expr) =
+  match e with
+  | Ast.Call ("strcpy", [ dst; _ ]) ->
+    let where =
+      match dst with Ast.Var x -> x | _ -> "<expression>"
+    in
+    report ctx Finding.String_misuse
+      "strcpy into %s: unbounded copy (use strncpy)" where
+  | Ast.Call (("strncpy" | "memcpy") as fn, [ dst; _; len ]) -> (
+    match (dest_capacity ctx dst, literal_len len) with
+    | Some (cap, name), Some n when n > cap ->
+      report ctx Finding.String_misuse
+        "%s of %d bytes into %d-byte array %s" fn n cap name
+    | Some _, Some _ -> () (* literal length fits: silent *)
+    | Some (_, name), None ->
+      report ctx Finding.String_misuse
+        "%s into %s with non-constant length" fn name
+    | None, _ ->
+      (* destination is a pointer of unknown extent: the tool stays
+         silent — it cannot see the placement-new arena behind it *)
+      ())
+  | _ -> ()
+
+let on_stmt ctx () (s : Ast.stmt) =
+  match s with
+  | Ast.Decl (x, ty, _) -> Hashtbl.replace ctx.decls x ty
+  | Ast.Decl_obj (x, cname, _) -> Hashtbl.replace ctx.decls x (Ctype.Class cname)
+  | _ -> ()
+
+let analyze (prog : Ast.program) : Finding.t list =
+  let ctx =
+    { prog; decls = Hashtbl.create 16; cur_func = ""; findings = [] }
+  in
+  List.iter
+    (fun fn ->
+      ctx.cur_func <- fn.Ast.fn_name;
+      List.iter
+        (fun (p, ty) -> Hashtbl.replace ctx.decls p ty)
+        fn.Ast.fn_params;
+      ignore (Ast.fold_stmts (on_stmt ctx) (on_expr ctx) () fn.Ast.fn_body))
+    prog.Ast.p_funcs;
+  List.rev ctx.findings
+
+(* Findings that would have caught the placement-new vulnerability class:
+   by construction, none — the tool has no placement model. *)
+let actionable prog = List.filter Finding.actionable (analyze prog)

@@ -1,0 +1,8 @@
+(** A baseline modelled on the pre-2011 string-operation checkers the
+    paper surveys (ITS4, Flawfinder, ...). It warns about [strcpy] and can
+    compare a literal [strncpy]/[memcpy] length against a lexically
+    declared array — and has no model of placement new at all, which is
+    the paper's point. *)
+
+val analyze : Pna_minicpp.Ast.program -> Finding.t list
+val actionable : Pna_minicpp.Ast.program -> Finding.t list

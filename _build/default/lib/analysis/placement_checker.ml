@@ -1,0 +1,664 @@
+(** The placement-new vulnerability detector — the static analysis tool the
+    paper announces as future work (§7), built on the §5.1 "correct coding"
+    rules.
+
+    One forward abstract-interpretation pass per function:
+    - every [Pnew]/[Pnew_arr] site is checked: does the placed footprint
+      provably fit the arena backing the target address?
+    - attacker taint ([cin], remote pointer parameters) is propagated into
+      sizes and counts;
+    - recognized guards refine the domain: a constant-foldable
+      [sizeof(A) <= sizeof(B)] conditional prunes the untaken branch, and
+      an [if (x > bound) return] pattern bounds [x];
+    - once an overflowing placement is seen, previously-established
+      constants and bounds are distrusted ("clobbered") — which is exactly
+      what exposes the two-step array attacks of §4;
+    - copy loops bounded by remote data that write into fixed-size members
+      are flagged (§3.2 Listing 6);
+    - smaller-over-larger placements without a prior memset are information
+      leaks (§4.3); [Delete_placed] is a §4.5 memory leak. *)
+
+open Pna_layout
+module Ast = Pna_minicpp.Ast
+open Absdom
+
+type ctx = {
+  lenv : Layout.env;
+  prog : Ast.program;
+  globals_written : (string, unit) Hashtbl.t;
+  decls : (string, Ctype.t) Hashtbl.t;  (** current function's locals *)
+  mutable cur_func : string;
+  mutable sanitized : string list;  (** region names memset so far *)
+  mutable content_tainted : string list;
+      (** regions whose *contents* are attacker bytes (recv targets,
+          attacker strings, copies thereof) *)
+  mutable guards : (Ast.expr * Ast.expr) list;
+      (** dominating [__arena_size(place) >= footprint] guards, matched
+          structurally against placement sites (the hardener's output) *)
+  mutable report_enabled : bool;
+  collect : (string, aval list) Hashtbl.t option;
+      (** when set (interprocedural mode), record the join of abstract
+          arguments seen at each call site *)
+  mutable findings : Finding.t list;
+}
+
+let sizeof ctx ty = Layout.sizeof ctx.lenv ty
+
+let cname_of = function Ctype.Class c -> Some c | _ -> None
+
+let report ctx kind fmt =
+  Fmt.kstr
+    (fun message ->
+      if ctx.report_enabled then
+        ctx.findings <-
+          { Finding.kind; func = ctx.cur_func; message } :: ctx.findings)
+    fmt
+
+(* Which globals does the program ever write? Constant-foldable globals
+   must never be assigned. *)
+let collect_written prog =
+  let tbl = Hashtbl.create 16 in
+  let on_stmt () = function
+    | Ast.Assign (Ast.Var x, _) -> Hashtbl.replace tbl x ()
+    | _ -> ()
+  in
+  ignore (Ast.fold_program on_stmt (fun () _ -> ()) () prog);
+  tbl
+
+let global_def ctx name =
+  List.find_opt (fun g -> g.Ast.g_name = name) ctx.prog.Ast.p_globals
+
+let field_of ctx cname f =
+  Layout.find_field (Layout.of_class ctx.lenv cname) f
+
+(* ------------------------------------------------------------------ *)
+(* Abstract evaluation                                                 *)
+
+let rec aeval ctx env (e : Ast.expr) : aval =
+  match e with
+  | Ast.Int n -> Int_v (Known n)
+  | Ast.Flt _ -> Other_v
+  | Ast.Str s ->
+    Ptr_v
+      (region ~kind:(Global_region "<literal>") ~align:1
+         ~size:(Known (String.length s + 1))
+         "<literal>")
+  | Ast.Nullptr -> Ptr_v unknown_region
+  | Ast.Cin -> Int_v Tainted
+  | Ast.Cin_str -> Ptr_v (remote_region "<attacker string>")
+  | Ast.Sizeof ty -> Int_v (Known (sizeof ctx ty))
+  | Ast.Fun_addr _ -> Other_v
+  | Ast.Var x -> lookup ctx env x
+  | Ast.Addr lv -> Ptr_v (region_of_lvalue ctx env lv)
+  | Ast.Deref p -> (
+    match aeval ctx env p with
+    | Ptr_v r when region_tainted ctx r -> Int_v Tainted
+    | _ -> Int_v Unknown)
+  | Ast.Field (b, f) | Ast.Arrow (b, f) -> (
+    (* reading a member: tainted when the object came from outside *)
+    let base =
+      match e with
+      | Ast.Arrow _ -> aeval ctx env b
+      | _ -> Ptr_v (region_of_lvalue ctx env b)
+    in
+    match base with
+    | Ptr_v r -> (
+      match (r.r_kind, member_type ctx r f) with
+      | _, Some ((Ctype.Array _ | Ctype.Class _) as ty) ->
+        (* member aggregate decays to a pointer into the object *)
+        Ptr_v
+          (region ~kind:(member_kind r) ~size:(Known (sizeof ctx ty))
+             ~align:(Layout.alignof ctx.lenv ty) ?class_:(cname_of ty)
+             (Fmt.str "%s.%s" r.r_name f))
+      | _, _ when region_tainted ctx r -> Int_v Tainted
+      | _ -> Int_v Unknown)
+    | _ -> Int_v Unknown)
+  | Ast.Index (b, _) -> (
+    match aeval ctx env b with
+    | Ptr_v r when region_tainted ctx r -> Int_v Tainted
+    | _ -> Int_v Unknown)
+  | Ast.Un (Ast.Neg, e') -> (
+    match aeval ctx env e' with
+    | Int_v (Known n) -> Int_v (Known (-n))
+    | Int_v Tainted -> Int_v Tainted
+    | _ -> Int_v Unknown)
+  | Ast.Un (Ast.Not, _) -> Int_v Unknown
+  | Ast.Un ((Ast.Preinc | Ast.Predec), Ast.Var x) ->
+    let v =
+      match lookup ctx env x with
+      | Int_v s -> Int_v (add s (Known 1))
+      | v -> v
+    in
+    set env x v;
+    v
+  | Ast.Un ((Ast.Preinc | Ast.Predec), _) -> Int_v Unknown
+  | Ast.Bin (op, a, b) -> (
+    let va = aeval ctx env a and vb = aeval ctx env b in
+    let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+    let shift_region r k =
+      (* p + k: k bytes fewer remain; the alignment guarantee weakens to
+         gcd(align, k) *)
+      Ptr_v
+        {
+          r with
+          r_size = (match r.r_size with Known s -> Known (s - k) | other -> other);
+          r_align =
+            Option.map (fun al -> if k = 0 then al else gcd al (abs k)) r.r_align;
+          r_name = Fmt.str "%s%+d" r.r_name k;
+        }
+    in
+    match (op, va, vb) with
+    | Ast.Add, Ptr_v r, Int_v (Known k) | Ast.Add, Int_v (Known k), Ptr_v r ->
+      shift_region r k
+    | Ast.Sub, Ptr_v r, Int_v (Known k) -> shift_region r (-k)
+    | (Ast.Add | Ast.Sub), Ptr_v r, Int_v _ ->
+      Ptr_v { r with r_size = Unknown; r_align = None; r_name = r.r_name ^ "+?" }
+    | Ast.Add, Int_v x, Int_v y -> Int_v (add x y)
+    | Ast.Mul, Int_v x, Int_v y -> Int_v (mul x y)
+    | Ast.Sub, Int_v (Known x), Int_v (Known y) -> Int_v (Known (x - y))
+    | Ast.Sub, Int_v Tainted, _ | Ast.Sub, _, Int_v Tainted -> Int_v Tainted
+    | _ -> Int_v Unknown)
+  | Ast.Cast (_, e') -> aeval ctx env e'
+  | Ast.Call ("__arena_size", [ p ]) -> (
+    (* The bounds-check intrinsic. Statically foldable only for whole
+       allocations: for a member subobject the runtime answer is the
+       *enclosing* allocation's remainder, which the static member size
+       does not bound. *)
+    match place_region ctx env p with
+    | { r_kind = Global_region _ | Local_region _ | Heap_region; r_size; _ } ->
+      Int_v r_size
+    | _ -> Int_v Unknown)
+  | Ast.Call (name, args) ->
+    List.iter (fun a -> ignore (aeval ctx env a)) args;
+    check_call ctx env name args;
+    Int_v Unknown
+  | Ast.Mcall (o, _, args) ->
+    ignore (aeval ctx env o);
+    List.iter (fun a -> ignore (aeval ctx env a)) args;
+    Int_v Unknown
+  | Ast.Fpcall (f, args) ->
+    ignore (aeval ctx env f);
+    List.iter (fun a -> ignore (aeval ctx env a)) args;
+    Int_v Unknown
+  | Ast.New (ty, args) ->
+    List.iter (fun a -> ignore (aeval ctx env a)) args;
+    Ptr_v
+      (region ~kind:Heap_region ~size:(Known (sizeof ctx ty)) ~align:8
+         ?class_:(cname_of ty)
+         (Fmt.str "new %a" Ctype.pp ty))
+  | Ast.New_arr (ty, n) ->
+    let count = as_size (aeval ctx env n) in
+    Ptr_v
+      (region ~kind:Heap_region ~align:8
+         ~size:(mul count (Known (sizeof ctx ty)))
+         (Fmt.str "new %a[]" Ctype.pp ty))
+  | Ast.Pnew (place, ty, args) ->
+    List.iter (fun a -> ignore (aeval ctx env a)) args;
+    let dest = place_region ctx env place in
+    let placed = Known (sizeof ctx ty) in
+    check_placement ctx env ~placed ~align:(Layout.alignof ctx.lenv ty) ~dest
+      ~site:(place, Ast.Sizeof ty)
+      ~what:(Fmt.str "%a" Ctype.pp ty);
+    Ptr_v
+      (region ~kind:Placed_region ~size:placed ?class_:(cname_of ty)
+         (Fmt.str "placed %a" Ctype.pp ty))
+  | Ast.Pnew_arr (place, ty, n) ->
+    let dest = place_region ctx env place in
+    let count = as_size (aeval ctx env n) in
+    let placed = mul count (Known (sizeof ctx ty)) in
+    check_placement ctx env ~placed ~align:(Layout.alignof ctx.lenv ty) ~dest
+      ~site:(place, Ast.Bin (Ast.Mul, n, Ast.Sizeof ty))
+      ~what:(Fmt.str "%a[%a]" Ctype.pp ty pp_size count);
+    Ptr_v
+      (region ~kind:Placed_region ~size:placed
+         (Fmt.str "placed %a[]" Ctype.pp ty))
+
+and as_size = function Int_v s -> s | _ -> Unknown
+
+and member_kind r =
+  match r.r_kind with Remote_region -> Remote_region | _ -> Member_region r.r_name
+
+and member_type ctx r f =
+  match r.r_class with
+  | None -> None
+  | Some c ->
+    Option.map (fun fl -> fl.Layout.f_type) (field_of ctx c f)
+
+and lookup ctx env x =
+  match Hashtbl.find_opt env.vars x with
+  | Some _ -> get env x
+  | None -> (
+    match Hashtbl.find_opt ctx.decls x with
+    | Some ((Ctype.Array _ | Ctype.Class _) as ty) ->
+      Ptr_v
+        (region ~kind:(Local_region x) ~size:(Known (sizeof ctx ty))
+           ~align:(Layout.alignof ctx.lenv ty) ?class_:(cname_of ty) x)
+    | Some _ -> Int_v Unknown
+    | None -> (
+      match global_def ctx x with
+      | Some g -> (
+        match (g.Ast.g_type, g.Ast.g_init) with
+        | (Ctype.Array _ | Ctype.Class _), _ ->
+          Ptr_v
+            (region ~kind:(Global_region x)
+               ~size:(Known (sizeof ctx g.Ast.g_type))
+               ~align:(Layout.alignof ctx.lenv g.Ast.g_type)
+               ?class_:(cname_of g.Ast.g_type) x)
+        | _, Ast.Ival n when not (Hashtbl.mem ctx.globals_written x) ->
+          if env.clobbered then Int_v Tainted else Int_v (Known n)
+        | _ -> Int_v Unknown)
+      | None -> Int_v Unknown))
+
+and region_of_lvalue ctx env (lv : Ast.expr) : region =
+  match lv with
+  | Ast.Var x -> (
+    match lookup ctx env x with
+    | Ptr_v r -> r
+    | _ -> (
+      (* scalar variable: its own cell is the arena *)
+      let ty =
+        match Hashtbl.find_opt ctx.decls x with
+        | Some ty -> Some ty
+        | None -> Option.map (fun g -> g.Ast.g_type) (global_def ctx x)
+      in
+      match ty with
+      | Some ty ->
+        region ~kind:(Local_region x) ~size:(Known (sizeof ctx ty))
+          ~align:(Layout.alignof ctx.lenv ty) x
+      | None -> unknown_region))
+  | Ast.Field (b, f) | Ast.Arrow (b, f) -> (
+    let base =
+      match lv with
+      | Ast.Arrow _ -> aeval ctx env b
+      | _ -> Ptr_v (region_of_lvalue ctx env b)
+    in
+    match base with
+    | Ptr_v r -> (
+      match member_type ctx r f with
+      | Some ty ->
+        region ~kind:(member_kind r) ~size:(Known (sizeof ctx ty))
+          ~align:(Layout.alignof ctx.lenv ty) ?class_:(cname_of ty)
+          (Fmt.str "%s.%s" r.r_name f)
+      | None -> unknown_region)
+    | _ -> unknown_region)
+  | Ast.Deref p -> (
+    match aeval ctx env p with Ptr_v r -> r | _ -> unknown_region)
+  | Ast.Index (b, _) -> (
+    (* &a[i]: remaining size and alignment unknown without i *)
+    match aeval ctx env b with
+    | Ptr_v r -> { r with r_size = Unknown; r_align = None }
+    | _ -> unknown_region)
+  | _ -> unknown_region
+
+(* The arena behind a placement target expression. *)
+and place_region ctx env place =
+  match place with
+  | Ast.Addr lv -> region_of_lvalue ctx env lv
+  | e -> ( match aeval ctx env e with Ptr_v r -> r | _ -> unknown_region)
+
+and check_placement ctx env ~placed ~align ~dest ~site ~what =
+  let place_e, size_e = site in
+  let guarded =
+    List.exists (fun (p, f) -> p = place_e && f = size_e) ctx.guards
+  in
+  let member_dest =
+    (* a member subobject (of a local/global, or of a remote object whose
+       class gave the member a known size): the runtime guard sees the
+       enclosing allocation, not the member *)
+    match (dest.r_kind, dest.r_size) with
+    | Member_region _, _ -> true
+    | Remote_region, Known _ -> true
+    | _ -> false
+  in
+  if guarded && not member_dest then
+    (* dominated by an __arena_size guard for exactly this placement: the
+       runtime check makes it safe by construction. Member targets are
+       exempt: the guard sees the enclosing allocation, not the member
+       (libsafe's granularity), so the §3.4 internal overflow survives it
+       and must stay reported. *)
+    report ctx Finding.Unchecked_placement
+      "placement of %s into %a is guarded by __arena_size" what pp_region dest
+  else begin
+  report ctx Finding.Unchecked_placement
+    "placement of %s (%a bytes) into arena %a" what pp_size placed pp_region
+    dest;
+  (* §2.5(4): the target address may not satisfy the object's alignment *)
+  (match dest.r_align with
+  | Some guaranteed when align > guaranteed ->
+    report ctx Finding.Misalignment
+      "%s requires %d-byte alignment but arena %s only guarantees %d" what
+      align dest.r_name guaranteed
+  | Some _ | None -> ());
+  match fits ~placed ~arena:dest.r_size with
+  | Overflows ->
+    clobber env;
+    report ctx Finding.Overflow_certain
+      "placing %s (%a bytes) into %a overflows by a provable margin" what
+      pp_size placed pp_region dest
+  | Attacker_controlled ->
+    clobber env;
+    report ctx Finding.Tainted_size
+      "attacker input reaches the size of %s placed into %a" what pp_size
+      placed
+  | May_overflow ->
+    clobber env;
+    report ctx Finding.Overflow_possible
+      "placement of %s (%a bytes) into %a may not fit" what pp_size placed
+      pp_region dest
+  | Fits -> (
+    match (placed, dest.r_size) with
+    | Known p, Known a
+      when p < a
+           && dest.r_kind <> Local_region dest.r_name
+           && not (List.mem dest.r_name ctx.sanitized) ->
+      report ctx Finding.Info_leak
+        "%s (%d bytes) placed over %d-byte arena %s without sanitization: %d \
+         stale bytes remain readable"
+        what p a dest.r_name (a - p)
+    | _ -> ())
+  | No_idea ->
+    report ctx Finding.Overflow_possible
+      "placement of %s into arena of unknown size %a cannot be bounds-checked"
+      what pp_region dest
+  end
+
+and region_tainted ctx r =
+  r.r_kind = Remote_region || List.mem r.r_name ctx.content_tainted
+
+and taint_region ctx env e =
+  match place_region ctx env e with
+  | r when r.r_kind <> Unknown_region ->
+    if not (List.mem r.r_name ctx.content_tainted) then
+      ctx.content_tainted <- r.r_name :: ctx.content_tainted
+  | _ -> ()
+
+and join_size a b =
+  match (a, b) with
+  | x, y when x = y -> x
+  | Tainted, _ | _, Tainted -> Tainted
+  | _ -> Unknown
+
+and join_aval a b =
+  match (a, b) with
+  | x, y when x = y -> x
+  | Int_v x, Int_v y -> Int_v (join_size x y)
+  | Ptr_v x, Ptr_v y when x.r_name = y.r_name -> Ptr_v x
+  | Ptr_v _, Ptr_v _ -> Ptr_v unknown_region
+  | _ -> Other_v
+
+and record_call ctx env name args =
+  match ctx.collect with
+  | None -> ()
+  | Some tbl -> (
+    match Ast.find_func ctx.prog name with
+    | Some fn when List.length fn.Ast.fn_params = List.length args ->
+      let argv = List.map (aeval ctx env) args in
+      let joined =
+        match Hashtbl.find_opt tbl name with
+        | None -> argv
+        | Some prev -> List.map2 join_aval prev argv
+      in
+      Hashtbl.replace tbl name joined
+    | _ -> ())
+
+and check_call ctx env name args =
+  record_call ctx env name args;
+  match (name, args) with
+  | "memset", target :: _ -> (
+    match place_region ctx env target with
+    | r -> ctx.sanitized <- r.r_name :: ctx.sanitized)
+  | "recv", target :: _ ->
+    (* the datagram buffer now holds attacker bytes *)
+    taint_region ctx env target
+  | ("strcpy" | "strncpy" | "memcpy"), dst :: src :: _ -> (
+    (* copying from attacker bytes taints the destination's contents *)
+    match place_region ctx env src with
+    | r when region_tainted ctx r -> taint_region ctx env dst
+    | _ -> ())
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+(* Constant-foldable condition (sizeof comparisons and other
+   statically-known arithmetic): lets the checker prune the branch a
+   correct-coding guard makes unreachable. *)
+let const_cond ctx env (c : Ast.expr) =
+  match c with
+  | Ast.Bin (op, a, b) -> (
+    match (aeval ctx env a, aeval ctx env b) with
+    | Int_v (Known x), Int_v (Known y) -> (
+      match op with
+      | Ast.Lt -> Some (x < y)
+      | Ast.Le -> Some (x <= y)
+      | Ast.Gt -> Some (x > y)
+      | Ast.Ge -> Some (x >= y)
+      | Ast.Eq -> Some (x = y)
+      | Ast.Ne -> Some (x <> y)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let ends_in_return body =
+  match List.rev body with
+  | (Ast.Return _) :: _ -> true
+  | [] -> false
+  | _ -> false
+
+(* Recognize the early-exit bound check [if (x > e) return;]: afterwards
+   x <= e holds. *)
+let refine_after_guard ctx env (c : Ast.expr) then_ else_ =
+  match (c, else_) with
+  | Ast.Bin (Ast.Gt, Ast.Var x, e), [] when ends_in_return then_ -> (
+    match aeval ctx env e with
+    | Int_v (Known k) | Int_v (Bounded k) -> set env x (Int_v (Bounded k))
+    | _ -> ())
+  | Ast.Bin (Ast.Ge, Ast.Var x, e), [] when ends_in_return then_ -> (
+    match aeval ctx env e with
+    | Int_v (Known k) | Int_v (Bounded k) -> set env x (Int_v (Bounded (k - 1)))
+    | _ -> ())
+  | _ -> ()
+
+(* Loop shape [i < bound] / [++i < bound] and its iteration count. *)
+let loop_bound ctx env (c : Ast.expr) =
+  match c with
+  | Ast.Bin (Ast.Lt, (Ast.Var i | Ast.Un (Ast.Preinc, Ast.Var i)), b) ->
+    Some (i, as_size (aeval ctx env b))
+  | Ast.Bin (Ast.Le, (Ast.Var i | Ast.Un (Ast.Preinc, Ast.Var i)), b) ->
+    Some (i, add (as_size (aeval ctx env b)) (Known 1))
+  | _ -> None
+
+(* Element capacity of an indexed write target. *)
+let elem_capacity ctx env (base : Ast.expr) =
+  match base with
+  | Ast.Arrow (p, f) | Ast.Field (p, f) -> (
+    let r =
+      match base with
+      | Ast.Arrow _ -> aeval ctx env p
+      | _ -> Ptr_v (region_of_lvalue ctx env p)
+    in
+    match r with
+    | Ptr_v r -> (
+      match member_type ctx r f with
+      | Some (Ctype.Array (_, k)) -> Some (k, Fmt.str "%s.%s" r.r_name f)
+      | _ -> None)
+    | _ -> None)
+  | Ast.Var x -> (
+    match Hashtbl.find_opt ctx.decls x with
+    | Some (Ctype.Array (_, k)) -> Some (k, x)
+    | _ -> (
+      match global_def ctx x with
+      | Some { Ast.g_type = Ctype.Array (_, k); _ } -> Some (k, x)
+      | _ -> None))
+  | _ -> None
+
+(* §3.2 Listing 6: a loop bounded by remote data copying into a fixed-size
+   member. *)
+let check_copy_loop ctx env cond body =
+  match loop_bound ctx env cond with
+  | None -> ()
+  | Some (ivar, count) ->
+    List.iter
+      (function
+        | Ast.Assign (Ast.Index (base, Ast.Var i), _) when i = ivar -> (
+          match elem_capacity ctx env base with
+          | Some (cap, name) -> (
+            match fits ~placed:count ~arena:(Known cap) with
+            | Overflows | Attacker_controlled ->
+              clobber env;
+              report ctx Finding.Copy_overflow
+                "loop bound (%a) exceeds capacity %d of %s: indexed copy runs \
+                 past the object"
+                pp_size count cap name
+            | May_overflow ->
+              clobber env;
+              report ctx Finding.Copy_overflow
+                "loop bound (%a) not provably within capacity %d of %s" pp_size
+                count cap name
+            | Fits | No_idea -> ())
+          | None -> ())
+        | _ -> ())
+      body
+
+let rec wstmt ctx env (s : Ast.stmt) =
+  match s with
+  | Ast.Decl (x, ty, init) -> (
+    Hashtbl.replace ctx.decls x ty;
+    match init with
+    | Some e -> set env x (aeval ctx env e)
+    | None -> Hashtbl.remove env.vars x)
+  | Ast.Decl_obj (x, cname, args) ->
+    Hashtbl.replace ctx.decls x (Ctype.Class cname);
+    List.iter (fun a -> ignore (aeval ctx env a)) args
+  | Ast.Assign (Ast.Var x, e) -> set env x (aeval ctx env e)
+  | Ast.Assign (lhs, e) ->
+    ignore (region_of_lvalue ctx env lhs);
+    ignore (aeval ctx env e)
+  | Ast.Expr e -> ignore (aeval ctx env e)
+  | Ast.If (c, t, f) -> (
+    match const_cond ctx env c with
+    | Some true -> wblock ctx env t
+    | Some false -> wblock ctx env f
+    | None -> (
+      (match c with
+      | Ast.Bin (Ast.Ge, Ast.Call ("__arena_size", [ p ]), fp) ->
+        (* the hardener's bounds guard: inside the then-branch, the
+           placement matching (p, fp) is safe by construction *)
+        let saved = ctx.guards in
+        ctx.guards <- (p, fp) :: ctx.guards;
+        wblock ctx env t;
+        ctx.guards <- saved
+      | _ -> wblock ctx env t);
+      wblock ctx env f;
+      refine_after_guard ctx env c t f))
+  | Ast.While (c, body) ->
+    check_copy_loop ctx env c body;
+    ignore (aeval ctx env c);
+    wblock ctx env body
+  | Ast.For (init, c, step, body) ->
+    Option.iter (wstmt ctx env) init;
+    check_copy_loop ctx env c body;
+    ignore (aeval ctx env c);
+    wblock ctx env body;
+    Option.iter (wstmt ctx env) step
+  | Ast.Return e -> Option.iter (fun e -> ignore (aeval ctx env e)) e
+  | Ast.Delete e -> ignore (aeval ctx env e)
+  | Ast.Delete_placed (e, ty) ->
+    ignore (aeval ctx env e);
+    report ctx Finding.Memory_leak
+      "delete of a placed %a releases only sizeof(%a) bytes; the arena tail \
+       is stranded (define a placement delete)"
+      Ctype.pp ty Ctype.pp ty
+  | Ast.Cout es -> List.iter (fun e -> ignore (aeval ctx env e)) es
+
+and wblock ctx env body = List.iter (wstmt ctx env) body
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+
+let analyze_function ?params ctx (fn : Ast.func) =
+  ctx.cur_func <- fn.Ast.fn_name;
+  ctx.sanitized <- [];
+  ctx.guards <- [];
+  Hashtbl.reset ctx.decls;
+  let env = create_env () in
+  (match params with
+  | Some argv ->
+    (* interprocedural mode: seed parameters with the join of the abstract
+       arguments observed at the call sites *)
+    List.iter2
+      (fun (p, ty) v ->
+        Hashtbl.replace ctx.decls p ty;
+        match (v, ty) with
+        | Ptr_v r, Ctype.Ptr (Ctype.Class c) when r.r_class = None ->
+          set env p (Ptr_v { r with r_class = Some c })
+        | _ -> set env p v)
+      fn.Ast.fn_params argv
+  | None ->
+    (* pointer parameters carry data from outside the function: the paper's
+       §3.2 threat model treats received objects as attacker-influenced *)
+    List.iter
+      (fun (p, ty) ->
+        Hashtbl.replace ctx.decls p ty;
+        match ty with
+        | Ctype.Ptr (Ctype.Class c) ->
+          set env p (Ptr_v { (remote_region p) with r_class = Some c })
+        | Ctype.Ptr _ -> set env p (Ptr_v (remote_region p))
+        | _ -> ())
+      fn.Ast.fn_params);
+  wblock ctx env fn.Ast.fn_body
+
+let make_ctx ?collect prog =
+  {
+    lenv = Pna_minicpp.Interp.build_env prog;
+    prog;
+    globals_written = collect_written prog;
+    decls = Hashtbl.create 16;
+    cur_func = "";
+    sanitized = [];
+    content_tainted = [];
+    guards = [];
+    report_enabled = true;
+    collect;
+    findings = [];
+  }
+
+(* Interprocedural driver: iterate argument propagation to a fixpoint (the
+   join is finite: avals only coarsen), then re-analyze each function with
+   its final parameter environment, reporting findings. Functions that are
+   never called keep the conservative remote-parameter treatment. *)
+let analyze_interproc (prog : Ast.program) : Finding.t list =
+  let tbl : (string, aval list) Hashtbl.t = Hashtbl.create 8 in
+  let snapshot () = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  let ctx = make_ctx ~collect:tbl prog in
+  ctx.report_enabled <- false;
+  let rec iterate n =
+    let before = snapshot () in
+    List.iter
+      (fun fn ->
+        let params = Hashtbl.find_opt tbl fn.Ast.fn_name in
+        analyze_function ?params ctx fn)
+      prog.Ast.p_funcs;
+    if snapshot () <> before && n > 0 then iterate (n - 1)
+  in
+  iterate 8;
+  let final = make_ctx prog in
+  (* content taint discovered during propagation is program-wide state *)
+  final.content_tainted <- ctx.content_tainted;
+  List.iter
+    (fun fn ->
+      let params = Hashtbl.find_opt tbl fn.Ast.fn_name in
+      analyze_function ?params final fn)
+    prog.Ast.p_funcs;
+  List.rev final.findings
+
+let analyze ?(interproc = false) (prog : Ast.program) : Finding.t list =
+  if interproc then analyze_interproc prog
+  else begin
+    let ctx = make_ctx prog in
+    List.iter (analyze_function ctx) prog.Ast.p_funcs;
+    List.rev ctx.findings
+  end
+
+let actionable ?interproc prog =
+  List.filter Finding.actionable (analyze ?interproc prog)

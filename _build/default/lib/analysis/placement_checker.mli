@@ -1,0 +1,22 @@
+(** The placement-new vulnerability detector — the static analysis tool
+    the paper announces as future work (§7), enforcing the §5.1
+    correct-coding rules.
+
+    One forward abstract-interpretation pass per function: placement sites
+    are bounds-checked against their arena; [cin] and remote pointer
+    parameters taint sizes; constant-foldable [sizeof] guards prune
+    branches; [if (x > bound) return] refines [x]; a detected overflow
+    distrusts previously-established bounds (exposing the §4.1 two-step
+    attacks); remote-bounded copy loops, unsanitized smaller-over-larger
+    placements and placement-delete mismatches are flagged. *)
+
+val analyze : ?interproc:bool -> Pna_minicpp.Ast.program -> Finding.t list
+(** All findings, including the informational audit trail, in program
+    order. With [~interproc:true], abstract arguments are propagated
+    through the call graph to a fixpoint first: placements through
+    passed-in pointers get sharp verdicts instead of "arena unknown", and
+    callee parameters only count as attacker-reachable when attacker data
+    actually flows to a call site. *)
+
+val actionable : ?interproc:bool -> Pna_minicpp.Ast.program -> Finding.t list
+(** High/Medium findings only. *)

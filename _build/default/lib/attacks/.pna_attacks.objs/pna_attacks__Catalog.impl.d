@@ -1,0 +1,1 @@
+lib/attacks/catalog.ml: Fmt Pna_machine Pna_minicpp

@@ -1,0 +1,1 @@
+lib/attacks/catalog.mli: Format Pna_machine Pna_minicpp

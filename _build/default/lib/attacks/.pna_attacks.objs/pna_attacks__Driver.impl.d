@@ -1,0 +1,1 @@
+lib/attacks/driver.ml: Catalog Fmt List Option Pna_defense Pna_machine Pna_minicpp Pna_vmem String

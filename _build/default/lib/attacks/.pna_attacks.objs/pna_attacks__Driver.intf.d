@@ -1,0 +1,1 @@
+lib/attacks/driver.mli: Catalog Format Pna_defense Pna_machine Pna_minicpp

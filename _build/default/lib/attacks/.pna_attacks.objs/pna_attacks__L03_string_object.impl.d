@@ -1,0 +1,1 @@
+lib/attacks/l03_string_object.ml: Catalog Class_def Driver Pna_layout Pna_minicpp

@@ -1,0 +1,1 @@
+lib/attacks/l05_remote_count.ml: Catalog Driver List Pna_minicpp

@@ -1,0 +1,1 @@
+lib/attacks/l06_copy_loop.ml: Catalog Class_def Driver List Pna_layout Pna_minicpp

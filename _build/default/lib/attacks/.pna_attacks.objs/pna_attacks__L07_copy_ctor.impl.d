@@ -1,0 +1,1 @@
+lib/attacks/l07_copy_ctor.ml: Catalog Driver Pna_minicpp Schema

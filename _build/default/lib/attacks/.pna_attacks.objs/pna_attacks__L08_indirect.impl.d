@@ -1,0 +1,1 @@
+lib/attacks/l08_indirect.ml: Catalog Driver Pna_minicpp Schema

@@ -1,0 +1,1 @@
+lib/attacks/l10_internal.ml: Catalog Class_def Driver Pna_layout Pna_minicpp Schema

@@ -1,0 +1,1 @@
+lib/attacks/l11_data_bss.ml: Catalog Driver Pna_minicpp Schema

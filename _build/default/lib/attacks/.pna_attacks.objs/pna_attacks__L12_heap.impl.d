@@ -1,0 +1,1 @@
+lib/attacks/l12_heap.ml: Catalog Driver Pna_minicpp Schema

@@ -1,0 +1,1 @@
+lib/attacks/l13_stack_ret.ml: Array Catalog Char Driver List Pna_defense Pna_machine Pna_minicpp Schema String

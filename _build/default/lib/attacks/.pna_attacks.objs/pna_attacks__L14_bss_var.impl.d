@@ -1,0 +1,1 @@
+lib/attacks/l14_bss_var.ml: Catalog Driver Pna_minicpp Schema

@@ -1,0 +1,1 @@
+lib/attacks/l15_stack_var.ml: Catalog Driver Pna_minicpp Schema

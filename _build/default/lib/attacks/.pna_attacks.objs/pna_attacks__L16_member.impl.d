@@ -1,0 +1,1 @@
+lib/attacks/l16_member.ml: Catalog Driver Pna_minicpp Schema

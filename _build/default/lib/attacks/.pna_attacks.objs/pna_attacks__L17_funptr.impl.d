@@ -1,0 +1,1 @@
+lib/attacks/l17_funptr.ml: Catalog Pna_machine Pna_minicpp Schema

@@ -1,0 +1,1 @@
+lib/attacks/l18_varptr.ml: Catalog Driver Pna_machine Pna_minicpp Schema

@@ -1,0 +1,1 @@
+lib/attacks/l19_array_stack.ml: Catalog Char List Pna_machine Pna_minicpp Schema String

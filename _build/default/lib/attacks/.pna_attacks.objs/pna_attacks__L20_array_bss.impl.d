@@ -1,0 +1,1 @@
+lib/attacks/l20_array_bss.ml: Catalog Char Driver Pna_minicpp Schema String

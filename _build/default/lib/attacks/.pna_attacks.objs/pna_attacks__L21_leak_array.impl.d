@@ -1,0 +1,1 @@
+lib/attacks/l21_leak_array.ml: Catalog Driver Pna_minicpp

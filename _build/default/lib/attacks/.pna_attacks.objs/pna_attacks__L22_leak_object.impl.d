@@ -1,0 +1,1 @@
+lib/attacks/l22_leak_object.ml: Catalog Char Driver Pna_minicpp Schema String

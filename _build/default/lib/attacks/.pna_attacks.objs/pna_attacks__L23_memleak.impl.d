@@ -1,0 +1,1 @@
+lib/attacks/l23_memleak.ml: Catalog Driver Pna_machine Pna_minicpp Schema

@@ -1,0 +1,1 @@
+lib/attacks/schema.ml: Class_def Pna_layout Pna_minicpp

@@ -1,0 +1,1 @@
+lib/attacks/ser_remote_object.ml: Catalog Driver Pna_minicpp Pna_serial

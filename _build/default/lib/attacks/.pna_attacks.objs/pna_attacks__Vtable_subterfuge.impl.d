@@ -1,0 +1,1 @@
+lib/attacks/vtable_subterfuge.ml: Catalog Driver List Pna_machine Pna_minicpp Schema

@@ -1,0 +1,41 @@
+(** The full attack catalogue, in paper order. *)
+
+let attacks : Catalog.t list =
+  [
+    L03_string_object.attack;
+    L03_string_object.misaligned;
+    L05_remote_count.attack;
+    L06_copy_loop.attack;
+    L07_copy_ctor.attack;
+    L08_indirect.attack;
+    L10_internal.attack;
+    L11_data_bss.attack;
+    L12_heap.attack;
+    L13_stack_ret.attack;
+    L13_stack_ret.bypass;
+    L13_stack_ret.inject;
+    L14_bss_var.attack;
+    L15_stack_var.attack;
+    L15_stack_var.dos;
+    L15_stack_var.skip;
+    L16_member.attack;
+    Vtable_subterfuge.bss;
+    Vtable_subterfuge.stack;
+    L17_funptr.attack;
+    L18_varptr.attack;
+    L19_array_stack.attack;
+    L20_array_bss.attack;
+    L21_leak_array.attack;
+    L22_leak_object.attack;
+    L23_memleak.attack;
+    L23_memleak.oom;
+    Ser_remote_object.grad_object;
+    Ser_remote_object.course_count;
+  ]
+
+let find id = List.find_opt (fun a -> a.Catalog.id = id) attacks
+
+let hardened_ids =
+  List.filter_map
+    (fun a -> Option.map (fun _ -> a.Catalog.id) a.Catalog.hardened)
+    attacks

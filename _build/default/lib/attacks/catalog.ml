@@ -1,0 +1,62 @@
+(** The attack catalogue: one entry per exploit scenario from the paper.
+
+    An attack bundles the vulnerable MiniC++ program (a transcription of a
+    numbered listing), the attacker's input script — computed against the
+    loaded machine so it can embed real addresses, exactly like an attacker
+    who has studied the target binary — and a success predicate over the
+    run's outcome and final memory image. *)
+
+module Machine = Pna_machine.Machine
+module Outcome = Pna_minicpp.Outcome
+
+type segment = Stack | Heap | Data_bss | Mixed
+
+let segment_name = function
+  | Stack -> "stack"
+  | Heap -> "heap"
+  | Data_bss -> "data/bss"
+  | Mixed -> "mixed"
+
+type verdict = { success : bool; detail : string }
+
+let success fmt = Fmt.kstr (fun detail -> { success = true; detail }) fmt
+let failure fmt = Fmt.kstr (fun detail -> { success = false; detail }) fmt
+
+type t = {
+  id : string;  (** stable identifier, e.g. "L13-ret" *)
+  listing : int option;  (** paper listing number, when there is one *)
+  section : string;  (** paper section *)
+  name : string;
+  segment : segment;
+  goal : string;  (** what the attacker gains *)
+  program : Pna_minicpp.Ast.program;
+  hardened : Pna_minicpp.Ast.program option;
+      (** §5.1 correct-coding variant of the same program, when defined *)
+  entry : string;
+  mk_input : Machine.t -> int list * string list;
+  check : Machine.t -> Outcome.t -> verdict;
+}
+
+let make ?listing ?hardened ?(entry = "main") ~id ~section ~name ~segment ~goal
+    ~program ~mk_input ~check () =
+  {
+    id;
+    listing;
+    section;
+    name;
+    segment;
+    goal;
+    program;
+    hardened;
+    entry;
+    mk_input;
+    check;
+  }
+
+(* Common verdicts *)
+
+let expect_arc ~via ~symbol (_ : Machine.t) (o : Outcome.t) =
+  match o.Outcome.status with
+  | Outcome.Arc_injection a when a.symbol = symbol && a.via = via ->
+    success "control redirected to %s via %s" symbol (Outcome.via_name via)
+  | st -> failure "expected arc injection to %s, got %a" symbol Outcome.pp_status st

@@ -1,0 +1,50 @@
+(** The attack catalogue: one entry per exploit scenario of the paper,
+    bundling the vulnerable program, the attacker's input script (computed
+    against the loaded machine so it can embed real addresses) and a
+    memory-level success predicate. *)
+
+module Machine = Pna_machine.Machine
+module Outcome = Pna_minicpp.Outcome
+
+type segment = Stack | Heap | Data_bss | Mixed
+
+val segment_name : segment -> string
+
+type verdict = { success : bool; detail : string }
+
+val success : ('a, Format.formatter, unit, verdict) format4 -> 'a
+val failure : ('a, Format.formatter, unit, verdict) format4 -> 'a
+
+type t = {
+  id : string;
+  listing : int option;  (** paper listing number, when there is one *)
+  section : string;
+  name : string;
+  segment : segment;
+  goal : string;
+  program : Pna_minicpp.Ast.program;
+  hardened : Pna_minicpp.Ast.program option;  (** §5.1 correct-coding twin *)
+  entry : string;
+  mk_input : Machine.t -> int list * string list;
+  check : Machine.t -> Outcome.t -> verdict;
+}
+
+val make :
+  ?listing:int ->
+  ?hardened:Pna_minicpp.Ast.program ->
+  ?entry:string ->
+  id:string ->
+  section:string ->
+  name:string ->
+  segment:segment ->
+  goal:string ->
+  program:Pna_minicpp.Ast.program ->
+  mk_input:(Machine.t -> int list * string list) ->
+  check:(Machine.t -> Outcome.t -> verdict) ->
+  unit ->
+  t
+
+val expect_arc :
+  via:Outcome.hijack_via -> symbol:string -> Machine.t -> Outcome.t -> verdict
+(** Verdict builder: success iff the run ended in an arc injection through
+    [via] to [symbol]. *)

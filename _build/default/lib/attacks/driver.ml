@@ -1,0 +1,66 @@
+(** Runs catalogue attacks against defense configurations and inspects the
+    resulting memory image. *)
+
+module Machine = Pna_machine.Machine
+module Config = Pna_defense.Config
+module Interp = Pna_minicpp.Interp
+module Outcome = Pna_minicpp.Outcome
+module Vmem = Pna_vmem.Vmem
+
+type result = {
+  attack : Catalog.t;
+  config : Config.t;
+  outcome : Outcome.t;
+  verdict : Catalog.verdict;
+}
+
+let run ?(config = Config.none) (a : Catalog.t) =
+  let m = Interp.load ~config a.Catalog.program in
+  let ints, strings = a.Catalog.mk_input m in
+  Machine.set_input ~ints ~strings m;
+  let outcome = Interp.run m a.Catalog.program ~entry:a.Catalog.entry in
+  let verdict = a.Catalog.check m outcome in
+  { attack = a; config; outcome; verdict }
+
+(* Run the §5.1 hardened variant of [a] under the same attacker input. The
+   hardened program is judged safe when it terminates normally and no
+   hijack or corruption event fired. *)
+let run_hardened ?(config = Config.none) (a : Catalog.t) =
+  Option.map
+    (fun program ->
+      let m = Interp.load ~config program in
+      let ints, strings = a.Catalog.mk_input m in
+      Machine.set_input ~ints ~strings m;
+      let outcome = Interp.run m program ~entry:a.Catalog.entry in
+      let safe =
+        Outcome.exited_normally outcome
+        && not (List.exists Pna_machine.Event.is_hijack outcome.Outcome.events)
+      in
+      (outcome, safe))
+    a.Catalog.hardened
+
+(* --- memory inspection helpers for attack checks --- *)
+
+let global_addr m name = Machine.global_addr_exn m name
+let u32 m addr = Vmem.read_u32 (Machine.mem m) addr
+let f64 m addr = Vmem.read_f64 (Machine.mem m) addr
+let tainted m addr len = Vmem.range_tainted (Machine.mem m) addr len
+let bytes m addr len = Vmem.read_bytes (Machine.mem m) addr len
+
+let global_u32 ?(off = 0) m name = u32 m (global_addr m name + off)
+let global_f64 ?(off = 0) m name = f64 m (global_addr m name + off)
+let global_tainted ?(off = 0) m name len = tainted m (global_addr m name + off) len
+
+let output_contains (o : Outcome.t) needle =
+  let contains s =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    nl = 0 || go 0
+  in
+  List.exists contains o.Outcome.output
+
+let pp_result ppf r =
+  Fmt.pf ppf "@[<v2>%s under %s: %s@,outcome: %a@,verdict: %s@]" r.attack.Catalog.id
+    r.config.Config.name
+    (if r.verdict.Catalog.success then "ATTACK SUCCEEDED" else "attack failed")
+    Outcome.pp_status r.outcome.Outcome.status r.verdict.Catalog.detail

@@ -1,0 +1,33 @@
+(** Runs catalogue attacks against defense configurations and inspects the
+    resulting memory image. *)
+
+module Machine = Pna_machine.Machine
+module Config = Pna_defense.Config
+module Outcome = Pna_minicpp.Outcome
+
+type result = {
+  attack : Catalog.t;
+  config : Config.t;
+  outcome : Outcome.t;
+  verdict : Catalog.verdict;
+}
+
+val run : ?config:Config.t -> Catalog.t -> result
+(** Load, compute attacker input against the image, run, judge. *)
+
+val run_hardened : ?config:Config.t -> Catalog.t -> (Outcome.t * bool) option
+(** Run the §5.1 hardened twin under the same attacker input; the boolean
+    is "safe": exited normally with no hijack event. *)
+
+(** {1 Memory inspection helpers for checks} *)
+
+val global_addr : Machine.t -> string -> int
+val u32 : Machine.t -> int -> int
+val f64 : Machine.t -> int -> float
+val tainted : Machine.t -> int -> int -> bool
+val bytes : Machine.t -> int -> int -> string
+val global_u32 : ?off:int -> Machine.t -> string -> int
+val global_f64 : ?off:int -> Machine.t -> string -> float
+val global_tainted : ?off:int -> Machine.t -> string -> int -> bool
+val output_contains : Outcome.t -> string -> bool
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,76 @@
+(** §2.4, Listing 3 — Combination of objects and arrays: a string *object*
+    placed into a character buffer.
+
+    [checkUname] reuses the 8-byte global [uname_buf] for a 16-byte
+    [CppString] object built from the user's input: the object's tail —
+    including 4 attacker bytes of its internal buffer and the length field
+    — lands on the [next_uid] global.
+
+    The same module demonstrates the §2.5(4) alignment hazard: the object
+    requires 4-byte alignment but is placed into a char array; under the
+    strict-alignment machine the placement faults. *)
+
+open Pna_minicpp.Dsl
+open Pna_layout
+module C = Catalog
+module D = Driver
+module O = Pna_minicpp.Outcome
+
+(* a fixed-capacity std::string stand-in *)
+let cpp_string =
+  Class_def.v "CppString" [ ("buf", char_arr 12); ("len", int) ]
+
+let mk_program ~misaligned =
+  let place_at =
+    (* &uname_buf[1] is misaligned for an align-4 object *)
+    if misaligned then v "uname_buf" +: i 1 else v "uname_buf"
+  in
+  program
+    ~classes:[ cpp_string ]
+    ~globals:[ global "uname_buf" (char_arr 8); global "next_uid" int ]
+    [
+      func "CppString::ctor"
+        ~params:[ ("this", ptr (cls "CppString")); ("s", char_p) ]
+        [
+          expr (call "strncpy" [ arrow (v "this") "buf"; v "s"; i 12 ]);
+          set (arrow (v "this") "len") (call "strlen" [ v "s" ]);
+        ];
+      func "checkUname"
+        [
+          (* Place a string object in the memory of uname_buf[] (paper) *)
+          decli "str" (ptr (cls "CppString")) (pnew place_at (cls "CppString") [ cin_str ]);
+        ];
+      func "main" [ expr (call "checkUname" []); ret (i 0) ];
+    ]
+
+let check m (o : O.t) =
+  let uid = D.global_u32 m "next_uid" in
+  (* buf[8..11] of the placed object alias next_uid *)
+  if O.exited_normally o && uid = 0x64697521 (* "!uid" LE *) && D.global_tainted m "next_uid" 4
+  then C.success "next_uid global rewritten with username bytes 8..11 (0x%08x)" uid
+  else C.failure "next_uid=0x%08x (status %a)" uid O.pp_status o.O.status
+
+let attack =
+  C.make ~id:"L03-strobj" ~listing:3 ~section:"2.4"
+    ~name:"string object placed into a char buffer" ~segment:C.Data_bss
+    ~goal:"the object's internal buffer and length spill over a neighbour"
+    ~program:(mk_program ~misaligned:false)
+    ~mk_input:(fun _m -> ([], [ "attacker!uid" ]))
+    ~check ()
+
+(* The §2.5 alignment hazard: silently tolerated on a lax machine,
+   terminates the program on a strict one. *)
+let misaligned =
+  C.make ~id:"L03-misalign" ~listing:3 ~section:"2.5"
+    ~name:"misaligned object placement" ~segment:C.Data_bss
+    ~goal:"place an align-4 object at an odd address"
+    ~program:(mk_program ~misaligned:true)
+    ~mk_input:(fun _m -> ([], [ "attacker!uid" ]))
+    ~check:(fun m (o : O.t) ->
+      match o.O.status with
+      | O.Exited _ ->
+        if D.global_tainted m "next_uid" 4 then
+          C.success "misaligned placement tolerated; neighbour corrupted anyway"
+        else C.failure "no corruption"
+      | st -> C.failure "terminated: %a" O.pp_status st)
+    ()

@@ -1,0 +1,52 @@
+(** §3.2, Listing 5 — Object overflow via a remote/serialized object.
+
+    A third-party service reports how many entries it returned; the
+    program trusts the count and places that many records into a fixed
+    64-byte memory pool with placement new, then populates them from the
+    (tainted) payload. A count of 20 writes 80 bytes: the 4 records past
+    the pool land on the adjacent [quota] global. *)
+
+open Pna_minicpp.Dsl
+module C = Catalog
+module D = Driver
+module O = Pna_minicpp.Outcome
+
+let pool_ints = 16 (* 64-byte pool *)
+let attacker_quota = 99999
+
+let program_ =
+  program
+    ~globals:[ global "pool" (char_arr 64); global "quota" int ]
+    [
+      func "serve"
+        [
+          (* n: length of received names[]: maliciously changed (paper) *)
+          decli "n" int cin;
+          decli "ids" (ptr int) (pnew_arr (v "pool") int (v "n"));
+          for_
+            (decli "j" int (i 0))
+            (v "j" <: v "n")
+            (set (v "j") (v "j" +: i 1))
+            [ set (idx (v "ids") (v "j")) cin ];
+        ];
+      func "main" [ expr (call "serve" []); ret (i 0) ];
+    ]
+
+let check m (o : O.t) =
+  let quota = D.global_u32 m "quota" in
+  if O.exited_normally o && quota = attacker_quota && D.global_tainted m "quota" 4
+  then C.success "quota global forced to %d by record #%d" quota pool_ints
+  else C.failure "quota=%d (status %a)" quota O.pp_status o.O.status
+
+let attack =
+  C.make ~id:"L05-remote" ~listing:5 ~section:"3.2"
+    ~name:"overflow via remote object count" ~segment:C.Data_bss
+    ~goal:"trusted remote length drives placement past the memory pool"
+    ~program:program_
+    ~mk_input:(fun _m ->
+      let n = 20 in
+      let payload =
+        List.init n (fun j -> if j = pool_ints then attacker_quota else 1000 + j)
+      in
+      (n :: payload, []))
+    ~check ()

@@ -1,0 +1,68 @@
+(** §3.2, Listing 6 — Object overflow via construction: field-by-field copy.
+
+    The receiving program copies [remoteobj->n] course ids from a received
+    record into an object freshly placed over the global [stud]. The local
+    record holds 8 ids; the attacker's record claims 16, so ids 8..15 are
+    written past the placed object, across the [marker] global. *)
+
+open Pna_minicpp.Dsl
+open Pna_layout
+module C = Catalog
+module D = Driver
+module O = Pna_minicpp.Outcome
+
+let local_rec =
+  Class_def.v "LocalRec" [ ("n", int); ("courseid", int_arr 8) ]
+
+let remote_rec =
+  Class_def.v "RemoteRec" [ ("n", int); ("courseid", int_arr 16) ]
+
+let attacker_marker = 0x4d4d4d4d
+
+let program_ =
+  program
+    ~classes:[ local_rec; remote_rec ]
+    ~globals:[ global "stud" (cls "LocalRec"); global "marker" int ]
+    [
+      func "addStudent"
+        ~params:[ ("remoteobj", ptr (cls "RemoteRec")) ]
+        [
+          decli "st" (ptr (cls "LocalRec")) (pnew (addr (v "stud")) (cls "LocalRec") []);
+          decli "j" int (i (-1));
+          while_
+            (incr (v "j") <: arrow (v "remoteobj") "n")
+            [
+              set
+                (idx (arrow (v "st") "courseid") (v "j"))
+                (idx (arrow (v "remoteobj") "courseid") (v "j"));
+            ];
+        ];
+      func "main"
+        [
+          decli "remote" (ptr (cls "RemoteRec")) (new_ (cls "RemoteRec") []);
+          set (arrow (v "remote") "n") cin;
+          for_
+            (decli "j" int (i 0))
+            (v "j" <: i 16)
+            (set (v "j") (v "j" +: i 1))
+            [ set (idx (arrow (v "remote") "courseid") (v "j")) cin ];
+          expr (call "addStudent" [ v "remote" ]);
+          ret (i 0);
+        ];
+    ]
+
+let check m (o : O.t) =
+  let marker = D.global_u32 m "marker" in
+  if O.exited_normally o && marker = attacker_marker && D.global_tainted m "marker" 4
+  then C.success "marker global overwritten with courseid[8]=0x%08x" marker
+  else C.failure "marker=0x%08x (status %a)" marker O.pp_status o.O.status
+
+let attack =
+  C.make ~id:"L06-copyloop" ~listing:6 ~section:"3.2"
+    ~name:"overflow via per-field copy of remote object" ~segment:C.Data_bss
+    ~goal:"remote-controlled loop bound copies fields past the placed object"
+    ~program:program_
+    ~mk_input:(fun _m ->
+      let ids = List.init 16 (fun j -> if j = 8 then attacker_marker else 100 + j) in
+      (16 :: ids, []))
+    ~check ()

@@ -1,0 +1,61 @@
+(** §3.2, Listing 7 — Object overflow via copy constructor.
+
+    [addStudent] places a [GradStudent] built by the (implicit, shallow)
+    copy constructor into the 16-byte arena of the global [stud]. The copy
+    is memberwise — 32 bytes — so the source object's SSN (attacker data)
+    lands on whatever follows [stud]: here the [access_level] global. *)
+
+open Pna_minicpp.Dsl
+module C = Catalog
+module D = Driver
+module O = Pna_minicpp.Outcome
+
+let attacker_level = 0x7fffffff
+
+let mk_program ~checked =
+  let place =
+    [
+      decli "st"
+        (ptr (cls "Student"))
+        (pnew (addr (v "stud")) (cls "GradStudent") [ v "remoteobj" ]);
+    ]
+  in
+  let body =
+    if checked then
+      [
+        if_
+          (sizeof (cls "GradStudent") <=: sizeof (cls "Student"))
+          place
+          [ decli "st" (ptr (cls "Student")) (new_ (cls "GradStudent") [ v "remoteobj" ]) ];
+      ]
+    else place
+  in
+  program ~classes:Schema.base_classes
+    ~globals:[ global "stud" (cls "Student"); global "access_level" int ]
+    (Schema.base_funcs
+    @ [
+        func "addStudent" ~params:[ ("remoteobj", ptr (cls "Student")) ] body;
+        func "main"
+          [
+            (* the "remote" object arrives with attacker-chosen SSN *)
+            decli "remote" (ptr (cls "GradStudent")) (new_ (cls "GradStudent") []);
+            expr (mcall (v "remote") "setSSN" [ cin; cin; cin ]);
+            expr (call "addStudent" [ v "remote" ]);
+            ret (i 0);
+          ];
+      ])
+
+let check m (o : O.t) =
+  let level = D.global_u32 m "access_level" in
+  if O.exited_normally o && level = attacker_level && D.global_tainted m "access_level" 4
+  then C.success "access_level global set to 0x%08x by copied ssn[0]" level
+  else C.failure "access_level=0x%08x (status %a)" level O.pp_status o.O.status
+
+let attack =
+  C.make ~id:"L07-copyctor" ~listing:7 ~section:"3.2"
+    ~name:"overflow via copy constructor" ~segment:C.Data_bss
+    ~goal:"shallow copy of a larger received object spills attacker bytes"
+    ~program:(mk_program ~checked:false)
+    ~hardened:(mk_program ~checked:true)
+    ~mk_input:(fun _m -> ([ attacker_level; Schema.junk1; Schema.junk2 ], []))
+    ~check ()

@@ -1,0 +1,53 @@
+(** §3.3, Listings 8/9 — Object overflow via indirect construction.
+
+    The received object never reaches placement new directly: it is first
+    copied into a fresh heap object [obj2], and *that* object is used to
+    copy-construct the placed instance. The data-flow path
+    remote → obj2 → placed object still carries the attacker's bytes past
+    the arena. This variant exists chiefly to stress inter-procedural
+    reasoning in detectors (§5.1). *)
+
+open Pna_minicpp.Dsl
+module C = Catalog
+module D = Driver
+module O = Pna_minicpp.Outcome
+
+let attacker_word = 0x66600666
+
+let program_ =
+  program ~classes:Schema.base_classes
+    ~globals:[ global "stud" (cls "Student"); global "audit_mode" int ]
+    (Schema.base_funcs
+    @ [
+        func "addStudent" ~params:[ ("remoteobj", ptr (cls "Student")) ]
+          [
+            (* Someclass *obj2 = new Someclass(remoteobj); *)
+            decli "obj2" (ptr (cls "GradStudent"))
+              (new_ (cls "GradStudent") [ v "remoteobj" ]);
+            (* ... obj2 reaches the placement at a later program point *)
+            decli "st" (ptr (cls "Student"))
+              (pnew (addr (v "stud")) (cls "GradStudent") [ v "obj2" ]);
+            delete (v "obj2");
+          ];
+        func "main"
+          [
+            decli "remote" (ptr (cls "GradStudent")) (new_ (cls "GradStudent") []);
+            expr (mcall (v "remote") "setSSN" [ cin; cin; cin ]);
+            expr (call "addStudent" [ v "remote" ]);
+            ret (i 0);
+          ];
+      ])
+
+let check m (o : O.t) =
+  let word = D.global_u32 m "audit_mode" in
+  if O.exited_normally o && word = attacker_word && D.global_tainted m "audit_mode" 4
+  then C.success "audit_mode overwritten through remote->obj2->placed path"
+  else C.failure "audit_mode=0x%08x (status %a)" word O.pp_status o.O.status
+
+let attack =
+  C.make ~id:"L08-indirect" ~listing:8 ~section:"3.3"
+    ~name:"overflow via indirect construction" ~segment:C.Data_bss
+    ~goal:"attacker bytes flow through an intermediate copy before placement"
+    ~program:program_
+    ~mk_input:(fun _m -> ([ attacker_word; 0x1111; 0x2222 ], []))
+    ~check ()

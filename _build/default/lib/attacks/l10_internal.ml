@@ -1,0 +1,69 @@
+(** §3.4, Listing 10 — Internal overflow.
+
+    [MobilePlayer] aggregates two [Student] members and a counter. Placing
+    a [GradStudent] over [this->stud1] overflows *inside* the enclosing
+    object: the SSN lands on [stud2]'s gpa/year, silently corrupting the
+    object's internal state while the object as a whole stays "valid". *)
+
+open Pna_minicpp.Dsl
+open Pna_layout
+module C = Catalog
+module D = Driver
+module O = Pna_minicpp.Outcome
+
+let mobile_player =
+  Class_def.v "MobilePlayer"
+    ~methods:
+      [ Class_def.plain_method ~impl:"MobilePlayer::addStudentPlayer" "addStudentPlayer" ]
+    [ ("stud1", cls "Student"); ("stud2", cls "Student"); ("n", int) ]
+
+let program_ =
+  program
+    ~classes:(Schema.base_classes @ [ mobile_player ])
+    ~globals:[ global "player" (cls "MobilePlayer") ]
+    (Schema.base_funcs
+    @ [
+        func "MobilePlayer::addStudentPlayer"
+          ~params:
+            [ ("this", ptr (cls "MobilePlayer")); ("stptr", ptr (cls "Student")) ]
+          [
+            decli "st"
+              (ptr (cls "GradStudent"))
+              (pnew (addr (arrow (v "this") "stud1")) (cls "GradStudent") [ v "stptr" ]);
+            set (arrow (v "this") "n") (arrow (v "this") "n" +: i 1);
+          ];
+        func "main"
+          [
+            decli "remote" (ptr (cls "GradStudent")) (new_ (cls "GradStudent") []);
+            expr (mcall (v "remote") "setSSN" [ cin; cin; cin ]);
+            expr (mcall (v "player") "addStudentPlayer" [ v "remote" ]);
+            ret (i 0);
+          ];
+      ])
+
+let check m (o : O.t) =
+  let player = D.global_addr m "player" in
+  let stud2_gpa_lo = D.u32 m (player + 16) in
+  let stud2_year = D.u32 m (player + 24) in
+  let n = D.u32 m (player + 32) in
+  if
+    O.exited_normally o
+    && stud2_gpa_lo = Schema.junk0
+    && stud2_year = 1999
+    && n = 1
+    && D.tainted m (player + 16) 12
+  then
+    C.success
+      "internal state corrupted: stud2.gpa lo=0x%08x year=%d while n=%d stays sane"
+      stud2_gpa_lo stud2_year n
+  else
+    C.failure "player intact (year=%d n=%d, status %a)" stud2_year n O.pp_status
+      o.O.status
+
+let attack =
+  C.make ~id:"L10-internal" ~listing:10 ~section:"3.4" ~name:"internal overflow"
+    ~segment:C.Data_bss
+    ~goal:"corrupt a sibling member inside the same enclosing object"
+    ~program:program_
+    ~mk_input:(fun _m -> ([ Schema.junk0; Schema.junk1; 1999 ], []))
+    ~check ()

@@ -1,0 +1,92 @@
+(** §3.5, Listing 11 — Data/bss overflow.
+
+    Two [Student] globals sit next to each other in bss. Placing a
+    [GradStudent] at [&stud1] makes its [ssn] array alias the first 12
+    bytes of [stud2]: ssn[0]/ssn[1] are stud2.gpa, ssn[2] is stud2.year.
+    The attacker-supplied SSN therefore rewrites stud2's GPA and year. *)
+
+open Pna_minicpp.Dsl
+module C = Catalog
+module D = Driver
+module O = Pna_minicpp.Outcome
+
+let attack_year = 2012
+
+let add_student ~checked =
+  let place_grad =
+    [
+      decli "st"
+        (ptr (cls "GradStudent"))
+        (pnew (addr (v "stud1")) (cls "GradStudent") [ fl 4.0; i 2009; i 1 ]);
+      expr (mcall (v "st") "setSSN" [ cin; cin; cin ]);
+    ]
+  in
+  let grad_branch =
+    if checked then
+      (* §5.1 correct coding: compare sizes, fall back to plain new *)
+      [
+        if_
+          (sizeof (cls "GradStudent") <=: sizeof (cls "Student"))
+          place_grad
+          [
+            decli "st"
+              (ptr (cls "GradStudent"))
+              (new_ (cls "GradStudent") [ fl 4.0; i 2009; i 1 ]);
+            expr (mcall (v "st") "setSSN" [ cin; cin; cin ]);
+            delete (v "st");
+          ];
+      ]
+    else place_grad
+  in
+  func "addStudent"
+    [
+      if_ (v "isGradStudent") grad_branch
+        [ expr (pnew (addr (v "stud2")) (cls "Student") [ cin; cin; cin ]) ];
+    ]
+
+let mk_program ~checked =
+  program ~classes:Schema.base_classes
+    ~globals:
+      [
+        global "stud1" (cls "Student");
+        global "stud2" (cls "Student");
+        global "isGradStudent" int;
+      ]
+    (Schema.base_funcs
+    @ [
+        add_student ~checked;
+        func "main"
+          [
+            set (v "isGradStudent") (i 0);
+            expr (call "addStudent" []);
+            set (v "isGradStudent") (i 1);
+            expr (call "addStudent" []);
+            ret (i 0);
+          ];
+      ])
+
+let check m (o : O.t) =
+  let stud2 = D.global_addr m "stud2" in
+  let year = D.u32 m (stud2 + 8) in
+  let gpa_lo = D.u32 m stud2 in
+  if
+    O.exited_normally o && year = attack_year
+    && gpa_lo = Schema.junk0
+    && D.tainted m stud2 12
+  then
+    C.success "stud2.gpa=0x%08x%08x stud2.year=%d, all attacker-tainted"
+      (D.u32 m (stud2 + 4))
+      gpa_lo year
+  else
+    C.failure "stud2 intact (year=%d, status %a)" year O.pp_status o.O.status
+
+let attack =
+  C.make ~id:"L11-bss" ~listing:11 ~section:"3.5" ~name:"data/bss object overflow"
+    ~segment:C.Data_bss
+    ~goal:"overwrite the gpa and year of an adjacent global object"
+    ~program:(mk_program ~checked:false)
+    ~hardened:(mk_program ~checked:true)
+    ~mk_input:(fun _m ->
+      (* benign enrolment (gpa=4, 2009, sem 1), then the malicious SSN *)
+      ([ 4; 2009; 1; Schema.junk0; Schema.junk1; attack_year ], []))
+    ~check ()

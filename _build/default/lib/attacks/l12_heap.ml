@@ -1,0 +1,58 @@
+(** §3.5.1, Listing 12 — Heap overflow.
+
+    A [Student] is heap-allocated, then a 16-byte [name] buffer right after
+    it. Placing a [GradStudent] over the Student block makes ssn[0]/ssn[1]
+    alias the allocator header of the name block and ssn[2] alias
+    name[0..3]: the attacker's SSN rewrites the victim string (and, as on a
+    real glibc heap, tramples the chunk metadata on the way).
+
+    Note: the paper's listing places at an uninitialized [stud] pointer —
+    a null placement that would fault immediately; following the authors'
+    evident intent we first allocate the Student. *)
+
+open Pna_minicpp.Dsl
+module C = Catalog
+module D = Driver
+module O = Pna_minicpp.Outcome
+
+let program_ =
+  program ~classes:Schema.base_classes
+    ~globals:[ global "stud" (ptr (cls "Student")); global "name" char_p ]
+    (Schema.base_funcs
+    @ [
+        func "main"
+          [
+            set (v "stud") (new_ (cls "Student") []);
+            decli "st"
+              (ptr (cls "GradStudent"))
+              (pnew (v "stud") (cls "GradStudent") []);
+            set (v "name") (new_arr char (i 16));
+            expr (call "strncpy" [ v "name"; str "abcdefghijklmno"; i 16 ]);
+            cout [ str "Before Attack: Name:"; v "name" ];
+            set (idx (arrow (v "st") "ssn") (i 0)) cin;
+            set (idx (arrow (v "st") "ssn") (i 1)) cin;
+            set (idx (arrow (v "st") "ssn") (i 2)) cin;
+            cout [ str "After Attack: Name:"; v "name" ];
+            ret (i 0);
+          ];
+      ])
+
+let check m (o : O.t) =
+  if not (O.exited_normally o) then
+    C.failure "did not run to completion: %a" O.pp_status o.O.status
+  else if D.output_contains o "XXXXefghijklmno" then
+    let name_ptr = D.global_u32 m "name" in
+    C.success "heap neighbour rewritten: name=%S (chunk header smashed too)"
+      (D.bytes m name_ptr 15)
+  else C.failure "name intact (status %a)" O.pp_status o.O.status
+
+let attack =
+  C.make ~id:"L12-heap" ~listing:12 ~section:"3.5.1" ~name:"heap object overflow"
+    ~segment:C.Heap
+    ~goal:"rewrite an adjacent heap buffer (and its allocator metadata)"
+    ~program:program_
+    ~mk_input:(fun _m ->
+      (* ssn[0]/ssn[1] hit the next chunk's header; ssn[2] = "XXXX" lands in
+         name[0..3] *)
+      ([ Schema.junk0; Schema.junk1; 0x58585858 ], []))
+    ~check ()

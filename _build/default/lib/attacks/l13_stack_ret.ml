@@ -1,0 +1,131 @@
+(** §3.6, Listing 13 — Stack overflow: modification of the return address.
+
+    [addStudent] keeps a local [Student] and places a [GradStudent] over
+    it. With [stud] as the only local, the frame is exactly the paper's
+    picture, and the SSN slots alias the control data:
+
+    - no canary, frame pointer saved:  ssn[0] -> saved fp, ssn[1] -> ret
+    - no canary, no frame pointer:     ssn[0] -> ret
+    - canary + frame pointer:          ssn[0] -> canary, ssn[1] -> fp,
+                                       ssn[2] -> ret
+
+    (matching §3.6.1 verbatim). The input loop only stores positive
+    values, which is what enables the §5.2 selective bypass: feed
+    non-positive values for the slots you must not touch.
+
+    Three catalogue entries share the program:
+    - [attack] (naive smash, arc injection to system())
+    - [bypass] (§3.6.1/§5.2: skip canary and fp, rewrite only ret)
+    - [inject] (return into the attacker-filled object on the stack) *)
+
+open Pna_minicpp.Dsl
+module C = Catalog
+module Config = Pna_defense.Config
+module Machine = Pna_machine.Machine
+module O = Pna_minicpp.Outcome
+
+let mk_program ~checked =
+  let place =
+    decli "gs" (ptr (cls "GradStudent")) (pnew (addr (v "stud")) (cls "GradStudent") [])
+    :: Schema.ssn_input_loop "gs"
+  in
+  let grad_branch =
+    if checked then
+      [
+        if_
+          (sizeof (cls "GradStudent") <=: sizeof (cls "Student"))
+          place
+          (decli "gs" (ptr (cls "GradStudent")) (new_ (cls "GradStudent") [])
+           :: Schema.ssn_input_loop "gs"
+          @ [ delete (v "gs") ]);
+      ]
+    else place
+  in
+  program ~classes:Schema.base_classes
+    ~globals:[ global "isGradStudent" int; global "uname_buf" (char_arr 32) ]
+    (Schema.base_funcs
+    @ [
+        func "addStudent" (obj "stud" "Student" [] :: [ when_ (v "isGradStudent") grad_branch ]);
+        func "main"
+          [
+            (* the login banner records the username — and gives the
+               attacker a writable, known-address scratch area (§3.6.2's
+               "enough [room] to inject shell code") *)
+            expr (call "strncpy" [ v "uname_buf"; cin_str; i 32 ]);
+            set (v "isGradStudent") (i 1);
+            expr (call "addStudent" []);
+            ret (i 0);
+          ];
+      ])
+
+(* Which ssn slot aliases the return address, per configuration (see the
+   frame picture in {!Pna_machine.Frame}). *)
+let ret_slot_index (cfg : Config.t) =
+  match (cfg.stack_protector, cfg.save_frame_pointer) with
+  | true, true -> 2
+  | false, true -> 1
+  | true, false -> 1
+  | false, false -> 0
+
+let positive_junk = [| Schema.junk0; Schema.junk1; Schema.junk2 |]
+
+(* Naive smash: positive junk everywhere, the system() address in the slot
+   that aliases ret. Tramples the canary when there is one. *)
+let naive_input m =
+  let cfg = Machine.config m in
+  let target = Machine.function_addr m "system" in
+  let k = ret_slot_index cfg in
+  (List.init 3 (fun j -> if j = k then target else positive_junk.(j)), [])
+
+(* Selective overwrite (§3.6.1): non-positive values skip every slot
+   before ret, leaving canary and saved fp untouched. *)
+let bypass_input m =
+  let cfg = Machine.config m in
+  let target = Machine.function_addr m "system" in
+  let k = ret_slot_index cfg in
+  (List.init 3 (fun j -> if j = k then target else -1), [])
+
+(* The injected "shellcode" lives in the global username buffer: a
+   writable bss address the attacker both knows and fills. (The listing's
+   [dssn > 0] guard only accepts positive ints, which rules out 0xbfff...
+   stack addresses but not bss ones.) *)
+let shellcode = String.init 31 (fun k -> Char.chr (0x90 + (k land 1)))
+
+let inject_input m =
+  let cfg = Machine.config m in
+  let target = Machine.global_addr_exn m "uname_buf" in
+  let k = ret_slot_index cfg in
+  (List.init 3 (fun j -> if j = k then target else -1), [ shellcode ])
+
+let check_arc = C.expect_arc ~via:O.Return_address ~symbol:"system"
+
+let check_inject m (o : O.t) =
+  let expected = Machine.global_addr_exn m "uname_buf" in
+  match o.O.status with
+  | O.Code_injection { via = O.Return_address; target; tainted } when target = expected ->
+    if tainted && Driver.tainted m target 16 then
+      C.success "returned into attacker shellcode at 0x%08x in bss" target
+    else C.failure "return target not attacker-tainted"
+  | st -> C.failure "expected code injection at 0x%08x, got %a" expected O.pp_status st
+
+let attack =
+  C.make ~id:"L13-ret" ~listing:13 ~section:"3.6.1"
+    ~name:"stack smash of return address" ~segment:C.Stack
+    ~goal:"arc injection: return to system()"
+    ~program:(mk_program ~checked:false)
+    ~hardened:(mk_program ~checked:true)
+    ~mk_input:naive_input ~check:check_arc ()
+
+let bypass =
+  C.make ~id:"L13-bypass" ~listing:13 ~section:"3.6.1/5.2"
+    ~name:"selective overwrite leaving the canary intact" ~segment:C.Stack
+    ~goal:"rewrite only the return address; StackGuard must not notice"
+    ~program:(mk_program ~checked:false)
+    ~mk_input:bypass_input ~check:check_arc ()
+
+let inject =
+  C.make ~id:"L13-inject" ~listing:13 ~section:"3.6.2"
+    ~name:"return into injected code on the stack" ~segment:C.Stack
+    ~goal:"code injection: return into the attacker-filled object"
+    ~program:(mk_program ~checked:false)
+    ~mk_input:inject_input ~check:check_inject ()

@@ -1,0 +1,59 @@
+(** §3.7.1, Listing 14 — Modification of data/bss variables.
+
+    The global counter [noOfStudents] sits directly after the global
+    [stud1] in bss; placing a [GradStudent] at [&stud1] makes ssn[0] alias
+    it, so the attacker picks its value. Corrupting such bookkeeping
+    variables is the first step of the two-step array attacks of §4 and of
+    the DoS attacks of §4.4. *)
+
+open Pna_minicpp.Dsl
+module C = Catalog
+module D = Driver
+module O = Pna_minicpp.Outcome
+
+let attacker_count = 7777777
+
+let program_ =
+  program ~classes:Schema.base_classes
+    ~globals:
+      [
+        global "stud1" (cls "Student");
+        global "noOfStudents" int;
+        global "isGradStudent" int;
+      ]
+    (Schema.base_funcs
+    @ [
+        func "addStudent"
+          [
+            when_ (v "isGradStudent")
+              [
+                decli "st"
+                  (ptr (cls "GradStudent"))
+                  (pnew (addr (v "stud1")) (cls "GradStudent")
+                     [ fl 3.2; i 2010; i 2 ]);
+                expr (mcall (v "st") "setSSN" [ cin; cin; cin ]);
+              ];
+            set (v "noOfStudents") (v "noOfStudents" +: i 1);
+          ];
+        func "main"
+          [
+            set (v "isGradStudent") (i 1);
+            expr (call "addStudent" []);
+            ret (i 0);
+          ];
+      ])
+
+let check m (o : O.t) =
+  let n = D.global_u32 m "noOfStudents" in
+  (* the program increments after the overflow, so attacker value + 1 *)
+  if O.exited_normally o && n = attacker_count + 1 && D.global_tainted m "noOfStudents" 4
+  then C.success "noOfStudents forced to %d (expected 1)" n
+  else C.failure "noOfStudents=%d (status %a)" n O.pp_status o.O.status
+
+let attack =
+  C.make ~id:"L14-bssvar" ~listing:14 ~section:"3.7.1"
+    ~name:"modify data/bss variable" ~segment:C.Data_bss
+    ~goal:"set a global bookkeeping counter to an attacker-chosen value"
+    ~program:program_
+    ~mk_input:(fun _m -> ([ attacker_count; 0; 0 ], []))
+    ~check ()

@@ -1,0 +1,88 @@
+(** §3.7.2 + §4.4, Listing 15 — Overwriting a local variable on the stack.
+
+    The loop bound [n] is declared before the [Student] local, so it sits
+    above [stud] in the frame. Thanks to the Student's tail alignment,
+    ssn[0] lands in padding and ssn[1] lands exactly on [n] — the paper's
+    "Alignment Issues" paragraph. The program then runs a loop [n] times.
+
+    Three catalogue entries share the program:
+    - [attack]: force n = 40 (silent control-variable corruption)
+    - [dos]:    force n huge — the request never completes (§4.4)
+    - [skip]:   force n = 0 via an overflowing unsigned-looking negative,
+                skipping the loop entirely ("never taken", auth-bypass
+                flavour of §4.4) *)
+
+open Pna_minicpp.Dsl
+module C = Catalog
+module D = Driver
+module O = Pna_minicpp.Outcome
+
+let program_ =
+  program ~classes:Schema.base_classes
+    ~globals:[ global "isGradStudent" int; global "counter" int ]
+    (Schema.base_funcs
+    @ [
+        func "addStudent"
+          [
+            decli "n" int (i 5);
+            obj "stud" "Student" [];
+            when_ (v "isGradStudent")
+              [
+                decli "gs"
+                  (ptr (cls "GradStudent"))
+                  (pnew (addr (v "stud")) (cls "GradStudent") []);
+                (* ssn[0] falls in the alignment padding; ssn[1] is n *)
+                set (idx (arrow (v "gs") "ssn") (i 1)) cin;
+              ];
+            for_
+              (decli "j" int (i 0))
+              (v "j" <: v "n")
+              (set (v "j") (v "j" +: i 1))
+              [ set (v "counter") (v "counter" +: i 1) ];
+          ];
+        func "main"
+          [ set (v "isGradStudent") (i 1); expr (call "addStudent" []); ret (i 0) ];
+      ])
+
+let forced_n = 40
+
+let check_var m (o : O.t) =
+  let count = D.global_u32 m "counter" in
+  if O.exited_normally o && count = forced_n then
+    C.success "loop ran %d times instead of 5 (n overwritten via ssn[1])" count
+  else C.failure "counter=%d (status %a)" count O.pp_status o.O.status
+
+let check_dos _m (o : O.t) =
+  match o.O.status with
+  | O.Timeout { steps } ->
+    C.success "request never completed: interpreter budget (%d steps) exhausted" steps
+  | st -> C.failure "expected timeout, got %a" O.pp_status st
+
+let check_skip m (o : O.t) =
+  let count = D.global_u32 m "counter" in
+  if O.exited_normally o && count = 0 then
+    C.success "loop never taken: counter=0 (work/validation skipped)"
+  else C.failure "counter=%d (status %a)" count O.pp_status o.O.status
+
+let attack =
+  C.make ~id:"L15-var" ~listing:15 ~section:"3.7.2"
+    ~name:"overwrite local loop bound" ~segment:C.Stack
+    ~goal:"change a control variable in the running frame"
+    ~program:program_
+    ~mk_input:(fun _m -> ([ forced_n ], []))
+    ~check:check_var ()
+
+let dos =
+  C.make ~id:"L15-dos" ~listing:15 ~section:"4.4" ~name:"DoS via loop bound"
+    ~segment:C.Stack ~goal:"make the request loop effectively forever"
+    ~program:program_
+    ~mk_input:(fun _m -> ([ 0x3fffffff ], []))
+    ~check:check_dos ()
+
+let skip =
+  C.make ~id:"L15-skip" ~listing:15 ~section:"4.4"
+    ~name:"skip the loop entirely" ~segment:C.Stack
+    ~goal:"make a validation/accounting loop never run"
+    ~program:program_
+    ~mk_input:(fun _m -> ([ -2147483648 ], []))
+    ~check:check_skip ()

@@ -1,0 +1,55 @@
+(** §3.8.1, Listing 16 — Overwriting member variables of a stack object.
+
+    Two Student locals: [first] (with real data) is declared before
+    [stud], so it sits above it. Placing a GradStudent over [stud] makes
+    ssn[0]/ssn[1] alias [first.gpa]'s eight bytes. The program copies
+    first.gpa out to a global afterwards so the corruption is observable
+    after the frame dies. *)
+
+open Pna_minicpp.Dsl
+module C = Catalog
+module D = Driver
+module O = Pna_minicpp.Outcome
+
+let program_ =
+  program ~classes:Schema.base_classes
+    ~globals:[ global "isGradStudent" int; global "observed_gpa" double ]
+    (Schema.base_funcs
+    @ [
+        func "addStudent"
+          [
+            obj "first" "Student" [ fl 3.9; i 2008; i 2 ];
+            obj "stud" "Student" [];
+            when_ (v "isGradStudent")
+              [
+                decli "gs"
+                  (ptr (cls "GradStudent"))
+                  (pnew (addr (v "stud")) (cls "GradStudent") []);
+                set (idx (arrow (v "gs") "ssn") (i 0)) cin;
+                set (idx (arrow (v "gs") "ssn") (i 1)) cin;
+              ];
+            set (v "observed_gpa") (fld (v "first") "gpa");
+          ];
+        func "main"
+          [ set (v "isGradStudent") (i 1); expr (call "addStudent" []); ret (i 0) ];
+      ])
+
+let check m (o : O.t) =
+  let lo = D.global_u32 m "observed_gpa" in
+  let hi = D.global_u32 ~off:4 m "observed_gpa" in
+  if
+    O.exited_normally o && lo = Schema.junk0 && hi = Schema.junk1
+    && D.global_tainted m "observed_gpa" 8
+  then
+    C.success "first.gpa bit pattern replaced with 0x%08x%08x (was 3.9)" hi lo
+  else
+    C.failure "first.gpa = %g (status %a)" (D.global_f64 m "observed_gpa")
+      O.pp_status o.O.status
+
+let attack =
+  C.make ~id:"L16-member" ~listing:16 ~section:"3.8.1"
+    ~name:"overwrite member of adjacent stack object" ~segment:C.Stack
+    ~goal:"rewrite another object's field through the overflow"
+    ~program:program_
+    ~mk_input:(fun _m -> ([ Schema.junk0; Schema.junk1 ], []))
+    ~check ()

@@ -1,0 +1,46 @@
+(** §3.9, Listing 17 — Function pointer subterfuge.
+
+    A function pointer local is declared before [stud], initialised to
+    NULL so the guarded call site is dead code. The overflow writes the
+    address of [grant_admin] — a real function that was never supposed to
+    run in this context — into the pointer, and the guard now passes. *)
+
+open Pna_minicpp.Dsl
+module C = Catalog
+module Machine = Pna_machine.Machine
+module O = Pna_minicpp.Outcome
+
+let program_ =
+  program ~classes:Schema.base_classes
+    ~globals:[ global "isGradStudent" int; global "admin" int ]
+    (Schema.base_funcs
+    @ [
+        (* privileged operation, reachable only through the hijack *)
+        func "grant_admin" [ set (v "admin") (i 1) ];
+        func "addStudent"
+          [
+            decli "createStudentAccount" fun_ptr null;
+            obj "stud" "Student" [];
+            when_ (v "isGradStudent")
+              [
+                decli "gs"
+                  (ptr (cls "GradStudent"))
+                  (pnew (addr (v "stud")) (cls "GradStudent") []);
+                (* ssn[1] aliases the function pointer (§3.7.2 layout) *)
+                set (idx (arrow (v "gs") "ssn") (i 1)) cin;
+              ];
+            when_
+              (v "createStudentAccount" <>: null)
+              [ expr (fpcall (v "createStudentAccount") []) ];
+          ];
+        func "main"
+          [ set (v "isGradStudent") (i 1); expr (call "addStudent" []); ret (i 0) ];
+      ])
+
+let attack =
+  C.make ~id:"L17-funptr" ~listing:17 ~section:"3.9"
+    ~name:"function pointer subterfuge" ~segment:C.Stack
+    ~goal:"invoke a method that was not supposed to be called"
+    ~program:program_
+    ~mk_input:(fun m -> ([ Machine.function_addr m "grant_admin" ], []))
+    ~check:(C.expect_arc ~via:O.Function_pointer ~symbol:"grant_admin") ()

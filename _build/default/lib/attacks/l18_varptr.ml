@@ -1,0 +1,55 @@
+(** §3.10, Listing 18 — Variable pointer subterfuge.
+
+    The global [name] pointer sits right after the global [stud]; ssn[0]
+    of the placed GradStudent aliases it. The attacker repoints [name] at
+    the [authenticated] flag, and the program's own "store the user's
+    name" strcpy then writes attacker bytes through the hijacked pointer. *)
+
+open Pna_minicpp.Dsl
+module C = Catalog
+module D = Driver
+module Machine = Pna_machine.Machine
+module O = Pna_minicpp.Outcome
+
+let program_ =
+  program ~classes:Schema.base_classes
+    ~globals:
+      [
+        global "stud" (cls "Student");
+        global "name" char_p;
+        global "authenticated" int;
+      ]
+    (Schema.base_funcs
+    @ [
+        func "main"
+          [
+            set (v "name") (new_arr char (i 16));
+            decli "st"
+              (ptr (cls "GradStudent"))
+              (pnew (addr (v "stud")) (cls "GradStudent") []);
+            (* ssn[0] overwrites the pointer variable [name] *)
+            set (idx (arrow (v "st") "ssn") (i 0)) cin;
+            (* the program later saves the user's name through [name] *)
+            expr (call "strcpy" [ v "name"; cin_str ]);
+            ret (i 0);
+          ];
+      ])
+
+let check m (o : O.t) =
+  let auth = D.global_u32 m "authenticated" in
+  let name_ptr = D.global_u32 m "name" in
+  if
+    O.exited_normally o && auth <> 0
+    && name_ptr = D.global_addr m "authenticated"
+    && D.global_tainted m "authenticated" 4
+  then C.success "name pointer hijacked to &authenticated; flag now 0x%08x" auth
+  else C.failure "authenticated=0x%08x (status %a)" auth O.pp_status o.O.status
+
+let attack =
+  C.make ~id:"L18-varptr" ~listing:18 ~section:"3.10"
+    ~name:"variable pointer subterfuge" ~segment:C.Data_bss
+    ~goal:"write attacker bytes through a hijacked data pointer"
+    ~program:program_
+    ~mk_input:(fun m ->
+      ([ Machine.global_addr_exn m "authenticated" ], [ "\001\001\001" ]))
+    ~check ()

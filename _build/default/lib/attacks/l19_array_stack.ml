@@ -1,0 +1,91 @@
+(** §4.1, Listing 19 — Two-step stack overflow using arrays.
+
+    Step 1: the object overflow rewrites the local [n_unames] *after* the
+    [n_unames > n_students] check already passed, so the placement-new
+    array carved from the 64-byte stack pool is larger than the pool.
+    Step 2: a perfectly ordinary strncpy with the corrupted bound copies
+    the attacker's username string across the saved frame pointer and
+    return address. The string is the address of system() repeated, so
+    whatever 4-byte slot the return slot falls on, it reads system(). *)
+
+open Pna_minicpp.Dsl
+module C = Catalog
+module Machine = Pna_machine.Machine
+module O = Pna_minicpp.Outcome
+
+let uname_entry = 8 (* UNAME_SIZE + 1 *)
+
+let mk_program ~checked =
+  let place_grad =
+    [
+      decli "gs"
+        (ptr (cls "GradStudent"))
+        (pnew (addr (v "stud")) (cls "GradStudent") []);
+      (* read st->ssn[] "to validate a grad student" (paper) —
+         ssn[0] aliases n_unames *)
+      set (idx (arrow (v "gs") "ssn") (i 0)) cin;
+    ]
+  in
+  let body =
+    [
+      decl "mem_pool" (char_arr 64);
+      decli "n_unames" int (i 0);
+      obj "stud" "Student" [];
+      set (v "n_unames") cin;
+      when_ (v "n_unames" >: v "n_students") [ ret0 ];
+      when_ (v "isGradStudent")
+        (if checked then
+           (* §5.1: size-check the object placement itself *)
+           [
+             if_
+               (sizeof (cls "GradStudent") <=: sizeof (cls "Student"))
+               place_grad
+               [ expr cin (* still consume the validation input *) ];
+           ]
+         else place_grad);
+    ]
+    @ (if checked then
+         (* §5.1: re-validate the bound at the point of use *)
+         [ when_ (v "n_unames" >: v "n_students") [ ret0 ] ]
+       else [])
+    @ [
+        decli "buf" char_p
+          (pnew_arr (v "mem_pool") char (v "n_unames" *: i uname_entry));
+        expr (call "strncpy" [ v "buf"; v "uname"; v "n_unames" *: i uname_entry ]);
+      ]
+  in
+  program ~classes:Schema.base_classes
+    ~globals:
+      [ global "n_students" ~init:(Ival 8) int; global "isGradStudent" int ]
+    (Schema.base_funcs
+    @ [
+        func "sortAndAddUname" ~params:[ ("uname", char_p) ] body;
+        func "main"
+          [
+            set (v "isGradStudent") (i 1);
+            expr (call "sortAndAddUname" [ cin_str ]);
+            ret (i 0);
+          ];
+      ])
+
+(* A username that is really system()'s address over and over (no NUL
+   bytes, so strncpy keeps copying). *)
+let mk_input m =
+  let target = Machine.function_addr m "system" in
+  let le =
+    String.init 4 (fun k -> Char.chr ((target lsr (8 * k)) land 0xff))
+  in
+  let forced_n = 10 in
+  let payload = String.concat "" (List.init (forced_n * 2) (fun _ -> le)) in
+  (* first cin: a plausible count that passes the check; second: ssn[0]
+     forcing n_unames to 10 entries = 80 bytes from a 64-byte pool *)
+  ([ 5; forced_n ], [ payload ])
+
+let attack =
+  C.make ~id:"L19-arrstack" ~listing:19 ~section:"4.1"
+    ~name:"two-step array overflow on the stack" ~segment:C.Stack
+    ~goal:"corrupt the pool bound, then smash the return address via strncpy"
+    ~program:(mk_program ~checked:false)
+    ~hardened:(mk_program ~checked:true)
+    ~mk_input
+    ~check:(C.expect_arc ~via:O.Return_address ~symbol:"system") ()

@@ -1,0 +1,74 @@
+(** §4.2, Listing 20 — Two-step array overflow in bss.
+
+    Same two-step pattern as Listing 19, but the pool is a global: after
+    the object overflow corrupts [n_unames], the strncpy runs past the
+    64-byte pool and rewrites the adjacent globals [n_staff] and
+    [payroll_budget]. *)
+
+open Pna_minicpp.Dsl
+module C = Catalog
+module D = Driver
+module O = Pna_minicpp.Outcome
+
+let forced_staff = 0x31313131 (* "1111" *)
+let forced_budget = 0x39393939 (* "9999" *)
+
+let program_ =
+  program ~classes:Schema.base_classes
+    ~globals:
+      [
+        global "mem_pool" (char_arr 64);
+        global "n_staff" int;
+        global "payroll_budget" int;
+        global "n_students" ~init:(Ival 8) int;
+        global "isGradStudent" int;
+      ]
+    (Schema.base_funcs
+    @ [
+        func "sortAndAddUname" ~params:[ ("uname", char_p) ]
+          [
+            decli "n_unames" int (i 0);
+            obj "stud" "Student" [];
+            set (v "n_unames") cin;
+            when_ (v "n_unames" >: v "n_students") [ ret0 ];
+            when_ (v "isGradStudent")
+              [
+                decli "gs"
+                  (ptr (cls "GradStudent"))
+                  (pnew (addr (v "stud")) (cls "GradStudent") []);
+                set (idx (arrow (v "gs") "ssn") (i 0)) cin;
+              ];
+            decli "buf" char_p
+              (pnew_arr (v "mem_pool") char (v "n_unames" *: i 8));
+            expr (call "strncpy" [ v "buf"; v "uname"; v "n_unames" *: i 8 ]);
+          ];
+        func "main"
+          [
+            set (v "isGradStudent") (i 1);
+            expr (call "sortAndAddUname" [ cin_str ]);
+            ret (i 0);
+          ];
+      ])
+
+let check m (o : O.t) =
+  let staff = D.global_u32 m "n_staff" in
+  let budget = D.global_u32 m "payroll_budget" in
+  if
+    O.exited_normally o && staff = forced_staff && budget = forced_budget
+    && D.global_tainted m "n_staff" 8
+  then C.success "bss globals rewritten: n_staff=0x%08x budget=0x%08x" staff budget
+  else
+    C.failure "n_staff=0x%08x budget=0x%08x (status %a)" staff budget O.pp_status
+      o.O.status
+
+let attack =
+  C.make ~id:"L20-arrbss" ~listing:20 ~section:"4.2"
+    ~name:"two-step array overflow in bss" ~segment:C.Data_bss
+    ~goal:"overflow a global pool onto adjacent globals"
+    ~program:program_
+    ~mk_input:(fun _m ->
+      (* 72 bytes: 64 filler + n_staff + payroll_budget *)
+      let filler = String.make 64 'u' in
+      let word w = String.init 4 (fun k -> Char.chr ((w lsr (8 * k)) land 0xff)) in
+      ([ 5; 9 ], [ filler ^ word forced_staff ^ word forced_budget ]))
+    ~check ()

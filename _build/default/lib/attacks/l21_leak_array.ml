@@ -1,0 +1,53 @@
+(** §4.3, Listing 21 — Information leakage via arrays.
+
+    A password file is read into a 64-byte pool; later the pool is reused
+    for user data with placement new. Placement new does not sanitize the
+    arena, so when the user supplies a short string, the bytes past it
+    still hold the password file, and the program's own store() ships them
+    out. *)
+
+open Pna_minicpp.Dsl
+module C = Catalog
+module D = Driver
+module O = Pna_minicpp.Outcome
+
+let secret = "root:x:0:0:SECRET-TOKEN-1337:/root:/bin/bash\n"
+
+let mk_program ~checked =
+  program
+    ~globals:
+      [
+        (* "mmap/read a password file to mem_pool" — modelled by the
+           initializer *)
+        global "mem_pool" ~init:(Sval secret) (char_arr 64);
+        global "userdata" char_p;
+      ]
+    [
+      func "main"
+        ((if checked then
+            (* §5.1: sanitize before reuse *)
+            [ expr (call "memset" [ v "mem_pool"; i 0; i 64 ]) ]
+          else [])
+        @ [
+            (* MAX_USERDATA (32) <= SIZE (64) *)
+            set (v "userdata") (pnew_arr (v "mem_pool") char (i 32));
+            expr (call "strncpy" [ v "userdata"; cin_str; i 8 ]);
+            expr (call "store" [ v "userdata"; i 64 ]);
+            ret (i 0);
+          ]);
+    ]
+
+let check _m (o : O.t) =
+  if D.output_contains o "SECRET-TOKEN-1337" then
+    C.success "password-file bytes left in the pool reached store()"
+  else
+    C.failure "no secret in stored output (status %a)" O.pp_status o.O.status
+
+let attack =
+  C.make ~id:"L21-leakarr" ~listing:21 ~section:"4.3"
+    ~name:"information leakage via array placement" ~segment:C.Data_bss
+    ~goal:"exfiltrate stale secret bytes past a short user string"
+    ~program:(mk_program ~checked:false)
+    ~hardened:(mk_program ~checked:true)
+    ~mk_input:(fun _m -> ([], [ "bob" ]))
+    ~check ()

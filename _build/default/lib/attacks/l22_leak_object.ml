@@ -1,0 +1,52 @@
+(** §4.3, Listing 22 — Information leakage via objects.
+
+    A GradStudent (with SSN) is heap-allocated; its arena is later reused
+    for a plain Student via placement new. The Student's constructor only
+    initializes the first 16 bytes, so the SSN survives in the tail and is
+    shipped out when the object is serialized. *)
+
+open Pna_minicpp.Dsl
+module C = Catalog
+module D = Driver
+module O = Pna_minicpp.Outcome
+
+let ssn0 = 123456789
+let ssn1 = 987654321
+let ssn2 = 55555
+
+let mk_program ~checked =
+  program ~classes:Schema.base_classes
+    ~globals:[ global "gst" (ptr (cls "GradStudent")) ]
+    (Schema.base_funcs
+    @ [
+        func "main"
+          ([
+             set (v "gst") (new_ (cls "GradStudent") []);
+             expr (mcall (v "gst") "setSSN" [ i ssn0; i ssn1; i ssn2 ]);
+           ]
+          @ (if checked then
+               [ expr (call "memset" [ v "gst"; i 0; sizeof (cls "GradStudent") ]) ]
+             else [])
+          @ [
+              decli "st" (ptr (cls "Student")) (pnew (v "gst") (cls "Student") []);
+              (* store(st): serializes the arena starting at st *)
+              expr (call "store" [ v "st"; sizeof (cls "GradStudent") ]);
+              ret (i 0);
+            ]);
+      ])
+
+let le_bytes w = String.init 4 (fun k -> Char.chr ((w lsr (8 * k)) land 0xff))
+
+let check _m (o : O.t) =
+  if D.output_contains o (le_bytes ssn0) && D.output_contains o (le_bytes ssn1)
+  then C.success "SSN bytes survived the placement and were serialized out"
+  else C.failure "no SSN in serialized output (status %a)" O.pp_status o.O.status
+
+let attack =
+  C.make ~id:"L22-leakobj" ~listing:22 ~section:"4.3"
+    ~name:"information leakage via object placement" ~segment:C.Heap
+    ~goal:"read a previous object's secret fields through the reused arena"
+    ~program:(mk_program ~checked:false)
+    ~hardened:(mk_program ~checked:true)
+    ~mk_input:(fun _m -> ([], []))
+    ~check ()

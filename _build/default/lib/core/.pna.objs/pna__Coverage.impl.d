@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Fmt Hashtbl List Option Pna_minicpp

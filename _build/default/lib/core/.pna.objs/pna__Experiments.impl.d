@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Fmt List Option Pna_analysis Pna_attacks Pna_defense Pna_machine Pna_minicpp Random String Workloads

@@ -1,0 +1,1 @@
+lib/core/workloads.ml: Pna_attacks Pna_defense Pna_minicpp

@@ -1,0 +1,71 @@
+(** Statement-level execution profiling over the interpreter's [on_stmt]
+    hook: which functions ran, how many statements of each kind, how much
+    of the program text was exercised. Used by `pna_cli trace` and handy
+    when debugging why an attack input didn't reach its placement. *)
+
+module Ast = Pna_minicpp.Ast
+
+type t = {
+  per_func : (string, int) Hashtbl.t;  (** executed statements per function *)
+  per_kind : (string, int) Hashtbl.t;
+  mutable total : int;
+}
+
+let create () =
+  { per_func = Hashtbl.create 8; per_kind = Hashtbl.create 8; total = 0 }
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0)
+
+(** The [on_stmt] hook feeding this collector. *)
+let hook t func stmt =
+  t.total <- t.total + 1;
+  bump t.per_func func;
+  bump t.per_kind (Ast.stmt_kind stmt)
+
+let collector () =
+  let t = create () in
+  (t, hook t)
+
+(* static statement count of a function body, for coverage ratios *)
+let static_stmts body =
+  Ast.fold_stmts (fun acc _ -> acc + 1) (fun acc _ -> acc) 0 body
+
+type func_row = {
+  cf_name : string;
+  cf_executed : int;  (** dynamic count: statements run, with repeats *)
+  cf_static : int;  (** statements in the body *)
+  cf_entered : bool;
+}
+
+(** Per-function report against the program's static shape. *)
+let report t (prog : Ast.program) =
+  List.map
+    (fun fn ->
+      let executed =
+        Option.value (Hashtbl.find_opt t.per_func fn.Ast.fn_name) ~default:0
+      in
+      {
+        cf_name = fn.Ast.fn_name;
+        cf_executed = executed;
+        cf_static = static_stmts fn.Ast.fn_body;
+        cf_entered = executed > 0;
+      })
+    prog.Ast.p_funcs
+
+let functions_entered t = Hashtbl.length t.per_func
+
+let pp ppf (t, prog) =
+  Fmt.pf ppf "@[<v>%d statements executed across %d function(s)@," t.total
+    (functions_entered t);
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "  %-28s %6d executed (%d in body)%s@," r.cf_name r.cf_executed
+        r.cf_static
+        (if r.cf_entered then "" else "  [never entered]"))
+    (report t prog);
+  Fmt.pf ppf "by kind:@,";
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.per_kind []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.iter (fun (k, v) -> Fmt.pf ppf "  %-14s %6d@," k v);
+  Fmt.pf ppf "@]"

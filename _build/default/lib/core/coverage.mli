@@ -1,0 +1,27 @@
+(** Statement-level execution profiling over the interpreter's [on_stmt]
+    hook: which functions ran, how many statements of each kind. *)
+
+type t = {
+  per_func : (string, int) Hashtbl.t;
+  per_kind : (string, int) Hashtbl.t;
+  mutable total : int;
+}
+
+val create : unit -> t
+
+val hook : t -> string -> Pna_minicpp.Ast.stmt -> unit
+(** Feed this to {!Pna_minicpp.Interp.run}'s [on_stmt]. *)
+
+val collector : unit -> t * (string -> Pna_minicpp.Ast.stmt -> unit)
+(** A fresh collector and its hook, in one call. *)
+
+type func_row = {
+  cf_name : string;
+  cf_executed : int;  (** dynamic count, with repeats *)
+  cf_static : int;  (** statements in the body *)
+  cf_entered : bool;
+}
+
+val report : t -> Pna_minicpp.Ast.program -> func_row list
+val functions_entered : t -> int
+val pp : Format.formatter -> t * Pna_minicpp.Ast.program -> unit

@@ -1,0 +1,1 @@
+lib/defense/config.ml: Fmt Fun List

@@ -1,0 +1,106 @@
+(** Defense configurations (§5 of the paper).
+
+    A configuration selects which protection mechanisms the simulated
+    machine applies while a program runs. The experiment harness sweeps
+    attacks against these configurations to regenerate the paper's
+    qualitative results: StackGuard catches the naive smash but not the
+    selective overwrite; bounds-checked placement and the shadow stack stop
+    the respective attack families; sanitization stops the information
+    leaks. *)
+
+type t = {
+  name : string;
+  save_frame_pointer : bool;
+      (** push the caller's frame pointer below the return address *)
+  stack_protector : bool;
+      (** StackGuard: canary word between locals and control data, verified
+          at function epilogue (Cowan et al., gcc -fstack-protector) *)
+  shadow_stack : bool;
+      (** return-address stack kept outside the addressable image; a return
+          to any other address is blocked (§5.2 "return address stack") *)
+  bounds_check_placement : bool;
+      (** libsafe-style interposition on placement new: refuse to place an
+          object larger than the arena backing the target address (§5.1
+          "correct coding" enforced at runtime) *)
+  sanitize_on_place : bool;
+      (** memset the arena before reuse, closing the §4.3 information
+          leaks *)
+  placement_delete : bool;
+      (** track pool occupancy and reclaim the full arena on delete,
+          closing the §4.5 memory leaks *)
+  nx_stack : bool;  (** non-executable stack: code injection faults *)
+  strict_alignment : bool;
+      (** fault on misaligned placement, as a strict-alignment ISA would
+          (§2.5: "it may lead to incorrect semantics, and to program
+          termination") *)
+  canary_value : int;
+}
+
+let baseline =
+  {
+    name = "none";
+    save_frame_pointer = true;
+    stack_protector = false;
+    shadow_stack = false;
+    bounds_check_placement = false;
+    sanitize_on_place = false;
+    placement_delete = false;
+    nx_stack = false;
+    strict_alignment = false;
+    canary_value = 0x000aff0d;
+    (* terminator-style canary: contains NUL, CR-ish bytes *)
+  }
+
+let none = baseline
+let stackguard = { baseline with name = "stackguard"; stack_protector = true }
+
+let shadow_stack =
+  { baseline with name = "shadow-stack"; shadow_stack = true }
+
+let bounds_check =
+  { baseline with name = "bounds-check"; bounds_check_placement = true }
+
+let sanitize = { baseline with name = "sanitize"; sanitize_on_place = true }
+
+let pool_discipline =
+  { baseline with name = "pool-discipline"; placement_delete = true }
+
+let nx = { baseline with name = "nx-stack"; nx_stack = true }
+
+let strict_align =
+  { baseline with name = "strict-align"; strict_alignment = true }
+
+let full =
+  {
+    baseline with
+    name = "full";
+    stack_protector = true;
+    shadow_stack = true;
+    bounds_check_placement = true;
+    sanitize_on_place = true;
+    placement_delete = true;
+    nx_stack = true;
+    strict_alignment = true;
+  }
+
+(** The sweep used by experiment E8's attack-by-defense matrix. *)
+let all = [ none; stackguard; shadow_stack; bounds_check; sanitize; nx; full ]
+
+let by_name n =
+  List.find_opt (fun c -> c.name = n) (pool_discipline :: strict_align :: all)
+
+let pp ppf t =
+  let flag b s = if b then Some s else None in
+  let flags =
+    List.filter_map Fun.id
+      [
+        flag t.stack_protector "stackguard";
+        flag t.shadow_stack "shadow-stack";
+        flag t.bounds_check_placement "bounds-check";
+        flag t.sanitize_on_place "sanitize";
+        flag t.placement_delete "pool-discipline";
+        flag t.nx_stack "nx";
+        flag t.strict_alignment "strict-align";
+      ]
+  in
+  Fmt.pf ppf "%s{%a}" t.name (Fmt.list ~sep:Fmt.comma Fmt.string) flags

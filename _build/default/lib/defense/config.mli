@@ -1,0 +1,34 @@
+(** Defense configurations (§5 of the paper): which protection mechanisms
+    the simulated machine applies while a program runs. *)
+
+type t = {
+  name : string;
+  save_frame_pointer : bool;
+  stack_protector : bool;  (** StackGuard canary, verified at epilogue *)
+  shadow_stack : bool;  (** out-of-band return-address stack (§5.2) *)
+  bounds_check_placement : bool;  (** libsafe-style placement interposition *)
+  sanitize_on_place : bool;  (** wipe the arena before reuse (§4.3) *)
+  placement_delete : bool;  (** pool discipline closing §4.5 leaks *)
+  nx_stack : bool;  (** writable segments are not executable *)
+  strict_alignment : bool;  (** fault on misaligned placement (§2.5) *)
+  canary_value : int;
+}
+
+val none : t
+(** Everything off (frame pointer still saved) — the paper's target. *)
+
+val stackguard : t
+val shadow_stack : t
+val bounds_check : t
+val sanitize : t
+val pool_discipline : t
+val nx : t
+val strict_align : t
+val full : t
+
+val all : t list
+(** The E8 sweep: none, stackguard, shadow-stack, bounds-check, sanitize,
+    nx-stack, full. *)
+
+val by_name : string -> t option
+val pp : Format.formatter -> t -> unit

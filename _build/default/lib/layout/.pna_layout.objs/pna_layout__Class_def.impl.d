@@ -1,0 +1,1 @@
+lib/layout/class_def.ml: Ctype Fmt List Option

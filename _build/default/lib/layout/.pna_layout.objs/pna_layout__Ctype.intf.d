@@ -1,0 +1,1 @@
+lib/layout/ctype.mli: Format

@@ -1,0 +1,1 @@
+lib/layout/layout.ml: Class_def Ctype Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/layout/layout.mli: Class_def Ctype Format Hashtbl

@@ -1,0 +1,50 @@
+(** Source-level C++ class definitions.
+
+    A class has an ordered list of base classes (single or multiple
+    inheritance), an ordered list of member fields, and a method table.
+    A method is identified by its source name; its implementation is a
+    symbol resolved by the machine's text table at load time (for virtual
+    methods the symbol ends up in the vtable, which is exactly the data an
+    attacker corrupts in the paper's "virtual table pointer subterfuge"). *)
+
+type meth = {
+  m_name : string;
+  m_virtual : bool;
+  m_impl : string;  (** text-table symbol of the implementation *)
+}
+
+type t = {
+  c_name : string;
+  c_bases : string list;
+  c_fields : (string * Ctype.t) list;
+  c_methods : meth list;
+}
+
+let v ?(bases = []) ?(methods = []) name fields =
+  { c_name = name; c_bases = bases; c_fields = fields; c_methods = methods }
+
+let virtual_method ?impl name =
+  let impl = Option.value impl ~default:name in
+  { m_name = name; m_virtual = true; m_impl = impl }
+
+let plain_method ?impl name =
+  let impl = Option.value impl ~default:name in
+  { m_name = name; m_virtual = false; m_impl = impl }
+
+let find_method t name = List.find_opt (fun m -> m.m_name = name) t.c_methods
+
+let has_own_virtual t = List.exists (fun m -> m.m_virtual) t.c_methods
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v2>class %s%a {@,%a%a@]@,}" t.c_name
+    (fun ppf -> function
+      | [] -> ()
+      | bs -> Fmt.pf ppf " : %a" (Fmt.list ~sep:Fmt.comma Fmt.string) bs)
+    t.c_bases
+    (Fmt.list ~sep:Fmt.cut (fun ppf (n, ty) -> Fmt.pf ppf "%a %s;" Ctype.pp ty n))
+    t.c_fields
+    (Fmt.list ~sep:Fmt.cut (fun ppf m ->
+         Fmt.pf ppf "%s%s() -> %s;"
+           (if m.m_virtual then "virtual " else "")
+           m.m_name m.m_impl))
+    t.c_methods

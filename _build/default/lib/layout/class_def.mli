@@ -1,0 +1,30 @@
+(** Source-level C++ class definitions: ordered bases, ordered fields, and
+    a method table whose implementations are text-table symbols. *)
+
+type meth = {
+  m_name : string;
+  m_virtual : bool;
+  m_impl : string;  (** text-table symbol of the implementation *)
+}
+
+type t = {
+  c_name : string;
+  c_bases : string list;
+  c_fields : (string * Ctype.t) list;
+  c_methods : meth list;
+}
+
+val v :
+  ?bases:string list ->
+  ?methods:meth list ->
+  string ->
+  (string * Ctype.t) list ->
+  t
+
+val virtual_method : ?impl:string -> string -> meth
+(** [impl] defaults to the method name. *)
+
+val plain_method : ?impl:string -> string -> meth
+val find_method : t -> string -> meth option
+val has_own_virtual : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+(** The C/C++ type algebra of the simulated machine.
+
+    The model is ILP32: [int], [long] and all pointers are 4 bytes,
+    [double] is 8 bytes with natural (8-byte) alignment. This matches the
+    paper's assumption that "the size of each of the addresses (frame
+    pointer) and the canary is same as the size of an int (4 bytes in
+    Ubuntu Linux)". Class sizes depend on the class environment and live in
+    {!Layout}. *)
+
+type t =
+  | Void
+  | Char
+  | Uchar
+  | Bool
+  | Short
+  | Ushort
+  | Int
+  | Uint
+  | Float
+  | Double
+  | Ptr of t
+  | Fun_ptr
+  | Class of string
+  | Array of t * int
+
+let rec pp ppf = function
+  | Void -> Fmt.string ppf "void"
+  | Char -> Fmt.string ppf "char"
+  | Uchar -> Fmt.string ppf "unsigned char"
+  | Bool -> Fmt.string ppf "bool"
+  | Short -> Fmt.string ppf "short"
+  | Ushort -> Fmt.string ppf "unsigned short"
+  | Int -> Fmt.string ppf "int"
+  | Uint -> Fmt.string ppf "unsigned int"
+  | Float -> Fmt.string ppf "float"
+  | Double -> Fmt.string ppf "double"
+  | Ptr t -> Fmt.pf ppf "%a*" pp t
+  | Fun_ptr -> Fmt.string ppf "void(*)()"
+  | Class n -> Fmt.string ppf n
+  | Array (t, n) -> Fmt.pf ppf "%a[%d]" pp t n
+
+let to_string t = Fmt.str "%a" pp t
+
+(* Size and alignment of non-class types; class types are resolved by
+   {!Layout.sizeof} which closes the recursion through the environment. *)
+
+let scalar_size = function
+  | Void -> 0
+  | Char | Uchar | Bool -> 1
+  | Short | Ushort -> 2
+  | Int | Uint | Float -> 4
+  | Ptr _ | Fun_ptr -> 4
+  | Double -> 8
+  | Class _ | Array _ -> invalid_arg "Ctype.scalar_size: aggregate type"
+
+let is_scalar = function Class _ | Array _ -> false | _ -> true
+
+let is_integer = function
+  | Char | Uchar | Bool | Short | Ushort | Int | Uint -> true
+  | _ -> false
+
+let is_signed = function
+  | Char | Short | Int -> true
+  | _ -> false
+
+let is_float = function Float | Double -> true | _ -> false
+
+let rec strip_arrays = function Array (t, _) -> strip_arrays t | t -> t
+
+let element = function
+  | Array (t, _) -> t
+  | Ptr t -> t
+  | t -> Fmt.invalid_arg "Ctype.element: %a has no element type" pp t
+
+let equal (a : t) (b : t) = a = b

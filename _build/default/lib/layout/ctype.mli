@@ -1,0 +1,39 @@
+(** The C/C++ type algebra of the simulated machine (ILP32: int/long and
+    pointers are 4 bytes, double is 8 with natural alignment). *)
+
+type t =
+  | Void
+  | Char
+  | Uchar
+  | Bool
+  | Short
+  | Ushort
+  | Int
+  | Uint
+  | Float
+  | Double
+  | Ptr of t
+  | Fun_ptr
+  | Class of string
+  | Array of t * int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val scalar_size : t -> int
+(** Size of a non-class type. @raise Invalid_argument on aggregates; use
+    {!Layout.sizeof} for those. *)
+
+val is_scalar : t -> bool
+val is_integer : t -> bool
+val is_signed : t -> bool
+val is_float : t -> bool
+
+val strip_arrays : t -> t
+(** The ultimate element type of possibly-nested arrays. *)
+
+val element : t -> t
+(** Element type of an array or pointee of a pointer.
+    @raise Invalid_argument otherwise. *)
+
+val equal : t -> t -> bool

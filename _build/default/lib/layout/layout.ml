@@ -1,0 +1,200 @@
+(** Object layout computation (Itanium-flavoured, ILP32).
+
+    Rules implemented:
+    - a polymorphic class with no polymorphic primary base gets a vtable
+      pointer as its first (hidden) member at offset 0;
+    - base-class subobjects are laid out first, in declaration order, each
+      aligned to its own alignment; the first base is the primary base and
+      shares its vtable pointer with the derived class;
+    - member fields follow in declaration order, each aligned naturally;
+    - the class size is rounded up to the class alignment (tail padding);
+      an empty class occupies one byte.
+
+    Tail padding is load-bearing for the paper: §3.7.2 ("Alignment Issues")
+    relies on a derived-class field landing inside what was only padding of
+    the base-class instance. *)
+
+type field = { f_name : string; f_offset : int; f_type : Ctype.t }
+
+type t = {
+  l_class : string;
+  l_size : int;
+  l_align : int;
+  l_vptrs : int list;  (** offsets of vtable pointers, ascending *)
+  l_fields : field list;  (** flattened, in offset order, inherited first *)
+  l_vtable : (string * string) list;  (** slot order: (method, impl symbol) *)
+  l_bases : (string * int) list;  (** base class -> subobject offset *)
+}
+
+type env = {
+  classes : (string, Class_def.t) Hashtbl.t;
+  layouts : (string, t) Hashtbl.t;
+}
+
+let create_env () = { classes = Hashtbl.create 16; layouts = Hashtbl.create 16 }
+
+let define env (c : Class_def.t) =
+  if Hashtbl.mem env.classes c.Class_def.c_name then
+    Fmt.invalid_arg "Layout.define: duplicate class %s" c.Class_def.c_name;
+  Hashtbl.replace env.classes c.Class_def.c_name c
+
+let find_class env name =
+  match Hashtbl.find_opt env.classes name with
+  | Some c -> c
+  | None -> Fmt.invalid_arg "Layout: unknown class %s" name
+
+let round_up x a = (x + a - 1) / a * a
+
+let rec polymorphic env name =
+  let c = find_class env name in
+  Class_def.has_own_virtual c || List.exists (polymorphic env) c.Class_def.c_bases
+
+(* The vtable of a class: start from the primary-base slots (overriding
+   impls where the derived class redefines a virtual), then append slots for
+   virtuals introduced by this class. Non-primary-base slots are folded into
+   the same table; the simulation does not model thunks, which none of the
+   paper's attacks require. *)
+let rec vtable_slots env name =
+  let c = find_class env name in
+  let inherited =
+    List.concat_map (fun b -> vtable_slots env b) c.Class_def.c_bases
+  in
+  let deduped =
+    List.fold_left
+      (fun acc (m, impl) -> if List.mem_assoc m acc then acc else acc @ [ (m, impl) ])
+      [] inherited
+  in
+  let overridden =
+    List.map
+      (fun (m, impl) ->
+        match Class_def.find_method c m with
+        | Some meth when meth.Class_def.m_virtual -> (m, meth.Class_def.m_impl)
+        | Some _ | None -> (m, impl))
+      deduped
+  in
+  let fresh =
+    List.filter_map
+      (fun (meth : Class_def.meth) ->
+        if meth.m_virtual && not (List.mem_assoc meth.m_name overridden) then
+          Some (meth.m_name, meth.m_impl)
+        else None)
+      c.Class_def.c_methods
+  in
+  overridden @ fresh
+
+let rec of_class env name =
+  match Hashtbl.find_opt env.layouts name with
+  | Some l -> l
+  | None ->
+    let l = compute env name in
+    Hashtbl.replace env.layouts name l;
+    l
+
+and sizeof env = function
+  | Ctype.Class n -> (of_class env n).l_size
+  | Ctype.Array (t, n) -> n * sizeof env t
+  | t -> Ctype.scalar_size t
+
+and alignof env = function
+  | Ctype.Class n -> (of_class env n).l_align
+  | Ctype.Array (t, _) -> alignof env t
+  | t -> Ctype.scalar_size t
+
+and compute env name =
+  let c = find_class env name in
+  let cur = ref 0 and align = ref 1 in
+  let vptrs = ref [] and fields = ref [] and bases = ref [] in
+  let place_base ~primary b =
+    let bl = of_class env b in
+    let off = round_up !cur bl.l_align in
+    (* the primary base sits at offset 0 and donates its vptr *)
+    assert ((not primary) || off = 0);
+    bases := (b, off) :: !bases;
+    vptrs := !vptrs @ List.map (fun v -> off + v) bl.l_vptrs;
+    fields :=
+      !fields
+      @ List.map (fun f -> { f with f_offset = off + f.f_offset }) bl.l_fields;
+    cur := off + bl.l_size;
+    align := max !align bl.l_align
+  in
+  (match c.Class_def.c_bases with
+  | [] ->
+    if polymorphic env name then begin
+      vptrs := [ 0 ];
+      cur := Ctype.scalar_size Ctype.Fun_ptr;
+      align := max !align 4
+    end
+  | b0 :: rest ->
+    place_base ~primary:true b0;
+    List.iter (place_base ~primary:false) rest;
+    (* a polymorphic class whose primary base is not polymorphic needs its
+       own vptr, allocated like a hidden leading member after the bases *)
+    if polymorphic env name && !vptrs = [] then begin
+      let off = round_up !cur 4 in
+      vptrs := [ off ];
+      cur := off + 4;
+      align := max !align 4
+    end);
+  List.iter
+    (fun (fn, ty) ->
+      let a = alignof env ty in
+      let off = round_up !cur a in
+      fields := !fields @ [ { f_name = fn; f_offset = off; f_type = ty } ];
+      cur := off + sizeof env ty;
+      align := max !align a)
+    c.Class_def.c_fields;
+  let size = max 1 (round_up !cur !align) in
+  {
+    l_class = name;
+    l_size = size;
+    l_align = !align;
+    l_vptrs = List.sort_uniq compare !vptrs;
+    l_fields = !fields;
+    l_vtable = vtable_slots env name;
+    l_bases = List.rev !bases;
+  }
+
+(* Field lookup with C++ shadowing: the derived class' own fields are last
+   in [l_fields], so searching from the back finds the most-derived
+   declaration first. *)
+let find_field l name =
+  let rec from_back = function
+    | [] -> None
+    | f :: rest -> (
+      match from_back rest with
+      | Some _ as r -> r
+      | None -> if f.f_name = name then Some f else None)
+  in
+  from_back l.l_fields
+
+let field_exn l name =
+  match find_field l name with
+  | Some f -> f
+  | None -> Fmt.invalid_arg "Layout: class %s has no field %s" l.l_class name
+
+let base_offset l b =
+  match List.assoc_opt b l.l_bases with
+  | Some off -> Some off
+  | None -> if b = l.l_class then Some 0 else None
+
+(* End of the occupied part of the object: the byte just past the last
+   field (or past the vptr for a field-less polymorphic class). *)
+let fields_end env l =
+  List.fold_left
+    (fun acc f -> max acc (f.f_offset + sizeof env f.f_type))
+    (match l.l_vptrs with [] -> 0 | vs -> 4 + List.fold_left max 0 vs)
+    l.l_fields
+
+(* Tail padding of the class: bytes between the end of the last field and
+   the rounded size. These are the "harmless-looking" bytes §3.7's
+   alignment discussion shows to be attacker-reachable. *)
+let tail_padding env l = l.l_size - fields_end env l
+
+let pp ppf l =
+  Fmt.pf ppf "@[<v2>layout %s (size=%d align=%d)@,vptrs: %a@,%a@]" l.l_class
+    l.l_size l.l_align
+    (Fmt.list ~sep:Fmt.comma Fmt.int)
+    l.l_vptrs
+    (Fmt.list ~sep:Fmt.cut (fun ppf f ->
+         Fmt.pf ppf "+%-3d %a %s" f.f_offset Ctype.pp f.f_type f.f_name))
+    l.l_fields

@@ -1,0 +1,52 @@
+(** Object layout computation (Itanium-flavoured, ILP32): vtable-pointer
+    placement, base subobjects, natural field alignment, tail padding.
+
+    Layouts are memoized in an {!env}; define all classes before asking for
+    layouts. *)
+
+type field = { f_name : string; f_offset : int; f_type : Ctype.t }
+
+type t = {
+  l_class : string;
+  l_size : int;
+  l_align : int;
+  l_vptrs : int list;  (** offsets of vtable pointers, ascending *)
+  l_fields : field list;  (** flattened, in offset order, inherited first *)
+  l_vtable : (string * string) list;  (** slot order: (method, impl symbol) *)
+  l_bases : (string * int) list;  (** base class -> subobject offset *)
+}
+
+type env = {
+  classes : (string, Class_def.t) Hashtbl.t;
+  layouts : (string, t) Hashtbl.t;
+}
+
+val create_env : unit -> env
+
+val define : env -> Class_def.t -> unit
+(** @raise Invalid_argument on duplicate class names. *)
+
+val find_class : env -> string -> Class_def.t
+(** @raise Invalid_argument when undefined. *)
+
+val polymorphic : env -> string -> bool
+(** Does the class (transitively) declare a virtual method? *)
+
+val of_class : env -> string -> t
+val sizeof : env -> Ctype.t -> int
+val alignof : env -> Ctype.t -> int
+
+val find_field : t -> string -> field option
+(** C++ shadowing: the most-derived declaration wins. *)
+
+val field_exn : t -> string -> field
+val base_offset : t -> string -> int option
+
+val fields_end : env -> t -> int
+(** One past the last occupied byte (fields or vptr). *)
+
+val tail_padding : env -> t -> int
+(** [l_size - fields_end]: the §3.7.2 attacker-reachable padding bytes. *)
+
+val vtable_slots : env -> string -> (string * string) list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/machine/arena.ml: Fmt List Option

@@ -1,0 +1,1 @@
+lib/machine/event.mli: Format

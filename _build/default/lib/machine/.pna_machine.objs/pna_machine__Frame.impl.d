@@ -1,0 +1,1 @@
+lib/machine/frame.ml: Fmt List Pna_layout

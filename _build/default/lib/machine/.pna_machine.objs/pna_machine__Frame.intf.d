@@ -1,0 +1,1 @@
+lib/machine/frame.mli: Format Pna_layout

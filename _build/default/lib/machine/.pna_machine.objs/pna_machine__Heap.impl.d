@@ -1,0 +1,1 @@
+lib/machine/heap.ml: Fmt Pna_vmem

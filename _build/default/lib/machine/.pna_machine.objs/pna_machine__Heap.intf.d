@@ -1,0 +1,1 @@
+lib/machine/heap.mli: Format Pna_vmem

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Arena Char Ctype Event Fmt Frame Hashtbl Heap Layout List Option Perm Pna_defense Pna_layout Pna_vmem Segment String Text Vmem

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Arena Event Format Frame Heap Pna_defense Pna_layout Pna_vmem

@@ -1,0 +1,1 @@
+lib/machine/text.ml: Fmt Hashtbl List

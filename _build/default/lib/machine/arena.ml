@@ -1,0 +1,59 @@
+(** Registry of live allocations ("arenas").
+
+    Every named allocation the program makes — a global, a stack local, a
+    heap block, a memory pool — is registered here with its base, size and
+    origin. The registry backs two things:
+
+    - the bounds-checked placement-new defense (§5.1): given the target
+      address of a placement, how many bytes does the backing allocation
+      still have past that address?
+    - attack forensics: naming exactly which allocation an overflow spilled
+      out of and into. *)
+
+type origin =
+  | Global of string
+  | Local of { func : string; var : string }
+  | Heap_block
+  | Pool of string
+
+type arena = { a_base : int; a_size : int; a_origin : origin }
+
+type t = { mutable arenas : arena list }
+
+let create () = { arenas = [] }
+
+let register t ~base ~size ~origin =
+  t.arenas <- { a_base = base; a_size = size; a_origin = origin } :: t.arenas
+
+let unregister t ~base = t.arenas <- List.filter (fun a -> a.a_base <> base) t.arenas
+
+let limit a = a.a_base + a.a_size
+
+(* The arena containing [addr]. When nested arenas exist (a pool carved out
+   of a heap block), the innermost (smallest) match wins: that is the
+   allocation the programmer meant, hence the one a bounds check should
+   enforce. *)
+let find t addr =
+  List.fold_left
+    (fun best a ->
+      if addr >= a.a_base && addr < limit a then
+        match best with
+        | Some b when b.a_size <= a.a_size -> best
+        | _ -> Some a
+      else best)
+    None t.arenas
+
+(* Bytes available in the backing arena starting at [addr]. *)
+let remaining t addr =
+  Option.map (fun a -> limit a - addr) (find t addr)
+
+let origin_name = function
+  | Global g -> Fmt.str "global %s" g
+  | Local l -> Fmt.str "%s::%s" l.func l.var
+  | Heap_block -> "heap block"
+  | Pool p -> Fmt.str "pool %s" p
+
+let pp_arena ppf a =
+  Fmt.pf ppf "[0x%08x,+%d) %s" a.a_base a.a_size (origin_name a.a_origin)
+
+let count t = List.length t.arenas

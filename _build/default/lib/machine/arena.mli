@@ -1,0 +1,27 @@
+(** Registry of live allocations ("arenas"): globals, stack locals, heap
+    blocks, pools. Backs the bounds-checked placement defense and attack
+    forensics. *)
+
+type origin =
+  | Global of string
+  | Local of { func : string; var : string }
+  | Heap_block
+  | Pool of string
+
+type arena = { a_base : int; a_size : int; a_origin : origin }
+type t
+
+val create : unit -> t
+val register : t -> base:int -> size:int -> origin:origin -> unit
+val unregister : t -> base:int -> unit
+
+val find : t -> int -> arena option
+(** The innermost (smallest) arena containing the address. *)
+
+val remaining : t -> int -> int option
+(** Bytes available in the backing arena starting at the address. *)
+
+val limit : arena -> int
+val origin_name : origin -> string
+val pp_arena : Format.formatter -> arena -> unit
+val count : t -> int

@@ -1,0 +1,82 @@
+(** Security-relevant events observed while a program executes.
+
+    Events are the ground truth the experiment harness reports on: an
+    attack "succeeds" when the run emits the hijack/corruption event the
+    paper describes, and a defense "works" when the corresponding blocking
+    event replaces it. *)
+
+type t =
+  | Canary_smashed of { func : string; expected : int; found : int }
+      (** StackGuard epilogue check failed; program terminated *)
+  | Return_hijacked of {
+      func : string;
+      legit : int;
+      actual : int;
+      symbol : string option;  (** text symbol at the new target, if any *)
+      tainted : bool;  (** true when attacker bytes reached the slot *)
+    }
+  | Frame_pointer_corrupted of { func : string; legit : int; actual : int }
+  | Shadow_stack_blocked of { func : string; actual : int }
+  | Bounds_blocked of { site : string; arena : int; placed : int }
+  | Nx_blocked of { addr : int }
+  | Arena_sanitized of { addr : int; len : int }
+  | Out_of_memory of { requested : int; in_use : int }
+  | Heap_corrupted of { addr : int; detail : string }
+  | Placement of { site : string; addr : int; size : int; arena : int option }
+      (** audit record for every placement-new, with the arena size when the
+          machine can resolve the target address to a known allocation *)
+  | Vptr_hijacked of { class_ : string; addr : int; actual : int; tainted : bool }
+  | Fun_ptr_hijacked of { name : string; actual : int; symbol : string option; tainted : bool }
+
+(** Raised when a defense terminates the program (StackGuard abort,
+    shadow-stack block, NX fault, bounds-check refusal). *)
+exception Security_stop of t
+
+let pp ppf = function
+  | Canary_smashed e ->
+    Fmt.pf ppf "*** stack smashing detected ***: %s (canary 0x%08x -> 0x%08x)"
+      e.func e.expected e.found
+  | Return_hijacked e ->
+    Fmt.pf ppf "return hijacked in %s: 0x%08x -> 0x%08x%a%s" e.func e.legit
+      e.actual
+      Fmt.(option (fun ppf s -> pf ppf " (= %s)" s))
+      e.symbol
+      (if e.tainted then " [tainted]" else "")
+  | Frame_pointer_corrupted e ->
+    Fmt.pf ppf "frame pointer corrupted in %s: 0x%08x -> 0x%08x" e.func e.legit
+      e.actual
+  | Shadow_stack_blocked e ->
+    Fmt.pf ppf "shadow stack blocked return in %s to 0x%08x" e.func e.actual
+  | Bounds_blocked e ->
+    Fmt.pf ppf "placement bounds check blocked %s: placing %d bytes in %d-byte arena"
+      e.site e.placed e.arena
+  | Nx_blocked e -> Fmt.pf ppf "NX blocked execution at 0x%08x" e.addr
+  | Arena_sanitized e -> Fmt.pf ppf "sanitized %d bytes at 0x%08x" e.len e.addr
+  | Out_of_memory e ->
+    Fmt.pf ppf "out of memory: requested %d with %d in use" e.requested e.in_use
+  | Heap_corrupted e -> Fmt.pf ppf "heap metadata corrupted at 0x%08x: %s" e.addr e.detail
+  | Placement e ->
+    Fmt.pf ppf "placement new at %s: %d bytes at 0x%08x%a" e.site e.size e.addr
+      Fmt.(option (fun ppf a -> pf ppf " (arena %d bytes)" a))
+      e.arena
+  | Vptr_hijacked e ->
+    Fmt.pf ppf "vtable pointer of %s at 0x%08x hijacked to 0x%08x%s" e.class_
+      e.addr e.actual
+      (if e.tainted then " [tainted]" else "")
+  | Fun_ptr_hijacked e ->
+    Fmt.pf ppf "function pointer %s hijacked to 0x%08x%a%s" e.name e.actual
+      Fmt.(option (fun ppf s -> pf ppf " (= %s)" s))
+      e.symbol
+      (if e.tainted then " [tainted]" else "")
+
+let to_string t = Fmt.str "%a" pp t
+
+let is_blocking = function
+  | Canary_smashed _ | Shadow_stack_blocked _ | Bounds_blocked _ | Nx_blocked _
+    ->
+    true
+  | _ -> false
+
+let is_hijack = function
+  | Return_hijacked _ | Vptr_hijacked _ | Fun_ptr_hijacked _ -> true
+  | _ -> false

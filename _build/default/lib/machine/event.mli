@@ -1,0 +1,39 @@
+(** Security-relevant events observed while a program executes — the
+    ground truth the experiment harness reports on. *)
+
+type t =
+  | Canary_smashed of { func : string; expected : int; found : int }
+  | Return_hijacked of {
+      func : string;
+      legit : int;
+      actual : int;
+      symbol : string option;
+      tainted : bool;
+    }
+  | Frame_pointer_corrupted of { func : string; legit : int; actual : int }
+  | Shadow_stack_blocked of { func : string; actual : int }
+  | Bounds_blocked of { site : string; arena : int; placed : int }
+  | Nx_blocked of { addr : int }
+  | Arena_sanitized of { addr : int; len : int }
+  | Out_of_memory of { requested : int; in_use : int }
+  | Heap_corrupted of { addr : int; detail : string }
+  | Placement of { site : string; addr : int; size : int; arena : int option }
+  | Vptr_hijacked of { class_ : string; addr : int; actual : int; tainted : bool }
+  | Fun_ptr_hijacked of {
+      name : string;
+      actual : int;
+      symbol : string option;
+      tainted : bool;
+    }
+
+exception Security_stop of t
+(** Raised when a defense terminates the program. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val is_blocking : t -> bool
+(** Did a defense stop the program here? *)
+
+val is_hijack : t -> bool
+(** Control data (return address / vptr / function pointer) redirected. *)

@@ -1,0 +1,49 @@
+(** A call-stack frame of the simulated machine.
+
+    Memory picture for a frame of [f] (stack grows downward; addresses
+    increase upward):
+
+    {v
+      caller frame ...
+      +-----------------------+  higher addresses
+      | return address        |  <- fr_ret_slot
+      | saved frame pointer   |  <- fr_fp_slot      (if save_frame_pointer)
+      | canary                |  <- fr_canary_slot  (if stack_protector)
+      | local #1 (declared 1st)|
+      | local #2              |
+      | ...                   |  <- sp after prologue
+      +-----------------------+  lower addresses
+    v}
+
+    An object local overflowing upward therefore reaches, in order: the
+    locals declared before it, the canary, the saved frame pointer, and the
+    return address — the exact traversal the paper's Listings 13–16 use. *)
+
+type local = {
+  lv_name : string;
+  lv_addr : int;
+  lv_type : Pna_layout.Ctype.t;
+  lv_size : int;
+}
+
+type t = {
+  fr_func : string;
+  fr_base : int;  (** sp before the call pushed anything *)
+  fr_ret_slot : int;
+  fr_ret_legit : int;
+  fr_fp_slot : int option;
+  fr_fp_legit : int;
+  fr_canary_slot : int option;
+  mutable fr_locals : local list;  (** most recently declared first *)
+}
+
+let find_local t name =
+  List.find_opt (fun l -> l.lv_name = name) t.fr_locals
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v2>frame %s (base=0x%08x ret@0x%08x)%a@]" t.fr_func t.fr_base
+    t.fr_ret_slot
+    (Fmt.list ~sep:Fmt.nop (fun ppf l ->
+         Fmt.pf ppf "@,  0x%08x %s : %a" l.lv_addr l.lv_name
+           Pna_layout.Ctype.pp l.lv_type))
+    (List.rev t.fr_locals)

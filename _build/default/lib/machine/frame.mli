@@ -1,0 +1,24 @@
+(** A call-stack frame: return-address slot, optional saved frame pointer
+    and canary, and the locals below them — the memory picture the paper's
+    stack attacks traverse (see the diagram in the implementation). *)
+
+type local = {
+  lv_name : string;
+  lv_addr : int;
+  lv_type : Pna_layout.Ctype.t;
+  lv_size : int;
+}
+
+type t = {
+  fr_func : string;
+  fr_base : int;  (** sp before the call pushed anything *)
+  fr_ret_slot : int;
+  fr_ret_legit : int;
+  fr_fp_slot : int option;
+  fr_fp_legit : int;
+  fr_canary_slot : int option;
+  mutable fr_locals : local list;  (** most recently declared first *)
+}
+
+val find_local : t -> string -> local option
+val pp : Format.formatter -> t -> unit

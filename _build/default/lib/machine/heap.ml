@@ -1,0 +1,202 @@
+(** A first-fit free-list allocator living *inside* the simulated heap
+    segment.
+
+    Block format: an 8-byte header [size:4][status:4] directly before the
+    payload. Keeping the metadata in simulated memory is deliberate: a heap
+    overflow (§3.5.1) can corrupt the next block's header, and the
+    allocator then detects the corruption on a later malloc/free exactly
+    like a real glibc heap would.
+
+    [free_partial] models the paper's §4.5 memory-leak scenario: after a
+    smaller object is placed over a larger heap block, the program releases
+    only the smaller object's footprint; the tail of the block remains
+    allocated with no pointer to it — leaked. *)
+
+module Vmem = Pna_vmem.Vmem
+
+exception Corrupted of int * string
+
+type stats = {
+  mutable allocs : int;
+  mutable frees : int;
+  mutable in_use : int;  (** payload bytes currently allocated *)
+  mutable peak : int;
+  mutable leaked : int;  (** bytes stranded by partial frees *)
+}
+
+type t = {
+  mem : Vmem.t;
+  base : int;
+  limit : int;
+  mutable brk : int;
+  stats : stats;
+}
+
+let header_size = 8
+let min_split = 8
+let magic_alloc = 0xa110ca7e
+let magic_free = 0xf7eeb10c
+
+let align8 n = (n + 7) land lnot 7
+
+let create mem ~base ~size =
+  {
+    mem;
+    base;
+    limit = base + size;
+    brk = base;
+    stats = { allocs = 0; frees = 0; in_use = 0; peak = 0; leaked = 0 };
+  }
+
+let stats t = t.stats
+
+let write_header t addr ~size ~status =
+  Vmem.write_u32 ~tag:"heap-hdr" t.mem (addr - header_size) size;
+  Vmem.write_u32 ~tag:"heap-hdr" t.mem (addr - 4) status
+
+let read_header t addr =
+  let size = Vmem.read_u32 t.mem (addr - header_size) in
+  let status = Vmem.read_u32 t.mem (addr - 4) in
+  if status <> magic_alloc && status <> magic_free then
+    raise (Corrupted (addr, Fmt.str "bad status word 0x%08x" status));
+  if size <= 0 || addr + size > t.limit then
+    raise (Corrupted (addr, Fmt.str "implausible block size %d" size));
+  (size, status = magic_alloc)
+
+(* Walk the implicit block list: payload addresses in layout order. *)
+let iter_blocks t f =
+  let rec go payload =
+    if payload - header_size < t.brk then begin
+      let size, allocated = read_header t payload in
+      f payload size allocated;
+      go (payload + size + header_size)
+    end
+  in
+  go (t.base + header_size)
+
+let find_fit t n =
+  let found = ref None in
+  (try
+     iter_blocks t (fun payload size allocated ->
+         if (not allocated) && size >= n && !found = None then begin
+           found := Some (payload, size);
+           raise Exit
+         end)
+   with Exit -> ());
+  !found
+
+let bump t n =
+  let payload = t.brk + header_size in
+  if payload + n > t.limit then None
+  else begin
+    t.brk <- payload + n;
+    write_header t payload ~size:n ~status:magic_alloc;
+    Some payload
+  end
+
+let account_alloc t n =
+  t.stats.allocs <- t.stats.allocs + 1;
+  t.stats.in_use <- t.stats.in_use + n;
+  t.stats.peak <- max t.stats.peak t.stats.in_use
+
+let malloc t n =
+  if n <= 0 then invalid_arg "Heap.malloc: non-positive size";
+  let n = align8 n in
+  match find_fit t n with
+  | Some (payload, size) ->
+    let used =
+      if size - n >= min_split + header_size then begin
+        (* split: trailing remainder becomes a fresh free block *)
+        write_header t payload ~size:n ~status:magic_alloc;
+        let rest = payload + n + header_size in
+        write_header t rest ~size:(size - n - header_size) ~status:magic_free;
+        n
+      end
+      else begin
+        (* too small to split: the whole block is handed out *)
+        write_header t payload ~size ~status:magic_alloc;
+        size
+      end
+    in
+    account_alloc t used;
+    Some payload
+  | None -> (
+    match bump t n with
+    | Some payload ->
+      account_alloc t n;
+      Some payload
+    | None -> None)
+
+let block_size t payload = fst (read_header t payload)
+
+(* the free block (if any) directly before [payload], found by walking the
+   implicit list — no footers to corrupt, at the cost of O(blocks) frees,
+   which is irrelevant at simulation scale *)
+let prev_free_neighbour t payload =
+  let found = ref None in
+  (try
+     iter_blocks t (fun p size allocated ->
+         if p + size + header_size = payload then begin
+           found := (if allocated then None else Some (p, size));
+           raise Exit
+         end
+         else if p >= payload then raise Exit)
+   with Exit -> ());
+  !found
+
+let free t payload =
+  let size, allocated = read_header t payload in
+  if not allocated then raise (Corrupted (payload, "double free"));
+  write_header t payload ~size ~status:magic_free;
+  t.stats.frees <- t.stats.frees + 1;
+  t.stats.in_use <- t.stats.in_use - size;
+  (* coalesce with the next block when it is free *)
+  let payload, size =
+    let next = payload + size + header_size in
+    if next - header_size < t.brk then begin
+      let nsize, nalloc = read_header t next in
+      if not nalloc then begin
+        let size = size + header_size + nsize in
+        write_header t payload ~size ~status:magic_free;
+        (payload, size)
+      end
+      else (payload, size)
+    end
+    else (payload, size)
+  in
+  (* ... and with the previous block *)
+  match prev_free_neighbour t payload with
+  | Some (prev, psize) ->
+    write_header t prev ~size:(psize + header_size + size) ~status:magic_free
+  | None -> ()
+
+(* Release only the first [n] payload bytes of the block; the tail stays
+   allocated but unreachable. Returns the number of leaked bytes. *)
+let free_partial t payload n =
+  let size, allocated = read_header t payload in
+  if not allocated then raise (Corrupted (payload, "partial free of free block"));
+  let n = align8 n in
+  if n + header_size + min_split > size then begin
+    free t payload;
+    0
+  end
+  else begin
+    let tail = payload + n + header_size in
+    let tail_size = size - n - header_size in
+    write_header t tail ~size:tail_size ~status:magic_alloc;
+    write_header t payload ~size:n ~status:magic_alloc;
+    t.stats.in_use <- t.stats.in_use - header_size;
+    free t payload;
+    t.stats.leaked <- t.stats.leaked + tail_size + header_size;
+    tail_size + header_size
+  end
+
+let live_blocks t =
+  let n = ref 0 in
+  iter_blocks t (fun _ _ allocated -> if allocated then incr n);
+  !n
+
+let pp ppf t =
+  Fmt.pf ppf "heap: brk=0x%08x in_use=%d peak=%d allocs=%d frees=%d leaked=%d"
+    t.brk t.stats.in_use t.stats.peak t.stats.allocs t.stats.frees
+    t.stats.leaked

@@ -1,0 +1,43 @@
+(** A first-fit free-list allocator whose metadata lives inside the
+    simulated heap segment — so overflows corrupt it, and the allocator
+    detects the corruption like a real glibc heap. *)
+
+exception Corrupted of int * string
+(** (payload address, reason): bad status word, implausible size, double
+    free. *)
+
+type stats = {
+  mutable allocs : int;
+  mutable frees : int;
+  mutable in_use : int;  (** payload bytes currently allocated *)
+  mutable peak : int;
+  mutable leaked : int;  (** bytes stranded by partial frees *)
+}
+
+type t
+
+val header_size : int  (* 8: [size:4][status:4] before each payload *)
+
+val create : Pna_vmem.Vmem.t -> base:int -> size:int -> t
+val stats : t -> stats
+
+val malloc : t -> int -> int option
+(** Payload address (8-aligned), or [None] when out of memory.
+    @raise Invalid_argument on a non-positive size.
+    @raise Corrupted when the walk meets a smashed header. *)
+
+val free : t -> int -> unit
+(** @raise Corrupted on double free or smashed header. *)
+
+val free_partial : t -> int -> int -> int
+(** [free_partial t p n] releases only the first [n] payload bytes of the
+    block at [p]; the tail stays allocated with no pointer to it (§4.5).
+    Returns the number of stranded bytes (tail + its new header), possibly
+    0 when the block is too small to split. *)
+
+val block_size : t -> int -> int
+val live_blocks : t -> int
+val iter_blocks : t -> (int -> int -> bool -> unit) -> unit
+(** [iter_blocks t f] calls [f payload size allocated] in address order. *)
+
+val pp : Format.formatter -> t -> unit

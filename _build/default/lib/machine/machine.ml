@@ -1,0 +1,563 @@
+(** The simulated process: address space + object model + control state.
+
+    This module owns everything a running MiniC++ program touches: the
+    memory image (text/data/bss/heap/stack), the call stack with optional
+    canaries and shadow stack, the heap allocator, the arena registry, the
+    vtable images, and the attacker-controlled input stream. The
+    interpreter in [Pna_minicpp] drives it; the defense configuration
+    decides which checks fire. *)
+
+open Pna_layout
+
+module Config = Pna_defense.Config
+
+type ret_status =
+  | Returned
+  | Hijacked of { target : int; symbol : string option; tainted : bool }
+
+type dispatch_result =
+  | Virtual_ok of string  (** impl symbol found in the vtable slot *)
+  | Virtual_hijacked of { target : int; symbol : string option; tainted : bool }
+
+type t = {
+  mem : Pna_vmem.Vmem.t;
+  env : Layout.env;
+  config : Config.t;
+  text : Text.t;
+  heap : Heap.t;
+  arenas : Arena.t;
+  mutable sp : int;
+  mutable fp : int;
+  mutable frames : Frame.t list;
+  mutable shadow : int list;
+  mutable events : Event.t list;  (** newest first *)
+  mutable data_cursor : int;
+  mutable bss_cursor : int;
+  mutable rodata_cursor : int;
+  vtable_addrs : (string, (int * int) list) Hashtbl.t;
+      (* class -> [(vptr offset, table address)]; offset 0 is primary *)
+  vtable_classes : (int, string * int) Hashtbl.t;
+      (* table address -> (class, vptr offset) *)
+  globals : (string, int * Ctype.t) Hashtbl.t;
+  literals : (string, int) Hashtbl.t;  (** interned untainted strings *)
+  mutable input_ints : int list;
+  mutable input_strings : string list;
+  mutable output : string list;  (** newest first *)
+}
+
+(* Fixed address map, ELF-flavoured (cf. the paper's footnote 3). *)
+let text_base = 0x08048000
+let text_size = 0x8000
+let rodata_base = 0x08050000 (* vtable images *)
+let rodata_size = 0x10000
+let data_base = 0x08060000
+let data_size = 0x10000
+let bss_base = 0x08080000
+let bss_size = 0x20000
+let heap_base = 0x080a0000
+let default_heap_size = 0x40000
+let stack_top = 0xc0000000
+let stack_size = 0x20000
+let stack_base = stack_top - stack_size
+
+let create ?(heap_size = default_heap_size) ~config env =
+  let mem = Pna_vmem.Vmem.create () in
+  let open Pna_vmem in
+  ignore (Vmem.map mem ~kind:Segment.Text ~base:text_base ~size:text_size ~perm:Perm.rx);
+  ignore (Vmem.map mem ~kind:Segment.Mmap ~base:rodata_base ~size:rodata_size ~perm:Perm.ro);
+  ignore (Vmem.map mem ~kind:Segment.Data ~base:data_base ~size:data_size ~perm:Perm.rw);
+  ignore (Vmem.map mem ~kind:Segment.Bss ~base:bss_base ~size:bss_size ~perm:Perm.rw);
+  ignore (Vmem.map mem ~kind:Segment.Heap ~base:heap_base ~size:heap_size ~perm:Perm.rw);
+  ignore
+    (Vmem.map mem ~kind:Segment.Stack ~base:stack_base ~size:stack_size
+       ~perm:(if config.Config.nx_stack then Perm.rw else Perm.rwx));
+  {
+    mem;
+    env;
+    config;
+    text = Text.create ~base:text_base ~size:text_size;
+    heap = Heap.create mem ~base:heap_base ~size:heap_size;
+    arenas = Arena.create ();
+    sp = stack_top;
+    fp = stack_top;
+    frames = [];
+    shadow = [];
+    events = [];
+    data_cursor = data_base;
+    bss_cursor = bss_base;
+    rodata_cursor = rodata_base;
+    vtable_addrs = Hashtbl.create 8;
+    vtable_classes = Hashtbl.create 8;
+    globals = Hashtbl.create 16;
+    literals = Hashtbl.create 16;
+    input_ints = [];
+    input_strings = [];
+    output = [];
+  }
+
+let arenas t = t.arenas
+let emit t e = t.events <- e :: t.events
+let events t = List.rev t.events
+let config t = t.config
+let mem t = t.mem
+let env t = t.env
+let heap_stats t = Heap.stats t.heap
+
+(* ------------------------------------------------------------------ *)
+(* Text symbols and vtables                                            *)
+
+let register_function t name = Text.register t.text name
+let function_addr t name = Text.address_exn t.text name
+let symbol_at t addr = Text.symbol_at t.text addr
+
+(* Emit the vtable images for every polymorphic class into the read-only
+   area. The primary vtable holds the class' merged slot list; every
+   polymorphic non-primary base additionally gets a secondary vtable whose
+   slots follow the base's own order but point at the derived class'
+   (override-resolved) implementations — the Itanium-ABI shape, minus
+   thunks. Must be called after all classes are defined and all method
+   implementation symbols registered. *)
+let emit_vtables t =
+  let classes =
+    Hashtbl.fold (fun name _ acc -> name :: acc) t.env.Layout.classes []
+    |> List.sort compare
+  in
+  let emit_table cname ~vptr_off slots =
+    let addr = t.rodata_cursor in
+    t.rodata_cursor <- t.rodata_cursor + (4 * List.length slots);
+    Hashtbl.replace t.vtable_classes addr (cname, vptr_off);
+    List.iteri
+      (fun i (_, impl) ->
+        let fn = Text.register t.text impl in
+        Pna_vmem.Vmem.poke_u32 t.mem (addr + (4 * i)) fn)
+      slots;
+    addr
+  in
+  List.iter
+    (fun cname ->
+      let l = Layout.of_class t.env cname in
+      if l.Layout.l_vtable <> [] && not (Hashtbl.mem t.vtable_addrs cname) then begin
+        let primary = emit_table cname ~vptr_off:0 l.Layout.l_vtable in
+        let secondaries =
+          List.filter_map
+            (fun (b, off) ->
+              if off = 0 then None
+              else
+                let bl = Layout.of_class t.env b in
+                if bl.Layout.l_vtable = [] then None
+                else
+                  (* base slot order, derived (merged-table) impls *)
+                  let slots =
+                    List.map
+                      (fun (m, base_impl) ->
+                        ( m,
+                          Option.value
+                            (List.assoc_opt m l.Layout.l_vtable)
+                            ~default:base_impl ))
+                      bl.Layout.l_vtable
+                  in
+                  Some (off, emit_table cname ~vptr_off:off slots))
+            l.Layout.l_bases
+        in
+        Hashtbl.replace t.vtable_addrs cname ((0, primary) :: secondaries)
+      end)
+    classes
+
+(* Intern a string literal (or attacker-supplied line) into read-only
+   memory, NUL-terminated. Untainted literals are deduplicated, like a
+   compiler's string pool; tainted strings get a fresh copy per read. *)
+let intern_string ?(tainted = false) t s =
+  match if tainted then None else Hashtbl.find_opt t.literals s with
+  | Some addr -> addr
+  | None ->
+    let len = String.length s + 1 in
+    if t.rodata_cursor + len > rodata_base + rodata_size then
+      failwith "rodata full";
+    let addr = t.rodata_cursor in
+    t.rodata_cursor <- addr + len;
+    String.iteri
+      (fun i c -> Pna_vmem.Vmem.poke_u8 t.mem (addr + i) (Char.code c))
+      s;
+    Pna_vmem.Vmem.poke_u8 t.mem (addr + String.length s) 0;
+    if tainted && String.length s > 0 then
+      Pna_vmem.Vmem.set_taint t.mem addr (String.length s) true
+    else Hashtbl.replace t.literals s addr;
+    addr
+
+(* The class' primary vtable address. *)
+let vtable_addr t cname =
+  Option.bind (Hashtbl.find_opt t.vtable_addrs cname) (List.assoc_opt 0)
+
+let class_of_vtable t addr =
+  Option.map fst (Hashtbl.find_opt t.vtable_classes addr)
+
+(* Write the hidden vtable pointer(s) of a [cname] object at [addr] — each
+   vptr gets the table matching its subobject. The writes are ordinary
+   data writes: later overflows can clobber them, which is the §3.8.2
+   subterfuge. *)
+let install_vptrs t ~addr ~cname =
+  let l = Layout.of_class t.env cname in
+  match Hashtbl.find_opt t.vtable_addrs cname with
+  | None -> ()
+  | Some tables ->
+    List.iter
+      (fun off ->
+        let table =
+          match List.assoc_opt off tables with
+          | Some a -> Some a
+          | None -> List.assoc_opt 0 tables
+        in
+        match table with
+        | Some a -> Pna_vmem.Vmem.write_u32 ~tag:"vptr" t.mem (addr + off) a
+        | None -> ())
+      l.Layout.l_vptrs
+
+let slot_index ~static_class ~meth table =
+  let rec idx i = function
+    | [] -> Fmt.invalid_arg "dispatch: %s has no virtual %s" static_class meth
+    | (m, _) :: rest -> if m = meth then i else idx (i + 1) rest
+  in
+  idx 0 table
+
+(* Which vptr and which slot a call through [static_class] uses: a method
+   introduced by a non-primary base dispatches through that subobject's
+   vptr with the slot numbering of the base's own table; everything else
+   goes through the primary vptr and the merged table. *)
+let dispatch_site t ~static_class ~meth =
+  let l = Layout.of_class t.env static_class in
+  let primary_table =
+    match l.Layout.l_bases with
+    | (b, 0) :: _ -> (Layout.of_class t.env b).Layout.l_vtable
+    | _ -> []
+  in
+  if List.mem_assoc meth primary_table then
+    (0, slot_index ~static_class ~meth l.Layout.l_vtable)
+  else
+    let secondary =
+      List.find_opt
+        (fun (b, off) ->
+          off <> 0
+          && List.mem_assoc meth (Layout.of_class t.env b).Layout.l_vtable)
+        l.Layout.l_bases
+    in
+    match secondary with
+    | Some (b, off) ->
+      (off, slot_index ~static_class ~meth (Layout.of_class t.env b).Layout.l_vtable)
+    | None ->
+      let vptr_off = match l.Layout.l_vptrs with v :: _ -> v | [] -> 0 in
+      (vptr_off, slot_index ~static_class ~meth l.Layout.l_vtable)
+
+(* Virtual dispatch: read the vptr of the relevant subobject, then the
+   function address from its slot — both straight from simulated memory,
+   so a corrupted vptr sends the call wherever the attacker pointed it. *)
+let dispatch t ~obj_addr ~static_class ~meth =
+  let vptr_off, slot = dispatch_site t ~static_class ~meth in
+  let vptr_addr = obj_addr + vptr_off in
+  let vptr = Pna_vmem.Vmem.read_u32 t.mem vptr_addr in
+  let vptr_tainted = Pna_vmem.Vmem.range_tainted t.mem vptr_addr 4 in
+  let known_table = Hashtbl.mem t.vtable_classes vptr in
+  let target =
+    try Pna_vmem.Vmem.read_u32 t.mem (vptr + (4 * slot))
+    with Pna_vmem.Fault.Fault _ -> vptr
+  in
+  let symbol = symbol_at t target in
+  if known_table then
+    match symbol with
+    | Some impl -> Virtual_ok impl
+    | None ->
+      (* a real vtable whose slot does not resolve: static type expected a
+         larger table than the runtime class provides *)
+      Virtual_hijacked { target; symbol = None; tainted = vptr_tainted }
+  else begin
+    emit t
+      (Event.Vptr_hijacked
+         { class_ = static_class; addr = obj_addr; actual = vptr; tainted = vptr_tainted });
+    Virtual_hijacked { target; symbol; tainted = vptr_tainted }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Globals                                                             *)
+
+let align_up x a = (x + a - 1) / a * a
+
+let add_global ?(initialized = false) t name ty =
+  if Hashtbl.mem t.globals name then
+    Fmt.invalid_arg "Machine.add_global: duplicate global %s" name;
+  let size = Layout.sizeof t.env ty in
+  let align = max 1 (Layout.alignof t.env ty) in
+  let addr =
+    if initialized then begin
+      let a = align_up t.data_cursor align in
+      t.data_cursor <- a + size;
+      if t.data_cursor > data_base + data_size then failwith "data segment full";
+      a
+    end
+    else begin
+      let a = align_up t.bss_cursor align in
+      t.bss_cursor <- a + size;
+      if t.bss_cursor > bss_base + bss_size then failwith "bss segment full";
+      a
+    end
+  in
+  Hashtbl.replace t.globals name (addr, ty);
+  Arena.register t.arenas ~base:addr ~size ~origin:(Arena.Global name);
+  addr
+
+let global t name = Hashtbl.find_opt t.globals name
+
+let global_addr_exn t name =
+  match global t name with
+  | Some (addr, _) -> addr
+  | None -> Fmt.invalid_arg "Machine: unknown global %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Stack frames                                                        *)
+
+let push_u32 ?tag t v =
+  t.sp <- t.sp - 4;
+  Pna_vmem.Vmem.write_u32 ?tag t.mem t.sp v;
+  t.sp
+
+let push_frame t ~func ~ret_to =
+  let base = t.sp in
+  let ret_slot = push_u32 ~tag:"ret-addr" t ret_to in
+  let fp_legit = t.fp in
+  let fp_slot =
+    if t.config.Config.save_frame_pointer then begin
+      let s = push_u32 ~tag:"saved-fp" t t.fp in
+      t.fp <- s;
+      Some s
+    end
+    else None
+  in
+  let canary_slot =
+    if t.config.Config.stack_protector then
+      Some (push_u32 ~tag:"canary" t t.config.Config.canary_value)
+    else None
+  in
+  if t.config.Config.shadow_stack then t.shadow <- ret_to :: t.shadow;
+  let frame =
+    Frame.
+      {
+        fr_func = func;
+        fr_base = base;
+        fr_ret_slot = ret_slot;
+        fr_ret_legit = ret_to;
+        fr_fp_slot = fp_slot;
+        fr_fp_legit = fp_legit;
+        fr_canary_slot = canary_slot;
+        fr_locals = [];
+      }
+  in
+  t.frames <- frame :: t.frames;
+  frame
+
+let current_frame t =
+  match t.frames with
+  | f :: _ -> f
+  | [] -> failwith "Machine: no active frame"
+
+let alloc_local t ~name ~ty =
+  let frame = current_frame t in
+  let size = Layout.sizeof t.env ty in
+  let align = max 1 (Layout.alignof t.env ty) in
+  let addr = t.sp - size in
+  let addr = addr - (addr mod align) in
+  t.sp <- addr;
+  Arena.register t.arenas ~base:addr ~size
+    ~origin:(Arena.Local { func = frame.Frame.fr_func; var = name });
+  frame.Frame.fr_locals <-
+    Frame.{ lv_name = name; lv_addr = addr; lv_type = ty; lv_size = size }
+    :: frame.Frame.fr_locals;
+  addr
+
+(* Name lookup: innermost frame's locals, then globals. *)
+let lookup_var t name =
+  let local =
+    match t.frames with
+    | [] -> None
+    | f :: _ ->
+      Option.map
+        (fun l -> (l.Frame.lv_addr, l.Frame.lv_type))
+        (Frame.find_local f name)
+  in
+  match local with Some _ -> local | None -> global t name
+
+let pop_frame t =
+  let frame = current_frame t in
+  (* StackGuard epilogue: verify the canary before using the return slot. *)
+  (match frame.Frame.fr_canary_slot with
+  | Some slot ->
+    let found = Pna_vmem.Vmem.read_u32 t.mem slot in
+    if found <> t.config.Config.canary_value then begin
+      let e =
+        Event.Canary_smashed
+          {
+            func = frame.Frame.fr_func;
+            expected = t.config.Config.canary_value;
+            found;
+          }
+      in
+      emit t e;
+      raise (Event.Security_stop e)
+    end
+  | None -> ());
+  let ret = Pna_vmem.Vmem.read_u32 t.mem frame.Frame.fr_ret_slot in
+  let ret_tainted = Pna_vmem.Vmem.range_tainted t.mem frame.Frame.fr_ret_slot 4 in
+  (* Shadow stack: the hardware return-address stack of §5.2. *)
+  if t.config.Config.shadow_stack then begin
+    match t.shadow with
+    | top :: rest ->
+      if ret <> top then begin
+        let e =
+          Event.Shadow_stack_blocked { func = frame.Frame.fr_func; actual = ret }
+        in
+        emit t e;
+        raise (Event.Security_stop e)
+      end;
+      t.shadow <- rest
+    | [] -> ()
+  end;
+  (* Frame-pointer integrity is recorded but not enforced (Klog's
+     one-byte-overwrite paper is related work, not a defense here). *)
+  (match frame.Frame.fr_fp_slot with
+  | Some slot ->
+    let actual = Pna_vmem.Vmem.read_u32 t.mem slot in
+    if actual <> frame.Frame.fr_fp_legit then
+      emit t
+        (Event.Frame_pointer_corrupted
+           {
+             func = frame.Frame.fr_func;
+             legit = frame.Frame.fr_fp_legit;
+             actual;
+           })
+  | None -> ());
+  (* Unwind: locals die, registers restored from the bookkeeping copies. *)
+  List.iter
+    (fun l -> Arena.unregister t.arenas ~base:l.Frame.lv_addr)
+    frame.Frame.fr_locals;
+  t.sp <- frame.Frame.fr_base;
+  t.fp <- frame.Frame.fr_fp_legit;
+  t.frames <- List.tl t.frames;
+  if ret <> frame.Frame.fr_ret_legit then begin
+    let symbol = symbol_at t ret in
+    emit t
+      (Event.Return_hijacked
+         {
+           func = frame.Frame.fr_func;
+           legit = frame.Frame.fr_ret_legit;
+           actual = ret;
+           symbol;
+           tainted = ret_tainted;
+         });
+    Hijacked { target = ret; symbol; tainted = ret_tainted }
+  end
+  else Returned
+
+(* Is [addr] inside a segment that should never be executed? Used when a
+   hijacked return lands outside text: with NX on, the fetch faults. *)
+let in_executable t addr =
+  match Pna_vmem.Vmem.find_segment t.mem addr with
+  | None -> false
+  | Some seg -> seg.Pna_vmem.Segment.perm.Pna_vmem.Perm.execute
+
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+
+let malloc t n =
+  match Heap.malloc t.heap n with
+  | Some addr ->
+    Arena.register t.arenas ~base:addr ~size:(Heap.block_size t.heap addr)
+      ~origin:Arena.Heap_block;
+    addr
+  | None ->
+    let e =
+      Event.Out_of_memory { requested = n; in_use = (Heap.stats t.heap).Heap.in_use }
+    in
+    emit t e;
+    raise (Event.Security_stop e)
+
+let free t addr =
+  Arena.unregister t.arenas ~base:addr;
+  Heap.free t.heap addr
+
+(* Delete through a pointer produced by placement new over a heap block:
+   without pool discipline only the placed object's footprint is released
+   (§4.5); with it, the whole block goes. *)
+let delete_placed t addr ~placed_size =
+  if t.config.Config.placement_delete then begin
+    Arena.unregister t.arenas ~base:addr;
+    Heap.free t.heap addr
+  end
+  else begin
+    Arena.unregister t.arenas ~base:addr;
+    ignore (Heap.free_partial t.heap addr placed_size)
+  end
+
+let leaked_bytes t = (Heap.stats t.heap).Heap.leaked
+
+(* ------------------------------------------------------------------ *)
+(* Placement new                                                       *)
+
+type placement = { p_addr : int; p_arena : int option }
+
+(* The core primitive of the paper. [size] is the footprint of the object
+   or array being placed; [addr] is the attacker- or programmer-supplied
+   target. No check happens unless the bounds-check defense is on — that
+   asymmetry *is* the vulnerability class. *)
+let placement_new ?cname ?(align = 1) t ~site ~addr ~size =
+  if addr = 0 then Pna_vmem.Fault.raise_ Pna_vmem.Fault.Null_placement;
+  if t.config.Config.strict_alignment && align > 1 && addr mod align <> 0 then
+    Pna_vmem.Fault.raise_ (Pna_vmem.Fault.Misaligned (addr, align));
+  let arena = Arena.remaining t.arenas addr in
+  emit t (Event.Placement { site; addr; size; arena });
+  (if t.config.Config.bounds_check_placement then
+     match arena with
+     | Some remaining when size > remaining ->
+       let e = Event.Bounds_blocked { site; arena = remaining; placed = size } in
+       emit t e;
+       raise (Event.Security_stop e)
+     | Some _ | None -> ());
+  if t.config.Config.sanitize_on_place then begin
+    (* wipe the remaining arena (not just the new object's footprint, which
+       would leave the §4.3 tail bytes) — but never past the arena, whose
+       bounds are the only thing the sanitizer knows *)
+    match arena with
+    | Some len when len > 0 ->
+      (try Pna_vmem.Vmem.fill ~tag:"sanitize" t.mem ~dst:addr ~len 0
+       with Pna_vmem.Fault.Fault _ -> ());
+      emit t (Event.Arena_sanitized { addr; len })
+    | Some _ | None -> ()
+  end;
+  (match cname with
+  | Some cname -> install_vptrs t ~addr ~cname
+  | None -> ());
+  { p_addr = addr; p_arena = arena }
+
+(* ------------------------------------------------------------------ *)
+(* Attacker input and program output                                   *)
+
+let set_input ?(ints = []) ?(strings = []) t =
+  t.input_ints <- ints;
+  t.input_strings <- strings
+
+let next_int t =
+  match t.input_ints with
+  | [] -> 0 (* EOF on cin leaves the variable zero *)
+  | v :: rest ->
+    t.input_ints <- rest;
+    v
+
+let next_string t =
+  match t.input_strings with
+  | [] -> ""
+  | s :: rest ->
+    t.input_strings <- rest;
+    s
+
+let print t s = t.output <- s :: t.output
+let output t = List.rev t.output
+
+let pp_events ppf t =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Event.pp) (events t)

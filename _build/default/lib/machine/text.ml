@@ -1,0 +1,60 @@
+(** The text (code) image: a symbol table mapping function names to fake
+    code addresses and back.
+
+    The simulator never executes machine code; a "function address" is an
+    opaque 32-bit value inside the text segment. What matters for the
+    attacks is exactly what matters on real hardware: whether a corrupted
+    return address / function pointer / vtable slot resolves to a legitimate
+    symbol (arc injection, §3.6.2) or to attacker-chosen bytes (code
+    injection / crash). *)
+
+type t = {
+  base : int;
+  limit : int;
+  mutable next : int;
+  by_name : (string, int) Hashtbl.t;
+  by_addr : (int, string) Hashtbl.t;
+}
+
+(* Each function gets a 16-byte slot; call sites live at +5 (the width of a
+   call instruction on x86), purely for realistic-looking addresses. *)
+let slot_size = 16
+
+let create ~base ~size =
+  {
+    base;
+    limit = base + size;
+    next = base;
+    by_name = Hashtbl.create 32;
+    by_addr = Hashtbl.create 32;
+  }
+
+let register t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some addr -> addr
+  | None ->
+    if t.next + slot_size > t.limit then failwith "Text.register: text full";
+    let addr = t.next in
+    t.next <- t.next + slot_size;
+    Hashtbl.replace t.by_name name addr;
+    Hashtbl.replace t.by_addr addr name;
+    addr
+
+let address t name = Hashtbl.find_opt t.by_name name
+
+let address_exn t name =
+  match address t name with
+  | Some a -> a
+  | None -> Fmt.invalid_arg "Text: unknown symbol %s" name
+
+(* Resolve an address to the symbol whose slot contains it. *)
+let symbol_at t addr =
+  let slot = addr - ((addr - t.base) mod slot_size) in
+  if addr < t.base || addr >= t.limit then None
+  else Hashtbl.find_opt t.by_addr slot
+
+let return_site t name = address_exn t name + 5
+
+let symbols t =
+  Hashtbl.fold (fun name addr acc -> (name, addr) :: acc) t.by_name []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)

@@ -1,0 +1,25 @@
+(** The text (code) image: function names <-> fake code addresses. What
+    matters to the attacks is whether corrupted control data resolves to a
+    legitimate symbol (arc injection) or not (code injection / crash). *)
+
+type t
+
+val slot_size : int
+(** Bytes reserved per function (16). *)
+
+val create : base:int -> size:int -> t
+
+val register : t -> string -> int
+(** Idempotent: re-registering returns the existing address. *)
+
+val address : t -> string -> int option
+val address_exn : t -> string -> int
+
+val symbol_at : t -> int -> string option
+(** The symbol whose slot contains the address, if any. *)
+
+val return_site : t -> string -> int
+(** A plausible return address inside the named function (entry + 5). *)
+
+val symbols : t -> (string * int) list
+(** Sorted by address. *)

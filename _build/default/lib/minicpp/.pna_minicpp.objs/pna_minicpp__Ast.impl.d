@@ -1,0 +1,1 @@
+lib/minicpp/ast.ml: List Pna_layout

@@ -1,0 +1,1 @@
+lib/minicpp/cpp_print.ml: Ast Buffer Char Class_def Ctype Float Fmt Format List Pna_layout String

@@ -1,0 +1,1 @@
+lib/minicpp/cpp_print.mli: Ast Format Pna_layout

@@ -1,0 +1,1 @@
+lib/minicpp/dsl.ml: Ast Ctype Pna_layout

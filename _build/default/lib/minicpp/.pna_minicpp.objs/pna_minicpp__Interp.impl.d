@@ -1,0 +1,1 @@
+lib/minicpp/interp.ml: Ast Char Class_def Ctype Fmt Int32 Layout List Option Outcome Pna_defense Pna_layout Pna_machine Pna_vmem String Value

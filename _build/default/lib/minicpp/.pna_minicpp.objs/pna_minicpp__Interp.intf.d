@@ -1,0 +1,1 @@
+lib/minicpp/interp.mli: Ast Outcome Pna_defense Pna_layout Pna_machine

@@ -1,0 +1,1 @@
+lib/minicpp/lexer.ml: Buffer Char Fmt List Option String

@@ -1,0 +1,1 @@
+lib/minicpp/outcome.ml: Fmt Pna_machine

@@ -1,0 +1,1 @@
+lib/minicpp/outcome.mli: Format Pna_machine

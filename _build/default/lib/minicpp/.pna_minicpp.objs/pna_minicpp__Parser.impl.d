@@ -1,0 +1,1 @@
+lib/minicpp/parser.ml: Array Ast Class_def Ctype Fmt Hashtbl Lexer List Option Pna_layout

@@ -1,0 +1,1 @@
+lib/minicpp/parser.mli: Ast

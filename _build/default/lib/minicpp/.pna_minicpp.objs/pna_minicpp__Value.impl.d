@@ -1,0 +1,1 @@
+lib/minicpp/value.ml: Char Ctype Fmt Pna_layout Pna_vmem

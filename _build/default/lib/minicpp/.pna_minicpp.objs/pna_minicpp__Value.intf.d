@@ -1,0 +1,1 @@
+lib/minicpp/value.mli: Ctype Format Pna_layout

@@ -1,0 +1,179 @@
+(** Abstract syntax of MiniC++ — the C++ subset the paper's listings are
+    written in.
+
+    The subset covers exactly what the attacks need: classes with
+    (multiple) inheritance, virtual methods, constructors and copy
+    constructors, placement new for objects and arrays, heap new/delete,
+    pointers and pointer arithmetic, arrays, string builtins
+    (strcpy/strncpy/memcpy/memset/strlen), attacker input ([cin]) and
+    program output ([cout]). There is no implicit bounds or type checking
+    anywhere — faithfully to C++. *)
+
+type unop =
+  | Neg
+  | Not
+  | Preinc  (** ++x : increments the lvalue, yields the new value *)
+  | Predec
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+  | Band
+  | Bor
+  | Shl
+  | Shr
+
+type expr =
+  | Int of int
+  | Flt of float
+  | Str of string  (** string literal, interned in read-only memory *)
+  | Nullptr
+  | Var of string  (** local, parameter or global *)
+  | Field of expr * string  (** [e.f] — e is a class-typed lvalue *)
+  | Arrow of expr * string  (** [p->f] — p is a pointer to class *)
+  | Index of expr * expr  (** [a\[i\]] — array lvalue or pointer *)
+  | Deref of expr
+  | Addr of expr  (** [&e] *)
+  | Fun_addr of string  (** [&f] — text address of a function *)
+  | Un of unop * expr
+  | Bin of binop * expr * expr
+  | Call of string * expr list  (** free function or builtin *)
+  | Mcall of expr * string * expr list
+      (** [obj->m(...)] or [obj.m(...)]: virtual methods dispatch through
+          the vtable in memory, plain methods statically *)
+  | Fpcall of expr * expr list  (** call through a function-pointer value *)
+  | Cin  (** next attacker-supplied int (tainted) *)
+  | Cin_str  (** next attacker-supplied string (tainted), as char* *)
+  | New of Pna_layout.Ctype.t * expr list  (** heap [new T(args)] *)
+  | New_arr of Pna_layout.Ctype.t * expr  (** heap [new T\[n\]] *)
+  | Pnew of expr * Pna_layout.Ctype.t * expr list
+      (** [new (place) T(args)] — THE expression under study *)
+  | Pnew_arr of expr * Pna_layout.Ctype.t * expr
+      (** [new (place) T\[n\]] *)
+  | Sizeof of Pna_layout.Ctype.t
+  | Cast of Pna_layout.Ctype.t * expr
+
+type stmt =
+  | Decl of string * Pna_layout.Ctype.t * expr option
+      (** local declaration, optional scalar initializer *)
+  | Decl_obj of string * string * expr list
+      (** [C name(args)] — class-typed local built with a constructor *)
+  | Assign of expr * expr
+  | Expr of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr * stmt option * stmt list
+  | Return of expr option
+  | Delete of expr  (** [delete p] — frees the whole heap block *)
+  | Delete_placed of expr * Pna_layout.Ctype.t
+      (** delete of a pointer produced by placement new: only the static
+          type's footprint is reclaimed unless pool discipline is on
+          (§4.5) *)
+  | Cout of expr list
+
+type func = {
+  fn_name : string;
+  fn_params : (string * Pna_layout.Ctype.t) list;
+  fn_ret : Pna_layout.Ctype.t;
+  fn_body : stmt list;
+}
+
+type ginit =
+  | Zero  (** uninitialized: lands in bss *)
+  | Ival of int
+  | Fval of float
+  | Sval of string  (** for char arrays; lands in data *)
+
+type global = { g_name : string; g_type : Pna_layout.Ctype.t; g_init : ginit }
+
+type program = {
+  p_classes : Pna_layout.Class_def.t list;
+  p_globals : global list;
+  p_funcs : func list;
+}
+
+let func ?(params = []) ?(ret = Pna_layout.Ctype.Void) name body =
+  { fn_name = name; fn_params = params; fn_ret = ret; fn_body = body }
+
+let global ?(init = Zero) name ty = { g_name = name; g_type = ty; g_init = init }
+
+let program ?(classes = []) ?(globals = []) funcs =
+  { p_classes = classes; p_globals = globals; p_funcs = funcs }
+
+let find_func p name = List.find_opt (fun f -> f.fn_name = name) p.p_funcs
+
+(* Constructors are functions named "C::ctor"; overloads are resolved by
+   arity (the implicit [this] parameter is not counted). Copy constructors
+   are ordinary one-argument constructors taking a pointer. *)
+let ctor_name cname = cname ^ "::ctor"
+
+let find_ctor p cname ~arity =
+  List.find_opt
+    (fun f -> f.fn_name = ctor_name cname && List.length f.fn_params = arity + 1)
+    p.p_funcs
+
+(* short labels for tracing/coverage *)
+let stmt_kind = function
+  | Decl _ -> "decl"
+  | Decl_obj _ -> "decl-obj"
+  | Assign _ -> "assign"
+  | Expr _ -> "expr"
+  | If _ -> "if"
+  | While _ -> "while"
+  | For _ -> "for"
+  | Return _ -> "return"
+  | Delete _ -> "delete"
+  | Delete_placed _ -> "delete-placed"
+  | Cout _ -> "cout"
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Int _ | Flt _ | Str _ | Nullptr | Var _ | Fun_addr _ | Cin | Cin_str
+  | Sizeof _ ->
+    acc
+  | Field (e, _) | Arrow (e, _) | Deref e | Addr e | Un (_, e) | Cast (_, e)
+  | New_arr (_, e) ->
+    fold_expr f acc e
+  | Index (a, b) | Bin (_, a, b) -> fold_expr f (fold_expr f acc a) b
+  | Call (_, es) | New (_, es) -> List.fold_left (fold_expr f) acc es
+  | Mcall (e, _, es) | Fpcall (e, es) ->
+    List.fold_left (fold_expr f) (fold_expr f acc e) es
+  | Pnew (p, _, es) -> List.fold_left (fold_expr f) (fold_expr f acc p) es
+  | Pnew_arr (p, _, n) -> fold_expr f (fold_expr f acc p) n
+
+let rec fold_stmt fs fe acc s =
+  let acc = fs acc s in
+  let expr = fold_expr fe in
+  match s with
+  | Decl (_, _, None) -> acc
+  | Decl (_, _, Some e) | Expr e | Return (Some e) | Delete e
+  | Delete_placed (e, _) ->
+    expr acc e
+  | Decl_obj (_, _, es) | Cout es -> List.fold_left expr acc es
+  | Assign (a, b) -> expr (expr acc a) b
+  | If (c, t, e) -> fold_stmts fs fe (fold_stmts fs fe (expr acc c) t) e
+  | While (c, b) -> fold_stmts fs fe (expr acc c) b
+  | For (init, c, step, b) ->
+    let acc = match init with Some s -> fold_stmt fs fe acc s | None -> acc in
+    let acc = expr acc c in
+    let acc = match step with Some s -> fold_stmt fs fe acc s | None -> acc in
+    fold_stmts fs fe acc b
+  | Return None -> acc
+
+and fold_stmts fs fe acc body = List.fold_left (fold_stmt fs fe) acc body
+
+(* All statements of a program, for the static analyzers. *)
+let fold_program fs fe acc p =
+  List.fold_left (fun acc fn -> fold_stmts fs fe acc fn.fn_body) acc p.p_funcs

@@ -1,0 +1,270 @@
+(** Pretty-printer: MiniC++ AST -> C++ source.
+
+    The output is the dialect {!Parser} reads back (assert-level round-trip
+    in the test suite) and is close enough to the paper's listings to diff
+    against them by eye. Dialect notes:
+
+    - [cin >> lvalue;] reads one attacker int; [lvalue = cin_str();] reads
+      an attacker string;
+    - [delete[T] p;] is the placed-delete of §4.5 (plain C++ has no
+      placement delete — the bracketed type records what the programmer
+      believed they were freeing);
+    - methods appear as declarations inside the class and as out-of-line
+      definitions ([T C::m(...) { ... }]); constructors follow C++ syntax. *)
+
+open Pna_layout
+
+(* ------------------------------------------------------------------ *)
+(* types and declarators                                               *)
+
+let rec base_type_name = function
+  | Ctype.Void -> "void"
+  | Ctype.Char -> "char"
+  | Ctype.Uchar -> "unsigned char"
+  | Ctype.Bool -> "bool"
+  | Ctype.Short -> "short"
+  | Ctype.Ushort -> "unsigned short"
+  | Ctype.Int -> "int"
+  | Ctype.Uint -> "unsigned int"
+  | Ctype.Float -> "float"
+  | Ctype.Double -> "double"
+  | Ctype.Class n -> n
+  | Ctype.Fun_ptr -> "void"
+  | Ctype.Ptr t -> base_type_name t
+  | Ctype.Array (t, _) -> base_type_name t
+
+(* declarator: stars before the name, array extents after *)
+let rec stars = function Ctype.Ptr t -> stars t ^ "*" | _ -> ""
+
+let rec extents = function
+  | Ctype.Array (t, n) -> Fmt.str "[%d]%s" n (extents t)
+  | _ -> ""
+
+let pp_decl ppf (name, ty) =
+  match ty with
+  | Ctype.Fun_ptr -> Fmt.pf ppf "void (*%s)()" name
+  | _ ->
+    Fmt.pf ppf "%s %s%s%s" (base_type_name ty) (stars ty) name (extents ty)
+
+let pp_type ppf ty =
+  match ty with
+  | Ctype.Fun_ptr -> Fmt.string ppf "void (*)()"
+  | _ -> Fmt.pf ppf "%s%s%s" (base_type_name ty) (stars ty) (extents ty)
+
+(* ------------------------------------------------------------------ *)
+(* expressions, precedence-aware                                       *)
+
+let binop_info = function
+  | Ast.Mul -> ("*", 5)
+  | Ast.Div -> ("/", 5)
+  | Ast.Mod -> ("%", 5)
+  | Ast.Add -> ("+", 6)
+  | Ast.Sub -> ("-", 6)
+  | Ast.Shl -> ("<<", 7)
+  | Ast.Shr -> (">>", 7)
+  | Ast.Lt -> ("<", 8)
+  | Ast.Le -> ("<=", 8)
+  | Ast.Gt -> (">", 8)
+  | Ast.Ge -> (">=", 8)
+  | Ast.Eq -> ("==", 9)
+  | Ast.Ne -> ("!=", 9)
+  | Ast.Band -> ("&", 10)
+  | Ast.Bor -> ("|", 12)
+  | Ast.And -> ("&&", 13)
+  | Ast.Or -> ("||", 14)
+
+let escape_string s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 || Char.code c > 126 ->
+        Buffer.add_string b (Fmt.str "\\x%02x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* constructors are stored as "C::ctor"; show C++ names *)
+let cpp_func_name name =
+  match String.index_opt name ':' with
+  | Some i
+    when i + 1 < String.length name
+         && name.[i + 1] = ':'
+         && String.sub name (i + 2) (String.length name - i - 2) = "ctor" ->
+    let c = String.sub name 0 i in
+    c ^ "::" ^ c
+  | _ -> name
+
+(* [prec] of the context: parenthesize when our operator binds looser *)
+let rec pp_expr ?(prec = 99) ppf (e : Ast.expr) =
+  let p = pp_expr in
+  match e with
+  | Ast.Int n -> Fmt.int ppf n
+  | Ast.Flt f ->
+    if Float.is_integer f then Fmt.pf ppf "%.1f" f else Fmt.pf ppf "%g" f
+  | Ast.Str s -> Fmt.pf ppf "\"%s\"" (escape_string s)
+  | Ast.Nullptr -> Fmt.string ppf "NULL"
+  | Ast.Cin -> Fmt.string ppf "cin_int()"
+  | Ast.Cin_str -> Fmt.string ppf "cin_str()"
+  | Ast.Var x -> Fmt.string ppf x
+  | Ast.Field (b, f) -> Fmt.pf ppf "%a.%s" (p ~prec:2) b f
+  | Ast.Arrow (b, f) -> Fmt.pf ppf "%a->%s" (p ~prec:2) b f
+  | Ast.Index (b, ix) -> Fmt.pf ppf "%a[%a]" (p ~prec:2) b (p ~prec:99) ix
+  | Ast.Deref e -> wrap ppf ~prec ~mine:3 "*%a" (p ~prec:3) e
+  | Ast.Addr e -> wrap ppf ~prec ~mine:3 "&%a" (p ~prec:3) e
+  | Ast.Fun_addr f -> Fmt.pf ppf "&%s" f
+  | Ast.Un (Ast.Neg, e) -> wrap ppf ~prec ~mine:3 "-%a" (p ~prec:3) e
+  | Ast.Un (Ast.Not, e) -> wrap ppf ~prec ~mine:3 "!%a" (p ~prec:3) e
+  | Ast.Un (Ast.Preinc, e) -> wrap ppf ~prec ~mine:3 "++%a" (p ~prec:3) e
+  | Ast.Un (Ast.Predec, e) -> wrap ppf ~prec ~mine:3 "--%a" (p ~prec:3) e
+  | Ast.Bin (op, a, b) ->
+    let sym, mine = binop_info op in
+    if mine > prec then
+      Fmt.pf ppf "(%a %s %a)" (p ~prec:mine) a sym (p ~prec:(mine - 1)) b
+    else Fmt.pf ppf "%a %s %a" (p ~prec:mine) a sym (p ~prec:(mine - 1)) b
+  | Ast.Call (f, args) -> Fmt.pf ppf "%s(%a)" (cpp_func_name f) pp_args args
+  | Ast.Mcall (o, m, args) ->
+    Fmt.pf ppf "%a%s%s(%a)" (p ~prec:2) o
+      (match o with Ast.Var _ when is_object o -> "." | _ -> "->")
+      m pp_args args
+  | Ast.Fpcall (f, args) -> Fmt.pf ppf "(*%a)(%a)" (p ~prec:3) f pp_args args
+  | Ast.New (ty, args) -> Fmt.pf ppf "new %a(%a)" pp_type ty pp_args args
+  | Ast.New_arr (ty, n) -> Fmt.pf ppf "new %a[%a]" pp_type ty (p ~prec:99) n
+  | Ast.Pnew (place, ty, args) ->
+    Fmt.pf ppf "new (%a) %a(%a)" (p ~prec:99) place pp_type ty pp_args args
+  | Ast.Pnew_arr (place, ty, n) ->
+    Fmt.pf ppf "new (%a) %a[%a]" (p ~prec:99) place pp_type ty (p ~prec:99) n
+  | Ast.Sizeof ty -> Fmt.pf ppf "sizeof(%a)" pp_type ty
+  | Ast.Cast (ty, e) -> wrap ppf ~prec ~mine:3 "(%a)%a" pp_type ty (p ~prec:3) e
+
+and wrap : 'a. _ -> prec:int -> mine:int -> ('a, Format.formatter, unit) format -> 'a
+    =
+ fun ppf ~prec ~mine fmt ->
+  if mine > prec then (
+    Format.pp_print_string ppf "(";
+    Fmt.kpf (fun ppf -> Format.pp_print_string ppf ")") ppf fmt)
+  else Fmt.pf ppf fmt
+
+and pp_args ppf args = Fmt.(list ~sep:(any ", ") (pp_expr ~prec:16)) ppf args
+
+(* crude heuristic only used to render o.m() vs o->m(): method calls on a
+   bare variable bound as an object use "." in our listings *)
+and is_object = function Ast.Var _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* statements                                                          *)
+
+let rec pp_stmt ind ppf (s : Ast.stmt) =
+  let pad = String.make (2 * ind) ' ' in
+  let e99 = pp_expr ~prec:99 in
+  match s with
+  | Ast.Decl (x, ty, None) -> Fmt.pf ppf "%s%a;" pad pp_decl (x, ty)
+  | Ast.Decl (x, ty, Some Ast.Cin) ->
+    (* C++ has no "declare and stream-read" form: two statements *)
+    Fmt.pf ppf "%s%a;@,%scin >> %s;" pad pp_decl (x, ty) pad x
+  | Ast.Decl (x, ty, Some e) ->
+    Fmt.pf ppf "%s%a = %a;" pad pp_decl (x, ty) e99 e
+  | Ast.Decl_obj (x, cname, []) -> Fmt.pf ppf "%s%s %s;" pad cname x
+  | Ast.Decl_obj (x, cname, args) ->
+    Fmt.pf ppf "%s%s %s = %s(%a);" pad cname x cname pp_args args
+  | Ast.Assign (lv, Ast.Cin) -> Fmt.pf ppf "%scin >> %a;" pad e99 lv
+  | Ast.Assign (lv, e) -> Fmt.pf ppf "%s%a = %a;" pad e99 lv e99 e
+  | Ast.Expr e -> Fmt.pf ppf "%s%a;" pad e99 e
+  | Ast.If (c, t, []) ->
+    Fmt.pf ppf "%sif (%a) {@,%a%s}" pad e99 c (pp_block (ind + 1)) t pad
+  | Ast.If (c, t, f) ->
+    Fmt.pf ppf "%sif (%a) {@,%a%s} else {@,%a%s}" pad e99 c
+      (pp_block (ind + 1))
+      t pad
+      (pp_block (ind + 1))
+      f pad
+  | Ast.While (c, body) ->
+    Fmt.pf ppf "%swhile (%a) {@,%a%s}" pad e99 c (pp_block (ind + 1)) body pad
+  | Ast.For (init, c, step, body) ->
+    Fmt.pf ppf "%sfor (%a %a; %a) {@,%a%s}" pad (pp_for_init 0) init e99 c
+      (pp_for_step ind) step
+      (pp_block (ind + 1))
+      body pad
+  | Ast.Return None -> Fmt.pf ppf "%sreturn;" pad
+  | Ast.Return (Some e) -> Fmt.pf ppf "%sreturn %a;" pad e99 e
+  | Ast.Delete e -> Fmt.pf ppf "%sdelete %a;" pad e99 e
+  | Ast.Delete_placed (e, ty) ->
+    Fmt.pf ppf "%sdelete[%a] %a;" pad pp_type ty e99 e
+  | Ast.Cout items ->
+    Fmt.pf ppf "%scout%a;" pad
+      Fmt.(list ~sep:nop (fun ppf it -> pf ppf " << %a" e99 it))
+      items
+
+and pp_for_init _ind ppf = function
+  | Some (Ast.Decl (x, ty, Some e)) ->
+    Fmt.pf ppf "%a = %a;" pp_decl (x, ty) (pp_expr ~prec:99) e
+  | Some s -> (
+    (* strip the indentation a nested statement would print *)
+    match Fmt.str "%a" (pp_stmt 0) s with
+    | str -> Fmt.string ppf str)
+  | None -> Fmt.string ppf ";"
+
+and pp_for_step _ind ppf = function
+  | Some s ->
+    let str = Fmt.str "%a" (pp_stmt 0) s in
+    (* drop the trailing ';' of the rendered statement *)
+    let str =
+      if String.length str > 0 && str.[String.length str - 1] = ';' then
+        String.sub str 0 (String.length str - 1)
+      else str
+    in
+    Fmt.string ppf str
+  | None -> ()
+
+and pp_block ind ppf body =
+  List.iter (fun s -> Fmt.pf ppf "%a@," (pp_stmt ind) s) body
+
+(* ------------------------------------------------------------------ *)
+(* top level                                                           *)
+
+let pp_class env ppf (c : Class_def.t) =
+  ignore env;
+  Fmt.pf ppf "@[<v>class %s%s {@,public:" c.Class_def.c_name
+    (match c.Class_def.c_bases with
+    | [] -> ""
+    | bs -> " : " ^ String.concat ", " (List.map (fun b -> "public " ^ b) bs));
+  List.iter
+    (fun (m : Class_def.meth) ->
+      Fmt.pf ppf "@,  %sint %s();"
+        (if m.Class_def.m_virtual then "virtual " else "")
+        m.Class_def.m_name)
+    c.Class_def.c_methods;
+  List.iter
+    (fun (fname, ty) -> Fmt.pf ppf "@,  %a;" pp_decl (fname, ty))
+    c.Class_def.c_fields;
+  Fmt.pf ppf "@,};@]"
+
+let pp_global ppf (g : Ast.global) =
+  match g.Ast.g_init with
+  | Ast.Zero -> Fmt.pf ppf "%a;" pp_decl (g.Ast.g_name, g.Ast.g_type)
+  | Ast.Ival n -> Fmt.pf ppf "%a = %d;" pp_decl (g.Ast.g_name, g.Ast.g_type) n
+  | Ast.Fval f -> Fmt.pf ppf "%a = %g;" pp_decl (g.Ast.g_name, g.Ast.g_type) f
+  | Ast.Sval s ->
+    Fmt.pf ppf "%a = \"%s\";" pp_decl (g.Ast.g_name, g.Ast.g_type)
+      (escape_string s)
+
+let pp_func ppf (fn : Ast.func) =
+  Fmt.pf ppf "@[<v>%a %s(%a) {@,%a}@]"
+    (fun ppf ty -> pp_type ppf ty)
+    fn.Ast.fn_ret (cpp_func_name fn.Ast.fn_name)
+    Fmt.(list ~sep:(any ", ") pp_decl)
+    fn.Ast.fn_params (pp_block 1) fn.Ast.fn_body
+
+let pp_program ppf (p : Ast.program) =
+  Fmt.pf ppf "@[<v>";
+  List.iter (fun c -> Fmt.pf ppf "%a@,@," (pp_class ()) c) p.Ast.p_classes;
+  List.iter (fun g -> Fmt.pf ppf "%a@," pp_global g) p.Ast.p_globals;
+  if p.Ast.p_globals <> [] then Fmt.pf ppf "@,";
+  List.iter (fun f -> Fmt.pf ppf "%a@,@," pp_func f) p.Ast.p_funcs;
+  Fmt.pf ppf "@]"
+
+let program_to_string p = Fmt.str "%a" pp_program p

@@ -1,0 +1,21 @@
+(** Pretty-printer: MiniC++ AST -> C++ source, in the dialect {!Parser}
+    reads back (print -> parse -> print is the identity; enforced over the
+    whole attack catalogue by the test suite). *)
+
+val pp_type : Format.formatter -> Pna_layout.Ctype.t -> unit
+
+val pp_decl : Format.formatter -> string * Pna_layout.Ctype.t -> unit
+(** C declarator syntax: stars before the name, array extents after. *)
+
+val pp_expr : ?prec:int -> Format.formatter -> Ast.expr -> unit
+(** Precedence-aware (minimal parentheses); [prec] is the context's
+    binding level, defaulting to "statement position". *)
+
+val pp_stmt : int -> Format.formatter -> Ast.stmt -> unit
+(** The [int] is the indentation depth. *)
+
+val pp_class : unit -> Format.formatter -> Pna_layout.Class_def.t -> unit
+val pp_global : Format.formatter -> Ast.global -> unit
+val pp_func : Format.formatter -> Ast.func -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val program_to_string : Ast.program -> string

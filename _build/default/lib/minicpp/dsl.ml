@@ -1,0 +1,81 @@
+(** Combinators for writing MiniC++ programs compactly.
+
+    The attack library transcribes each listing of the paper with these;
+    the result reads close to the original C++. *)
+
+open Pna_layout
+
+include Ast
+
+(* expressions *)
+let i n = Int n
+let fl x = Flt x
+let str s = Str s
+let v name = Var name
+let null = Nullptr
+let cin = Cin
+let cin_str = Cin_str
+let sizeof ty = Sizeof ty
+let fun_addr f = Fun_addr f
+let addr e = Addr e
+let deref e = Deref e
+let idx a j = Index (a, j)
+let fld e f = Field (e, f)
+let arrow e f = Arrow (e, f)
+let call f args = Call (f, args)
+let mcall o m args = Mcall (o, m, args)
+let fpcall f args = Fpcall (f, args)
+let cast ty e = Cast (ty, e)
+let pnew place ty args = Pnew (place, ty, args)
+let pnew_arr place ty n = Pnew_arr (place, ty, n)
+let new_ ty args = New (ty, args)
+let new_arr ty n = New_arr (ty, n)
+let incr e = Un (Preinc, e)
+let decr e = Un (Predec, e)
+let not_ e = Un (Not, e)
+let neg e = Un (Neg, e)
+
+let ( +: ) a b = Bin (Add, a, b)
+let ( -: ) a b = Bin (Sub, a, b)
+let ( *: ) a b = Bin (Mul, a, b)
+let ( /: ) a b = Bin (Div, a, b)
+let ( %: ) a b = Bin (Mod, a, b)
+let ( <: ) a b = Bin (Lt, a, b)
+let ( <=: ) a b = Bin (Le, a, b)
+let ( >: ) a b = Bin (Gt, a, b)
+let ( >=: ) a b = Bin (Ge, a, b)
+let ( ==: ) a b = Bin (Eq, a, b)
+let ( <>: ) a b = Bin (Ne, a, b)
+let ( &&: ) a b = Bin (And, a, b)
+let ( ||: ) a b = Bin (Or, a, b)
+
+(* statements *)
+let decl name ty = Decl (name, ty, None)
+let decli name ty e = Decl (name, ty, Some e)
+let obj name cname args = Decl_obj (name, cname, args)
+let set lv e = Assign (lv, e)
+let expr e = Expr e
+let if_ c t e = If (c, t, e)
+let when_ c t = If (c, t, [])
+let while_ c b = While (c, b)
+let for_ init cond step body = For (Some init, cond, Some step, body)
+let ret e = Return (Some e)
+let ret0 = Return None
+let delete e = Delete e
+let delete_placed e ty = Delete_placed (e, ty)
+let cout items = Cout items
+
+(* types *)
+let void = Ctype.Void
+let char = Ctype.Char
+let int = Ctype.Int
+let uint = Ctype.Uint
+let double = Ctype.Double
+let bool_ = Ctype.Bool
+let ptr t = Ctype.Ptr t
+let char_p = Ctype.Ptr Ctype.Char
+let fun_ptr = Ctype.Fun_ptr
+let cls name = Ctype.Class name
+let arr t n = Ctype.Array (t, n)
+let char_arr n = Ctype.Array (Ctype.Char, n)
+let int_arr n = Ctype.Array (Ctype.Int, n)

@@ -1,0 +1,41 @@
+(** The MiniC++ interpreter: compiled-C++ semantics (no implicit safety
+    checks) over a {!Pna_machine.Machine} process image. *)
+
+val build_env : Ast.program -> Pna_layout.Layout.env
+(** Layout environment for the program's classes. *)
+
+val libc_symbols : string list
+(** Attack-target symbols present in every image ("system", ...). *)
+
+val load :
+  ?heap_size:int -> config:Pna_defense.Config.t -> Ast.program -> Pna_machine.Machine.t
+(** Build the process image: register functions and libc symbols, emit
+    vtables, allocate and initialize globals. *)
+
+val run :
+  ?max_steps:int ->
+  ?max_depth:int ->
+  ?on_stmt:(string -> Ast.stmt -> unit) ->
+  Pna_machine.Machine.t ->
+  Ast.program ->
+  entry:string ->
+  Outcome.t
+(** Execute [entry] (usually ["main"]). Never raises: crashes, defense
+    stops, hijacks, timeouts and OOM all surface as the outcome status.
+    [max_steps] (default 2,000,000) bounds evaluated expressions +
+    statements; exceeding it is the DoS outcome. [on_stmt] is invoked
+    before every executed statement with the enclosing function's name —
+    the hook behind {!Pna.Coverage}. *)
+
+val execute :
+  ?heap_size:int ->
+  ?max_steps:int ->
+  ?max_depth:int ->
+  ?on_stmt:(string -> Ast.stmt -> unit) ->
+  config:Pna_defense.Config.t ->
+  ?input_ints:int list ->
+  ?input_strings:string list ->
+  ?entry:string ->
+  Ast.program ->
+  Outcome.t
+(** [load] + set input + [run] in one call. *)

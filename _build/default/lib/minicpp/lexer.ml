@@ -1,0 +1,222 @@
+(** Hand-rolled lexer for the MiniC++ concrete syntax (the dialect
+    {!Cpp_print} emits). *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | KW of string  (** class, public, virtual, if, else, while, for, ... *)
+  | PUNCT of string  (** operators and separators, longest-match *)
+  | EOF
+
+exception Error of { line : int; message : string }
+
+let keywords =
+  [
+    "class"; "public"; "virtual"; "if"; "else"; "while"; "for"; "return";
+    "new"; "delete"; "sizeof"; "cin"; "cout"; "NULL";
+    "void"; "char"; "bool"; "short"; "int"; "float"; "double"; "unsigned";
+  ]
+
+let puncts =
+  (* longest first *)
+  [
+    "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||"; "++"; "--"; "->"; "::";
+    "+"; "-"; "*"; "/"; "%"; "<"; ">"; "="; "!"; "&"; "|"; "("; ")"; "{";
+    "}"; "["; "]"; ";"; ","; "."; ":";
+  ]
+
+type t = { src : string; mutable pos : int; mutable line : int }
+
+let create src = { src; pos = 0; line = 1 }
+
+let error t fmt =
+  Fmt.kstr (fun message -> raise (Error { line = t.line; message })) fmt
+
+let peek_char t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let advance t =
+  (match peek_char t with Some '\n' -> t.line <- t.line + 1 | _ -> ());
+  t.pos <- t.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance t;
+    skip_ws t
+  | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+    while peek_char t <> None && peek_char t <> Some '\n' do
+      advance t
+    done;
+    skip_ws t
+  | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '*' ->
+    advance t;
+    advance t;
+    let rec close () =
+      match peek_char t with
+      | None -> error t "unterminated comment"
+      | Some '*' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+        advance t;
+        advance t
+      | Some _ ->
+        advance t;
+        close ()
+    in
+    close ();
+    skip_ws t
+  | _ -> ()
+
+let lex_number t =
+  let start = t.pos in
+  let hex =
+    t.src.[t.pos] = '0'
+    && t.pos + 1 < String.length t.src
+    && (t.src.[t.pos + 1] = 'x' || t.src.[t.pos + 1] = 'X')
+  in
+  if hex then begin
+    advance t;
+    advance t;
+    while
+      match peek_char t with
+      | Some c -> is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+      | None -> false
+    do
+      advance t
+    done;
+    INT (int_of_string (String.sub t.src start (t.pos - start)))
+  end
+  else begin
+    while (match peek_char t with Some c -> is_digit c | None -> false) do
+      advance t
+    done;
+    let is_float =
+      match peek_char t with
+      | Some '.' when t.pos + 1 < String.length t.src && is_digit t.src.[t.pos + 1]
+        ->
+        true
+      | _ -> false
+    in
+    if is_float then begin
+      advance t;
+      while (match peek_char t with Some c -> is_digit c | None -> false) do
+        advance t
+      done;
+      (match peek_char t with
+      | Some ('e' | 'E') ->
+        advance t;
+        (match peek_char t with Some ('+' | '-') -> advance t | _ -> ());
+        while (match peek_char t with Some c -> is_digit c | None -> false) do
+          advance t
+        done
+      | _ -> ());
+      FLOAT (float_of_string (String.sub t.src start (t.pos - start)))
+    end
+    else INT (int_of_string (String.sub t.src start (t.pos - start)))
+  end
+
+let lex_string t =
+  advance t;
+  (* opening quote *)
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek_char t with
+    | None -> error t "unterminated string literal"
+    | Some '"' -> advance t
+    | Some '\\' -> (
+      advance t;
+      match peek_char t with
+      | Some 'n' ->
+        Buffer.add_char b '\n';
+        advance t;
+        go ()
+      | Some 't' ->
+        Buffer.add_char b '\t';
+        advance t;
+        go ()
+      | Some '\\' ->
+        Buffer.add_char b '\\';
+        advance t;
+        go ()
+      | Some '"' ->
+        Buffer.add_char b '"';
+        advance t;
+        go ()
+      | Some '0' ->
+        Buffer.add_char b '\000';
+        advance t;
+        go ()
+      | Some 'x' ->
+        advance t;
+        let hex_digit () =
+          match peek_char t with
+          | Some c
+            when is_digit c
+                 || (c >= 'a' && c <= 'f')
+                 || (c >= 'A' && c <= 'F') ->
+            advance t;
+            c
+          | _ -> error t "bad \\x escape"
+        in
+        let h1 = hex_digit () in
+        let h2 = hex_digit () in
+        Buffer.add_char b (Char.chr (int_of_string (Fmt.str "0x%c%c" h1 h2)));
+        go ()
+      | _ -> error t "unknown escape")
+    | Some c ->
+      Buffer.add_char b c;
+      advance t;
+      go ()
+  in
+  go ();
+  STRING (Buffer.contents b)
+
+let next t =
+  skip_ws t;
+  match peek_char t with
+  | None -> EOF
+  | Some c when is_digit c -> lex_number t
+  | Some '"' -> lex_string t
+  | Some c when is_ident_start c ->
+    let start = t.pos in
+    while (match peek_char t with Some c -> is_ident c | None -> false) do
+      advance t
+    done;
+    let s = String.sub t.src start (t.pos - start) in
+    if List.mem s keywords then KW s else IDENT s
+  | Some _ -> (
+    let matches p =
+      let n = String.length p in
+      t.pos + n <= String.length t.src && String.sub t.src t.pos n = p
+    in
+    match List.find_opt matches puncts with
+    | Some p ->
+      for _ = 1 to String.length p do
+        advance t
+      done;
+      PUNCT p
+    | None -> error t "unexpected character %C" (Option.get (peek_char t)))
+
+(** Tokenize the whole input, with line numbers. *)
+let tokenize src =
+  let t = create src in
+  let rec go acc =
+    let line = t.line in
+    match next t with
+    | EOF -> List.rev ((EOF, line) :: acc)
+    | tok -> go ((tok, line) :: acc)
+  in
+  go []
+
+let pp_token ppf = function
+  | INT n -> Fmt.pf ppf "INT(%d)" n
+  | FLOAT f -> Fmt.pf ppf "FLOAT(%g)" f
+  | STRING s -> Fmt.pf ppf "STRING(%S)" s
+  | IDENT s -> Fmt.pf ppf "IDENT(%s)" s
+  | KW s -> Fmt.pf ppf "KW(%s)" s
+  | PUNCT s -> Fmt.pf ppf "%S" s
+  | EOF -> Fmt.string ppf "EOF"

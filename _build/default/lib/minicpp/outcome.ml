@@ -1,0 +1,66 @@
+(** The observable result of running a MiniC++ program.
+
+    This is the unit of measurement for every experiment: attacks are
+    judged successful/blocked/crashed by pattern-matching the status, the
+    machine's event stream and the program output. *)
+
+type hijack_via = Return_address | Vtable | Function_pointer
+
+let via_name = function
+  | Return_address -> "return address"
+  | Vtable -> "vtable pointer"
+  | Function_pointer -> "function pointer"
+
+type status =
+  | Exited of int  (** ran to completion *)
+  | Arc_injection of { via : hijack_via; symbol : string; tainted : bool }
+      (** control redirected to an existing text symbol (return-to-libc
+          style, §3.6.2) *)
+  | Code_injection of { via : hijack_via; target : int; tainted : bool }
+      (** control transferred into a writable segment: injected code would
+          run (§3.6.2) *)
+  | Crashed of string  (** segfault / heap corruption / SIGFPE *)
+  | Stack_smashing_detected  (** StackGuard terminated the program *)
+  | Defense_blocked of string  (** shadow stack / bounds check / NX fired *)
+  | Timeout of { steps : int }  (** interpreter budget exhausted: DoS *)
+  | Out_of_memory
+
+type t = {
+  status : status;
+  events : Pna_machine.Event.t list;
+  output : string list;
+  steps : int;  (** statements + expressions evaluated *)
+}
+
+let pp_status ppf = function
+  | Exited c -> Fmt.pf ppf "exited(%d)" c
+  | Arc_injection h ->
+    Fmt.pf ppf "ARC-INJECTION via %s -> %s%s" (via_name h.via) h.symbol
+      (if h.tainted then " [tainted]" else "")
+  | Code_injection h ->
+    Fmt.pf ppf "CODE-INJECTION via %s -> 0x%08x%s" (via_name h.via) h.target
+      (if h.tainted then " [tainted]" else "")
+  | Crashed msg -> Fmt.pf ppf "CRASH: %s" msg
+  | Stack_smashing_detected -> Fmt.string ppf "*** stack smashing detected ***"
+  | Defense_blocked d -> Fmt.pf ppf "BLOCKED by %s" d
+  | Timeout t -> Fmt.pf ppf "TIMEOUT after %d steps" t.steps
+  | Out_of_memory -> Fmt.string ppf "OUT OF MEMORY"
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a (%d steps)%a@]" pp_status t.status t.steps
+    (fun ppf -> function
+      | [] -> ()
+      | out -> Fmt.pf ppf "@,output: %a" (Fmt.list ~sep:Fmt.sp Fmt.Dump.string) out)
+    t.output
+
+let hijacked t =
+  match t.status with
+  | Arc_injection _ | Code_injection _ -> true
+  | _ -> false
+
+let blocked t =
+  match t.status with
+  | Stack_smashing_detected | Defense_blocked _ -> true
+  | _ -> false
+
+let exited_normally t = match t.status with Exited _ -> true | _ -> false

@@ -1,0 +1,31 @@
+(** The observable result of running a MiniC++ program — the unit of
+    measurement for every experiment. *)
+
+type hijack_via = Return_address | Vtable | Function_pointer
+
+val via_name : hijack_via -> string
+
+type status =
+  | Exited of int
+  | Arc_injection of { via : hijack_via; symbol : string; tainted : bool }
+      (** control redirected to an existing text symbol (§3.6.2) *)
+  | Code_injection of { via : hijack_via; target : int; tainted : bool }
+      (** control transferred into a writable segment *)
+  | Crashed of string
+  | Stack_smashing_detected  (** StackGuard terminated the program *)
+  | Defense_blocked of string
+  | Timeout of { steps : int }  (** interpreter budget exhausted: DoS *)
+  | Out_of_memory
+
+type t = {
+  status : status;
+  events : Pna_machine.Event.t list;
+  output : string list;
+  steps : int;
+}
+
+val pp_status : Format.formatter -> status -> unit
+val pp : Format.formatter -> t -> unit
+val hijacked : t -> bool
+val blocked : t -> bool
+val exited_normally : t -> bool

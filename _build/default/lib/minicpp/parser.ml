@@ -1,0 +1,708 @@
+(** Recursive-descent parser for the MiniC++ concrete syntax — the inverse
+    of {!Cpp_print} (the test suite checks print-parse-print fixpoints over
+    the whole attack catalogue).
+
+    Dialect reminders: [cin >> lv;] reads an attacker int,
+    [cin_int()]/[cin_str()] are the expression forms, [delete[T] p;] is the
+    §4.5 placed delete, constructors are [C::C], and the implicit receiver
+    appears as an explicit [this] parameter in out-of-line member
+    definitions. *)
+
+open Pna_layout
+
+exception Error of { line : int; message : string }
+
+type t = {
+  toks : (Lexer.token * int) array;
+  mutable pos : int;
+  mutable classes : (string, unit) Hashtbl.t;
+}
+
+let error t fmt =
+  let line = snd t.toks.(min t.pos (Array.length t.toks - 1)) in
+  Fmt.kstr (fun message -> raise (Error { line; message })) fmt
+
+let peek t = fst t.toks.(t.pos)
+let peek2 t = if t.pos + 1 < Array.length t.toks then fst t.toks.(t.pos + 1) else Lexer.EOF
+let advance t = t.pos <- t.pos + 1
+
+let next t =
+  let tok = peek t in
+  advance t;
+  tok
+
+let expect_punct t p =
+  match next t with
+  | Lexer.PUNCT q when q = p -> ()
+  | tok -> error t "expected %S, found %a" p Lexer.pp_token tok
+
+let expect_kw t k =
+  match next t with
+  | Lexer.KW q when q = k -> ()
+  | tok -> error t "expected %S, found %a" k Lexer.pp_token tok
+
+let expect_ident t =
+  match next t with
+  | Lexer.IDENT x -> x
+  | tok -> error t "expected identifier, found %a" Lexer.pp_token tok
+
+let accept_punct t p =
+  match peek t with
+  | Lexer.PUNCT q when q = p ->
+    advance t;
+    true
+  | _ -> false
+
+let is_class t name = Hashtbl.mem t.classes name
+
+(* ------------------------------------------------------------------ *)
+(* types                                                               *)
+
+(* does a type start here? (base type keyword or a known class name) *)
+let type_starts t =
+  match peek t with
+  | Lexer.KW ("void" | "char" | "bool" | "short" | "int" | "float" | "double" | "unsigned")
+    ->
+    true
+  | Lexer.IDENT x -> is_class t x
+  | _ -> false
+
+let parse_base_type t =
+  match next t with
+  | Lexer.KW "void" -> Ctype.Void
+  | Lexer.KW "char" -> Ctype.Char
+  | Lexer.KW "bool" -> Ctype.Bool
+  | Lexer.KW "short" -> Ctype.Short
+  | Lexer.KW "int" -> Ctype.Int
+  | Lexer.KW "float" -> Ctype.Float
+  | Lexer.KW "double" -> Ctype.Double
+  | Lexer.KW "unsigned" -> (
+    match peek t with
+    | Lexer.KW "char" ->
+      advance t;
+      Ctype.Uchar
+    | Lexer.KW "short" ->
+      advance t;
+      Ctype.Ushort
+    | Lexer.KW "int" ->
+      advance t;
+      Ctype.Uint
+    | _ -> Ctype.Uint)
+  | Lexer.IDENT x when is_class t x -> Ctype.Class x
+  | tok -> error t "expected a type, found %a" Lexer.pp_token tok
+
+let rec wrap_stars ty n = if n = 0 then ty else wrap_stars (Ctype.Ptr ty) (n - 1)
+
+let parse_stars t =
+  let n = ref 0 in
+  while accept_punct t "*" do
+    incr n
+  done;
+  !n
+
+(* array extents after the declarator name: T x[3][4] *)
+let rec parse_extents t ty =
+  if accept_punct t "[" then begin
+    let n =
+      match next t with
+      | Lexer.INT n -> n
+      | tok -> error t "expected array extent, found %a" Lexer.pp_token tok
+    in
+    expect_punct t "]";
+    Ctype.Array (parse_extents t ty, n)
+  end
+  else ty
+
+(* a full abstract type, as in sizeof(...) or casts: base + stars + [n] *)
+let parse_type t =
+  let base = parse_base_type t in
+  let ty = wrap_stars base (parse_stars t) in
+  (* function-pointer abstract type: void, open paren, star... *)
+  if
+    ty = Ctype.Void
+    && peek t = Lexer.PUNCT "("
+    && peek2 t = Lexer.PUNCT "*"
+  then begin
+    expect_punct t "(";
+    expect_punct t "*";
+    expect_punct t ")";
+    expect_punct t "(";
+    expect_punct t ")";
+    Ctype.Fun_ptr
+  end
+  else if accept_punct t "[" then begin
+    let n =
+      match next t with
+      | Lexer.INT n -> n
+      | tok -> error t "expected array extent, found %a" Lexer.pp_token tok
+    in
+    expect_punct t "]";
+    Ctype.Array (ty, n)
+  end
+  else ty
+
+(* declarator: stars, name, extents - or the starred fun-ptr form *)
+let parse_declarator t base =
+  if base = Ctype.Void && peek t = Lexer.PUNCT "(" && peek2 t = Lexer.PUNCT "*"
+  then begin
+    expect_punct t "(";
+    expect_punct t "*";
+    let name = expect_ident t in
+    expect_punct t ")";
+    expect_punct t "(";
+    expect_punct t ")";
+    (name, Ctype.Fun_ptr)
+  end
+  else begin
+    let ty = wrap_stars base (parse_stars t) in
+    let name = expect_ident t in
+    (name, parse_extents t ty)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* expressions                                                         *)
+
+(* after an open paren: decide cast vs parenthesized expression *)
+let looks_like_cast t =
+  match peek t with
+  | Lexer.KW ("void" | "char" | "bool" | "short" | "int" | "float" | "double" | "unsigned")
+    ->
+    true
+  | Lexer.IDENT x -> is_class t x && peek2 t = Lexer.PUNCT "*"
+  | _ -> false
+
+let rec parse_expr t = parse_binary t 14
+
+and parse_binary t max_prec =
+  let lhs = parse_unary t in
+  parse_binary_rhs t lhs max_prec
+
+and parse_binary_rhs t lhs max_prec =
+  let op_of = function
+    | "*" -> Some (Ast.Mul, 5)
+    | "/" -> Some (Ast.Div, 5)
+    | "%" -> Some (Ast.Mod, 5)
+    | "+" -> Some (Ast.Add, 6)
+    | "-" -> Some (Ast.Sub, 6)
+    | "<" -> Some (Ast.Lt, 8)
+    | "<=" -> Some (Ast.Le, 8)
+    | ">" -> Some (Ast.Gt, 8)
+    | ">=" -> Some (Ast.Ge, 8)
+    | "==" -> Some (Ast.Eq, 9)
+    | "!=" -> Some (Ast.Ne, 9)
+    | "&" -> Some (Ast.Band, 10)
+    | "|" -> Some (Ast.Bor, 12)
+    | "&&" -> Some (Ast.And, 13)
+    | "||" -> Some (Ast.Or, 14)
+    | _ -> None
+  in
+  match peek t with
+  | Lexer.PUNCT p -> (
+    match op_of p with
+    | Some (op, prec) when prec <= max_prec ->
+      advance t;
+      let rhs = parse_binary t (prec - 1) in
+      parse_binary_rhs t (Ast.Bin (op, lhs, rhs)) max_prec
+    | _ -> lhs)
+  | _ -> lhs
+
+and parse_unary t =
+  match peek t with
+  | Lexer.PUNCT "-" ->
+    advance t;
+    Ast.Un (Ast.Neg, parse_unary t)
+  | Lexer.PUNCT "!" ->
+    advance t;
+    Ast.Un (Ast.Not, parse_unary t)
+  | Lexer.PUNCT "++" ->
+    advance t;
+    Ast.Un (Ast.Preinc, parse_unary t)
+  | Lexer.PUNCT "--" ->
+    advance t;
+    Ast.Un (Ast.Predec, parse_unary t)
+  | Lexer.PUNCT "*" ->
+    advance t;
+    Ast.Deref (parse_unary t)
+  | Lexer.PUNCT "&" ->
+    advance t;
+    Ast.Addr (parse_unary t)
+  | _ -> parse_postfix t
+
+and parse_postfix t =
+  let rec loop e =
+    match peek t with
+    | Lexer.PUNCT "." ->
+      advance t;
+      let f = expect_ident t in
+      if peek t = Lexer.PUNCT "(" then loop (Ast.Mcall (e, f, parse_args t))
+      else loop (Ast.Field (e, f))
+    | Lexer.PUNCT "->" ->
+      advance t;
+      let f = expect_ident t in
+      if peek t = Lexer.PUNCT "(" then loop (Ast.Mcall (e, f, parse_args t))
+      else loop (Ast.Arrow (e, f))
+    | Lexer.PUNCT "[" ->
+      advance t;
+      let ix = parse_expr t in
+      expect_punct t "]";
+      loop (Ast.Index (e, ix))
+    | _ -> e
+  in
+  loop (parse_primary t)
+
+and parse_args t =
+  expect_punct t "(";
+  if accept_punct t ")" then []
+  else
+    let rec go acc =
+      let e = parse_expr t in
+      if accept_punct t "," then go (e :: acc)
+      else begin
+        expect_punct t ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+
+and parse_primary t =
+  match peek t with
+  | Lexer.INT n ->
+    advance t;
+    Ast.Int n
+  | Lexer.FLOAT f ->
+    advance t;
+    Ast.Flt f
+  | Lexer.STRING s ->
+    advance t;
+    Ast.Str s
+  | Lexer.KW "NULL" ->
+    advance t;
+    Ast.Nullptr
+  | Lexer.KW "sizeof" ->
+    advance t;
+    expect_punct t "(";
+    let ty = parse_type t in
+    expect_punct t ")";
+    Ast.Sizeof ty
+  | Lexer.KW "new" ->
+    advance t;
+    if peek t = Lexer.PUNCT "(" && not (t.pos + 1 < Array.length t.toks && looks_like_cast_at t (t.pos + 1)) then begin
+      (* placement form: new (place) T... *)
+      expect_punct t "(";
+      let place = parse_expr t in
+      expect_punct t ")";
+      parse_new_tail t ~place:(Some place)
+    end
+    else parse_new_tail t ~place:None
+  | Lexer.IDENT ("cin_int" | "cin_str") ->
+    let which = expect_ident t in
+    expect_punct t "(";
+    expect_punct t ")";
+    if which = "cin_int" then Ast.Cin else Ast.Cin_str
+  | Lexer.IDENT x -> (
+    advance t;
+    if peek t = Lexer.PUNCT "(" then Ast.Call (resolve_func_name t x, parse_args t)
+    else Ast.Var x)
+  | Lexer.PUNCT "(" ->
+    advance t;
+    if looks_like_cast t then begin
+      let ty = parse_type t in
+      expect_punct t ")";
+      Ast.Cast (ty, parse_unary t)
+    end
+    else if peek t = Lexer.PUNCT "*" && (match peek2 t with Lexer.IDENT _ -> true | _ -> false)
+    then begin
+      (* call through a parenthesized, starred function pointer *)
+      advance t;
+      let f = parse_postfix t in
+      expect_punct t ")";
+      if peek t = Lexer.PUNCT "(" then Ast.Fpcall (f, parse_args t)
+      else Ast.Deref f
+    end
+    else begin
+      let e = parse_expr t in
+      expect_punct t ")";
+      e
+    end
+  | tok -> error t "unexpected token %a in expression" Lexer.pp_token tok
+
+(* checking castability at an arbitrary token index (for `new (` lookahead) *)
+and looks_like_cast_at t idx =
+  match fst t.toks.(idx) with
+  | Lexer.KW ("void" | "char" | "bool" | "short" | "int" | "float" | "double" | "unsigned")
+    ->
+    true
+  | _ -> false
+
+and parse_new_tail t ~place =
+  let base = parse_base_type t in
+  let stars = parse_stars t in
+  let ty = wrap_stars base stars in
+  if accept_punct t "[" then begin
+    let n = parse_expr t in
+    expect_punct t "]";
+    match place with
+    | Some p -> Ast.Pnew_arr (p, ty, n)
+    | None -> Ast.New_arr (ty, n)
+  end
+  else begin
+    let args = if peek t = Lexer.PUNCT "(" then parse_args t else [] in
+    match place with
+    | Some p -> Ast.Pnew (p, ty, args)
+    | None -> Ast.New (ty, args)
+  end
+
+(* C::C(…) renders constructors; map back to the "C::ctor" convention *)
+and resolve_func_name t x =
+  if peek t = Lexer.PUNCT "::" then x (* not reachable: :: handled in qname *)
+  else x
+
+(* ------------------------------------------------------------------ *)
+(* statements                                                          *)
+
+let rec parse_stmt t : Ast.stmt =
+  match peek t with
+  | Lexer.KW "if" ->
+    advance t;
+    expect_punct t "(";
+    let c = parse_expr t in
+    expect_punct t ")";
+    let then_ = parse_block t in
+    let else_ =
+      match peek t with
+      | Lexer.KW "else" ->
+        advance t;
+        parse_block t
+      | _ -> []
+    in
+    Ast.If (c, then_, else_)
+  | Lexer.KW "while" ->
+    advance t;
+    expect_punct t "(";
+    let c = parse_expr t in
+    expect_punct t ")";
+    Ast.While (c, parse_block t)
+  | Lexer.KW "for" ->
+    advance t;
+    expect_punct t "(";
+    let init =
+      if accept_punct t ";" then None
+      else begin
+        let s = parse_simple_stmt t in
+        expect_punct t ";";
+        Some s
+      end
+    in
+    let c = parse_expr t in
+    expect_punct t ";";
+    let step = if peek t = Lexer.PUNCT ")" then None else Some (parse_simple_stmt t) in
+    expect_punct t ")";
+    Ast.For (init, c, step, parse_block t)
+  | Lexer.KW "return" ->
+    advance t;
+    if accept_punct t ";" then Ast.Return None
+    else begin
+      let e = parse_expr t in
+      expect_punct t ";";
+      Ast.Return (Some e)
+    end
+  | Lexer.KW "delete" ->
+    advance t;
+    if accept_punct t "[" then begin
+      let ty = parse_type t in
+      expect_punct t "]";
+      let e = parse_expr t in
+      expect_punct t ";";
+      Ast.Delete_placed (e, ty)
+    end
+    else begin
+      let e = parse_expr t in
+      expect_punct t ";";
+      Ast.Delete e
+    end
+  | Lexer.KW "cout" ->
+    advance t;
+    let rec items acc =
+      if accept_punct t "<<" then items (parse_expr t :: acc)
+      else begin
+        expect_punct t ";";
+        List.rev acc
+      end
+    in
+    Ast.Cout (items [])
+  | _ ->
+    let s = parse_simple_stmt t in
+    expect_punct t ";";
+    s
+
+(* a statement without its trailing ';': declaration, cin, assignment or
+   expression *)
+and parse_simple_stmt t : Ast.stmt =
+  match peek t with
+  | Lexer.KW "cin" ->
+    advance t;
+    expect_punct t ">>";
+    let lv = parse_expr t in
+    Ast.Assign (lv, Ast.Cin)
+  | _ when type_starts t -> (
+    let base = parse_base_type t in
+    (* class-typed object declaration (no stars): runs the constructor *)
+    match (base, peek t) with
+    | Ctype.Class cname, Lexer.IDENT x
+      when peek2 t = Lexer.PUNCT ";"
+           || peek2 t = Lexer.PUNCT "=" ->
+      advance t;
+      if accept_punct t "=" then begin
+        (* C x = C(args); *)
+        let cname2 = expect_ident t in
+        if cname2 <> cname then error t "constructor %s does not match %s" cname2 cname;
+        let args = parse_args t in
+        Ast.Decl_obj (x, cname, args)
+      end
+      else Ast.Decl_obj (x, cname, [])
+    | _ ->
+      let name, ty = parse_declarator t base in
+      if accept_punct t "=" then Ast.Decl (name, ty, Some (parse_expr t))
+      else Ast.Decl (name, ty, None))
+  | _ -> (
+    let e = parse_expr t in
+    if accept_punct t "=" then Ast.Assign (e, parse_expr t) else Ast.Expr e)
+
+and parse_block t : Ast.stmt list =
+  expect_punct t "{";
+  let rec go acc =
+    if accept_punct t "}" then List.rev acc else go (parse_stmt t :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* top level                                                           *)
+
+let parse_class t : Class_def.t =
+  expect_kw t "class";
+  let name = expect_ident t in
+  Hashtbl.replace t.classes name ();
+  let bases =
+    if accept_punct t ":" then begin
+      let rec go acc =
+        (match peek t with Lexer.KW "public" -> advance t | _ -> ());
+        let b = expect_ident t in
+        if accept_punct t "," then go (b :: acc) else List.rev (b :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  expect_punct t "{";
+  (match peek t with
+  | Lexer.KW "public" ->
+    advance t;
+    expect_punct t ":"
+  | _ -> ());
+  let fields = ref [] and methods = ref [] in
+  let rec members () =
+    if accept_punct t "}" then ()
+    else begin
+      let virtual_ =
+        match peek t with
+        | Lexer.KW "virtual" ->
+          advance t;
+          true
+        | _ -> false
+      in
+      let base = parse_base_type t in
+      let mname, ty = parse_declarator t base in
+      if peek t = Lexer.PUNCT "(" then begin
+        (* method declaration: impl lives out of line as name::mname *)
+        expect_punct t "(";
+        expect_punct t ")";
+        expect_punct t ";";
+        let impl = name ^ "::" ^ mname in
+        methods :=
+          (if virtual_ then Class_def.virtual_method ~impl mname
+           else Class_def.plain_method ~impl mname)
+          :: !methods
+      end
+      else begin
+        expect_punct t ";";
+        fields := (mname, ty) :: !fields
+      end;
+      members ()
+    end
+  in
+  members ();
+  expect_punct t ";";
+  Class_def.v name ~bases ~methods:(List.rev !methods) (List.rev !fields)
+
+(* qualified function name: C::C -> "C::ctor", C::m -> "C::m" *)
+let parse_qname t first =
+  if accept_punct t "::" then begin
+    let second = expect_ident t in
+    if second = first then first ^ "::ctor" else first ^ "::" ^ second
+  end
+  else first
+
+let parse_params t =
+  expect_punct t "(";
+  if accept_punct t ")" then []
+  else
+    let rec go acc =
+      let base = parse_base_type t in
+      let p = parse_declarator t base in
+      if accept_punct t "," then go (p :: acc)
+      else begin
+        expect_punct t ")";
+        List.rev (p :: acc)
+      end
+    in
+    go []
+
+let parse_item t ~classes ~globals ~funcs =
+  match peek t with
+  | Lexer.KW "class" -> classes := parse_class t :: !classes
+  | _ -> (
+    let base = parse_base_type t in
+    (* fun-ptr global, e.g. a NULL-initialized callback *)
+    if base = Ctype.Void && peek t = Lexer.PUNCT "(" && peek2 t = Lexer.PUNCT "*"
+    then begin
+      let name, ty = parse_declarator t base in
+      let init =
+        if accept_punct t "=" then (
+          match next t with
+          | Lexer.KW "NULL" -> Ast.Zero
+          | tok -> error t "unsupported global initializer %a" Lexer.pp_token tok)
+        else Ast.Zero
+      in
+      expect_punct t ";";
+      globals := Ast.{ g_name = name; g_type = ty; g_init = init } :: !globals
+    end
+    else begin
+      let stars = parse_stars t in
+      let first = expect_ident t in
+      let qname = parse_qname t first in
+      if peek t = Lexer.PUNCT "(" then begin
+        (* function definition *)
+        let params = parse_params t in
+        let body = parse_block t in
+        let ret = wrap_stars base stars in
+        funcs := Ast.func qname ~params ~ret body :: !funcs
+      end
+      else begin
+        (* global declaration *)
+        let ty = parse_extents t (wrap_stars base stars) in
+        let init =
+          if accept_punct t "=" then (
+            match next t with
+            | Lexer.INT n -> Ast.Ival n
+            | Lexer.FLOAT f -> Ast.Fval f
+            | Lexer.STRING s -> Ast.Sval s
+            | Lexer.PUNCT "-" -> (
+              match next t with
+              | Lexer.INT n -> Ast.Ival (-n)
+              | tok -> error t "unsupported initializer %a" Lexer.pp_token tok)
+            | tok -> error t "unsupported global initializer %a" Lexer.pp_token tok)
+          else Ast.Zero
+        in
+        expect_punct t ";";
+        globals := Ast.{ g_name = qname; g_type = ty; g_init = init } :: !globals
+      end
+    end)
+
+(* After parsing: &f where f is a defined function is a function address,
+   not a variable address. *)
+let fixup_fun_addrs (p : Ast.program) =
+  let is_func n = Ast.find_func p n <> None in
+  let rec fe (e : Ast.expr) : Ast.expr =
+    match e with
+    | Ast.Addr (Ast.Var f) when is_func f -> Ast.Fun_addr f
+    | Ast.Int _ | Ast.Flt _ | Ast.Str _ | Ast.Nullptr | Ast.Var _
+    | Ast.Fun_addr _ | Ast.Cin | Ast.Cin_str | Ast.Sizeof _ ->
+      e
+    | Ast.Field (b, f) -> Ast.Field (fe b, f)
+    | Ast.Arrow (b, f) -> Ast.Arrow (fe b, f)
+    | Ast.Index (b, ix) -> Ast.Index (fe b, fe ix)
+    | Ast.Deref e -> Ast.Deref (fe e)
+    | Ast.Addr e -> Ast.Addr (fe e)
+    | Ast.Un (op, e) -> Ast.Un (op, fe e)
+    | Ast.Bin (op, a, b) -> Ast.Bin (op, fe a, fe b)
+    | Ast.Call (f, args) -> Ast.Call (f, List.map fe args)
+    | Ast.Mcall (o, m, args) -> Ast.Mcall (fe o, m, List.map fe args)
+    | Ast.Fpcall (f, args) -> Ast.Fpcall (fe f, List.map fe args)
+    | Ast.New (ty, args) -> Ast.New (ty, List.map fe args)
+    | Ast.New_arr (ty, n) -> Ast.New_arr (ty, fe n)
+    | Ast.Pnew (p', ty, args) -> Ast.Pnew (fe p', ty, List.map fe args)
+    | Ast.Pnew_arr (p', ty, n) -> Ast.Pnew_arr (fe p', ty, fe n)
+    | Ast.Cast (ty, e) -> Ast.Cast (ty, fe e)
+  in
+  let rec fs (s : Ast.stmt) : Ast.stmt =
+    match s with
+    | Ast.Decl (x, ty, init) -> Ast.Decl (x, ty, Option.map fe init)
+    | Ast.Decl_obj (x, c, args) -> Ast.Decl_obj (x, c, List.map fe args)
+    | Ast.Assign (lv, e) -> Ast.Assign (fe lv, fe e)
+    | Ast.Expr e -> Ast.Expr (fe e)
+    | Ast.If (c, a, b) -> Ast.If (fe c, List.map fs a, List.map fs b)
+    | Ast.While (c, b) -> Ast.While (fe c, List.map fs b)
+    | Ast.For (i, c, st, b) ->
+      Ast.For (Option.map fs i, fe c, Option.map fs st, List.map fs b)
+    | Ast.Return e -> Ast.Return (Option.map fe e)
+    | Ast.Delete e -> Ast.Delete (fe e)
+    | Ast.Delete_placed (e, ty) -> Ast.Delete_placed (fe e, ty)
+    | Ast.Cout items -> Ast.Cout (List.map fe items)
+  in
+  {
+    p with
+    Ast.p_funcs =
+      List.map
+        (fun f -> { f with Ast.fn_body = List.map fs f.Ast.fn_body })
+        p.Ast.p_funcs;
+  }
+
+(* reject duplicate definitions with a proper diagnostic instead of letting
+   the loader blow up later *)
+let validate (p : Ast.program) =
+  let seen = Hashtbl.create 16 in
+  let check kind name =
+    let key = kind ^ ":" ^ name in
+    if Hashtbl.mem seen key then
+      raise (Error { line = 0; message = Fmt.str "duplicate %s %s" kind name });
+    Hashtbl.replace seen key ()
+  in
+  List.iter (fun c -> check "class" c.Class_def.c_name) p.Ast.p_classes;
+  List.iter (fun g -> check "global" g.Ast.g_name) p.Ast.p_globals;
+  List.iter
+    (fun f ->
+      check "function"
+        (Fmt.str "%s/%d" f.Ast.fn_name (List.length f.Ast.fn_params)))
+    p.Ast.p_funcs;
+  p
+
+(** Parse a full program from source. *)
+let program src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let t = { toks; pos = 0; classes = Hashtbl.create 8 } in
+  (* pre-scan class names so declarations and casts can recognize them *)
+  Array.iteri
+    (fun i (tok, _) ->
+      match (tok, if i + 1 < Array.length toks then fst toks.(i + 1) else Lexer.EOF) with
+      | Lexer.KW "class", Lexer.IDENT n -> Hashtbl.replace t.classes n ()
+      | _ -> ())
+    toks;
+  let classes = ref [] and globals = ref [] and funcs = ref [] in
+  while peek t <> Lexer.EOF do
+    parse_item t ~classes ~globals ~funcs
+  done;
+  validate
+    (fixup_fun_addrs
+       (Ast.program ~classes:(List.rev !classes) ~globals:(List.rev !globals)
+          (List.rev !funcs)))
+
+(** Parse a single expression (for tests and tooling). *)
+let expression ?(classes = []) src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let t = { toks; pos = 0; classes = Hashtbl.create 8 } in
+  List.iter (fun c -> Hashtbl.replace t.classes c ()) classes;
+  let e = parse_expr t in
+  (match peek t with
+  | Lexer.EOF -> ()
+  | tok -> error t "trailing input: %a" Lexer.pp_token tok);
+  e

@@ -1,0 +1,19 @@
+(** Recursive-descent parser for the MiniC++ concrete syntax — the inverse
+    of {!Cpp_print}.
+
+    Dialect: [cin >> lv;] reads an attacker int; [cin_int()]/[cin_str()]
+    are the expression forms; [delete[T] p;] is the §4.5 placed delete;
+    constructors are written [C::C] with an explicit [this] parameter on
+    out-of-line member definitions. *)
+
+exception Error of { line : int; message : string }
+
+val program : string -> Ast.program
+(** Parse a full translation unit. Duplicate class/global/function
+    definitions are rejected.
+    @raise Error on syntax or validation problems.
+    @raise Lexer.Error on lexical problems. *)
+
+val expression : ?classes:string list -> string -> Ast.expr
+(** Parse a single expression; [classes] names the class types the
+    expression may mention (for casts and [new]). *)

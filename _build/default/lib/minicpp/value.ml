@@ -1,0 +1,59 @@
+(** Runtime scalar values of the interpreter.
+
+    Integer-ish values (including pointers) carry a canonical unsigned
+    32-bit bit pattern; floats carry an OCaml float. Every value carries a
+    taint bit: true when any byte contributing to it came from attacker
+    input. Taint is sticky through arithmetic, copies and memory — the
+    attack drivers use it to prove that corrupted control data is
+    attacker-chosen rather than accidental. *)
+
+open Pna_layout
+
+type prim = I of int | F of float
+
+type t = { prim : prim; ty : Ctype.t; tainted : bool }
+
+let mask32 v = v land 0xffffffff
+
+let int_ ?(ty = Ctype.Int) ?(tainted = false) v =
+  { prim = I (mask32 v); ty; tainted }
+
+let float_ ?(ty = Ctype.Double) ?(tainted = false) v = { prim = F v; ty; tainted }
+
+let ptr ?(ty = Ctype.Ptr Ctype.Void) ?(tainted = false) v =
+  { prim = I (mask32 v); ty; tainted }
+
+let null = ptr 0
+
+let as_int v =
+  match v.prim with
+  | I n -> Pna_vmem.Vmem.to_signed32 n
+  | F f -> int_of_float f
+
+let as_bits v = match v.prim with I n -> n | F f -> mask32 (int_of_float f)
+
+let as_float v = match v.prim with F f -> f | I n -> float_of_int (Pna_vmem.Vmem.to_signed32 n)
+
+let truthy v = match v.prim with I n -> n <> 0 | F f -> f <> 0.0
+
+let retype ty v = { v with ty }
+
+let taint v = { v with tainted = true }
+
+(* Coerce a value for storage into a location of type [ty]. Width
+   truncation happens at the memory write. *)
+let coerce ty v =
+  match (ty, v.prim) with
+  | (Ctype.Float | Ctype.Double), I _ -> { prim = F (as_float v); ty; tainted = v.tainted }
+  | (Ctype.Float | Ctype.Double), F _ -> { v with ty }
+  | _, F f -> { prim = I (mask32 (int_of_float f)); ty; tainted = v.tainted }
+  | _, I _ -> { v with ty }
+
+let pp ppf v =
+  match (v.prim, v.ty) with
+  | F f, _ -> Fmt.pf ppf "%g" f
+  | I n, (Ctype.Ptr _ | Ctype.Fun_ptr) -> Fmt.pf ppf "0x%08x" n
+  | I n, Ctype.Char -> Fmt.pf ppf "%c" (Char.chr (n land 0xff))
+  | I n, _ -> Fmt.pf ppf "%d" (Pna_vmem.Vmem.to_signed32 n)
+
+let to_string v = Fmt.str "%a" pp v

@@ -1,0 +1,33 @@
+(** Runtime scalar values: a 32-bit bit pattern or a float, typed, with a
+    sticky attacker-taint bit. *)
+
+open Pna_layout
+
+type prim = I of int | F of float
+
+type t = { prim : prim; ty : Ctype.t; tainted : bool }
+
+val int_ : ?ty:Ctype.t -> ?tainted:bool -> int -> t
+(** Canonicalizes to 32 bits; default type [Int]. *)
+
+val float_ : ?ty:Ctype.t -> ?tainted:bool -> float -> t
+val ptr : ?ty:Ctype.t -> ?tainted:bool -> int -> t
+val null : t
+
+val as_int : t -> int
+(** Signed 32-bit view. *)
+
+val as_bits : t -> int
+(** Unsigned 32-bit view. *)
+
+val as_float : t -> float
+val truthy : t -> bool
+val retype : Ctype.t -> t -> t
+val taint : t -> t
+
+val coerce : Ctype.t -> t -> t
+(** Conversion for storing into a location of the given type (int<->float;
+    width truncation happens at the memory write). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

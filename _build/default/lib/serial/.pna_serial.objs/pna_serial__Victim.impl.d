@@ -1,0 +1,1 @@
+lib/serial/victim.ml: Class_def Pna_layout Pna_minicpp Wire

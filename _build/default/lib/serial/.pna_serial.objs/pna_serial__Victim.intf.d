@@ -1,0 +1,1 @@
+lib/serial/victim.mli: Pna_layout Pna_minicpp

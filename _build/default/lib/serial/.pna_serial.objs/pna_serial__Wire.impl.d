@@ -1,0 +1,1 @@
+lib/serial/wire.ml: Array Buffer Char Fmt Int64 List Option String

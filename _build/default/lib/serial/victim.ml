@@ -1,0 +1,92 @@
+(** The receiving side of the wire format: MiniC++ classes and the
+    deserializer a careless service would ship (§2.1 use case 4 /
+    §3.2: "placement new is used to populate an object or a data structure
+    from a serialized instance").
+
+    Contract: the embedding program defines a global [pool] — the arena
+    the service reuses per request, sized for a [NetStudent] — and links
+    [deserialize_func] (which expects the raw datagram address as its
+    parameter). The vulnerable variant trusts the wire's class id and
+    course count; the [~checked:true] variant applies §5.1 correct coding
+    (size check with rejection, count clamping). *)
+
+open Pna_layout
+open Pna_minicpp.Dsl
+
+let net_student =
+  Class_def.v "NetStudent"
+    [ ("gpa", double); ("year", int); ("semester", int) ]
+
+let net_grad_student =
+  Class_def.v "NetGradStudent" ~bases:[ "NetStudent" ]
+    [ ("ssn", int_arr 3); ("courses", int_arr 4) ]
+
+let classes = [ net_student; net_grad_student ]
+
+(* read a u32 / f64 out of the datagram *)
+let rd32 buf off = deref (cast (ptr int) (v buf +: i off))
+let rd64 buf off = deref (cast (ptr double) (v buf +: i off))
+
+let deserialize_func ~checked =
+  let read_common obj =
+    [
+      set (arrow (v obj) "gpa") (rd64 "buf" Wire.off_gpa);
+      set (arrow (v obj) "year") (rd32 "buf" Wire.off_year);
+      set (arrow (v obj) "semester") (rd32 "buf" Wire.off_semester);
+    ]
+  in
+  let grad_body =
+    [
+      decli "gs" (ptr (cls "NetGradStudent")) (pnew (v "pool") (cls "NetGradStudent") []);
+    ]
+    @ read_common "gs"
+    @ [
+        set (idx (arrow (v "gs") "ssn") (i 0)) (rd32 "buf" Wire.off_ssn);
+        set (idx (arrow (v "gs") "ssn") (i 1)) (rd32 "buf" (Wire.off_ssn + 4));
+        set (idx (arrow (v "gs") "ssn") (i 2)) (rd32 "buf" (Wire.off_ssn + 8));
+        decli "n" int (rd32 "buf" Wire.off_course_count);
+      ]
+    @ (if checked then [ when_ (v "n" >: i 4) [ set (v "n") (i 4) ] ] else [])
+    @ [
+        for_
+          (decli "j" int (i 0))
+          (v "j" <: v "n")
+          (set (v "j") (v "j" +: i 1))
+          [
+            set
+              (idx (arrow (v "gs") "courses") (v "j"))
+              (deref
+                 (cast (ptr int) (v "buf" +: (i Wire.off_courses +: (v "j" *: i 4)))));
+          ];
+      ]
+  in
+  let grad_branch =
+    if checked then
+      (* §5.1: the arena is sized for a NetStudent; a larger class must be
+         rejected, not placed *)
+      [
+        if_
+          (sizeof (cls "NetGradStudent") <=: sizeof (cls "NetStudent"))
+          grad_body
+          [ set (v "rejected") (v "rejected" +: i 1); ret0 ];
+      ]
+    else grad_body
+  in
+  func "deserialize" ~params:[ ("buf", char_p) ]
+    [
+      decli "id" int (rd32 "buf" 0);
+      if_
+        (v "id" ==: i Wire.student_id)
+        (decli "st" (ptr (cls "NetStudent")) (pnew (v "pool") (cls "NetStudent") [])
+         :: read_common "st")
+        grad_branch;
+      set (v "served") (v "served" +: i 1);
+    ]
+
+(* The globals the deserializer needs. [pool_global] must come first in
+   the embedding program so the attack's sentinel globals sit directly
+   after the pool; [state_globals] can go anywhere after them. *)
+let pool_global = global "pool" (char_arr 16)
+(* sized for exactly one NetStudent *)
+
+let state_globals = [ global "served" int; global "rejected" int ]

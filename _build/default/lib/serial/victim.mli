@@ -1,0 +1,22 @@
+(** The receiving side of the wire format: MiniC++ classes and the
+    deserializer a careless service would ship.
+
+    Contract: the embedding program's globals start with {!pool_global}
+    (so attack sentinels can sit directly after the pool) and include
+    {!state_globals}; the service function expects the raw datagram
+    address as its parameter. *)
+
+val net_student : Pna_layout.Class_def.t
+val net_grad_student : Pna_layout.Class_def.t
+val classes : Pna_layout.Class_def.t list
+
+val deserialize_func : checked:bool -> Pna_minicpp.Ast.func
+(** The service. [~checked:false] trusts the wire's class id and course
+    count (§3.2); [~checked:true] applies §5.1 correct coding: oversize
+    classes are rejected, counts clamped. *)
+
+val pool_global : Pna_minicpp.Ast.global
+(** [char pool\[16\]] — sized for exactly one NetStudent. *)
+
+val state_globals : Pna_minicpp.Ast.global list
+(** [served] and [rejected] counters. *)

@@ -1,0 +1,100 @@
+(** The object wire format of the enrollment "web service" — the §3.2
+    scenario: objects serialized by a (possibly malicious) remote peer and
+    re-materialized by the receiver with placement new.
+
+    Little-endian layout:
+
+    {v
+      +0   class id      u32   (1 = NetStudent, 2 = NetGradStudent)
+      +4   gpa           f64
+      +12  year          u32
+      +16  semester      u32
+      --- NetGradStudent only ---
+      +20  ssn[0..2]     3 x u32
+      +32  course count  u32
+      +36  courses       count x u32
+    v}
+
+    The receiver trusts both the class id and the course count — the two
+    fields this module lets an attacker inflate. *)
+
+let student_id = 1
+let grad_student_id = 2
+
+(* field offsets, shared with the MiniC++ deserializer in {!Victim} *)
+let off_gpa = 4
+let off_year = 12
+let off_semester = 16
+let off_ssn = 20
+let off_course_count = 32
+let off_courses = 36
+
+let le32 v =
+  String.init 4 (fun k -> Char.chr ((v lsr (8 * k)) land 0xff))
+
+let le64 v =
+  String.init 8 (fun k ->
+      Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * k)) land 0xff))
+
+let f64 v = le64 (Int64.bits_of_float v)
+
+type t = {
+  class_id : int;
+  gpa : float;
+  year : int;
+  semester : int;
+  ssn : int array;  (** used when class_id = 2; length 3 *)
+  courses : int list;  (** the *encoded* count precedes them *)
+  claimed_courses : int option;
+      (** override the count field — the attacker's lie *)
+}
+
+let student ?(gpa = 3.0) ?(year = 2010) ?(semester = 1) () =
+  {
+    class_id = student_id;
+    gpa;
+    year;
+    semester;
+    ssn = [| 0; 0; 0 |];
+    courses = [];
+    claimed_courses = None;
+  }
+
+let grad_student ?(gpa = 3.5) ?(year = 2009) ?(semester = 2)
+    ?(ssn = [| 123; 456; 789 |]) ?(courses = []) ?claimed_courses () =
+  {
+    class_id = grad_student_id;
+    gpa;
+    year;
+    semester;
+    ssn;
+    courses;
+    claimed_courses;
+  }
+
+(** Serialize to raw bytes (may contain NULs; deliver with the [recv]
+    builtin). *)
+let encode t =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (le32 t.class_id);
+  Buffer.add_string b (f64 t.gpa);
+  Buffer.add_string b (le32 t.year);
+  Buffer.add_string b (le32 t.semester);
+  if t.class_id = grad_student_id then begin
+    Array.iter (fun s -> Buffer.add_string b (le32 s)) t.ssn;
+    let count = Option.value t.claimed_courses ~default:(List.length t.courses) in
+    Buffer.add_string b (le32 count);
+    List.iter (fun c -> Buffer.add_string b (le32 c)) t.courses
+  end;
+  Buffer.contents b
+
+let size t = String.length (encode t)
+
+let pp ppf t =
+  Fmt.pf ppf "wire{id=%d gpa=%g year=%d sem=%d ssn=[%a] courses=%d%a}"
+    t.class_id t.gpa t.year t.semester
+    Fmt.(array ~sep:comma int)
+    t.ssn
+    (List.length t.courses)
+    Fmt.(option (fun ppf c -> Fmt.pf ppf " claimed=%d" c))
+    t.claimed_courses

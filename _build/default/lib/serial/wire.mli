@@ -1,0 +1,50 @@
+(** The object wire format of the enrollment service (§3.2): little-endian
+    class id + fields; NetGradStudent datagrams carry SSN words and a
+    count-prefixed course list. The receiver trusts the class id and the
+    count — the two fields this module lets an attacker inflate. *)
+
+val student_id : int
+val grad_student_id : int
+
+(** Field offsets within a datagram, shared with the MiniC++ deserializer. *)
+
+val off_gpa : int
+val off_year : int
+val off_semester : int
+val off_ssn : int
+val off_course_count : int
+val off_courses : int
+
+type t = {
+  class_id : int;
+  gpa : float;
+  year : int;
+  semester : int;
+  ssn : int array;
+  courses : int list;
+  claimed_courses : int option;  (** override the count field — the lie *)
+}
+
+val student : ?gpa:float -> ?year:int -> ?semester:int -> unit -> t
+
+val grad_student :
+  ?gpa:float ->
+  ?year:int ->
+  ?semester:int ->
+  ?ssn:int array ->
+  ?courses:int list ->
+  ?claimed_courses:int ->
+  unit ->
+  t
+
+val encode : t -> string
+(** Raw bytes (may contain NULs; deliver via the [recv] builtin). *)
+
+val size : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Little-endian encoding helpers. *)
+
+val le32 : int -> string
+val le64 : int64 -> string
+val f64 : float -> string

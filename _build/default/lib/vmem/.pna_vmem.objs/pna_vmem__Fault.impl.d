@@ -1,0 +1,1 @@
+lib/vmem/fault.ml: Fmt

@@ -1,0 +1,1 @@
+lib/vmem/segment.ml: Bytes Char Fmt Perm

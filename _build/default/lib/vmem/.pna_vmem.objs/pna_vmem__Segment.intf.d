@@ -1,0 +1,1 @@
+lib/vmem/segment.mli: Bytes Format Perm

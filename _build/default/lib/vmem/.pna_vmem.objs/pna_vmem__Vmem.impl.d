@@ -1,0 +1,1 @@
+lib/vmem/vmem.ml: Array Buffer Char Fault Fmt Int64 List Perm Segment String

@@ -1,0 +1,30 @@
+(** Memory faults raised by the simulated address space.
+
+    These play the role of hardware traps (SIGSEGV and friends) in the real
+    process the paper attacks. The interpreter catches them and converts
+    them into run outcomes. *)
+
+type access = Read | Write | Execute
+
+type t =
+  | Unmapped of int * access      (** no segment maps this address *)
+  | Protection of int * access    (** segment exists, permission denied *)
+  | Misaligned of int * int       (** address, required alignment *)
+  | Null_placement                (** placement new on a null address *)
+
+exception Fault of t
+
+let pp_access ppf = function
+  | Read -> Fmt.string ppf "read"
+  | Write -> Fmt.string ppf "write"
+  | Execute -> Fmt.string ppf "execute"
+
+let pp ppf = function
+  | Unmapped (a, k) -> Fmt.pf ppf "segfault: %a of unmapped address 0x%08x" pp_access k a
+  | Protection (a, k) -> Fmt.pf ppf "segfault: %a violates protection at 0x%08x" pp_access k a
+  | Misaligned (a, al) -> Fmt.pf ppf "bus error: 0x%08x not aligned to %d" a al
+  | Null_placement -> Fmt.string ppf "placement new at null address"
+
+let to_string t = Fmt.str "%a" pp t
+
+let raise_ t = raise (Fault t)

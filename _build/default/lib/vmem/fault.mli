@@ -1,0 +1,19 @@
+(** Memory faults raised by the simulated address space — the simulator's
+    SIGSEGV/SIGBUS. *)
+
+type access = Read | Write | Execute
+
+type t =
+  | Unmapped of int * access  (** no segment maps this address *)
+  | Protection of int * access  (** segment exists, permission denied *)
+  | Misaligned of int * int  (** address, required alignment *)
+  | Null_placement  (** placement new at a null address *)
+
+exception Fault of t
+
+val pp_access : Format.formatter -> access -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val raise_ : t -> 'a
+(** [raise_ f] raises {!Fault}[ f]. *)

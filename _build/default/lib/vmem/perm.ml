@@ -1,0 +1,21 @@
+(** Page-style permissions for a memory segment.
+
+    The simulated machine uses them the same way an MMU would: every access
+    is checked against the owning segment's permissions, and a violation
+    raises {!Fault.Fault}. *)
+
+type t = { read : bool; write : bool; execute : bool }
+
+let rw = { read = true; write = true; execute = false }
+let rwx = { read = true; write = true; execute = true }
+let rx = { read = true; write = false; execute = true }
+let ro = { read = true; write = false; execute = false }
+let none = { read = false; write = false; execute = false }
+
+let pp ppf t =
+  Fmt.pf ppf "%c%c%c"
+    (if t.read then 'r' else '-')
+    (if t.write then 'w' else '-')
+    (if t.execute then 'x' else '-')
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,14 @@
+(** Page-style permissions for a memory segment. *)
+
+type t = { read : bool; write : bool; execute : bool }
+
+val rw : t
+val rwx : t
+val rx : t
+val ro : t
+val none : t
+
+val pp : Format.formatter -> t -> unit
+(** [pp] renders like [ls -l]: e.g. ["rw-"]. *)
+
+val to_string : t -> string

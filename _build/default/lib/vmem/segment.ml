@@ -1,0 +1,62 @@
+(** A contiguous region of the simulated address space.
+
+    Each segment owns a byte array for contents and a parallel byte array
+    for taint: a byte is tainted when its value was derived from attacker
+    input. Taint travels with every copy performed through {!Vmem}, which is
+    what lets the attack drivers prove (rather than eyeball) that a saved
+    return address or a vtable pointer has become attacker-controlled. *)
+
+type kind = Text | Data | Bss | Heap | Stack | Mmap
+
+let kind_name = function
+  | Text -> "text"
+  | Data -> "data"
+  | Bss -> "bss"
+  | Heap -> "heap"
+  | Stack -> "stack"
+  | Mmap -> "mmap"
+
+type t = {
+  kind : kind;
+  base : int;
+  size : int;
+  bytes : Bytes.t;
+  taint : Bytes.t;
+  mutable perm : Perm.t;
+}
+
+let create ~kind ~base ~size ~perm =
+  if size <= 0 then invalid_arg "Segment.create: size must be positive";
+  if base < 0 then invalid_arg "Segment.create: negative base";
+  {
+    kind;
+    base;
+    size;
+    bytes = Bytes.make size '\000';
+    taint = Bytes.make size '\000';
+    perm;
+  }
+
+let limit t = t.base + t.size
+let contains t addr = addr >= t.base && addr < limit t
+
+(* Offset of [addr] inside [t]; caller must have checked [contains]. *)
+let off t addr = addr - t.base
+
+let get_byte t addr = Char.code (Bytes.get t.bytes (off t addr))
+
+let set_byte t addr v =
+  Bytes.set t.bytes (off t addr) (Char.chr (v land 0xff))
+
+let get_taint t addr = Bytes.get t.taint (off t addr) <> '\000'
+
+let set_taint t addr tainted =
+  Bytes.set t.taint (off t addr) (if tainted then '\001' else '\000')
+
+let clear t =
+  Bytes.fill t.bytes 0 t.size '\000';
+  Bytes.fill t.taint 0 t.size '\000'
+
+let pp ppf t =
+  Fmt.pf ppf "%-5s [0x%08x, 0x%08x) %a" (kind_name t.kind) t.base (limit t)
+    Perm.pp t.perm

@@ -1,0 +1,186 @@
+(** The simulated address space of a 32-bit little-endian process.
+
+    This is the substrate every attack in the paper runs on: a set of
+    disjoint segments (text/data/bss/heap/stack) with byte-level access,
+    permission checks, and per-byte taint propagation. All multi-byte
+    accesses are little-endian, matching the x86 Ubuntu system of the paper.
+
+    Values of 32-bit words are represented as OCaml [int] in the range
+    [0, 0xffff_ffff]; use {!to_signed32} for the signed view. *)
+
+type write_record = { w_addr : int; w_len : int; w_tag : string }
+
+type t = {
+  mutable segments : Segment.t list;
+  mutable trace_enabled : bool;
+  mutable trace : write_record list;  (* most recent first *)
+}
+
+let word_size = 4
+
+let create () = { segments = []; trace_enabled = false; trace = [] }
+
+let add_segment t seg =
+  let overlaps s =
+    seg.Segment.base < Segment.limit s && s.Segment.base < Segment.limit seg
+  in
+  if List.exists overlaps t.segments then
+    invalid_arg "Vmem.add_segment: overlapping segment";
+  t.segments <- seg :: t.segments;
+  seg
+
+let map t ~kind ~base ~size ~perm =
+  add_segment t (Segment.create ~kind ~base ~size ~perm)
+
+let segments t =
+  List.sort (fun a b -> compare a.Segment.base b.Segment.base) t.segments
+
+let find_segment t addr = List.find_opt (fun s -> Segment.contains s addr) t.segments
+
+let segment_of_kind t kind =
+  List.find_opt (fun s -> s.Segment.kind = kind) t.segments
+
+let enable_trace t = t.trace_enabled <- true
+let clear_trace t = t.trace <- []
+let trace t = List.rev t.trace
+
+let record_write t addr len tag =
+  if t.trace_enabled then
+    t.trace <- { w_addr = addr; w_len = len; w_tag = tag } :: t.trace
+
+(* Locate the segment for a checked access, enforcing permissions. *)
+let checked t addr access =
+  match find_segment t addr with
+  | None -> Fault.raise_ (Fault.Unmapped (addr, access))
+  | Some seg ->
+    let ok =
+      match access with
+      | Fault.Read -> seg.Segment.perm.Perm.read
+      | Fault.Write -> seg.Segment.perm.Perm.write
+      | Fault.Execute -> seg.Segment.perm.Perm.execute
+    in
+    if not ok then Fault.raise_ (Fault.Protection (addr, access));
+    seg
+
+let read_u8 t addr =
+  let seg = checked t addr Fault.Read in
+  Segment.get_byte seg addr
+
+let taint_of t addr =
+  let seg = checked t addr Fault.Read in
+  Segment.get_taint seg addr
+
+let write_u8 ?(tag = "") ?(taint = false) t addr v =
+  let seg = checked t addr Fault.Write in
+  Segment.set_byte seg addr v;
+  Segment.set_taint seg addr taint;
+  record_write t addr 1 tag
+
+(* Multi-byte little-endian accessors. Each byte is checked individually so
+   that an access straddling a segment boundary faults exactly where a real
+   MMU would. *)
+
+let read_uN t addr n =
+  let rec go i acc =
+    if i = n then acc
+    else go (i + 1) (acc lor (read_u8 t (addr + i) lsl (8 * i)))
+  in
+  go 0 0
+
+let write_uN ?(tag = "") ?(taint = false) t addr n v =
+  for i = 0 to n - 1 do
+    write_u8 ~tag ~taint t (addr + i) ((v lsr (8 * i)) land 0xff)
+  done
+
+let read_u16 t addr = read_uN t addr 2
+let write_u16 ?tag ?taint t addr v = write_uN ?tag ?taint t addr 2 v
+let read_u32 t addr = read_uN t addr 4
+let write_u32 ?tag ?taint t addr v = write_uN ?tag ?taint t addr 4 (v land 0xffffffff)
+
+let read_u64 t addr =
+  let lo = Int64.of_int (read_u32 t addr) in
+  let hi = Int64.of_int (read_u32 t (addr + 4)) in
+  Int64.logor lo (Int64.shift_left hi 32)
+
+let write_u64 ?tag ?taint t addr v =
+  write_u32 ?tag ?taint t addr Int64.(to_int (logand v 0xffffffffL));
+  write_u32 ?tag ?taint t (addr + 4)
+    Int64.(to_int (logand (shift_right_logical v 32) 0xffffffffL))
+
+let read_f64 t addr = Int64.float_of_bits (read_u64 t addr)
+let write_f64 ?tag ?taint t addr v = write_u64 ?tag ?taint t addr (Int64.bits_of_float v)
+
+(* Loader-only writes: bypass permission checks so the machine can install
+   read-only images (vtables, text stubs) before execution starts. *)
+
+let poke_u8 t addr v =
+  match find_segment t addr with
+  | None -> Fault.raise_ (Fault.Unmapped (addr, Fault.Write))
+  | Some seg -> Segment.set_byte seg addr v
+
+let poke_u32 t addr v =
+  for i = 0 to 3 do
+    poke_u8 t (addr + i) ((v lsr (8 * i)) land 0xff)
+  done
+
+let to_signed32 v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+let of_signed32 v = v land 0xffffffff
+
+let read_i32 t addr = to_signed32 (read_u32 t addr)
+let write_i32 ?tag ?taint t addr v = write_u32 ?tag ?taint t addr (of_signed32 v)
+
+(* Block operations: taint travels with the bytes. *)
+
+let blit ?(tag = "blit") t ~src ~dst ~len =
+  (* Copy via an intermediate buffer so overlapping ranges behave like
+     memmove; overflow exploits in the paper never rely on memcpy-style
+     overlap corruption. *)
+  let buf = Array.init len (fun i -> (read_u8 t (src + i), taint_of t (src + i))) in
+  Array.iteri (fun i (b, tn) -> write_u8 ~tag ~taint:tn t (dst + i) b) buf
+
+let fill ?(tag = "fill") ?(taint = false) t ~dst ~len v =
+  for i = 0 to len - 1 do
+    write_u8 ~tag ~taint t (dst + i) v
+  done
+
+let write_string ?(tag = "str") ?(taint = false) t addr s =
+  String.iteri (fun i c -> write_u8 ~tag ~taint t (addr + i) (Char.code c)) s
+
+(* Read a NUL-terminated C string, bounded to avoid walking the whole
+   address space on corrupted data. *)
+let read_cstring ?(max_len = 4096) t addr =
+  let buf = Buffer.create 16 in
+  let rec go i =
+    if i >= max_len then Buffer.contents buf
+    else
+      match read_u8 t (addr + i) with
+      | 0 -> Buffer.contents buf
+      | b ->
+        Buffer.add_char buf (Char.chr b);
+        go (i + 1)
+  in
+  go 0
+
+let read_bytes t addr len = String.init len (fun i -> Char.chr (read_u8 t (addr + i)))
+
+(* Taint queries used by attack drivers to prove corruption provenance. *)
+
+let range_tainted t addr len =
+  let rec go i = i < len && (taint_of t (addr + i) || go (i + 1)) in
+  go 0
+
+let tainted_bytes t addr len =
+  let n = ref 0 in
+  for i = 0 to len - 1 do
+    if taint_of t (addr + i) then incr n
+  done;
+  !n
+
+let set_taint t addr len tainted =
+  for i = 0 to len - 1 do
+    let seg = checked t (addr + i) Fault.Read in
+    Segment.set_taint seg (addr + i) tainted
+  done
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Segment.pp) (segments t)

@@ -1,0 +1,86 @@
+(** The simulated address space of a 32-bit little-endian process.
+
+    All checked accessors verify mapping and permissions per byte and raise
+    {!Fault.Fault} exactly where a real MMU would trap. 32-bit word values
+    are OCaml [int]s in [0, 0xffff_ffff]; {!to_signed32} gives the signed
+    view. Every write carries a taint flag; taint marks bytes whose value
+    derives from attacker input and travels with copies. *)
+
+type write_record = { w_addr : int; w_len : int; w_tag : string }
+
+type t
+
+val word_size : int
+(** 4: the machine is ILP32. *)
+
+(** {1 Mapping} *)
+
+val create : unit -> t
+
+val map :
+  t -> kind:Segment.kind -> base:int -> size:int -> perm:Perm.t -> Segment.t
+(** Map a fresh segment. @raise Invalid_argument on overlap. *)
+
+val add_segment : t -> Segment.t -> Segment.t
+val segments : t -> Segment.t list
+(** Sorted by base address. *)
+
+val find_segment : t -> int -> Segment.t option
+val segment_of_kind : t -> Segment.kind -> Segment.t option
+
+(** {1 Checked scalar access} *)
+
+val read_u8 : t -> int -> int
+val write_u8 : ?tag:string -> ?taint:bool -> t -> int -> int -> unit
+val read_u16 : t -> int -> int
+val write_u16 : ?tag:string -> ?taint:bool -> t -> int -> int -> unit
+val read_u32 : t -> int -> int
+val write_u32 : ?tag:string -> ?taint:bool -> t -> int -> int -> unit
+val read_u64 : t -> int -> int64
+val write_u64 : ?tag:string -> ?taint:bool -> t -> int -> int64 -> unit
+val read_f64 : t -> int -> float
+val write_f64 : ?tag:string -> ?taint:bool -> t -> int -> float -> unit
+val read_i32 : t -> int -> int
+(** Signed view of a u32 read. *)
+
+val write_i32 : ?tag:string -> ?taint:bool -> t -> int -> int -> unit
+
+val to_signed32 : int -> int
+val of_signed32 : int -> int
+
+(** {1 Loader-only raw access}
+
+    Bypass permission checks; used to install read-only images (vtables,
+    text, literals) before execution. *)
+
+val poke_u8 : t -> int -> int -> unit
+val poke_u32 : t -> int -> int -> unit
+
+(** {1 Block operations} *)
+
+val blit : ?tag:string -> t -> src:int -> dst:int -> len:int -> unit
+(** memmove semantics; taint travels with the bytes. *)
+
+val fill : ?tag:string -> ?taint:bool -> t -> dst:int -> len:int -> int -> unit
+val write_string : ?tag:string -> ?taint:bool -> t -> int -> string -> unit
+
+val read_cstring : ?max_len:int -> t -> int -> string
+(** Read a NUL-terminated string, bounded by [max_len] (default 4096). *)
+
+val read_bytes : t -> int -> int -> string
+
+(** {1 Taint queries} *)
+
+val taint_of : t -> int -> bool
+val range_tainted : t -> int -> int -> bool
+val tainted_bytes : t -> int -> int -> int
+val set_taint : t -> int -> int -> bool -> unit
+
+(** {1 Write tracing} *)
+
+val enable_trace : t -> unit
+val clear_trace : t -> unit
+val trace : t -> write_record list
+(** Oldest first. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+// Listing 11 — Data/bss Overflow (§3.5).
+// stud1 and stud2 are adjacent bss globals; placing a GradStudent at
+// &stud1 makes ssn[] alias stud2's gpa and year.
+
+class Student {
+public:
+  double gpa;
+  int year;
+  int semester;
+};
+
+class GradStudent : public Student {
+public:
+  int setSSN();
+  int ssn[3];
+};
+
+Student stud1;
+Student stud2;
+int isGradStudent;
+
+void Student::Student(Student *this, double sgpa, int yr, int sem) {
+  this->gpa = sgpa;
+  this->year = yr;
+  this->semester = sem;
+}
+
+void GradStudent::GradStudent(GradStudent *this, double sgpa, int yr, int sem) {
+  this->gpa = sgpa;
+  this->year = yr;
+  this->semester = sem;
+}
+
+void GradStudent::setSSN(GradStudent *this, int s0, int s1, int s2) {
+  this->ssn[0] = s0;
+  this->ssn[1] = s1;
+  this->ssn[2] = s2;
+}
+
+void addStudent() {
+  if (isGradStudent) {
+    // user input: ssn[0], ssn[1], ssn[2]; place st at &stud1
+    GradStudent *st = new (&stud1) GradStudent(4.0, 2009, 1);
+    int a;
+    cin >> a;
+    int b;
+    cin >> b;
+    int c;
+    cin >> c;
+    st->setSSN(a, b, c);
+  } else {
+    // user input: gpa, year, semester; place st at &stud2
+    int g;
+    cin >> g;
+    int y;
+    cin >> y;
+    int s;
+    cin >> s;
+    Student *st2 = new (&stud2) Student(g, y, s);
+  }
+}
+
+void main() {
+  isGradStudent = 0;
+  addStudent();
+  isGradStudent = 1;
+  addStudent(); // attack: overwrites gpa/year of stud2
+  return 0;
+}

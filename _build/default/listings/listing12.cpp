@@ -1,0 +1,40 @@
+// Listing 12 — Heap Overflow (§3.5.1).
+// Transcription note: the paper places at an uninitialized pointer; we
+// first allocate the Student (the authors' evident intent).
+
+class Student {
+public:
+  double gpa;
+  int year;
+  int semester;
+};
+
+class GradStudent : public Student {
+public:
+  int ssn[3];
+};
+
+Student *stud;
+char *name;
+
+void Student::Student(Student *this) {
+  this->gpa = 0.0;
+  this->year = 0;
+  this->semester = 0;
+}
+
+void GradStudent::GradStudent(GradStudent *this) {
+}
+
+void main() {
+  stud = new Student();
+  GradStudent *st = new (stud) GradStudent();
+  name = new char[16];
+  strncpy(name, "abcdefghijklmno", 16);
+  cout << "Before Attack: Name:" << name;
+  cin >> st->ssn[0];
+  cin >> st->ssn[1];
+  cin >> st->ssn[2];
+  cout << "After Attack: Name:" << name;
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Listing 13 — Modification of Return Address (§3.6.1).
+// Transcription notes: the bool parameter is a global so the frame holds
+// only `stud` (keeps the paper's ssn[i] -> slot arithmetic exact).
+
+class Student {
+public:
+  double gpa;
+  int year;
+  int semester;
+};
+
+class GradStudent : public Student {
+public:
+  int ssn[3];
+};
+
+int isGradStudent;
+
+void Student::Student(Student *this) {
+  this->gpa = 0.0;
+  this->year = 0;
+  this->semester = 0;
+}
+
+void GradStudent::GradStudent(GradStudent *this) {
+}
+
+void addStudent() {
+  Student stud;
+  if (isGradStudent) {
+    GradStudent *gs = new (&stud) GradStudent();
+    int i = -1;
+    int dssn = 0;
+    while (++i < 3) {
+      cin >> dssn;
+      if (dssn > 0) {
+        gs->ssn[i] = dssn;
+      }
+    }
+  }
+}
+
+void main() {
+  isGradStudent = 1;
+  addStudent();
+  return 0;
+}

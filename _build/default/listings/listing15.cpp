@@ -1,0 +1,44 @@
+// Listing 15 — Overwriting Local Variables on Stack (§3.7.2, §4.4).
+// ssn[0] lands in Student's alignment padding; ssn[1] lands exactly on n.
+
+class Student {
+public:
+  double gpa;
+  int year;
+  int semester;
+};
+
+class GradStudent : public Student {
+public:
+  int ssn[3];
+};
+
+int isGradStudent;
+int counter;
+
+void Student::Student(Student *this) {
+  this->gpa = 0.0;
+  this->year = 0;
+  this->semester = 0;
+}
+
+void GradStudent::GradStudent(GradStudent *this) {
+}
+
+void addStudent() {
+  int n = 5;
+  Student stud;
+  if (isGradStudent) {
+    GradStudent *gs = new (&stud) GradStudent();
+    cin >> gs->ssn[1]; // overwrites n
+  }
+  for (int i = 0; i < n; i = i + 1) {
+    counter = counter + 1;
+  }
+}
+
+void main() {
+  isGradStudent = 1;
+  addStudent();
+  return 0;
+}

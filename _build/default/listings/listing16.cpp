@@ -1,0 +1,50 @@
+// Listing 16 — Overwriting Member Variables of Objects (§3.8.1).
+// `first` is declared before `stud`, so it sits above it in the frame:
+// the placed GradStudent's ssn[0]/ssn[1] alias first.gpa.
+
+class Student {
+public:
+  double gpa;
+  int year;
+  int semester;
+};
+
+class GradStudent : public Student {
+public:
+  int ssn[3];
+};
+
+int isGradStudent;
+double observed_gpa;
+
+void Student::Student(Student *this) {
+  this->gpa = 0.0;
+  this->year = 0;
+  this->semester = 0;
+}
+
+void Student::Student(Student *this, double sgpa, int yr, int sem) {
+  this->gpa = sgpa;
+  this->year = yr;
+  this->semester = sem;
+}
+
+void GradStudent::GradStudent(GradStudent *this) {
+}
+
+void addStudent() {
+  Student first = Student(3.9, 2008, 2);
+  Student stud;
+  if (isGradStudent) {
+    GradStudent *gs = new (&stud) GradStudent();
+    cin >> gs->ssn[0]; // overwrites first.gpa (low word)
+    cin >> gs->ssn[1]; // overwrites first.gpa (high word)
+  }
+  observed_gpa = first.gpa;
+}
+
+void main() {
+  isGradStudent = 1;
+  addStudent();
+  return 0;
+}

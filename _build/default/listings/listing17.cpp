@@ -1,0 +1,49 @@
+// Listing 17 — Function Pointer Subterfuge (§3.9).
+// The NULL function pointer sits above `stud` in the frame; ssn[1]
+// aliases it, and the guarded call site becomes reachable.
+
+class Student {
+public:
+  double gpa;
+  int year;
+  int semester;
+};
+
+class GradStudent : public Student {
+public:
+  int ssn[3];
+};
+
+int isGradStudent;
+int admin;
+
+void Student::Student(Student *this) {
+  this->gpa = 0.0;
+  this->year = 0;
+  this->semester = 0;
+}
+
+void GradStudent::GradStudent(GradStudent *this) {
+}
+
+void grant_admin() {
+  admin = 1;
+}
+
+void addStudent() {
+  void (*createStudentAccount)() = NULL;
+  Student stud;
+  if (isGradStudent) {
+    GradStudent *gs = new (&stud) GradStudent();
+    cin >> gs->ssn[1]; // overwrites the function pointer
+  }
+  if (createStudentAccount != NULL) {
+    (*createStudentAccount)();
+  }
+}
+
+void main() {
+  isGradStudent = 1;
+  addStudent();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Listing 18 — Variable Pointer Subterfuge (§3.10).
+// The global `name` pointer sits right after `stud`; ssn[0] repoints it
+// and the program's own strcpy then writes through the hijacked pointer.
+
+class Student {
+public:
+  double gpa;
+  int year;
+  int semester;
+};
+
+class GradStudent : public Student {
+public:
+  int ssn[3];
+};
+
+Student stud;
+char *name;
+int authenticated;
+
+void Student::Student(Student *this) {
+  this->gpa = 0.0;
+  this->year = 0;
+  this->semester = 0;
+}
+
+void GradStudent::GradStudent(GradStudent *this) {
+}
+
+void main() {
+  name = new char[16];
+  GradStudent *st = new (&stud) GradStudent();
+  cin >> st->ssn[0]; // overwrites the pointer variable `name`
+  strcpy(name, cin_str()); // writes wherever the attacker pointed it
+  return 0;
+}

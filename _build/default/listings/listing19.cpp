@@ -1,0 +1,52 @@
+// Listing 19 — Stack Overflow involving Arrays (§4.1), the two-step attack.
+// Step 1: the object overflow rewrites n_unames after the bounds check.
+// Step 2: strncpy with the corrupted bound smashes the saved registers.
+// Transcription notes: mem_pool is char[64] (n_students * (UNAME_SIZE+1)
+// with n_students = 8, UNAME_SIZE = 7).
+
+class Student {
+public:
+  double gpa;
+  int year;
+  int semester;
+};
+
+class GradStudent : public Student {
+public:
+  int ssn[3];
+};
+
+int n_students = 8;
+int isGrad;
+
+void Student::Student(Student *this) {
+  this->gpa = 0.0;
+  this->year = 0;
+  this->semester = 0;
+}
+
+void GradStudent::GradStudent(GradStudent *this) {
+}
+
+void sortAndAddUname(char *uname) {
+  char mem_pool[64];
+  int n_unames = 0;
+  Student stud;
+  cin >> n_unames;
+  if (n_unames > n_students) {
+    return;
+  }
+  if (isGrad) {
+    GradStudent *st = new (&stud) GradStudent();
+    // read st->ssn[] from std input; ssn[0] aliases n_unames
+    cin >> st->ssn[0];
+  }
+  char *buf = new (mem_pool) char[n_unames * 8];
+  strncpy(buf, uname, n_unames * 8);
+}
+
+void main() {
+  isGrad = 1;
+  sortAndAddUname(cin_str());
+  return 0;
+}

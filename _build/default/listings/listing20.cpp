@@ -1,0 +1,51 @@
+// Listing 20 — BSS Overflow involving Arrays (§4.2).
+// Same two-step pattern as Listing 19, but the pool is a global: the
+// corrupted bound lets strncpy run across the adjacent globals.
+
+class Student {
+public:
+  double gpa;
+  int year;
+  int semester;
+};
+
+class GradStudent : public Student {
+public:
+  int ssn[3];
+};
+
+char mem_pool[64];
+int n_staff;
+int payroll_budget;
+int n_students = 8;
+int isGrad;
+
+void Student::Student(Student *this) {
+  this->gpa = 0.0;
+  this->year = 0;
+  this->semester = 0;
+}
+
+void GradStudent::GradStudent(GradStudent *this) {
+}
+
+void sortAndAddUname(char *uname) {
+  int n_unames = 0;
+  Student stud;
+  cin >> n_unames;
+  if (n_unames > n_students) {
+    return;
+  }
+  if (isGrad) {
+    GradStudent *st = new (&stud) GradStudent();
+    cin >> st->ssn[0]; // aliases n_unames
+  }
+  char *buf = new (mem_pool) char[n_unames * 8];
+  strncpy(buf, uname, n_unames * 8);
+}
+
+void main() {
+  isGrad = 1;
+  sortAndAddUname(cin_str());
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Listing 21 — Information leakage via Arrays (§4.3).
+// The password file is modelled by the pool's initializer; the user's
+// short string leaves the rest of the file readable, and store() ships
+// the whole buffer out.
+
+char mem_pool[64] = "root:x:0:0:SECRET-TOKEN-1337:/root:/bin/bash\n";
+char *userdata;
+
+void main() {
+  // MAX_USERDATA (32) <= SIZE (64)
+  userdata = new (mem_pool) char[32];
+  strncpy(userdata, cin_str(), 8);
+  store(userdata, 64);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Listing 22 — Information Leakage via Objects (§4.3).
+// A Student is placed over a GradStudent's arena; the SSN words survive
+// in the tail and are serialized out.
+
+class Student {
+public:
+  double gpa;
+  int year;
+  int semester;
+};
+
+class GradStudent : public Student {
+public:
+  int setSSN();
+  int ssn[3];
+};
+
+GradStudent *gst;
+
+void Student::Student(Student *this) {
+  this->gpa = 0.0;
+  this->year = 0;
+  this->semester = 0;
+}
+
+void GradStudent::GradStudent(GradStudent *this) {
+}
+
+void GradStudent::setSSN(GradStudent *this, int s0, int s1, int s2) {
+  this->ssn[0] = s0;
+  this->ssn[1] = s1;
+  this->ssn[2] = s2;
+}
+
+void main() {
+  gst = new GradStudent(); // contains SSN
+  gst->setSSN(123456789, 987654321, 55555);
+  Student *st = new (gst) Student(); // does not clean SSN
+  store(st, sizeof(GradStudent));
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Listing 23 — Memory Leaks (§4.5).
+// Each iteration releases only sizeof(Student) of a GradStudent-sized
+// block; `delete[Student]` is this dialect's spelling of the paper's
+// "free memory of st" (C++ has no placement delete).
+
+class Student {
+public:
+  double gpa;
+  int year;
+  int semester;
+};
+
+class GradStudent : public Student {
+public:
+  int ssn[3];
+};
+
+GradStudent *stud;
+Student *st;
+int n_students;
+
+void Student::Student(Student *this) {
+  this->gpa = 0.0;
+  this->year = 0;
+  this->semester = 0;
+}
+
+void GradStudent::GradStudent(GradStudent *this) {
+}
+
+void addStudent() {
+  for (int i = 0; i < n_students; i = i + 1) {
+    stud = new GradStudent();
+    st = new (stud) Student();
+    delete[Student] st; // frees only sizeof(Student): the tail leaks
+    stud = NULL;
+  }
+}
+
+void main() {
+  cin >> n_students;
+  addStudent();
+  return 0;
+}

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Fmt List Option Pna_analysis Pna_attacks Pna_layout Pna_minicpp QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Fmt List Option Pna_attacks Pna_defense Pna_machine Pna_minicpp String

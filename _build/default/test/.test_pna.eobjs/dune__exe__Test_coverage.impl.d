@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Hashtbl List Option Pna Pna_defense Pna_minicpp

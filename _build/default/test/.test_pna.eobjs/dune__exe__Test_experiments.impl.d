@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Fmt List Pna Pna_attacks Pna_defense Pna_minicpp

@@ -1,0 +1,1 @@
+test/test_hardener.ml: Alcotest Fmt List Pna Pna_analysis Pna_attacks Pna_defense Pna_machine Pna_minicpp Pna_vmem

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Gen List Perm Pna_machine Pna_vmem QCheck QCheck_alcotest Segment Vmem

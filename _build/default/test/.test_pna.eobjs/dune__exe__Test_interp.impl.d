@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest List Pna_attacks Pna_defense Pna_machine Pna_minicpp Pna_vmem QCheck QCheck_alcotest String

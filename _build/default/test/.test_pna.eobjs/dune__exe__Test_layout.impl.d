@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Class_def Ctype Fmt Layout List Pna_attacks Pna_layout QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_listings.ml: Alcotest Char List Pna_analysis Pna_defense Pna_machine Pna_minicpp Pna_vmem String Sys

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Ctype Layout List Pna_attacks Pna_defense Pna_layout Pna_machine Pna_vmem String

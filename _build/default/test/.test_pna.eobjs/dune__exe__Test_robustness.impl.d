@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Bytes Char List Pna_attacks Pna_defense Pna_minicpp Pna_serial Random String

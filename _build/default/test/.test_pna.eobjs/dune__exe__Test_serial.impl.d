@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Char Fun Gen Int64 List Pna_defense Pna_machine Pna_minicpp Pna_serial Pna_vmem QCheck QCheck_alcotest String

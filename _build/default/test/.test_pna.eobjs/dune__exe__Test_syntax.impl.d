@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Fmt Hashtbl List Pna_analysis Pna_attacks Pna_defense Pna_layout Pna_machine Pna_minicpp QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_vmem.ml: Alcotest Fault Gen List Perm Pna_vmem QCheck QCheck_alcotest Segment String Vmem

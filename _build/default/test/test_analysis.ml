@@ -1,0 +1,516 @@
+(* Tests for the static checkers: the placement checker flags every
+   catalogue listing, stays quiet on the hardened variants, understands
+   guards, taint and clobbering; the legacy baseline is blind to the whole
+   class. *)
+
+open Pna_minicpp.Dsl
+module PC = Pna_analysis.Placement_checker
+module LC = Pna_analysis.Legacy_checker
+module Audit = Pna_analysis.Audit
+module F = Pna_analysis.Finding
+module C = Pna_attacks.Catalog
+module All = Pna_attacks.All
+module Schema = Pna_attacks.Schema
+
+let kinds fs = List.map (fun f -> f.F.kind) (List.filter F.actionable fs)
+
+let has kind fs = List.mem kind (kinds fs)
+
+(* one detection test per catalogue entry *)
+let detection_cases =
+  List.map
+    (fun (a : C.t) ->
+      Alcotest.test_case (Fmt.str "checker flags %s" a.C.id) `Quick (fun () ->
+          let r = Audit.analyze a.C.program in
+          Alcotest.(check bool) "placement checker flags it" true
+            (Audit.flags (Audit.relevant_kinds a.C.id) r.Audit.placement);
+          Alcotest.(check bool) "legacy baseline is silent" false
+            (Audit.flags (Audit.relevant_kinds a.C.id) r.Audit.legacy)))
+    All.attacks
+
+let hardened_cases =
+  List.filter_map
+    (fun (a : C.t) ->
+      Option.map
+        (fun h ->
+          Alcotest.test_case (Fmt.str "checker clean on hardened %s" a.C.id)
+            `Quick (fun () ->
+              Alcotest.(check bool) "no relevant finding" false
+                (Audit.flags
+                   (Audit.relevant_kinds a.C.id)
+                   (Audit.analyze h).Audit.placement)))
+        a.C.hardened)
+    All.attacks
+
+(* focused unit programs *)
+
+let prog ?(classes = Schema.base_classes) ?(globals = []) ?(funcs = []) body =
+  program ~classes ~globals (Schema.base_funcs @ funcs @ [ func "main" body ])
+
+let test_certain_overflow_flagged () =
+  let p =
+    prog
+      ~globals:[ global "s" (cls "Student") ]
+      [ expr (pnew (addr (v "s")) (cls "GradStudent") []) ]
+  in
+  Alcotest.(check bool) "flagged" true (has F.Overflow_certain (PC.analyze p))
+
+let test_exact_fit_not_flagged () =
+  let p =
+    prog
+      ~globals:[ global "s" (cls "Student") ]
+      [ expr (pnew (addr (v "s")) (cls "Student") []) ]
+  in
+  Alcotest.(check (list string)) "no actionable finding" []
+    (List.map F.kind_name (kinds (PC.analyze p)))
+
+let test_tainted_count_flagged () =
+  let p =
+    prog
+      ~globals:[ global "pool" (char_arr 64) ]
+      [ decli "n" int cin; expr (pnew_arr (v "pool") char (v "n")) ]
+  in
+  Alcotest.(check bool) "tainted size" true (has F.Tainted_size (PC.analyze p))
+
+let test_constant_count_fits () =
+  let p =
+    prog
+      ~globals:[ global "pool" (char_arr 64) ]
+      [ expr (pnew_arr (v "pool") char (i 64)) ]
+  in
+  Alcotest.(check bool) "64 into 64 is fine" false
+    (List.exists (fun k -> k <> F.Info_leak) (kinds (PC.analyze p)))
+
+let test_constant_count_overflow () =
+  let p =
+    prog
+      ~globals:[ global "pool" (char_arr 64) ]
+      [ expr (pnew_arr (v "pool") char (i 65)) ]
+  in
+  Alcotest.(check bool) "65 into 64 flagged" true
+    (has F.Overflow_certain (PC.analyze p))
+
+let test_sizeof_guard_recognized () =
+  let p =
+    prog
+      ~globals:[ global "s" (cls "Student") ]
+      [
+        if_
+          (sizeof (cls "GradStudent") <=: sizeof (cls "Student"))
+          [ expr (pnew (addr (v "s")) (cls "GradStudent") []) ]
+          [];
+      ]
+  in
+  Alcotest.(check (list string)) "guarded placement pruned" []
+    (List.map F.kind_name (kinds (PC.analyze p)))
+
+let test_bound_guard_refines () =
+  let p =
+    prog
+      ~globals:[ global "pool" (char_arr 64); global "cap" ~init:(Ival 8) int ]
+      [
+        decli "n" int cin;
+        when_ (v "n" >: v "cap") [ ret0 ];
+        expr (pnew_arr (v "pool") char (v "n" *: i 8));
+      ]
+  in
+  Alcotest.(check (list string)) "bounded 8*8 fits 64" []
+    (List.map F.kind_name (kinds (PC.analyze p)))
+
+let test_bound_guard_insufficient () =
+  (* same guard, but the pool is too small for the bound *)
+  let p =
+    prog
+      ~globals:[ global "pool" (char_arr 32); global "cap" ~init:(Ival 8) int ]
+      [
+        decli "n" int cin;
+        when_ (v "n" >: v "cap") [ ret0 ];
+        expr (pnew_arr (v "pool") char (v "n" *: i 8));
+      ]
+  in
+  Alcotest.(check bool) "bounded 64 > 32 flagged" true
+    (has F.Overflow_possible (PC.analyze p))
+
+let test_clobber_invalidates_bound () =
+  (* the §4.1 two-step: guard, then an overflowing object placement, then
+     the guarded variable is used — the checker must distrust the bound *)
+  let p =
+    prog
+      ~globals:[ global "pool" (char_arr 64); global "cap" ~init:(Ival 8) int ]
+      [
+        decli "n" int cin;
+        obj "stud" "Student" [];
+        when_ (v "n" >: v "cap") [ ret0 ];
+        expr (pnew (addr (v "stud")) (cls "GradStudent") []);
+        expr (pnew_arr (v "pool") char (v "n" *: i 8));
+      ]
+  in
+  let fs = PC.analyze p in
+  Alcotest.(check bool) "object overflow found" true (has F.Overflow_certain fs);
+  Alcotest.(check bool) "bound no longer trusted" true (has F.Tainted_size fs)
+
+let test_member_placement_flagged () =
+  (* internal overflow (L10): placing into a member larger than the field *)
+  let mp =
+    Pna_layout.Class_def.v "Holder" [ ("inner", cls "Student"); ("n", int) ]
+  in
+  let p =
+    prog
+      ~classes:(Schema.base_classes @ [ mp ])
+      ~globals:[ global "h" (cls "Holder") ]
+      [ expr (pnew (addr (fld (v "h") "inner")) (cls "GradStudent") []) ]
+  in
+  Alcotest.(check bool) "member arena too small" true
+    (has F.Overflow_certain (PC.analyze p))
+
+let test_copy_loop_flagged () =
+  let p =
+    prog
+      ~globals:[ global "s" (cls "GradStudent") ]
+      ~funcs:
+        [
+          func "fill" ~params:[ ("remote", ptr (cls "GradStudent")) ]
+            [
+              decli "st" (ptr (cls "GradStudent"))
+                (pnew (addr (v "s")) (cls "GradStudent") []);
+              decli "j" int (i (-1));
+              while_
+                (incr (v "j") <: arrow (v "remote") "year")
+                [
+                  set
+                    (idx (arrow (v "st") "ssn") (v "j"))
+                    (idx (arrow (v "remote") "ssn") (v "j"));
+                ];
+            ];
+        ]
+      []
+  in
+  Alcotest.(check bool) "remote-bounded copy flagged" true
+    (has F.Copy_overflow (PC.analyze p))
+
+let test_copy_loop_constant_ok () =
+  let p =
+    prog
+      ~globals:[ global "s" (cls "GradStudent") ]
+      [
+        decli "st" (ptr (cls "GradStudent")) (pnew (addr (v "s")) (cls "GradStudent") []);
+        for_
+          (decli "j" int (i 0))
+          (v "j" <: i 3)
+          (set (v "j") (v "j" +: i 1))
+          [ set (idx (arrow (v "st") "ssn") (v "j")) (i 0) ];
+      ]
+  in
+  Alcotest.(check bool) "3 <= capacity 3" false (has F.Copy_overflow (PC.analyze p))
+
+let test_info_leak_flagged_and_memset_suppresses () =
+  let leaky =
+    prog
+      ~globals:[ global "pool" (char_arr 64) ]
+      [ expr (pnew_arr (v "pool") char (i 16)) ]
+  in
+  Alcotest.(check bool) "leak flagged" true (has F.Info_leak (PC.analyze leaky));
+  let sanitized =
+    prog
+      ~globals:[ global "pool" (char_arr 64) ]
+      [
+        expr (call "memset" [ v "pool"; i 0; i 64 ]);
+        expr (pnew_arr (v "pool") char (i 16));
+      ]
+  in
+  Alcotest.(check bool) "memset suppresses" false
+    (has F.Info_leak (PC.analyze sanitized))
+
+let test_delete_placed_flagged () =
+  let p =
+    prog
+      ~globals:[ global "g" (ptr (cls "GradStudent")) ]
+      [
+        set (v "g") (new_ (cls "GradStudent") []);
+        decli "st" (ptr (cls "Student")) (pnew (v "g") (cls "Student") []);
+        delete_placed (v "st") (cls "Student");
+      ]
+  in
+  Alcotest.(check bool) "memory leak flagged" true
+    (has F.Memory_leak (PC.analyze p))
+
+let test_placement_through_heap_pointer () =
+  let p =
+    prog
+      [
+        decli "g" (ptr (cls "Student")) (new_ (cls "Student") []);
+        expr (pnew (v "g") (cls "GradStudent") []);
+      ]
+  in
+  Alcotest.(check bool) "heap block too small" true
+    (has F.Overflow_certain (PC.analyze p))
+
+let test_unknown_arena_reported_unverifiable () =
+  let p =
+    prog
+      ~funcs:
+        [
+          func "f" ~params:[ ("p", ptr char) ]
+            [ expr (pnew (v "p") (cls "GradStudent") []) ];
+        ]
+      []
+  in
+  Alcotest.(check bool) "possible-overflow on unknown arena" true
+    (has F.Overflow_possible (PC.analyze p))
+
+let test_misalignment_flagged () =
+  let p =
+    prog
+      ~globals:[ global "buf" (char_arr 32) ]
+      [ expr (pnew (v "buf") (cls "Student") []) ]
+  in
+  Alcotest.(check bool) "align-8 class into char arena flagged" true
+    (has F.Misalignment (PC.analyze p))
+
+let test_aligned_placement_quiet () =
+  let p =
+    prog
+      ~globals:[ global "s" (cls "Student") ]
+      [ expr (pnew (addr (v "s")) (cls "Student") []) ]
+  in
+  Alcotest.(check bool) "class-into-class arena aligned" false
+    (has F.Misalignment (PC.analyze p))
+
+let test_pointer_arith_narrows_arena () =
+  (* &pool + 24: only 8 of 32 bytes remain; a 16-byte object overflows *)
+  let p =
+    prog
+      ~globals:[ global "pool" (char_arr 32) ]
+      [ expr (pnew (v "pool" +: i 24) (cls "Student") []) ]
+  in
+  Alcotest.(check bool) "offset placement bounds-checked" true
+    (has F.Overflow_certain (PC.analyze p))
+
+let test_pointer_arith_fitting_offset () =
+  let p =
+    prog
+      ~globals:[ global "pool" (char_arr 32) ]
+      [ expr (pnew_arr (v "pool" +: i 16) char (i 16)) ]
+  in
+  Alcotest.(check bool) "fitting offset not flagged as overflow" false
+    (has F.Overflow_certain (PC.analyze p))
+
+(* ---- interprocedural mode ---- *)
+
+let place_through_pointer ~arena_ty =
+  prog
+    ~globals:[ global "arena" arena_ty ]
+    ~funcs:
+      [
+        func "place_at" ~params:[ ("p", ptr char) ]
+          [ expr (pnew (v "p") (cls "GradStudent") []) ];
+      ]
+    [ expr (call "place_at" [ cast char_p (addr (v "arena")) ]); ret (i 0) ]
+
+let test_interproc_sharpens () =
+  let p = place_through_pointer ~arena_ty:(cls "Student") in
+  Alcotest.(check bool) "intraproc: only possible" false
+    (has F.Overflow_certain (PC.analyze p));
+  Alcotest.(check bool) "interproc: certain" true
+    (has F.Overflow_certain (PC.analyze ~interproc:true p))
+
+let test_interproc_removes_fp () =
+  let p = place_through_pointer ~arena_ty:(char_arr 128) in
+  Alcotest.(check bool) "intraproc: spurious possible-overflow" true
+    (has F.Overflow_possible (PC.analyze p));
+  Alcotest.(check bool) "interproc: no overflow finding" false
+    (has F.Overflow_possible (PC.analyze ~interproc:true p)
+    || has F.Overflow_certain (PC.analyze ~interproc:true p))
+
+let test_interproc_joins_call_sites () =
+  (* two call sites with different arenas: the join must stay conservative *)
+  let p =
+    prog
+      ~globals:[ global "small" (cls "Student"); global "big" (char_arr 128) ]
+      ~funcs:
+        [
+          func "place_at" ~params:[ ("p", ptr char) ]
+            [ expr (pnew (v "p") (cls "GradStudent") []) ];
+        ]
+      [
+        expr (call "place_at" [ cast char_p (addr (v "small")) ]);
+        expr (call "place_at" [ v "big" ]);
+        ret (i 0);
+      ]
+  in
+  let fs = PC.analyze ~interproc:true p in
+  Alcotest.(check bool) "joined arena cannot be proven safe" true
+    (has F.Overflow_possible fs || has F.Overflow_certain fs)
+
+let test_interproc_recursion_terminates () =
+  let p =
+    prog
+      ~funcs:
+        [
+          func "loop" ~params:[ ("n", int) ]
+            [ when_ (v "n" >: i 0) [ expr (call "loop" [ v "n" -: i 1 ]) ] ];
+        ]
+      [ expr (call "loop" [ i 5 ]); ret (i 0) ]
+  in
+  Alcotest.(check (list string)) "no findings, no divergence" []
+    (List.map F.kind_name (kinds (PC.analyze ~interproc:true p)))
+
+let test_interproc_recv_taints_callee () =
+  (* attacker bytes received in main flow into the callee's count *)
+  let p =
+    prog
+      ~globals:[ global "pool" (char_arr 64) ]
+      ~funcs:
+        [
+          func "handle" ~params:[ ("buf", ptr char) ]
+            [
+              decli "n" int (deref (cast (ptr int) (v "buf")));
+              expr (pnew_arr (v "pool") char (v "n"));
+            ];
+        ]
+      [
+        decl "dgram" (char_arr 16);
+        expr (call "recv" [ v "dgram"; i 16 ]);
+        expr (call "handle" [ v "dgram" ]);
+        ret (i 0);
+      ]
+  in
+  Alcotest.(check bool) "tainted size across the call" true
+    (has F.Tainted_size (PC.analyze ~interproc:true p))
+
+let interproc_catalogue_cases =
+  List.map
+    (fun (a : C.t) ->
+      Alcotest.test_case (Fmt.str "interproc still flags %s" a.C.id) `Quick
+        (fun () ->
+          let fs = PC.analyze ~interproc:true a.C.program in
+          Alcotest.(check bool) "flagged" true
+            (List.exists
+               (fun f ->
+                 F.actionable f
+                 && List.mem f.F.kind (Audit.relevant_kinds a.C.id))
+               fs)))
+    All.attacks
+
+(* legacy checker behaviour *)
+
+let test_legacy_flags_strcpy () =
+  let p =
+    prog
+      ~globals:[ global "buf" (char_arr 8) ]
+      [ expr (call "strcpy" [ v "buf"; cin_str ]) ]
+  in
+  Alcotest.(check bool) "strcpy warned" true
+    (List.exists (fun f -> f.F.kind = F.String_misuse) (LC.analyze p))
+
+let test_legacy_flags_oversize_literal_strncpy () =
+  let p =
+    prog
+      ~globals:[ global "buf" (char_arr 8) ]
+      [ expr (call "strncpy" [ v "buf"; cin_str; i 16 ]) ]
+  in
+  Alcotest.(check bool) "literal overflow seen" true
+    (List.exists (fun f -> f.F.kind = F.String_misuse) (LC.analyze p))
+
+let test_legacy_silent_on_fitting_strncpy () =
+  let p =
+    prog
+      ~globals:[ global "buf" (char_arr 16) ]
+      [ expr (call "strncpy" [ v "buf"; cin_str; i 16 ]) ]
+  in
+  Alcotest.(check int) "silent" 0 (List.length (LC.analyze p))
+
+let test_legacy_blind_to_placement () =
+  let p =
+    prog
+      ~globals:[ global "s" (cls "Student") ]
+      [ expr (pnew (addr (v "s")) (cls "GradStudent") []) ]
+  in
+  Alcotest.(check int) "nothing at all" 0 (List.length (LC.analyze p))
+
+(* abstract-domain properties *)
+
+let size_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> Pna_analysis.Absdom.Known n) (int_range 0 256);
+        map (fun n -> Pna_analysis.Absdom.Bounded n) (int_range 0 256);
+        return Pna_analysis.Absdom.Tainted;
+        return Pna_analysis.Absdom.Unknown;
+      ])
+
+let size_arb =
+  QCheck.make
+    ~print:(fun s -> Fmt.str "%a" Pna_analysis.Absdom.pp_size s)
+    size_gen
+
+let concretize = function
+  | Pna_analysis.Absdom.Known n -> [ n ]
+  | Pna_analysis.Absdom.Bounded n -> [ 0; n / 2; n ]
+  | Pna_analysis.Absdom.Tainted | Pna_analysis.Absdom.Unknown ->
+    [ 0; 1; 64; 100000 ]
+
+let prop_fits_sound =
+  QCheck.Test.make ~count:500
+    ~name:"absdom: Fits verdict is sound for every concretization"
+    QCheck.(pair size_arb (int_range 0 256))
+    (fun (placed, arena) ->
+      match Pna_analysis.Absdom.fits ~placed ~arena:(Known arena) with
+      | Pna_analysis.Absdom.Fits ->
+        List.for_all (fun p -> p <= arena) (concretize placed)
+      | Pna_analysis.Absdom.Overflows ->
+        List.for_all (fun p -> p > arena) (concretize placed)
+      | _ -> true)
+
+let prop_taint_sticky_mul =
+  QCheck.Test.make ~count:200 ~name:"absdom: taint is sticky through mul"
+    size_arb (fun s ->
+      Pna_analysis.Absdom.mul Pna_analysis.Absdom.Tainted s
+      = Pna_analysis.Absdom.Tainted)
+
+let prop_known_arithmetic =
+  QCheck.Test.make ~count:200 ~name:"absdom: Known arithmetic is exact"
+    QCheck.(pair (int_range 0 1000) (int_range 0 1000))
+    (fun (a, b) ->
+      Pna_analysis.Absdom.add (Known a) (Known b) = Known (a + b)
+      && Pna_analysis.Absdom.mul (Known a) (Known b) = Known (a * b))
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "analysis",
+    detection_cases @ hardened_cases @ interproc_catalogue_cases
+    @ [
+        t "certain overflow flagged" test_certain_overflow_flagged;
+        t "exact fit not flagged" test_exact_fit_not_flagged;
+        t "tainted array count flagged" test_tainted_count_flagged;
+        t "constant count that fits is quiet" test_constant_count_fits;
+        t "constant count overflow flagged" test_constant_count_overflow;
+        t "sizeof guard prunes the safe branch" test_sizeof_guard_recognized;
+        t "bound guard refines the count" test_bound_guard_refines;
+        t "insufficient bound still flagged" test_bound_guard_insufficient;
+        t "overflow clobbers established bounds (two-step)" test_clobber_invalidates_bound;
+        t "placement into a member field checked" test_member_placement_flagged;
+        t "remote-bounded copy loop flagged" test_copy_loop_flagged;
+        t "constant copy loop within capacity quiet" test_copy_loop_constant_ok;
+        t "info leak flagged; memset suppresses" test_info_leak_flagged_and_memset_suppresses;
+        t "placement-delete mismatch flagged" test_delete_placed_flagged;
+        t "heap-pointer placement checked" test_placement_through_heap_pointer;
+        t "unknown arena reported as unverifiable" test_unknown_arena_reported_unverifiable;
+        t "misalignment into char arena flagged" test_misalignment_flagged;
+        t "aligned placement quiet" test_aligned_placement_quiet;
+        t "pointer arithmetic narrows the arena" test_pointer_arith_narrows_arena;
+        t "fitting offset placement quiet" test_pointer_arith_fitting_offset;
+        t "interproc sharpens possible to certain" test_interproc_sharpens;
+        t "interproc removes unknown-arena FP" test_interproc_removes_fp;
+        t "interproc joins call sites conservatively" test_interproc_joins_call_sites;
+        t "interproc terminates on recursion" test_interproc_recursion_terminates;
+        t "interproc carries recv taint across calls" test_interproc_recv_taints_callee;
+        t "legacy: strcpy warned" test_legacy_flags_strcpy;
+        t "legacy: literal strncpy overflow seen" test_legacy_flags_oversize_literal_strncpy;
+        t "legacy: fitting strncpy silent" test_legacy_silent_on_fitting_strncpy;
+        t "legacy: blind to placement new" test_legacy_blind_to_placement;
+        QCheck_alcotest.to_alcotest prop_fits_sound;
+        QCheck_alcotest.to_alcotest prop_taint_sticky_mul;
+        QCheck_alcotest.to_alcotest prop_known_arithmetic;
+      ] )

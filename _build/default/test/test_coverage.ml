@@ -1,0 +1,73 @@
+(* Tests for the statement tracer / coverage collector. *)
+
+open Pna_minicpp.Dsl
+module Coverage = Pna.Coverage
+module Interp = Pna_minicpp.Interp
+module Config = Pna_defense.Config
+
+let prog_loops n =
+  program
+    ~globals:[ global "acc" int ]
+    [
+      func "tick" [ set (v "acc") (v "acc" +: i 1) ];
+      func "idle" [ ret0 ];
+      func "main"
+        [
+          for_
+            (decli "j" int (i 0))
+            (v "j" <: i n)
+            (set (v "j") (v "j" +: i 1))
+            [ expr (call "tick" []) ];
+          ret (i 0);
+        ];
+    ]
+
+let run_with_coverage prog =
+  let cov, hook = Coverage.collector () in
+  let o = Interp.execute ~config:Config.none ~on_stmt:hook prog in
+  (cov, o)
+
+let test_counts_scale_with_loop () =
+  let cov10, _ = run_with_coverage (prog_loops 10) in
+  let cov100, _ = run_with_coverage (prog_loops 100) in
+  Alcotest.(check bool) "more iterations, more statements" true
+    (cov100.Coverage.total > cov10.Coverage.total * 5);
+  Alcotest.(check int) "tick ran 10 times" 10
+    (Option.value (Hashtbl.find_opt cov10.Coverage.per_func "tick") ~default:0)
+
+let test_uncovered_function_reported () =
+  let cov, _ = run_with_coverage (prog_loops 3) in
+  let rows = Coverage.report cov (prog_loops 3) in
+  let idle = List.find (fun r -> r.Coverage.cf_name = "idle") rows in
+  Alcotest.(check bool) "idle never entered" false idle.Coverage.cf_entered;
+  let main = List.find (fun r -> r.Coverage.cf_name = "main") rows in
+  Alcotest.(check bool) "main entered" true main.Coverage.cf_entered
+
+let test_static_counts () =
+  let rows = Coverage.report (Coverage.create ()) (prog_loops 3) in
+  let main = List.find (fun r -> r.Coverage.cf_name = "main") rows in
+  (* for + its init decl + step assign + body expr + return = 5 *)
+  Alcotest.(check int) "static statements in main" 5 main.Coverage.cf_static
+
+let test_kind_histogram () =
+  let cov, _ = run_with_coverage (prog_loops 4) in
+  Alcotest.(check (option int)) "4 calls = 4 expr stmts" (Some 4)
+    (Hashtbl.find_opt cov.Coverage.per_kind "expr")
+
+let test_no_hook_no_cost () =
+  (* same outcome whether or not the tracer is attached *)
+  let _, o1 = run_with_coverage (prog_loops 7) in
+  let o2 = Interp.execute ~config:Config.none (prog_loops 7) in
+  Alcotest.(check int) "same steps" o2.Pna_minicpp.Outcome.steps
+    o1.Pna_minicpp.Outcome.steps
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "coverage",
+    [
+      t "dynamic counts scale with iterations" test_counts_scale_with_loop;
+      t "uncovered functions reported" test_uncovered_function_reported;
+      t "static statement counts" test_static_counts;
+      t "per-kind histogram" test_kind_histogram;
+      t "tracer does not change behaviour" test_no_hook_no_cost;
+    ] )

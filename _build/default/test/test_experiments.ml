@@ -1,0 +1,168 @@
+(* Tests over the experiment harness itself: every experiment reproduces
+   the paper's qualitative shape. These are the assertions EXPERIMENTS.md
+   reports. *)
+
+module E = Pna.Experiments
+module Driver = Pna_attacks.Driver
+module Catalog = Pna_attacks.Catalog
+module O = Pna_minicpp.Outcome
+
+let test_e1_all_succeed () =
+  List.iter
+    (fun (r : Driver.result) ->
+      Alcotest.(check bool)
+        (Fmt.str "%s demonstrated" r.Driver.attack.Catalog.id)
+        true r.Driver.verdict.Catalog.success)
+    (E.e1 ())
+
+let test_e2_e3_shape () =
+  match E.e2_e3 () with
+  | [ naive_none; naive_sg; bypass_none; bypass_sg ] ->
+    Alcotest.(check bool) "naive/none hijacks" true naive_none.E.hijacked;
+    Alcotest.(check bool) "naive/stackguard detected" true naive_sg.E.detected;
+    Alcotest.(check bool) "naive/stackguard stopped" false naive_sg.E.hijacked;
+    Alcotest.(check bool) "bypass/none hijacks" true bypass_none.E.hijacked;
+    Alcotest.(check bool) "bypass/stackguard NOT detected" false
+      bypass_sg.E.detected;
+    Alcotest.(check bool) "bypass/stackguard hijacks anyway" true
+      bypass_sg.E.hijacked
+  | _ -> Alcotest.fail "expected 4 trials"
+
+let test_e4_leak_shape () =
+  let rows = E.e4 () in
+  List.iter
+    (fun r ->
+      let expected_leak = r.E.leak_config = "none" in
+      Alcotest.(check bool)
+        (Fmt.str "%s/%s leak" r.E.leak_attack r.E.leak_config)
+        expected_leak r.E.secret_leaked;
+      if expected_leak then
+        Alcotest.(check bool) "stale window positive" true (r.E.stale_bytes > 0))
+    rows;
+  (* the object leak window is exactly the size difference *)
+  (match
+     List.find_opt
+       (fun r -> r.E.leak_attack = "L22-leakobj" && r.E.leak_config = "none")
+       rows
+   with
+  | Some r -> Alcotest.(check int) "32-16" 16 r.E.stale_bytes
+  | None -> Alcotest.fail "missing row")
+
+let test_e5_monotone () =
+  let rows = E.e5 ~bounds:[ 5; 100; 10_000 ] () in
+  let steps = List.map (fun r -> r.E.steps) rows in
+  Alcotest.(check bool) "monotone" true (List.sort compare steps = steps);
+  match rows with
+  | [ benign; _; big ] ->
+    Alcotest.(check bool) "blowup >= 100x" true (big.E.steps > benign.E.steps * 100)
+  | _ -> Alcotest.fail "unexpected rows"
+
+let test_e5_timeout_row () =
+  match E.e5 ~bounds:[ 0x3fffffff ] () with
+  | [ r ] -> (
+    match r.E.status with
+    | O.Timeout _ -> ()
+    | st -> Alcotest.failf "expected timeout, got %a" O.pp_status st)
+  | _ -> Alcotest.fail "one row expected"
+
+let test_e6_exact_prediction () =
+  List.iter
+    (fun r ->
+      Alcotest.(check int)
+        (Fmt.str "leak at %d iterations" r.E.iterations)
+        r.E.predicted r.E.leaked)
+    (E.e6 ~points:[ 0; 10; 100; 500 ] ())
+
+let test_e7_headline () =
+  let rows = E.e7 () in
+  Alcotest.(check bool) "our checker flags all" true
+    (List.for_all (fun r -> r.E.ours) rows);
+  Alcotest.(check bool) "legacy flags none" true
+    (List.for_all (fun r -> not r.E.legacy) rows);
+  Alcotest.(check bool) "no hardened false positives" true
+    (List.for_all (fun r -> r.E.hardened_clean <> Some false) rows)
+
+let test_e8_no_defense_never_blocks () =
+  let matrix = E.e8_matrix ~configs:[ Pna_defense.Config.none ] () in
+  List.iter
+    (fun (_, cells) ->
+      match cells with
+      | [ (_, E.Win) ] -> ()
+      | _ -> Alcotest.fail "undefended attack should win")
+    matrix
+
+let test_e8_overhead_workload_clean () =
+  List.iter
+    (fun (c, status, _steps) ->
+      match status with
+      | O.Exited _ -> ()
+      | st ->
+        Alcotest.failf "benign workload failed under %s: %a"
+          c.Pna_defense.Config.name O.pp_status st)
+    (E.e8_overhead ~n:100 ())
+
+let test_e9_fuzz_shape () =
+  let t = E.e9 ~trials:100 () in
+  Alcotest.(check int) "all trials accounted" 100 (t.E.f_clean + t.E.f_crashed + t.E.f_exploited);
+  Alcotest.(check bool) "fuzzing mostly crashes" true (t.E.f_crashed > 90);
+  Alcotest.(check int) "no lucky exploit" 0 t.E.f_exploited;
+  Alcotest.(check bool) "directed attacker wins" true t.E.directed_works;
+  Alcotest.(check bool) "checker flags it" true t.E.statically_flagged
+
+(* Composing defenses never weakens them: an attack stopped by any single
+   mechanism is also stopped by the full stack. *)
+let test_defense_monotonicity () =
+  List.iter
+    (fun (a : Catalog.t) ->
+      let blocked c =
+        not (Driver.run ~config:c a).Driver.verdict.Pna_attacks.Catalog.success
+      in
+      let any_single =
+        List.exists blocked
+          Pna_defense.Config.
+            [ stackguard; shadow_stack; bounds_check; sanitize; nx; pool_discipline ]
+      in
+      if any_single then
+        Alcotest.(check bool)
+          (Fmt.str "%s blocked under full" a.Catalog.id)
+          true
+          (blocked Pna_defense.Config.full))
+    Pna_attacks.All.attacks
+
+let test_e10_repair_headline () =
+  let rows = E.e10 () in
+  let survivors =
+    List.filter_map
+      (fun r -> if r.E.neutralized then None else Some r.E.r_attack)
+      rows
+  in
+  Alcotest.(check (list string)) "only the copy-loop attacks survive"
+    [ "L06-copyloop"; "L10-internal" ]
+    (List.sort compare survivors);
+  Alcotest.(check bool) "no silent gaps" true
+    (List.for_all (fun r -> r.E.residual_flagged) rows)
+
+let test_workload_heap_churn () =
+  let o = Pna.Workloads.run Pna.Workloads.heap_churn ~n:500 in
+  match o.O.status with
+  | O.Exited 0 -> ()
+  | st -> Alcotest.failf "heap churn failed: %a" O.pp_status st
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "experiments",
+    [
+      t "E1: all attacks demonstrated" test_e1_all_succeed;
+      t "E2/E3: StackGuard detects naive, misses bypass" test_e2_e3_shape;
+      t "E4: leak iff unsanitized; window = size diff" test_e4_leak_shape;
+      t "E5: DoS steps monotone and linear" test_e5_monotone;
+      t "E5: huge bound never completes" test_e5_timeout_row;
+      t "E6: leak exactly matches prediction" test_e6_exact_prediction;
+      t "E7: 25/25 vs 0/25, no hardened FPs" test_e7_headline;
+      t "E8: undefended attacks always win" test_e8_no_defense_never_blocks;
+      t "E8: benign workload passes every defense" test_e8_overhead_workload_clean;
+      t "E9: fuzzing crashes, never exploits" test_e9_fuzz_shape;
+      t "composing defenses is monotone" test_defense_monotonicity;
+      t "E10: repair neutralizes all but copy loops" test_e10_repair_headline;
+      t "workload: heap churn" test_workload_heap_churn;
+    ] )

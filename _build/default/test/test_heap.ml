@@ -1,0 +1,223 @@
+(* Tests for the free-list allocator living in simulated memory. *)
+
+open Pna_vmem
+module Heap = Pna_machine.Heap
+
+let mk ?(size = 0x1000) () =
+  let m = Vmem.create () in
+  let _ = Vmem.map m ~kind:Segment.Heap ~base:0x10000 ~size ~perm:Perm.rw in
+  (m, Heap.create m ~base:0x10000 ~size)
+
+let malloc_exn h n =
+  match Heap.malloc h n with
+  | Some a -> a
+  | None -> Alcotest.fail "unexpected OOM"
+
+let test_malloc_basic () =
+  let _, h = mk () in
+  let a = malloc_exn h 16 in
+  let b = malloc_exn h 16 in
+  Alcotest.(check bool) "disjoint" true (b >= a + 16 + Heap.header_size);
+  Alcotest.(check int) "in_use" 32 (Heap.stats h).Heap.in_use;
+  Alcotest.(check int) "allocs" 2 (Heap.stats h).Heap.allocs
+
+let test_size_rounded_to_8 () =
+  let _, h = mk () in
+  let a = malloc_exn h 5 in
+  Alcotest.(check int) "rounded" 8 (Heap.block_size h a)
+
+let test_free_and_reuse () =
+  let _, h = mk () in
+  let a = malloc_exn h 32 in
+  let _b = malloc_exn h 32 in
+  Heap.free h a;
+  Alcotest.(check int) "in_use drops" 32 (Heap.stats h).Heap.in_use;
+  let c = malloc_exn h 32 in
+  Alcotest.(check int) "first-fit reuses freed block" a c
+
+let test_split_on_reuse () =
+  let _, h = mk () in
+  let a = malloc_exn h 64 in
+  Heap.free h a;
+  let b = malloc_exn h 16 in
+  Alcotest.(check int) "reuses the hole" a b;
+  Alcotest.(check int) "split keeps size" 16 (Heap.block_size h b);
+  (* the remainder is a free block usable by another allocation *)
+  let c = malloc_exn h 16 in
+  Alcotest.(check int) "tail of the hole" (a + 16 + Heap.header_size) c
+
+let test_coalesce_forward () =
+  let _, h = mk () in
+  let a = malloc_exn h 16 in
+  let b = malloc_exn h 16 in
+  let _guard = malloc_exn h 16 in
+  Heap.free h b;
+  Heap.free h a;
+  (* a coalesced with b: can serve a request bigger than either *)
+  let c = malloc_exn h 40 in
+  Alcotest.(check int) "coalesced block reused" a c
+
+let test_coalesce_backward () =
+  let _, h = mk () in
+  let a = malloc_exn h 16 in
+  let b = malloc_exn h 16 in
+  let _guard = malloc_exn h 16 in
+  Heap.free h a;
+  Heap.free h b;
+  (* b merged back into a: one hole big enough for 40 *)
+  let c = malloc_exn h 40 in
+  Alcotest.(check int) "backward-coalesced hole reused" a c
+
+let prop_no_adjacent_free_blocks =
+  let ops =
+    QCheck.(list_of_size (Gen.int_range 1 40) (pair bool (int_range 1 48)))
+  in
+  QCheck.Test.make ~count:200 ~name:"heap: coalescing leaves no adjacent free blocks"
+    ops
+    (fun ops ->
+      let _, h = mk ~size:0x2000 () in
+      let live = ref [] in
+      List.iter
+        (fun (do_alloc, n) ->
+          let n = max 1 n in
+          if do_alloc || !live = [] then (
+            match Heap.malloc h n with
+            | Some a -> live := a :: !live
+            | None -> ())
+          else
+            match !live with
+            | a :: rest ->
+              Heap.free h a;
+              live := rest
+            | [] -> ())
+        ops;
+      let prev_free = ref false in
+      let ok = ref true in
+      Heap.iter_blocks h (fun _ _ allocated ->
+          if (not allocated) && !prev_free then ok := false;
+          prev_free := not allocated);
+      !ok)
+
+let test_double_free_detected () =
+  let _, h = mk () in
+  let a = malloc_exn h 16 in
+  Heap.free h a;
+  (match Heap.free h a with
+  | () -> Alcotest.fail "double free undetected"
+  | exception Heap.Corrupted (_, msg) ->
+    Alcotest.(check string) "reason" "double free" msg)
+
+let test_corrupted_header_detected () =
+  let m, h = mk () in
+  let a = malloc_exn h 16 in
+  let _b = malloc_exn h 16 in
+  (* smash the next block's status word, as a heap overflow would *)
+  Vmem.write_u32 m (a + 16 + 4) 0x41414141;
+  (match Heap.malloc h 16 with
+  | _ -> Alcotest.fail "corruption undetected"
+  | exception Heap.Corrupted _ -> ())
+
+let test_oom () =
+  let _, h = mk ~size:128 () in
+  Alcotest.(check bool) "fits" true (Heap.malloc h 64 <> None);
+  Alcotest.(check bool) "oom" true (Heap.malloc h 64 = None)
+
+let test_free_partial_leak_arithmetic () =
+  let _, h = mk () in
+  let a = malloc_exn h 32 in
+  (* GradStudent(32) -> Student(16): 8-byte tail + 8-byte header stranded *)
+  let leaked = Heap.free_partial h a 16 in
+  Alcotest.(check int) "leaked" 16 leaked;
+  Alcotest.(check int) "stats.leaked" 16 (Heap.stats h).Heap.leaked;
+  Alcotest.(check int) "tail still accounted in_use" 8 (Heap.stats h).Heap.in_use
+
+let test_free_partial_whole_when_tiny () =
+  let _, h = mk () in
+  let a = malloc_exn h 16 in
+  let leaked = Heap.free_partial h a 16 in
+  Alcotest.(check int) "no leak when sizes match" 0 leaked;
+  Alcotest.(check int) "fully freed" 0 (Heap.stats h).Heap.in_use
+
+let test_live_blocks () =
+  let _, h = mk () in
+  let a = malloc_exn h 16 in
+  let _b = malloc_exn h 16 in
+  Alcotest.(check int) "two live" 2 (Heap.live_blocks h);
+  Heap.free h a;
+  Alcotest.(check int) "one live" 1 (Heap.live_blocks h)
+
+let test_peak_tracking () =
+  let _, h = mk () in
+  let a = malloc_exn h 64 in
+  Heap.free h a;
+  let _ = malloc_exn h 16 in
+  Alcotest.(check int) "peak is the high-water mark" 64 (Heap.stats h).Heap.peak
+
+(* Random alloc/free sequences maintain allocator invariants. *)
+let prop_allocator_invariants =
+  let ops =
+    QCheck.(list_of_size (Gen.int_range 1 60) (pair bool (int_range 1 48)))
+  in
+  QCheck.Test.make ~count:200 ~name:"heap: random ops keep blocks disjoint"
+    ops
+    (fun ops ->
+      let _, h = mk ~size:0x2000 () in
+      let live = ref [] in
+      List.iter
+        (fun (do_alloc, n) ->
+          let n = max 1 n in
+          (* shrinking may drive n to 0 *)
+          if do_alloc || !live = [] then (
+            match Heap.malloc h n with
+            | Some a -> live := (a, Heap.block_size h a) :: !live
+            | None -> ())
+          else
+            match !live with
+            | (a, _) :: rest ->
+              Heap.free h a;
+              live := rest
+            | [] -> ())
+        ops;
+      (* live blocks disjoint and within the arena *)
+      let sorted = List.sort compare !live in
+      let rec disjoint = function
+        | (a, sa) :: ((b, _) :: _ as rest) ->
+          a + sa + Heap.header_size <= b + Heap.header_size && disjoint rest
+        | _ -> true
+      in
+      let in_use_ok =
+        (Heap.stats h).Heap.in_use
+        = List.fold_left (fun acc (_, s) -> acc + s) 0 !live
+      in
+      disjoint sorted && in_use_ok)
+
+let prop_malloc_alignment =
+  QCheck.Test.make ~count:200 ~name:"heap: payloads are 8-aligned"
+    QCheck.(int_range 1 64)
+    (fun n ->
+      let _, h = mk () in
+      match Heap.malloc h n with
+      | Some a -> a mod 8 = 0
+      | None -> false)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "heap",
+    [
+      t "malloc basic" test_malloc_basic;
+      t "sizes rounded to 8" test_size_rounded_to_8;
+      t "free and first-fit reuse" test_free_and_reuse;
+      t "split on reuse" test_split_on_reuse;
+      t "forward coalescing" test_coalesce_forward;
+      t "backward coalescing" test_coalesce_backward;
+      QCheck_alcotest.to_alcotest prop_no_adjacent_free_blocks;
+      t "double free detected" test_double_free_detected;
+      t "corrupted header detected" test_corrupted_header_detected;
+      t "OOM returns None" test_oom;
+      t "free_partial leak arithmetic" test_free_partial_leak_arithmetic;
+      t "free_partial frees whole block when tiny" test_free_partial_whole_when_tiny;
+      t "live block count" test_live_blocks;
+      t "peak tracking" test_peak_tracking;
+      QCheck_alcotest.to_alcotest prop_allocator_invariants;
+      QCheck_alcotest.to_alcotest prop_malloc_alignment;
+    ] )

@@ -1,0 +1,282 @@
+(* Tests for the C++ object-layout engine: sizes, alignment, padding,
+   inheritance, vtables. The concrete numbers here are the ones the
+   paper's attacks rely on. *)
+
+open Pna_layout
+
+let env_with classes =
+  let env = Layout.create_env () in
+  List.iter (Layout.define env) classes;
+  env
+
+let schema_env () =
+  env_with
+    (Pna_attacks.Schema.base_classes @ Pna_attacks.Schema.virtual_classes)
+
+let layout env c = Layout.of_class env c
+
+let test_scalar_sizes () =
+  let open Ctype in
+  List.iter
+    (fun (ty, sz) -> Alcotest.(check int) (to_string ty) sz (scalar_size ty))
+    [
+      (Char, 1); (Uchar, 1); (Bool, 1); (Short, 2); (Ushort, 2); (Int, 4);
+      (Uint, 4); (Float, 4); (Double, 8); (Ptr Char, 4); (Fun_ptr, 4);
+    ]
+
+let test_sizeof_aggregates () =
+  let env = schema_env () in
+  Alcotest.(check int) "int[3]" 12 (Layout.sizeof env (Ctype.Array (Ctype.Int, 3)));
+  Alcotest.(check int) "char[7]" 7 (Layout.sizeof env (Ctype.Array (Ctype.Char, 7)));
+  Alcotest.(check int) "Student" 16 (Layout.sizeof env (Ctype.Class "Student"))
+
+let test_student_layout () =
+  let env = schema_env () in
+  let l = layout env "Student" in
+  Alcotest.(check int) "size" 16 l.Layout.l_size;
+  Alcotest.(check int) "align" 8 l.Layout.l_align;
+  Alcotest.(check (list int)) "no vptr" [] l.Layout.l_vptrs;
+  Alcotest.(check int) "gpa@0" 0 (Layout.field_exn l "gpa").Layout.f_offset;
+  Alcotest.(check int) "year@8" 8 (Layout.field_exn l "year").Layout.f_offset;
+  Alcotest.(check int) "semester@12" 12
+    (Layout.field_exn l "semester").Layout.f_offset
+
+let test_grad_student_layout () =
+  let env = schema_env () in
+  let l = layout env "GradStudent" in
+  Alcotest.(check int) "size" 32 l.Layout.l_size;
+  Alcotest.(check int) "ssn@16" 16 (Layout.field_exn l "ssn").Layout.f_offset;
+  (* the 16 bytes past a Student: exactly the attack surface *)
+  Alcotest.(check int) "overflow window" 16
+    (l.Layout.l_size - (layout env "Student").Layout.l_size);
+  Alcotest.(check (list (pair string int))) "base at 0" [ ("Student", 0) ]
+    l.Layout.l_bases
+
+let test_tail_padding () =
+  let env = schema_env () in
+  let l = layout env "GradStudent" in
+  (* fields end at 16+12=28; size rounds to 32: 4 bytes of tail padding —
+     the §3.7.2 "alignment issues" bytes *)
+  Alcotest.(check int) "tail padding" 4 (Layout.tail_padding env l);
+  Alcotest.(check int) "fields end" 28 (Layout.fields_end env l)
+
+let test_polymorphic_layout () =
+  let env = schema_env () in
+  let l = layout env "StudentV" in
+  Alcotest.(check (list int)) "vptr at 0" [ 0 ] l.Layout.l_vptrs;
+  Alcotest.(check int) "size includes vptr + pad" 24 l.Layout.l_size;
+  Alcotest.(check int) "gpa pushed to 8" 8
+    (Layout.field_exn l "gpa").Layout.f_offset
+
+let test_polymorphic_derived () =
+  let env = schema_env () in
+  let l = layout env "GradStudentV" in
+  Alcotest.(check int) "size" 40 l.Layout.l_size;
+  Alcotest.(check (list int)) "inherits primary vptr" [ 0 ] l.Layout.l_vptrs;
+  Alcotest.(check int) "ssn@24" 24 (Layout.field_exn l "ssn").Layout.f_offset
+
+let test_vtable_override () =
+  let env = schema_env () in
+  let base = layout env "StudentV" in
+  let derived = layout env "GradStudentV" in
+  Alcotest.(check (list (pair string string)))
+    "base table" [ ("getInfo", "StudentV::getInfo") ] base.Layout.l_vtable;
+  Alcotest.(check (list (pair string string)))
+    "override same slot"
+    [ ("getInfo", "GradStudentV::getInfo") ]
+    derived.Layout.l_vtable
+
+let test_vtable_extension () =
+  let env =
+    env_with
+      [
+        Class_def.v "A" ~methods:[ Class_def.virtual_method "fa" ] [ ("x", Ctype.Int) ];
+        Class_def.v "B" ~bases:[ "A" ]
+          ~methods:[ Class_def.virtual_method "fb" ]
+          [ ("y", Ctype.Int) ];
+      ]
+  in
+  let b = layout env "B" in
+  Alcotest.(check (list (pair string string)))
+    "base slots first, new slots appended"
+    [ ("fa", "fa"); ("fb", "fb") ]
+    b.Layout.l_vtable
+
+let test_multiple_inheritance () =
+  let env =
+    env_with
+      [
+        Class_def.v "A" [ ("a", Ctype.Int) ];
+        Class_def.v "B" [ ("b", Ctype.Double) ];
+        Class_def.v "C" ~bases:[ "A"; "B" ] [ ("c", Ctype.Char) ];
+      ]
+  in
+  let c = layout env "C" in
+  Alcotest.(check (list (pair string int)))
+    "subobject offsets" [ ("A", 0); ("B", 8) ] c.Layout.l_bases;
+  Alcotest.(check int) "a@0" 0 (Layout.field_exn c "a").Layout.f_offset;
+  Alcotest.(check int) "b@8" 8 (Layout.field_exn c "b").Layout.f_offset;
+  Alcotest.(check int) "c after bases" 16 (Layout.field_exn c "c").Layout.f_offset;
+  Alcotest.(check int) "size rounds to max align" 24 c.Layout.l_size
+
+let test_multiple_inheritance_polymorphic () =
+  let env =
+    env_with
+      [
+        Class_def.v "P1" ~methods:[ Class_def.virtual_method "f" ] [];
+        Class_def.v "P2" ~methods:[ Class_def.virtual_method "g" ] [];
+        Class_def.v "D" ~bases:[ "P1"; "P2" ] [ ("d", Ctype.Int) ];
+      ]
+  in
+  let d = layout env "D" in
+  Alcotest.(check (list int)) "two vptrs" [ 0; 4 ] d.Layout.l_vptrs;
+  Alcotest.(check bool) "both virtuals in merged table" true
+    (List.mem_assoc "f" d.Layout.l_vtable && List.mem_assoc "g" d.Layout.l_vtable)
+
+let test_field_shadowing () =
+  let env =
+    env_with
+      [
+        Class_def.v "Base" [ ("x", Ctype.Double) ];
+        Class_def.v "Derived" ~bases:[ "Base" ] [ ("x", Ctype.Int) ];
+      ]
+  in
+  let d = layout env "Derived" in
+  let f = Layout.field_exn d "x" in
+  Alcotest.(check int) "derived x shadows base x" 8 f.Layout.f_offset;
+  Alcotest.(check bool) "type is the derived one" true
+    (f.Layout.f_type = Ctype.Int)
+
+let test_empty_class () =
+  let env = env_with [ Class_def.v "Empty" [] ] in
+  Alcotest.(check int) "empty class occupies one byte" 1
+    (layout env "Empty").Layout.l_size
+
+let test_nested_class_field () =
+  let env =
+    env_with
+      (Pna_attacks.Schema.base_classes
+      @ [
+          Class_def.v "Pair"
+            [ ("s1", Ctype.Class "Student"); ("s2", Ctype.Class "Student"); ("n", Ctype.Int) ];
+        ])
+  in
+  let p = layout env "Pair" in
+  Alcotest.(check int) "s2 offset" 16 (Layout.field_exn p "s2").Layout.f_offset;
+  Alcotest.(check int) "n offset" 32 (Layout.field_exn p "n").Layout.f_offset;
+  Alcotest.(check int) "size" 40 p.Layout.l_size
+
+let test_alignment_gaps () =
+  let env =
+    env_with [ Class_def.v "Gappy" [ ("c", Ctype.Char); ("d", Ctype.Double); ("x", Ctype.Char) ] ]
+  in
+  let g = layout env "Gappy" in
+  Alcotest.(check int) "c@0" 0 (Layout.field_exn g "c").Layout.f_offset;
+  Alcotest.(check int) "d aligned to 8" 8 (Layout.field_exn g "d").Layout.f_offset;
+  Alcotest.(check int) "x after d" 16 (Layout.field_exn g "x").Layout.f_offset;
+  Alcotest.(check int) "size rounds up" 24 g.Layout.l_size
+
+let test_unknown_class_rejected () =
+  let env = env_with [] in
+  Alcotest.check_raises "unknown" (Invalid_argument "Layout: unknown class Nope")
+    (fun () -> ignore (Layout.of_class env "Nope"))
+
+let test_duplicate_class_rejected () =
+  let env = env_with [ Class_def.v "A" [] ] in
+  Alcotest.check_raises "dup" (Invalid_argument "Layout.define: duplicate class A")
+    (fun () -> Layout.define env (Class_def.v "A" []))
+
+(* property tests over randomly generated class definitions *)
+
+let gen_fields =
+  let open QCheck.Gen in
+  let scalar =
+    oneofl Ctype.[ Char; Short; Int; Uint; Double; Ptr Char; Fun_ptr ]
+  in
+  let field i =
+    map (fun ty -> (Fmt.str "f%d" i, ty)) scalar
+  in
+  int_range 1 8 >>= fun n -> flatten_l (List.init n field)
+
+let arb_class =
+  QCheck.make ~print:(fun fs -> Fmt.str "%d fields" (List.length fs)) gen_fields
+
+let layout_of_fields fields =
+  let env = env_with [ Class_def.v "T" fields ] in
+  (env, Layout.of_class env "T")
+
+let prop_size_multiple_of_align =
+  QCheck.Test.make ~count:300 ~name:"layout: size is a multiple of align"
+    arb_class (fun fields ->
+      let _, l = layout_of_fields fields in
+      l.Layout.l_size mod l.Layout.l_align = 0)
+
+let prop_fields_naturally_aligned =
+  QCheck.Test.make ~count:300 ~name:"layout: every field naturally aligned"
+    arb_class (fun fields ->
+      let env, l = layout_of_fields fields in
+      List.for_all
+        (fun f -> f.Layout.f_offset mod Layout.alignof env f.Layout.f_type = 0)
+        l.Layout.l_fields)
+
+let prop_fields_disjoint =
+  QCheck.Test.make ~count:300 ~name:"layout: fields do not overlap" arb_class
+    (fun fields ->
+      let env, l = layout_of_fields fields in
+      let rec disjoint = function
+        | a :: (b :: _ as rest) ->
+          a.Layout.f_offset + Layout.sizeof env a.Layout.f_type
+          <= b.Layout.f_offset
+          && disjoint rest
+        | _ -> true
+      in
+      disjoint l.Layout.l_fields)
+
+let prop_fields_inside_object =
+  QCheck.Test.make ~count:300 ~name:"layout: fields fit inside sizeof" arb_class
+    (fun fields ->
+      let env, l = layout_of_fields fields in
+      List.for_all
+        (fun f ->
+          f.Layout.f_offset + Layout.sizeof env f.Layout.f_type <= l.Layout.l_size)
+        l.Layout.l_fields)
+
+let prop_derived_no_smaller =
+  QCheck.Test.make ~count:300
+    ~name:"layout: derived class at least as large as its base" arb_class
+    (fun fields ->
+      let env =
+        env_with
+          [ Class_def.v "Base" [ ("b", Ctype.Int) ];
+            Class_def.v "T" ~bases:[ "Base" ] fields ]
+      in
+      (Layout.of_class env "T").Layout.l_size
+      >= (Layout.of_class env "Base").Layout.l_size)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "layout",
+    [
+      t "scalar sizes (ILP32)" test_scalar_sizes;
+      t "sizeof aggregates" test_sizeof_aggregates;
+      t "Student layout" test_student_layout;
+      t "GradStudent layout" test_grad_student_layout;
+      t "tail padding" test_tail_padding;
+      t "polymorphic class gains vptr at 0" test_polymorphic_layout;
+      t "polymorphic derived shares primary vptr" test_polymorphic_derived;
+      t "vtable override keeps slot" test_vtable_override;
+      t "vtable extension appends" test_vtable_extension;
+      t "multiple inheritance offsets" test_multiple_inheritance;
+      t "multiple inheritance: two vptrs" test_multiple_inheritance_polymorphic;
+      t "field shadowing" test_field_shadowing;
+      t "empty class" test_empty_class;
+      t "class-typed fields" test_nested_class_field;
+      t "alignment gaps" test_alignment_gaps;
+      t "unknown class rejected" test_unknown_class_rejected;
+      t "duplicate class rejected" test_duplicate_class_rejected;
+      QCheck_alcotest.to_alcotest prop_size_multiple_of_align;
+      QCheck_alcotest.to_alcotest prop_fields_naturally_aligned;
+      QCheck_alcotest.to_alcotest prop_fields_disjoint;
+      QCheck_alcotest.to_alcotest prop_fields_inside_object;
+      QCheck_alcotest.to_alcotest prop_derived_no_smaller;
+    ] )

@@ -1,0 +1,337 @@
+(* Tests for the process image: frames, canaries, shadow stack, arenas,
+   globals, vtables, placement primitives. *)
+
+open Pna_layout
+module Machine = Pna_machine.Machine
+module Event = Pna_machine.Event
+module Arena = Pna_machine.Arena
+module Config = Pna_defense.Config
+module Vmem = Pna_vmem.Vmem
+
+let schema_env () =
+  let env = Layout.create_env () in
+  List.iter (Layout.define env)
+    (Pna_attacks.Schema.base_classes @ Pna_attacks.Schema.virtual_classes);
+  env
+
+let mk ?(config = Config.none) () = Machine.create ~config (schema_env ())
+
+let test_globals_layout () =
+  let m = mk () in
+  let a = Machine.add_global m "stud1" (Ctype.Class "Student") in
+  let b = Machine.add_global m "stud2" (Ctype.Class "Student") in
+  Alcotest.(check int) "bss start" Machine.bss_base a;
+  Alcotest.(check int) "adjacent" (a + 16) b;
+  let c = Machine.add_global ~initialized:true m "k" Ctype.Int in
+  Alcotest.(check int) "initialized goes to data" Machine.data_base c
+
+let test_global_alignment () =
+  let m = mk () in
+  let _ = Machine.add_global m "c" Ctype.Char in
+  let d = Machine.add_global m "d" Ctype.Double in
+  Alcotest.(check int) "8-aligned" 0 (d mod 8)
+
+let test_duplicate_global_rejected () =
+  let m = mk () in
+  let _ = Machine.add_global m "x" Ctype.Int in
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Machine.add_global: duplicate global x") (fun () ->
+      ignore (Machine.add_global m "x" Ctype.Int))
+
+(* The frame arithmetic the paper's §3.6.1 narrative depends on. *)
+let test_frame_slots_no_canary () =
+  let m = mk () in
+  let main = Machine.push_frame m ~func:"main" ~ret_to:0x8048005 in
+  ignore main;
+  let f = Machine.push_frame m ~func:"addStudent" ~ret_to:0x8048015 in
+  let stud = Machine.alloc_local m ~name:"stud" ~ty:(Ctype.Class "Student") in
+  (* ssn[0] = stud+16 aliases the saved fp; ssn[1] = stud+20 the ret slot *)
+  Alcotest.(check (option int))
+    "stud+16 is saved fp"
+    f.Pna_machine.Frame.fr_fp_slot (Some (stud + 16));
+  Alcotest.(check int) "stud+20 is ret slot" (stud + 20)
+    f.Pna_machine.Frame.fr_ret_slot
+
+let test_frame_slots_with_canary () =
+  let m = mk ~config:Config.stackguard () in
+  let _ = Machine.push_frame m ~func:"main" ~ret_to:0x8048005 in
+  let f = Machine.push_frame m ~func:"addStudent" ~ret_to:0x8048015 in
+  let stud = Machine.alloc_local m ~name:"stud" ~ty:(Ctype.Class "Student") in
+  (* canary, then fp, then ret: §3.6.1's "ssn[2] overwrites the return
+     address" picture *)
+  Alcotest.(check (option int))
+    "stud+16 is the canary" f.Pna_machine.Frame.fr_canary_slot
+    (Some (stud + 16));
+  Alcotest.(check (option int))
+    "stud+20 is saved fp" f.Pna_machine.Frame.fr_fp_slot (Some (stud + 20));
+  Alcotest.(check int) "stud+24 is ret" (stud + 24) f.Pna_machine.Frame.fr_ret_slot
+
+let test_locals_decl_order () =
+  let m = mk () in
+  let _ = Machine.push_frame m ~func:"f" ~ret_to:0x8048005 in
+  let n = Machine.alloc_local m ~name:"n" ~ty:Ctype.Int in
+  let stud = Machine.alloc_local m ~name:"stud" ~ty:(Ctype.Class "Student") in
+  Alcotest.(check bool) "earlier decl sits higher" true (n > stud);
+  (match Machine.lookup_var m "n" with
+  | Some (addr, ty) ->
+    Alcotest.(check int) "lookup addr" n addr;
+    Alcotest.(check bool) "lookup type" true (ty = Ctype.Int)
+  | None -> Alcotest.fail "lookup failed")
+
+let test_return_normal () =
+  let m = mk () in
+  let _ = Machine.push_frame m ~func:"f" ~ret_to:0x8048005 in
+  match Machine.pop_frame m with
+  | Machine.Returned -> ()
+  | Machine.Hijacked _ -> Alcotest.fail "spurious hijack"
+
+let test_return_hijack_detected () =
+  let m = mk () in
+  let f = Machine.push_frame m ~func:"f" ~ret_to:0x8048005 in
+  Vmem.write_u32 ~taint:true (Machine.mem m) f.Pna_machine.Frame.fr_ret_slot 0xdead;
+  (match Machine.pop_frame m with
+  | Machine.Hijacked { target; tainted; _ } ->
+    Alcotest.(check int) "target" 0xdead target;
+    Alcotest.(check bool) "tainted" true tainted
+  | Machine.Returned -> Alcotest.fail "hijack missed");
+  Alcotest.(check bool) "event emitted" true
+    (List.exists
+       (function Event.Return_hijacked _ -> true | _ -> false)
+       (Machine.events m))
+
+let test_canary_smash_detected () =
+  let m = mk ~config:Config.stackguard () in
+  let f = Machine.push_frame m ~func:"f" ~ret_to:0x8048005 in
+  (match f.Pna_machine.Frame.fr_canary_slot with
+  | Some slot -> Vmem.write_u32 (Machine.mem m) slot 0x41414141
+  | None -> Alcotest.fail "no canary slot");
+  match Machine.pop_frame m with
+  | _ -> Alcotest.fail "smash undetected"
+  | exception Event.Security_stop (Event.Canary_smashed _) -> ()
+
+let test_canary_intact_selective () =
+  (* the §5.2 bypass at machine level: only the ret slot changes *)
+  let m = mk ~config:Config.stackguard () in
+  let f = Machine.push_frame m ~func:"f" ~ret_to:0x8048005 in
+  Vmem.write_u32 (Machine.mem m) f.Pna_machine.Frame.fr_ret_slot 0x8048010;
+  match Machine.pop_frame m with
+  | Machine.Hijacked _ -> ()
+  | Machine.Returned -> Alcotest.fail "hijack missed"
+
+let test_shadow_stack_blocks () =
+  let m = mk ~config:Config.shadow_stack () in
+  let f = Machine.push_frame m ~func:"f" ~ret_to:0x8048005 in
+  Vmem.write_u32 (Machine.mem m) f.Pna_machine.Frame.fr_ret_slot 0xdead;
+  match Machine.pop_frame m with
+  | _ -> Alcotest.fail "shadow stack missed"
+  | exception Event.Security_stop (Event.Shadow_stack_blocked _) -> ()
+
+let test_fp_corruption_event () =
+  let m = mk () in
+  let f = Machine.push_frame m ~func:"f" ~ret_to:0x8048005 in
+  (match f.Pna_machine.Frame.fr_fp_slot with
+  | Some slot -> Vmem.write_u32 (Machine.mem m) slot 0x1234
+  | None -> Alcotest.fail "no fp slot");
+  (match Machine.pop_frame m with
+  | Machine.Returned -> ()
+  | Machine.Hijacked _ -> Alcotest.fail "ret untouched");
+  Alcotest.(check bool) "fp event" true
+    (List.exists
+       (function Event.Frame_pointer_corrupted _ -> true | _ -> false)
+       (Machine.events m))
+
+let test_sp_restored () =
+  let m = mk () in
+  let f = Machine.push_frame m ~func:"f" ~ret_to:0x8048005 in
+  let _ = Machine.alloc_local m ~name:"x" ~ty:(Ctype.Array (Ctype.Char, 100)) in
+  let _ = Machine.pop_frame m in
+  let m2 = Machine.push_frame m ~func:"g" ~ret_to:0x8048005 in
+  Alcotest.(check int) "frame base reused" f.Pna_machine.Frame.fr_base
+    m2.Pna_machine.Frame.fr_base
+
+let test_arena_innermost () =
+  let a = Arena.create () in
+  Arena.register a ~base:100 ~size:100 ~origin:(Arena.Pool "outer");
+  Arena.register a ~base:120 ~size:16 ~origin:(Arena.Global "inner");
+  (match Arena.find a 125 with
+  | Some r -> Alcotest.(check int) "innermost wins" 16 r.Arena.a_size
+  | None -> Alcotest.fail "not found");
+  Alcotest.(check (option int)) "remaining from inner" (Some 11)
+    (Arena.remaining a 125);
+  Alcotest.(check (option int)) "outer covers the rest" (Some 60)
+    (Arena.remaining a 140);
+  Arena.unregister a ~base:120;
+  Alcotest.(check (option int)) "after unregister" (Some 75)
+    (Arena.remaining a 125)
+
+let test_placement_records_arena () =
+  let m = mk () in
+  let g = Machine.add_global m "stud" (Ctype.Class "Student") in
+  let _ = Machine.placement_new m ~site:"t" ~addr:g ~size:32 in
+  match Machine.events m with
+  | [ Event.Placement { arena = Some 16; size = 32; _ } ] -> ()
+  | _ -> Alcotest.fail "placement event missing or wrong"
+
+let test_bounds_check_blocks () =
+  let m = mk ~config:Config.bounds_check () in
+  let g = Machine.add_global m "stud" (Ctype.Class "Student") in
+  match Machine.placement_new m ~site:"t" ~addr:g ~size:32 with
+  | _ -> Alcotest.fail "bounds check missed"
+  | exception Event.Security_stop (Event.Bounds_blocked { arena = 16; placed = 32; _ }) ->
+    ()
+
+let test_bounds_check_allows_fit () =
+  let m = mk ~config:Config.bounds_check () in
+  let g = Machine.add_global m "stud" (Ctype.Class "Student") in
+  let p = Machine.placement_new m ~site:"t" ~addr:g ~size:16 in
+  Alcotest.(check int) "placed" g p.Machine.p_addr
+
+let test_null_placement_faults () =
+  let m = mk () in
+  match Machine.placement_new m ~site:"t" ~addr:0 ~size:4 with
+  | _ -> Alcotest.fail "null placement allowed"
+  | exception Pna_vmem.Fault.Fault Pna_vmem.Fault.Null_placement -> ()
+
+let test_sanitize_wipes_arena () =
+  let m = mk ~config:Config.sanitize () in
+  let g = Machine.add_global m "pool" (Ctype.Array (Ctype.Char, 32)) in
+  Vmem.write_string (Machine.mem m) g "SECRETSECRETSECRETSECRETSECRET!";
+  let _ = Machine.placement_new m ~site:"t" ~addr:g ~size:8 in
+  Alcotest.(check string) "wiped" (String.make 32 '\000')
+    (Vmem.read_bytes (Machine.mem m) g 32)
+
+let test_vtables_emitted () =
+  let m = mk () in
+  Machine.emit_vtables m;
+  match Machine.vtable_addr m "StudentV" with
+  | None -> Alcotest.fail "no vtable for StudentV"
+  | Some vt ->
+    Alcotest.(check (option string)) "reverse lookup" (Some "StudentV")
+      (Machine.class_of_vtable m vt);
+    let impl = Vmem.read_u32 (Machine.mem m) vt in
+    Alcotest.(check (option string)) "slot 0 resolves" (Some "StudentV::getInfo")
+      (Machine.symbol_at m impl)
+
+let test_dispatch_ok () =
+  let m = mk () in
+  Machine.emit_vtables m;
+  let g = Machine.add_global m "s" (Ctype.Class "GradStudentV") in
+  Machine.install_vptrs m ~addr:g ~cname:"GradStudentV";
+  match Machine.dispatch m ~obj_addr:g ~static_class:"StudentV" ~meth:"getInfo" with
+  | Machine.Virtual_ok impl ->
+    Alcotest.(check string) "derived impl" "GradStudentV::getInfo" impl
+  | Machine.Virtual_hijacked _ -> Alcotest.fail "spurious hijack"
+
+let test_dispatch_hijacked () =
+  let m = mk () in
+  Machine.emit_vtables m;
+  let g = Machine.add_global m "s" (Ctype.Class "StudentV") in
+  Machine.install_vptrs m ~addr:g ~cname:"StudentV";
+  Vmem.write_u32 ~taint:true (Machine.mem m) g 0xdeadbeef;
+  match Machine.dispatch m ~obj_addr:g ~static_class:"StudentV" ~meth:"getInfo" with
+  | Machine.Virtual_hijacked { tainted; _ } ->
+    Alcotest.(check bool) "tainted" true tainted
+  | Machine.Virtual_ok _ -> Alcotest.fail "hijack missed"
+
+let test_intern_dedup () =
+  let m = mk () in
+  let a = Machine.intern_string m "hello" in
+  let b = Machine.intern_string m "hello" in
+  Alcotest.(check int) "deduplicated" a b;
+  let c = Machine.intern_string ~tainted:true m "hello" in
+  Alcotest.(check bool) "tainted copies are fresh" true (c <> a);
+  Alcotest.(check bool) "tainted marked" true (Vmem.range_tainted (Machine.mem m) c 5)
+
+let test_delete_placed_leaks () =
+  let m = mk () in
+  let a = Machine.malloc m 32 in
+  Machine.delete_placed m a ~placed_size:16;
+  Alcotest.(check int) "16 bytes stranded" 16 (Machine.leaked_bytes m)
+
+let test_delete_placed_pool_discipline () =
+  let m = mk ~config:Config.pool_discipline () in
+  let a = Machine.malloc m 32 in
+  Machine.delete_placed m a ~placed_size:16;
+  Alcotest.(check int) "no leak" 0 (Machine.leaked_bytes m)
+
+let test_nx_stack_mapping () =
+  let m = mk ~config:Config.nx () in
+  match Vmem.find_segment (Machine.mem m) (Machine.stack_top - 4) with
+  | Some s ->
+    Alcotest.(check bool) "stack not executable" false
+      s.Pna_vmem.Segment.perm.Pna_vmem.Perm.execute
+  | None -> Alcotest.fail "no stack segment"
+
+let test_strict_alignment_faults () =
+  let m = mk ~config:Config.strict_align () in
+  let g = Machine.add_global m "pool" (Ctype.Array (Ctype.Char, 32)) in
+  (* aligned placement is fine *)
+  let _ = Machine.placement_new ~align:8 m ~site:"t" ~addr:g ~size:16 in
+  match Machine.placement_new ~align:8 m ~site:"t" ~addr:(g + 4) ~size:16 with
+  | _ -> Alcotest.fail "misaligned placement tolerated"
+  | exception Pna_vmem.Fault.Fault (Pna_vmem.Fault.Misaligned (_, 8)) -> ()
+
+let test_lax_alignment_tolerated () =
+  let m = mk () in
+  let g = Machine.add_global m "pool" (Ctype.Array (Ctype.Char, 32)) in
+  let p = Machine.placement_new ~align:8 m ~site:"t" ~addr:(g + 4) ~size:16 in
+  Alcotest.(check int) "placed anyway" (g + 4) p.Machine.p_addr
+
+let test_stack_exhaustion_faults () =
+  (* pushing frames past the stack segment hits unmapped memory, like a
+     real guard page *)
+  let m = mk () in
+  match
+    for _ = 1 to 100_000 do
+      let _ = Machine.push_frame m ~func:"f" ~ret_to:0x8048005 in
+      let _ = Machine.alloc_local m ~name:"buf" ~ty:(Ctype.Array (Ctype.Char, 512)) in
+      ()
+    done
+  with
+  | () -> Alcotest.fail "stack never exhausted"
+  | exception Pna_vmem.Fault.Fault (Pna_vmem.Fault.Unmapped _) -> ()
+
+let test_input_queues () =
+  let m = mk () in
+  Machine.set_input ~ints:[ 1; 2 ] ~strings:[ "a" ] m;
+  Alcotest.(check int) "first" 1 (Machine.next_int m);
+  Alcotest.(check int) "second" 2 (Machine.next_int m);
+  Alcotest.(check int) "EOF yields 0" 0 (Machine.next_int m);
+  Alcotest.(check string) "string" "a" (Machine.next_string m);
+  Alcotest.(check string) "EOF yields empty" "" (Machine.next_string m)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "machine",
+    [
+      t "globals: bss vs data, adjacency" test_globals_layout;
+      t "globals: alignment" test_global_alignment;
+      t "globals: duplicates rejected" test_duplicate_global_rejected;
+      t "frame slots (fp, ret)" test_frame_slots_no_canary;
+      t "frame slots with canary" test_frame_slots_with_canary;
+      t "locals in declaration order" test_locals_decl_order;
+      t "normal return" test_return_normal;
+      t "return hijack detected + tainted" test_return_hijack_detected;
+      t "canary smash detected" test_canary_smash_detected;
+      t "canary intact on selective overwrite" test_canary_intact_selective;
+      t "shadow stack blocks hijack" test_shadow_stack_blocks;
+      t "fp corruption recorded" test_fp_corruption_event;
+      t "sp restored after pop" test_sp_restored;
+      t "arena: innermost match" test_arena_innermost;
+      t "placement records arena size" test_placement_records_arena;
+      t "bounds check blocks oversize placement" test_bounds_check_blocks;
+      t "bounds check allows exact fit" test_bounds_check_allows_fit;
+      t "null placement faults" test_null_placement_faults;
+      t "sanitize wipes the arena" test_sanitize_wipes_arena;
+      t "vtables emitted into rodata" test_vtables_emitted;
+      t "virtual dispatch resolves override" test_dispatch_ok;
+      t "virtual dispatch detects hijacked vptr" test_dispatch_hijacked;
+      t "string interning dedup + taint" test_intern_dedup;
+      t "delete of placed object leaks" test_delete_placed_leaks;
+      t "pool discipline frees whole arena" test_delete_placed_pool_discipline;
+      t "nx config unmaps execute on stack" test_nx_stack_mapping;
+      t "strict alignment faults misaligned placement" test_strict_alignment_faults;
+      t "lax machine tolerates misalignment" test_lax_alignment_tolerated;
+      t "stack exhaustion faults like a guard page" test_stack_exhaustion_faults;
+      t "input queues" test_input_queues;
+    ] )

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "pna"
+    [
+      Test_vmem.suite;
+      Test_layout.suite;
+      Test_heap.suite;
+      Test_machine.suite;
+      Test_interp.suite;
+      Test_serial.suite;
+      Test_syntax.suite;
+      Test_coverage.suite;
+      Test_listings.suite;
+      Test_hardener.suite;
+      Test_robustness.suite;
+      Test_attacks.suite;
+      Test_analysis.suite;
+      Test_experiments.suite;
+    ]

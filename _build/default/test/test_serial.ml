@@ -1,0 +1,146 @@
+(* Tests for the wire format and the deserializing service. *)
+
+open Pna_minicpp.Dsl
+module Wire = Pna_serial.Wire
+module Victim = Pna_serial.Victim
+module Interp = Pna_minicpp.Interp
+module Machine = Pna_machine.Machine
+module Config = Pna_defense.Config
+module O = Pna_minicpp.Outcome
+module Vmem = Pna_vmem.Vmem
+
+let le32_at s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let test_encode_student () =
+  let w = Wire.student ~gpa:2.5 ~year:2012 ~semester:2 () in
+  let s = Wire.encode w in
+  Alcotest.(check int) "size" 20 (String.length s);
+  Alcotest.(check int) "class id" Wire.student_id (le32_at s 0);
+  Alcotest.(check int) "year" 2012 (le32_at s Wire.off_year);
+  Alcotest.(check int) "semester" 2 (le32_at s Wire.off_semester)
+
+let test_encode_grad () =
+  let w = Wire.grad_student ~ssn:[| 7; 8; 9 |] ~courses:[ 1; 2 ] () in
+  let s = Wire.encode w in
+  Alcotest.(check int) "size" (36 + 8) (String.length s);
+  Alcotest.(check int) "ssn[1]" 8 (le32_at s (Wire.off_ssn + 4));
+  Alcotest.(check int) "count" 2 (le32_at s Wire.off_course_count);
+  Alcotest.(check int) "course[1]" 2 (le32_at s (Wire.off_courses + 4))
+
+let test_claimed_count_override () =
+  let w = Wire.grad_student ~courses:[ 1 ] ~claimed_courses:100 () in
+  Alcotest.(check int) "lying count" 100
+    (le32_at (Wire.encode w) Wire.off_course_count)
+
+let test_gpa_bit_exact () =
+  let w = Wire.student ~gpa:3.9 () in
+  let s = Wire.encode w in
+  let bits = ref 0L in
+  for k = 7 downto 0 do
+    bits := Int64.logor (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code s.[Wire.off_gpa + k]))
+  done;
+  Alcotest.(check (float 0.0)) "f64 roundtrip" 3.9 (Int64.float_of_bits !bits)
+
+let service_program ~checked =
+  program ~classes:Victim.classes
+    ~globals:(Victim.pool_global :: Victim.state_globals)
+    [
+      Victim.deserialize_func ~checked;
+      func "main"
+        [
+          decl "dgram" (char_arr 128);
+          decli "len" int (call "recv" [ v "dgram"; i 128 ]);
+          when_ (v "len" >: i 0) [ expr (call "deserialize" [ v "dgram" ]) ];
+          ret (i 0);
+        ];
+    ]
+
+let run_service ~checked payload =
+  let prog = service_program ~checked in
+  let m = Interp.load ~config:Config.none prog in
+  Machine.set_input ~strings:[ payload ] m;
+  (Interp.run m prog ~entry:"main", m)
+
+let test_benign_student_deserializes () =
+  let o, m =
+    run_service ~checked:false
+      (Wire.encode (Wire.student ~gpa:3.25 ~year:2013 ~semester:1 ()))
+  in
+  (match o.O.status with
+  | O.Exited 0 -> ()
+  | st -> Alcotest.failf "service failed: %a" O.pp_status st);
+  let pool = Machine.global_addr_exn m "pool" in
+  Alcotest.(check (float 0.0)) "gpa landed" 3.25 (Vmem.read_f64 (Machine.mem m) pool);
+  Alcotest.(check int) "year landed" 2013 (Vmem.read_i32 (Machine.mem m) (pool + 8));
+  Alcotest.(check int) "served" 1
+    (Vmem.read_i32 (Machine.mem m) (Machine.global_addr_exn m "served"));
+  Alcotest.(check bool) "wire data is tainted in memory" true
+    (Vmem.range_tainted (Machine.mem m) pool 16)
+
+let test_benign_grad_overflows_silently () =
+  (* even an honest NetGradStudent is 48 bytes in a 16-byte pool: the
+     overflow exists regardless of malice — the paper's "logic error" *)
+  let o, m = run_service ~checked:false (Wire.encode (Wire.grad_student ())) in
+  (match o.O.status with
+  | O.Exited 0 -> ()
+  | st -> Alcotest.failf "service failed: %a" O.pp_status st);
+  let pool = Machine.global_addr_exn m "pool" in
+  Alcotest.(check bool) "bytes past the pool written" true
+    (Vmem.range_tainted (Machine.mem m) (pool + 16) 8)
+
+let test_checked_service_rejects_grad () =
+  let o, m = run_service ~checked:true (Wire.encode (Wire.grad_student ())) in
+  (match o.O.status with
+  | O.Exited 0 -> ()
+  | st -> Alcotest.failf "service failed: %a" O.pp_status st);
+  Alcotest.(check int) "rejected" 1
+    (Vmem.read_i32 (Machine.mem m) (Machine.global_addr_exn m "rejected"));
+  let pool = Machine.global_addr_exn m "pool" in
+  Alcotest.(check bool) "nothing past the pool" false
+    (Vmem.range_tainted (Machine.mem m) (pool + 16) 16)
+
+let test_truncated_datagram_harmless () =
+  (* recv delivers fewer bytes than any valid datagram; the service reads
+     zeros for the missing fields *)
+  let o, _ = run_service ~checked:false "\001" in
+  match o.O.status with
+  | O.Exited 0 -> ()
+  | st -> Alcotest.failf "service crashed on short datagram: %a" O.pp_status st
+
+let prop_encode_size =
+  QCheck.Test.make ~count:200 ~name:"wire: encoded size formula"
+    QCheck.(list_of_size (Gen.int_range 0 16) (int_bound 1000))
+    (fun courses ->
+      let w = Wire.grad_student ~courses () in
+      Wire.size w = 36 + (4 * List.length courses))
+
+let prop_courses_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"wire: course words round-trip"
+    QCheck.(list_of_size (Gen.int_range 1 8) (int_bound 0xffffff))
+    (fun courses ->
+      let s = Wire.encode (Wire.grad_student ~courses ()) in
+      List.for_all2
+        (fun j c -> le32_at s (Wire.off_courses + (4 * j)) = c)
+        (List.init (List.length courses) Fun.id)
+        courses)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "serial",
+    [
+      t "encode student" test_encode_student;
+      t "encode grad student" test_encode_grad;
+      t "claimed count override" test_claimed_count_override;
+      t "gpa encodes bit-exactly" test_gpa_bit_exact;
+      t "benign student request served" test_benign_student_deserializes;
+      t "honest grad still overflows the pool" test_benign_grad_overflows_silently;
+      t "checked service rejects oversize class" test_checked_service_rejects_grad;
+      t "truncated datagram harmless" test_truncated_datagram_harmless;
+      QCheck_alcotest.to_alcotest prop_encode_size;
+      QCheck_alcotest.to_alcotest prop_courses_roundtrip;
+    ] )

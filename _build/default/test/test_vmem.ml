@@ -1,0 +1,228 @@
+(* Unit and property tests for the simulated address space. *)
+
+open Pna_vmem
+
+let mk () =
+  let m = Vmem.create () in
+  let _ = Vmem.map m ~kind:Segment.Data ~base:0x1000 ~size:0x1000 ~perm:Perm.rw in
+  let _ = Vmem.map m ~kind:Segment.Text ~base:0x4000 ~size:0x100 ~perm:Perm.rx in
+  let _ = Vmem.map m ~kind:Segment.Stack ~base:0x8000 ~size:0x1000 ~perm:Perm.rwx in
+  m
+
+let check_fault name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected a fault" name
+  | exception Fault.Fault _ -> ()
+
+let test_u8_roundtrip () =
+  let m = mk () in
+  Vmem.write_u8 m 0x1000 0xab;
+  Alcotest.(check int) "u8" 0xab (Vmem.read_u8 m 0x1000);
+  Vmem.write_u8 m 0x1fff 0x7;
+  Alcotest.(check int) "last byte" 0x7 (Vmem.read_u8 m 0x1fff)
+
+let test_u8_masks () =
+  let m = mk () in
+  Vmem.write_u8 m 0x1000 0x1ff;
+  Alcotest.(check int) "masked to byte" 0xff (Vmem.read_u8 m 0x1000)
+
+let test_u32_little_endian () =
+  let m = mk () in
+  Vmem.write_u32 m 0x1000 0x11223344;
+  Alcotest.(check int) "lsb first" 0x44 (Vmem.read_u8 m 0x1000);
+  Alcotest.(check int) "msb last" 0x11 (Vmem.read_u8 m 0x1003);
+  Alcotest.(check int) "u32" 0x11223344 (Vmem.read_u32 m 0x1000)
+
+let test_u16 () =
+  let m = mk () in
+  Vmem.write_u16 m 0x1004 0xbeef;
+  Alcotest.(check int) "u16" 0xbeef (Vmem.read_u16 m 0x1004);
+  Alcotest.(check int) "low" 0xef (Vmem.read_u8 m 0x1004)
+
+let test_u64 () =
+  let m = mk () in
+  Vmem.write_u64 m 0x1008 0x1122334455667788L;
+  Alcotest.(check int64) "u64" 0x1122334455667788L (Vmem.read_u64 m 0x1008);
+  Alcotest.(check int) "low word" 0x55667788 (Vmem.read_u32 m 0x1008)
+
+let test_f64 () =
+  let m = mk () in
+  Vmem.write_f64 m 0x1010 3.9;
+  Alcotest.(check (float 0.0)) "double" 3.9 (Vmem.read_f64 m 0x1010)
+
+let test_unmapped_fault () =
+  let m = mk () in
+  check_fault "read" (fun () -> Vmem.read_u8 m 0x0);
+  check_fault "write" (fun () -> Vmem.write_u8 m 0x3000 1);
+  check_fault "beyond end" (fun () -> Vmem.read_u8 m 0x2000)
+
+let test_straddle_fault () =
+  (* a u32 crossing the end of a segment faults at the first missing byte *)
+  let m = mk () in
+  check_fault "straddle" (fun () -> Vmem.read_u32 m 0x1ffe)
+
+let test_perm_fault () =
+  let m = mk () in
+  check_fault "write to text" (fun () -> Vmem.write_u8 m 0x4000 1);
+  (* read of text is fine *)
+  Alcotest.(check int) "text readable" 0 (Vmem.read_u8 m 0x4000)
+
+let test_poke_bypasses_perms () =
+  let m = mk () in
+  Vmem.poke_u32 m 0x4000 0xdead;
+  Alcotest.(check int) "poked" 0xdead (Vmem.read_u32 m 0x4000)
+
+let test_overlap_rejected () =
+  let m = mk () in
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Vmem.add_segment: overlapping segment") (fun () ->
+      ignore (Vmem.map m ~kind:Segment.Heap ~base:0x1800 ~size:0x1000 ~perm:Perm.rw))
+
+let test_signed32 () =
+  Alcotest.(check int) "negative" (-1) (Vmem.to_signed32 0xffffffff);
+  Alcotest.(check int) "positive" 0x7fffffff (Vmem.to_signed32 0x7fffffff);
+  Alcotest.(check int) "min" (-0x80000000) (Vmem.to_signed32 0x80000000);
+  Alcotest.(check int) "roundtrip" 0xffffffff (Vmem.of_signed32 (-1))
+
+let test_blit () =
+  let m = mk () in
+  Vmem.write_string m 0x1000 "hello";
+  Vmem.blit m ~src:0x1000 ~dst:0x1100 ~len:5;
+  Alcotest.(check string) "copied" "hello" (Vmem.read_bytes m 0x1100 5)
+
+let test_blit_overlapping () =
+  let m = mk () in
+  Vmem.write_string m 0x1000 "abcdef";
+  Vmem.blit m ~src:0x1000 ~dst:0x1002 ~len:4;
+  Alcotest.(check string) "memmove semantics" "ababcd" (Vmem.read_bytes m 0x1000 6)
+
+let test_fill () =
+  let m = mk () in
+  Vmem.fill m ~dst:0x1000 ~len:8 0x2a;
+  Alcotest.(check string) "filled" "********" (Vmem.read_bytes m 0x1000 8)
+
+let test_cstring () =
+  let m = mk () in
+  Vmem.write_string m 0x1000 "user\000tail";
+  Alcotest.(check string) "stops at NUL" "user" (Vmem.read_cstring m 0x1000);
+  Alcotest.(check string) "bounded" "us"
+    (Vmem.read_cstring ~max_len:2 m 0x1000)
+
+let test_taint_travels_with_blit () =
+  let m = mk () in
+  Vmem.write_u8 ~taint:true m 0x1000 0x41;
+  Vmem.write_u8 m 0x1001 0x42;
+  Vmem.blit m ~src:0x1000 ~dst:0x1100 ~len:2;
+  Alcotest.(check bool) "tainted byte" true (Vmem.taint_of m 0x1100);
+  Alcotest.(check bool) "clean byte" false (Vmem.taint_of m 0x1101)
+
+let test_taint_overwrite_clears () =
+  let m = mk () in
+  Vmem.write_u8 ~taint:true m 0x1000 1;
+  Vmem.write_u8 m 0x1000 2;
+  Alcotest.(check bool) "untainted after clean write" false (Vmem.taint_of m 0x1000)
+
+let test_range_tainted () =
+  let m = mk () in
+  Vmem.write_u8 ~taint:true m 0x1005 1;
+  Alcotest.(check bool) "range hit" true (Vmem.range_tainted m 0x1000 8);
+  Alcotest.(check bool) "range miss" false (Vmem.range_tainted m 0x1000 5);
+  Alcotest.(check int) "count" 1 (Vmem.tainted_bytes m 0x1000 8)
+
+let test_set_taint_range () =
+  let m = mk () in
+  Vmem.set_taint m 0x1000 4 true;
+  Alcotest.(check int) "4 tainted" 4 (Vmem.tainted_bytes m 0x1000 8);
+  Vmem.set_taint m 0x1000 4 false;
+  Alcotest.(check int) "cleared" 0 (Vmem.tainted_bytes m 0x1000 8)
+
+let test_trace () =
+  let m = mk () in
+  Vmem.enable_trace m;
+  Vmem.write_u32 ~tag:"x" m 0x1000 1;
+  let t = Vmem.trace m in
+  Alcotest.(check int) "4 byte-writes" 4 (List.length t);
+  Alcotest.(check string) "tag" "x" (List.hd t).Vmem.w_tag;
+  Vmem.clear_trace m;
+  Alcotest.(check int) "cleared" 0 (List.length (Vmem.trace m))
+
+let test_find_segment () =
+  let m = mk () in
+  (match Vmem.find_segment m 0x1234 with
+  | Some s -> Alcotest.(check int) "base" 0x1000 s.Segment.base
+  | None -> Alcotest.fail "segment not found");
+  Alcotest.(check bool) "miss" true (Vmem.find_segment m 0x7000 = None);
+  Alcotest.(check bool) "kind lookup" true
+    (Vmem.segment_of_kind m Segment.Text <> None)
+
+let test_segments_sorted () =
+  let m = mk () in
+  let bases = List.map (fun s -> s.Segment.base) (Vmem.segments m) in
+  Alcotest.(check (list int)) "ascending" [ 0x1000; 0x4000; 0x8000 ] bases
+
+(* property tests *)
+
+let prop_u32_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"vmem: u32 write/read roundtrip"
+    QCheck.(pair (int_bound 0xffc) (int_bound 0xffffffff))
+    (fun (off, v) ->
+      let m = mk () in
+      Vmem.write_u32 m (0x1000 + off) v;
+      Vmem.read_u32 m (0x1000 + off) = v land 0xffffffff)
+
+let prop_signed_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"vmem: signed32 is an involution"
+    QCheck.(int_bound 0xffffffff)
+    (fun v -> Vmem.of_signed32 (Vmem.to_signed32 v) = v)
+
+let prop_blit_preserves_bytes =
+  QCheck.Test.make ~count:100 ~name:"vmem: blit preserves contents"
+    QCheck.(pair (string_of_size (Gen.int_range 1 64)) (int_bound 0x700))
+    (fun (s, off) ->
+      let m = mk () in
+      Vmem.write_string m 0x1000 s;
+      Vmem.blit m ~src:0x1000 ~dst:(0x1800 + off) ~len:(String.length s);
+      Vmem.read_bytes m (0x1800 + off) (String.length s) = s)
+
+let prop_fill_then_read =
+  QCheck.Test.make ~count:100 ~name:"vmem: fill writes exactly len bytes"
+    QCheck.(pair (int_bound 0xff) (int_range 1 32))
+    (fun (v, len) ->
+      let m = mk () in
+      Vmem.write_u8 m (0x1100 + len) 0x77;
+      Vmem.fill m ~dst:0x1100 ~len v;
+      Vmem.read_u8 m 0x1100 = v land 0xff
+      && Vmem.read_u8 m (0x1100 + len) = 0x77)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "vmem",
+    [
+      t "u8 roundtrip" test_u8_roundtrip;
+      t "u8 masks to byte" test_u8_masks;
+      t "u32 little endian" test_u32_little_endian;
+      t "u16" test_u16;
+      t "u64" test_u64;
+      t "f64" test_f64;
+      t "unmapped access faults" test_unmapped_fault;
+      t "segment-straddling access faults" test_straddle_fault;
+      t "permission violation faults" test_perm_fault;
+      t "poke bypasses permissions" test_poke_bypasses_perms;
+      t "overlapping map rejected" test_overlap_rejected;
+      t "signed32 conversions" test_signed32;
+      t "blit" test_blit;
+      t "blit handles overlap like memmove" test_blit_overlapping;
+      t "fill" test_fill;
+      t "cstring read" test_cstring;
+      t "taint travels with blit" test_taint_travels_with_blit;
+      t "clean write clears taint" test_taint_overwrite_clears;
+      t "range taint queries" test_range_tainted;
+      t "set_taint range" test_set_taint_range;
+      t "write trace" test_trace;
+      t "find_segment" test_find_segment;
+      t "segments sorted" test_segments_sorted;
+      QCheck_alcotest.to_alcotest prop_u32_roundtrip;
+      QCheck_alcotest.to_alcotest prop_signed_roundtrip;
+      QCheck_alcotest.to_alcotest prop_blit_preserves_bytes;
+      QCheck_alcotest.to_alcotest prop_fill_then_read;
+    ] )
