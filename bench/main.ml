@@ -180,10 +180,27 @@ let serial_group =
           ignore payload));
   ]
 
-(* E10: hardening the whole catalogue *)
-let e10_group =
+(* E9: supervision overhead — the same benign workload raw, supervised
+   under an empty plan (pure harness cost: hooks armed, nothing fires)
+   and supervised under a transiently faulty plan (one retry) *)
+let chaos_group =
+  let open Pna_chaos in
   [
-    Test.make ~name:"e10/harden_catalogue" (stage (fun () ->
+    Test.make ~name:"e9/pool_server_64_raw" (stage (fun () ->
+        ignore (Driver.run Pna.Experiments.benign_pool)));
+    Test.make ~name:"e9/pool_server_64_supervised_clean" (stage (fun () ->
+        ignore (Driver.supervise ~plan:(Plan.empty 0) Pna.Experiments.benign_pool)));
+    Test.make ~name:"e9/pool_server_64_supervised_faulty" (stage (
+        let plan =
+          { Plan.seed = 0; faults = [ Plan.Raise_fault { at_step = 100 } ] }
+        in
+        fun () -> ignore (Driver.supervise ~plan Pna.Experiments.benign_pool)));
+  ]
+
+(* E11: hardening the whole catalogue *)
+let e11_group =
+  [
+    Test.make ~name:"e11/harden_catalogue" (stage (fun () ->
         List.iter
           (fun (a : Catalog.t) ->
             ignore (Pna_analysis.Hardener.harden a.Catalog.program))
@@ -204,8 +221,8 @@ let ablation_group =
 
 let all_tests =
   micro_group @ e1_group @ e2_e3_group @ e4_group @ e5_group @ e6_group
-  @ e7_group @ e8_group @ syntax_group @ analysis_mode_group @ serial_group
-  @ e10_group @ ablation_group
+  @ e7_group @ e8_group @ chaos_group @ syntax_group @ analysis_mode_group
+  @ serial_group @ e11_group @ ablation_group
 
 let benchmark test =
   let instances = Instance.[ monotonic_clock ] in

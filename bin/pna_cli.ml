@@ -2,9 +2,11 @@
 
     Subcommands map one-to-one onto the experiments of DESIGN.md:
     [matrix] (E1), [stackguard] (E2/E3), [leak] (E4), [dos] (E5),
-    [memleak] (E6), [audit] (E7), [defmatrix]/[overhead] (E8), plus
+    [memleak] (E6), [audit] (E7), [defmatrix]/[overhead] (E8),
+    [chaos] (E9), [fuzz] (E10), [repair] (E11), plus
     [list]/[run]/[layout] for exploration and [all] to regenerate
-    everything. *)
+    everything. Experiment commands exit non-zero when the experiment
+    fails its verdict, so they can gate CI. *)
 
 open Cmdliner
 module Catalog = Pna_attacks.Catalog
@@ -40,6 +42,13 @@ let config_t =
 
 let verbose_t =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the event stream.")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
 
 (* ---- list ---- *)
 
@@ -80,7 +89,8 @@ let run_cmd =
       | Some (o, safe) ->
         Fmt.pr "hardened variant: %s (%a)@."
           (if safe then "safe" else "STILL VULNERABLE")
-          Pna_minicpp.Outcome.pp_status o.Pna_minicpp.Outcome.status)
+          Pna_minicpp.Outcome.pp_status o.Pna_minicpp.Outcome.status);
+      if not r.Driver.verdict.Catalog.success then exit 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one attack (and its hardened variant, if any).")
@@ -90,31 +100,34 @@ let run_cmd =
 
 let simple name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
 
+(* Print the experiment table, then turn a failed verdict into exit 1. *)
+let report pp rows ok = Fmt.pr "%a@." pp rows; if not (ok rows) then exit 1
+
 let matrix_cmd =
   simple "matrix" "E1: run every attack with defenses off." (fun () ->
-      Fmt.pr "%a@." E.pp_e1 (E.e1 ()))
+      report E.pp_e1 (E.e1 ()) E.e1_ok)
 
 let stackguard_cmd =
   simple "stackguard" "E2/E3: StackGuard detection and the selective bypass."
-    (fun () -> Fmt.pr "%a@." E.pp_e2_e3 (E.e2_e3 ()))
+    (fun () -> report E.pp_e2_e3 (E.e2_e3 ()) E.e2_e3_ok)
 
 let leak_cmd =
   simple "leak" "E4: information leakage with and without sanitization."
-    (fun () -> Fmt.pr "%a@." E.pp_e4 (E.e4 ()))
+    (fun () -> report E.pp_e4 (E.e4 ()) E.e4_ok)
 
 let dos_cmd =
   simple "dos" "E5: DoS response curve for attacker-chosen loop bounds."
-    (fun () -> Fmt.pr "%a@." E.pp_e5 (E.e5 ()))
+    (fun () -> report E.pp_e5 (E.e5 ()) E.e5_ok)
 
 let memleak_cmd =
   simple "memleak" "E6: memory-leak growth per iteration." (fun () ->
-      Fmt.pr "%a@." E.pp_e6 (E.e6 ()))
+      report E.pp_e6 (E.e6 ()) E.e6_ok)
 
 let audit_cmd =
   let id_t = Arg.(value & pos 0 (some string) None & info [] ~docv:"ATTACK-ID") in
   let run id =
     match id with
-    | None -> Fmt.pr "%a@." E.pp_e7 (E.e7 ())
+    | None -> report E.pp_e7 (E.e7 ()) E.e7_ok
     | Some id -> (
       match All.find id with
       | None ->
@@ -136,22 +149,92 @@ let audit_cmd =
 
 let defmatrix_cmd =
   simple "defmatrix" "E8: attack x defense matrix." (fun () ->
-      Fmt.pr "%a@." E.pp_e8_matrix (E.e8_matrix ()))
+      report E.pp_e8_matrix (E.e8_matrix ()) E.e8_matrix_ok)
 
 let overhead_cmd =
   simple "overhead" "E8: benign workload under each defense." (fun () ->
-      Fmt.pr "%a@." E.pp_e8_overhead (E.e8_overhead ()))
+      report E.pp_e8_overhead (E.e8_overhead ()) E.e8_overhead_ok)
 
 let fuzz_cmd =
-  simple "fuzz" "E9: random testing vs the directed attacker." (fun () ->
-      Fmt.pr "%a@." E.pp_e9 (E.e9 ()))
+  simple "fuzz" "E10: random testing vs the directed attacker." (fun () ->
+      report E.pp_e10 (E.e10 ()) E.e10_ok)
 
 let repair_cmd =
-  simple "repair" "E10: auto-harden the whole catalogue and replay the attacks."
-    (fun () -> Fmt.pr "%a@." E.pp_e10 (E.e10 ()))
+  simple "repair" "E11: auto-harden the whole catalogue and replay the attacks."
+    (fun () -> report E.pp_e11 (E.e11 ()) E.e11_ok)
+
+(* ---- chaos (E9) ---- *)
+
+let chaos_cmd =
+  let module Plan = Pna_chaos.Plan in
+  let seed_t =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+           ~doc:"Base seed; trial k uses seed N+k.")
+  in
+  let trials_t =
+    Arg.(value & opt int 10 & info [ "trials" ] ~docv:"N"
+           ~doc:"Seeded plans per attack x defense combination.")
+  in
+  let rate_t =
+    Arg.(value & opt float 1.0 & info [ "fault-rate" ] ~docv:"R"
+           ~doc:"Fault-density multiplier for generated plans.")
+  in
+  let dump_t =
+    Arg.(value & flag & info [ "dump-plans" ]
+           ~doc:"Print the generated plans instead of running the sweep.")
+  in
+  let replay_t =
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"PLAN-FILE"
+           ~doc:"Replay one dumped plan against every victim instead of              sweeping fresh seeds.")
+  in
+  let one_config_t =
+    Arg.(value & opt (some config_arg) None
+         & info [ "d"; "defense" ] ~docv:"CONFIG"
+             ~doc:"Restrict the sweep to one defense configuration              (default: all of them).")
+  in
+  let run seed trials rate dump replay config =
+    let configs =
+      match config with Some c -> [ c ] | None -> Config.all
+    in
+    match replay with
+    | Some path -> (
+      match Plan.of_string (read_file path) with
+      | Error msg ->
+        Fmt.epr "%s: %s@." path msg;
+        exit 1
+      | Ok plan ->
+        let escaped = ref false in
+        List.iter
+          (fun (a : Catalog.t) ->
+            List.iter
+              (fun config ->
+                match Driver.supervise ~config ~plan a with
+                | s -> Fmt.pr "%a@.@." Driver.pp_supervised s
+                | exception exn ->
+                  escaped := true;
+                  Fmt.pr "%s under %s: ESCAPED EXCEPTION %s@.@."
+                    a.Catalog.id config.Config.name (Printexc.to_string exn))
+              configs)
+          (E.e9_programs ());
+        if !escaped then exit 1)
+    | None ->
+      if dump then
+        for k = 0 to trials - 1 do
+          Fmt.pr "%s@." (Plan.to_string (Plan.generate ~rate ~seed:(seed + k) ()))
+        done
+      else
+        report E.pp_e9
+          (E.e9 ~seed_base:seed ~seeds:trials ~rate ~configs ())
+          E.e9_ok
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"E9: sweep seeded fault plans over attacks and the benign              workload under supervision; assert graceful degradation.")
+    Term.(const run $ seed_t $ trials_t $ rate_t $ dump_t $ replay_t
+          $ one_config_t)
 
 let all_cmd =
-  simple "all" "Run every experiment (E1-E8)." (fun () ->
+  simple "all" "Run every experiment (E1-E11)." (fun () ->
       E.run_all Fmt.stdout ())
 
 (* ---- layout ---- *)
@@ -293,13 +376,6 @@ let trace_cmd =
 
 (* ---- check / exec: the toolchain on user-supplied source files ---- *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
 let parse_file path =
   match Pna_minicpp.Parser.program (read_file path) with
   | prog -> prog
@@ -406,6 +482,7 @@ let () =
             audit_cmd;
             defmatrix_cmd;
             overhead_cmd;
+            chaos_cmd;
             fuzz_cmd;
             repair_cmd;
             layout_cmd;

@@ -39,6 +39,118 @@ let run_hardened ?(config = Config.none) (a : Catalog.t) =
       (outcome, safe))
     a.Catalog.hardened
 
+(* --- supervised execution under a fault plan --- *)
+
+module Chaos = Pna_chaos.Chaos
+module Plan = Pna_chaos.Plan
+
+type supervised = {
+  sv_attack : Catalog.t;
+  sv_config : Config.t;
+  sv_plan : Plan.t;
+  sv_attempts : int;  (** total runs, including the final one *)
+  sv_backoff_ms : int list;
+      (** simulated exponential backoff before each retry, oldest first *)
+  sv_fired : string list;  (** labels of the faults that actually fired *)
+  sv_outcome : Outcome.t;
+  sv_verdict : Catalog.verdict;
+}
+
+let default_budget = 2_000_000
+
+(* A transient status is one worth retrying when it was provoked by an
+   injected fault: the fault is one-shot, so the next attempt runs clean.
+   Hijacks and defense stops are never retried — those are the behaviours
+   under measurement, not infrastructure noise. *)
+let transient (o : Outcome.t) =
+  match o.Outcome.status with
+  | Outcome.Crashed _ | Outcome.Out_of_memory | Outcome.Timeout _ -> true
+  | _ -> false
+
+let supervise ?(config = Config.none) ?(max_retries = 3)
+    ?(max_steps = default_budget) ~plan (a : Catalog.t) =
+  let eng = Chaos.create plan in
+  let run_once () =
+    match
+      let m = Interp.load ~config a.Catalog.program in
+      let ints, strings = a.Catalog.mk_input m in
+      let strings = Chaos.perturb_strings eng strings in
+      Machine.set_input ~ints ~strings m;
+      Chaos.arm eng m;
+      let budget = Chaos.budget eng ~default:max_steps in
+      let o =
+        Interp.run ~max_steps:budget ~on_tick:(Chaos.tick eng) m
+          a.Catalog.program ~entry:a.Catalog.entry
+      in
+      (o, Some m)
+    with
+    | r -> r
+    | exception exn ->
+      (* the supervisor's no-escape guarantee: whatever an injected fault
+         breaks, the caller sees a classified outcome *)
+      ( {
+          Outcome.status =
+            Outcome.Crashed
+              (Fmt.str "unhandled exception: %s" (Printexc.to_string exn));
+          events = [];
+          output = [];
+          steps = 0;
+        },
+        None )
+  in
+  let rec go attempt backoffs =
+    let fired_before = List.length (Chaos.fired eng) in
+    let outcome, m = run_once () in
+    let injected = List.length (Chaos.fired eng) > fired_before in
+    if injected && transient outcome && attempt <= max_retries then
+      (* backoff is simulated (recorded, not slept): 1, 2, 4, ... ms *)
+      go (attempt + 1) ((1 lsl (attempt - 1)) :: backoffs)
+    else
+      let outcome =
+        match outcome.Outcome.status with
+        | Outcome.Exited c when attempt > 1 ->
+          {
+            outcome with
+            Outcome.status =
+              Outcome.Recovered { attempts = attempt; exit_code = c };
+          }
+        | _ -> outcome
+      in
+      let verdict =
+        match m with
+        | Some m -> (
+          try a.Catalog.check m outcome
+          with exn ->
+            Catalog.failure "check raised %s" (Printexc.to_string exn))
+        | None -> Catalog.failure "run aborted before execution"
+      in
+      {
+        sv_attack = a;
+        sv_config = config;
+        sv_plan = plan;
+        sv_attempts = attempt;
+        sv_backoff_ms = List.rev backoffs;
+        sv_fired = Chaos.fired eng;
+        sv_outcome = outcome;
+        sv_verdict = verdict;
+      }
+  in
+  go 1 []
+
+let pp_supervised ppf s =
+  Fmt.pf ppf
+    "@[<v2>%s under %s, plan seed %d: %a@,attempts: %d%a%a@,verdict: %s@]"
+    s.sv_attack.Catalog.id s.sv_config.Config.name s.sv_plan.Plan.seed
+    Outcome.pp_status s.sv_outcome.Outcome.status s.sv_attempts
+    (fun ppf -> function
+      | [] -> ()
+      | ms -> Fmt.pf ppf "@,backoff ms: %a" Fmt.(list ~sep:comma int) ms)
+    s.sv_backoff_ms
+    (fun ppf -> function
+      | [] -> ()
+      | fired -> Fmt.pf ppf "@,fired: %a" Fmt.(list ~sep:comma string) fired)
+    s.sv_fired s.sv_verdict.Catalog.detail
+
 (* --- memory inspection helpers for attack checks --- *)
 
 let global_addr m name = Machine.global_addr_exn m name

@@ -19,6 +19,37 @@ val run_hardened : ?config:Config.t -> Catalog.t -> (Outcome.t * bool) option
 (** Run the §5.1 hardened twin under the same attacker input; the boolean
     is "safe": exited normally with no hijack event. *)
 
+(** {1 Supervised execution under a fault plan} *)
+
+type supervised = {
+  sv_attack : Catalog.t;
+  sv_config : Config.t;
+  sv_plan : Pna_chaos.Plan.t;
+  sv_attempts : int;  (** total runs, including the final one *)
+  sv_backoff_ms : int list;
+      (** simulated exponential backoff before each retry, oldest first *)
+  sv_fired : string list;  (** labels of the faults that actually fired *)
+  sv_outcome : Outcome.t;
+  sv_verdict : Catalog.verdict;
+}
+
+val supervise :
+  ?config:Config.t ->
+  ?max_retries:int ->
+  ?max_steps:int ->
+  plan:Pna_chaos.Plan.t ->
+  Catalog.t ->
+  supervised
+(** Run [a] under fault plan [plan] with bounded retry: a transient
+    outcome (crash, OOM, timeout) provoked by an injected fault is
+    retried up to [max_retries] times with simulated exponential backoff
+    — plan faults are one-shot, so retries run progressively cleaner. A
+    retried run that then completes is reported as
+    [Outcome.Recovered]. No injected fault ever escapes as a raw
+    exception; every termination is a classified outcome. *)
+
+val pp_supervised : Format.formatter -> supervised -> unit
+
 (** {1 Memory inspection helpers for checks} *)
 
 val global_addr : Machine.t -> string -> int

@@ -1,0 +1,123 @@
+(** The fault-injection engine: executes a {!Plan} against one machine.
+
+    Every fault in a plan is one-shot — it fires at most once for the
+    lifetime of the engine, even across supervised retries. That is what
+    makes retrying meaningful (a transient fault does not recur) and
+    keeps replays deterministic (the same plan fires the same faults in
+    the same order). Access and allocation counters likewise run across
+    the whole supervised lifetime, never resetting between attempts. *)
+
+module Fault = Pna_vmem.Fault
+module Machine = Pna_machine.Machine
+module Wire = Pna_serial.Wire
+
+type t = {
+  plan : Plan.t;
+  mutable pending : Plan.fault list;  (** not yet fired *)
+  mutable fired : string list;  (** labels, newest first *)
+  mutable accesses : int;
+  mutable allocs : int;
+}
+
+let create plan = { plan; pending = plan.Plan.faults; fired = []; accesses = 0; allocs = 0 }
+
+let plan t = t.plan
+let fired t = List.rev t.fired
+
+(* Remove [f] from the pending set (first occurrence) and record it. *)
+let spend t f =
+  let rec drop = function
+    | [] -> []
+    | x :: tl -> if x = f then tl else x :: drop tl
+  in
+  t.pending <- drop t.pending;
+  t.fired <- Plan.fault_label f :: t.fired
+
+let find_pending t p = List.find_opt p t.pending
+
+(* the address a spurious fault pretends to touch: unmapped guard page
+   below the stack, so the report reads like a wild access *)
+let spurious_addr = 0xbf000000
+
+let mem_hook t ~access ~addr ~byte =
+  ignore addr;
+  ignore access;
+  let i = t.accesses in
+  t.accesses <- t.accesses + 1;
+  match
+    find_pending t (function
+      | Plan.Flip_bit { at_access; _ } -> at_access = i
+      | _ -> false)
+  with
+  | Some (Plan.Flip_bit { bit; _ } as f) ->
+    spend t f;
+    byte lxor (1 lsl bit)
+  | _ -> byte
+
+let alloc_hook t _size =
+  let i = t.allocs in
+  t.allocs <- t.allocs + 1;
+  match
+    find_pending t (function
+      | Plan.Fail_alloc { at_alloc } -> at_alloc = i
+      | _ -> false)
+  with
+  | Some f ->
+    spend t f;
+    true
+  | None -> false
+
+let arm t m =
+  Machine.set_chaos m (Some (fun ~access ~addr ~byte -> mem_hook t ~access ~addr ~byte));
+  Machine.set_chaos_alloc m (Some (alloc_hook t))
+
+let tick t step =
+  match
+    find_pending t (function
+      | Plan.Raise_fault { at_step } -> at_step = step
+      | _ -> false)
+  with
+  | Some f ->
+    spend t f;
+    Fault.raise_ (Fault.Unmapped (spurious_addr, Fault.Read))
+  | None -> ()
+
+let budget t ~default =
+  match
+    find_pending t (function Plan.Budget_jitter _ -> true | _ -> false)
+  with
+  | Some (Plan.Budget_jitter { pct } as f) ->
+    spend t f;
+    max 1_000 (default * pct / 100)
+  | _ -> default
+
+(* Wire faults perturb the first datagram of the input stream — the
+   enrollment victims read exactly one. Faults apply in plan order;
+   duplication prepends a second copy of the (already perturbed) head. *)
+let perturb_strings t strings =
+  match strings with
+  | [] -> strings
+  | head :: rest ->
+    let head = ref head
+    and dup = ref false in
+    List.iter
+      (fun f ->
+        match f with
+        | Plan.Wire_truncate { keep } ->
+          if List.mem f t.pending then begin
+            spend t f;
+            head := Wire.truncate_datagram ~keep !head
+          end
+        | Plan.Wire_corrupt { pos; mask } ->
+          if List.mem f t.pending then begin
+            spend t f;
+            head := Wire.flip_byte ~pos ~mask !head
+          end
+        | Plan.Wire_duplicate ->
+          if List.mem f t.pending then begin
+            spend t f;
+            dup := true
+          end
+        | _ -> ())
+      t.plan.Plan.faults;
+    if !dup then !head :: !head :: rest else !head :: rest

@@ -1,0 +1,120 @@
+(** Deterministic fault plans.
+
+    A plan is a seed plus a list of injections, each indexed by the site
+    where it fires: the nth checked memory access, the nth heap
+    allocation, an interpreter step, or the datagram on the wire. Plans
+    are pure data — generating one from a seed, dumping it to text and
+    parsing it back are all deterministic, so any chaotic run can be
+    replayed byte-for-byte from its plan alone. *)
+
+type fault =
+  | Flip_bit of { at_access : int; bit : int }
+      (** XOR bit [bit] into the byte moved by the [at_access]th checked
+          memory access — a one-shot memory bit flip. *)
+  | Fail_alloc of { at_alloc : int }
+      (** The [at_alloc]th heap allocation fails as if memory ran out. *)
+  | Raise_fault of { at_step : int }
+      (** A spurious MMU fault at interpreter step [at_step]. *)
+  | Budget_jitter of { pct : int }
+      (** Shrink the step budget to [pct] percent of the default. *)
+  | Wire_truncate of { keep : int }
+      (** Deliver only the first [keep] bytes of the datagram. *)
+  | Wire_corrupt of { pos : int; mask : int }
+      (** XOR [mask] into the datagram byte at [pos]. *)
+  | Wire_duplicate  (** Deliver the datagram twice. *)
+
+type t = { seed : int; faults : fault list }
+
+let empty seed = { seed; faults = [] }
+
+(* Generation: the fault mix below is tuned so that every category shows
+   up within a few dozen seeds while most plans stay small (1-3 faults),
+   keeping perturbed runs close enough to the baseline for the
+   degradation oracle to be meaningful. *)
+let generate ?(rate = 1.0) ~seed () =
+  let st = Random.State.make [| 0x9a05; seed; 0x7e57 |] in
+  let n = max 1 (int_of_float (rate *. 3.0 *. Random.State.float st 1.0)) in
+  let pick () =
+    match Random.State.int st 7 with
+    | 0 ->
+      Flip_bit
+        { at_access = Random.State.int st 20_000; bit = Random.State.int st 8 }
+    | 1 -> Fail_alloc { at_alloc = Random.State.int st 6 }
+    | 2 -> Raise_fault { at_step = 1 + Random.State.int st 4_000 }
+    | 3 -> Budget_jitter { pct = 5 + Random.State.int st 75 }
+    | 4 -> Wire_truncate { keep = Random.State.int st 36 }
+    | 5 ->
+      Wire_corrupt
+        { pos = Random.State.int st 64; mask = 1 + Random.State.int st 255 }
+    | _ -> Wire_duplicate
+  in
+  { seed; faults = List.init n (fun _ -> pick ()) }
+
+let fault_label = function
+  | Flip_bit { at_access; bit } -> Fmt.str "flip-bit access %d bit %d" at_access bit
+  | Fail_alloc { at_alloc } -> Fmt.str "fail-alloc nth %d" at_alloc
+  | Raise_fault { at_step } -> Fmt.str "raise-fault step %d" at_step
+  | Budget_jitter { pct } -> Fmt.str "budget-jitter pct %d" pct
+  | Wire_truncate { keep } -> Fmt.str "wire-truncate keep %d" keep
+  | Wire_corrupt { pos; mask } -> Fmt.str "wire-corrupt pos %d mask %d" pos mask
+  | Wire_duplicate -> "wire-duplicate"
+
+let to_string t =
+  String.concat "\n"
+    (Fmt.str "seed %d" t.seed :: List.map fault_label t.faults)
+  ^ "\n"
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+let fault_of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "flip-bit"; "access"; a; "bit"; b ] -> (
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some at_access, Some bit -> Ok (Flip_bit { at_access; bit })
+    | _ -> Error (Fmt.str "bad flip-bit line: %S" line))
+  | [ "fail-alloc"; "nth"; a ] -> (
+    match int_of_string_opt a with
+    | Some at_alloc -> Ok (Fail_alloc { at_alloc })
+    | None -> Error (Fmt.str "bad fail-alloc line: %S" line))
+  | [ "raise-fault"; "step"; s ] -> (
+    match int_of_string_opt s with
+    | Some at_step -> Ok (Raise_fault { at_step })
+    | None -> Error (Fmt.str "bad raise-fault line: %S" line))
+  | [ "budget-jitter"; "pct"; p ] -> (
+    match int_of_string_opt p with
+    | Some pct -> Ok (Budget_jitter { pct })
+    | None -> Error (Fmt.str "bad budget-jitter line: %S" line))
+  | [ "wire-truncate"; "keep"; k ] -> (
+    match int_of_string_opt k with
+    | Some keep -> Ok (Wire_truncate { keep })
+    | None -> Error (Fmt.str "bad wire-truncate line: %S" line))
+  | [ "wire-corrupt"; "pos"; p; "mask"; m ] -> (
+    match (int_of_string_opt p, int_of_string_opt m) with
+    | Some pos, Some mask -> Ok (Wire_corrupt { pos; mask })
+    | _ -> Error (Fmt.str "bad wire-corrupt line: %S" line))
+  | [ "wire-duplicate" ] -> Ok Wire_duplicate
+  | _ -> Error (Fmt.str "unrecognised fault line: %S" line)
+
+let of_string s : (t, string) result =
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' s)
+  in
+  match lines with
+  | [] -> Error "empty plan"
+  | first :: rest -> (
+    match String.split_on_char ' ' (String.trim first) with
+    | [ "seed"; s ] -> (
+      match int_of_string_opt s with
+      | None -> Error (Fmt.str "bad seed line: %S" first)
+      | Some seed ->
+        let rec parse acc = function
+          | [] -> Ok { seed; faults = List.rev acc }
+          | l :: tl -> (
+            match fault_of_line l with
+            | Ok f -> parse (f :: acc) tl
+            | Error _ as e -> e)
+        in
+        parse [] rest)
+    | _ -> Error (Fmt.str "plan must start with a seed line, got %S" first))

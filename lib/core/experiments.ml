@@ -318,7 +318,162 @@ let pp_e8_overhead ppf rows =
   Fmt.pf ppf "=> all defenses pass the benign workload; timing in bench/main.exe@]"
 
 (* ------------------------------------------------------------------ *)
-(* E9 (extension): random testing vs the directed attacker              *)
+(* E9: chaos — graceful degradation under injected faults               *)
+
+module Plan = Pna_chaos.Plan
+
+(* The benign pool server wrapped as a catalogue entry so the supervisor
+   can drive it like any attack. *)
+let benign_pool =
+  Catalog.make ~id:"benign-pool" ~section:"2.1" ~name:"benign pool server"
+    ~segment:Catalog.Data_bss ~goal:"serve 64 requests to completion"
+    ~program:Workloads.pool_server
+    ~mk_input:(fun _ -> ([ 64 ], []))
+    ~check:(fun _ o ->
+      if Outcome.exited_normally o then Catalog.success "served to completion"
+      else Catalog.failure "benign workload did not complete")
+    ()
+
+type chaos_row = {
+  ch_seed : int;
+  ch_attack : string;
+  ch_config : string;
+  ch_status : Outcome.status;
+  ch_attempts : int;
+  ch_fired : string list;
+  ch_escaped : bool;
+      (** an exception escaped the supervisor — must never be true *)
+  ch_detect_ok : bool;
+      (** degradation invariant: a perturbed run only reports attack
+          success when the unperturbed baseline also succeeds — chaos
+          must never turn a blocked attack into a win *)
+}
+
+(* Representative victims: a stack smash, the wire-format overflow, a
+   heap overflow, and the benign workload — every fault category in a
+   plan has something to hit. *)
+let e9_programs () =
+  [
+    Pna_attacks.L13_stack_ret.attack;
+    Pna_attacks.Ser_remote_object.course_count;
+    Pna_attacks.L12_heap.attack;
+    benign_pool;
+  ]
+
+(* a step budget large enough for every victim, small enough that a
+   chaos-corrupted loop bound cannot stall the sweep *)
+let e9_budget = 200_000
+
+let e9 ?(seed_base = 1) ?(seeds = 10) ?(rate = 1.0) ?(configs = Config.all) ()
+    =
+  let programs = e9_programs () in
+  let baselines =
+    List.map
+      (fun (a : Catalog.t) ->
+        ( a.Catalog.id,
+          List.map
+            (fun c ->
+              ( c.Config.name,
+                (Driver.run ~config:c a).Driver.verdict.Catalog.success ))
+            configs ))
+      programs
+  in
+  let baseline_success aid cname = List.assoc cname (List.assoc aid baselines) in
+  List.concat_map
+    (fun (a : Catalog.t) ->
+      List.concat_map
+        (fun config ->
+          List.init seeds (fun k ->
+              let seed = seed_base + k in
+              let plan = Plan.generate ~rate ~seed () in
+              match
+                Driver.supervise ~config ~max_steps:e9_budget ~plan a
+              with
+              | s ->
+                {
+                  ch_seed = seed;
+                  ch_attack = a.Catalog.id;
+                  ch_config = config.Config.name;
+                  ch_status = s.Driver.sv_outcome.Outcome.status;
+                  ch_attempts = s.Driver.sv_attempts;
+                  ch_fired = s.Driver.sv_fired;
+                  ch_escaped = false;
+                  ch_detect_ok =
+                    (not s.Driver.sv_verdict.Catalog.success)
+                    || baseline_success a.Catalog.id config.Config.name;
+                }
+              | exception exn ->
+                {
+                  ch_seed = seed;
+                  ch_attack = a.Catalog.id;
+                  ch_config = config.Config.name;
+                  ch_status =
+                    Outcome.Crashed
+                      (Fmt.str "ESCAPED: %s" (Printexc.to_string exn));
+                  ch_attempts = 0;
+                  ch_fired = [];
+                  ch_escaped = true;
+                  ch_detect_ok = false;
+                }))
+        configs)
+    programs
+
+let status_key = function
+  | Outcome.Exited _ -> "exited"
+  | Outcome.Recovered _ -> "recovered"
+  | Outcome.Crashed _ -> "crashed"
+  | Outcome.Stack_smashing_detected -> "canary"
+  | Outcome.Defense_blocked _ -> "blocked"
+  | Outcome.Timeout _ -> "timeout"
+  | Outcome.Out_of_memory -> "oom"
+  | Outcome.Arc_injection _ -> "arc-inj"
+  | Outcome.Code_injection _ -> "code-inj"
+
+let pp_e9 ppf rows =
+  Fmt.pf ppf "@[<v>E9 — chaos: graceful degradation under injected faults@,%s@,"
+    (String.make 100 '-');
+  (* one line per attack x config: a histogram of classified statuses *)
+  let groups =
+    List.fold_left
+      (fun acc r ->
+        let key = (r.ch_attack, r.ch_config) in
+        let prev = try List.assoc key acc with Not_found -> [] in
+        (key, r :: prev) :: List.remove_assoc key acc)
+      [] rows
+    |> List.rev
+  in
+  List.iter
+    (fun ((attack, config), rs) ->
+      let histo =
+        List.fold_left
+          (fun acc r ->
+            let k = status_key r.ch_status in
+            let n = try List.assoc k acc with Not_found -> 0 in
+            (k, n + 1) :: List.remove_assoc k acc)
+          [] (List.rev rs)
+        |> List.rev
+      in
+      let recovered =
+        List.length (List.filter (fun r -> r.ch_attempts > 1) rs)
+      in
+      let fired =
+        List.fold_left (fun n r -> n + List.length r.ch_fired) 0 rs
+      in
+      Fmt.pf ppf "%-16s %-12s runs=%-3d fired=%-3d retried=%-3d %a@," attack
+        config (List.length rs) fired recovered
+        Fmt.(list ~sep:(any " ") (pair ~sep:(any ":") string int))
+        histo)
+    groups;
+  let n = List.length rows in
+  let escaped = List.length (List.filter (fun r -> r.ch_escaped) rows) in
+  let bad = List.length (List.filter (fun r -> not r.ch_detect_ok) rows) in
+  Fmt.pf ppf
+    "=> %d perturbed runs: %d escaped exceptions, degradation invariant held \
+     in %d/%d@]"
+    n escaped (n - bad) n
+
+(* ------------------------------------------------------------------ *)
+(* E10 (extension): random testing vs the directed attacker             *)
 
 type fuzz_tally = {
   f_trials : int;
@@ -333,7 +488,7 @@ type fuzz_tally = {
    testing approach, paper ref [11]): dynamic testing observes crashes,
    essentially never exploitability; the directed attacker needs one
    attempt; the static checker none. *)
-let e9 ?(trials = 500) () =
+let e10 ?(trials = 500) () =
   let prog = Pna_attacks.L13_stack_ret.mk_program ~checked:false in
   let rng = Random.State.make [| 0x5eed |] in
   let rand31 () =
@@ -360,15 +515,15 @@ let e9 ?(trials = 500) () =
       Pna_analysis.Placement_checker.actionable prog <> [];
   }
 
-let pp_e9 ppf t =
+let pp_e10 ppf t =
   Fmt.pf ppf
-    "@[<v>E9 — random testing vs directed attack vs static analysis@,%s@,     fuzz trials: %d -> clean=%d crashed=%d exploited=%d@,     directed attacker: %s in one attempt@,     static checker: %s without executing@,     => fuzzing sees crashes, not exploitability@]"
+    "@[<v>E10 — random testing vs directed attack vs static analysis@,%s@,     fuzz trials: %d -> clean=%d crashed=%d exploited=%d@,     directed attacker: %s in one attempt@,     static checker: %s without executing@,     => fuzzing sees crashes, not exploitability@]"
     (String.make 100 '-') t.f_trials t.f_clean t.f_crashed t.f_exploited
     (if t.directed_works then "succeeds" else "fails")
     (if t.statically_flagged then "flags the defect" else "misses it")
 
 (* ------------------------------------------------------------------ *)
-(* E10 (extension): automatic repair — the §7 tool's second half         *)
+(* E11 (extension): automatic repair — the §7 tool's second half         *)
 
 type repair_row = {
   r_attack : string;
@@ -379,7 +534,7 @@ type repair_row = {
           hardened program? (soundness hand-off) *)
 }
 
-let e10 () =
+let e11 () =
   List.map
     (fun (a : Catalog.t) ->
       let h = Pna_analysis.Hardener.harden a.Catalog.program in
@@ -398,9 +553,9 @@ let e10 () =
       })
     All.attacks
 
-let pp_e10 ppf rows =
+let pp_e11 ppf rows =
   Fmt.pf ppf
-    "@[<v>E10 — automatic repair (§7: \"automatically addressing these \
+    "@[<v>E11 — automatic repair (§7: \"automatically addressing these \
      vulnerabilities\")@,%s@,"
     (String.make 100 '-');
   List.iter
@@ -417,9 +572,76 @@ let pp_e10 ppf rows =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Pass/fail verdicts per experiment, so callers (the CLI in
+   particular) can turn a regressed experiment into a non-zero exit. *)
+
+let e1_ok rows =
+  List.for_all (fun (r : Driver.result) -> r.Driver.verdict.Catalog.success) rows
+
+let e2_e3_ok trials =
+  match trials with
+  | [ naive_none; naive_sg; sel_none; sel_sg ] ->
+    naive_none.hijacked && naive_sg.detected && sel_none.hijacked
+    && sel_sg.hijacked
+    && not sel_sg.detected
+  | _ -> false
+
+let e4_ok rows =
+  List.for_all
+    (fun r ->
+      if r.leak_config = "sanitize" then not r.secret_leaked
+      else r.secret_leaked)
+    rows
+
+let e5_ok rows =
+  (* work grows monotonically with the forced bound, ending in a DoS *)
+  let rec mono = function
+    | a :: (b :: _ as tl) -> a.steps <= b.steps && mono tl
+    | _ -> true
+  in
+  mono rows
+  && (match List.rev rows with
+     | last :: _ -> (
+       match last.status with Outcome.Timeout _ -> true | _ -> false)
+     | [] -> false)
+
+let e6_ok rows = List.for_all (fun r -> r.leaked = r.predicted) rows
+
+let e7_ok rows =
+  (* the placement checker dominates the legacy baseline and never flags
+     a hardened twin *)
+  List.for_all (fun r -> r.hardened_clean <> Some false) rows
+  && List.for_all (fun r -> (not r.legacy) || r.ours) rows
+
+let e8_matrix_ok matrix =
+  (* with defenses off every attack wins; and a win never coexists with a
+     defense claiming to have blocked that same run *)
+  List.for_all
+    (fun (_, cells) ->
+      List.for_all
+        (fun ((c : Config.t), cell) ->
+          if c.Config.name = "none" then cell = Win else true)
+        cells)
+    matrix
+
+let e8_overhead_ok rows =
+  List.for_all (fun (_, status, _) -> match status with Outcome.Exited _ -> true | _ -> false) rows
+
+let e9_ok rows =
+  rows <> []
+  && List.for_all (fun r -> (not r.ch_escaped) && r.ch_detect_ok) rows
+
+let e10_ok t =
+  t.f_exploited = 0 && t.directed_works && t.statically_flagged
+
+let e11_ok rows = List.for_all (fun r -> r.residual_flagged) rows
+
+(* ------------------------------------------------------------------ *)
+
 let run_all ppf () =
   Fmt.pf ppf "%a@.@.%a@.@.%a@.@.%a@.@.%a@.@.%a@.@.%a@.@.%a@.@.%a@." pp_e1
     (e1 ()) pp_e2_e3 (e2_e3 ()) pp_e4 (e4 ()) pp_e5 (e5 ()) pp_e6 (e6 ())
     pp_e7 (e7 ()) pp_e8_matrix (e8_matrix ()) pp_e8_overhead (e8_overhead ())
     pp_e9 (e9 ());
-  Fmt.pf ppf "@.%a@." pp_e10 (e10 ())
+  Fmt.pf ppf "@.%a@.@.%a@." pp_e10 (e10 ()) pp_e11 (e11 ())

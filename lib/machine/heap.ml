@@ -30,6 +30,9 @@ type t = {
   limit : int;
   mutable brk : int;
   stats : stats;
+  mutable chaos_alloc : (int -> bool) option;
+      (** fault-injection hook: called with the (aligned) request size;
+          returning [true] makes this malloc fail as if memory ran out *)
 }
 
 let header_size = 8
@@ -46,9 +49,11 @@ let create mem ~base ~size =
     limit = base + size;
     brk = base;
     stats = { allocs = 0; frees = 0; in_use = 0; peak = 0; leaked = 0 };
+    chaos_alloc = None;
   }
 
 let stats t = t.stats
+let set_chaos_alloc t hook = t.chaos_alloc <- hook
 
 let write_header t addr ~size ~status =
   Vmem.write_u32 ~tag:"heap-hdr" t.mem (addr - header_size) size;
@@ -102,6 +107,8 @@ let account_alloc t n =
 let malloc t n =
   if n <= 0 then invalid_arg "Heap.malloc: non-positive size";
   let n = align8 n in
+  if (match t.chaos_alloc with Some f -> f n | None -> false) then None
+  else
   match find_fit t n with
   | Some (payload, size) ->
     let used =

@@ -21,6 +21,10 @@ val header_size : int  (* 8: [size:4][status:4] before each payload *)
 val create : Pna_vmem.Vmem.t -> base:int -> size:int -> t
 val stats : t -> stats
 
+val set_chaos_alloc : t -> (int -> bool) option -> unit
+(** Fault-injection hook: called with every (aligned) request size;
+    returning [true] makes that malloc fail as if memory ran out. *)
+
 val malloc : t -> int -> int option
 (** Payload address (8-aligned), or [None] when out of memory.
     @raise Invalid_argument on a non-positive size.

@@ -96,6 +96,12 @@ let create ?(heap_size = default_heap_size) ~config env =
   }
 
 let arenas t = t.arenas
+
+(* Fault-injection pass-throughs (see [Pna_chaos]): perturb checked memory
+   accesses and make selected allocations fail. *)
+let set_chaos t hook = Pna_vmem.Vmem.set_chaos t.mem hook
+let set_chaos_alloc t hook = Heap.set_chaos_alloc t.heap hook
+
 let emit t e = t.events <- e :: t.events
 let events t = List.rev t.events
 let config t = t.config
@@ -171,8 +177,17 @@ let intern_string ?(tainted = false) t s =
   | Some addr -> addr
   | None ->
     let len = String.length s + 1 in
-    if t.rodata_cursor + len > rodata_base + rodata_size then
-      failwith "rodata full";
+    if t.rodata_cursor + len > rodata_base + rodata_size then begin
+      (* reachable from hostile input: every tainted string gets a fresh
+         copy, so a chatty attacker can exhaust the pool — terminate as an
+         allocation failure, never as a raw exception *)
+      let e =
+        Event.Out_of_memory
+          { requested = len; in_use = t.rodata_cursor - rodata_base }
+      in
+      emit t e;
+      raise (Event.Security_stop e)
+    end;
     let addr = t.rodata_cursor in
     t.rodata_cursor <- addr + len;
     String.iteri

@@ -38,6 +38,13 @@ val env : t -> Pna_layout.Layout.env
 val heap_stats : t -> Heap.stats
 val arenas : t -> Arena.t
 val emit : t -> Event.t -> unit
+
+val set_chaos : t -> Pna_vmem.Vmem.chaos_hook option -> unit
+(** Install a byte-level fault-injection hook on the address space. *)
+
+val set_chaos_alloc : t -> (int -> bool) option -> unit
+(** Install an allocation fault-injection hook on the heap. *)
+
 val events : t -> Event.t list
 (** Oldest first. *)
 

@@ -36,6 +36,9 @@ type state = {
   max_steps : int;
   max_depth : int;
   on_stmt : (string -> Ast.stmt -> unit) option;
+  on_tick : (int -> unit) option;
+      (* fault-injection hook: called with the step count on every tick; may
+         raise [Fault.Fault] to model a spurious trap mid-execution *)
   mutable steps : int;
   mutable depth : int;
   mutable pnew_counter : int;
@@ -43,6 +46,7 @@ type state = {
 
 let tick st =
   st.steps <- st.steps + 1;
+  (match st.on_tick with Some f -> f st.steps | None -> ());
   if st.steps > st.max_steps then
     raise (Halt (Outcome.Timeout { steps = st.steps }))
 
@@ -679,9 +683,20 @@ let load ?heap_size ~config prog =
     prog.Ast.p_globals;
   m
 
-let run ?(max_steps = 2_000_000) ?(max_depth = 256) ?on_stmt m prog ~entry =
+let run ?(max_steps = 2_000_000) ?(max_depth = 256) ?on_stmt ?on_tick m prog
+    ~entry =
   let st =
-    { m; prog; max_steps; max_depth; on_stmt; steps = 0; depth = 0; pnew_counter = 0 }
+    {
+      m;
+      prog;
+      max_steps;
+      max_depth;
+      on_stmt;
+      on_tick;
+      steps = 0;
+      depth = 0;
+      pnew_counter = 0;
+    }
   in
   let status =
     try
@@ -713,9 +728,19 @@ let run ?(max_steps = 2_000_000) ?(max_depth = 256) ?on_stmt m prog ~entry =
     steps = st.steps;
   }
 
-(* Convenience: load + input + run in one call. *)
-let execute ?heap_size ?max_steps ?max_depth ?on_stmt ~config
+(* Convenience: load + input + run in one call. Loading a hostile source
+   file can exhaust a segment (text/data/bss); classify that as a crashed
+   outcome instead of letting Failure/Invalid_argument escape. *)
+let execute ?heap_size ?max_steps ?max_depth ?on_stmt ?on_tick ~config
     ?(input_ints = []) ?(input_strings = []) ?(entry = "main") prog =
-  let m = load ?heap_size ~config prog in
-  Machine.set_input ~ints:input_ints ~strings:input_strings m;
-  run ?max_steps ?max_depth ?on_stmt m prog ~entry
+  match load ?heap_size ~config prog with
+  | m ->
+    Machine.set_input ~ints:input_ints ~strings:input_strings m;
+    run ?max_steps ?max_depth ?on_stmt ?on_tick m prog ~entry
+  | exception (Failure msg | Invalid_argument msg) ->
+    {
+      Outcome.status = Outcome.Crashed (Fmt.str "image load failed: %s" msg);
+      events = [];
+      output = [];
+      steps = 0;
+    }

@@ -16,6 +16,7 @@ val run :
   ?max_steps:int ->
   ?max_depth:int ->
   ?on_stmt:(string -> Ast.stmt -> unit) ->
+  ?on_tick:(int -> unit) ->
   Pna_machine.Machine.t ->
   Ast.program ->
   entry:string ->
@@ -25,13 +26,16 @@ val run :
     [max_steps] (default 2,000,000) bounds evaluated expressions +
     statements; exceeding it is the DoS outcome. [on_stmt] is invoked
     before every executed statement with the enclosing function's name —
-    the hook behind {!Pna.Coverage}. *)
+    the hook behind {!Pna.Coverage}. [on_tick] is invoked with the step
+    counter after every step — the chaos layer's spurious-fault hook;
+    exceptions it raises surface like interpreter faults. *)
 
 val execute :
   ?heap_size:int ->
   ?max_steps:int ->
   ?max_depth:int ->
   ?on_stmt:(string -> Ast.stmt -> unit) ->
+  ?on_tick:(int -> unit) ->
   config:Pna_defense.Config.t ->
   ?input_ints:int list ->
   ?input_strings:string list ->

@@ -24,6 +24,9 @@ type status =
   | Defense_blocked of string  (** shadow stack / bounds check / NX fired *)
   | Timeout of { steps : int }  (** interpreter budget exhausted: DoS *)
   | Out_of_memory
+  | Recovered of { attempts : int; exit_code : int }
+      (** the chaos supervisor retried past injected transient faults and
+          the program then ran to completion *)
 
 type t = {
   status : status;
@@ -45,6 +48,8 @@ let pp_status ppf = function
   | Defense_blocked d -> Fmt.pf ppf "BLOCKED by %s" d
   | Timeout t -> Fmt.pf ppf "TIMEOUT after %d steps" t.steps
   | Out_of_memory -> Fmt.string ppf "OUT OF MEMORY"
+  | Recovered r ->
+    Fmt.pf ppf "recovered(%d) after %d attempts" r.exit_code r.attempts
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>%a (%d steps)%a@]" pp_status t.status t.steps
@@ -63,4 +68,5 @@ let blocked t =
   | Stack_smashing_detected | Defense_blocked _ -> true
   | _ -> false
 
-let exited_normally t = match t.status with Exited _ -> true | _ -> false
+let exited_normally t =
+  match t.status with Exited _ | Recovered _ -> true | _ -> false

@@ -16,6 +16,9 @@ type status =
   | Defense_blocked of string
   | Timeout of { steps : int }  (** interpreter budget exhausted: DoS *)
   | Out_of_memory
+  | Recovered of { attempts : int; exit_code : int }
+      (** the chaos supervisor retried past injected transient faults and
+          the program then ran to completion *)
 
 type t = {
   status : status;

@@ -90,6 +90,113 @@ let encode t =
 
 let size t = String.length (encode t)
 
+(* -- decoding (the honest receiver's view, used by tests and tools) ------ *)
+
+let rd32 s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let rd64 s off =
+  let b = ref 0L in
+  for k = 7 downto 0 do
+    b := Int64.logor (Int64.shift_left !b 8) (Int64.of_int (Char.code s.[off + k]))
+  done;
+  !b
+
+(** Parse a datagram back into its fields. Unlike the vulnerable MiniC++
+    receiver this never reads out of bounds: short, truncated or
+    count-inflated datagrams come back as [Error]. The encoded count is
+    preserved: when it exceeds the course words actually present the lie is
+    reported via [claimed_courses]. *)
+let decode s : (t, string) result =
+  let len = String.length s in
+  let need n what = if len < n then Error (Fmt.str "short datagram: %s needs %d bytes, got %d" what n len) else Ok () in
+  let ( let* ) = Result.bind in
+  let* () = need 4 "class id" in
+  let class_id = rd32 s 0 in
+  if class_id <> student_id && class_id <> grad_student_id then
+    Error (Fmt.str "unknown class id %d" class_id)
+  else
+    let* () = need off_ssn "common fields" in
+    let gpa = Int64.float_of_bits (rd64 s off_gpa) in
+    let year = rd32 s off_year in
+    let semester = rd32 s off_semester in
+    if class_id = student_id then
+      if len > off_ssn then Error "trailing bytes after NetStudent fields"
+      else
+        Ok
+          {
+            class_id;
+            gpa;
+            year;
+            semester;
+            ssn = [| 0; 0; 0 |];
+            courses = [];
+            claimed_courses = None;
+          }
+    else
+      let* () = need off_courses "grad fields" in
+      let ssn = Array.init 3 (fun k -> rd32 s (off_ssn + (4 * k))) in
+      let count = rd32 s off_course_count in
+      let avail = (len - off_courses) / 4 in
+      if len <> off_courses + (4 * avail) then
+        Error "course list is not a whole number of words"
+      else if count < 0 || count > avail then
+        (* the attacker's lie: keep what is really there, remember the claim *)
+        Ok
+          {
+            class_id;
+            gpa;
+            year;
+            semester;
+            ssn;
+            courses = List.init avail (fun j -> rd32 s (off_courses + (4 * j)));
+            claimed_courses = Some count;
+          }
+      else if avail > count then Error "trailing bytes after course list"
+      else
+        Ok
+          {
+            class_id;
+            gpa;
+            year;
+            semester;
+            ssn;
+            courses = List.init count (fun j -> rd32 s (off_courses + (4 * j)));
+            claimed_courses = None;
+          }
+
+(* -- datagram perturbation (chaos layer + property tests) ---------------- *)
+
+let truncate_datagram ~keep s = String.sub s 0 (max 0 (min keep (String.length s)))
+
+let flip_byte ~pos ~mask s =
+  if String.length s = 0 then s
+  else
+    let pos = abs pos mod String.length s in
+    String.mapi
+      (fun i c -> if i = pos then Char.chr (Char.code c lxor (mask land 0xff)) else c)
+      s
+
+let inflate_count ~claimed s =
+  if String.length s < off_course_count + 4 then s
+  else
+    String.sub s 0 off_course_count
+    ^ le32 claimed
+    ^ String.sub s (off_course_count + 4)
+        (String.length s - off_course_count - 4)
+
+(* -- delivery hook: a chaotic network between encoder and receiver ------- *)
+
+let tamper_hook : (string -> string) option ref = ref None
+let set_tamper f = tamper_hook := f
+
+let deliver t =
+  let s = encode t in
+  match !tamper_hook with Some f -> f s | None -> s
+
 let pp ppf t =
   Fmt.pf ppf "wire{id=%d gpa=%g year=%d sem=%d ssn=[%a] courses=%d%a}"
     t.class_id t.gpa t.year t.semester

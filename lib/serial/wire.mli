@@ -40,7 +40,32 @@ val grad_student :
 val encode : t -> string
 (** Raw bytes (may contain NULs; deliver via the [recv] builtin). *)
 
+val decode : string -> (t, string) result
+(** Parse a datagram defensively: short, truncated or trailing-garbage
+    inputs are [Error]; a count larger than the course words present
+    round-trips through [claimed_courses]. *)
+
 val size : t -> int
+
+(** Datagram perturbations used by the chaos layer and property tests. *)
+
+val truncate_datagram : keep:int -> string -> string
+(** Keep only the first [keep] bytes (clamped to [0, length]). *)
+
+val flip_byte : pos:int -> mask:int -> string -> string
+(** XOR the byte at [pos mod length] with [mask]; identity on [""]. *)
+
+val inflate_count : claimed:int -> string -> string
+(** Overwrite the course-count word in place when the datagram is long
+    enough to carry one; identity otherwise. *)
+
+val set_tamper : (string -> string) option -> unit
+(** Install (or clear) the delivery-tampering hook applied by {!deliver} —
+    the chaos layer's model of a faulty network between peers. *)
+
+val deliver : t -> string
+(** [encode] then apply the tamper hook, if any. *)
+
 val pp : Format.formatter -> t -> unit
 
 (** Little-endian encoding helpers. *)

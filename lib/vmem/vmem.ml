@@ -10,15 +10,24 @@
 
 type write_record = { w_addr : int; w_len : int; w_tag : string }
 
+(** Fault-injection hook: called on every checked byte access with the byte
+    about to be moved; returns the byte actually moved (possibly perturbed)
+    and may raise {!Fault.Fault} to model a spurious hardware trap. Loader
+    pokes bypass it. *)
+type chaos_hook = access:Fault.access -> addr:int -> byte:int -> int
+
 type t = {
   mutable segments : Segment.t list;
   mutable trace_enabled : bool;
   mutable trace : write_record list;  (* most recent first *)
+  mutable chaos : chaos_hook option;
 }
 
 let word_size = 4
 
-let create () = { segments = []; trace_enabled = false; trace = [] }
+let create () = { segments = []; trace_enabled = false; trace = []; chaos = None }
+
+let set_chaos t hook = t.chaos <- hook
 
 let add_segment t seg =
   let overlaps s =
@@ -64,7 +73,10 @@ let checked t addr access =
 
 let read_u8 t addr =
   let seg = checked t addr Fault.Read in
-  Segment.get_byte seg addr
+  let b = Segment.get_byte seg addr in
+  match t.chaos with
+  | None -> b
+  | Some f -> f ~access:Fault.Read ~addr ~byte:b land 0xff
 
 let taint_of t addr =
   let seg = checked t addr Fault.Read in
@@ -72,6 +84,11 @@ let taint_of t addr =
 
 let write_u8 ?(tag = "") ?(taint = false) t addr v =
   let seg = checked t addr Fault.Write in
+  let v =
+    match t.chaos with
+    | None -> v
+    | Some f -> f ~access:Fault.Write ~addr ~byte:v land 0xff
+  in
   Segment.set_byte seg addr v;
   Segment.set_taint seg addr taint;
   record_write t addr 1 tag
@@ -131,12 +148,24 @@ let write_i32 ?tag ?taint t addr v = write_u32 ?tag ?taint t addr (of_signed32 v
 
 (* Block operations: taint travels with the bytes. *)
 
+(* No simulated segment is anywhere near this large, so a longer copy is
+   guaranteed to walk off its segment and fault; stream it instead of
+   materializing a buffer (an attacker-controlled size_t must not make the
+   *simulator* allocate gigabytes). *)
+let max_buffered_copy = 0x100000
+
 let blit ?(tag = "blit") t ~src ~dst ~len =
-  (* Copy via an intermediate buffer so overlapping ranges behave like
-     memmove; overflow exploits in the paper never rely on memcpy-style
-     overlap corruption. *)
-  let buf = Array.init len (fun i -> (read_u8 t (src + i), taint_of t (src + i))) in
-  Array.iteri (fun i (b, tn) -> write_u8 ~tag ~taint:tn t (dst + i) b) buf
+  if len <= max_buffered_copy then
+    (* Copy via an intermediate buffer so overlapping ranges behave like
+       memmove; overflow exploits in the paper never rely on memcpy-style
+       overlap corruption. *)
+    let buf = Array.init len (fun i -> (read_u8 t (src + i), taint_of t (src + i))) in
+    Array.iteri (fun i (b, tn) -> write_u8 ~tag ~taint:tn t (dst + i) b) buf
+  else
+    for i = 0 to len - 1 do
+      let b = read_u8 t (src + i) and tn = taint_of t (src + i) in
+      write_u8 ~tag ~taint:tn t (dst + i) b
+    done
 
 let fill ?(tag = "fill") ?(taint = false) t ~dst ~len v =
   for i = 0 to len - 1 do
@@ -161,7 +190,14 @@ let read_cstring ?(max_len = 4096) t addr =
   in
   go 0
 
-let read_bytes t addr len = String.init len (fun i -> Char.chr (read_u8 t (addr + i)))
+(* Buffer-based so that an attacker-controlled length faults at the segment
+   boundary instead of asking the host for a multi-gigabyte string. *)
+let read_bytes t addr len =
+  let b = Buffer.create (max 16 (min len 4096)) in
+  for i = 0 to len - 1 do
+    Buffer.add_char b (Char.chr (read_u8 t (addr + i)))
+  done;
+  Buffer.contents b
 
 (* Taint queries used by attack drivers to prove corruption provenance. *)
 

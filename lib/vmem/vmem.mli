@@ -76,6 +76,15 @@ val range_tainted : t -> int -> int -> bool
 val tainted_bytes : t -> int -> int -> int
 val set_taint : t -> int -> int -> bool -> unit
 
+(** {1 Fault injection} *)
+
+type chaos_hook = access:Fault.access -> addr:int -> byte:int -> int
+(** Called on every checked byte access with the byte about to be
+    returned (reads) or stored (writes); the result replaces it, masked
+    to 8 bits. The chaos layer uses this to model memory bit flips. *)
+
+val set_chaos : t -> chaos_hook option -> unit
+
 (** {1 Write tracing} *)
 
 val enable_trace : t -> unit

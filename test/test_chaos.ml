@@ -1,0 +1,198 @@
+(* The chaos layer: deterministic plans, supervised recovery, and the E9
+   graceful-degradation sweep. *)
+
+module Plan = Pna_chaos.Plan
+module Chaos = Pna_chaos.Chaos
+module Driver = Pna_attacks.Driver
+module Catalog = Pna_attacks.Catalog
+module Config = Pna_defense.Config
+module E = Pna.Experiments
+module O = Pna_minicpp.Outcome
+
+(* ---- plans ---- *)
+
+let test_generate_deterministic () =
+  for seed = 1 to 30 do
+    Alcotest.(check string)
+      (Fmt.str "seed %d stable" seed)
+      (Plan.to_string (Plan.generate ~seed ()))
+      (Plan.to_string (Plan.generate ~seed ()))
+  done
+
+let test_plan_text_roundtrip () =
+  for seed = 1 to 30 do
+    let p = Plan.generate ~seed () in
+    match Plan.of_string (Plan.to_string p) with
+    | Ok p' ->
+      Alcotest.(check string)
+        (Fmt.str "seed %d round-trips" seed)
+        (Plan.to_string p) (Plan.to_string p')
+    | Error msg -> Alcotest.failf "seed %d failed to parse back: %s" seed msg
+  done
+
+let test_plan_parse_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Plan.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" s)
+    [ ""; "flip-bit access 1 bit 2"; "seed x"; "seed 1\nflip-bit access a bit 2";
+      "seed 1\nnot-a-fault" ]
+
+(* every fault category shows up across a modest seed range *)
+let test_generation_covers_all_categories () =
+  let seen = Hashtbl.create 8 in
+  for seed = 1 to 200 do
+    List.iter
+      (fun f ->
+        let key =
+          match f with
+          | Plan.Flip_bit _ -> "flip"
+          | Plan.Fail_alloc _ -> "alloc"
+          | Plan.Raise_fault _ -> "fault"
+          | Plan.Budget_jitter _ -> "budget"
+          | Plan.Wire_truncate _ -> "trunc"
+          | Plan.Wire_corrupt _ -> "corrupt"
+          | Plan.Wire_duplicate -> "dup"
+        in
+        Hashtbl.replace seen key ())
+      (Plan.generate ~seed ()).Plan.faults
+  done;
+  Alcotest.(check int) "all 7 categories generated" 7 (Hashtbl.length seen)
+
+(* ---- supervisor ---- *)
+
+let benign_churn =
+  Catalog.make ~id:"benign-churn" ~section:"test" ~name:"heap churn"
+    ~segment:Catalog.Heap ~goal:"allocate/free to completion"
+    ~program:Pna.Workloads.heap_churn
+    ~mk_input:(fun _ -> ([ 100 ], []))
+    ~check:(fun _ o ->
+      if O.exited_normally o then Catalog.success "completed"
+      else Catalog.failure "did not complete")
+    ()
+
+let test_recovers_from_alloc_failure () =
+  let plan = { Plan.seed = 0; faults = [ Plan.Fail_alloc { at_alloc = 0 } ] } in
+  let s = Driver.supervise ~plan benign_churn in
+  (match s.Driver.sv_outcome.O.status with
+  | O.Recovered { attempts = 2; exit_code = 0 } -> ()
+  | st -> Alcotest.failf "expected recovery in 2 attempts, got %a" O.pp_status st);
+  Alcotest.(check bool) "verdict passes after recovery" true
+    s.Driver.sv_verdict.Catalog.success;
+  Alcotest.(check (list string)) "the injected fault fired"
+    [ "fail-alloc nth 0" ] s.Driver.sv_fired;
+  Alcotest.(check (list int)) "one backoff recorded" [ 1 ] s.Driver.sv_backoff_ms
+
+let test_recovers_from_spurious_fault () =
+  let plan = { Plan.seed = 0; faults = [ Plan.Raise_fault { at_step = 50 } ] } in
+  let s = Driver.supervise ~plan benign_churn in
+  match s.Driver.sv_outcome.O.status with
+  | O.Recovered { attempts = 2; _ } -> ()
+  | st -> Alcotest.failf "expected recovery, got %a" O.pp_status st
+
+let test_recovers_from_budget_jitter () =
+  (* pct 5 of 20_000 clamps to the 1_000 floor: attempt 1 times out, the
+     jitter is spent, attempt 2 gets the full budget *)
+  let plan = { Plan.seed = 0; faults = [ Plan.Budget_jitter { pct = 5 } ] } in
+  let s = Driver.supervise ~max_steps:20_000 ~plan benign_churn in
+  match s.Driver.sv_outcome.O.status with
+  | O.Recovered { attempts = 2; _ } -> ()
+  | st -> Alcotest.failf "expected recovery from jitter, got %a" O.pp_status st
+
+let test_retries_are_bounded () =
+  (* more injected alloc failures than retries: the supervisor gives up
+     with a classified outcome, not an endless loop or an exception *)
+  let faults = List.init 6 (fun k -> Plan.Fail_alloc { at_alloc = k }) in
+  let plan = { Plan.seed = 0; faults } in
+  let s = Driver.supervise ~max_retries:2 ~plan benign_churn in
+  Alcotest.(check int) "exactly 1 + max_retries attempts" 3 s.Driver.sv_attempts;
+  match s.Driver.sv_outcome.O.status with
+  | O.Out_of_memory -> ()
+  | st -> Alcotest.failf "expected OOM after exhausted retries, got %a" O.pp_status st
+
+let test_clean_plan_is_invisible () =
+  let plan = Plan.empty 0 in
+  let s = Driver.supervise ~plan benign_churn in
+  Alcotest.(check int) "one attempt" 1 s.Driver.sv_attempts;
+  (match s.Driver.sv_outcome.O.status with
+  | O.Exited 0 -> ()
+  | st -> Alcotest.failf "expected clean exit, got %a" O.pp_status st);
+  Alcotest.(check (list string)) "nothing fired" [] s.Driver.sv_fired
+
+let test_supervised_replay_is_deterministic () =
+  for seed = 1 to 10 do
+    let plan = Plan.generate ~seed () in
+    let run () =
+      let s =
+        Driver.supervise ~config:Config.stackguard ~max_steps:200_000 ~plan
+          Pna_attacks.L13_stack_ret.attack
+      in
+      Fmt.str "%a|%d|%a" O.pp_status s.Driver.sv_outcome.O.status
+        s.Driver.sv_attempts
+        Fmt.(list ~sep:comma string)
+        s.Driver.sv_fired
+    in
+    Alcotest.(check string) (Fmt.str "seed %d replays identically" seed)
+      (run ()) (run ())
+  done
+
+(* wire faults are one-shot too: the engine perturbs the first delivery
+   and leaves retries alone *)
+let test_wire_faults_fire_once () =
+  let plan =
+    { Plan.seed = 0; faults = [ Plan.Wire_truncate { keep = 4 } ] }
+  in
+  let eng = Chaos.create plan in
+  let d = String.make 20 'x' in
+  (match Chaos.perturb_strings eng [ d ] with
+  | [ d' ] -> Alcotest.(check int) "truncated" 4 (String.length d')
+  | _ -> Alcotest.fail "one datagram expected");
+  match Chaos.perturb_strings eng [ d ] with
+  | [ d' ] -> Alcotest.(check int) "second delivery untouched" 20 (String.length d')
+  | _ -> Alcotest.fail "one datagram expected"
+
+(* ---- the E9 sweep (acceptance criteria) ---- *)
+
+let test_e9_sweep_holds () =
+  let rows = E.e9 ~seeds:8 () in
+  Alcotest.(check bool) ">= 200 perturbed runs" true (List.length rows >= 200);
+  Alcotest.(check int) "covers all E8 defense configs"
+    (List.length Config.all)
+    (List.sort_uniq compare (List.map (fun r -> r.E.ch_config) rows)
+    |> List.length);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Fmt.str "seed %d %s/%s: no escaped exception" r.E.ch_seed r.E.ch_attack
+           r.E.ch_config)
+        false r.E.ch_escaped;
+      Alcotest.(check bool)
+        (Fmt.str "seed %d %s/%s: degradation invariant" r.E.ch_seed
+           r.E.ch_attack r.E.ch_config)
+        true r.E.ch_detect_ok)
+    rows;
+  Alcotest.(check bool) "e9_ok agrees" true (E.e9_ok rows)
+
+let test_e9_deterministic_byte_for_byte () =
+  let render () = Fmt.str "%a" E.pp_e9 (E.e9 ~seeds:3 ()) in
+  Alcotest.(check string) "two sweeps render identically" (render ()) (render ())
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "chaos",
+    [
+      t "plan generation is deterministic" test_generate_deterministic;
+      t "plan text round-trips" test_plan_text_roundtrip;
+      t "plan parser rejects garbage" test_plan_parse_rejects_garbage;
+      t "generation covers every fault category" test_generation_covers_all_categories;
+      t "supervisor recovers from alloc failure" test_recovers_from_alloc_failure;
+      t "supervisor recovers from spurious fault" test_recovers_from_spurious_fault;
+      t "supervisor recovers from budget jitter" test_recovers_from_budget_jitter;
+      t "supervisor bounds its retries" test_retries_are_bounded;
+      t "clean plan leaves the run untouched" test_clean_plan_is_invisible;
+      t "supervised replay is deterministic" test_supervised_replay_is_deterministic;
+      t "wire faults are one-shot" test_wire_faults_fire_once;
+      t "E9: >=200 classified runs, invariant holds" test_e9_sweep_holds;
+      t "E9: byte-for-byte deterministic" test_e9_deterministic_byte_for_byte;
+    ] )

@@ -101,8 +101,8 @@ let test_e8_overhead_workload_clean () =
           c.Pna_defense.Config.name O.pp_status st)
     (E.e8_overhead ~n:100 ())
 
-let test_e9_fuzz_shape () =
-  let t = E.e9 ~trials:100 () in
+let test_e10_fuzz_shape () =
+  let t = E.e10 ~trials:100 () in
   Alcotest.(check int) "all trials accounted" 100 (t.E.f_clean + t.E.f_crashed + t.E.f_exploited);
   Alcotest.(check bool) "fuzzing mostly crashes" true (t.E.f_crashed > 90);
   Alcotest.(check int) "no lucky exploit" 0 t.E.f_exploited;
@@ -129,8 +129,8 @@ let test_defense_monotonicity () =
           (blocked Pna_defense.Config.full))
     Pna_attacks.All.attacks
 
-let test_e10_repair_headline () =
-  let rows = E.e10 () in
+let test_e11_repair_headline () =
+  let rows = E.e11 () in
   let survivors =
     List.filter_map
       (fun r -> if r.E.neutralized then None else Some r.E.r_attack)
@@ -161,8 +161,8 @@ let suite =
       t "E7: 25/25 vs 0/25, no hardened FPs" test_e7_headline;
       t "E8: undefended attacks always win" test_e8_no_defense_never_blocks;
       t "E8: benign workload passes every defense" test_e8_overhead_workload_clean;
-      t "E9: fuzzing crashes, never exploits" test_e9_fuzz_shape;
+      t "E10: fuzzing crashes, never exploits" test_e10_fuzz_shape;
       t "composing defenses is monotone" test_defense_monotonicity;
-      t "E10: repair neutralizes all but copy loops" test_e10_repair_headline;
+      t "E11: repair neutralizes all but copy loops" test_e11_repair_headline;
       t "workload: heap churn" test_workload_heap_churn;
     ] )

@@ -12,6 +12,7 @@ let () =
       Test_listings.suite;
       Test_hardener.suite;
       Test_robustness.suite;
+      Test_chaos.suite;
       Test_attacks.suite;
       Test_analysis.suite;
       Test_experiments.suite;

@@ -111,6 +111,70 @@ let test_fuzzed_source_never_raises_unexpectedly () =
     | exception L.Error _ -> ()
   done
 
+(* ---- hostile-input-reachable resource exhaustion: classified, never an
+   exception (each case regression-tests one converted failure site) ---- *)
+
+(* Vmem.blit used to materialize the whole copy as a host array: an
+   attacker-sized memcpy count meant a multi-gigabyte allocation before
+   any fault check. Now it streams and faults at the segment boundary. *)
+let test_huge_memcpy_crashes_cleanly () =
+  crashes
+    [
+      decl "buf" (char_arr 16);
+      expr (call "memcpy" [ v "buf"; v "buf"; i 0x7fffffff ]);
+    ]
+
+(* Vmem.read_bytes had the same shape via the [store] builtin. *)
+let test_huge_store_crashes_cleanly () =
+  crashes
+    [
+      decl "buf" (char_arr 16);
+      expr (call "store" [ v "buf"; i 0x7fffffff ]);
+    ]
+
+(* Machine.intern_string used to [failwith "rodata full"]; tainted input
+   strings get fresh rodata copies, so hostile input can exhaust the
+   64 KiB segment. It is now a Security_stop -> Out_of_memory outcome. *)
+let test_rodata_exhaustion_is_oom () =
+  let prog =
+    program
+      ~globals:[ global "p" (ptr char) ]
+      [ func "main" [ while_ (i 1) [ set (v "p") cin_str ] ] ]
+  in
+  let strings = List.init 80 (fun _ -> String.make 1200 'a') in
+  let o =
+    Interp.execute ~config:Config.none ~max_steps:10_000_000
+      ~input_strings:strings prog
+  in
+  match o.O.status with
+  | O.Out_of_memory -> ()
+  | st -> Alcotest.failf "expected OOM, got %a" O.pp_status st
+
+(* loader-time [failwith] ("data segment full", "text full") used to
+   escape Interp.execute as a raw exception; now it is a classified
+   crash *)
+let test_oversized_global_is_classified () =
+  let prog =
+    program
+      ~globals:[ global "g" (char_arr 200_000) ]
+      [ func "main" [ ret (i 0) ] ]
+  in
+  match (Interp.execute ~config:Config.none prog).O.status with
+  | O.Crashed msg ->
+    Alcotest.(check bool) "names the load failure" true
+      (String.length msg >= 17 && String.sub msg 0 17 = "image load failed")
+  | st -> Alcotest.failf "expected classified crash, got %a" O.pp_status st
+
+let test_text_exhaustion_is_classified () =
+  let prog =
+    program
+      (List.init 3_000 (fun k -> func (Fmt.str "f%d" k) [ ret (i 0) ])
+      @ [ func "main" [ ret (i 0) ] ])
+  in
+  match (Interp.execute ~config:Config.none prog).O.status with
+  | O.Crashed _ -> ()
+  | st -> Alcotest.failf "expected classified crash, got %a" O.pp_status st
+
 let test_interp_budget_is_respected () =
   let prog = program [ func "main" [ while_ (i 1) [] ] ] in
   let o =
@@ -131,4 +195,9 @@ let suite =
       t "mangled source never raises unexpectedly"
         test_fuzzed_source_never_raises_unexpectedly;
       t "interpreter budget respected" test_interp_budget_is_respected;
+      t "huge memcpy crashes cleanly" test_huge_memcpy_crashes_cleanly;
+      t "huge store crashes cleanly" test_huge_store_crashes_cleanly;
+      t "rodata exhaustion is OOM" test_rodata_exhaustion_is_oom;
+      t "oversized global load is classified" test_oversized_global_is_classified;
+      t "text exhaustion is classified" test_text_exhaustion_is_classified;
     ] )

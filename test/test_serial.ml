@@ -112,6 +112,124 @@ let test_truncated_datagram_harmless () =
   | O.Exited 0 -> ()
   | st -> Alcotest.failf "service crashed on short datagram: %a" O.pp_status st
 
+(* ---- decode: the defensive receiver ---- *)
+
+let test_decode_student_roundtrip () =
+  let w = Wire.student ~gpa:2.75 ~year:2014 ~semester:2 () in
+  match Wire.decode (Wire.encode w) with
+  | Ok w' ->
+    Alcotest.(check int) "class id" w.Wire.class_id w'.Wire.class_id;
+    Alcotest.(check (float 0.0)) "gpa" w.Wire.gpa w'.Wire.gpa;
+    Alcotest.(check int) "year" w.Wire.year w'.Wire.year;
+    Alcotest.(check int) "semester" w.Wire.semester w'.Wire.semester
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+
+let test_decode_grad_roundtrip () =
+  let w = Wire.grad_student ~ssn:[| 11; 22; 33 |] ~courses:[ 5; 6; 7 ] () in
+  match Wire.decode (Wire.encode w) with
+  | Ok w' ->
+    Alcotest.(check (array int)) "ssn" w.Wire.ssn w'.Wire.ssn;
+    Alcotest.(check (list int)) "courses" w.Wire.courses w'.Wire.courses;
+    Alcotest.(check bool) "honest count" true (w'.Wire.claimed_courses = None)
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+
+let test_decode_preserves_the_lie () =
+  let w = Wire.grad_student ~courses:[ 1; 2 ] ~claimed_courses:4000 () in
+  match Wire.decode (Wire.encode w) with
+  | Ok w' ->
+    Alcotest.(check (list int)) "real words kept" [ 1; 2 ] w'.Wire.courses;
+    Alcotest.(check bool) "lie reported" true
+      (w'.Wire.claimed_courses = Some 4000)
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+
+let test_decode_rejects_junk () =
+  List.iter
+    (fun s ->
+      match Wire.decode s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %d junk bytes" (String.length s))
+    [ ""; "\003\000\000\000"; String.make 3 '\001'; String.make 21 '\001';
+      Wire.encode (Wire.student ()) ^ "x" ]
+
+let prop_decode_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"wire: encode/decode round-trip"
+    QCheck.(
+      quad (int_bound 40) (pair (int_bound 3000) (int_bound 8))
+        (triple (int_bound 999) (int_bound 999) (int_bound 999))
+        (list_of_size (Gen.int_range 0 8) (int_bound 0xffffff)))
+    (fun (gpa10, (year, semester), (s0, s1, s2), courses) ->
+      let w =
+        Wire.grad_student ~gpa:(float_of_int gpa10 /. 10.0) ~year ~semester
+          ~ssn:[| s0; s1; s2 |] ~courses ()
+      in
+      match Wire.decode (Wire.encode w) with
+      | Ok w' ->
+        w'.Wire.gpa = w.Wire.gpa && w'.Wire.year = year
+        && w'.Wire.semester = semester
+        && w'.Wire.ssn = w.Wire.ssn
+        && w'.Wire.courses = courses
+        && w'.Wire.claimed_courses = None
+      | Error _ -> false)
+
+(* ---- perturbed datagrams at the victim: always a classified outcome ---- *)
+
+let classified (o : O.t) =
+  match o.O.status with
+  | O.Exited _ | O.Crashed _ -> true
+  | _ -> false
+
+let test_every_truncation_classified () =
+  let full = Wire.encode (Wire.grad_student ~courses:[ 1; 2; 3 ] ()) in
+  for keep = 0 to String.length full do
+    let o, _ =
+      run_service ~checked:false (Wire.truncate_datagram ~keep full)
+    in
+    if not (classified o) then
+      Alcotest.failf "keep=%d: unclassified %a" keep O.pp_status o.O.status
+  done
+
+let test_count_inflation_classified () =
+  (* a wildly inflated count walks the copy loop off the segment: the
+     unchecked service crashes like a SIGSEGV, the checked one rejects *)
+  let d =
+    Wire.inflate_count ~claimed:0x0fffffff
+      (Wire.encode (Wire.grad_student ~courses:[ 1 ] ()))
+  in
+  let o, _ = run_service ~checked:false d in
+  (match o.O.status with
+  | O.Crashed _ | O.Timeout _ -> ()
+  | st -> Alcotest.failf "unchecked: expected crash/DoS, got %a" O.pp_status st);
+  let o, m = run_service ~checked:true d in
+  (match o.O.status with
+  | O.Exited 0 -> ()
+  | st -> Alcotest.failf "checked: expected clean exit, got %a" O.pp_status st);
+  Alcotest.(check int) "checked service rejected it" 1
+    (Vmem.read_i32 (Machine.mem m) (Machine.global_addr_exn m "rejected"))
+
+let prop_bit_flips_classified =
+  QCheck.Test.make ~count:300 ~name:"victim: bit-flipped datagrams classified"
+    QCheck.(pair (int_bound 1000) (int_range 1 255))
+    (fun (pos, mask) ->
+      let d =
+        Wire.flip_byte ~pos ~mask
+          (Wire.encode (Wire.grad_student ~courses:[ 1; 2; 3 ] ()))
+      in
+      let o, _ = run_service ~checked:false d in
+      classified o)
+
+(* ---- delivery tampering hook ---- *)
+
+let test_tamper_hook () =
+  let w = Wire.student () in
+  Fun.protect
+    ~finally:(fun () -> Wire.set_tamper None)
+    (fun () ->
+      Wire.set_tamper (Some (Wire.truncate_datagram ~keep:4));
+      Alcotest.(check int) "tampered delivery" 4
+        (String.length (Wire.deliver w)));
+  Alcotest.(check int) "hook cleared" (Wire.size w)
+    (String.length (Wire.deliver w))
+
 let prop_encode_size =
   QCheck.Test.make ~count:200 ~name:"wire: encoded size formula"
     QCheck.(list_of_size (Gen.int_range 0 16) (int_bound 1000))
@@ -141,6 +259,15 @@ let suite =
       t "honest grad still overflows the pool" test_benign_grad_overflows_silently;
       t "checked service rejects oversize class" test_checked_service_rejects_grad;
       t "truncated datagram harmless" test_truncated_datagram_harmless;
+      t "decode: student round-trips" test_decode_student_roundtrip;
+      t "decode: grad round-trips" test_decode_grad_roundtrip;
+      t "decode: inflated count preserved as the lie" test_decode_preserves_the_lie;
+      t "decode: junk rejected" test_decode_rejects_junk;
+      t "victim: every truncation prefix classified" test_every_truncation_classified;
+      t "victim: count inflation classified both ways" test_count_inflation_classified;
+      t "wire: delivery tamper hook" test_tamper_hook;
       QCheck_alcotest.to_alcotest prop_encode_size;
       QCheck_alcotest.to_alcotest prop_courses_roundtrip;
+      QCheck_alcotest.to_alcotest prop_decode_roundtrip;
+      QCheck_alcotest.to_alcotest prop_bit_flips_classified;
     ] )
