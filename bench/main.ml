@@ -1,9 +1,16 @@
 (** Benchmark harness: one Bechamel group per experiment of DESIGN.md plus
-    substrate micro-benchmarks. Prints one OLS-estimated time per bench.
+    substrate micro-benchmarks. Prints one OLS-estimated time per bench
+    and writes each group's estimates to [BENCH_<group>.json].
+
+    Groups are selected with a comma-separated argument:
+    {[ bench/main.exe e8,service ]}
+    No argument runs everything.
 
     The E8 group is the quantitative half of the defense-overhead
     experiment: the same benign pool-server workload timed under every
-    defense configuration. *)
+    defense configuration. The service group is the quantitative half of
+    E12: batch throughput at 1/2/4 domains plus the amortisation ladder
+    (fresh load, snapshot rewind, memo hit). *)
 
 open Bechamel
 open Toolkit
@@ -217,36 +224,144 @@ let ablation_group =
         ignore (Driver.run Pna_attacks.L13_stack_ret.attack)));
   ]
 
+(* E12: the scenario service — batch throughput at each domain count and
+   the amortisation ladder a request descends: fresh image load, snapshot
+   rewind of a prepared machine, memo-cache hit *)
+module Service = Pna_service.Service
+
+let service_stream =
+  List.init 32 (fun _ ->
+      Service.job ~config:Config.none ~max_steps:60_000
+        Pna.Experiments.benign_pool)
+
+let bench_service_batch n =
+  Test.make
+    ~name:(Fmt.str "service/batch_32_benign_%dd" n)
+    (stage (fun () ->
+         let svc = Service.create ~jobs:n ~memo:false () in
+         ignore (Service.run_batch svc service_stream);
+         Service.shutdown svc))
+
+let service_group =
+  [ bench_service_batch 1; bench_service_batch 2; bench_service_batch 4 ]
+  @ [
+      Test.make ~name:"service/fresh_load_run" (stage (fun () ->
+          ignore (Driver.run Pna.Experiments.benign_pool)));
+      Test.make ~name:"service/snapshot_rewind" (stage (
+          let p = Driver.prepare Pna.Experiments.benign_pool in
+          fun () -> ignore (Driver.reset p)));
+      Test.make ~name:"service/run_prepared" (stage (
+          let p = Driver.prepare Pna.Experiments.benign_pool in
+          fun () -> ignore (Driver.run_prepared p)));
+      Test.make ~name:"service/memo_hit" (stage (
+          let svc = Service.create ~jobs:1 () in
+          let j = Service.job ~config:Config.none Pna.Experiments.benign_pool in
+          let (_ : Service.reply) = Service.exec svc j in
+          fun () -> ignore (Service.exec svc j)));
+    ]
+
 (* ------------------------------------------------------------------ *)
 
-let all_tests =
-  micro_group @ e1_group @ e2_e3_group @ e4_group @ e5_group @ e6_group
-  @ e7_group @ e8_group @ chaos_group @ syntax_group @ analysis_mode_group
-  @ serial_group @ e11_group @ ablation_group
+let groups =
+  [
+    ("micro", micro_group);
+    ("e1", e1_group);
+    ("e2e3", e2_e3_group);
+    ("e4", e4_group);
+    ("e5", e5_group);
+    ("e6", e6_group);
+    ("e7", e7_group);
+    ("e8", e8_group);
+    ("e9", chaos_group);
+    ("syntax", syntax_group);
+    ("analysis", analysis_mode_group);
+    ("serial", serial_group);
+    ("e11", e11_group);
+    ("ablation", ablation_group);
+    ("service", service_group);
+  ]
+
+let selected_groups () =
+  if Array.length Sys.argv <= 1 then groups
+  else
+    List.map
+      (fun w ->
+        match List.assoc_opt w groups with
+        | Some g -> (w, g)
+        | None ->
+          Fmt.epr "unknown bench group %S (available: %s)@." w
+            (String.concat ", " (List.map fst groups));
+          exit 2)
+      (String.split_on_char ',' Sys.argv.(1))
 
 let benchmark test =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
   Benchmark.all cfg instances test
 
+let ols =
+  Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+
+(* (bench name, OLS ns/run estimate if it converged) *)
+let measure test =
+  let results = Analyze.all ols Instance.monotonic_clock (benchmark test) in
+  Hashtbl.fold
+    (fun name ols_result acc ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> Some est
+        | _ -> None
+      in
+      (name, est) :: acc)
+    results []
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* machine-readable per-group results, for CI artifacts and cross-run
+   comparison *)
+let write_json group rows =
+  let path = Fmt.str "BENCH_%s.json" group in
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  Fmt.pf ppf "[@.";
+  List.iteri
+    (fun i (name, est) ->
+      Fmt.pf ppf "  {\"name\": \"%s\", \"ns_per_run\": %s}%s@."
+        (json_escape name)
+        (match est with Some e -> Fmt.str "%.1f" e | None -> "null")
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Fmt.pf ppf "]@.";
+  Format.pp_print_flush ppf ();
+  close_out oc;
+  path
+
 let () =
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
-  in
-  Fmt.pr "%-40s %16s@." "benchmark" "time/run";
-  Fmt.pr "%s@." (String.make 58 '-');
+  let chosen = selected_groups () in
+  let total = ref 0 in
   List.iter
-    (fun test ->
-      let results = benchmark test in
-      let results = Analyze.all ols Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          let time =
-            match Analyze.OLS.estimates ols_result with
-            | Some [ est ] -> Fmt.str "%12.1f ns" est
-            | _ -> "(no estimate)"
-          in
-          Fmt.pr "%-40s %16s@." name time)
-        results)
-    all_tests;
-  Fmt.pr "@.bench: done (%d benchmarks)@." (List.length all_tests)
+    (fun (gname, tests) ->
+      Fmt.pr "@.== %s ==@.%-40s %16s@.%s@." gname "benchmark" "time/run"
+        (String.make 58 '-');
+      let rows = List.concat_map measure tests in
+      List.iter
+        (fun (name, est) ->
+          Fmt.pr "%-40s %16s@." name
+            (match est with
+            | Some e -> Fmt.str "%12.1f ns" e
+            | None -> "(no estimate)"))
+        rows;
+      let path = write_json gname rows in
+      Fmt.pr "-> %s@." path;
+      total := !total + List.length rows)
+    chosen;
+  Fmt.pr "@.bench: done (%d benchmarks in %d groups)@." !total
+    (List.length chosen)

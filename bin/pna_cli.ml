@@ -3,7 +3,8 @@
     Subcommands map one-to-one onto the experiments of DESIGN.md:
     [matrix] (E1), [stackguard] (E2/E3), [leak] (E4), [dos] (E5),
     [memleak] (E6), [audit] (E7), [defmatrix]/[overhead] (E8),
-    [chaos] (E9), [fuzz] (E10), [repair] (E11), plus
+    [chaos] (E9), [fuzz] (E10), [repair] (E11), [throughput] (E12),
+    plus [batch]/[serve] to drive the parallel scenario service,
     [list]/[run]/[layout] for exploration and [all] to regenerate
     everything. Experiment commands exit non-zero when the experiment
     fails its verdict, so they can gate CI. *)
@@ -233,8 +234,121 @@ let chaos_cmd =
     Term.(const run $ seed_t $ trials_t $ rate_t $ dump_t $ replay_t
           $ one_config_t)
 
+(* ---- the scenario service: batch / serve / throughput (E12) ---- *)
+
+module Service = Pna_service.Service
+
+let jobs_t =
+  Arg.(value & opt int 4 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains; clamped by the host's recommended domain              count (floor 4, so small hosts still exercise concurrency).")
+
+let max_steps_t =
+  Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N"
+         ~doc:"Per-job deadline in interpreter steps.")
+
+let batch_cmd =
+  let verify_t =
+    Arg.(value & flag & info [ "verify" ]
+           ~doc:"Re-run the batch sequentially through the driver and exit              non-zero unless every pooled reply matches.")
+  in
+  let one_config_t =
+    Arg.(value & opt (some config_arg) None
+         & info [ "d"; "defense" ] ~docv:"CONFIG"
+             ~doc:"Restrict the matrix to one defense configuration              (default: all of them).")
+  in
+  let run jobs max_steps verify config =
+    let configs = match config with Some c -> [ c ] | None -> Config.all in
+    let js = Service.matrix_jobs ~configs ?max_steps () in
+    let svc = Service.create ~jobs () in
+    let workers = Service.jobs svc in
+    let replies, secs = Service.timed (fun () -> Service.run_batch svc js) in
+    let st = Service.stats svc in
+    Service.shutdown svc;
+    List.iter (fun r -> Fmt.pr "%a@." Service.pp_reply r) replies;
+    Fmt.pr "@.%d jobs on %d workers in %.3fs (%.0f jobs/s)@.%a@."
+      (List.length js) workers secs
+      (float_of_int (List.length js) /. Float.max secs 1e-9)
+      Service.pp_stats st;
+    if verify then begin
+      let sequential =
+        List.map
+          (fun (j : Service.job) ->
+            Service.reply_of_result
+              (Driver.run ~config:j.Service.j_config ?max_steps
+                 j.Service.j_attack))
+          js
+      in
+      let strip (r : Service.reply) = { r with Service.r_cached = false } in
+      let mismatches =
+        List.filter
+          (fun (a, b) -> strip a <> strip b)
+          (List.combine replies sequential)
+      in
+      match mismatches with
+      | [] -> Fmt.pr "@.verify: all %d replies match the sequential driver@."
+                (List.length js)
+      | ms ->
+        List.iter
+          (fun (a, b) ->
+            Fmt.pr "@.MISMATCH@.  pooled:     %a@.  sequential: %a@."
+              Service.pp_reply a Service.pp_reply b)
+          ms;
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Run the attack x defense matrix through the parallel scenario              service.")
+    Term.(const run $ jobs_t $ max_steps_t $ verify_t $ one_config_t)
+
+let serve_cmd =
+  let requests_t =
+    Arg.(value & opt int 200 & info [ "n"; "requests" ] ~docv:"N"
+           ~doc:"Length of the synthetic request stream.")
+  in
+  let seed_t =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+           ~doc:"Stream seed; the same seed always yields the same stream.")
+  in
+  let chaos_every_t =
+    Arg.(value & opt int 7 & info [ "chaos-every" ] ~docv:"K"
+           ~doc:"Every K-th request runs supervised under a seeded fault              plan (0 disables chaos requests).")
+  in
+  let run jobs requests seed chaos_every verbose =
+    let js = Service.synth_stream ~chaos_every ~seed ~n:requests () in
+    let svc = Service.create ~jobs () in
+    let workers = Service.jobs svc in
+    let replies, secs = Service.timed (fun () -> Service.run_batch svc js) in
+    let st = Service.stats svc in
+    Service.shutdown svc;
+    if verbose then List.iter (fun r -> Fmt.pr "%a@." Service.pp_reply r) replies;
+    let wins =
+      List.length (List.filter (fun r -> r.Service.r_success) replies)
+    in
+    Fmt.pr "served %d requests (seed %d) on %d workers in %.3fs (%.0f req/s)@.\
+            attacks succeeded on %d of %d requests@.%a@."
+      requests seed workers secs
+      (float_of_int requests /. Float.max secs 1e-9)
+      wins requests Service.pp_stats st
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a deterministic synthetic request stream over the              catalogue and report throughput.")
+    Term.(const run $ jobs_t $ requests_t $ seed_t $ chaos_every_t $ verbose_t)
+
+let throughput_cmd =
+  let repeats_t =
+    Arg.(value & opt int 24 & info [ "repeats" ] ~docv:"N"
+           ~doc:"Repetitions of the benign request block in the memoization              phases.")
+  in
+  let run repeats = report E.pp_e12 (E.e12 ~repeats ()) E.e12_ok in
+  Cmd.v
+    (Cmd.info "throughput"
+       ~doc:"E12: scenario-service throughput — snapshot reuse, memoization              and domain scaling.")
+    Term.(const run $ repeats_t)
+
 let all_cmd =
-  simple "all" "Run every experiment (E1-E11)." (fun () ->
+  simple "all" "Run every experiment (E1-E12)." (fun () ->
       E.run_all Fmt.stdout ())
 
 (* ---- layout ---- *)
@@ -485,6 +599,9 @@ let () =
             chaos_cmd;
             fuzz_cmd;
             repair_cmd;
+            batch_cmd;
+            serve_cmd;
+            throughput_cmd;
             layout_cmd;
             inspect_cmd;
             source_cmd;

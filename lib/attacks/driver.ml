@@ -14,30 +14,68 @@ type result = {
   verdict : Catalog.verdict;
 }
 
-let run ?(config = Config.none) (a : Catalog.t) =
-  let m = Interp.load ~config a.Catalog.program in
+(* Judge, run and check on an already-loaded machine. [run] and
+   [run_prepared] share this so a rewound machine and a fresh load are
+   driven identically — the determinism the service layer relies on. *)
+let run_on ?max_steps m (a : Catalog.t) ~config =
   let ints, strings = a.Catalog.mk_input m in
   Machine.set_input ~ints ~strings m;
-  let outcome = Interp.run m a.Catalog.program ~entry:a.Catalog.entry in
+  let outcome = Interp.run ?max_steps m a.Catalog.program ~entry:a.Catalog.entry in
   let verdict = a.Catalog.check m outcome in
   { attack = a; config; outcome; verdict }
+
+let run ?(config = Config.none) ?max_steps (a : Catalog.t) =
+  run_on ?max_steps (Interp.load ~config a.Catalog.program) a ~config
 
 (* Run the §5.1 hardened variant of [a] under the same attacker input. The
    hardened program is judged safe when it terminates normally and no
    hijack or corruption event fired. *)
-let run_hardened ?(config = Config.none) (a : Catalog.t) =
+let run_hardened ?(config = Config.none) ?max_steps (a : Catalog.t) =
   Option.map
     (fun program ->
       let m = Interp.load ~config program in
       let ints, strings = a.Catalog.mk_input m in
       Machine.set_input ~ints ~strings m;
-      let outcome = Interp.run m program ~entry:a.Catalog.entry in
+      let outcome = Interp.run ?max_steps m program ~entry:a.Catalog.entry in
       let safe =
         Outcome.exited_normally outcome
         && not (List.exists Pna_machine.Event.is_hijack outcome.Outcome.events)
       in
       (outcome, safe))
     a.Catalog.hardened
+
+(* --- prepared scenarios: load once, rewind per run --- *)
+
+type prepared = {
+  pr_attack : Catalog.t;
+  pr_config : Config.t;
+  pr_machine : Machine.t;
+  pr_image : Machine.snapshot;  (** the post-load state rewound to *)
+  mutable pr_restores : int;
+}
+
+let prepare ?(config = Config.none) (a : Catalog.t) =
+  let m = Interp.load ~config a.Catalog.program in
+  {
+    pr_attack = a;
+    pr_config = config;
+    pr_machine = m;
+    pr_image = Machine.snapshot m;
+    pr_restores = 0;
+  }
+
+let reset p =
+  Machine.restore p.pr_machine p.pr_image;
+  p.pr_restores <- p.pr_restores + 1;
+  p.pr_machine
+
+let restores p = p.pr_restores
+
+let run_prepared ?max_steps p =
+  run_on ?max_steps (reset p) p.pr_attack ~config:p.pr_config
+
+let prepared_input p =
+  p.pr_attack.Catalog.mk_input (reset p)
 
 (* --- supervised execution under a fault plan --- *)
 
@@ -68,11 +106,18 @@ let transient (o : Outcome.t) =
   | _ -> false
 
 let supervise ?(config = Config.none) ?(max_retries = 3)
-    ?(max_steps = default_budget) ~plan (a : Catalog.t) =
+    ?(max_steps = default_budget) ?reload ~plan (a : Catalog.t) =
   let eng = Chaos.create plan in
+  let load =
+    (* [reload] lets a serving layer hand out a rewound prepared machine
+       instead of rebuilding the image for every attempt *)
+    match reload with
+    | Some f -> f
+    | None -> fun () -> Interp.load ~config a.Catalog.program
+  in
   let run_once () =
     match
-      let m = Interp.load ~config a.Catalog.program in
+      let m = load () in
       let ints, strings = a.Catalog.mk_input m in
       let strings = Chaos.perturb_strings eng strings in
       Machine.set_input ~ints ~strings m;

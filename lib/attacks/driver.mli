@@ -12,12 +12,40 @@ type result = {
   verdict : Catalog.verdict;
 }
 
-val run : ?config:Config.t -> Catalog.t -> result
-(** Load, compute attacker input against the image, run, judge. *)
+val run : ?config:Config.t -> ?max_steps:int -> Catalog.t -> result
+(** Load, compute attacker input against the image, run, judge.
+    [max_steps] bounds the interpreter budget — the same deadline knob
+    {!supervise} has always taken, so a serving layer can enforce per-job
+    deadlines uniformly. *)
 
-val run_hardened : ?config:Config.t -> Catalog.t -> (Outcome.t * bool) option
+val run_hardened :
+  ?config:Config.t -> ?max_steps:int -> Catalog.t -> (Outcome.t * bool) option
 (** Run the §5.1 hardened twin under the same attacker input; the boolean
     is "safe": exited normally with no hijack event. *)
+
+(** {1 Prepared scenarios: load once, rewind per run}
+
+    A [prepared] value owns a loaded machine plus a {!Machine.snapshot} of
+    its post-load state. [run_prepared] rewinds to that snapshot instead
+    of re-deriving the image from the program — byte-identical behaviour
+    at a fraction of the setup cost. The machine is owned by the prepared
+    value: a prepared scenario must only be driven from one domain at a
+    time. *)
+
+type prepared
+
+val prepare : ?config:Config.t -> Catalog.t -> prepared
+val run_prepared : ?max_steps:int -> prepared -> result
+
+val reset : prepared -> Machine.t
+(** Rewind the machine to its post-load snapshot and return it. *)
+
+val restores : prepared -> int
+(** How many times this prepared image has been rewound. *)
+
+val prepared_input : prepared -> int list * string list
+(** The attacker input computed against the (rewound) prepared image —
+    what a memoizing cache hashes. *)
 
 (** {1 Supervised execution under a fault plan} *)
 
@@ -37,6 +65,7 @@ val supervise :
   ?config:Config.t ->
   ?max_retries:int ->
   ?max_steps:int ->
+  ?reload:(unit -> Machine.t) ->
   plan:Pna_chaos.Plan.t ->
   Catalog.t ->
   supervised
@@ -46,7 +75,9 @@ val supervise :
     — plan faults are one-shot, so retries run progressively cleaner. A
     retried run that then completes is reported as
     [Outcome.Recovered]. No injected fault ever escapes as a raw
-    exception; every termination is a classified outcome. *)
+    exception; every termination is a classified outcome. [reload]
+    replaces the per-attempt image build; a serving layer passes a thunk
+    that rewinds a prepared machine ({!reset}) instead. *)
 
 val pp_supervised : Format.formatter -> supervised -> unit
 

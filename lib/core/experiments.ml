@@ -571,6 +571,125 @@ let pp_e11 ppf rows =
     fixed (List.length rows)
 
 (* ------------------------------------------------------------------ *)
+(* E12 (extension): throughput — the parallel scenario service           *)
+
+module Service = Pna_service.Service
+
+type service_phase = {
+  sp_label : string;
+  sp_jobs : int;  (** effective worker-domain count *)
+  sp_requests : int;
+  sp_seconds : float;
+  sp_stats : Service.stats;  (** cumulative for that phase's service *)
+}
+
+type service_report = {
+  sr_phases : service_phase list;
+  sr_agree : bool;
+      (** pooled replies over the whole catalogue are verdict-identical
+          to the sequential {!Driver.run} *)
+  sr_memo_speedup : float;
+      (** same benign request stream, executing every request vs serving
+          repeats from the memo cache (one worker, so the ratio isolates
+          memoization from parallelism) *)
+}
+
+(* capped so the DoS/OOM catalogue entries cannot stall the sweep; both
+   the pooled and the sequential side run under the same cap, so the
+   comparison stays exact *)
+let e12_budget = 60_000
+
+(* The memoization target: the benign E8 pool-server workload requested
+   repeatedly under every defense — the steady state of a scenario
+   service fed by a CI loop. *)
+let e12_stream ~repeats =
+  List.concat
+    (List.init repeats (fun _ ->
+         List.map
+           (fun config ->
+             Service.job ~config ~max_steps:e12_budget benign_pool)
+           (Config.all @ [ Config.pool_discipline ])))
+
+let e12_phase ~label ~jobs ~memo stream =
+  let svc = Service.create ~jobs ~memo () in
+  let (_ : Service.reply list), secs =
+    Service.timed (fun () -> Service.run_batch svc stream)
+  in
+  let phase =
+    {
+      sp_label = label;
+      sp_jobs = Service.jobs svc;
+      sp_requests = List.length stream;
+      sp_seconds = secs;
+      sp_stats = Service.stats svc;
+    }
+  in
+  Service.shutdown svc;
+  phase
+
+let e12 ?(repeats = 24) ?(scale = [ 1; 2; 4 ]) () =
+  (* determinism: whole catalogue, undefended and fully defended, pooled
+     at 4 domains vs the sequential driver *)
+  let verify_jobs =
+    Service.matrix_jobs
+      ~configs:[ Config.none; Config.full ]
+      ~max_steps:e12_budget ()
+  in
+  let sequential =
+    List.map
+      (fun (j : Service.job) ->
+        Service.reply_of_result
+          (Driver.run ~config:j.Service.j_config ~max_steps:e12_budget
+             j.Service.j_attack))
+      verify_jobs
+  in
+  let svc = Service.create ~jobs:4 () in
+  let pooled = Service.run_batch svc verify_jobs in
+  Service.shutdown svc;
+  let strip (r : Service.reply) = { r with Service.r_cached = false } in
+  let sr_agree = List.map strip pooled = List.map strip sequential in
+  (* memoization: one worker executing every request, then one worker
+     serving the identical stream mostly from the cache *)
+  let stream = e12_stream ~repeats in
+  let cold = e12_phase ~label:"memo off" ~jobs:1 ~memo:false stream in
+  let warm = e12_phase ~label:"memo on" ~jobs:1 ~memo:true stream in
+  (* domain scaling over the same stream, memoization off so the work is
+     real; requests/second here is hardware-honest, not asserted *)
+  let scaling =
+    List.map
+      (fun n ->
+        e12_phase ~label:(Fmt.str "%d domain%s" n (if n = 1 then "" else "s"))
+          ~jobs:n ~memo:false stream)
+      scale
+  in
+  {
+    sr_phases = (cold :: warm :: scaling);
+    sr_agree;
+    sr_memo_speedup =
+      (if warm.sp_seconds > 0. then cold.sp_seconds /. warm.sp_seconds
+       else Float.infinity);
+  }
+
+let pp_service_phase ppf p =
+  let per_sec =
+    if p.sp_seconds > 0. then float_of_int p.sp_requests /. p.sp_seconds
+    else Float.infinity
+  in
+  Fmt.pf ppf "%-10s jobs=%d  %4d req in %6.3fs  (%8.0f req/s)  %a" p.sp_label
+    p.sp_jobs p.sp_requests p.sp_seconds per_sec Service.pp_stats_line
+    p.sp_stats
+
+let pp_e12 ppf r =
+  Fmt.pf ppf
+    "@[<v>E12 — scenario-service throughput (snapshot reuse + memoization)@,%s@,"
+    (String.make 100 '-');
+  List.iter (fun p -> Fmt.pf ppf "%a@," pp_service_phase p) r.sr_phases;
+  Fmt.pf ppf
+    "=> pooled verdicts %s the sequential driver; memoization speeds the \
+     repeated benign stream %.1fx@,\
+     \   (domain scaling is hardware-dependent — see bench/main.exe service)@]"
+    (if r.sr_agree then "match" else "DIVERGE FROM")
+    r.sr_memo_speedup
 
 (* ------------------------------------------------------------------ *)
 (* Pass/fail verdicts per experiment, so callers (the CLI in
@@ -637,6 +756,11 @@ let e10_ok t =
 
 let e11_ok rows = List.for_all (fun r -> r.residual_flagged) rows
 
+let e12_ok r =
+  (* parallel substitution is sound (identical verdicts) and the memo
+     cache actually pays for itself on the repeated benign stream *)
+  r.sr_agree && r.sr_memo_speedup >= 2.0
+
 (* ------------------------------------------------------------------ *)
 
 let run_all ppf () =
@@ -644,4 +768,5 @@ let run_all ppf () =
     (e1 ()) pp_e2_e3 (e2_e3 ()) pp_e4 (e4 ()) pp_e5 (e5 ()) pp_e6 (e6 ())
     pp_e7 (e7 ()) pp_e8_matrix (e8_matrix ()) pp_e8_overhead (e8_overhead ())
     pp_e9 (e9 ());
-  Fmt.pf ppf "@.%a@.@.%a@." pp_e10 (e10 ()) pp_e11 (e11 ())
+  Fmt.pf ppf "@.%a@.@.%a@.@.%a@." pp_e10 (e10 ()) pp_e11 (e11 ())
+    pp_e12 (e12 ())

@@ -57,3 +57,10 @@ let pp_arena ppf a =
   Fmt.pf ppf "[0x%08x,+%d) %s" a.a_base a.a_size (origin_name a.a_origin)
 
 let count t = List.length t.arenas
+
+(* The registry is a list of immutable records, so a snapshot is just the
+   list itself. *)
+type snapshot = arena list
+
+let snapshot t = t.arenas
+let restore t snap = t.arenas <- snap

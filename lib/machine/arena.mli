@@ -25,3 +25,8 @@ val limit : arena -> int
 val origin_name : origin -> string
 val pp_arena : Format.formatter -> arena -> unit
 val count : t -> int
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

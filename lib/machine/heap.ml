@@ -198,6 +198,32 @@ let free_partial t payload n =
     tail_size + header_size
   end
 
+(* Allocator bookkeeping snapshot: the block headers themselves live in
+   simulated memory and are captured by [Vmem.snapshot]; this records the
+   out-of-band state (break pointer, statistics). *)
+type snapshot = { sn_brk : int; sn_stats : stats }
+
+let snapshot t =
+  {
+    sn_brk = t.brk;
+    sn_stats =
+      {
+        allocs = t.stats.allocs;
+        frees = t.stats.frees;
+        in_use = t.stats.in_use;
+        peak = t.stats.peak;
+        leaked = t.stats.leaked;
+      };
+  }
+
+let restore t snap =
+  t.brk <- snap.sn_brk;
+  t.stats.allocs <- snap.sn_stats.allocs;
+  t.stats.frees <- snap.sn_stats.frees;
+  t.stats.in_use <- snap.sn_stats.in_use;
+  t.stats.peak <- snap.sn_stats.peak;
+  t.stats.leaked <- snap.sn_stats.leaked
+
 let live_blocks t =
   let n = ref 0 in
   iter_blocks t (fun _ _ allocated -> if allocated then incr n);

@@ -39,6 +39,16 @@ val free_partial : t -> int -> int -> int
     Returns the number of stranded bytes (tail + its new header), possibly
     0 when the block is too small to split. *)
 
+type snapshot
+
+val snapshot : t -> snapshot
+(** Out-of-band allocator state (break pointer, statistics); the block
+    headers live in simulated memory and are covered by {!Pna_vmem.Vmem}
+    snapshots. *)
+
+val restore : t -> snapshot -> unit
+(** Does not touch the chaos hook — runtime configuration, not state. *)
+
 val block_size : t -> int -> int
 val live_blocks : t -> int
 val iter_blocks : t -> (int -> int -> bool -> unit) -> unit

@@ -574,5 +574,94 @@ let next_string t =
 let print t s = t.output <- s :: t.output
 let output t = List.rev t.output
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore                                                  *)
+
+(* A full freeze of the simulated process: the address space (via
+   [Vmem.snapshot]) plus every piece of out-of-band mutable state — call
+   stack, shadow stack, allocator bookkeeping, arena registry, symbol
+   table, segment cursors, vtable/global/literal tables, input and output
+   streams. Taken right after [Interp.load], it lets a serving layer
+   rewind a prepared machine between requests instead of rebuilding the
+   image from the program. *)
+type snapshot = {
+  ms_mem : Pna_vmem.Vmem.snapshot;
+  ms_heap : Heap.snapshot;
+  ms_text : Text.snapshot;
+  ms_arenas : Arena.snapshot;
+  ms_sp : int;
+  ms_fp : int;
+  ms_frames : Frame.t list;
+  ms_shadow : int list;
+  ms_events : Event.t list;
+  ms_data_cursor : int;
+  ms_bss_cursor : int;
+  ms_rodata_cursor : int;
+  ms_vtable_addrs : (string, (int * int) list) Hashtbl.t;
+  ms_vtable_classes : (int, string * int) Hashtbl.t;
+  ms_globals : (string, int * Ctype.t) Hashtbl.t;
+  ms_literals : (string, int) Hashtbl.t;
+  ms_input_ints : int list;
+  ms_input_strings : string list;
+  ms_output : string list;
+}
+
+(* Frames carry one mutable field (the locals list); copy the records so
+   later [alloc_local]s cannot reach back into the snapshot. *)
+let copy_frame (f : Frame.t) = { f with Frame.fr_locals = f.Frame.fr_locals }
+
+let snapshot t =
+  {
+    ms_mem = Pna_vmem.Vmem.snapshot t.mem;
+    ms_heap = Heap.snapshot t.heap;
+    ms_text = Text.snapshot t.text;
+    ms_arenas = Arena.snapshot t.arenas;
+    ms_sp = t.sp;
+    ms_fp = t.fp;
+    ms_frames = List.map copy_frame t.frames;
+    ms_shadow = t.shadow;
+    ms_events = t.events;
+    ms_data_cursor = t.data_cursor;
+    ms_bss_cursor = t.bss_cursor;
+    ms_rodata_cursor = t.rodata_cursor;
+    ms_vtable_addrs = Hashtbl.copy t.vtable_addrs;
+    ms_vtable_classes = Hashtbl.copy t.vtable_classes;
+    ms_globals = Hashtbl.copy t.globals;
+    ms_literals = Hashtbl.copy t.literals;
+    ms_input_ints = t.input_ints;
+    ms_input_strings = t.input_strings;
+    ms_output = t.output;
+  }
+
+let restore_table dst src =
+  Hashtbl.reset dst;
+  Hashtbl.iter (Hashtbl.replace dst) src
+
+(* Rewind the whole process to the snapshot. Chaos hooks are cleared —
+   a restored machine must behave exactly like a freshly loaded one, and
+   fault injection is re-armed per run by its supervisor. *)
+let restore t snap =
+  Pna_vmem.Vmem.restore t.mem snap.ms_mem;
+  Heap.restore t.heap snap.ms_heap;
+  Text.restore t.text snap.ms_text;
+  Arena.restore t.arenas snap.ms_arenas;
+  t.sp <- snap.ms_sp;
+  t.fp <- snap.ms_fp;
+  t.frames <- List.map copy_frame snap.ms_frames;
+  t.shadow <- snap.ms_shadow;
+  t.events <- snap.ms_events;
+  t.data_cursor <- snap.ms_data_cursor;
+  t.bss_cursor <- snap.ms_bss_cursor;
+  t.rodata_cursor <- snap.ms_rodata_cursor;
+  restore_table t.vtable_addrs snap.ms_vtable_addrs;
+  restore_table t.vtable_classes snap.ms_vtable_classes;
+  restore_table t.globals snap.ms_globals;
+  restore_table t.literals snap.ms_literals;
+  t.input_ints <- snap.ms_input_ints;
+  t.input_strings <- snap.ms_input_strings;
+  t.output <- snap.ms_output;
+  set_chaos t None;
+  set_chaos_alloc t None
+
 let pp_events ppf t =
   Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Event.pp) (events t)

@@ -48,6 +48,22 @@ val set_chaos_alloc : t -> (int -> bool) option -> unit
 val events : t -> Event.t list
 (** Oldest first. *)
 
+(** {1 Snapshot / restore} *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Freeze the whole simulated process: address space (contents, taint,
+    permissions, write trace) plus call stack, shadow stack, allocator
+    bookkeeping, arena registry, symbol table, segment cursors,
+    vtable/global/literal tables and the input/output streams. Taken after
+    {!Pna_minicpp.Interp.load}, it lets a serving layer rewind a prepared
+    machine between requests instead of rebuilding the image. *)
+
+val restore : t -> snapshot -> unit
+(** Rewind to the snapshot. Chaos hooks are cleared: a restored machine
+    behaves exactly like a freshly loaded one. *)
+
 (** {1 Text symbols and vtables} *)
 
 val register_function : t -> string -> int

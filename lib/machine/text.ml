@@ -55,6 +55,26 @@ let symbol_at t addr =
 
 let return_site t name = address_exn t name + 5
 
+type snapshot = {
+  sn_next : int;
+  sn_by_name : (string, int) Hashtbl.t;
+  sn_by_addr : (int, string) Hashtbl.t;
+}
+
+let snapshot t =
+  {
+    sn_next = t.next;
+    sn_by_name = Hashtbl.copy t.by_name;
+    sn_by_addr = Hashtbl.copy t.by_addr;
+  }
+
+let restore t snap =
+  t.next <- snap.sn_next;
+  Hashtbl.reset t.by_name;
+  Hashtbl.iter (Hashtbl.replace t.by_name) snap.sn_by_name;
+  Hashtbl.reset t.by_addr;
+  Hashtbl.iter (Hashtbl.replace t.by_addr) snap.sn_by_addr
+
 let symbols t =
   Hashtbl.fold (fun name addr acc -> (name, addr) :: acc) t.by_name []
   |> List.sort (fun (_, a) (_, b) -> compare a b)

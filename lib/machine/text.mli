@@ -23,3 +23,8 @@ val return_site : t -> string -> int
 
 val symbols : t -> (string * int) list
 (** Sorted by address. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

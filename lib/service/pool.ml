@@ -1,0 +1,134 @@
+(** A fixed-size pool of OCaml 5 domains draining a bounded job queue.
+
+    The queue is the backpressure mechanism: [submit] blocks once
+    [queue_cap] jobs are waiting, so a fast producer cannot outrun the
+    workers by an unbounded margin. Each worker owns a private context
+    built by [mk_ctx] *inside* its own domain — the service layer keeps
+    its per-worker machine caches there, so no simulated machine is ever
+    touched by two domains. *)
+
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type 'a future = {
+  f_mutex : Mutex.t;
+  f_cond : Condition.t;
+  mutable f_state : 'a state;
+}
+
+let fulfil fut v =
+  Mutex.lock fut.f_mutex;
+  fut.f_state <- v;
+  Condition.broadcast fut.f_cond;
+  Mutex.unlock fut.f_mutex
+
+let await fut =
+  Mutex.lock fut.f_mutex;
+  let rec wait () =
+    match fut.f_state with
+    | Pending ->
+      Condition.wait fut.f_cond fut.f_mutex;
+      wait ()
+    | Done v ->
+      Mutex.unlock fut.f_mutex;
+      v
+    | Failed exn ->
+      Mutex.unlock fut.f_mutex;
+      raise exn
+  in
+  wait ()
+
+let peek fut =
+  Mutex.lock fut.f_mutex;
+  let st = fut.f_state in
+  Mutex.unlock fut.f_mutex;
+  match st with Pending -> None | Done v -> Some (Ok v) | Failed e -> Some (Error e)
+
+type 'ctx t = {
+  jobs : int;
+  queue_cap : int;
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  queue : ('ctx -> unit) Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t array;
+}
+
+(* How many workers a request for [n] actually gets: at least one, at most
+   the hardware's recommended domain count — except that the ceiling never
+   drops below 4, so a 4-way determinism check still exercises the
+   concurrent path on small CI hosts (domains oversubscribe harmlessly). *)
+let clamp_jobs n = max 1 (min n (max 4 (Domain.recommended_domain_count ())))
+
+let worker pool mk_ctx () =
+  let ctx = mk_ctx () in
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.closing do
+      Condition.wait pool.not_empty pool.mutex
+    done;
+    match Queue.take_opt pool.queue with
+    | None ->
+      (* empty and closing: drain complete *)
+      Mutex.unlock pool.mutex;
+      ()
+    | Some task ->
+      Condition.signal pool.not_full;
+      Mutex.unlock pool.mutex;
+      task ctx;
+      loop ()
+  in
+  loop ()
+
+let create ?(queue_cap = 64) ~jobs ~mk_ctx () =
+  if queue_cap < 1 then invalid_arg "Pool.create: queue_cap must be positive";
+  let jobs = clamp_jobs jobs in
+  let pool =
+    {
+      jobs;
+      queue_cap;
+      mutex = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init jobs (fun _ -> Domain.spawn (worker pool mk_ctx));
+  pool
+
+let jobs t = t.jobs
+
+let submit t f =
+  let fut = { f_mutex = Mutex.create (); f_cond = Condition.create (); f_state = Pending } in
+  let task ctx =
+    match f ctx with
+    | v -> fulfil fut (Done v)
+    | exception exn -> fulfil fut (Failed exn)
+  in
+  Mutex.lock t.mutex;
+  if t.closing then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  while Queue.length t.queue >= t.queue_cap && not t.closing do
+    Condition.wait t.not_full t.mutex
+  done;
+  if t.closing then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.add task t.queue;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.mutex;
+  fut
+
+(* Stop accepting work, let the workers drain what is queued, join them. *)
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closing <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.workers

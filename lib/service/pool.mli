@@ -1,0 +1,36 @@
+(** A fixed-size pool of OCaml 5 domains draining a bounded job queue.
+
+    The bounded queue is the backpressure mechanism: {!submit} blocks once
+    [queue_cap] jobs are waiting. Each worker owns a private context built
+    by [mk_ctx] inside its own domain — per-worker caches live there, so
+    no state is shared between domains without a lock. *)
+
+type 'ctx t
+
+type 'a future
+
+val clamp_jobs : int -> int
+(** At least 1, at most [Domain.recommended_domain_count] (never below a
+    ceiling of 4, so concurrency tests still exercise the parallel path on
+    small hosts). *)
+
+val create : ?queue_cap:int -> jobs:int -> mk_ctx:(unit -> 'ctx) -> unit -> 'ctx t
+(** Spawn [clamp_jobs jobs] worker domains. [queue_cap] (default 64)
+    bounds the number of queued-but-unstarted jobs.
+    @raise Invalid_argument on a non-positive [queue_cap]. *)
+
+val jobs : 'ctx t -> int
+(** The effective (clamped) worker count. *)
+
+val submit : 'ctx t -> ('ctx -> 'a) -> 'a future
+(** Enqueue a job; blocks while the queue is full (backpressure).
+    @raise Invalid_argument after {!shutdown}. *)
+
+val await : 'a future -> 'a
+(** Block until the job completes; re-raises the job's exception. *)
+
+val peek : 'a future -> ('a, exn) result option
+(** Non-blocking: [None] while the job is pending. *)
+
+val shutdown : 'ctx t -> unit
+(** Stop accepting work, drain the queue, join the worker domains. *)

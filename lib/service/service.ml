@@ -1,0 +1,339 @@
+(** The scenario-execution service: the catalogue as a throughput workload.
+
+    Sequentially, every {!Driver.run} pays the full image build — layout,
+    vtable emission, global initialisation — before a single interpreted
+    step. This layer interposes prepared machine state instead (the same
+    move as VRT's run-time table amortising per-call bookkeeping, or
+    S3Library's substitution of a safer execution substrate):
+
+    - a {!Pool} of domain workers drains a bounded job queue;
+    - each worker keeps a cache of {!Driver.prepared} scenarios — a loaded
+      machine plus its post-load {!Pna_machine.Machine.snapshot} — and
+      rewinds instead of reloading between requests;
+    - a memoizing result cache keyed by [(scenario, config, chaos seed,
+      input hash)] serves repeated requests without executing at all.
+
+    Replies are derived purely from per-job state, so a batch at any
+    worker count is verdict-identical to the sequential driver. *)
+
+module Catalog = Pna_attacks.Catalog
+module Driver = Pna_attacks.Driver
+module All = Pna_attacks.All
+module Config = Pna_defense.Config
+module Outcome = Pna_minicpp.Outcome
+module Plan = Pna_chaos.Plan
+
+(* ------------------------------------------------------------------ *)
+(* Jobs and replies                                                    *)
+
+type job = {
+  j_attack : Catalog.t;
+  j_config : Config.t;
+  j_chaos_seed : int option;
+      (** [Some s]: run supervised under [Plan.generate ~seed:s] *)
+  j_max_steps : int option;  (** per-job deadline in interpreter steps *)
+}
+
+let job ?chaos_seed ?max_steps ?(config = Config.none) attack =
+  { j_attack = attack; j_config = config; j_chaos_seed = chaos_seed;
+    j_max_steps = max_steps }
+
+type reply = {
+  r_id : string;
+  r_config : string;
+  r_chaos_seed : int option;
+  r_status : string;  (** rendered {!Outcome.pp_status} *)
+  r_success : bool;
+  r_detail : string;
+  r_attempts : int;  (** supervised retries; 1 for plain runs *)
+  r_cached : bool;  (** served from the memo cache without executing *)
+}
+
+let reply_of_result ?chaos_seed (r : Driver.result) =
+  {
+    r_id = r.Driver.attack.Catalog.id;
+    r_config = r.Driver.config.Config.name;
+    r_chaos_seed = chaos_seed;
+    r_status = Fmt.str "%a" Outcome.pp_status r.Driver.outcome.Outcome.status;
+    r_success = r.Driver.verdict.Catalog.success;
+    r_detail = r.Driver.verdict.Catalog.detail;
+    r_attempts = 1;
+    r_cached = false;
+  }
+
+let reply_of_supervised ?chaos_seed (s : Driver.supervised) =
+  {
+    r_id = s.Driver.sv_attack.Catalog.id;
+    r_config = s.Driver.sv_config.Config.name;
+    r_chaos_seed = chaos_seed;
+    r_status = Fmt.str "%a" Outcome.pp_status s.Driver.sv_outcome.Outcome.status;
+    r_success = s.Driver.sv_verdict.Catalog.success;
+    r_detail = s.Driver.sv_verdict.Catalog.detail;
+    r_attempts = s.Driver.sv_attempts;
+    r_cached = false;
+  }
+
+let pp_reply ppf r =
+  Fmt.pf ppf "%-16s %-14s %s%s: %s%s" r.r_id r.r_config
+    (match r.r_chaos_seed with None -> "" | Some s -> Fmt.str "seed=%d " s)
+    (if r.r_success then "ATTACK SUCCEEDED" else "attack failed")
+    r.r_status
+    (if r.r_cached then " [memo]" else "")
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+
+type stats = {
+  st_jobs : int;  (** replies produced *)
+  st_memo_hits : int;
+  st_memo_misses : int;
+  st_snapshot_restores : int;  (** machine rewinds in place of loads *)
+  st_fresh_loads : int;  (** machines actually built from programs *)
+  st_outcomes : (string * int) list;  (** status key -> count, sorted *)
+}
+
+let status_key st =
+  match (st : Outcome.status) with
+  | Outcome.Exited _ -> "exited"
+  | Outcome.Recovered _ -> "recovered"
+  | Outcome.Crashed _ -> "crashed"
+  | Outcome.Stack_smashing_detected -> "canary"
+  | Outcome.Defense_blocked _ -> "blocked"
+  | Outcome.Timeout _ -> "timeout"
+  | Outcome.Out_of_memory -> "oom"
+  | Outcome.Arc_injection _ -> "arc-inj"
+  | Outcome.Code_injection _ -> "code-inj"
+
+(* compact single-line form for tabular reports *)
+let pp_stats_line ppf s =
+  Fmt.pf ppf "memo %d/%d  images %dR/%dL" s.st_memo_hits s.st_memo_misses
+    s.st_snapshot_restores s.st_fresh_loads
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "@[<v>jobs: %d@,memo: %d hit / %d miss@,images: %d restored / %d loaded@,outcomes: %a@]"
+    s.st_jobs s.st_memo_hits s.st_memo_misses s.st_snapshot_restores
+    s.st_fresh_loads
+    Fmt.(list ~sep:(any " ") (pair ~sep:(any ":") string int))
+    s.st_outcomes
+
+(* ------------------------------------------------------------------ *)
+(* The service                                                         *)
+
+(* Per-worker context: the prepared-scenario cache. Machines are a couple
+   of megabytes each (contents + taint, twice: live + snapshot), so the
+   cache is bounded with FIFO eviction; hot scenarios stay prepared, a
+   cold sweep degrades to load-per-job. *)
+type ctx = {
+  cx_prepared : (string * string, Driver.prepared * int) Hashtbl.t;
+      (** prepared scenario + the hash of its attacker input; the input
+          against a freshly rewound image is a pure function of the
+          prepared scenario, so it is hashed once at load time and memo
+          hits cost two table lookups with no machine work *)
+  cx_order : (string * string) Queue.t;
+  cx_cap : int;
+}
+
+type counters = {
+  mutable c_jobs : int;
+  mutable c_memo_hits : int;
+  mutable c_memo_misses : int;
+  mutable c_restores : int;
+  mutable c_loads : int;
+  c_outcomes : (string, int) Hashtbl.t;
+}
+
+type memo_key = string * string * int option * int
+
+type t = {
+  pool : ctx Pool.t;
+  memo : (memo_key, reply) Hashtbl.t option;  (** [None]: memoization off *)
+  memo_mutex : Mutex.t;
+  counters : counters;
+  counters_mutex : Mutex.t;
+}
+
+let create ?(jobs = Domain.recommended_domain_count ()) ?queue_cap
+    ?(memo = true) ?(prepared_cap = 16) () =
+  if prepared_cap < 1 then
+    invalid_arg "Service.create: prepared_cap must be positive";
+  let mk_ctx () =
+    {
+      cx_prepared = Hashtbl.create prepared_cap;
+      cx_order = Queue.create ();
+      cx_cap = prepared_cap;
+    }
+  in
+  {
+    pool = Pool.create ?queue_cap ~jobs ~mk_ctx ();
+    memo = (if memo then Some (Hashtbl.create 256) else None);
+    memo_mutex = Mutex.create ();
+    counters =
+      {
+        c_jobs = 0;
+        c_memo_hits = 0;
+        c_memo_misses = 0;
+        c_restores = 0;
+        c_loads = 0;
+        c_outcomes = Hashtbl.create 16;
+      };
+    counters_mutex = Mutex.create ();
+  }
+
+let jobs t = Pool.jobs t.pool
+
+let stats t =
+  Mutex.lock t.counters_mutex;
+  let c = t.counters in
+  let outcomes =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.c_outcomes []
+    |> List.sort compare
+  in
+  let s =
+    {
+      st_jobs = c.c_jobs;
+      st_memo_hits = c.c_memo_hits;
+      st_memo_misses = c.c_memo_misses;
+      st_snapshot_restores = c.c_restores;
+      st_fresh_loads = c.c_loads;
+      st_outcomes = outcomes;
+    }
+  in
+  Mutex.unlock t.counters_mutex;
+  s
+
+let shutdown t = Pool.shutdown t.pool
+
+(* --- worker-side execution --- *)
+
+let prepared_for t ctx (j : job) =
+  let key = (j.j_attack.Catalog.id, j.j_config.Config.name) in
+  match Hashtbl.find_opt ctx.cx_prepared key with
+  | Some entry -> entry
+  | None ->
+    let p = Driver.prepare ~config:j.j_config j.j_attack in
+    let entry = (p, Hashtbl.hash (Driver.prepared_input p)) in
+    Mutex.lock t.counters_mutex;
+    t.counters.c_loads <- t.counters.c_loads + 1;
+    Mutex.unlock t.counters_mutex;
+    if Hashtbl.length ctx.cx_prepared >= ctx.cx_cap then begin
+      match Queue.take_opt ctx.cx_order with
+      | Some oldest -> Hashtbl.remove ctx.cx_prepared oldest
+      | None -> ()
+    end;
+    Hashtbl.replace ctx.cx_prepared key entry;
+    Queue.add key ctx.cx_order;
+    entry
+
+let memo_find t key =
+  match t.memo with
+  | None -> None
+  | Some tbl ->
+    Mutex.lock t.memo_mutex;
+    let r = Hashtbl.find_opt tbl key in
+    Mutex.unlock t.memo_mutex;
+    r
+
+let memo_store t key reply =
+  match t.memo with
+  | None -> ()
+  | Some tbl ->
+    Mutex.lock t.memo_mutex;
+    if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key reply;
+    Mutex.unlock t.memo_mutex
+
+let account t reply ~restores ~memo_hit =
+  Mutex.lock t.counters_mutex;
+  let c = t.counters in
+  c.c_jobs <- c.c_jobs + 1;
+  if memo_hit then c.c_memo_hits <- c.c_memo_hits + 1
+  else c.c_memo_misses <- c.c_memo_misses + 1;
+  c.c_restores <- c.c_restores + restores;
+  (* histogram over the rendered status's stable key prefix *)
+  let k =
+    match String.index_opt reply.r_status ' ' with
+    | Some i -> String.sub reply.r_status 0 i
+    | None -> reply.r_status
+  in
+  Hashtbl.replace c.c_outcomes k
+    (1 + Option.value (Hashtbl.find_opt c.c_outcomes k) ~default:0);
+  Mutex.unlock t.counters_mutex
+
+let execute t ctx (j : job) =
+  let p, input_hash = prepared_for t ctx j in
+  let restores_before = Driver.restores p in
+  (* the memo key includes the attacker-input hash computed against the
+     prepared image — same scenario, same config, same input: same
+     verdict *)
+  let key =
+    (j.j_attack.Catalog.id, j.j_config.Config.name, j.j_chaos_seed, input_hash)
+  in
+  match memo_find t key with
+  | Some cached ->
+    let reply = { cached with r_cached = true } in
+    account t reply ~restores:(Driver.restores p - restores_before)
+      ~memo_hit:true;
+    reply
+  | None ->
+    let reply =
+      match j.j_chaos_seed with
+      | None ->
+        reply_of_result (Driver.run_prepared ?max_steps:j.j_max_steps p)
+      | Some seed ->
+        let plan = Plan.generate ~seed () in
+        let s =
+          Driver.supervise ~config:j.j_config ?max_steps:j.j_max_steps
+            ~reload:(fun () -> Driver.reset p)
+            ~plan j.j_attack
+        in
+        reply_of_supervised ~chaos_seed:seed s
+    in
+    memo_store t key reply;
+    account t reply ~restores:(Driver.restores p - restores_before)
+      ~memo_hit:false;
+    reply
+
+(* --- client API --- *)
+
+let submit t j = Pool.submit t.pool (fun ctx -> execute t ctx j)
+
+let exec t j = Pool.await (submit t j)
+
+(* Submission order is reply order: futures are awaited in sequence, so a
+   batch is deterministic however the pool interleaves the work. *)
+let run_batch t js = List.map Pool.await (List.map (submit t) js)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical workloads                                                 *)
+
+(* The full §5 experiment matrix as a job list. *)
+let matrix_jobs ?(configs = Config.all) ?max_steps () =
+  List.concat_map
+    (fun (a : Catalog.t) ->
+      List.map (fun config -> job ?max_steps ~config a) configs)
+    All.attacks
+
+(* A seeded synthetic request stream over the catalogue: every
+   [chaos_every]-th request runs supervised under a generated fault plan,
+   the rest are plain scenario runs. Deterministic in [seed]. *)
+let synth_stream ?(chaos_every = 7) ~seed ~n () =
+  let rng = Random.State.make [| 0x5e41ce; seed |] in
+  let attacks = Array.of_list All.attacks in
+  let configs = Array.of_list Config.all in
+  List.init n (fun i ->
+      let a = attacks.(Random.State.int rng (Array.length attacks)) in
+      let config = configs.(Random.State.int rng (Array.length configs)) in
+      let chaos_seed =
+        if chaos_every > 0 && i mod chaos_every = chaos_every - 1 then
+          Some (1 + Random.State.int rng 1000)
+        else None
+      in
+      job ?chaos_seed ~max_steps:2_000_000 ~config a)
+
+let now () = Unix.gettimeofday ()
+
+(* Wall-clock a thunk: (result, seconds). *)
+let timed f =
+  let t0 = now () in
+  let v = f () in
+  (v, now () -. t0)

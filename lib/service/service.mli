@@ -1,0 +1,99 @@
+(** The scenario-execution service: runs catalogue jobs on a {!Pool} of
+    domain workers, rewinding prepared machine snapshots between requests
+    and memoizing results by [(scenario, config, chaos seed, input hash)].
+
+    Replies are derived purely from per-job state, so a batch at any
+    worker count is verdict-identical to the sequential {!Driver.run}. *)
+
+module Catalog = Pna_attacks.Catalog
+module Driver = Pna_attacks.Driver
+module Config = Pna_defense.Config
+
+(** {1 Jobs and replies} *)
+
+type job = {
+  j_attack : Catalog.t;
+  j_config : Config.t;
+  j_chaos_seed : int option;
+      (** [Some s]: run supervised under [Plan.generate ~seed:s] *)
+  j_max_steps : int option;  (** per-job deadline in interpreter steps *)
+}
+
+val job :
+  ?chaos_seed:int -> ?max_steps:int -> ?config:Config.t -> Catalog.t -> job
+
+type reply = {
+  r_id : string;
+  r_config : string;
+  r_chaos_seed : int option;
+  r_status : string;  (** rendered outcome status *)
+  r_success : bool;
+  r_detail : string;
+  r_attempts : int;  (** supervised retries; 1 for plain runs *)
+  r_cached : bool;  (** served from the memo cache without executing *)
+}
+
+val reply_of_result : ?chaos_seed:int -> Driver.result -> reply
+(** What the service would reply for a sequential driver result — the
+    comparison point for determinism checks. *)
+
+val reply_of_supervised : ?chaos_seed:int -> Driver.supervised -> reply
+val pp_reply : Format.formatter -> reply -> unit
+
+(** {1 Statistics} *)
+
+type stats = {
+  st_jobs : int;
+  st_memo_hits : int;
+  st_memo_misses : int;
+  st_snapshot_restores : int;  (** machine rewinds in place of loads *)
+  st_fresh_loads : int;  (** machines actually built from programs *)
+  st_outcomes : (string * int) list;  (** status key -> count, sorted *)
+}
+
+val status_key : Pna_minicpp.Outcome.status -> string
+val pp_stats : Format.formatter -> stats -> unit
+
+val pp_stats_line : Format.formatter -> stats -> unit
+(** Compact [memo h/m  images R/L] form for tabular reports. *)
+
+(** {1 Lifecycle} *)
+
+type t
+
+val create :
+  ?jobs:int -> ?queue_cap:int -> ?memo:bool -> ?prepared_cap:int -> unit -> t
+(** [jobs] defaults to [Domain.recommended_domain_count] and is clamped by
+    {!Pool.clamp_jobs}; [queue_cap] bounds the job queue (backpressure);
+    [memo] (default true) enables the result cache; [prepared_cap]
+    (default 16) bounds each worker's prepared-machine cache. *)
+
+val jobs : t -> int
+(** Effective worker count. *)
+
+val stats : t -> stats
+val shutdown : t -> unit
+
+(** {1 Execution} *)
+
+val submit : t -> job -> reply Pool.future
+(** Enqueue one job; blocks only when the queue is full. *)
+
+val exec : t -> job -> reply
+
+val run_batch : t -> job list -> reply list
+(** Replies in submission order, whatever the pool interleaving. *)
+
+(** {1 Canonical workloads} *)
+
+val matrix_jobs : ?configs:Config.t list -> ?max_steps:int -> unit -> job list
+(** The full attack x defense matrix as a job list. *)
+
+val synth_stream : ?chaos_every:int -> seed:int -> n:int -> unit -> job list
+(** A deterministic synthetic request stream over the catalogue; every
+    [chaos_every]-th request (default 7) runs supervised under a seeded
+    fault plan. *)
+
+val now : unit -> float
+val timed : (unit -> 'a) -> 'a * float
+(** Wall-clock a thunk: (result, seconds). *)

@@ -218,5 +218,77 @@ let set_taint t addr len tainted =
     Segment.set_taint seg (addr + i) tainted
   done
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore                                                   *)
+
+(* One frozen segment: identity (kind/base/size) plus deep copies of the
+   mutable payload. The copies are private to the snapshot, so a snapshot
+   stays valid however the live address space is mutated afterwards. *)
+type frozen_segment = {
+  fz_kind : Segment.kind;
+  fz_base : int;
+  fz_size : int;
+  fz_perm : Perm.t;
+  fz_bytes : Bytes.t;
+  fz_taint : Bytes.t;
+}
+
+type snapshot = {
+  sn_segments : frozen_segment list;
+  sn_trace_enabled : bool;
+  sn_trace : write_record list;
+}
+
+let snapshot t =
+  {
+    sn_segments =
+      List.map
+        (fun (s : Segment.t) ->
+          {
+            fz_kind = s.Segment.kind;
+            fz_base = s.Segment.base;
+            fz_size = s.Segment.size;
+            fz_perm = s.Segment.perm;
+            fz_bytes = Bytes.copy s.Segment.bytes;
+            fz_taint = Bytes.copy s.Segment.taint;
+          })
+        t.segments;
+    sn_trace_enabled = t.trace_enabled;
+    sn_trace = t.trace;
+  }
+
+(* Restore contents, taint, permissions and trace state to the snapshot.
+   Segments mapped after the snapshot are unmapped again; segments present
+   at snapshot time are restored *in place*, so references held elsewhere
+   (the heap allocator, attack checks) stay valid. The chaos hook is
+   deliberately untouched: it is runtime configuration, not memory state. *)
+let restore t snap =
+  let live = t.segments in
+  let restored =
+    List.map
+      (fun fz ->
+        let seg =
+          match
+            List.find_opt
+              (fun (s : Segment.t) ->
+                s.Segment.base = fz.fz_base && s.Segment.size = fz.fz_size
+                && s.Segment.kind = fz.fz_kind)
+              live
+          with
+          | Some s -> s
+          | None ->
+            Segment.create ~kind:fz.fz_kind ~base:fz.fz_base ~size:fz.fz_size
+              ~perm:fz.fz_perm
+        in
+        Bytes.blit fz.fz_bytes 0 seg.Segment.bytes 0 fz.fz_size;
+        Bytes.blit fz.fz_taint 0 seg.Segment.taint 0 fz.fz_size;
+        seg.Segment.perm <- fz.fz_perm;
+        seg)
+      snap.sn_segments
+  in
+  t.segments <- restored;
+  t.trace_enabled <- snap.sn_trace_enabled;
+  t.trace <- snap.sn_trace
+
 let pp ppf t =
   Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Segment.pp) (segments t)

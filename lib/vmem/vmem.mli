@@ -85,6 +85,25 @@ type chaos_hook = access:Fault.access -> addr:int -> byte:int -> int
 
 val set_chaos : t -> chaos_hook option -> unit
 
+(** {1 Snapshot / restore}
+
+    The substitution that powers the scenario service: freeze a prepared
+    address space once, then rewind to it between requests instead of
+    rebuilding the image. A snapshot owns deep copies of every segment's
+    contents and taint, the permission words and the write-trace state, so
+    it remains valid however the live space is mutated afterwards. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Rewind contents, taint, permissions and write-trace state to the
+    snapshot. Segments mapped after the snapshot are unmapped again;
+    segments present at snapshot time are restored in place, so
+    [Segment.t] references held elsewhere stay valid. The chaos hook is
+    untouched — it is runtime configuration, not memory state. *)
+
 (** {1 Write tracing} *)
 
 val enable_trace : t -> unit

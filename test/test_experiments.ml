@@ -142,6 +142,15 @@ let test_e11_repair_headline () =
   Alcotest.(check bool) "no silent gaps" true
     (List.for_all (fun r -> r.E.residual_flagged) rows)
 
+let test_e12_service_throughput () =
+  (* scale:[1] skips the unasserted hardware-dependent scaling rows; the
+     jobs:4-vs-sequential determinism check runs inside e12 regardless *)
+  let r = E.e12 ~scale:[ 1 ] () in
+  Alcotest.(check bool) "pooled verdicts match the sequential driver" true
+    r.E.sr_agree;
+  Alcotest.(check bool) "memoization at least doubles throughput" true
+    (r.E.sr_memo_speedup >= 2.0)
+
 let test_workload_heap_churn () =
   let o = Pna.Workloads.run Pna.Workloads.heap_churn ~n:500 in
   match o.O.status with
@@ -164,5 +173,6 @@ let suite =
       t "E10: fuzzing crashes, never exploits" test_e10_fuzz_shape;
       t "composing defenses is monotone" test_defense_monotonicity;
       t "E11: repair neutralizes all but copy loops" test_e11_repair_headline;
+      t "E12: service matches driver; memo pays off" test_e12_service_throughput;
       t "workload: heap churn" test_workload_heap_churn;
     ] )

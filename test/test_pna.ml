@@ -16,4 +16,5 @@ let () =
       Test_attacks.suite;
       Test_analysis.suite;
       Test_experiments.suite;
+      Test_service.suite;
     ]

@@ -1,0 +1,378 @@
+(** The scenario service and the snapshot substrate under it: QCheck
+    properties for Vmem snapshot/restore, machine-rewind determinism, the
+    domain pool, the memo cache and the batch/sequential equivalence the
+    whole layer is built on. *)
+
+module Vmem = Pna_vmem.Vmem
+module Segment = Pna_vmem.Segment
+module Perm = Pna_vmem.Perm
+module Machine = Pna_machine.Machine
+module Catalog = Pna_attacks.Catalog
+module Driver = Pna_attacks.Driver
+module All = Pna_attacks.All
+module Config = Pna_defense.Config
+module Outcome = Pna_minicpp.Outcome
+module Plan = Pna_chaos.Plan
+module Pool = Pna_service.Pool
+module Service = Pna_service.Service
+
+(* ------------------------------------------------------------------ *)
+(* Vmem snapshot/restore                                               *)
+
+let data_base = 0x1000
+let data_size = 0x200
+let heap_base = 0x4000
+let heap_size = 0x100
+
+let mk_vmem () =
+  let m = Vmem.create () in
+  ignore (Vmem.map m ~kind:Segment.Data ~base:data_base ~size:data_size ~perm:Perm.rw);
+  ignore (Vmem.map m ~kind:Segment.Heap ~base:heap_base ~size:heap_size ~perm:Perm.rw);
+  m
+
+(* Observable state of the whole space: bytes, taint, trace, segments. *)
+let observe m =
+  let seg_bytes (s : Segment.t) =
+    List.init s.Segment.size (fun i ->
+        (s.Segment.base + i, Vmem.read_u8 m (s.Segment.base + i),
+         Vmem.taint_of m (s.Segment.base + i)))
+  in
+  let segs = Vmem.segments m in
+  ( List.map (fun (s : Segment.t) -> (s.Segment.kind, s.Segment.base, s.Segment.size)) segs,
+    List.concat_map seg_bytes segs,
+    Vmem.trace m )
+
+(* An arbitrary mutation step against the space. *)
+type mutation =
+  | Write of int * int * bool
+  | Fill of int * int * int
+  | Blit of int * int * int
+  | Taint of int * int * bool
+
+let apply_mutation m = function
+  | Write (addr, v, taint) -> Vmem.write_u8 ~taint m addr v
+  | Fill (dst, len, v) -> Vmem.fill m ~dst ~len v
+  | Blit (src, dst, len) -> Vmem.blit m ~src ~dst ~len
+  | Taint (addr, len, on) -> Vmem.set_taint m addr len on
+
+let mutation_gen =
+  let open QCheck.Gen in
+  let addr_in base size margin =
+    map (fun off -> base + off) (int_bound (size - 1 - margin))
+  in
+  let any_addr margin =
+    oneof [ addr_in data_base data_size margin; addr_in heap_base heap_size margin ]
+  in
+  oneof
+    [
+      map3 (fun a v t -> Write (a, v, t)) (any_addr 0) (int_bound 255) bool;
+      map3 (fun a len v -> Fill (a, len, v)) (addr_in data_base data_size 32)
+        (int_bound 31) (int_bound 255);
+      map3 (fun src dst len -> Blit (src, dst, len))
+        (addr_in data_base data_size 16) (addr_in heap_base heap_size 16)
+        (int_bound 15);
+      map3 (fun a len on -> Taint (a, len, on)) (addr_in heap_base heap_size 8)
+        (int_bound 8) bool;
+    ]
+
+let mutation_print = function
+  | Write (a, v, t) -> Printf.sprintf "write u8 0x%x <- %d taint:%b" a v t
+  | Fill (a, l, v) -> Printf.sprintf "fill 0x%x+%d <- %d" a l v
+  | Blit (s, d, l) -> Printf.sprintf "blit 0x%x -> 0x%x len %d" s d l
+  | Taint (a, l, on) -> Printf.sprintf "taint 0x%x+%d <- %b" a l on
+
+(* snapshot -> arbitrary writes -> restore is the identity on the whole
+   observable space: contents, taint, write records, segment list. *)
+let prop_snapshot_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"snapshot/restore is the identity"
+    QCheck.(
+      make ~print:(fun l -> String.concat "; " (List.map mutation_print l))
+        (Gen.list_size (Gen.int_range 0 40) mutation_gen))
+    (fun mutations ->
+      let m = mk_vmem () in
+      Vmem.enable_trace m;
+      (* a non-trivial pre-state, including pre-existing trace records *)
+      Vmem.write_string ~taint:true m (data_base + 8) "pre-state";
+      Vmem.fill m ~dst:heap_base ~len:16 0xab;
+      let before = observe m in
+      let snap = Vmem.snapshot m in
+      List.iter (apply_mutation m) mutations;
+      (* also map a segment after the snapshot: restore must unmap it *)
+      ignore (Vmem.map m ~kind:Segment.Mmap ~base:0x9000 ~size:0x40 ~perm:Perm.rw);
+      Vmem.restore m snap;
+      observe m = before)
+
+let test_snapshot_restores_trace_state () =
+  let m = mk_vmem () in
+  (* trace disabled at snapshot time; enabled + populated afterwards *)
+  let snap = Vmem.snapshot m in
+  Vmem.enable_trace m;
+  Vmem.write_u8 ~tag:"post" m data_base 1;
+  Alcotest.(check int) "trace recorded" 1 (List.length (Vmem.trace m));
+  Vmem.restore m snap;
+  Alcotest.(check int) "trace rewound" 0 (List.length (Vmem.trace m));
+  Vmem.write_u8 ~tag:"post2" m data_base 2;
+  Alcotest.(check int) "tracing disabled again" 0 (List.length (Vmem.trace m))
+
+let test_snapshot_restores_perms () =
+  let m = mk_vmem () in
+  let snap = Vmem.snapshot m in
+  let seg = Option.get (Vmem.find_segment m data_base) in
+  seg.Segment.perm <- Perm.ro;
+  (match Vmem.write_u8 m data_base 1 with
+  | () -> Alcotest.fail "write through ro segment should fault"
+  | exception Pna_vmem.Fault.Fault _ -> ());
+  Vmem.restore m snap;
+  Vmem.write_u8 m data_base 1;
+  Alcotest.(check int) "writable again" 1 (Vmem.read_u8 m data_base)
+
+(* ------------------------------------------------------------------ *)
+(* Prepared machines: rewind == rebuild                                *)
+
+let result_fingerprint (r : Driver.result) =
+  ( r.Driver.attack.Catalog.id,
+    r.Driver.config.Config.name,
+    Fmt.str "%a" Outcome.pp_status r.Driver.outcome.Outcome.status,
+    r.Driver.verdict.Catalog.success,
+    r.Driver.verdict.Catalog.detail,
+    List.map Pna_machine.Event.to_string r.Driver.outcome.Outcome.events,
+    r.Driver.outcome.Outcome.output,
+    r.Driver.outcome.Outcome.steps )
+
+(* Every catalogue attack, under a defended and an undefended config:
+   running a prepared scenario twice gives exactly the fresh-load result
+   each time — the machine rewind is perfect. The budget caps the
+   deliberately-slow DoS/OOM entries; both sides run under the same cap,
+   so the comparison stays exact. *)
+let budget = 60_000
+
+let test_prepared_equals_fresh () =
+  List.iter
+    (fun config ->
+      List.iter
+        (fun (a : Catalog.t) ->
+          let fresh =
+            result_fingerprint (Driver.run ~config ~max_steps:budget a)
+          in
+          let p = Driver.prepare ~config a in
+          for i = 1 to 2 do
+            let again =
+              result_fingerprint (Driver.run_prepared ~max_steps:budget p)
+            in
+            if again <> fresh then
+              Alcotest.failf "%s under %s: rewound run %d diverged"
+                a.Catalog.id config.Config.name i
+          done)
+        All.attacks)
+    [ Config.none; Config.full ]
+
+let test_supervised_reload_equals_fresh () =
+  let a = Pna_attacks.L13_stack_ret.attack in
+  let config = Config.stackguard in
+  List.iter
+    (fun seed ->
+      let plan = Plan.generate ~seed () in
+      let fresh = Driver.supervise ~config ~plan a in
+      let p = Driver.prepare ~config a in
+      let rewound =
+        Driver.supervise ~config ~reload:(fun () -> Driver.reset p) ~plan a
+      in
+      Alcotest.(check string)
+        (Fmt.str "seed %d supervised equal" seed)
+        (Fmt.str "%a" Driver.pp_supervised fresh)
+        (Fmt.str "%a" Driver.pp_supervised rewound))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_run_max_steps_deadline () =
+  (* the benign pool server cannot finish 64 requests in 50 steps: the
+     new ?max_steps on Driver.run must surface the timeout *)
+  let r = Driver.run ~max_steps:50 Pna.Experiments.benign_pool in
+  match r.Driver.outcome.Outcome.status with
+  | Outcome.Timeout _ -> ()
+  | st ->
+    Alcotest.failf "expected timeout under 50-step deadline, got %a"
+      Outcome.pp_status st
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+
+let test_pool_runs_all_jobs () =
+  let pool = Pool.create ~jobs:4 ~queue_cap:2 ~mk_ctx:(fun () -> ()) () in
+  let futures = List.init 50 (fun i -> Pool.submit pool (fun () -> i * i)) in
+  let results = List.map Pool.await futures in
+  Pool.shutdown pool;
+  Alcotest.(check (list int)) "all squares, in order"
+    (List.init 50 (fun i -> i * i))
+    results
+
+let test_pool_propagates_exceptions () =
+  let pool = Pool.create ~jobs:2 ~mk_ctx:(fun () -> ()) () in
+  let ok = Pool.submit pool (fun () -> 7) in
+  let bad = Pool.submit pool (fun () -> failwith "job exploded") in
+  Alcotest.(check int) "good job" 7 (Pool.await ok);
+  (match Pool.await bad with
+  | _ -> Alcotest.fail "expected the job's exception"
+  | exception Failure msg -> Alcotest.(check string) "message" "job exploded" msg);
+  Pool.shutdown pool
+
+let test_pool_clamp () =
+  Alcotest.(check int) "floor" 1 (Pool.clamp_jobs (-3));
+  let top = Pool.clamp_jobs max_int in
+  Alcotest.(check bool) "ceiling >= 4 and respected" true
+    (top >= 4 && Pool.clamp_jobs (top + 1) = top)
+
+let test_pool_rejects_after_shutdown () =
+  let pool = Pool.create ~jobs:1 ~mk_ctx:(fun () -> ()) () in
+  Pool.shutdown pool;
+  match Pool.submit pool (fun () -> ()) with
+  | _ -> Alcotest.fail "submit after shutdown should raise"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Service                                                             *)
+
+let reply_fingerprint (r : Service.reply) =
+  (r.Service.r_id, r.Service.r_config, r.Service.r_chaos_seed,
+   r.Service.r_status, r.Service.r_success, r.Service.r_detail,
+   r.Service.r_attempts)
+
+(* The acceptance property: a 4-way parallel batch over the whole attack
+   x defense matrix is verdict-identical to the sequential driver. *)
+let test_batch_matches_sequential_driver () =
+  (* whole catalogue, a defended and an undefended config; the remaining
+     configs are covered by the sequential experiments *)
+  let jobs =
+    Service.matrix_jobs ~configs:[ Config.none; Config.full ] ~max_steps:budget
+      ()
+  in
+  let sequential =
+    List.map
+      (fun (j : Service.job) ->
+        reply_fingerprint
+          (Service.reply_of_result
+             (Driver.run ~config:j.Service.j_config ~max_steps:budget
+                j.Service.j_attack)))
+      jobs
+  in
+  let svc = Service.create ~jobs:4 () in
+  let parallel = List.map reply_fingerprint (Service.run_batch svc jobs) in
+  Service.shutdown svc;
+  Alcotest.(check int) "one reply per job" (List.length jobs)
+    (List.length parallel);
+  List.iteri
+    (fun i (seq, par) ->
+      if seq <> par then
+        let id, config, _, _, _, _, _ = seq in
+        Alcotest.failf "job %d (%s under %s): parallel reply diverged" i id
+          config)
+    (List.combine sequential parallel)
+
+let test_batch_chaos_matches_supervise () =
+  let a = Pna_attacks.L12_heap.attack in
+  let config = Config.none in
+  let seeds = [ 11; 12; 13 ] in
+  let sequential =
+    List.map
+      (fun seed ->
+        reply_fingerprint
+          (Service.reply_of_supervised ~chaos_seed:seed
+             (Driver.supervise ~config ~plan:(Plan.generate ~seed ()) a)))
+      seeds
+  in
+  let svc = Service.create ~jobs:2 () in
+  let parallel =
+    List.map reply_fingerprint
+      (Service.run_batch svc
+         (List.map (fun seed -> Service.job ~chaos_seed:seed ~config a) seeds))
+  in
+  Service.shutdown svc;
+  Alcotest.(check bool) "supervised replies equal" true (sequential = parallel)
+
+let test_memo_hits_repeated_jobs () =
+  (* one worker, so the per-worker prepared cache is observed exactly *)
+  let svc = Service.create ~jobs:1 () in
+  let j = Service.job ~config:Config.none Pna_attacks.L13_stack_ret.attack in
+  let first = Service.exec svc j in
+  let repeats = Service.run_batch svc [ j; j; j; j ] in
+  let st = Service.stats svc in
+  Service.shutdown svc;
+  Alcotest.(check bool) "first reply computed" false first.Service.r_cached;
+  List.iter
+    (fun (r : Service.reply) ->
+      Alcotest.(check bool) "repeat served from memo" true r.Service.r_cached;
+      Alcotest.(check bool) "verdict preserved" true
+        (reply_fingerprint r = reply_fingerprint first))
+    repeats;
+  Alcotest.(check int) "4 memo hits" 4 st.Service.st_memo_hits;
+  Alcotest.(check int) "1 memo miss" 1 st.Service.st_memo_misses;
+  Alcotest.(check int) "one image load, many rewinds" 1 st.Service.st_fresh_loads;
+  (* exactly one counted rewind, for the single real execution: the
+     input hash is computed once at load time, so memo hits do no
+     machine work at all *)
+  Alcotest.(check int) "hits never touch the machine" 1
+    st.Service.st_snapshot_restores
+
+let test_memo_off_recomputes () =
+  let svc = Service.create ~jobs:1 ~memo:false () in
+  let j = Service.job ~config:Config.none Pna_attacks.L11_data_bss.attack in
+  let a = Service.exec svc j in
+  let b = Service.exec svc j in
+  let st = Service.stats svc in
+  Service.shutdown svc;
+  Alcotest.(check bool) "nothing cached" true
+    ((not a.Service.r_cached) && not b.Service.r_cached);
+  Alcotest.(check int) "no hits" 0 st.Service.st_memo_hits;
+  Alcotest.(check int) "still one load: snapshot reuse is independent" 1
+    st.Service.st_fresh_loads
+
+let test_synth_stream_deterministic () =
+  let spec (js : Service.job list) =
+    List.map
+      (fun (j : Service.job) ->
+        (j.Service.j_attack.Catalog.id, j.Service.j_config.Config.name,
+         j.Service.j_chaos_seed))
+      js
+  in
+  let a = Service.synth_stream ~seed:42 ~n:30 () in
+  let b = Service.synth_stream ~seed:42 ~n:30 () in
+  let c = Service.synth_stream ~seed:43 ~n:30 () in
+  Alcotest.(check bool) "same seed, same stream" true (spec a = spec b);
+  Alcotest.(check bool) "different seed, different stream" true (spec a <> spec c);
+  Alcotest.(check bool) "stream mixes chaos jobs in" true
+    (List.exists (fun (j : Service.job) -> j.Service.j_chaos_seed <> None) a)
+
+let test_service_deadline () =
+  let svc = Service.create ~jobs:1 () in
+  let r =
+    Service.exec svc (Service.job ~max_steps:50 Pna.Experiments.benign_pool)
+  in
+  Service.shutdown svc;
+  Alcotest.(check bool) "deadline surfaced as timeout" true
+    (String.length r.Service.r_status >= 7
+    && String.sub r.Service.r_status 0 7 = "TIMEOUT")
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "service",
+    [
+      QCheck_alcotest.to_alcotest prop_snapshot_roundtrip;
+      t "snapshot rewinds write-trace state" test_snapshot_restores_trace_state;
+      t "snapshot rewinds permissions" test_snapshot_restores_perms;
+      t "prepared rewind == fresh load (whole catalogue)" test_prepared_equals_fresh;
+      t "supervised reload == fresh supervise" test_supervised_reload_equals_fresh;
+      t "Driver.run enforces ?max_steps" test_run_max_steps_deadline;
+      t "pool: 50 jobs through cap-2 queue" test_pool_runs_all_jobs;
+      t "pool: job exceptions reach await" test_pool_propagates_exceptions;
+      t "pool: jobs clamp" test_pool_clamp;
+      t "pool: submit after shutdown rejected" test_pool_rejects_after_shutdown;
+      t "batch --jobs 4 == sequential driver (full matrix)"
+        test_batch_matches_sequential_driver;
+      t "chaos jobs through the pool == direct supervise"
+        test_batch_chaos_matches_supervise;
+      t "memo cache serves repeats without executing" test_memo_hits_repeated_jobs;
+      t "memo off still reuses snapshots" test_memo_off_recomputes;
+      t "synthetic stream is seed-deterministic" test_synth_stream_deterministic;
+      t "per-job deadline enforced through the service" test_service_deadline;
+    ] )
