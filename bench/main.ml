@@ -260,6 +260,43 @@ let service_group =
           fun () -> ignore (Service.exec svc j)));
     ]
 
+(* telemetry: the cost of the instrumentation layer itself — the
+   disabled span gate (what every production run pays), the enabled
+   span, registry increments/observations, and the exporters' JSON
+   encoding. Spans land in this domain's ring buffer; the ring
+   overwrites, so steady-state cost is what is measured. *)
+let telemetry_group =
+  let module Tel = Pna_telemetry.Telemetry in
+  let module Trace = Pna_telemetry.Trace in
+  let module Metrics = Pna_telemetry.Metrics in
+  let reg = Metrics.create () in
+  let ctr = Metrics.counter reg "bench_counter_total" in
+  let hist = Metrics.histogram reg "bench_hist_us" in
+  let ev =
+    Pna_machine.Event.Placement
+      { site = "bench"; addr = 0x1000; size = 64; arena = Some 128 }
+  in
+  [
+    Test.make ~name:"telemetry/span_disabled" (stage (fun () ->
+        Tel.disable ();
+        Trace.with_span "bench" (fun () -> ())));
+    Test.make ~name:"telemetry/span_enabled" (stage (fun () ->
+        Tel.enable ();
+        Trace.with_span "bench" (fun () -> ())));
+    Test.make ~name:"telemetry/instant_enabled" (stage (fun () ->
+        Tel.enable ();
+        Trace.instant "bench"));
+    Test.make ~name:"telemetry/counter_incr" (stage (fun () -> Metrics.incr ctr));
+    Test.make ~name:"telemetry/histogram_observe" (stage (fun () ->
+        Metrics.observe hist 123.4));
+    Test.make ~name:"telemetry/event_to_json" (stage (fun () ->
+        ignore
+          (Pna_telemetry.Jsonx.to_string (Pna_machine.Event.to_json ev))));
+    Test.make ~name:"telemetry/export_chrome_ring" (stage (fun () ->
+        Tel.enable ();
+        ignore (Fmt.str "%t" (fun ppf -> Trace.export_chrome ppf))));
+  ]
+
 (* ------------------------------------------------------------------ *)
 
 let groups =
@@ -279,6 +316,7 @@ let groups =
     ("e11", e11_group);
     ("ablation", ablation_group);
     ("service", service_group);
+    ("telemetry", telemetry_group);
   ]
 
 let selected_groups () =

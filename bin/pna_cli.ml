@@ -4,7 +4,8 @@
     [matrix] (E1), [stackguard] (E2/E3), [leak] (E4), [dos] (E5),
     [memleak] (E6), [audit] (E7), [defmatrix]/[overhead] (E8),
     [chaos] (E9), [fuzz] (E10), [repair] (E11), [throughput] (E12),
-    plus [batch]/[serve] to drive the parallel scenario service,
+    [telemetry] (E13), plus [batch]/[serve] to drive the parallel
+    scenario service, [trace]/[stats] for the telemetry exporters,
     [list]/[run]/[layout] for exploration and [all] to regenerate
     everything. Experiment commands exit non-zero when the experiment
     fails its verdict, so they can gate CI. *)
@@ -15,6 +16,9 @@ module Driver = Pna_attacks.Driver
 module All = Pna_attacks.All
 module Config = Pna_defense.Config
 module E = Pna.Experiments
+module Telemetry = Pna_telemetry.Telemetry
+module Trace = Pna_telemetry.Trace
+module Metrics = Pna_telemetry.Metrics
 
 let config_arg =
   let parse s =
@@ -246,6 +250,21 @@ let max_steps_t =
   Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N"
          ~doc:"Per-job deadline in interpreter steps.")
 
+let metrics_t =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Enable telemetry for the run and append a Prometheus-style              dump of the service and default registries.")
+
+let json_t =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the service stats as a JSON object instead of the              pretty-printed block.")
+
+(* With --metrics: the service registry first (memo, queue-wait,
+   restore-vs-load), then the process-wide default registry (machine
+   defense events) when anything landed there. *)
+let dump_metrics svc =
+  Fmt.pr "@.%a" Pna_service.Service.pp_prometheus svc;
+  Fmt.pr "%a" Metrics.pp_prometheus Metrics.default
+
 let batch_cmd =
   let verify_t =
     Arg.(value & flag & info [ "verify" ]
@@ -256,19 +275,24 @@ let batch_cmd =
          & info [ "d"; "defense" ] ~docv:"CONFIG"
              ~doc:"Restrict the matrix to one defense configuration              (default: all of them).")
   in
-  let run jobs max_steps verify config =
+  let run jobs max_steps verify config metrics json =
+    if metrics then Telemetry.enable ();
     let configs = match config with Some c -> [ c ] | None -> Config.all in
     let js = Service.matrix_jobs ~configs ?max_steps () in
     let svc = Service.create ~jobs () in
     let workers = Service.jobs svc in
     let replies, secs = Service.timed (fun () -> Service.run_batch svc js) in
     let st = Service.stats svc in
-    Service.shutdown svc;
     List.iter (fun r -> Fmt.pr "%a@." Service.pp_reply r) replies;
-    Fmt.pr "@.%d jobs on %d workers in %.3fs (%.0f jobs/s)@.%a@."
-      (List.length js) workers secs
-      (float_of_int (List.length js) /. Float.max secs 1e-9)
-      Service.pp_stats st;
+    if json then
+      Fmt.pr "@.%a@." Pna_telemetry.Jsonx.pp (Service.stats_json st)
+    else
+      Fmt.pr "@.%d jobs on %d workers in %.3fs (%.0f jobs/s)@.%a@."
+        (List.length js) workers secs
+        (float_of_int (List.length js) /. Float.max secs 1e-9)
+        Service.pp_stats st;
+    if metrics then dump_metrics svc;
+    Service.shutdown svc;
     if verify then begin
       let sequential =
         List.map
@@ -299,7 +323,8 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Run the attack x defense matrix through the parallel scenario              service.")
-    Term.(const run $ jobs_t $ max_steps_t $ verify_t $ one_config_t)
+    Term.(const run $ jobs_t $ max_steps_t $ verify_t $ one_config_t
+          $ metrics_t $ json_t)
 
 let serve_cmd =
   let requests_t =
@@ -314,41 +339,50 @@ let serve_cmd =
     Arg.(value & opt int 7 & info [ "chaos-every" ] ~docv:"K"
            ~doc:"Every K-th request runs supervised under a seeded fault              plan (0 disables chaos requests).")
   in
-  let run jobs requests seed chaos_every verbose =
+  let run jobs requests seed chaos_every verbose metrics json =
+    if metrics then Telemetry.enable ();
     let js = Service.synth_stream ~chaos_every ~seed ~n:requests () in
     let svc = Service.create ~jobs () in
     let workers = Service.jobs svc in
     let replies, secs = Service.timed (fun () -> Service.run_batch svc js) in
     let st = Service.stats svc in
-    Service.shutdown svc;
     if verbose then List.iter (fun r -> Fmt.pr "%a@." Service.pp_reply r) replies;
     let wins =
       List.length (List.filter (fun r -> r.Service.r_success) replies)
     in
-    Fmt.pr "served %d requests (seed %d) on %d workers in %.3fs (%.0f req/s)@.\
-            attacks succeeded on %d of %d requests@.%a@."
-      requests seed workers secs
-      (float_of_int requests /. Float.max secs 1e-9)
-      wins requests Service.pp_stats st
+    if json then Fmt.pr "%a@." Pna_telemetry.Jsonx.pp (Service.stats_json st)
+    else
+      Fmt.pr "served %d requests (seed %d) on %d workers in %.3fs (%.0f req/s)@.\
+              attacks succeeded on %d of %d requests@.%a@."
+        requests seed workers secs
+        (float_of_int requests /. Float.max secs 1e-9)
+        wins requests Service.pp_stats st;
+    if metrics then dump_metrics svc;
+    Service.shutdown svc
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a deterministic synthetic request stream over the              catalogue and report throughput.")
-    Term.(const run $ jobs_t $ requests_t $ seed_t $ chaos_every_t $ verbose_t)
+    Term.(const run $ jobs_t $ requests_t $ seed_t $ chaos_every_t $ verbose_t
+          $ metrics_t $ json_t)
 
 let throughput_cmd =
   let repeats_t =
     Arg.(value & opt int 24 & info [ "repeats" ] ~docv:"N"
            ~doc:"Repetitions of the benign request block in the memoization              phases.")
   in
-  let run repeats = report E.pp_e12 (E.e12 ~repeats ()) E.e12_ok in
+  let run repeats metrics =
+    if metrics then Telemetry.enable ();
+    report E.pp_e12 (E.e12 ~repeats ()) E.e12_ok;
+    if metrics then Fmt.pr "@.%a" Metrics.pp_prometheus Metrics.default
+  in
   Cmd.v
     (Cmd.info "throughput"
        ~doc:"E12: scenario-service throughput — snapshot reuse, memoization              and domain scaling.")
-    Term.(const run $ repeats_t)
+    Term.(const run $ repeats_t $ metrics_t)
 
 let all_cmd =
-  simple "all" "Run every experiment (E1-E12)." (fun () ->
+  simple "all" "Run every experiment (E1-E13)." (fun () ->
       E.run_all Fmt.stdout ())
 
 (* ---- layout ---- *)
@@ -459,9 +493,9 @@ let inspect_cmd =
        ~doc:"Dump an attack's process image, attacker input and post-mortem.")
     Term.(const run $ id_t $ config_t)
 
-(* ---- trace ---- *)
+(* ---- coverage (statement-level profiling; formerly `trace`) ---- *)
 
-let trace_cmd =
+let coverage_cmd =
   let id_t =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTACK-ID")
   in
@@ -484,9 +518,80 @@ let trace_cmd =
       Fmt.pr "%a@." Pna.Coverage.pp (cov, a.Catalog.program)
   in
   Cmd.v
-    (Cmd.info "trace"
+    (Cmd.info "coverage"
        ~doc:"Run an attack with statement-level profiling: what executed,              where, how often.")
     Term.(const run $ id_t $ config_t)
+
+(* ---- trace: Chrome Trace Event export of one run ---- *)
+
+let trace_cmd =
+  let id_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTACK-ID")
+  in
+  let chaos_seed_t =
+    Arg.(value & opt (some int) None & info [ "chaos-seed" ] ~docv:"N"
+           ~doc:"Run supervised under the fault plan generated from seed N,              so retry attempts appear as spans.")
+  in
+  let run id config chaos_seed =
+    match All.find id with
+    | None ->
+      Fmt.epr "unknown attack %s@." id;
+      exit 1
+    | Some a ->
+      Telemetry.enable ();
+      Trace.reset ();
+      (match chaos_seed with
+      | None ->
+        let r = Driver.run ~config a in
+        Fmt.epr "%s under %s: %a@." a.Catalog.id config.Config.name
+          Pna_minicpp.Outcome.pp_status r.Driver.outcome.Pna_minicpp.Outcome.status
+      | Some seed ->
+        let plan = Pna_chaos.Plan.generate ~seed () in
+        let s = Driver.supervise ~config ~plan a in
+        Fmt.epr "%a@." Driver.pp_supervised s);
+      (* the trace goes to stdout so `pna trace l13 > trace.json` loads
+         straight into Perfetto; the verdict above goes to stderr *)
+      Trace.export_chrome Fmt.stdout
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one scenario with telemetry on and emit a Chrome Trace Event              JSON file (Perfetto / chrome://tracing) on stdout.")
+    Term.(const run $ id_t $ config_t $ chaos_seed_t)
+
+(* ---- stats: registry dump over a sequential sweep ---- *)
+
+let stats_cmd =
+  let id_t =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ATTACK-ID")
+  in
+  let run id config =
+    let attacks =
+      match id with
+      | None -> All.attacks
+      | Some id -> (
+        match All.find id with
+        | Some a -> [ a ]
+        | None ->
+          Fmt.epr "unknown attack %s@." id;
+          exit 1)
+    in
+    Telemetry.enable ();
+    List.iter (fun a -> ignore (Driver.run ~config a)) attacks;
+    (* the default registry now holds pna_events_total{kind} for the
+       sweep; vmem access totals are per machine and reported by E13 *)
+    Fmt.pr "%a" Metrics.pp_prometheus Metrics.default
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run the catalogue (or one attack) under a defense and dump the              default metrics registry in Prometheus text format.")
+    Term.(const run $ id_t $ config_t)
+
+(* ---- telemetry: E13 ---- *)
+
+let telemetry_cmd =
+  simple "telemetry"
+    "E13: telemetry-disabled overhead and trace-completeness gates." (fun () ->
+      report E.pp_e13 (E.e13 ()) E.e13_ok)
 
 (* ---- check / exec: the toolchain on user-supplied source files ---- *)
 
@@ -607,7 +712,10 @@ let () =
             source_cmd;
             check_cmd;
             exec_cmd;
+            coverage_cmd;
             trace_cmd;
+            stats_cmd;
+            telemetry_cmd;
             harden_cmd;
             all_cmd;
           ]))

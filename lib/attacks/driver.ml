@@ -6,6 +6,7 @@ module Config = Pna_defense.Config
 module Interp = Pna_minicpp.Interp
 module Outcome = Pna_minicpp.Outcome
 module Vmem = Pna_vmem.Vmem
+module Trace = Pna_telemetry.Trace
 
 type result = {
   attack : Catalog.t;
@@ -16,15 +17,42 @@ type result = {
 
 (* Judge, run and check on an already-loaded machine. [run] and
    [run_prepared] share this so a rewound machine and a fresh load are
-   driven identically — the determinism the service layer relies on. *)
+   driven identically — the determinism the service layer relies on.
+   The caller is expected to hold a "run" span open; memory-access
+   deltas and the verdict are published into it. *)
 let run_on ?max_steps m (a : Catalog.t) ~config =
+  let mem = Machine.mem m in
+  let r0 = Vmem.total_reads mem and w0 = Vmem.total_writes mem in
+  let f0 = Vmem.total_faults mem in
   let ints, strings = a.Catalog.mk_input m in
   Machine.set_input ~ints ~strings m;
   let outcome = Interp.run ?max_steps m a.Catalog.program ~entry:a.Catalog.entry in
-  let verdict = a.Catalog.check m outcome in
+  let verdict =
+    Trace.with_span ~cat:"driver" "verdict" @@ fun () -> a.Catalog.check m outcome
+  in
+  Trace.add_args
+    [
+      ("status", Trace.Str (Fmt.str "%a" Outcome.pp_status outcome.Outcome.status));
+      ("success", Trace.Bool verdict.Catalog.success);
+      ("steps", Trace.Int outcome.Outcome.steps);
+      ("mem_reads", Trace.Int (Vmem.total_reads mem - r0));
+      ("mem_writes", Trace.Int (Vmem.total_writes mem - w0));
+      ("mem_faults", Trace.Int (Vmem.total_faults mem - f0));
+    ];
   { attack = a; config; outcome; verdict }
 
+let run_span ~image (a : Catalog.t) ~(config : Config.t) f =
+  Trace.with_span ~cat:"driver" "run"
+    ~args:
+      [
+        ("scenario", Trace.Str a.Catalog.id);
+        ("config", Trace.Str config.Config.name);
+        ("image", Trace.Str image);
+      ]
+    f
+
 let run ?(config = Config.none) ?max_steps (a : Catalog.t) =
+  run_span ~image:"fresh-load" a ~config @@ fun () ->
   run_on ?max_steps (Interp.load ~config a.Catalog.program) a ~config
 
 (* Run the §5.1 hardened variant of [a] under the same attacker input. The
@@ -55,6 +83,9 @@ type prepared = {
 }
 
 let prepare ?(config = Config.none) (a : Catalog.t) =
+  Trace.with_span ~cat:"driver" "prepare"
+    ~args:[ ("scenario", Trace.Str a.Catalog.id) ]
+  @@ fun () ->
   let m = Interp.load ~config a.Catalog.program in
   {
     pr_attack = a;
@@ -65,13 +96,15 @@ let prepare ?(config = Config.none) (a : Catalog.t) =
   }
 
 let reset p =
-  Machine.restore p.pr_machine p.pr_image;
+  Trace.with_span ~cat:"driver" "rewind" (fun () ->
+      Machine.restore p.pr_machine p.pr_image);
   p.pr_restores <- p.pr_restores + 1;
   p.pr_machine
 
 let restores p = p.pr_restores
 
 let run_prepared ?max_steps p =
+  run_span ~image:"rewind" p.pr_attack ~config:p.pr_config @@ fun () ->
   run_on ?max_steps (reset p) p.pr_attack ~config:p.pr_config
 
 let prepared_input p =
@@ -87,6 +120,8 @@ type supervised = {
   sv_config : Config.t;
   sv_plan : Plan.t;
   sv_attempts : int;  (** total runs, including the final one *)
+  sv_final_attempt : int;
+      (** 1-based index of the attempt whose outcome became the verdict *)
   sv_backoff_ms : int list;
       (** simulated exponential backoff before each retry, oldest first *)
   sv_fired : string list;  (** labels of the faults that actually fired *)
@@ -145,19 +180,43 @@ let supervise ?(config = Config.none) ?(max_retries = 3)
   in
   let rec go attempt backoffs =
     let fired_before = List.length (Chaos.fired eng) in
-    let outcome, m = run_once () in
+    let outcome, m =
+      Trace.with_span ~cat:"driver" "attempt"
+        ~args:[ ("index", Trace.Int attempt) ]
+        (fun () ->
+          let r = run_once () in
+          Trace.add_args
+            [
+              ( "status",
+                Trace.Str
+                  (Fmt.str "%a" Outcome.pp_status (fst r).Outcome.status) );
+            ];
+          r)
+    in
     let injected = List.length (Chaos.fired eng) > fired_before in
-    if injected && transient outcome && attempt <= max_retries then
+    if injected && transient outcome && attempt <= max_retries then begin
       (* backoff is simulated (recorded, not slept): 1, 2, 4, ... ms *)
+      Trace.instant ~cat:"driver" "retry"
+        ~args:
+          [
+            ("after_attempt", Trace.Int attempt);
+            ("backoff_ms", Trace.Int (1 lsl (attempt - 1)));
+          ];
       go (attempt + 1) ((1 lsl (attempt - 1)) :: backoffs)
+    end
     else
+      (* [attempt] is the attempt whose run produced this outcome: the
+         supervisor retries strictly in sequence, so the surviving run
+         is both the last and the verdict-producing one. Record it
+         explicitly so downstream output can say which run was judged. *)
       let outcome =
         match outcome.Outcome.status with
         | Outcome.Exited c when attempt > 1 ->
           {
             outcome with
             Outcome.status =
-              Outcome.Recovered { attempts = attempt; exit_code = c };
+              Outcome.Recovered
+                { attempts = attempt; final_attempt = attempt; exit_code = c };
           }
         | _ -> outcome
       in
@@ -169,24 +228,34 @@ let supervise ?(config = Config.none) ?(max_retries = 3)
             Catalog.failure "check raised %s" (Printexc.to_string exn))
         | None -> Catalog.failure "run aborted before execution"
       in
+      Trace.add_args [ ("final_attempt", Trace.Int attempt) ];
       {
         sv_attack = a;
         sv_config = config;
         sv_plan = plan;
         sv_attempts = attempt;
+        sv_final_attempt = attempt;
         sv_backoff_ms = List.rev backoffs;
         sv_fired = Chaos.fired eng;
         sv_outcome = outcome;
         sv_verdict = verdict;
       }
   in
-  go 1 []
+  Trace.with_span ~cat:"driver" "supervise"
+    ~args:
+      [
+        ("scenario", Trace.Str a.Catalog.id);
+        ("config", Trace.Str config.Config.name);
+        ("plan_seed", Trace.Int plan.Plan.seed);
+      ]
+  @@ fun () -> go 1 []
 
 let pp_supervised ppf s =
   Fmt.pf ppf
-    "@[<v2>%s under %s, plan seed %d: %a@,attempts: %d%a%a@,verdict: %s@]"
+    "@[<v2>%s under %s, plan seed %d: %a@,attempts: %d (verdict from attempt %d)%a%a@,verdict: %s@]"
     s.sv_attack.Catalog.id s.sv_config.Config.name s.sv_plan.Plan.seed
     Outcome.pp_status s.sv_outcome.Outcome.status s.sv_attempts
+    s.sv_final_attempt
     (fun ppf -> function
       | [] -> ()
       | ms -> Fmt.pf ppf "@,backoff ms: %a" Fmt.(list ~sep:comma int) ms)

@@ -54,6 +54,8 @@ type supervised = {
   sv_config : Config.t;
   sv_plan : Pna_chaos.Plan.t;
   sv_attempts : int;  (** total runs, including the final one *)
+  sv_final_attempt : int;
+      (** 1-based index of the attempt whose outcome became the verdict *)
   sv_backoff_ms : int list;
       (** simulated exponential backoff before each retry, oldest first *)
   sv_fired : string list;  (** labels of the faults that actually fired *)

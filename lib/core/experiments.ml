@@ -692,6 +692,201 @@ let pp_e12 ppf r =
     r.sr_memo_speedup
 
 (* ------------------------------------------------------------------ *)
+(* E13 (extension): telemetry — overhead and trace completeness          *)
+
+module Telemetry = Pna_telemetry.Telemetry
+module Trace = Pna_telemetry.Trace
+
+type e13_overhead = {
+  ov_baseline_s : float;  (** best block: inline loop, no telemetry sites *)
+  ov_production_s : float;  (** best block: driver path, telemetry off *)
+  ov_ratio : float;  (** production / baseline *)
+}
+
+type e13_trace_row = {
+  tr_scenario : string;
+  tr_config : string;
+  tr_events : int;  (** machine events the run emitted *)
+  tr_complete : bool;
+      (** every emitted event appears as a trace instant of its kind,
+          and a driver "run" span encloses them *)
+  tr_blocking_seen : bool;
+      (** a blocked outcome has its blocking event in the trace (true
+          vacuously when the run was not blocked) *)
+}
+
+type e13_report = {
+  t13_overhead : e13_overhead;
+  t13_rows : e13_trace_row list;
+  t13_dropped : int;  (** ring-buffer drops across the completeness sweep *)
+}
+
+(* Overhead: the E12 workload (benign_pool under every config) driven two
+   ways on one domain. The baseline inlines what PR-2's run_prepared did
+   — rewind, recompute input, interpret, judge — calling the machine and
+   interpreter directly so none of the telemetry call sites added by
+   this layer (driver spans, vmem delta sampling, span annotations) are
+   on the path. The production side is {!Driver.run_prepared} with
+   telemetry disabled. Best-of-[blocks] timing on both sides resists
+   scheduler noise; the ratio gates the disabled-telemetry machinery at
+   5%. *)
+let e13_overhead ~reps ~blocks () =
+  assert (not (Telemetry.enabled ()));
+  let configs = Config.all @ [ Config.pool_discipline ] in
+  let a = benign_pool in
+  let baselines =
+    List.map
+      (fun config ->
+        let m = Interp.load ~config a.Catalog.program in
+        (m, Machine.snapshot m))
+      configs
+  in
+  let baseline_block () =
+    List.iter
+      (fun (m, snap) ->
+        for _ = 1 to reps do
+          Machine.restore m snap;
+          let ints, strings = a.Catalog.mk_input m in
+          Machine.set_input ~ints ~strings m;
+          let o =
+            Interp.run ~max_steps:e12_budget m a.Catalog.program
+              ~entry:a.Catalog.entry
+          in
+          ignore (a.Catalog.check m o)
+        done)
+      baselines
+  in
+  let prepared = List.map (fun config -> Driver.prepare ~config a) configs in
+  let production_block () =
+    List.iter
+      (fun p ->
+        for _ = 1 to reps do
+          ignore (Driver.run_prepared ~max_steps:e12_budget p)
+        done)
+      prepared
+  in
+  let best f =
+    let best = ref Float.infinity in
+    for _ = 1 to blocks do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  (* warm both paths once so neither side pays first-touch costs *)
+  baseline_block ();
+  production_block ();
+  let ov_baseline_s = best baseline_block in
+  let ov_production_s = best production_block in
+  {
+    ov_baseline_s;
+    ov_production_s;
+    ov_ratio =
+      (if ov_baseline_s > 0. then ov_production_s /. ov_baseline_s else 1.);
+  }
+
+(* Completeness: every catalogue scenario under defenses off and fully
+   on, traced. The run's machine events are the ground truth; the trace
+   must contain an instant per event (matched by kind and count) inside
+   a driver "run" span. *)
+let e13_completeness () =
+  let count_by key xs =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun x ->
+        let k = key x in
+        Hashtbl.replace tbl k (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0))
+      xs;
+    tbl
+  in
+  let rows =
+    List.concat_map
+      (fun (a : Catalog.t) ->
+        List.map
+          (fun (config : Config.t) ->
+            Trace.reset ();
+            let r = Driver.run ~config ~max_steps:e12_budget a in
+            let evs = Trace.events () in
+            let instants =
+              List.filter_map
+                (fun (e : Trace.event) ->
+                  if e.Trace.ev_instant && e.Trace.ev_cat = "machine" then
+                    Some e.Trace.ev_name
+                  else None)
+                evs
+            in
+            let machine_events = r.Driver.outcome.Outcome.events in
+            let want = count_by Event.kind machine_events in
+            let got = count_by Fun.id instants in
+            let complete =
+              Hashtbl.fold
+                (fun k n acc ->
+                  acc && Option.value (Hashtbl.find_opt got k) ~default:0 = n)
+                want true
+              && List.exists
+                   (fun (e : Trace.event) ->
+                     (not e.Trace.ev_instant) && e.Trace.ev_name = "run")
+                   evs
+            in
+            let blocking_seen =
+              (not (Outcome.blocked r.Driver.outcome))
+              || List.exists
+                   (fun ev ->
+                     Event.is_blocking ev
+                     && List.mem (Event.kind ev) instants)
+                   machine_events
+              (* StackGuard terminations block without a Canary event only
+                 in principle; the canary event is always emitted, so a
+                 blocked run with no blocking event is a completeness
+                 failure unless the status alone carried it *)
+              || machine_events = []
+            in
+            {
+              tr_scenario = a.Catalog.id;
+              tr_config = config.Config.name;
+              tr_events = List.length machine_events;
+              tr_complete = complete;
+              tr_blocking_seen = blocking_seen;
+            })
+          [ Config.none; Config.full ])
+      All.attacks
+  in
+  let dropped = Trace.dropped () in
+  (rows, dropped)
+
+let e13 ?(reps = 8) ?(blocks = 5) () =
+  Telemetry.disable ();
+  let t13_overhead = e13_overhead ~reps ~blocks () in
+  let t13_rows, t13_dropped =
+    Telemetry.with_enabled (fun () -> e13_completeness ())
+  in
+  Trace.reset ();
+  { t13_overhead; t13_rows; t13_dropped }
+
+let pp_e13 ppf r =
+  Fmt.pf ppf "@[<v>E13 — telemetry: disabled overhead + trace completeness@,%s@,"
+    (String.make 100 '-');
+  Fmt.pf ppf
+    "overhead: baseline %.4fs, instrumented-disabled %.4fs  (ratio %.3f, gate \
+     <= 1.05)@,"
+    r.t13_overhead.ov_baseline_s r.t13_overhead.ov_production_s
+    r.t13_overhead.ov_ratio;
+  let incomplete =
+    List.filter (fun t -> not (t.tr_complete && t.tr_blocking_seen)) r.t13_rows
+  in
+  List.iter
+    (fun t ->
+      Fmt.pf ppf "%-16s %-14s %3d events  INCOMPLETE TRACE@," t.tr_scenario
+        t.tr_config t.tr_events)
+    incomplete;
+  Fmt.pf ppf
+    "=> %d/%d scenario traces complete (every machine event mirrored as a \
+     span-scoped instant), %d ring drops@]"
+    (List.length r.t13_rows - List.length incomplete)
+    (List.length r.t13_rows) r.t13_dropped
+
+(* ------------------------------------------------------------------ *)
 (* Pass/fail verdicts per experiment, so callers (the CLI in
    particular) can turn a regressed experiment into a non-zero exit. *)
 
@@ -761,6 +956,11 @@ let e12_ok r =
      cache actually pays for itself on the repeated benign stream *)
   r.sr_agree && r.sr_memo_speedup >= 2.0
 
+let e13_ok r =
+  r.t13_overhead.ov_ratio <= 1.05
+  && List.for_all (fun t -> t.tr_complete && t.tr_blocking_seen) r.t13_rows
+  && r.t13_dropped = 0
+
 (* ------------------------------------------------------------------ *)
 
 let run_all ppf () =
@@ -768,5 +968,6 @@ let run_all ppf () =
     (e1 ()) pp_e2_e3 (e2_e3 ()) pp_e4 (e4 ()) pp_e5 (e5 ()) pp_e6 (e6 ())
     pp_e7 (e7 ()) pp_e8_matrix (e8_matrix ()) pp_e8_overhead (e8_overhead ())
     pp_e9 (e9 ());
-  Fmt.pf ppf "@.%a@.@.%a@.@.%a@." pp_e10 (e10 ()) pp_e11 (e11 ())
-    pp_e12 (e12 ())
+  Fmt.pf ppf "@.%a@.@.%a@.@.%a@.@.%a@." pp_e10 (e10 ()) pp_e11 (e11 ())
+    pp_e12 (e12 ()) pp_e13
+    (e13 ())

@@ -80,3 +80,146 @@ let is_blocking = function
 let is_hijack = function
   | Return_hijacked _ | Vptr_hijacked _ | Fun_ptr_hijacked _ -> true
   | _ -> false
+
+(* Stable machine-readable tag, used as metric label and trace-span name. *)
+let kind = function
+  | Canary_smashed _ -> "canary_smashed"
+  | Return_hijacked _ -> "return_hijacked"
+  | Frame_pointer_corrupted _ -> "frame_pointer_corrupted"
+  | Shadow_stack_blocked _ -> "shadow_stack_blocked"
+  | Bounds_blocked _ -> "bounds_blocked"
+  | Nx_blocked _ -> "nx_blocked"
+  | Arena_sanitized _ -> "arena_sanitized"
+  | Out_of_memory _ -> "out_of_memory"
+  | Heap_corrupted _ -> "heap_corrupted"
+  | Placement _ -> "placement"
+  | Vptr_hijacked _ -> "vptr_hijacked"
+  | Fun_ptr_hijacked _ -> "fun_ptr_hijacked"
+
+(* ------------------------------------------------------------------ *)
+(* JSONL encoding: one object per event, tagged by [kind]. The decoder
+   is total over encoder output (QCheck round-trips it) and rejects
+   everything else with [Error]. *)
+
+module J = Pna_telemetry.Jsonx
+
+let opt_str = function None -> J.Null | Some s -> J.Str s
+let opt_int = function None -> J.Null | Some i -> J.Int i
+
+let to_json t : J.t =
+  let fields =
+    match t with
+    | Canary_smashed e ->
+      [ ("func", J.Str e.func); ("expected", J.Int e.expected);
+        ("found", J.Int e.found) ]
+    | Return_hijacked e ->
+      [ ("func", J.Str e.func); ("legit", J.Int e.legit);
+        ("actual", J.Int e.actual); ("symbol", opt_str e.symbol);
+        ("tainted", J.Bool e.tainted) ]
+    | Frame_pointer_corrupted e ->
+      [ ("func", J.Str e.func); ("legit", J.Int e.legit);
+        ("actual", J.Int e.actual) ]
+    | Shadow_stack_blocked e ->
+      [ ("func", J.Str e.func); ("actual", J.Int e.actual) ]
+    | Bounds_blocked e ->
+      [ ("site", J.Str e.site); ("arena", J.Int e.arena);
+        ("placed", J.Int e.placed) ]
+    | Nx_blocked e -> [ ("addr", J.Int e.addr) ]
+    | Arena_sanitized e -> [ ("addr", J.Int e.addr); ("len", J.Int e.len) ]
+    | Out_of_memory e ->
+      [ ("requested", J.Int e.requested); ("in_use", J.Int e.in_use) ]
+    | Heap_corrupted e ->
+      [ ("addr", J.Int e.addr); ("detail", J.Str e.detail) ]
+    | Placement e ->
+      [ ("site", J.Str e.site); ("addr", J.Int e.addr);
+        ("size", J.Int e.size); ("arena", opt_int e.arena) ]
+    | Vptr_hijacked e ->
+      [ ("class", J.Str e.class_); ("addr", J.Int e.addr);
+        ("actual", J.Int e.actual); ("tainted", J.Bool e.tainted) ]
+    | Fun_ptr_hijacked e ->
+      [ ("name", J.Str e.name); ("actual", J.Int e.actual);
+        ("symbol", opt_str e.symbol); ("tainted", J.Bool e.tainted) ]
+  in
+  J.Obj (("kind", J.Str (kind t)) :: fields)
+
+let of_json (j : J.t) : (t, string) result =
+  let ( let* ) r f = Result.bind r f in
+  let field name conv =
+    match J.member name j with
+    | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Fmt.str "event field %S: wrong type" name))
+    | None -> Error (Fmt.str "event field %S: missing" name)
+  in
+  let str name = field name J.to_str in
+  let int name = field name J.to_int in
+  let bool name = field name J.to_bool in
+  let str_opt name =
+    field name (function J.Null -> Some None | J.Str s -> Some (Some s) | _ -> None)
+  in
+  let int_opt name =
+    field name (function J.Null -> Some None | J.Int i -> Some (Some i) | _ -> None)
+  in
+  let* k = str "kind" in
+  match k with
+  | "canary_smashed" ->
+    let* func = str "func" in
+    let* expected = int "expected" in
+    let* found = int "found" in
+    Ok (Canary_smashed { func; expected; found })
+  | "return_hijacked" ->
+    let* func = str "func" in
+    let* legit = int "legit" in
+    let* actual = int "actual" in
+    let* symbol = str_opt "symbol" in
+    let* tainted = bool "tainted" in
+    Ok (Return_hijacked { func; legit; actual; symbol; tainted })
+  | "frame_pointer_corrupted" ->
+    let* func = str "func" in
+    let* legit = int "legit" in
+    let* actual = int "actual" in
+    Ok (Frame_pointer_corrupted { func; legit; actual })
+  | "shadow_stack_blocked" ->
+    let* func = str "func" in
+    let* actual = int "actual" in
+    Ok (Shadow_stack_blocked { func; actual })
+  | "bounds_blocked" ->
+    let* site = str "site" in
+    let* arena = int "arena" in
+    let* placed = int "placed" in
+    Ok (Bounds_blocked { site; arena; placed })
+  | "nx_blocked" ->
+    let* addr = int "addr" in
+    Ok (Nx_blocked { addr })
+  | "arena_sanitized" ->
+    let* addr = int "addr" in
+    let* len = int "len" in
+    Ok (Arena_sanitized { addr; len })
+  | "out_of_memory" ->
+    let* requested = int "requested" in
+    let* in_use = int "in_use" in
+    Ok (Out_of_memory { requested; in_use })
+  | "heap_corrupted" ->
+    let* addr = int "addr" in
+    let* detail = str "detail" in
+    Ok (Heap_corrupted { addr; detail })
+  | "placement" ->
+    let* site = str "site" in
+    let* addr = int "addr" in
+    let* size = int "size" in
+    let* arena = int_opt "arena" in
+    Ok (Placement { site; addr; size; arena })
+  | "vptr_hijacked" ->
+    let* class_ = str "class" in
+    let* addr = int "addr" in
+    let* actual = int "actual" in
+    let* tainted = bool "tainted" in
+    Ok (Vptr_hijacked { class_; addr; actual; tainted })
+  | "fun_ptr_hijacked" ->
+    let* name = str "name" in
+    let* actual = int "actual" in
+    let* symbol = str_opt "symbol" in
+    let* tainted = bool "tainted" in
+    Ok (Fun_ptr_hijacked { name; actual; symbol; tainted })
+  | k -> Error (Fmt.str "unknown event kind %S" k)

@@ -37,3 +37,15 @@ val is_blocking : t -> bool
 
 val is_hijack : t -> bool
 (** Control data (return address / vptr / function pointer) redirected. *)
+
+val kind : t -> string
+(** Stable snake_case tag of the constructor — metric label and trace
+    span name ("canary_smashed", "return_hijacked", ...). *)
+
+(** {1 JSONL encoding}
+
+    One object per event, tagged by {!kind}. [of_json] is total over
+    [to_json] output. *)
+
+val to_json : t -> Pna_telemetry.Jsonx.t
+val of_json : Pna_telemetry.Jsonx.t -> (t, string) result

@@ -102,7 +102,24 @@ let arenas t = t.arenas
 let set_chaos t hook = Pna_vmem.Vmem.set_chaos t.mem hook
 let set_chaos_alloc t hook = Heap.set_chaos_alloc t.heap hook
 
-let emit t e = t.events <- e :: t.events
+module Trace = Pna_telemetry.Trace
+module Metrics = Pna_telemetry.Metrics
+
+(* Every event is also bridged into the telemetry layer: an instant on
+   the current domain's trace track plus a kind-labelled counter in the
+   default registry. Gated on the global switch so the hot path pays
+   one atomic load when telemetry is off. *)
+let emit t e =
+  t.events <- e :: t.events;
+  if Pna_telemetry.Switch.enabled () then begin
+    let kind = Event.kind e in
+    Trace.instant ~cat:"machine"
+      ~args:[ ("detail", Trace.Str (Event.to_string e)) ]
+      kind;
+    Metrics.incr
+      (Metrics.counter Metrics.default "pna_events_total"
+         ~labels:[ ("kind", kind) ])
+  end
 let events t = List.rev t.events
 let config t = t.config
 let mem t = t.mem

@@ -663,6 +663,7 @@ let build_env prog =
 let libc_symbols = [ "system"; "execve"; "setuid_root_helper" ]
 
 let load ?heap_size ~config prog =
+  Pna_telemetry.Trace.with_span ~cat:"interp" "load" @@ fun () ->
   let env = build_env prog in
   let m = Machine.create ?heap_size ~config env in
   ignore (Machine.register_function m "_start");
@@ -698,6 +699,10 @@ let run ?(max_steps = 2_000_000) ?(max_depth = 256) ?on_stmt ?on_tick m prog
       pnew_counter = 0;
     }
   in
+  Pna_telemetry.Trace.with_span ~cat:"interp"
+    ~args:[ ("entry", Pna_telemetry.Trace.Str entry) ]
+    "run"
+  @@ fun () ->
   let status =
     try
       match Ast.find_func prog entry with
@@ -721,6 +726,11 @@ let run ?(max_steps = 2_000_000) ?(max_depth = 256) ?on_stmt ?on_tick m prog
       Outcome.Crashed (Fmt.str "heap corruption at 0x%08x: %s" a msg)
     | Type_error msg -> Outcome.Crashed (Fmt.str "type error: %s" msg)
   in
+  Pna_telemetry.Trace.add_args
+    [
+      ("steps", Pna_telemetry.Trace.Int st.steps);
+      ("status", Pna_telemetry.Trace.Str (Fmt.str "%a" Outcome.pp_status status));
+    ];
   {
     Outcome.status;
     events = Machine.events m;

@@ -24,9 +24,12 @@ type status =
   | Defense_blocked of string  (** shadow stack / bounds check / NX fired *)
   | Timeout of { steps : int }  (** interpreter budget exhausted: DoS *)
   | Out_of_memory
-  | Recovered of { attempts : int; exit_code : int }
+  | Recovered of { attempts : int; final_attempt : int; exit_code : int }
       (** the chaos supervisor retried past injected transient faults and
-          the program then ran to completion *)
+          the program then ran to completion; [attempts] is the total
+          number of attempts made and [final_attempt] the 1-based index
+          of the one that produced this verdict (equal unless a later
+          policy adds non-sequential retries) *)
 
 type t = {
   status : status;
@@ -49,7 +52,8 @@ let pp_status ppf = function
   | Timeout t -> Fmt.pf ppf "TIMEOUT after %d steps" t.steps
   | Out_of_memory -> Fmt.string ppf "OUT OF MEMORY"
   | Recovered r ->
-    Fmt.pf ppf "recovered(%d) after %d attempts" r.exit_code r.attempts
+    Fmt.pf ppf "recovered(%d) after %d attempts (verdict from attempt %d)"
+      r.exit_code r.attempts r.final_attempt
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>%a (%d steps)%a@]" pp_status t.status t.steps

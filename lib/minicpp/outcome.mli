@@ -16,9 +16,10 @@ type status =
   | Defense_blocked of string
   | Timeout of { steps : int }  (** interpreter budget exhausted: DoS *)
   | Out_of_memory
-  | Recovered of { attempts : int; exit_code : int }
+  | Recovered of { attempts : int; final_attempt : int; exit_code : int }
       (** the chaos supervisor retried past injected transient faults and
-          the program then ran to completion *)
+          the program then ran to completion; [final_attempt] is the
+          1-based index of the attempt that produced the verdict *)
 
 type t = {
   status : status;

@@ -22,6 +22,9 @@ module All = Pna_attacks.All
 module Config = Pna_defense.Config
 module Outcome = Pna_minicpp.Outcome
 module Plan = Pna_chaos.Plan
+module Metrics = Pna_telemetry.Metrics
+module Trace = Pna_telemetry.Trace
+module Jsonx = Pna_telemetry.Jsonx
 
 (* ------------------------------------------------------------------ *)
 (* Jobs and replies                                                    *)
@@ -83,6 +86,9 @@ let pp_reply ppf r =
 (* ------------------------------------------------------------------ *)
 (* Statistics                                                          *)
 
+(* The aggregate view derived from the service's metrics registry — the
+   registry is the single source of truth; this record is the stable
+   reporting shape the CLI and tests consume. *)
 type stats = {
   st_jobs : int;  (** replies produced *)
   st_memo_hits : int;
@@ -90,6 +96,8 @@ type stats = {
   st_snapshot_restores : int;  (** machine rewinds in place of loads *)
   st_fresh_loads : int;  (** machines actually built from programs *)
   st_outcomes : (string * int) list;  (** status key -> count, sorted *)
+  st_queue_wait_us : int * float;  (** (observations, total µs) queued *)
+  st_execute_us : int * float;  (** (observations, total µs) executing *)
 }
 
 let status_key st =
@@ -109,13 +117,42 @@ let pp_stats_line ppf s =
   Fmt.pf ppf "memo %d/%d  images %dR/%dL" s.st_memo_hits s.st_memo_misses
     s.st_snapshot_restores s.st_fresh_loads
 
+let mean_ms (n, total_us) =
+  if n = 0 then 0. else total_us /. float_of_int n /. 1000.
+
 let pp_stats ppf s =
   Fmt.pf ppf
-    "@[<v>jobs: %d@,memo: %d hit / %d miss@,images: %d restored / %d loaded@,outcomes: %a@]"
+    "@[<v>jobs: %d@,memo: %d hit / %d miss@,images: %d restored / %d \
+     loaded@,queue wait: %.3f ms mean / execute: %.3f ms mean@,outcomes: %a@]"
     s.st_jobs s.st_memo_hits s.st_memo_misses s.st_snapshot_restores
     s.st_fresh_loads
+    (mean_ms s.st_queue_wait_us)
+    (mean_ms s.st_execute_us)
     Fmt.(list ~sep:(any " ") (pair ~sep:(any ":") string int))
     s.st_outcomes
+
+let stats_json s : Jsonx.t =
+  let hist name (n, total_us) =
+    ( name,
+      Jsonx.Obj
+        [
+          ("count", Jsonx.Int n);
+          ("total_us", Jsonx.Float total_us);
+          ("mean_ms", Jsonx.Float (mean_ms (n, total_us)));
+        ] )
+  in
+  Jsonx.Obj
+    [
+      ("jobs", Jsonx.Int s.st_jobs);
+      ("memo_hits", Jsonx.Int s.st_memo_hits);
+      ("memo_misses", Jsonx.Int s.st_memo_misses);
+      ("snapshot_restores", Jsonx.Int s.st_snapshot_restores);
+      ("fresh_loads", Jsonx.Int s.st_fresh_loads);
+      ( "outcomes",
+        Jsonx.Obj (List.map (fun (k, n) -> (k, Jsonx.Int n)) s.st_outcomes) );
+      hist "queue_wait" s.st_queue_wait_us;
+      hist "execute" s.st_execute_us;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* The service                                                         *)
@@ -134,23 +171,48 @@ type ctx = {
   cx_cap : int;
 }
 
-type counters = {
-  mutable c_jobs : int;
-  mutable c_memo_hits : int;
-  mutable c_memo_misses : int;
-  mutable c_restores : int;
-  mutable c_loads : int;
-  c_outcomes : (string, int) Hashtbl.t;
+type memo_key = string * string * int option * int
+
+(* Registry-backed instrumentation, one registry per service instance so
+   tests (and parallel services) see isolated counters. The interned
+   instruments are held directly; outcome counters are keyed by status
+   and interned on first use. *)
+type instruments = {
+  i_registry : Metrics.registry;
+  i_jobs : Metrics.counter;
+  i_memo_hit : Metrics.counter;
+  i_memo_miss : Metrics.counter;
+  i_restores : Metrics.counter;
+  i_loads : Metrics.counter;
+  i_queue_wait : Metrics.histogram;  (** µs from submit to dequeue *)
+  i_execute : Metrics.histogram;  (** µs executing (memo hits excluded) *)
 }
 
-type memo_key = string * string * int option * int
+let mk_instruments () =
+  let reg = Metrics.create () in
+  {
+    i_registry = reg;
+    i_jobs = Metrics.counter reg "pna_service_jobs_total";
+    i_memo_hit =
+      Metrics.counter reg "pna_service_memo_total" ~labels:[ ("result", "hit") ];
+    i_memo_miss =
+      Metrics.counter reg "pna_service_memo_total"
+        ~labels:[ ("result", "miss") ];
+    i_restores =
+      Metrics.counter reg "pna_service_images_total"
+        ~labels:[ ("source", "snapshot_restore") ];
+    i_loads =
+      Metrics.counter reg "pna_service_images_total"
+        ~labels:[ ("source", "fresh_load") ];
+    i_queue_wait = Metrics.histogram reg "pna_service_queue_wait_us";
+    i_execute = Metrics.histogram reg "pna_service_execute_us";
+  }
 
 type t = {
   pool : ctx Pool.t;
   memo : (memo_key, reply) Hashtbl.t option;  (** [None]: memoization off *)
   memo_mutex : Mutex.t;
-  counters : counters;
-  counters_mutex : Mutex.t;
+  ins : instruments;
 }
 
 let create ?(jobs = Domain.recommended_domain_count ()) ?queue_cap
@@ -168,39 +230,39 @@ let create ?(jobs = Domain.recommended_domain_count ()) ?queue_cap
     pool = Pool.create ?queue_cap ~jobs ~mk_ctx ();
     memo = (if memo then Some (Hashtbl.create 256) else None);
     memo_mutex = Mutex.create ();
-    counters =
-      {
-        c_jobs = 0;
-        c_memo_hits = 0;
-        c_memo_misses = 0;
-        c_restores = 0;
-        c_loads = 0;
-        c_outcomes = Hashtbl.create 16;
-      };
-    counters_mutex = Mutex.create ();
+    ins = mk_instruments ();
   }
 
 let jobs t = Pool.jobs t.pool
 
+let registry t = t.ins.i_registry
+
+let pp_prometheus ppf t = Metrics.pp_prometheus ppf (registry t)
+
 let stats t =
-  Mutex.lock t.counters_mutex;
-  let c = t.counters in
+  let i = t.ins in
   let outcomes =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.c_outcomes []
+    List.filter_map
+      (function
+        | Metrics.Counter_info { name = "pna_service_outcomes_total"; labels; count }
+          -> (
+          match List.assoc_opt "status" labels with
+          | Some k -> Some (k, count)
+          | None -> None)
+        | _ -> None)
+      (Metrics.snapshot i.i_registry)
     |> List.sort compare
   in
-  let s =
-    {
-      st_jobs = c.c_jobs;
-      st_memo_hits = c.c_memo_hits;
-      st_memo_misses = c.c_memo_misses;
-      st_snapshot_restores = c.c_restores;
-      st_fresh_loads = c.c_loads;
-      st_outcomes = outcomes;
-    }
-  in
-  Mutex.unlock t.counters_mutex;
-  s
+  {
+    st_jobs = Metrics.count i.i_jobs;
+    st_memo_hits = Metrics.count i.i_memo_hit;
+    st_memo_misses = Metrics.count i.i_memo_miss;
+    st_snapshot_restores = Metrics.count i.i_restores;
+    st_fresh_loads = Metrics.count i.i_loads;
+    st_outcomes = outcomes;
+    st_queue_wait_us = (Metrics.hist_count i.i_queue_wait, Metrics.hist_sum i.i_queue_wait);
+    st_execute_us = (Metrics.hist_count i.i_execute, Metrics.hist_sum i.i_execute);
+  }
 
 let shutdown t = Pool.shutdown t.pool
 
@@ -213,9 +275,7 @@ let prepared_for t ctx (j : job) =
   | None ->
     let p = Driver.prepare ~config:j.j_config j.j_attack in
     let entry = (p, Hashtbl.hash (Driver.prepared_input p)) in
-    Mutex.lock t.counters_mutex;
-    t.counters.c_loads <- t.counters.c_loads + 1;
-    Mutex.unlock t.counters_mutex;
+    Metrics.incr t.ins.i_loads;
     if Hashtbl.length ctx.cx_prepared >= ctx.cx_cap then begin
       match Queue.take_opt ctx.cx_order with
       | Some oldest -> Hashtbl.remove ctx.cx_prepared oldest
@@ -243,23 +303,28 @@ let memo_store t key reply =
     Mutex.unlock t.memo_mutex
 
 let account t reply ~restores ~memo_hit =
-  Mutex.lock t.counters_mutex;
-  let c = t.counters in
-  c.c_jobs <- c.c_jobs + 1;
-  if memo_hit then c.c_memo_hits <- c.c_memo_hits + 1
-  else c.c_memo_misses <- c.c_memo_misses + 1;
-  c.c_restores <- c.c_restores + restores;
-  (* histogram over the rendered status's stable key prefix *)
+  let i = t.ins in
+  Metrics.incr i.i_jobs;
+  Metrics.incr (if memo_hit then i.i_memo_hit else i.i_memo_miss);
+  Metrics.incr ~by:restores i.i_restores;
+  (* count over the rendered status's stable key prefix *)
   let k =
     match String.index_opt reply.r_status ' ' with
-    | Some i -> String.sub reply.r_status 0 i
+    | Some idx -> String.sub reply.r_status 0 idx
     | None -> reply.r_status
   in
-  Hashtbl.replace c.c_outcomes k
-    (1 + Option.value (Hashtbl.find_opt c.c_outcomes k) ~default:0);
-  Mutex.unlock t.counters_mutex
+  Metrics.incr
+    (Metrics.counter i.i_registry "pna_service_outcomes_total"
+       ~labels:[ ("status", k) ])
 
 let execute t ctx (j : job) =
+  Trace.with_span ~cat:"service" "job"
+    ~args:
+      [
+        ("scenario", Trace.Str j.j_attack.Catalog.id);
+        ("config", Trace.Str j.j_config.Config.name);
+      ]
+  @@ fun () ->
   let p, input_hash = prepared_for t ctx j in
   let restores_before = Driver.restores p in
   (* the memo key includes the attacker-input hash computed against the
@@ -271,10 +336,12 @@ let execute t ctx (j : job) =
   match memo_find t key with
   | Some cached ->
     let reply = { cached with r_cached = true } in
+    Trace.add_args [ ("memo", Trace.Bool true) ];
     account t reply ~restores:(Driver.restores p - restores_before)
       ~memo_hit:true;
     reply
   | None ->
+    let t0 = Unix.gettimeofday () in
     let reply =
       match j.j_chaos_seed with
       | None ->
@@ -288,6 +355,9 @@ let execute t ctx (j : job) =
         in
         reply_of_supervised ~chaos_seed:seed s
     in
+    Metrics.observe t.ins.i_execute ((Unix.gettimeofday () -. t0) *. 1e6);
+    Trace.add_args
+      [ ("memo", Trace.Bool false); ("status", Trace.Str reply.r_status) ];
     memo_store t key reply;
     account t reply ~restores:(Driver.restores p - restores_before)
       ~memo_hit:false;
@@ -295,7 +365,15 @@ let execute t ctx (j : job) =
 
 (* --- client API --- *)
 
-let submit t j = Pool.submit t.pool (fun ctx -> execute t ctx j)
+(* Queue-wait is measured from submission to the moment a worker picks
+   the job up — the closure runs on the worker, so the delta between the
+   two clocks below is exactly the time spent queued. *)
+let submit t j =
+  let enqueued = Unix.gettimeofday () in
+  Pool.submit t.pool (fun ctx ->
+      Metrics.observe t.ins.i_queue_wait
+        ((Unix.gettimeofday () -. enqueued) *. 1e6);
+      execute t ctx j)
 
 let exec t j = Pool.await (submit t j)
 

@@ -49,6 +49,8 @@ type stats = {
   st_snapshot_restores : int;  (** machine rewinds in place of loads *)
   st_fresh_loads : int;  (** machines actually built from programs *)
   st_outcomes : (string * int) list;  (** status key -> count, sorted *)
+  st_queue_wait_us : int * float;  (** (observations, total µs) queued *)
+  st_execute_us : int * float;  (** (observations, total µs) executing *)
 }
 
 val status_key : Pna_minicpp.Outcome.status -> string
@@ -56,6 +58,9 @@ val pp_stats : Format.formatter -> stats -> unit
 
 val pp_stats_line : Format.formatter -> stats -> unit
 (** Compact [memo h/m  images R/L] form for tabular reports. *)
+
+val stats_json : stats -> Pna_telemetry.Jsonx.t
+(** Machine-readable form of {!pp_stats} for [--json] CLI output. *)
 
 (** {1 Lifecycle} *)
 
@@ -72,6 +77,18 @@ val jobs : t -> int
 (** Effective worker count. *)
 
 val stats : t -> stats
+(** Derived from the service's metrics registry. *)
+
+val registry : t -> Pna_telemetry.Metrics.registry
+(** The per-instance registry backing {!stats} — counters
+    [pna_service_jobs_total], [pna_service_memo_total{result}],
+    [pna_service_images_total{source}],
+    [pna_service_outcomes_total{status}] and histograms
+    [pna_service_queue_wait_us], [pna_service_execute_us]. *)
+
+val pp_prometheus : Format.formatter -> t -> unit
+(** Prometheus text-exposition dump of {!registry}. *)
+
 val shutdown : t -> unit
 
 (** {1 Execution} *)

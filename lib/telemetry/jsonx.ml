@@ -1,0 +1,265 @@
+(** A minimal JSON value type with a printer and a parser.
+
+    The telemetry layer is deliberately zero-dependency, so it carries its
+    own JSON: enough to emit Chrome Trace Event files and JSONL event
+    streams, and to parse them back in tests (the acceptance criterion is
+    a unit test that re-reads an exported trace). Strings are treated as
+    byte strings: control characters are escaped as [\u00XX] and
+    re-decoded by the parser, so arbitrary OCaml strings round-trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let escape_to b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int v -> Buffer.add_string b (string_of_int v)
+  | Float v ->
+    if Float.is_finite v then
+      (* %.17g round-trips IEEE doubles; trim to a parseable literal *)
+      Buffer.add_string b (Printf.sprintf "%.17g" v)
+    else Buffer.add_string b "null"
+  | Str s ->
+    Buffer.add_char b '"';
+    escape_to b s;
+    Buffer.add_char b '"'
+  | List items ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char b ',';
+        write b item)
+      items;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        escape_to b k;
+        Buffer.add_string b "\":";
+        write b v)
+      fields;
+    Buffer.add_char b '}'
+
+let to_string t =
+  let b = Buffer.create 256 in
+  write b t;
+  Buffer.contents b
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: a small recursive-descent parser over the byte string.      *)
+
+exception Parse_error of string
+
+let parse_error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> parse_error "at %d: expected %c, found %c" c.pos ch x
+  | None -> parse_error "at %d: expected %c, found end of input" c.pos ch
+
+let hex_digit = function
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+  | c -> parse_error "invalid hex digit %c" c
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_error "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | None -> parse_error "unterminated escape"
+      | Some esc ->
+        advance c;
+        (match esc with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          if c.pos + 4 > String.length c.src then
+            parse_error "truncated \\u escape";
+          let v =
+            (hex_digit c.src.[c.pos] lsl 12)
+            lor (hex_digit c.src.[c.pos + 1] lsl 8)
+            lor (hex_digit c.src.[c.pos + 2] lsl 4)
+            lor hex_digit c.src.[c.pos + 3]
+          in
+          c.pos <- c.pos + 4;
+          if v < 0x100 then Buffer.add_char b (Char.chr v)
+          else parse_error "\\u%04x outside the byte-string range" v
+        | e -> parse_error "invalid escape \\%c" e);
+        go ())
+    | Some ch ->
+      advance c;
+      Buffer.add_char b ch;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let lit = String.sub c.src start (c.pos - start) in
+  if String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') lit then
+    match float_of_string_opt lit with
+    | Some v -> Float v
+    | None -> parse_error "invalid number %S" lit
+  else
+    match int_of_string_opt lit with
+    | Some v -> Int v
+    | None -> parse_error "invalid number %S" lit
+
+let parse_literal c lit value =
+  if
+    c.pos + String.length lit <= String.length c.src
+    && String.sub c.src c.pos (String.length lit) = lit
+  then begin
+    c.pos <- c.pos + String.length lit;
+    value
+  end
+  else parse_error "at %d: invalid literal" c.pos
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_error "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> parse_literal c "true" (Bool true)
+  | Some 'f' -> parse_literal c "false" (Bool false)
+  | Some 'n' -> parse_literal c "null" Null
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          items (v :: acc)
+        | Some ']' ->
+          advance c;
+          List (List.rev (v :: acc))
+        | _ -> parse_error "at %d: expected , or ] in array" c.pos
+      in
+      items []
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else
+      let rec fields acc =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          advance c;
+          Obj (List.rev ((k, v) :: acc))
+        | _ -> parse_error "at %d: expected , or } in object" c.pos
+      in
+      fields []
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> parse_error "at %d: unexpected character %c" c.pos ch
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length s then
+      Error (Fmt.str "trailing bytes at offset %d" c.pos)
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors, for tests that re-read exported artifacts                 *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_int = function Int v -> Some v | _ -> None
+let to_float = function Float v -> Some v | Int v -> Some (float_of_int v) | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List l -> Some l | _ -> None

@@ -1,0 +1,13 @@
+(** The global telemetry switch.
+
+    One atomic boolean gates every instrumentation site in the tree: when
+    off, a span is a single load-and-branch around the wrapped thunk and
+    an instant/bridged event is nothing at all. The switch is its own
+    module (rather than living in {!Telemetry}) so that {!Trace} and
+    {!Metrics} can share it without a dependency cycle. *)
+
+let on = Atomic.make false
+
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false

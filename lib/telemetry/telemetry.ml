@@ -1,0 +1,18 @@
+(** Umbrella entry points for the telemetry layer.
+
+    [Pna_telemetry.Switch] holds the global on/off gate, [Metrics] the
+    registry, [Trace] the span API, and [Jsonx] the JSON carrier used by
+    the exporters. This module re-exports the switch for callers that
+    only want to flip telemetry on. *)
+
+let enable = Switch.enable
+let disable = Switch.disable
+let enabled = Switch.enabled
+
+(** [with_enabled f] runs [f] with tracing on, restoring the previous
+    switch state afterwards. Buffers are not reset — compose with
+    {!Trace.reset} when a fresh trace is wanted. *)
+let with_enabled f =
+  let was = Switch.enabled () in
+  Switch.enable ();
+  Fun.protect ~finally:(fun () -> if not was then Switch.disable ()) f

@@ -1,0 +1,237 @@
+(** Structured tracing: nested timed spans and instant events, buffered
+    per domain.
+
+    Each domain that traces gets its own ring buffer and open-span
+    stack, registered lazily through [Domain.DLS] — so {!Service.Pool}
+    workers never contend on a shared buffer and the Chrome export
+    renders one track per domain. When the global {!Switch} is off,
+    {!with_span} costs one atomic load and a branch around the thunk;
+    instants and annotations cost nothing.
+
+    Timestamps are microseconds from an arbitrary process-local epoch
+    (the first use of the module), which is what the Chrome Trace Event
+    format expects. *)
+
+type arg = Str of string | Int of int | Bool of bool | Float of float
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_track : int; (* domain id, rendered as tid *)
+  ev_ts : float; (* microseconds since [epoch] *)
+  ev_dur : float; (* microseconds; 0 for instants *)
+  ev_instant : bool;
+  ev_args : (string * arg) list;
+}
+
+(* A span still on the stack; args can grow via [add_args] until it
+   closes. *)
+type open_span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_start : float;
+  mutable sp_args : (string * arg) list;
+}
+
+type buffer = {
+  b_track : int;
+  b_mutex : Mutex.t; (* owner domain writes; exporters read *)
+  b_ring : event option array;
+  mutable b_next : int; (* total events ever pushed *)
+  mutable b_dropped : int; (* overwritten by ring wrap-around *)
+  mutable b_stack : open_span list;
+}
+
+let default_capacity = 16_384
+
+let capacity = ref default_capacity
+
+(* every domain's buffer, for exporters running on another domain *)
+let all_buffers : buffer list Atomic.t = Atomic.make []
+
+let register buf =
+  let rec go () =
+    let cur = Atomic.get all_buffers in
+    if not (Atomic.compare_and_set all_buffers cur (buf :: cur)) then go ()
+  in
+  go ()
+
+let key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let buf =
+        {
+          b_track = (Domain.self () :> int);
+          b_mutex = Mutex.create ();
+          b_ring = Array.make !capacity None;
+          b_next = 0;
+          b_dropped = 0;
+          b_stack = [];
+        }
+      in
+      register buf;
+      buf)
+
+let buffer () = Domain.DLS.get key
+
+let epoch = Unix.gettimeofday ()
+
+let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let push buf ev =
+  locked buf.b_mutex (fun () ->
+      let slot = buf.b_next mod Array.length buf.b_ring in
+      if buf.b_ring.(slot) <> None then buf.b_dropped <- buf.b_dropped + 1;
+      buf.b_ring.(slot) <- Some ev;
+      buf.b_next <- buf.b_next + 1)
+
+(* -- recording ------------------------------------------------------ *)
+
+let instant ?(cat = "event") ?(args = []) name =
+  if Switch.enabled () then
+    let buf = buffer () in
+    push buf
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_track = buf.b_track;
+        ev_ts = now_us ();
+        ev_dur = 0.;
+        ev_instant = true;
+        ev_args = args;
+      }
+
+(* Annotate the innermost open span — e.g. a run span learns its
+   verdict only after the interpreter returns. No-op when disabled or
+   outside any span. *)
+let add_args args =
+  if Switch.enabled () then
+    let buf = buffer () in
+    match buf.b_stack with
+    | [] -> ()
+    | sp :: _ -> sp.sp_args <- sp.sp_args @ args
+
+let with_span ?(cat = "span") ?(args = []) name f =
+  if not (Switch.enabled ()) then f ()
+  else begin
+    let buf = buffer () in
+    let sp = { sp_name = name; sp_cat = cat; sp_start = now_us (); sp_args = args } in
+    buf.b_stack <- sp :: buf.b_stack;
+    let close () =
+      (match buf.b_stack with
+      | top :: rest when top == sp -> buf.b_stack <- rest
+      | stack ->
+        (* exception tore through nested spans; drop through to [sp] *)
+        let rec unwind = function
+          | top :: rest when top == sp -> rest
+          | _ :: rest -> unwind rest
+          | [] -> stack
+        in
+        buf.b_stack <- unwind stack);
+      push buf
+        {
+          ev_name = sp.sp_name;
+          ev_cat = sp.sp_cat;
+          ev_track = buf.b_track;
+          ev_ts = sp.sp_start;
+          ev_dur = now_us () -. sp.sp_start;
+          ev_instant = false;
+          ev_args = sp.sp_args;
+        }
+    in
+    Fun.protect ~finally:close f
+  end
+
+(* -- reading back --------------------------------------------------- *)
+
+let collect buf =
+  locked buf.b_mutex (fun () ->
+      Array.fold_left
+        (fun acc slot -> match slot with Some ev -> ev :: acc | None -> acc)
+        [] buf.b_ring)
+
+let events () =
+  let evs =
+    List.concat_map collect (Atomic.get all_buffers)
+  in
+  List.sort (fun a b -> compare a.ev_ts b.ev_ts) evs
+
+let dropped () =
+  List.fold_left
+    (fun acc buf -> acc + locked buf.b_mutex (fun () -> buf.b_dropped))
+    0 (Atomic.get all_buffers)
+
+let reset () =
+  List.iter
+    (fun buf ->
+      locked buf.b_mutex (fun () ->
+          Array.fill buf.b_ring 0 (Array.length buf.b_ring) None;
+          buf.b_next <- 0;
+          buf.b_dropped <- 0))
+    (Atomic.get all_buffers)
+
+(* -- exporters ------------------------------------------------------ *)
+
+let arg_json = function
+  | Str s -> Jsonx.Str s
+  | Int i -> Jsonx.Int i
+  | Bool b -> Jsonx.Bool b
+  | Float f -> Jsonx.Float f
+
+let args_json args = Jsonx.Obj (List.map (fun (k, v) -> (k, arg_json v)) args)
+
+let event_json ev =
+  let base =
+    [
+      ("name", Jsonx.Str ev.ev_name);
+      ("cat", Jsonx.Str ev.ev_cat);
+      ("ph", Jsonx.Str (if ev.ev_instant then "i" else "X"));
+      ("ts", Jsonx.Float ev.ev_ts);
+      ("pid", Jsonx.Int 1);
+      ("tid", Jsonx.Int ev.ev_track);
+    ]
+  in
+  let dur = if ev.ev_instant then [] else [ ("dur", Jsonx.Float ev.ev_dur) ] in
+  let scope = if ev.ev_instant then [ ("s", Jsonx.Str "t") ] else [] in
+  let args =
+    match ev.ev_args with [] -> [] | args -> [ ("args", args_json args) ]
+  in
+  Jsonx.Obj (base @ dur @ scope @ args)
+
+(* Chrome Trace Event JSON (object form) — loadable in Perfetto or
+   chrome://tracing. One metadata record names each domain track. *)
+let chrome_json () =
+  let evs = events () in
+  let tracks =
+    List.sort_uniq compare (List.map (fun ev -> ev.ev_track) evs)
+  in
+  let metadata =
+    List.map
+      (fun track ->
+        Jsonx.Obj
+          [
+            ("name", Jsonx.Str "thread_name");
+            ("ph", Jsonx.Str "M");
+            ("pid", Jsonx.Int 1);
+            ("tid", Jsonx.Int track);
+            ( "args",
+              Jsonx.Obj [ ("name", Jsonx.Str (Fmt.str "domain-%d" track)) ] );
+          ])
+      tracks
+  in
+  Jsonx.Obj
+    [
+      ("traceEvents", Jsonx.List (metadata @ List.map event_json evs));
+      ("displayTimeUnit", Jsonx.Str "ms");
+    ]
+
+let export_chrome ppf = Fmt.pf ppf "%s@." (Jsonx.to_string (chrome_json ()))
+
+(* Compact JSONL: one event object per line, no envelope. *)
+let export_jsonl ppf =
+  List.iter
+    (fun ev -> Fmt.pf ppf "%s@." (Jsonx.to_string (event_json ev)))
+    (events ())

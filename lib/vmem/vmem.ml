@@ -16,16 +16,54 @@ type write_record = { w_addr : int; w_len : int; w_tag : string }
     pokes bypass it. *)
 type chaos_hook = access:Fault.access -> addr:int -> byte:int -> int
 
+(* Monotonic access accounting, one row per segment kind. Deliberately
+   plain mutable ints: the accessors below are the simulator's hottest
+   path and must not pay for atomics (a [t] is single-domain by
+   construction — the service clones one per worker). Counters survive
+   snapshot/restore: they describe what the simulator *did*, not what
+   memory *contains*. *)
+type access_stats = {
+  mutable a_reads : int;
+  mutable a_writes : int;
+  mutable a_taint_writes : int;
+}
+
+type stats = {
+  by_kind : (Segment.kind * access_stats) list;  (* all six kinds *)
+  mutable faults : int;  (* unmapped + protection, any kind *)
+}
+
+let fresh_stats () =
+  {
+    by_kind =
+      List.map
+        (fun k -> (k, { a_reads = 0; a_writes = 0; a_taint_writes = 0 }))
+        Segment.[ Text; Data; Bss; Heap; Stack; Mmap ];
+    faults = 0;
+  }
+
 type t = {
   mutable segments : Segment.t list;
   mutable trace_enabled : bool;
   mutable trace : write_record list;  (* most recent first *)
   mutable chaos : chaos_hook option;
+  stats : stats;
 }
 
 let word_size = 4
 
-let create () = { segments = []; trace_enabled = false; trace = []; chaos = None }
+let create () =
+  {
+    segments = [];
+    trace_enabled = false;
+    trace = [];
+    chaos = None;
+    stats = fresh_stats ();
+  }
+
+let access_stats t = t.stats
+
+let stats_row t kind = List.assq kind t.stats.by_kind
 
 let set_chaos t hook = t.chaos <- hook
 
@@ -60,7 +98,9 @@ let record_write t addr len tag =
 (* Locate the segment for a checked access, enforcing permissions. *)
 let checked t addr access =
   match find_segment t addr with
-  | None -> Fault.raise_ (Fault.Unmapped (addr, access))
+  | None ->
+    t.stats.faults <- t.stats.faults + 1;
+    Fault.raise_ (Fault.Unmapped (addr, access))
   | Some seg ->
     let ok =
       match access with
@@ -68,11 +108,16 @@ let checked t addr access =
       | Fault.Write -> seg.Segment.perm.Perm.write
       | Fault.Execute -> seg.Segment.perm.Perm.execute
     in
-    if not ok then Fault.raise_ (Fault.Protection (addr, access));
+    if not ok then begin
+      t.stats.faults <- t.stats.faults + 1;
+      Fault.raise_ (Fault.Protection (addr, access))
+    end;
     seg
 
 let read_u8 t addr =
   let seg = checked t addr Fault.Read in
+  let row = stats_row t seg.Segment.kind in
+  row.a_reads <- row.a_reads + 1;
   let b = Segment.get_byte seg addr in
   match t.chaos with
   | None -> b
@@ -84,6 +129,9 @@ let taint_of t addr =
 
 let write_u8 ?(tag = "") ?(taint = false) t addr v =
   let seg = checked t addr Fault.Write in
+  let row = stats_row t seg.Segment.kind in
+  row.a_writes <- row.a_writes + 1;
+  if taint then row.a_taint_writes <- row.a_taint_writes + 1;
   let v =
     match t.chaos with
     | None -> v
@@ -289,6 +337,30 @@ let restore t snap =
   t.segments <- restored;
   t.trace_enabled <- snap.sn_trace_enabled;
   t.trace <- snap.sn_trace
+
+(* ------------------------------------------------------------------ *)
+(* Access accounting queries                                            *)
+
+let total_reads t =
+  List.fold_left (fun acc (_, r) -> acc + r.a_reads) 0 t.stats.by_kind
+
+let total_writes t =
+  List.fold_left (fun acc (_, r) -> acc + r.a_writes) 0 t.stats.by_kind
+
+let total_taint_writes t =
+  List.fold_left (fun acc (_, r) -> acc + r.a_taint_writes) 0 t.stats.by_kind
+
+let total_faults t = t.stats.faults
+
+let pp_stats ppf t =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun (k, r) ->
+      if r.a_reads > 0 || r.a_writes > 0 then
+        Fmt.pf ppf "%-5s  r=%-8d w=%-8d taint-w=%d@,"
+          (Segment.kind_name k) r.a_reads r.a_writes r.a_taint_writes)
+    t.stats.by_kind;
+  Fmt.pf ppf "faults=%d@]" t.stats.faults
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Segment.pp) (segments t)

@@ -104,6 +104,32 @@ val restore : t -> snapshot -> unit
     [Segment.t] references held elsewhere stay valid. The chaos hook is
     untouched — it is runtime configuration, not memory state. *)
 
+(** {1 Access accounting}
+
+    Monotonic counters over the checked accessors, one row per segment
+    kind. They survive {!restore} — they describe what the simulator
+    did, not what memory contains — so run deltas come from sampling
+    before and after. Loader pokes and taint-metadata queries are not
+    counted. *)
+
+type access_stats = {
+  mutable a_reads : int;
+  mutable a_writes : int;
+  mutable a_taint_writes : int;
+}
+
+type stats = {
+  by_kind : (Segment.kind * access_stats) list;
+  mutable faults : int;
+}
+
+val access_stats : t -> stats
+val total_reads : t -> int
+val total_writes : t -> int
+val total_taint_writes : t -> int
+val total_faults : t -> int
+val pp_stats : Format.formatter -> t -> unit
+
 (** {1 Write tracing} *)
 
 val enable_trace : t -> unit

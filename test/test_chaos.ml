@@ -76,7 +76,7 @@ let test_recovers_from_alloc_failure () =
   let plan = { Plan.seed = 0; faults = [ Plan.Fail_alloc { at_alloc = 0 } ] } in
   let s = Driver.supervise ~plan benign_churn in
   (match s.Driver.sv_outcome.O.status with
-  | O.Recovered { attempts = 2; exit_code = 0 } -> ()
+  | O.Recovered { attempts = 2; final_attempt = 2; exit_code = 0 } -> ()
   | st -> Alcotest.failf "expected recovery in 2 attempts, got %a" O.pp_status st);
   Alcotest.(check bool) "verdict passes after recovery" true
     s.Driver.sv_verdict.Catalog.success;

@@ -151,6 +151,29 @@ let test_e12_service_throughput () =
   Alcotest.(check bool) "memoization at least doubles throughput" true
     (r.E.sr_memo_speedup >= 2.0)
 
+let test_e13_telemetry () =
+  (* small reps/blocks keep this quick; the overhead ratio gate itself is
+     timing-sensitive, so CI asserts it via `pna telemetry` while this
+     test pins the structural claims: every scenario trace is complete,
+     nothing dropped, and both timing legs actually ran *)
+  Pna_telemetry.Telemetry.disable ();
+  let r = E.e13 ~reps:2 ~blocks:2 () in
+  Alcotest.(check bool) "baseline timed" true (r.E.t13_overhead.E.ov_baseline_s > 0.);
+  Alcotest.(check bool) "production timed" true
+    (r.E.t13_overhead.E.ov_production_s > 0.);
+  Alcotest.(check bool) "rows cover all scenarios x 2 configs" true
+    (List.length r.E.t13_rows = 2 * List.length Pna_attacks.All.attacks);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Fmt.str "%s/%s trace complete" t.E.tr_scenario t.E.tr_config)
+        true
+        (t.E.tr_complete && t.E.tr_blocking_seen))
+    r.E.t13_rows;
+  Alcotest.(check int) "no ring drops" 0 r.E.t13_dropped;
+  Alcotest.(check bool) "telemetry left disabled" false
+    (Pna_telemetry.Telemetry.enabled ())
+
 let test_workload_heap_churn () =
   let o = Pna.Workloads.run Pna.Workloads.heap_churn ~n:500 in
   match o.O.status with
@@ -174,5 +197,6 @@ let suite =
       t "composing defenses is monotone" test_defense_monotonicity;
       t "E11: repair neutralizes all but copy loops" test_e11_repair_headline;
       t "E12: service matches driver; memo pays off" test_e12_service_throughput;
+      t "E13: traces complete, no drops" test_e13_telemetry;
       t "workload: heap churn" test_workload_heap_churn;
     ] )

@@ -300,6 +300,166 @@ let test_input_queues () =
   Alcotest.(check string) "string" "a" (Machine.next_string m);
   Alcotest.(check string) "EOF yields empty" "" (Machine.next_string m)
 
+(* ---------------- Event: exhaustive constructor coverage ---------------- *)
+
+(* One witness per constructor, with both taint/symbol variants where the
+   payload has them. Adding a constructor to Event.t breaks this list via
+   the kind check below — keep it in sync. *)
+let event_witnesses : (Event.t * string * bool * bool) list =
+  (* (event, expected kind, is_blocking, is_hijack) *)
+  [
+    ( Event.Canary_smashed { func = "f"; expected = 0xdead; found = 0x41414141 },
+      "canary_smashed", true, false );
+    ( Event.Return_hijacked
+        { func = "f"; legit = 0x10; actual = 0x20; symbol = Some "evil"; tainted = true },
+      "return_hijacked", false, true );
+    ( Event.Return_hijacked
+        { func = "g"; legit = 0x10; actual = 0x20; symbol = None; tainted = false },
+      "return_hijacked", false, true );
+    ( Event.Frame_pointer_corrupted { func = "f"; legit = 0x10; actual = 0x20 },
+      "frame_pointer_corrupted", false, false );
+    ( Event.Shadow_stack_blocked { func = "f"; actual = 0x20 },
+      "shadow_stack_blocked", true, false );
+    ( Event.Bounds_blocked { site = "s"; arena = 16; placed = 32 },
+      "bounds_blocked", true, false );
+    (Event.Nx_blocked { addr = 0x30 }, "nx_blocked", true, false);
+    ( Event.Arena_sanitized { addr = 0x40; len = 32 },
+      "arena_sanitized", false, false );
+    ( Event.Out_of_memory { requested = 64; in_use = 128 },
+      "out_of_memory", false, false );
+    ( Event.Heap_corrupted { addr = 0x50; detail = "size field" },
+      "heap_corrupted", false, false );
+    ( Event.Placement { site = "s"; addr = 0x60; size = 16; arena = Some 32 },
+      "placement", false, false );
+    ( Event.Placement { site = "s"; addr = 0x60; size = 16; arena = None },
+      "placement", false, false );
+    ( Event.Vptr_hijacked { class_ = "Student"; addr = 0x70; actual = 0x80; tainted = true },
+      "vptr_hijacked", false, true );
+    ( Event.Fun_ptr_hijacked
+        { name = "cmp"; actual = 0x90; symbol = Some "gotcha"; tainted = false },
+      "fun_ptr_hijacked", false, true );
+  ]
+
+let test_event_exhaustive () =
+  (* the witness list covers every constructor exactly once (modulo
+     payload variants) *)
+  let kinds = List.sort_uniq compare (List.map (fun (_, k, _, _) -> k) event_witnesses) in
+  Alcotest.(check int) "all 12 constructors witnessed" 12 (List.length kinds);
+  List.iter
+    (fun (e, kind, blocking, hijack) ->
+      Alcotest.(check string) (kind ^ ": kind") kind (Event.kind e);
+      Alcotest.(check bool) (kind ^ ": is_blocking") blocking (Event.is_blocking e);
+      Alcotest.(check bool) (kind ^ ": is_hijack") hijack (Event.is_hijack e);
+      let s = Event.to_string e in
+      Alcotest.(check string) (kind ^ ": pp = to_string") s (Fmt.str "%a" Event.pp e);
+      Alcotest.(check bool) (kind ^ ": renders") true (String.length s > 0))
+    event_witnesses
+
+let test_event_pp_details () =
+  (* spot-check the human-readable strings the harness greps for *)
+  let has hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let check e needle =
+    Alcotest.(check bool)
+      (Fmt.str "%S in %S" needle (Event.to_string e))
+      true
+      (has (Event.to_string e) needle)
+  in
+  check (Event.Canary_smashed { func = "f"; expected = 1; found = 2 })
+    "stack smashing detected";
+  check
+    (Event.Return_hijacked
+       { func = "f"; legit = 1; actual = 2; symbol = Some "evil"; tainted = true })
+    "[tainted]";
+  check
+    (Event.Return_hijacked
+       { func = "f"; legit = 1; actual = 2; symbol = Some "evil"; tainted = true })
+    "(= evil)";
+  check (Event.Placement { site = "s"; addr = 1; size = 2; arena = Some 3 })
+    "arena 3 bytes"
+
+let test_event_json_witnesses () =
+  List.iter
+    (fun (e, kind, _, _) ->
+      let j = Event.to_json e in
+      (match Pna_telemetry.Jsonx.member "kind" j with
+      | Some (Pna_telemetry.Jsonx.Str k) ->
+        Alcotest.(check string) "json kind tag" kind k
+      | _ -> Alcotest.fail "missing kind tag");
+      match Event.of_json j with
+      | Ok e' -> Alcotest.(check bool) (kind ^ ": round trip") true (e = e')
+      | Error err -> Alcotest.failf "%s: decode failed: %s" kind err)
+    event_witnesses;
+  (* decoder rejects junk rather than guessing *)
+  List.iter
+    (fun j ->
+      match Event.of_json j with
+      | Error _ -> ()
+      | Ok e -> Alcotest.failf "decoded junk as %s" (Event.kind e))
+    Pna_telemetry.Jsonx.
+      [
+        Null;
+        Obj [];
+        Obj [ ("kind", Str "warp_core_breach") ];
+        Obj [ ("kind", Str "nx_blocked") ] (* missing addr *);
+        Obj [ ("kind", Str "nx_blocked"); ("addr", Str "not an int") ];
+      ]
+
+(* QCheck: of_json is total over to_json output, including through the
+   serialized JSONL text. *)
+let event_gen =
+  let open QCheck.Gen in
+  let str = string_size ~gen:(char_range 'a' 'z') (int_range 0 12) in
+  let addr = int_range 0 0xffff_ffff in
+  let sym = opt str in
+  frequency
+    [
+      (1, map3 (fun func expected found ->
+           Event.Canary_smashed { func; expected; found }) str addr addr);
+      ( 1,
+        map3 (fun func (legit, actual) (symbol, tainted) ->
+            Event.Return_hijacked { func; legit; actual; symbol; tainted })
+          str (pair addr addr) (pair sym bool) );
+      (1, map3 (fun func legit actual ->
+           Event.Frame_pointer_corrupted { func; legit; actual }) str addr addr);
+      (1, map2 (fun func actual ->
+           Event.Shadow_stack_blocked { func; actual }) str addr);
+      (1, map3 (fun site arena placed ->
+           Event.Bounds_blocked { site; arena; placed }) str small_nat small_nat);
+      (1, map (fun addr -> Event.Nx_blocked { addr }) addr);
+      (1, map2 (fun addr len -> Event.Arena_sanitized { addr; len }) addr small_nat);
+      (1, map2 (fun requested in_use ->
+           Event.Out_of_memory { requested; in_use }) small_nat small_nat);
+      (1, map2 (fun addr detail -> Event.Heap_corrupted { addr; detail }) addr str);
+      ( 1,
+        map3 (fun site (addr, size) arena ->
+            Event.Placement { site; addr; size; arena })
+          str (pair addr small_nat) (opt small_nat) );
+      ( 1,
+        map3 (fun class_ (addr, actual) tainted ->
+            Event.Vptr_hijacked { class_; addr; actual; tainted })
+          str (pair addr addr) bool );
+      ( 1,
+        map3 (fun name actual (symbol, tainted) ->
+            Event.Fun_ptr_hijacked { name; actual; symbol; tainted })
+          str addr (pair sym bool) );
+    ]
+
+let event_arb =
+  QCheck.make ~print:Event.to_string event_gen
+
+let prop_event_json_round_trip =
+  QCheck.Test.make ~count:500 ~name:"event: JSONL round trip" event_arb
+    (fun e ->
+      let line = Pna_telemetry.Jsonx.to_string (Event.to_json e) in
+      match Pna_telemetry.Jsonx.of_string line with
+      | Error _ -> false
+      | Ok j -> (
+        match Event.of_json j with Ok e' -> e = e' | Error _ -> false))
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   ( "machine",
@@ -334,4 +494,8 @@ let suite =
       t "lax machine tolerates misalignment" test_lax_alignment_tolerated;
       t "stack exhaustion faults like a guard page" test_stack_exhaustion_faults;
       t "input queues" test_input_queues;
+      t "event: every constructor classified" test_event_exhaustive;
+      t "event: rendered details" test_event_pp_details;
+      t "event: JSON round trip + junk rejected" test_event_json_witnesses;
+      QCheck_alcotest.to_alcotest prop_event_json_round_trip;
     ] )

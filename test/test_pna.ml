@@ -17,4 +17,5 @@ let () =
       Test_analysis.suite;
       Test_experiments.suite;
       Test_service.suite;
+      Test_telemetry.suite;
     ]
