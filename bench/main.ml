@@ -260,6 +260,40 @@ let service_group =
           fun () -> ignore (Service.exec svc j)));
     ]
 
+(* sanitizer: what the PNASan oracle costs — the prepared driver path
+   with no oracle (the production configuration E14 gates at 5% over the
+   inline baseline), the same path with the shadow map attached, a raw
+   attach (shadow build over a loaded image), and the quarantining
+   allocator vs the plain free path. *)
+let sanitizer_group =
+  let module San = Pna_sanitizer.Sanitizer in
+  [
+    Test.make ~name:"sanitizer/run_prepared_off" (stage (
+        let p = Driver.prepare Pna.Experiments.benign_pool in
+        fun () -> ignore (Driver.run_prepared p)));
+    Test.make ~name:"sanitizer/run_prepared_on" (stage (
+        let p = Driver.prepare ~sanitize:true Pna.Experiments.benign_pool in
+        fun () -> ignore (Driver.run_prepared p)));
+    Test.make ~name:"sanitizer/attack_run_on" (stage (fun () ->
+        ignore (Driver.run ~sanitize:true Pna_attacks.L13_stack_ret.attack)));
+    Test.make ~name:"sanitizer/attach_shadow" (stage (
+        let m = Interp.load ~config:Config.none Pna.Workloads.pool_server in
+        fun () ->
+          let san = San.attach (Machine.mem m) in
+          San.detach san));
+    Test.make ~name:"sanitizer/quarantined_malloc_free" (stage (
+        let open Pna_vmem in
+        let m = Vmem.create () in
+        let _ = Vmem.map m ~kind:Segment.Heap ~base:0x10000 ~size:0x10000 ~perm:Perm.rw in
+        let h = Pna_machine.Heap.create m ~base:0x10000 ~size:0x10000 in
+        let san = San.attach m in
+        Pna_machine.Heap.set_sanitizer h (Some san);
+        fun () ->
+          match Pna_machine.Heap.malloc h 32 with
+          | Some a -> Pna_machine.Heap.free h a
+          | None -> assert false));
+  ]
+
 (* telemetry: the cost of the instrumentation layer itself — the
    disabled span gate (what every production run pays), the enabled
    span, registry increments/observations, and the exporters' JSON
@@ -317,6 +351,7 @@ let groups =
     ("ablation", ablation_group);
     ("service", service_group);
     ("telemetry", telemetry_group);
+    ("sanitizer", sanitizer_group);
   ]
 
 let selected_groups () =

@@ -73,33 +73,88 @@ let list_cmd =
 
 (* ---- run ---- *)
 
+let sanitize_t =
+  Arg.(value & flag & info [ "sanitize" ]
+         ~doc:"Attach the PNASan shadow-memory oracle and print the              violations it records (the verdict is unchanged — the oracle              never halts execution).")
+
+let pp_violations ppf = function
+  | [] -> Fmt.pf ppf "sanitizer: no violations@."
+  | vs ->
+    Fmt.pf ppf "sanitizer: %d violation record(s)@." (List.length vs);
+    List.iter
+      (fun v -> Fmt.pf ppf "  %a@." Pna_sanitizer.Sanitizer.pp_violation v)
+      vs
+
 let run_cmd =
   let id_t =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTACK-ID")
   in
-  let run id config verbose =
+  let run id config verbose sanitize =
     match All.find id with
     | None ->
       Fmt.epr "unknown attack %s; see `pna_cli list`@." id;
       exit 1
     | Some a ->
-      let r = Driver.run ~config a in
+      let r = Driver.run ~config ~sanitize a in
       Fmt.pr "%a@." Driver.pp_result r;
+      if sanitize then Fmt.pr "%a" pp_violations r.Driver.violations;
       if verbose then
         List.iter
           (fun e -> Fmt.pr "  event: %s@." (Pna_machine.Event.to_string e))
           r.Driver.outcome.Pna_minicpp.Outcome.events;
-      (match Driver.run_hardened ~config a with
+      (match Driver.run_hardened ~config ~sanitize a with
       | None -> ()
-      | Some (o, safe) ->
+      | Some (o, safe, vs) ->
         Fmt.pr "hardened variant: %s (%a)@."
           (if safe then "safe" else "STILL VULNERABLE")
-          Pna_minicpp.Outcome.pp_status o.Pna_minicpp.Outcome.status);
+          Pna_minicpp.Outcome.pp_status o.Pna_minicpp.Outcome.status;
+        if sanitize then Fmt.pr "%a" pp_violations vs);
       if not r.Driver.verdict.Catalog.success then exit 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one attack (and its hardened variant, if any).")
-    Term.(const run $ id_t $ config_t $ verbose_t)
+    Term.(const run $ id_t $ config_t $ verbose_t $ sanitize_t)
+
+(* ---- sanitize: PNASan violation report over the catalogue ---- *)
+
+let sanitize_cmd =
+  let run config =
+    let module San = Pna_sanitizer.Sanitizer in
+    Fmt.pr "PNASan violation report — catalogue under %s@.@." config.Config.name;
+    List.iter
+      (fun (a : Catalog.t) ->
+        let r = Driver.run ~config ~sanitize:true a in
+        let first =
+          match r.Driver.violations with
+          | [] -> "no violation"
+          | v :: _ ->
+            Fmt.str "first: %s at 0x%08x (%s)" (San.kind_name v.San.v_kind)
+              v.San.v_addr
+              (match v.San.v_access with
+              | Pna_vmem.Fault.Read -> "read"
+              | Pna_vmem.Fault.Write -> "write"
+              | Pna_vmem.Fault.Execute -> "execute")
+        in
+        Fmt.pr "%-14s %-9s %d record(s); %s@." a.Catalog.id
+          (if r.Driver.verdict.Catalog.success then "SUCCESS" else "blocked")
+          (List.length r.Driver.violations)
+          first;
+        List.iter (fun v -> Fmt.pr "    %a@." San.pp_violation v)
+          r.Driver.violations;
+        (match Driver.run_hardened ~config ~sanitize:true a with
+        | None -> ()
+        | Some (_, safe, vs) ->
+          Fmt.pr "  hardened: %s, %d violation record(s)@."
+            (if safe then "safe" else "UNSAFE")
+            (List.length vs);
+          List.iter (fun v -> Fmt.pr "    %a@." San.pp_violation v) vs);
+        Fmt.pr "@.")
+      All.attacks
+  in
+  Cmd.v
+    (Cmd.info "sanitize"
+       ~doc:"Run the whole catalogue (and hardened variants) under the              PNASan shadow-memory oracle and print every recorded              violation — the CI artifact report.")
+    Term.(const run $ config_t)
 
 (* ---- experiments ---- *)
 
@@ -593,6 +648,14 @@ let telemetry_cmd =
     "E13: telemetry-disabled overhead and trace-completeness gates." (fun () ->
       report E.pp_e13 (E.e13 ()) E.e13_ok)
 
+(* ---- oracle: E14 ---- *)
+
+let oracle_cmd =
+  simple "oracle"
+    "E14: PNASan completeness — every attack flagged at its first corrupting \
+     access, clean runs flag-free, disabled overhead gated." (fun () ->
+      report E.pp_e14 (E.e14 ()) E.e14_ok)
+
 (* ---- check / exec: the toolchain on user-supplied source files ---- *)
 
 let parse_file path =
@@ -693,6 +756,7 @@ let () =
           [
             list_cmd;
             run_cmd;
+            sanitize_cmd;
             matrix_cmd;
             stackguard_cmd;
             leak_cmd;
@@ -716,6 +780,7 @@ let () =
             trace_cmd;
             stats_cmd;
             telemetry_cmd;
+            oracle_cmd;
             harden_cmd;
             all_cmd;
           ]))

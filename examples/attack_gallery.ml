@@ -28,9 +28,9 @@ let () =
         (if r.D.verdict.C.success then "ATTACK SUCCEEDED" else "attack failed")
         r.D.verdict.C.detail;
       (match D.run_hardened a with
-      | Some (_, true) ->
+      | Some (_, true, _) ->
         Fmt.pr "    hardened (§5.1 correct coding): attack neutralized@."
-      | Some (o, false) ->
+      | Some (o, false, _) ->
         Fmt.pr "    hardened variant STILL vulnerable: %a@." O.pp_status o.O.status
       | None -> ());
       Fmt.pr "@.")

@@ -7,39 +7,82 @@ module Interp = Pna_minicpp.Interp
 module Outcome = Pna_minicpp.Outcome
 module Vmem = Pna_vmem.Vmem
 module Trace = Pna_telemetry.Trace
+module San = Pna_sanitizer.Sanitizer
 
 type result = {
   attack : Catalog.t;
   config : Config.t;
   outcome : Outcome.t;
   verdict : Catalog.verdict;
+  violations : San.violation list;
+      (** what the shadow-memory oracle recorded; empty unless the run
+          was sanitized *)
 }
+
+(* Build the shadow-memory oracle over a freshly loaded machine and wire
+   it through the poisoning layers. *)
+let oracle m ~scenario =
+  let san = San.attach ~scenario (Machine.mem m) in
+  Machine.attach_sanitizer m (Some san);
+  san
+
+(* Per-statement site context for violation reports: a lazy thunk, only
+   forced if a violation actually records under this statement. *)
+let site_hook san =
+  fun func stmt ->
+  San.set_site san
+    (Some
+       (fun () ->
+         Fmt.str "%s: %a" func (Pna_minicpp.Cpp_print.pp_stmt 0) stmt))
 
 (* Judge, run and check on an already-loaded machine. [run] and
    [run_prepared] share this so a rewound machine and a fresh load are
    driven identically — the determinism the service layer relies on.
    The caller is expected to hold a "run" span open; memory-access
    deltas and the verdict are published into it. *)
-let run_on ?max_steps m (a : Catalog.t) ~config =
+let run_on ?max_steps ?san m (a : Catalog.t) ~config =
   let mem = Machine.mem m in
   let r0 = Vmem.total_reads mem and w0 = Vmem.total_writes mem in
   let f0 = Vmem.total_faults mem in
   let ints, strings = a.Catalog.mk_input m in
   Machine.set_input ~ints ~strings m;
-  let outcome = Interp.run ?max_steps m a.Catalog.program ~entry:a.Catalog.entry in
+  let on_stmt =
+    Option.map
+      (fun s ->
+        San.set_scenario s a.Catalog.id;
+        San.unseal s;
+        site_hook s)
+      san
+  in
+  let outcome =
+    Interp.run ?max_steps ?on_stmt m a.Catalog.program ~entry:a.Catalog.entry
+  in
+  (* The oracle stops recording before the verdict: checks legitimately
+     inspect freed blocks and stale tails to prove corruption. *)
+  Option.iter San.seal san;
   let verdict =
     Trace.with_span ~cat:"driver" "verdict" @@ fun () -> a.Catalog.check m outcome
   in
   Trace.add_args
-    [
-      ("status", Trace.Str (Fmt.str "%a" Outcome.pp_status outcome.Outcome.status));
-      ("success", Trace.Bool verdict.Catalog.success);
-      ("steps", Trace.Int outcome.Outcome.steps);
-      ("mem_reads", Trace.Int (Vmem.total_reads mem - r0));
-      ("mem_writes", Trace.Int (Vmem.total_writes mem - w0));
-      ("mem_faults", Trace.Int (Vmem.total_faults mem - f0));
-    ];
-  { attack = a; config; outcome; verdict }
+    ([
+       ("status", Trace.Str (Fmt.str "%a" Outcome.pp_status outcome.Outcome.status));
+       ("success", Trace.Bool verdict.Catalog.success);
+       ("steps", Trace.Int outcome.Outcome.steps);
+       ("mem_reads", Trace.Int (Vmem.total_reads mem - r0));
+       ("mem_writes", Trace.Int (Vmem.total_writes mem - w0));
+       ("mem_faults", Trace.Int (Vmem.total_faults mem - f0));
+     ]
+    @
+    match san with
+    | None -> []
+    | Some s -> [ ("san_violations", Trace.Int (San.total s)) ]);
+  {
+    attack = a;
+    config;
+    outcome;
+    verdict;
+    violations = (match san with None -> [] | Some s -> San.violations s);
+  }
 
 let run_span ~image (a : Catalog.t) ~(config : Config.t) f =
   Trace.with_span ~cat:"driver" "run"
@@ -51,25 +94,44 @@ let run_span ~image (a : Catalog.t) ~(config : Config.t) f =
       ]
     f
 
-let run ?(config = Config.none) ?max_steps (a : Catalog.t) =
+(* CI's second test pass exports PNA_SANITIZE=1 to run every driver-based
+   test under the oracle; explicit [~sanitize] arguments still win. *)
+let env_sanitize =
+  match Sys.getenv_opt "PNA_SANITIZE" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let run ?(config = Config.none) ?max_steps ?(sanitize = env_sanitize)
+    (a : Catalog.t) =
   run_span ~image:"fresh-load" a ~config @@ fun () ->
-  run_on ?max_steps (Interp.load ~config a.Catalog.program) a ~config
+  let m = Interp.load ~config a.Catalog.program in
+  let san = if sanitize then Some (oracle m ~scenario:a.Catalog.id) else None in
+  run_on ?max_steps ?san m a ~config
 
 (* Run the §5.1 hardened variant of [a] under the same attacker input. The
    hardened program is judged safe when it terminates normally and no
-   hijack or corruption event fired. *)
-let run_hardened ?(config = Config.none) ?max_steps (a : Catalog.t) =
+   hijack or corruption event fired. With [sanitize] the shadow oracle
+   rides along; its records come back for false-positive auditing. *)
+let run_hardened ?(config = Config.none) ?max_steps ?(sanitize = env_sanitize)
+    (a : Catalog.t) =
   Option.map
     (fun program ->
       let m = Interp.load ~config program in
+      let san =
+        if sanitize then
+          Some (oracle m ~scenario:(a.Catalog.id ^ "+hardened"))
+        else None
+      in
       let ints, strings = a.Catalog.mk_input m in
       Machine.set_input ~ints ~strings m;
-      let outcome = Interp.run ?max_steps m program ~entry:a.Catalog.entry in
+      let on_stmt = Option.map site_hook san in
+      let outcome = Interp.run ?max_steps ?on_stmt m program ~entry:a.Catalog.entry in
+      Option.iter San.seal san;
       let safe =
         Outcome.exited_normally outcome
         && not (List.exists Pna_machine.Event.is_hijack outcome.Outcome.events)
       in
-      (outcome, safe))
+      (outcome, safe, match san with None -> [] | Some s -> San.violations s))
     a.Catalog.hardened
 
 (* --- prepared scenarios: load once, rewind per run --- *)
@@ -79,19 +141,24 @@ type prepared = {
   pr_config : Config.t;
   pr_machine : Machine.t;
   pr_image : Machine.snapshot;  (** the post-load state rewound to *)
+  pr_san : San.t option;
   mutable pr_restores : int;
 }
 
-let prepare ?(config = Config.none) (a : Catalog.t) =
+let prepare ?(config = Config.none) ?(sanitize = env_sanitize) (a : Catalog.t) =
   Trace.with_span ~cat:"driver" "prepare"
     ~args:[ ("scenario", Trace.Str a.Catalog.id) ]
   @@ fun () ->
   let m = Interp.load ~config a.Catalog.program in
+  (* Attach before the snapshot so rewinds restore the clean shadow map
+     along with the memory it mirrors. *)
+  let san = if sanitize then Some (oracle m ~scenario:a.Catalog.id) else None in
   {
     pr_attack = a;
     pr_config = config;
     pr_machine = m;
     pr_image = Machine.snapshot m;
+    pr_san = san;
     pr_restores = 0;
   }
 
@@ -105,7 +172,7 @@ let restores p = p.pr_restores
 
 let run_prepared ?max_steps p =
   run_span ~image:"rewind" p.pr_attack ~config:p.pr_config @@ fun () ->
-  run_on ?max_steps (reset p) p.pr_attack ~config:p.pr_config
+  run_on ?max_steps ?san:p.pr_san (reset p) p.pr_attack ~config:p.pr_config
 
 let prepared_input p =
   p.pr_attack.Catalog.mk_input (reset p)

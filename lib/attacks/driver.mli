@@ -4,24 +4,40 @@
 module Machine = Pna_machine.Machine
 module Config = Pna_defense.Config
 module Outcome = Pna_minicpp.Outcome
+module San = Pna_sanitizer.Sanitizer
 
 type result = {
   attack : Catalog.t;
   config : Config.t;
   outcome : Outcome.t;
   verdict : Catalog.verdict;
+  violations : San.violation list;
+      (** what the shadow-memory oracle recorded; empty unless the run
+          was sanitized *)
 }
 
-val run : ?config:Config.t -> ?max_steps:int -> Catalog.t -> result
+val run : ?config:Config.t -> ?max_steps:int -> ?sanitize:bool -> Catalog.t -> result
 (** Load, compute attacker input against the image, run, judge.
     [max_steps] bounds the interpreter budget — the same deadline knob
     {!supervise} has always taken, so a serving layer can enforce per-job
-    deadlines uniformly. *)
+    deadlines uniformly. [sanitize] (default false, or true when the
+    [PNA_SANITIZE] environment variable is set — CI's second test pass)
+    attaches the PNASan shadow-memory oracle for the run: violations are
+    recorded (never
+    halting execution, so the verdict is unchanged) and returned in
+    [violations], sealed before the verdict check so attack checks can
+    inspect freed and stale memory freely. *)
 
 val run_hardened :
-  ?config:Config.t -> ?max_steps:int -> Catalog.t -> (Outcome.t * bool) option
+  ?config:Config.t ->
+  ?max_steps:int ->
+  ?sanitize:bool ->
+  Catalog.t ->
+  (Outcome.t * bool * San.violation list) option
 (** Run the §5.1 hardened twin under the same attacker input; the boolean
-    is "safe": exited normally with no hijack event. *)
+    is "safe": exited normally with no hijack event. With [sanitize] the
+    oracle rides along — a hardened variant is expected to record zero
+    violations (the false-positive half of the E14 gate). *)
 
 (** {1 Prepared scenarios: load once, rewind per run}
 
@@ -34,7 +50,10 @@ val run_hardened :
 
 type prepared
 
-val prepare : ?config:Config.t -> Catalog.t -> prepared
+val prepare : ?config:Config.t -> ?sanitize:bool -> Catalog.t -> prepared
+(** With [sanitize], the oracle is attached before the snapshot is
+    frozen, so every rewind restores the pristine shadow map too. *)
+
 val run_prepared : ?max_steps:int -> prepared -> result
 
 val reset : prepared -> Machine.t

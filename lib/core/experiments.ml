@@ -426,6 +426,7 @@ let status_key = function
   | Outcome.Defense_blocked _ -> "blocked"
   | Outcome.Timeout _ -> "timeout"
   | Outcome.Out_of_memory -> "oom"
+  | Outcome.Internal_error _ -> "internal-error"
   | Outcome.Arc_injection _ -> "arc-inj"
   | Outcome.Code_injection _ -> "code-inj"
 
@@ -887,6 +888,237 @@ let pp_e13 ppf r =
     (List.length r.t13_rows) r.t13_dropped
 
 (* ------------------------------------------------------------------ *)
+(* E14 (extension): the PNASan oracle-completeness gate                  *)
+
+module San = Pna_sanitizer.Sanitizer
+
+(* Per-attack expectation: the kind of the *first* recorded violation
+   under defenses off, i.e. where the oracle places the first corrupting
+   access. [None] marks the two documented exclusions — L23's leak and
+   OOM DoS never touch memory they do not own, so a memory-state oracle
+   has nothing to flag (E6's accounting and the step budget catch them
+   instead). *)
+let e14_expected =
+  [
+    ("L03-strobj", Some "placement-overflow");
+    ("L03-misalign", Some "placement-overflow");
+    ("L05-remote", Some "placement-overflow");
+    ("L06-copyloop", Some "placement-overflow");
+    ("L07-copyctor", Some "placement-overflow");
+    ("L08-indirect", Some "placement-overflow");
+    ("L10-internal", Some "placement-overflow");
+    ("L11-bss", Some "placement-overflow");
+    ("L12-heap", Some "meta-write");
+    ("L13-ret", Some "stack-smash");
+    ("L13-bypass", Some "stack-smash");
+    ("L13-inject", Some "stack-smash");
+    ("L14-bssvar", Some "placement-overflow");
+    ("L15-var", Some "placement-overflow");
+    ("L15-dos", Some "placement-overflow");
+    ("L15-skip", Some "placement-overflow");
+    ("L16-member", Some "placement-overflow");
+    ("VT-bss", Some "placement-overflow");
+    ("VT-stack", Some "placement-overflow");
+    ("L17-funptr", Some "placement-overflow");
+    ("L18-varptr", Some "placement-overflow");
+    ("L19-arrstack", Some "placement-overflow");
+    ("L20-arrbss", Some "placement-overflow");
+    ("L21-leakarr", Some "stale-read");
+    ("L22-leakobj", Some "stale-read");
+    ("L23-memleak", None);
+    ("L23-oom", None);
+    ("SER-object", Some "placement-overflow");
+    ("SER-count", Some "placement-overflow");
+  ]
+
+type e14_row = {
+  o_scenario : string;
+  o_expected : string option;  (** expected first-violation kind *)
+  o_first : string option;  (** observed first-violation kind *)
+  o_records : int;
+  o_verdict_same : bool;
+      (** the sanitized run's verdict equals the unsanitized run's — the
+          oracle observes, never perturbs *)
+}
+
+let e14_row_ok r = r.o_first = r.o_expected && r.o_verdict_same
+
+type e14_clean_row = {
+  cl_scenario : string;
+  cl_records : int;  (** false positives — must be 0 *)
+}
+
+type e14_report = {
+  t14_rows : e14_row list;
+  t14_clean : e14_clean_row list;
+  t14_overhead : e13_overhead;
+      (** same gate shape as E13: the sanitizer-capable driver path with
+          the oracle *not* attached vs the inline baseline *)
+  t14_enabled_ratio : float;
+      (** informative: oracle attached vs not, same driver path *)
+}
+
+(* Completeness sweep: every catalogue attack under defenses off, oracle
+   attached. The first recorded violation is where the oracle says the
+   attack first corrupts memory; the verdict must match the plain run. *)
+let e14_completeness () =
+  List.map
+    (fun (a : Catalog.t) ->
+      let plain =
+        Driver.run ~config:Config.none ~max_steps:e12_budget ~sanitize:false a
+      in
+      let r = Driver.run ~config:Config.none ~max_steps:e12_budget ~sanitize:true a in
+      let expected =
+        match List.assoc_opt a.Catalog.id e14_expected with
+        | Some e -> e
+        | None -> Some "unlisted-attack"
+      in
+      {
+        o_scenario = a.Catalog.id;
+        o_expected = expected;
+        o_first =
+          (match r.Driver.violations with
+          | [] -> None
+          | v :: _ -> Some (San.kind_name v.San.v_kind));
+        o_records = List.length r.Driver.violations;
+        o_verdict_same =
+          r.Driver.verdict.Catalog.success
+          = plain.Driver.verdict.Catalog.success;
+      })
+    All.attacks
+
+(* False-positive sweep: every §5.1 hardened twin plus the benign
+   workloads, oracle attached. Anything recorded here is a false
+   positive. *)
+let e14_clean () =
+  let hardened =
+    List.filter_map
+      (fun (a : Catalog.t) ->
+        match Driver.run_hardened ~config:Config.none ~sanitize:true a with
+        | Some (_, _, vs) ->
+          Some
+            { cl_scenario = a.Catalog.id ^ "+hardened";
+              cl_records = List.length vs }
+        | None -> None)
+      All.attacks
+  in
+  let workload name prog ~n =
+    let m = Interp.load ~config:Config.none prog in
+    let san = San.attach ~scenario:name (Machine.mem m) in
+    Machine.attach_sanitizer m (Some san);
+    Machine.set_input ~ints:[ n ] ~strings:[] m;
+    let o = Interp.run ~max_steps:50_000_000 m prog ~entry:"main" in
+    San.seal san;
+    if not (Outcome.exited_normally o) then
+      { cl_scenario = name; cl_records = max 1 (List.length (San.violations san)) }
+    else { cl_scenario = name; cl_records = List.length (San.violations san) }
+  in
+  hardened
+  @ [
+      workload "pool-server" Workloads.pool_server ~n:64;
+      workload "heap-churn" Workloads.heap_churn ~n:64;
+    ]
+
+(* Overhead: E13's shape with the sanitizer question. The inline baseline
+   has no observer installed at all; the production side is the driver
+   path with [sanitize:false] — the cost of carrying an (unattached)
+   observer hook on every checked byte access. Gate at 5%. The enabled
+   ratio (oracle attached, same path) is reported for scale but not
+   gated: shadow lookups on every access are the price of the oracle. *)
+let e14_overhead ~reps ~blocks () =
+  let a = benign_pool in
+  let config = Config.none in
+  let m = Interp.load ~config a.Catalog.program in
+  let snap = Machine.snapshot m in
+  let baseline_block () =
+    for _ = 1 to reps do
+      Machine.restore m snap;
+      let ints, strings = a.Catalog.mk_input m in
+      Machine.set_input ~ints ~strings m;
+      let o =
+        Interp.run ~max_steps:e12_budget m a.Catalog.program
+          ~entry:a.Catalog.entry
+      in
+      ignore (a.Catalog.check m o)
+    done
+  in
+  let plain = Driver.prepare ~config ~sanitize:false a in
+  let production_block () =
+    for _ = 1 to reps do
+      ignore (Driver.run_prepared ~max_steps:e12_budget plain)
+    done
+  in
+  let sanitized = Driver.prepare ~config ~sanitize:true a in
+  let sanitized_block () =
+    for _ = 1 to reps do
+      ignore (Driver.run_prepared ~max_steps:e12_budget sanitized)
+    done
+  in
+  let best f =
+    let best = ref Float.infinity in
+    for _ = 1 to blocks do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  baseline_block ();
+  production_block ();
+  sanitized_block ();
+  let ov_baseline_s = best baseline_block in
+  let ov_production_s = best production_block in
+  let sanitized_s = best sanitized_block in
+  ( {
+      ov_baseline_s;
+      ov_production_s;
+      ov_ratio =
+        (if ov_baseline_s > 0. then ov_production_s /. ov_baseline_s else 1.);
+    },
+    if ov_production_s > 0. then sanitized_s /. ov_production_s else 1. )
+
+let e14 ?(reps = 8) ?(blocks = 5) () =
+  Telemetry.disable ();
+  let t14_overhead, t14_enabled_ratio = e14_overhead ~reps ~blocks () in
+  { t14_rows = e14_completeness (); t14_clean = e14_clean (); t14_overhead;
+    t14_enabled_ratio }
+
+let pp_e14 ppf r =
+  Fmt.pf ppf
+    "@[<v>E14 — PNASan oracle completeness: every attack flagged, no false \
+     positives@,%s@,"
+    (String.make 100 '-');
+  List.iter
+    (fun row ->
+      let show = function None -> "-" | Some k -> k in
+      Fmt.pf ppf "%-14s first violation %-20s (expected %-20s) %d record(s)%s%s@,"
+        row.o_scenario (show row.o_first) (show row.o_expected) row.o_records
+        (if row.o_first = row.o_expected then "" else "  MISMATCH")
+        (if row.o_verdict_same then "" else "  VERDICT PERTURBED"))
+    r.t14_rows;
+  let dirty = List.filter (fun c -> c.cl_records > 0) r.t14_clean in
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "%-24s %d FALSE POSITIVE record(s)@," c.cl_scenario
+        c.cl_records)
+    dirty;
+  let expected_flagged =
+    List.length (List.filter (fun r -> r.o_expected <> None) r.t14_rows)
+  in
+  Fmt.pf ppf
+    "overhead: baseline %.4fs, driver-unsanitized %.4fs (ratio %.3f, gate <= \
+     1.05); oracle-attached %.1fx@,"
+    r.t14_overhead.ov_baseline_s r.t14_overhead.ov_production_s
+    r.t14_overhead.ov_ratio r.t14_enabled_ratio;
+  Fmt.pf ppf
+    "=> %d/%d attacks flagged as expected (%d oracle-visible), %d/%d clean \
+     runs flag-free@]"
+    (List.length (List.filter e14_row_ok r.t14_rows))
+    (List.length r.t14_rows) expected_flagged
+    (List.length r.t14_clean - List.length dirty)
+    (List.length r.t14_clean)
+
+(* ------------------------------------------------------------------ *)
 (* Pass/fail verdicts per experiment, so callers (the CLI in
    particular) can turn a regressed experiment into a non-zero exit. *)
 
@@ -961,6 +1193,11 @@ let e13_ok r =
   && List.for_all (fun t -> t.tr_complete && t.tr_blocking_seen) r.t13_rows
   && r.t13_dropped = 0
 
+let e14_ok r =
+  List.for_all e14_row_ok r.t14_rows
+  && List.for_all (fun c -> c.cl_records = 0) r.t14_clean
+  && r.t14_overhead.ov_ratio <= 1.05
+
 (* ------------------------------------------------------------------ *)
 
 let run_all ppf () =
@@ -968,6 +1205,7 @@ let run_all ppf () =
     (e1 ()) pp_e2_e3 (e2_e3 ()) pp_e4 (e4 ()) pp_e5 (e5 ()) pp_e6 (e6 ())
     pp_e7 (e7 ()) pp_e8_matrix (e8_matrix ()) pp_e8_overhead (e8_overhead ())
     pp_e9 (e9 ());
-  Fmt.pf ppf "@.%a@.@.%a@.@.%a@.@.%a@." pp_e10 (e10 ()) pp_e11 (e11 ())
+  Fmt.pf ppf "@.%a@.@.%a@.@.%a@.@.%a@.@.%a@." pp_e10 (e10 ()) pp_e11 (e11 ())
     pp_e12 (e12 ()) pp_e13
     (e13 ())
+    pp_e14 (e14 ())

@@ -13,6 +13,7 @@
     allocated with no pointer to it — leaked. *)
 
 module Vmem = Pna_vmem.Vmem
+module San = Pna_sanitizer.Sanitizer
 
 exception Corrupted of int * string
 
@@ -33,12 +34,26 @@ type t = {
   mutable chaos_alloc : (int -> bool) option;
       (** fault-injection hook: called with the (aligned) request size;
           returning [true] makes this malloc fail as if memory ran out *)
+  mutable san : San.t option;
+      (** sanitizer shadow map; when set, frees quarantine instead of
+          returning blocks to the free list immediately *)
+  quarantine : int Queue.t;  (** payload addresses, oldest first *)
 }
 
 let header_size = 8
 let min_split = 8
 let magic_alloc = 0xa110ca7e
 let magic_free = 0xf7eeb10c
+
+(* Status word of a freed-but-quarantined block: not reusable by
+   [find_fit], so dangling reads and writes land on poisoned bytes
+   instead of a recycled allocation; a second [free] still reads as a
+   double free. *)
+let magic_quar = 0x9afe110c
+
+let quarantine_capacity = 16
+
+type status = St_alloc | St_free | St_quar
 
 let align8 n = (n + 7) land lnot 7
 
@@ -50,40 +65,64 @@ let create mem ~base ~size =
     brk = base;
     stats = { allocs = 0; frees = 0; in_use = 0; peak = 0; leaked = 0 };
     chaos_alloc = None;
+    san = None;
+    quarantine = Queue.create ();
   }
 
 let stats t = t.stats
 let set_chaos_alloc t hook = t.chaos_alloc <- hook
 
-let write_header t addr ~size ~status =
-  Vmem.write_u32 ~tag:"heap-hdr" t.mem (addr - header_size) size;
-  Vmem.write_u32 ~tag:"heap-hdr" t.mem (addr - 4) status
+(* Shadow-map helpers: no-ops without an attached sanitizer. Header
+   writes are simulator bookkeeping, not program behaviour, so they run
+   exempt from checking; header *reads* need no exemption because meta
+   bytes only flag on writes. *)
+let shadow_mark t addr len st =
+  match t.san with None -> () | Some s -> San.poison s ~addr ~len st
 
-let read_header t addr =
+let exempt t f = match t.san with None -> f () | Some s -> San.exempt s f
+
+let write_header t addr ~size ~status =
+  exempt t (fun () ->
+      Vmem.write_u32 ~tag:"heap-hdr" t.mem (addr - header_size) size;
+      Vmem.write_u32 ~tag:"heap-hdr" t.mem (addr - 4) status);
+  shadow_mark t (addr - header_size) header_size San.Heap_meta
+
+let read_header_st t addr =
   let size = Vmem.read_u32 t.mem (addr - header_size) in
   let status = Vmem.read_u32 t.mem (addr - 4) in
-  if status <> magic_alloc && status <> magic_free then
-    raise (Corrupted (addr, Fmt.str "bad status word 0x%08x" status));
+  let st =
+    if status = magic_alloc then St_alloc
+    else if status = magic_free then St_free
+    else if status = magic_quar then St_quar
+    else raise (Corrupted (addr, Fmt.str "bad status word 0x%08x" status))
+  in
   if size <= 0 || addr + size > t.limit then
     raise (Corrupted (addr, Fmt.str "implausible block size %d" size));
-  (size, status = magic_alloc)
+  (size, st)
+
+let read_header t addr =
+  let size, st = read_header_st t addr in
+  (size, st = St_alloc)
 
 (* Walk the implicit block list: payload addresses in layout order. *)
-let iter_blocks t f =
+let iter_blocks_st t f =
   let rec go payload =
     if payload - header_size < t.brk then begin
-      let size, allocated = read_header t payload in
-      f payload size allocated;
+      let size, st = read_header_st t payload in
+      f payload size st;
       go (payload + size + header_size)
     end
   in
   go (t.base + header_size)
 
+let iter_blocks t f =
+  iter_blocks_st t (fun payload size st -> f payload size (st = St_alloc))
+
 let find_fit t n =
   let found = ref None in
   (try
-     iter_blocks t (fun payload size allocated ->
-         if (not allocated) && size >= n && !found = None then begin
+     iter_blocks_st t (fun payload size st ->
+         if st = St_free && size >= n && !found = None then begin
            found := Some (payload, size);
            raise Exit
          end)
@@ -126,11 +165,17 @@ let malloc t n =
       end
     in
     account_alloc t used;
+    (match t.san with
+    | None -> ()
+    | Some s -> San.unpoison s ~addr:payload ~len:used);
     Some payload
   | None -> (
     match bump t n with
     | Some payload ->
       account_alloc t n;
+      (match t.san with
+      | None -> ()
+      | Some s -> San.unpoison s ~addr:payload ~len:n);
       Some payload
     | None -> None)
 
@@ -142,29 +187,29 @@ let block_size t payload = fst (read_header t payload)
 let prev_free_neighbour t payload =
   let found = ref None in
   (try
-     iter_blocks t (fun p size allocated ->
+     iter_blocks_st t (fun p size st ->
          if p + size + header_size = payload then begin
-           found := (if allocated then None else Some (p, size));
+           found := (if st = St_free then Some (p, size) else None);
            raise Exit
          end
          else if p >= payload then raise Exit)
    with Exit -> ());
   !found
 
-let free t payload =
-  let size, allocated = read_header t payload in
-  if not allocated then raise (Corrupted (payload, "double free"));
+(* Return a block to the free list and coalesce with free neighbours.
+   Shadow: the payload and any absorbed headers become redzone. *)
+let release t payload size =
   write_header t payload ~size ~status:magic_free;
-  t.stats.frees <- t.stats.frees + 1;
-  t.stats.in_use <- t.stats.in_use - size;
+  shadow_mark t payload size San.Heap_redzone;
   (* coalesce with the next block when it is free *)
   let payload, size =
     let next = payload + size + header_size in
     if next - header_size < t.brk then begin
-      let nsize, nalloc = read_header t next in
-      if not nalloc then begin
+      let nsize, nst = read_header_st t next in
+      if nst = St_free then begin
         let size = size + header_size + nsize in
         write_header t payload ~size ~status:magic_free;
+        shadow_mark t (next - header_size) header_size San.Heap_redzone;
         (payload, size)
       end
       else (payload, size)
@@ -174,14 +219,45 @@ let free t payload =
   (* ... and with the previous block *)
   match prev_free_neighbour t payload with
   | Some (prev, psize) ->
-    write_header t prev ~size:(psize + header_size + size) ~status:magic_free
+    write_header t prev ~size:(psize + header_size + size) ~status:magic_free;
+    shadow_mark t (payload - header_size) header_size San.Heap_redzone
   | None -> ()
+
+(* Oldest quarantined block goes back to the free list for real. *)
+let evict_quarantined t =
+  match Queue.take_opt t.quarantine with
+  | None -> ()
+  | Some old -> (
+    match read_header_st t old with
+    | osize, St_quar -> release t old osize
+    | _ | (exception Corrupted _) -> ())
+
+let free t payload =
+  let size, st = read_header_st t payload in
+  if st <> St_alloc then raise (Corrupted (payload, "double free"));
+  (* A forged status word can make a freed block look allocated again; a
+     free that would release more bytes than are accounted as live is
+     such a replay. Detect it, and clamp regardless so crafted sequences
+     can never drive the gauge negative. *)
+  if size > t.stats.in_use then
+    raise (Corrupted (payload, "free of unaccounted block"));
+  t.stats.frees <- t.stats.frees + 1;
+  t.stats.in_use <- max 0 (t.stats.in_use - size);
+  match t.san with
+  | Some s ->
+    (* Quarantine: the block is not reusable yet, so dangling accesses
+       land on [Freed] bytes instead of a recycled allocation. *)
+    write_header t payload ~size ~status:magic_quar;
+    San.poison s ~addr:payload ~len:size San.Freed;
+    Queue.push payload t.quarantine;
+    if Queue.length t.quarantine > quarantine_capacity then evict_quarantined t
+  | None -> release t payload size
 
 (* Release only the first [n] payload bytes of the block; the tail stays
    allocated but unreachable. Returns the number of leaked bytes. *)
 let free_partial t payload n =
-  let size, allocated = read_header t payload in
-  if not allocated then raise (Corrupted (payload, "partial free of free block"));
+  let size, st = read_header_st t payload in
+  if st <> St_alloc then raise (Corrupted (payload, "partial free of free block"));
   let n = align8 n in
   if n + header_size + min_split > size then begin
     free t payload;
@@ -192,20 +268,41 @@ let free_partial t payload n =
     let tail_size = size - n - header_size in
     write_header t tail ~size:tail_size ~status:magic_alloc;
     write_header t payload ~size:n ~status:magic_alloc;
-    t.stats.in_use <- t.stats.in_use - header_size;
+    t.stats.in_use <- max 0 (t.stats.in_use - header_size);
     free t payload;
     t.stats.leaked <- t.stats.leaked + tail_size + header_size;
     tail_size + header_size
   end
 
+let set_sanitizer t s =
+  (* Drain blocks quarantined under the previous regime so they do not
+     linger unreusable forever. *)
+  while not (Queue.is_empty t.quarantine) do
+    evict_quarantined t
+  done;
+  t.san <- s;
+  match s with
+  | None -> ()
+  | Some san ->
+    (* Initialize the heap shadow: the whole segment is redzone, then
+       block headers become meta and live payloads addressable. *)
+    San.poison san ~addr:t.base ~len:(t.limit - t.base) San.Heap_redzone;
+    iter_blocks_st t (fun payload size st ->
+        San.poison san ~addr:(payload - header_size) ~len:header_size
+          San.Heap_meta;
+        if st = St_alloc then San.unpoison san ~addr:payload ~len:size)
+
+let quarantined t = Queue.length t.quarantine
+
 (* Allocator bookkeeping snapshot: the block headers themselves live in
    simulated memory and are captured by [Vmem.snapshot]; this records the
    out-of-band state (break pointer, statistics). *)
-type snapshot = { sn_brk : int; sn_stats : stats }
+type snapshot = { sn_brk : int; sn_stats : stats; sn_quar : int list }
 
 let snapshot t =
   {
     sn_brk = t.brk;
+    sn_quar = List.of_seq (Queue.to_seq t.quarantine);
     sn_stats =
       {
         allocs = t.stats.allocs;
@@ -218,6 +315,8 @@ let snapshot t =
 
 let restore t snap =
   t.brk <- snap.sn_brk;
+  Queue.clear t.quarantine;
+  List.iter (fun p -> Queue.push p t.quarantine) snap.sn_quar;
   t.stats.allocs <- snap.sn_stats.allocs;
   t.stats.frees <- snap.sn_stats.frees;
   t.stats.in_use <- snap.sn_stats.in_use;

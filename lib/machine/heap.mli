@@ -25,6 +25,19 @@ val set_chaos_alloc : t -> (int -> bool) option -> unit
 (** Fault-injection hook: called with every (aligned) request size;
     returning [true] makes that malloc fail as if memory ran out. *)
 
+val set_sanitizer : t -> Pna_sanitizer.Sanitizer.t option -> unit
+(** Attach (or detach) a shadow map. On attach the heap shadow is
+    initialized — whole segment redzone, block headers meta, live
+    payloads addressable — and subsequent frees quarantine the payload
+    ([Freed] bytes, block unreusable) in a bounded FIFO whose evictions
+    return blocks to the free list for real. Any blocks quarantined
+    under a previous sanitizer are drained first. *)
+
+val quarantined : t -> int
+(** Number of blocks currently held in the quarantine ring. *)
+
+val quarantine_capacity : int
+
 val malloc : t -> int -> int option
 (** Payload address (8-aligned), or [None] when out of memory.
     @raise Invalid_argument on a non-positive size.

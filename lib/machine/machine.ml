@@ -10,6 +10,7 @@
 open Pna_layout
 
 module Config = Pna_defense.Config
+module San = Pna_sanitizer.Sanitizer
 
 type ret_status =
   | Returned
@@ -43,6 +44,7 @@ type t = {
   mutable input_ints : int list;
   mutable input_strings : string list;
   mutable output : string list;  (** newest first *)
+  mutable san : San.t option;  (** attached shadow-memory oracle *)
 }
 
 (* Fixed address map, ELF-flavoured (cf. the paper's footnote 3). *)
@@ -93,6 +95,7 @@ let create ?(heap_size = default_heap_size) ~config env =
     input_ints = [];
     input_strings = [];
     output = [];
+    san = None;
   }
 
 let arenas t = t.arenas
@@ -101,6 +104,26 @@ let arenas t = t.arenas
    accesses and make selected allocations fail. *)
 let set_chaos t hook = Pna_vmem.Vmem.set_chaos t.mem hook
 let set_chaos_alloc t hook = Heap.set_chaos_alloc t.heap hook
+
+(* Wire a shadow-memory oracle through every layer that poisons: the
+   heap (redzones + quarantine) and, for frames already live at attach
+   time, their control slots. The sanitizer itself observes accesses via
+   the [Vmem] hook it installed at creation. *)
+let attach_sanitizer t san =
+  t.san <- san;
+  Heap.set_sanitizer t.heap san;
+  match san with
+  | None -> ()
+  | Some s ->
+    List.iter
+      (fun (f : Frame.t) ->
+        let mark slot = San.poison s ~addr:slot ~len:4 San.Stack_meta in
+        mark f.Frame.fr_ret_slot;
+        Option.iter mark f.Frame.fr_fp_slot;
+        Option.iter mark f.Frame.fr_canary_slot)
+      t.frames
+
+let sanitizer t = t.san
 
 module Trace = Pna_telemetry.Trace
 module Metrics = Pna_telemetry.Metrics
@@ -129,7 +152,14 @@ let heap_stats t = Heap.stats t.heap
 (* ------------------------------------------------------------------ *)
 (* Text symbols and vtables                                            *)
 
-let register_function t name = Text.register t.text name
+(* Text exhaustion becomes a classified out-of-memory outcome instead of
+   an untyped [Failure], matching the rodata/data/bss treatment. *)
+let register_function t name =
+  try Text.register t.text name
+  with Text.Full { requested; used } ->
+    let e = Event.Out_of_memory { requested; in_use = used } in
+    emit t e;
+    raise (Event.Security_stop e)
 let function_addr t name = Text.address_exn t.text name
 let symbol_at t addr = Text.symbol_at t.text addr
 
@@ -151,7 +181,7 @@ let emit_vtables t =
     Hashtbl.replace t.vtable_classes addr (cname, vptr_off);
     List.iteri
       (fun i (_, impl) ->
-        let fn = Text.register t.text impl in
+        let fn = register_function t impl in
         Pna_vmem.Vmem.poke_u32 t.mem (addr + (4 * i)) fn)
       slots;
     addr
@@ -317,17 +347,26 @@ let add_global ?(initialized = false) t name ty =
     Fmt.invalid_arg "Machine.add_global: duplicate global %s" name;
   let size = Layout.sizeof t.env ty in
   let align = max 1 (Layout.alignof t.env ty) in
+  (* Segment exhaustion is a classified outcome, not an untyped crash:
+     the cursor is left unmoved so the machine stays consistent. *)
+  let exhausted ~in_use =
+    let e = Event.Out_of_memory { requested = size; in_use } in
+    emit t e;
+    raise (Event.Security_stop e)
+  in
   let addr =
     if initialized then begin
       let a = align_up t.data_cursor align in
+      if a + size > data_base + data_size then
+        exhausted ~in_use:(t.data_cursor - data_base);
       t.data_cursor <- a + size;
-      if t.data_cursor > data_base + data_size then failwith "data segment full";
       a
     end
     else begin
       let a = align_up t.bss_cursor align in
+      if a + size > bss_base + bss_size then
+        exhausted ~in_use:(t.bss_cursor - bss_base);
       t.bss_cursor <- a + size;
-      if t.bss_cursor > bss_base + bss_size then failwith "bss segment full";
       a
     end
   in
@@ -382,6 +421,16 @@ let push_frame t ~func ~ret_to =
       }
   in
   t.frames <- frame :: t.frames;
+  (* Shadow the control slots *after* their legitimate writes above: any
+     later write to them is a smash. The epilogue reads are unaffected
+     (meta bytes only flag on writes). *)
+  (match t.san with
+  | None -> ()
+  | Some s ->
+    let mark slot = San.poison s ~addr:slot ~len:4 San.Stack_meta in
+    mark ret_slot;
+    Option.iter mark fp_slot;
+    Option.iter mark canary_slot);
   frame
 
 let current_frame t =
@@ -468,6 +517,12 @@ let pop_frame t =
   List.iter
     (fun l -> Arena.unregister t.arenas ~base:l.Frame.lv_addr)
     frame.Frame.fr_locals;
+  (* The dead frame's whole extent — control slots, locals, and any
+     placement-tail marks inside it — reverts to plain stack. *)
+  (match t.san with
+  | None -> ()
+  | Some s ->
+    San.unpoison s ~addr:t.sp ~len:(frame.Frame.fr_base - t.sp));
   t.sp <- frame.Frame.fr_base;
   t.fp <- frame.Frame.fr_fp_legit;
   t.frames <- List.tl t.frames;
@@ -538,7 +593,7 @@ type placement = { p_addr : int; p_arena : int option }
    or array being placed; [addr] is the attacker- or programmer-supplied
    target. No check happens unless the bounds-check defense is on — that
    asymmetry *is* the vulnerability class. *)
-let placement_new ?cname ?(align = 1) t ~site ~addr ~size =
+let placement_new ?cname ?(align = 1) ?declared t ~site ~addr ~size =
   if addr = 0 then Pna_vmem.Fault.raise_ Pna_vmem.Fault.Null_placement;
   if t.config.Config.strict_alignment && align > 1 && addr mod align <> 0 then
     Pna_vmem.Fault.raise_ (Pna_vmem.Fault.Misaligned (addr, align));
@@ -562,6 +617,50 @@ let placement_new ?cname ?(align = 1) t ~site ~addr ~size =
       emit t (Event.Arena_sanitized { addr; len })
     | Some _ | None -> ()
   end;
+  (* Shadow the placement geometry: an oversize placement poisons the
+     spill past the arena (any write there is the §3.x overflow); an
+     undersize one poisons the leftover arena bytes as stale (any read
+     is the §4.3 leak; a write re-initializes the byte). Existing meta
+     states take priority — a tail overlapping a frame's control slots
+     must keep flagging as a stack smash. *)
+  (match (t.san, arena) with
+  | Some s, Some remaining ->
+    (* The oracle's notion of the storage being reused is the *declared*
+       object the place expression names, when that is narrower than the
+       registered arena: placing a GradStudent over [&player.stud1]
+       overflows at the member's end (§3.4 internal overflow), even
+       though the enclosing global's arena has room. Defense checks above
+       deliberately keep the arena view — that blind spot is the paper's
+       point. *)
+    let remaining =
+      match declared with Some d -> min remaining d | None -> remaining
+    in
+    let extent = max size remaining in
+    (* this placement owns [addr, addr+extent): a neighbour's guard zone
+       reaching into it is obsolete *)
+    San.unpoison_state s ~addr ~len:extent San.Place_guard;
+    if size > remaining then
+      San.poison_addressable s ~addr:(addr + remaining) ~len:(size - remaining)
+        San.Place_tail
+    else if size < remaining then begin
+      (* only bytes still holding data from before the placement can
+         leak; the §5.1 remedy (zero the arena before reuse) leaves
+         nothing to mark *)
+      let stale_byte a =
+        match Pna_vmem.Vmem.find_segment t.mem a with
+        | Some seg -> Pna_vmem.Segment.get_byte seg a <> 0
+        | None -> false
+      in
+      for a = addr + size to addr + remaining - 1 do
+        if stale_byte a then
+          San.poison_addressable s ~addr:a ~len:1 San.Stale_tail
+      done
+    end;
+    (* guard zone past the arena: an exactly-sized placement overflowed
+       by a construction loop writes here first (§3.2 Listing 6) *)
+    San.poison_addressable s ~addr:(addr + extent) ~len:San.guard_len
+      San.Place_guard
+  | _ -> ());
   (match cname with
   | Some cname -> install_vptrs t ~addr ~cname
   | None -> ());
@@ -621,6 +720,7 @@ type snapshot = {
   ms_input_ints : int list;
   ms_input_strings : string list;
   ms_output : string list;
+  ms_san : San.snapshot option;
 }
 
 (* Frames carry one mutable field (the locals list); copy the records so
@@ -648,6 +748,7 @@ let snapshot t =
     ms_input_ints = t.input_ints;
     ms_input_strings = t.input_strings;
     ms_output = t.output;
+    ms_san = Option.map San.snapshot t.san;
   }
 
 let restore_table dst src =
@@ -677,6 +778,12 @@ let restore t snap =
   t.input_ints <- snap.ms_input_ints;
   t.input_strings <- snap.ms_input_strings;
   t.output <- snap.ms_output;
+  (* The sanitizer attachment is runtime configuration and survives; its
+     shadow states and recorded violations rewind with the memory they
+     describe. *)
+  (match (t.san, snap.ms_san) with
+  | Some s, Some sn -> San.restore s sn
+  | _ -> ());
   set_chaos t None;
   set_chaos_alloc t None
 

@@ -45,6 +45,17 @@ val set_chaos : t -> Pna_vmem.Vmem.chaos_hook option -> unit
 val set_chaos_alloc : t -> (int -> bool) option -> unit
 (** Install an allocation fault-injection hook on the heap. *)
 
+val attach_sanitizer : t -> Pna_sanitizer.Sanitizer.t option -> unit
+(** Wire a shadow-memory oracle (PNASan) through the machine: heap
+    redzones + free quarantine, live frames' control slots, and — from
+    here on — frame pushes and placement-new geometry. The sanitizer
+    must have been created over this machine's address space
+    ({!Pna_sanitizer.Sanitizer.attach} on {!mem}). Pass [None] to
+    detach the machine layers (the Vmem observer is the sanitizer's
+    own). *)
+
+val sanitizer : t -> Pna_sanitizer.Sanitizer.t option
+
 val events : t -> Event.t list
 (** Oldest first. *)
 
@@ -67,6 +78,9 @@ val restore : t -> snapshot -> unit
 (** {1 Text symbols and vtables} *)
 
 val register_function : t -> string -> int
+(** @raise Event.Security_stop as a classified out-of-memory outcome
+    when the text segment has no room for another function slot. *)
+
 val function_addr : t -> string -> int
 val symbol_at : t -> int -> string option
 
@@ -94,7 +108,9 @@ val dispatch : t -> obj_addr:int -> static_class:string -> meth:string -> dispat
 
 val add_global : ?initialized:bool -> t -> string -> Pna_layout.Ctype.t -> int
 (** Allocates in data ([initialized]) or bss, registers the arena, returns
-    the address. @raise Invalid_argument on duplicates. *)
+    the address. @raise Invalid_argument on duplicates.
+    @raise Event.Security_stop as a classified out-of-memory outcome when
+    the segment is exhausted. *)
 
 val global : t -> string -> (int * Pna_layout.Ctype.t) option
 val global_addr_exn : t -> string -> int
@@ -136,6 +152,7 @@ type placement = { p_addr : int; p_arena : int option }
 val placement_new :
   ?cname:string ->
   ?align:int ->
+  ?declared:int ->
   t ->
   site:string ->
   addr:int ->
@@ -143,7 +160,10 @@ val placement_new :
   placement
 (** The primitive under study: emits an audit event and — only when the
     respective defenses are on — bounds-checks against the backing arena
-    and/or sanitizes it. Installs vptrs for class placements.
+    and/or sanitizes it. Installs vptrs for class placements. [declared]
+    is the static extent of the object the place expression names (when
+    it names one); only the sanitizer's shadow geometry uses it — the
+    defenses see the registered arena, whose blind spots are the point.
     @raise Pna_vmem.Fault.Fault on a null target, or on a misaligned one
     under strict alignment.
     @raise Event.Security_stop when the bounds check blocks it. *)

@@ -20,6 +20,8 @@ type t = {
    call instruction on x86), purely for realistic-looking addresses. *)
 let slot_size = 16
 
+exception Full of { requested : int; used : int }
+
 let create ~base ~size =
   {
     base;
@@ -33,7 +35,8 @@ let register t name =
   match Hashtbl.find_opt t.by_name name with
   | Some addr -> addr
   | None ->
-    if t.next + slot_size > t.limit then failwith "Text.register: text full";
+    if t.next + slot_size > t.limit then
+      raise (Full { requested = slot_size; used = t.next - t.base });
     let addr = t.next in
     t.next <- t.next + slot_size;
     Hashtbl.replace t.by_name name addr;

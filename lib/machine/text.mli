@@ -7,10 +7,16 @@ type t
 val slot_size : int
 (** Bytes reserved per function (16). *)
 
+exception Full of { requested : int; used : int }
+(** Raised by {!register} when the segment has no room for another slot;
+    [Machine.register_function] converts it to a classified
+    out-of-memory outcome. *)
+
 val create : base:int -> size:int -> t
 
 val register : t -> string -> int
-(** Idempotent: re-registering returns the existing address. *)
+(** Idempotent: re-registering returns the existing address.
+    @raise Full when the text segment is exhausted. *)
 
 val address : t -> string -> int option
 val address_exn : t -> string -> int

@@ -238,27 +238,42 @@ and eval st ~func e : Value.t =
     let addr = Machine.malloc st.m (count * sizeof st ty) in
     Value.ptr ~ty:(Ctype.Ptr ty) addr
   | Ast.Pnew (place, ty, args) -> (
-    let addr = Value.as_bits (eval st ~func place) in
+    let pv = eval st ~func place in
+    let addr = Value.as_bits pv in
     let size = sizeof st ty in
     let cname = match ty with Ctype.Class c -> Some c | _ -> None in
     let align = Layout.alignof (env st) ty in
     ignore
-      (Machine.placement_new ?cname ~align st.m ~site:(fresh_site st func) ~addr
-         ~size);
+      (Machine.placement_new ?cname ~align
+         ?declared:(declared_extent st place pv)
+         st.m ~site:(fresh_site st func) ~addr ~size);
     (match cname with
     | Some cname -> construct st ~func ~addr ~cname args
     | None -> ());
     Value.ptr ~ty:(Ctype.Ptr ty) addr)
   | Ast.Pnew_arr (place, ty, n) ->
-    let addr = Value.as_bits (eval st ~func place) in
+    let pv = eval st ~func place in
+    let addr = Value.as_bits pv in
     let count_v = eval st ~func n in
     let count = Value.as_int count_v in
     let size = count * sizeof st ty in
     if size < 0 then raise (Halt (Outcome.Crashed "std::bad_alloc (array size)"));
     let align = Layout.alignof (env st) ty in
     ignore
-      (Machine.placement_new ~align st.m ~site:(fresh_site st func) ~addr ~size);
+      (Machine.placement_new ~align
+         ?declared:(declared_extent st place pv)
+         st.m ~site:(fresh_site st func) ~addr ~size);
     Value.ptr ~ty:(Ctype.Ptr ty) addr
+
+(* The static extent of the storage a placement's place expression names:
+   only a literal address-of — [new (&player.stud1) ...] — names an
+   object with a definite size; a pointer value may point anywhere into a
+   larger arena. Feeds the sanitizer's shadow geometry. *)
+and declared_extent st place (pv : Value.t) =
+  match (place, pv.Value.ty) with
+  | Ast.Addr _, Ctype.Ptr ((Ctype.Class _ | Ctype.Array _) as pt) ->
+    Some (sizeof st pt)
+  | _ -> None
 
 and fresh_site st func =
   st.pnew_counter <- st.pnew_counter + 1;
@@ -379,7 +394,14 @@ and eval_binop st ~func op a b =
       | Ast.Bor -> num (x lor y)
       | Ast.Shl -> num (x lsl (y land 31))
       | Ast.Shr -> num ((x land 0xffffffff) lsr (y land 31))
-      | Ast.And | Ast.Or -> assert false))
+      | Ast.And | Ast.Or ->
+        (* eval_expr lowers these to short-circuit control flow before
+           operand evaluation; reaching strict evaluation is a simulator
+           bug, reported as such rather than an untyped assert. *)
+        raise
+          (Halt
+             (Outcome.Internal_error
+                "logical operator reached strict evaluation"))))
 
 (* Method call: [obj] is a class lvalue or a pointer to class. Virtual
    methods dispatch through the vtable pointer stored in the object;
@@ -739,8 +761,9 @@ let run ?(max_steps = 2_000_000) ?(max_depth = 256) ?on_stmt ?on_tick m prog
   }
 
 (* Convenience: load + input + run in one call. Loading a hostile source
-   file can exhaust a segment (text/data/bss); classify that as a crashed
-   outcome instead of letting Failure/Invalid_argument escape. *)
+   file can exhaust a segment (text/data/bss); classify that as an
+   out-of-memory (or otherwise blocked) outcome instead of letting an
+   exception escape. *)
 let execute ?heap_size ?max_steps ?max_depth ?on_stmt ?on_tick ~config
     ?(input_ints = []) ?(input_strings = []) ?(entry = "main") prog =
   match load ?heap_size ~config prog with
@@ -754,3 +777,11 @@ let execute ?heap_size ?max_steps ?max_depth ?on_stmt ?on_tick ~config
       output = [];
       steps = 0;
     }
+  | exception Event.Security_stop e ->
+    let status =
+      match e with
+      | Event.Out_of_memory _ -> Outcome.Out_of_memory
+      | Event.Canary_smashed _ -> Outcome.Stack_smashing_detected
+      | _ -> Outcome.Defense_blocked "defense"
+    in
+    { Outcome.status; events = []; output = []; steps = 0 }

@@ -24,6 +24,10 @@ type status =
   | Defense_blocked of string  (** shadow stack / bounds check / NX fired *)
   | Timeout of { steps : int }  (** interpreter budget exhausted: DoS *)
   | Out_of_memory
+  | Internal_error of string
+      (** the interpreter reached a state its own invariants rule out
+          (e.g. a short-circuit operator surviving to strict evaluation);
+          a simulator bug, never a verdict about the program *)
   | Recovered of { attempts : int; final_attempt : int; exit_code : int }
       (** the chaos supervisor retried past injected transient faults and
           the program then ran to completion; [attempts] is the total
@@ -51,6 +55,7 @@ let pp_status ppf = function
   | Defense_blocked d -> Fmt.pf ppf "BLOCKED by %s" d
   | Timeout t -> Fmt.pf ppf "TIMEOUT after %d steps" t.steps
   | Out_of_memory -> Fmt.string ppf "OUT OF MEMORY"
+  | Internal_error msg -> Fmt.pf ppf "INTERNAL ERROR: %s" msg
   | Recovered r ->
     Fmt.pf ppf "recovered(%d) after %d attempts (verdict from attempt %d)"
       r.exit_code r.attempts r.final_attempt

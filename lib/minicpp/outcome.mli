@@ -16,6 +16,9 @@ type status =
   | Defense_blocked of string
   | Timeout of { steps : int }  (** interpreter budget exhausted: DoS *)
   | Out_of_memory
+  | Internal_error of string
+      (** the interpreter reached a state its own invariants rule out; a
+          simulator bug, never a verdict about the program *)
   | Recovered of { attempts : int; final_attempt : int; exit_code : int }
       (** the chaos supervisor retried past injected transient faults and
           the program then ran to completion; [final_attempt] is the

@@ -1,0 +1,327 @@
+(** PNASan shadow-memory implementation. See the interface for the model.
+
+    The shadow is one byte of state per simulated byte, stored per
+    segment. Lookup mirrors [Vmem.find_segment]: a linear scan over the
+    handful of mapped segments, which is the same cost the checked
+    accessors already pay. *)
+
+module Vmem = Pna_vmem.Vmem
+module Fault = Pna_vmem.Fault
+module Segment = Pna_vmem.Segment
+
+type state =
+  | Addressable
+  | Heap_redzone
+  | Heap_meta
+  | Freed
+  | Stack_meta
+  | Place_tail
+  | Stale_tail
+  | Place_guard
+
+type kind =
+  | Heap_overflow
+  | Use_after_free
+  | Placement_overflow
+  | Stack_smash
+  | Meta_write
+  | Stale_read
+
+type violation = {
+  v_kind : kind;
+  v_addr : int;
+  v_len : int;
+  v_access : Fault.access;
+  v_taint : bool;
+  v_state : state;
+  v_scenario : string;
+  v_site : string;
+  v_seq : int;
+}
+
+(* Shadow of one segment: states packed one byte each. *)
+type shadow = { sh_base : int; sh_size : int; sh_states : Bytes.t }
+
+type t = {
+  mem : Vmem.t;
+  mutable shadows : shadow list;
+  mutable scenario : string;
+  mutable site : (unit -> string) option;
+  mutable exempt_depth : int;
+  mutable is_sealed : bool;
+  mutable recs : violation list;  (* most recent first *)
+  mutable n_recs : int;
+  mutable total : int;  (* exact violating byte accesses *)
+}
+
+(* Enough records for any catalogue run; pathological loops keep counting
+   in [total] without growing the list. *)
+let max_records = 4096
+
+(* Guard-zone width past a placement arena — two words, enough to catch
+   the first out-of-arena store of a construction loop. *)
+let guard_len = 8
+
+let st_code = function
+  | Addressable -> 0
+  | Heap_redzone -> 1
+  | Heap_meta -> 2
+  | Freed -> 3
+  | Stack_meta -> 4
+  | Place_tail -> 5
+  | Stale_tail -> 6
+  | Place_guard -> 7
+
+let st_of_code = function
+  | 0 -> Addressable
+  | 1 -> Heap_redzone
+  | 2 -> Heap_meta
+  | 3 -> Freed
+  | 4 -> Stack_meta
+  | 5 -> Place_tail
+  | 6 -> Stale_tail
+  | _ -> Place_guard
+
+let state_name = function
+  | Addressable -> "addressable"
+  | Heap_redzone -> "heap-redzone"
+  | Heap_meta -> "heap-meta"
+  | Freed -> "freed"
+  | Stack_meta -> "stack-meta"
+  | Place_tail -> "place-tail"
+  | Stale_tail -> "stale-tail"
+  | Place_guard -> "place-guard"
+
+let kind_name = function
+  | Heap_overflow -> "heap-overflow"
+  | Use_after_free -> "use-after-free"
+  | Placement_overflow -> "placement-overflow"
+  | Stack_smash -> "stack-smash"
+  | Meta_write -> "meta-write"
+  | Stale_read -> "stale-read"
+
+let all_kinds =
+  [
+    Heap_overflow;
+    Use_after_free;
+    Placement_overflow;
+    Stack_smash;
+    Meta_write;
+    Stale_read;
+  ]
+
+let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
+let pp_kind ppf k = Fmt.string ppf (kind_name k)
+let pp_state ppf s = Fmt.string ppf (state_name s)
+
+let pp_violation ppf v =
+  Fmt.pf ppf "#%d %s %s 0x%08x+%d [%s]%s%s%s" v.v_seq (kind_name v.v_kind)
+    (match v.v_access with
+    | Fault.Read -> "read"
+    | Fault.Write -> "write"
+    | Fault.Execute -> "exec")
+    v.v_addr v.v_len (state_name v.v_state)
+    (if v.v_taint then " tainted" else "")
+    (if v.v_scenario = "" then "" else " scenario=" ^ v.v_scenario)
+    (if v.v_site = "" then "" else " at " ^ v.v_site)
+
+let find_shadow t addr =
+  let rec go = function
+    | [] -> None
+    | sh :: rest ->
+      if addr >= sh.sh_base && addr < sh.sh_base + sh.sh_size then Some sh
+      else go rest
+  in
+  go t.shadows
+
+let state_at t addr =
+  match find_shadow t addr with
+  | None -> Addressable
+  | Some sh -> st_of_code (Bytes.get_uint8 sh.sh_states (addr - sh.sh_base))
+
+let set_range t addr len st ~only_addressable =
+  let code = st_code st in
+  for i = 0 to len - 1 do
+    match find_shadow t (addr + i) with
+    | None -> ()
+    | Some sh ->
+      let off = addr + i - sh.sh_base in
+      if (not only_addressable) || Bytes.get_uint8 sh.sh_states off = 0 then
+        Bytes.set_uint8 sh.sh_states off code
+  done
+
+let poison t ~addr ~len st = set_range t addr len st ~only_addressable:false
+let poison_addressable t ~addr ~len st =
+  set_range t addr len st ~only_addressable:true
+let unpoison t ~addr ~len = set_range t addr len Addressable ~only_addressable:false
+
+let unpoison_state t ~addr ~len st =
+  let code = st_code st in
+  for i = 0 to len - 1 do
+    match find_shadow t (addr + i) with
+    | None -> ()
+    | Some sh ->
+      let off = addr + i - sh.sh_base in
+      if Bytes.get_uint8 sh.sh_states off = code then
+        Bytes.set_uint8 sh.sh_states off 0
+  done
+
+let set_scenario t s = t.scenario <- s
+let set_site t f = t.site <- f
+let seal t = t.is_sealed <- true
+let unseal t = t.is_sealed <- false
+let sealed t = t.is_sealed
+
+let exempt t f =
+  t.exempt_depth <- t.exempt_depth + 1;
+  Fun.protect ~finally:(fun () -> t.exempt_depth <- t.exempt_depth - 1) f
+
+(* Classification table: which (state, access) pairs violate. Reads are
+   flagged only for [Freed] and [Stale_tail]: a placement tail overlays
+   memory the program also legitimately owns through its original name,
+   so reading it is not evidence of corruption, and redzone/meta reads
+   would false-positive on benign whole-struct copies. A [Place_guard]
+   byte — the guard zone just past an exactly-sized placement arena —
+   only violates on a *tainted* write: the neighbouring object is live
+   program memory, so the taint tracker is the cross-check that the
+   write came from attacker input rather than the program's own use of
+   the neighbour. *)
+let classify st access ~taint =
+  match (st, access) with
+  | Freed, (Fault.Read | Fault.Write) -> Some Use_after_free
+  | Heap_redzone, Fault.Write -> Some Heap_overflow
+  | Heap_meta, Fault.Write -> Some Meta_write
+  | Stack_meta, Fault.Write -> Some Stack_smash
+  | Place_tail, Fault.Write -> Some Placement_overflow
+  | Stale_tail, Fault.Read -> Some Stale_read
+  | Place_guard, Fault.Write when taint -> Some Placement_overflow
+  | _ -> None
+
+let record t kind st access addr taint =
+  t.total <- t.total + 1;
+  (* Coalesce byte-wise continuations of the same classified access so a
+     four-byte store reads as one record. *)
+  match t.recs with
+  | last :: rest
+    when last.v_kind = kind && last.v_access = access
+         && addr = last.v_addr + last.v_len ->
+    t.recs <- { last with v_len = last.v_len + 1 } :: rest
+  | _ ->
+    if t.n_recs < max_records then begin
+      let site = match t.site with None -> "" | Some f -> ( try f () with _ -> "") in
+      let v =
+        {
+          v_kind = kind;
+          v_addr = addr;
+          v_len = 1;
+          v_access = access;
+          v_taint = taint;
+          v_state = st;
+          v_scenario = t.scenario;
+          v_site = site;
+          v_seq = t.n_recs;
+        }
+      in
+      t.recs <- v :: t.recs;
+      t.n_recs <- t.n_recs + 1;
+      if Pna_telemetry.Switch.enabled () then
+        Pna_telemetry.Metrics.(
+          incr
+            (counter default "pna_san_violations_total"
+               ~labels:[ ("kind", kind_name kind) ]))
+    end
+
+let on_access t ~access ~addr ~taint =
+  if t.exempt_depth = 0 && not t.is_sealed then
+    match find_shadow t addr with
+    | None -> ()
+    | Some sh ->
+      let off = addr - sh.sh_base in
+      let code = Bytes.get_uint8 sh.sh_states off in
+      if code <> 0 then begin
+        let st = st_of_code code in
+        (match classify st access ~taint with
+        | Some kind -> record t kind st access addr taint
+        | None -> ());
+        (* A write over a stale tail re-initializes the byte: the leaked
+           secret is gone, so later reads are clean. *)
+        if st = Stale_tail && access = Fault.Write then
+          Bytes.set_uint8 sh.sh_states off 0
+      end
+
+let attach ?(scenario = "") mem =
+  let shadows =
+    List.map
+      (fun (s : Segment.t) ->
+        {
+          sh_base = s.Segment.base;
+          sh_size = s.Segment.size;
+          sh_states = Bytes.make s.Segment.size '\000';
+        })
+      (Vmem.segments mem)
+  in
+  let t =
+    {
+      mem;
+      shadows;
+      scenario;
+      site = None;
+      exempt_depth = 0;
+      is_sealed = false;
+      recs = [];
+      n_recs = 0;
+      total = 0;
+    }
+  in
+  Vmem.set_observer mem (Some (fun ~access ~addr ~taint -> on_access t ~access ~addr ~taint));
+  t
+
+let detach t = Vmem.set_observer t.mem None
+
+let violations t = List.rev t.recs
+let first t = match List.rev t.recs with [] -> None | v :: _ -> Some v
+let total t = t.total
+
+let count_by_kind t =
+  let add acc v =
+    let n = try List.assoc v.v_kind acc with Not_found -> 0 in
+    (v.v_kind, n + 1) :: List.remove_assoc v.v_kind acc
+  in
+  List.fold_left add [] t.recs |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore                                                   *)
+
+type snapshot = {
+  sn_states : (int * Bytes.t) list;  (* keyed by segment base *)
+  sn_recs : violation list;
+  sn_n_recs : int;
+  sn_total : int;
+}
+
+let snapshot t =
+  {
+    sn_states = List.map (fun sh -> (sh.sh_base, Bytes.copy sh.sh_states)) t.shadows;
+    sn_recs = t.recs;
+    sn_n_recs = t.n_recs;
+    sn_total = t.total;
+  }
+
+let restore t snap =
+  List.iter
+    (fun sh ->
+      match List.assoc_opt sh.sh_base snap.sn_states with
+      | Some b when Bytes.length b = sh.sh_size ->
+        Bytes.blit b 0 sh.sh_states 0 sh.sh_size
+      | _ -> ())
+    t.shadows;
+  t.recs <- snap.sn_recs;
+  t.n_recs <- snap.sn_n_recs;
+  t.total <- snap.sn_total
+
+let pp_report ppf t =
+  let vs = violations t in
+  Fmt.pf ppf "@[<v>%d violation record(s), %d violating byte access(es)@,"
+    t.n_recs t.total;
+  List.iter (fun v -> Fmt.pf ppf "%a@," pp_violation v) vs;
+  Fmt.pf ppf "@]"

@@ -29,7 +29,13 @@ let off_ssn = 20
 let off_course_count = 32
 let off_courses = 36
 
+(* The explicit mask is the contract: a value outside [0, 2^32) encodes
+   as its two's-complement low 32 bits, the same view [Vmem.of_signed32]
+   gives — not whatever [lsr] happens to shift in on a 63-bit int. Count
+   fields that must round-trip exactly are range-checked by [encode]
+   before they reach here. *)
 let le32 v =
+  let v = v land 0xffffffff in
   String.init 4 (fun k -> Char.chr ((v lsr (8 * k)) land 0xff))
 
 let le64 v =
@@ -83,6 +89,13 @@ let encode t =
   if t.class_id = grad_student_id then begin
     Array.iter (fun s -> Buffer.add_string b (le32 s)) t.ssn;
     let count = Option.value t.claimed_courses ~default:(List.length t.courses) in
+    (* The count is the one field the receiver multiplies by: a value
+       the u32 wire word cannot represent would be silently aliased by
+       the mask in [le32], turning the attacker's (or a buggy caller's)
+       number into a different lie than requested. Refuse at encode
+       time instead. *)
+    if count < 0 || count > 0xffffffff then
+      Fmt.invalid_arg "Wire.encode: course count %d outside u32 range" count;
     Buffer.add_string b (le32 count);
     List.iter (fun c -> Buffer.add_string b (le32 c)) t.courses
   end;
@@ -104,6 +117,8 @@ let rd64 s off =
     b := Int64.logor (Int64.shift_left !b 8) (Int64.of_int (Char.code s.[off + k]))
   done;
   !b
+
+let rdf64 s off = Int64.float_of_bits (rd64 s off)
 
 (** Parse a datagram back into its fields. Unlike the vulnerable MiniC++
     receiver this never reads out of bounds: short, truncated or

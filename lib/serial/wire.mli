@@ -38,7 +38,9 @@ val grad_student :
   t
 
 val encode : t -> string
-(** Raw bytes (may contain NULs; deliver via the [recv] builtin). *)
+(** Raw bytes (may contain NULs; deliver via the [recv] builtin).
+    @raise Invalid_argument when the course count (claimed or real) is
+    outside the u32 range the wire word can carry. *)
 
 val decode : string -> (t, string) result
 (** Parse a datagram defensively: short, truncated or trailing-garbage
@@ -68,8 +70,14 @@ val deliver : t -> string
 
 val pp : Format.formatter -> t -> unit
 
-(** Little-endian encoding helpers. *)
+(** Little-endian encoding helpers. [le32] encodes the two's-complement
+    low 32 bits of its argument (explicitly masked); [rd32]/[rd64] are
+    the matching decoders — [rd32] returns the unsigned view in
+    [0, 0xffff_ffff]. *)
 
 val le32 : int -> string
 val le64 : int64 -> string
 val f64 : float -> string
+val rd32 : string -> int -> int
+val rd64 : string -> int -> int64
+val rdf64 : string -> int -> float

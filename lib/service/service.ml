@@ -35,11 +35,15 @@ type job = {
   j_chaos_seed : int option;
       (** [Some s]: run supervised under [Plan.generate ~seed:s] *)
   j_max_steps : int option;  (** per-job deadline in interpreter steps *)
+  j_sanitize : bool;
+      (** attach the PNASan oracle; plain runs only — a chaos job ignores
+          it (supervision rebuilds machines mid-run) *)
 }
 
-let job ?chaos_seed ?max_steps ?(config = Config.none) attack =
+let job ?chaos_seed ?max_steps ?(sanitize = false) ?(config = Config.none)
+    attack =
   { j_attack = attack; j_config = config; j_chaos_seed = chaos_seed;
-    j_max_steps = max_steps }
+    j_max_steps = max_steps; j_sanitize = sanitize }
 
 type reply = {
   r_id : string;
@@ -50,6 +54,8 @@ type reply = {
   r_detail : string;
   r_attempts : int;  (** supervised retries; 1 for plain runs *)
   r_cached : bool;  (** served from the memo cache without executing *)
+  r_violations : int;
+      (** sanitizer violation records; 0 unless the job sanitized *)
 }
 
 let reply_of_result ?chaos_seed (r : Driver.result) =
@@ -62,6 +68,7 @@ let reply_of_result ?chaos_seed (r : Driver.result) =
     r_detail = r.Driver.verdict.Catalog.detail;
     r_attempts = 1;
     r_cached = false;
+    r_violations = List.length r.Driver.violations;
   }
 
 let reply_of_supervised ?chaos_seed (s : Driver.supervised) =
@@ -74,13 +81,15 @@ let reply_of_supervised ?chaos_seed (s : Driver.supervised) =
     r_detail = s.Driver.sv_verdict.Catalog.detail;
     r_attempts = s.Driver.sv_attempts;
     r_cached = false;
+    r_violations = 0;
   }
 
 let pp_reply ppf r =
-  Fmt.pf ppf "%-16s %-14s %s%s: %s%s" r.r_id r.r_config
+  Fmt.pf ppf "%-16s %-14s %s%s: %s%s%s" r.r_id r.r_config
     (match r.r_chaos_seed with None -> "" | Some s -> Fmt.str "seed=%d " s)
     (if r.r_success then "ATTACK SUCCEEDED" else "attack failed")
     r.r_status
+    (if r.r_violations > 0 then Fmt.str " [%d san]" r.r_violations else "")
     (if r.r_cached then " [memo]" else "")
 
 (* ------------------------------------------------------------------ *)
@@ -109,6 +118,7 @@ let status_key st =
   | Outcome.Defense_blocked _ -> "blocked"
   | Outcome.Timeout _ -> "timeout"
   | Outcome.Out_of_memory -> "oom"
+  | Outcome.Internal_error _ -> "internal-error"
   | Outcome.Arc_injection _ -> "arc-inj"
   | Outcome.Code_injection _ -> "code-inj"
 
@@ -162,16 +172,16 @@ let stats_json s : Jsonx.t =
    cache is bounded with FIFO eviction; hot scenarios stay prepared, a
    cold sweep degrades to load-per-job. *)
 type ctx = {
-  cx_prepared : (string * string, Driver.prepared * int) Hashtbl.t;
+  cx_prepared : (string * string * bool, Driver.prepared * int) Hashtbl.t;
       (** prepared scenario + the hash of its attacker input; the input
           against a freshly rewound image is a pure function of the
           prepared scenario, so it is hashed once at load time and memo
           hits cost two table lookups with no machine work *)
-  cx_order : (string * string) Queue.t;
+  cx_order : (string * string * bool) Queue.t;
   cx_cap : int;
 }
 
-type memo_key = string * string * int option * int
+type memo_key = string * string * int option * int * bool
 
 (* Registry-backed instrumentation, one registry per service instance so
    tests (and parallel services) see isolated counters. The interned
@@ -269,11 +279,11 @@ let shutdown t = Pool.shutdown t.pool
 (* --- worker-side execution --- *)
 
 let prepared_for t ctx (j : job) =
-  let key = (j.j_attack.Catalog.id, j.j_config.Config.name) in
+  let key = (j.j_attack.Catalog.id, j.j_config.Config.name, j.j_sanitize) in
   match Hashtbl.find_opt ctx.cx_prepared key with
   | Some entry -> entry
   | None ->
-    let p = Driver.prepare ~config:j.j_config j.j_attack in
+    let p = Driver.prepare ~config:j.j_config ~sanitize:j.j_sanitize j.j_attack in
     let entry = (p, Hashtbl.hash (Driver.prepared_input p)) in
     Metrics.incr t.ins.i_loads;
     if Hashtbl.length ctx.cx_prepared >= ctx.cx_cap then begin
@@ -331,7 +341,11 @@ let execute t ctx (j : job) =
      prepared image — same scenario, same config, same input: same
      verdict *)
   let key =
-    (j.j_attack.Catalog.id, j.j_config.Config.name, j.j_chaos_seed, input_hash)
+    ( j.j_attack.Catalog.id,
+      j.j_config.Config.name,
+      j.j_chaos_seed,
+      input_hash,
+      j.j_sanitize )
   in
   match memo_find t key with
   | Some cached ->

@@ -1,6 +1,7 @@
 (** The scenario-execution service: runs catalogue jobs on a {!Pool} of
     domain workers, rewinding prepared machine snapshots between requests
-    and memoizing results by [(scenario, config, chaos seed, input hash)].
+    and memoizing results by [(scenario, config, chaos seed, input hash,
+    sanitize)].
 
     Replies are derived purely from per-job state, so a batch at any
     worker count is verdict-identical to the sequential {!Driver.run}. *)
@@ -17,10 +18,18 @@ type job = {
   j_chaos_seed : int option;
       (** [Some s]: run supervised under [Plan.generate ~seed:s] *)
   j_max_steps : int option;  (** per-job deadline in interpreter steps *)
+  j_sanitize : bool;
+      (** attach the PNASan oracle; plain runs only — a chaos job ignores
+          it (supervision rebuilds machines mid-run) *)
 }
 
 val job :
-  ?chaos_seed:int -> ?max_steps:int -> ?config:Config.t -> Catalog.t -> job
+  ?chaos_seed:int ->
+  ?max_steps:int ->
+  ?sanitize:bool ->
+  ?config:Config.t ->
+  Catalog.t ->
+  job
 
 type reply = {
   r_id : string;
@@ -31,6 +40,8 @@ type reply = {
   r_detail : string;
   r_attempts : int;  (** supervised retries; 1 for plain runs *)
   r_cached : bool;  (** served from the memo cache without executing *)
+  r_violations : int;
+      (** sanitizer violation records; 0 unless the job sanitized *)
 }
 
 val reply_of_result : ?chaos_seed:int -> Driver.result -> reply

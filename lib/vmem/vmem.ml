@@ -16,6 +16,12 @@ type write_record = { w_addr : int; w_len : int; w_tag : string }
     pokes bypass it. *)
 type chaos_hook = access:Fault.access -> addr:int -> byte:int -> int
 
+(** Observation hook: called on every checked byte access after the
+    permission check succeeds. Unlike {!chaos_hook} it cannot perturb the
+    byte; the sanitizer uses it to classify accesses against its shadow
+    map. Loader pokes and taint-metadata queries bypass it. *)
+type access_hook = access:Fault.access -> addr:int -> taint:bool -> unit
+
 (* Monotonic access accounting, one row per segment kind. Deliberately
    plain mutable ints: the accessors below are the simulator's hottest
    path and must not pay for atomics (a [t] is single-domain by
@@ -47,6 +53,7 @@ type t = {
   mutable trace_enabled : bool;
   mutable trace : write_record list;  (* most recent first *)
   mutable chaos : chaos_hook option;
+  mutable observer : access_hook option;
   stats : stats;
 }
 
@@ -58,6 +65,7 @@ let create () =
     trace_enabled = false;
     trace = [];
     chaos = None;
+    observer = None;
     stats = fresh_stats ();
   }
 
@@ -66,6 +74,7 @@ let access_stats t = t.stats
 let stats_row t kind = List.assq kind t.stats.by_kind
 
 let set_chaos t hook = t.chaos <- hook
+let set_observer t hook = t.observer <- hook
 
 let add_segment t seg =
   let overlaps s =
@@ -118,6 +127,9 @@ let read_u8 t addr =
   let seg = checked t addr Fault.Read in
   let row = stats_row t seg.Segment.kind in
   row.a_reads <- row.a_reads + 1;
+  (match t.observer with
+  | None -> ()
+  | Some f -> f ~access:Fault.Read ~addr ~taint:false);
   let b = Segment.get_byte seg addr in
   match t.chaos with
   | None -> b
@@ -132,6 +144,9 @@ let write_u8 ?(tag = "") ?(taint = false) t addr v =
   let row = stats_row t seg.Segment.kind in
   row.a_writes <- row.a_writes + 1;
   if taint then row.a_taint_writes <- row.a_taint_writes + 1;
+  (match t.observer with
+  | None -> ()
+  | Some f -> f ~access:Fault.Write ~addr ~taint);
   let v =
     match t.chaos with
     | None -> v

@@ -85,6 +85,16 @@ type chaos_hook = access:Fault.access -> addr:int -> byte:int -> int
 
 val set_chaos : t -> chaos_hook option -> unit
 
+(** {1 Access observation} *)
+
+type access_hook = access:Fault.access -> addr:int -> taint:bool -> unit
+(** Called on every checked byte access after the permission check
+    succeeds, before the byte moves. Cannot perturb the access; the
+    sanitizer uses it to classify accesses against its shadow map.
+    Loader pokes and taint-metadata queries bypass it. *)
+
+val set_observer : t -> access_hook option -> unit
+
 (** {1 Snapshot / restore}
 
     The substitution that powers the scenario service: freeze a prepared

@@ -40,7 +40,7 @@ let hardened_cases =
           Alcotest.test_case (Fmt.str "%s hardened variant is safe" a.C.id)
             `Quick (fun () ->
               match D.run_hardened ~config:Config.none a with
-              | Some (o, safe) ->
+              | Some (o, safe, _) ->
                 if not safe then
                   Alcotest.failf "hardened %s unsafe: %a" a.C.id O.pp_status
                     o.O.status

@@ -107,6 +107,21 @@ let test_double_free_detected () =
   | exception Heap.Corrupted (_, msg) ->
     Alcotest.(check string) "reason" "double free" msg)
 
+let test_forged_free_magic_detected () =
+  (* an overflow that happens to forge the free-status magic into a live
+     header makes the block look already-freed: freeing it must be the
+     same classified double-free, not a silent list corruption *)
+  let m, h = mk () in
+  let a = malloc_exn h 16 in
+  Vmem.write_u32 m (a - 4) 0xf7eeb10c;
+  (match Heap.free h a with
+  | () -> Alcotest.fail "forged magic undetected"
+  | exception Heap.Corrupted (_, msg) ->
+    Alcotest.(check string) "classified as double free" "double free" msg);
+  let st = Heap.stats h in
+  Alcotest.(check bool) "stats never go negative" true
+    (st.Heap.in_use >= 0 && st.Heap.frees >= 0 && st.Heap.leaked >= 0)
+
 let test_corrupted_header_detected () =
   let m, h = mk () in
   let a = malloc_exn h 16 in
@@ -212,6 +227,7 @@ let suite =
       t "backward coalescing" test_coalesce_backward;
       QCheck_alcotest.to_alcotest prop_no_adjacent_free_blocks;
       t "double free detected" test_double_free_detected;
+      t "forged free magic detected" test_forged_free_magic_detected;
       t "corrupted header detected" test_corrupted_header_detected;
       t "OOM returns None" test_oom;
       t "free_partial leak arithmetic" test_free_partial_leak_arithmetic;

@@ -76,6 +76,34 @@ let test_short_circuit () =
   Alcotest.(check int) "or shortcuts" 1
     (result [ set (v "r") (i 1 ||: (i 1 /: i 0)) ])
 
+let test_logical_strict_eval_unreachable () =
+  (* && and || are lowered to short-circuit control flow before operand
+     evaluation; the strict-evaluation arm of the binop table is a
+     classified [Internal_error], not an untyped assert. Pin it
+     unreachable from every catalogue listing — both twins — and from
+     logical operators in non-condition expression positions. *)
+  let module Driver = Pna_attacks.Driver in
+  let module Catalog = Pna_attacks.Catalog in
+  let no_internal id (o : Outcome.t) =
+    match o.Outcome.status with
+    | Outcome.Internal_error msg ->
+      Alcotest.failf "%s reached the simulator-bug arm: %s" id msg
+    | _ -> ()
+  in
+  List.iter
+    (fun (a : Catalog.t) ->
+      no_internal a.Catalog.id (Driver.run a).Driver.outcome;
+      match Driver.run_hardened a with
+      | Some (o, _, _) -> no_internal (a.Catalog.id ^ "+hardened") o
+      | None -> ())
+    Pna_attacks.All.attacks;
+  Alcotest.(check int) "&& as a call argument" 1
+    (result
+       ~funcs:[ func "id" ~params:[ ("x", int) ] ~ret:int [ ret (v "x") ] ]
+       [ set (v "r") (call "id" [ i 1 &&: i 2 ]) ]);
+  Alcotest.(check int) "|| nested under arithmetic" 3
+    (result [ set (v "r") ((i 0 ||: i 1) +: (i 1 &&: i 2) +: i 1) ])
+
 let test_preinc () =
   Alcotest.(check int) "++x twice" 2
     (result [ decli "x" int (i 0); expr (incr (v "x")); set (v "r") (incr (v "x")) ])
@@ -486,6 +514,7 @@ let suite =
       t "32-bit signed wraparound" test_signed_wraparound;
       t "unsigned underflow is huge" test_unsigned_semantics;
       t "&&/|| short-circuit" test_short_circuit;
+      t "&&/|| strict-eval arm unreachable" test_logical_strict_eval_unreachable;
       t "pre-increment" test_preinc;
       t "while loop" test_while_loop;
       t "for loop" test_for_loop;

@@ -151,8 +151,8 @@ let test_rodata_exhaustion_is_oom () =
   | st -> Alcotest.failf "expected OOM, got %a" O.pp_status st
 
 (* loader-time [failwith] ("data segment full", "text full") used to
-   escape Interp.execute as a raw exception; now it is a classified
-   crash *)
+   escape Interp.execute as a raw exception; now segment exhaustion is
+   the same classified out-of-memory outcome the rodata path produces *)
 let test_oversized_global_is_classified () =
   let prog =
     program
@@ -160,10 +160,8 @@ let test_oversized_global_is_classified () =
       [ func "main" [ ret (i 0) ] ]
   in
   match (Interp.execute ~config:Config.none prog).O.status with
-  | O.Crashed msg ->
-    Alcotest.(check bool) "names the load failure" true
-      (String.length msg >= 17 && String.sub msg 0 17 = "image load failed")
-  | st -> Alcotest.failf "expected classified crash, got %a" O.pp_status st
+  | O.Out_of_memory -> ()
+  | st -> Alcotest.failf "expected OOM, got %a" O.pp_status st
 
 let test_text_exhaustion_is_classified () =
   let prog =
@@ -172,8 +170,8 @@ let test_text_exhaustion_is_classified () =
       @ [ func "main" [ ret (i 0) ] ])
   in
   match (Interp.execute ~config:Config.none prog).O.status with
-  | O.Crashed _ -> ()
-  | st -> Alcotest.failf "expected classified crash, got %a" O.pp_status st
+  | O.Out_of_memory -> ()
+  | st -> Alcotest.failf "expected OOM, got %a" O.pp_status st
 
 let test_interp_budget_is_respected () =
   let prog = program [ func "main" [ while_ (i 1) [] ] ] in

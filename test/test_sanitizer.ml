@@ -1,0 +1,342 @@
+(* Tests for PNASan, the shadow-memory oracle: shadow-map mechanics,
+   heap quarantine wiring, determinism under prepared rewinds, and the
+   oracle-completeness sweep over the attack catalogue (the fast twin of
+   experiment E14). *)
+
+open Pna_vmem
+module San = Pna_sanitizer.Sanitizer
+module Heap = Pna_machine.Heap
+module Machine = Pna_machine.Machine
+module Driver = Pna_attacks.Driver
+module Catalog = Pna_attacks.Catalog
+module All = Pna_attacks.All
+module Config = Pna_defense.Config
+module E = Pna.Experiments
+
+let mk_mem () =
+  let m = Vmem.create () in
+  let _ =
+    Vmem.map m ~kind:Segment.Data ~base:0x1000 ~size:0x1000 ~perm:Perm.rw
+  in
+  m
+
+let state = Alcotest.testable San.pp_state ( = )
+
+(* ---- shadow map mechanics ---- *)
+
+let test_attach_all_addressable () =
+  let m = mk_mem () in
+  let s = San.attach m in
+  Alcotest.check state "fresh shadow" San.Addressable (San.state_at s 0x1000);
+  Alcotest.check state "end of segment" San.Addressable (San.state_at s 0x1fff);
+  Alcotest.check state "outside any shadow" San.Addressable
+    (San.state_at s 0xdead0000);
+  Alcotest.(check int) "no violations" 0 (San.total s)
+
+let test_poison_unpoison () =
+  let m = mk_mem () in
+  let s = San.attach m in
+  San.poison s ~addr:0x1100 ~len:16 San.Freed;
+  Alcotest.check state "poisoned" San.Freed (San.state_at s 0x1100);
+  Alcotest.check state "last byte" San.Freed (San.state_at s 0x110f);
+  Alcotest.check state "one past" San.Addressable (San.state_at s 0x1110);
+  San.unpoison s ~addr:0x1100 ~len:8;
+  Alcotest.check state "cleared half" San.Addressable (San.state_at s 0x1104);
+  Alcotest.check state "kept half" San.Freed (San.state_at s 0x1108)
+
+let test_poison_addressable_keeps_meta () =
+  (* a placement tail overlapping frame meta must not downgrade it *)
+  let m = mk_mem () in
+  let s = San.attach m in
+  San.poison s ~addr:0x1200 ~len:4 San.Stack_meta;
+  San.poison_addressable s ~addr:0x11fc ~len:12 San.Place_tail;
+  Alcotest.check state "before meta" San.Place_tail (San.state_at s 0x11fc);
+  Alcotest.check state "meta survives" San.Stack_meta (San.state_at s 0x1200);
+  Alcotest.check state "after meta" San.Place_tail (San.state_at s 0x1204)
+
+let test_unpoison_state_is_selective () =
+  (* a new placement erases a neighbour's guard zone inside its extent
+     without disturbing other poison *)
+  let m = mk_mem () in
+  let s = San.attach m in
+  San.poison s ~addr:0x1300 ~len:8 San.Place_guard;
+  San.poison s ~addr:0x1308 ~len:8 San.Freed;
+  San.unpoison_state s ~addr:0x1300 ~len:16 San.Place_guard;
+  Alcotest.check state "guard cleared" San.Addressable (San.state_at s 0x1300);
+  Alcotest.check state "freed untouched" San.Freed (San.state_at s 0x1308)
+
+let test_classification_by_state_and_direction () =
+  let m = mk_mem () in
+  let s = San.attach m in
+  San.poison s ~addr:0x1100 ~len:8 San.Heap_redzone;
+  (* reading a redzone is not a violation; writing is a heap overflow *)
+  ignore (Vmem.read_u8 m 0x1100);
+  Alcotest.(check int) "redzone read ignored" 0 (San.total s);
+  Vmem.write_u8 m 0x1100 0x41;
+  (match San.first s with
+  | Some v ->
+    Alcotest.(check string) "kind" "heap-overflow" (San.kind_name v.San.v_kind);
+    Alcotest.(check int) "faulting addr" 0x1100 v.San.v_addr
+  | None -> Alcotest.fail "redzone write unrecorded");
+  (* freed memory violates in both directions *)
+  San.poison s ~addr:0x1200 ~len:8 San.Freed;
+  ignore (Vmem.read_u8 m 0x1200);
+  Vmem.write_u8 m 0x1204 0;
+  Alcotest.(check bool) "freed R and W recorded" true (San.total s >= 3);
+  (* stale bytes flag reads, and a write recycles the byte *)
+  San.poison s ~addr:0x1300 ~len:4 San.Stale_tail;
+  Vmem.write_u8 m 0x1300 7;
+  Alcotest.check state "stale byte recycled by write" San.Addressable
+    (San.state_at s 0x1300);
+  let before = San.total s in
+  ignore (Vmem.read_u8 m 0x1301);
+  Alcotest.(check int) "stale read recorded" (before + 1) (San.total s)
+
+let test_guard_zone_taint_gated () =
+  let m = mk_mem () in
+  let s = San.attach m in
+  San.poison s ~addr:0x1400 ~len:San.guard_len San.Place_guard;
+  (* untainted writes and any reads are legitimate neighbour traffic *)
+  Vmem.write_u8 m 0x1400 1;
+  ignore (Vmem.read_u8 m 0x1400);
+  Alcotest.(check int) "untainted guard traffic ignored" 0 (San.total s);
+  Vmem.write_u8 ~taint:true m 0x1401 0x41;
+  match San.first s with
+  | Some v ->
+    Alcotest.(check string) "tainted guard write is placement overflow"
+      "placement-overflow"
+      (San.kind_name v.San.v_kind);
+    Alcotest.(check bool) "taint recorded" true v.San.v_taint
+  | None -> Alcotest.fail "tainted guard write unrecorded"
+
+let test_contiguous_accesses_coalesce () =
+  let m = mk_mem () in
+  let s = San.attach m in
+  San.poison s ~addr:0x1500 ~len:8 San.Heap_redzone;
+  Vmem.write_u32 m 0x1500 0x41414141;
+  Alcotest.(check int) "4 violating bytes" 4 (San.total s);
+  (match San.violations s with
+  | [ v ] -> Alcotest.(check int) "one coalesced record" 4 v.San.v_len
+  | vs -> Alcotest.failf "expected 1 record, got %d" (List.length vs));
+  Vmem.write_u8 m 0x1506 0 (* gap: separate record *);
+  Alcotest.(check int) "records" 2 (List.length (San.violations s))
+
+let test_seal_exempt_unseal () =
+  let m = mk_mem () in
+  let s = San.attach m in
+  San.poison s ~addr:0x1600 ~len:8 San.Freed;
+  San.exempt s (fun () -> Vmem.write_u8 m 0x1600 0);
+  Alcotest.(check int) "exempt thunk unrecorded" 0 (San.total s);
+  San.seal s;
+  Alcotest.(check bool) "sealed" true (San.sealed s);
+  Vmem.write_u8 m 0x1600 0;
+  Alcotest.(check int) "sealed run unrecorded" 0 (San.total s);
+  San.unseal s;
+  Vmem.write_u8 m 0x1600 0;
+  Alcotest.(check int) "re-armed" 1 (San.total s)
+
+let test_snapshot_restore_rewinds_oracle () =
+  let m = mk_mem () in
+  let s = San.attach m in
+  San.poison s ~addr:0x1700 ~len:8 San.Freed;
+  Vmem.write_u8 m 0x1700 0;
+  let snap = San.snapshot s in
+  San.poison s ~addr:0x1800 ~len:8 San.Heap_redzone;
+  Vmem.write_u8 m 0x1800 0;
+  Vmem.write_u8 m 0x1701 0;
+  Alcotest.(check int) "pre-restore" 3 (San.total s);
+  San.restore s snap;
+  Alcotest.(check int) "violations rewound" 1 (San.total s);
+  Alcotest.check state "later poison rewound" San.Addressable
+    (San.state_at s 0x1800);
+  Alcotest.check state "earlier poison kept" San.Freed (San.state_at s 0x1700)
+
+let test_kind_names_roundtrip () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Fmt.str "%a round-trips" San.pp_kind k)
+        true
+        (San.kind_of_name (San.kind_name k) = Some k))
+    San.all_kinds
+
+(* ---- heap wiring: redzones, quarantine, double free ---- *)
+
+let mk_heap () =
+  let m = Vmem.create () in
+  let _ =
+    Vmem.map m ~kind:Segment.Heap ~base:0x10000 ~size:0x4000 ~perm:Perm.rw
+  in
+  let h = Heap.create m ~base:0x10000 ~size:0x4000 in
+  let s = San.attach m in
+  Heap.set_sanitizer h (Some s);
+  (m, h, s)
+
+let malloc_exn h n =
+  match Heap.malloc h n with
+  | Some a -> a
+  | None -> Alcotest.fail "unexpected OOM"
+
+let test_heap_shadow_geometry () =
+  let _, h, s = mk_heap () in
+  let a = malloc_exn h 16 in
+  Alcotest.check state "payload addressable" San.Addressable (San.state_at s a);
+  Alcotest.check state "header is meta" San.Heap_meta
+    (San.state_at s (a - Heap.header_size));
+  Alcotest.check state "past the block is redzone" San.Heap_redzone
+    (San.state_at s (a + 16 + Heap.header_size + 8))
+
+let test_use_after_free_detected () =
+  let m, h, s = mk_heap () in
+  let a = malloc_exn h 16 in
+  Heap.free h a;
+  Alcotest.(check int) "quarantined" 1 (Heap.quarantined h);
+  Alcotest.check state "payload freed" San.Freed (San.state_at s a);
+  ignore (Vmem.read_u8 m a);
+  match San.first s with
+  | Some v ->
+    Alcotest.(check string) "kind" "use-after-free" (San.kind_name v.San.v_kind)
+  | None -> Alcotest.fail "UAF unrecorded"
+
+let test_quarantine_bounded_and_reusable () =
+  let _, h, _ = mk_heap () in
+  let blocks = List.init (Heap.quarantine_capacity + 4) (fun _ -> malloc_exn h 16) in
+  List.iter (Heap.free h) blocks;
+  Alcotest.(check bool) "ring bounded" true
+    (Heap.quarantined h <= Heap.quarantine_capacity);
+  (* evicted blocks were really released: the arena still serves memory *)
+  Alcotest.(check bool) "evictions reusable" true (Heap.malloc h 16 <> None);
+  let st = Heap.stats h in
+  Alcotest.(check bool) "in_use non-negative" true (st.Heap.in_use >= 0);
+  Alcotest.(check bool) "peak non-negative" true (st.Heap.peak >= 0)
+
+let test_double_free_of_quarantined_block () =
+  let _, h, _ = mk_heap () in
+  let a = malloc_exn h 16 in
+  Heap.free h a;
+  (match Heap.free h a with
+  | () -> Alcotest.fail "double free of quarantined block undetected"
+  | exception Heap.Corrupted (addr, msg) ->
+    Alcotest.(check int) "payload address" a addr;
+    Alcotest.(check string) "reason" "double free" msg);
+  let st = Heap.stats h in
+  Alcotest.(check bool) "stats stay non-negative" true
+    (st.Heap.in_use >= 0 && st.Heap.frees >= 0)
+
+(* ---- the oracle never perturbs execution ---- *)
+
+let test_oracle_transparent () =
+  let a = Pna_attacks.L13_stack_ret.attack in
+  let plain = Driver.run ~sanitize:false a in
+  let san = Driver.run ~sanitize:true a in
+  Alcotest.(check bool) "verdict unchanged" plain.Driver.verdict.Catalog.success
+    san.Driver.verdict.Catalog.success;
+  Alcotest.(check int) "step count unchanged"
+    plain.Driver.outcome.Pna_minicpp.Outcome.steps
+    san.Driver.outcome.Pna_minicpp.Outcome.steps;
+  Alcotest.(check bool) "violations recorded" true
+    (san.Driver.violations <> []);
+  Alcotest.(check int) "plain run records nothing" 0
+    (List.length plain.Driver.violations)
+
+let test_prepared_rewind_deterministic () =
+  let p = Driver.prepare ~sanitize:true Pna_attacks.L05_remote_count.attack in
+  let sig_of (r : Driver.result) =
+    List.map
+      (fun v -> (San.kind_name v.San.v_kind, v.San.v_addr, v.San.v_len))
+      r.Driver.violations
+  in
+  let r1 = Driver.run_prepared p in
+  let r2 = Driver.run_prepared p in
+  Alcotest.(check bool) "rewound run violates identically" true
+    (sig_of r1 = sig_of r2 && r1.Driver.violations <> []);
+  Alcotest.(check bool) "verdict stable" r1.Driver.verdict.Catalog.success
+    r2.Driver.verdict.Catalog.success
+
+let test_violation_counter_exported () =
+  let before =
+    Pna_telemetry.Metrics.(
+      count
+        (counter default "pna_san_violations_total"
+           ~labels:[ ("kind", "stack-smash") ]))
+  in
+  Pna_telemetry.Telemetry.with_enabled (fun () ->
+      ignore (Driver.run ~sanitize:true Pna_attacks.L13_stack_ret.attack));
+  let after =
+    Pna_telemetry.Metrics.(
+      count
+        (counter default "pna_san_violations_total"
+           ~labels:[ ("kind", "stack-smash") ]))
+  in
+  Alcotest.(check bool) "counter advanced" true (after > before)
+
+(* ---- catalogue sweep: the fast twin of E14 ---- *)
+
+let test_catalog_completeness () =
+  List.iter
+    (fun (a : Catalog.t) ->
+      let expected =
+        match List.assoc_opt a.Catalog.id E.e14_expected with
+        | Some e -> e
+        | None ->
+          Alcotest.failf "%s missing from e14_expected" a.Catalog.id
+      in
+      let r = Driver.run ~sanitize:true a in
+      let first =
+        match r.Driver.violations with
+        | [] -> None
+        | v :: _ -> Some (San.kind_name v.San.v_kind)
+      in
+      Alcotest.(check (option string))
+        (Fmt.str "%s first violation" a.Catalog.id)
+        expected first;
+      (* every flagged attack names the scenario on the record *)
+      match r.Driver.violations with
+      | v :: _ ->
+        Alcotest.(check string)
+          (Fmt.str "%s scenario attribution" a.Catalog.id)
+          a.Catalog.id v.San.v_scenario
+      | [] -> ())
+    All.attacks
+
+let test_hardened_twins_flag_free () =
+  List.iter
+    (fun (a : Catalog.t) ->
+      match Driver.run_hardened ~sanitize:true a with
+      | None -> ()
+      | Some (_, safe, violations) ->
+        Alcotest.(check bool) (Fmt.str "%s+hardened safe" a.Catalog.id) true safe;
+        Alcotest.(check int)
+          (Fmt.str "%s+hardened flag-free" a.Catalog.id)
+          0
+          (List.length violations))
+    All.attacks
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "sanitizer",
+    [
+      t "attach: everything addressable" test_attach_all_addressable;
+      t "poison / unpoison ranges" test_poison_unpoison;
+      t "poison_addressable keeps meta" test_poison_addressable_keeps_meta;
+      t "unpoison_state is selective" test_unpoison_state_is_selective;
+      t "classification by state and direction"
+        test_classification_by_state_and_direction;
+      t "guard zone is taint-gated" test_guard_zone_taint_gated;
+      t "contiguous accesses coalesce" test_contiguous_accesses_coalesce;
+      t "seal / exempt / unseal" test_seal_exempt_unseal;
+      t "snapshot/restore rewinds the oracle" test_snapshot_restore_rewinds_oracle;
+      t "kind names round-trip" test_kind_names_roundtrip;
+      t "heap shadow geometry" test_heap_shadow_geometry;
+      t "use-after-free detected via quarantine" test_use_after_free_detected;
+      t "quarantine bounded, evictions reusable"
+        test_quarantine_bounded_and_reusable;
+      t "double free of quarantined block raises" test_double_free_of_quarantined_block;
+      t "oracle observes without perturbing" test_oracle_transparent;
+      t "prepared rewind is violation-deterministic"
+        test_prepared_rewind_deterministic;
+      t "violation counter exported" test_violation_counter_exported;
+      t "catalogue completeness matches E14 expectations"
+        test_catalog_completeness;
+      t "hardened twins are flag-free" test_hardened_twins_flag_free;
+    ] )

@@ -230,6 +230,59 @@ let test_tamper_hook () =
   Alcotest.(check int) "hook cleared" (Wire.size w)
     (String.length (Wire.deliver w))
 
+(* ---- primitive codecs: the helpers everything above is built on ---- *)
+
+let prop_le32_roundtrip =
+  (* any int — including negatives — encodes its two's-complement low 32
+     bits; rd32 reads back the unsigned view of exactly those bits *)
+  QCheck.Test.make ~count:500 ~name:"wire: le32/rd32 round-trip (incl. negative)"
+    QCheck.int
+    (fun n ->
+      let s = Wire.le32 n in
+      String.length s = 4 && Wire.rd32 s 0 = n land 0xffffffff)
+
+let prop_le64_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"wire: le64/rd64 round-trip (incl. negative)"
+    QCheck.int64
+    (fun n -> Wire.rd64 (Wire.le64 n) 0 = n)
+
+let prop_f64_roundtrip =
+  (* bit-exact through the wire word, compared as bits so NaN passes *)
+  QCheck.Test.make ~count:500 ~name:"wire: f64/rdf64 bit-exact round-trip"
+    QCheck.float
+    (fun x ->
+      Int64.bits_of_float (Wire.rdf64 (Wire.f64 x) 0) = Int64.bits_of_float x)
+
+let test_f64_special_values () =
+  List.iter
+    (fun x ->
+      Alcotest.(check int64)
+        (Fmt.str "%h survives the wire" x)
+        (Int64.bits_of_float x)
+        (Int64.bits_of_float (Wire.rdf64 (Wire.f64 x) 0)))
+    [ nan; infinity; neg_infinity; -0.0; 0.0; -3.75; Float.max_float;
+      Float.min_float; 4.9e-324 (* subnormal *) ]
+
+let test_encode_rejects_unrepresentable_count () =
+  (* a count the u32 word cannot carry must refuse at encode time, not
+     alias through the le32 mask into a different lie *)
+  List.iter
+    (fun claimed ->
+      let w = Wire.grad_student ~courses:[ 1 ] ~claimed_courses:claimed () in
+      match Wire.encode w with
+      | _ -> Alcotest.failf "encoded unrepresentable count %d" claimed
+      | exception Invalid_argument _ -> ())
+    [ -1; min_int; 0x1_0000_0000; max_int ];
+  (* the extremes that do fit still encode *)
+  List.iter
+    (fun claimed ->
+      let w = Wire.grad_student ~courses:[ 1 ] ~claimed_courses:claimed () in
+      Alcotest.(check int)
+        (Fmt.str "count %d carried" claimed)
+        claimed
+        (le32_at (Wire.encode w) Wire.off_course_count land 0xffffffff))
+    [ 0; 0xffffffff ]
+
 let prop_encode_size =
   QCheck.Test.make ~count:200 ~name:"wire: encoded size formula"
     QCheck.(list_of_size (Gen.int_range 0 16) (int_bound 1000))
@@ -266,6 +319,12 @@ let suite =
       t "victim: every truncation prefix classified" test_every_truncation_classified;
       t "victim: count inflation classified both ways" test_count_inflation_classified;
       t "wire: delivery tamper hook" test_tamper_hook;
+      t "wire: f64 special values survive" test_f64_special_values;
+      t "wire: unrepresentable count refused at encode"
+        test_encode_rejects_unrepresentable_count;
+      QCheck_alcotest.to_alcotest prop_le32_roundtrip;
+      QCheck_alcotest.to_alcotest prop_le64_roundtrip;
+      QCheck_alcotest.to_alcotest prop_f64_roundtrip;
       QCheck_alcotest.to_alcotest prop_encode_size;
       QCheck_alcotest.to_alcotest prop_courses_roundtrip;
       QCheck_alcotest.to_alcotest prop_decode_roundtrip;
