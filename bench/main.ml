@@ -63,6 +63,66 @@ let micro_group =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* vmem fast path vs per-byte reference path
+
+   Each stage runs a fixed batch of operations so the per-call harness
+   scaffolding (~hundreds of ns on small hosts) does not swamp the
+   ~10 ns accessors being measured; divide by the batch size in the name
+   for a per-op figure. The *_bytepath twins run the identical batch on
+   a space with a no-op observer armed, which forces every access down
+   the per-byte reference path — the before/after of the fast path. *)
+
+let mk_bench_vmem () =
+  let open Pna_vmem in
+  let m = Vmem.create () in
+  let _ = Vmem.map m ~kind:Segment.Data ~base:0x1000 ~size:0x1000 ~perm:Perm.rw in
+  m
+
+let mk_bytepath_vmem () =
+  let m = mk_bench_vmem () in
+  Pna_vmem.Vmem.set_observer m (Some (fun ~access:_ ~addr:_ ~taint:_ -> ()));
+  m
+
+let u32_mix m () =
+  let open Pna_vmem in
+  let acc = ref 0 in
+  for i = 0 to 511 do
+    let addr = 0x1000 + (i land 0xff) * 4 in
+    Vmem.write_u32 m addr i;
+    acc := !acc + Vmem.read_u32 m addr
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let blit_batch m () =
+  for _ = 1 to 64 do
+    Pna_vmem.Vmem.blit m ~src:0x1000 ~dst:0x1800 ~len:64
+  done
+
+let vmem_group =
+  let open Pna_vmem in
+  let fast = mk_bench_vmem () in
+  let byte = mk_bytepath_vmem () in
+  let cstr = mk_bench_vmem () in
+  Vmem.write_bytes cstr 0x1000 (String.make 63 'x' ^ "\000");
+  let payload = String.make 256 'p' in
+  [
+    Test.make ~name:"vmem/u32_mix_1k" (stage (u32_mix fast));
+    Test.make ~name:"vmem/u32_mix_1k_bytepath" (stage (u32_mix byte));
+    Test.make ~name:"vmem/blit_64B_x64" (stage (blit_batch fast));
+    Test.make ~name:"vmem/blit_64B_x64_bytepath" (stage (blit_batch byte));
+    Test.make ~name:"vmem/write_bytes_256" (stage (fun () ->
+        Vmem.write_bytes fast 0x1400 payload));
+    Test.make ~name:"vmem/read_bytes_256" (stage (fun () ->
+        ignore (Vmem.read_bytes fast 0x1400 256)));
+    Test.make ~name:"vmem/read_cstring_64" (stage (fun () ->
+        ignore (Vmem.read_cstring cstr 0x1000)));
+    Test.make ~name:"vmem/fill_256" (stage (fun () ->
+        Vmem.fill fast ~dst:0x1400 ~len:256 0x2a));
+    Test.make ~name:"vmem/tainted_bytes_4k" (stage (fun () ->
+        ignore (Vmem.tainted_bytes fast 0x1000 0x1000)));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* experiment benches                                                   *)
 
 (* attacks that complete in microseconds; the deliberately-slow DoS/OOM
@@ -336,6 +396,7 @@ let telemetry_group =
 let groups =
   [
     ("micro", micro_group);
+    ("vmem", vmem_group);
     ("e1", e1_group);
     ("e2e3", e2_e3_group);
     ("e4", e4_group);

@@ -4,7 +4,8 @@
     [matrix] (E1), [stackguard] (E2/E3), [leak] (E4), [dos] (E5),
     [memleak] (E6), [audit] (E7), [defmatrix]/[overhead] (E8),
     [chaos] (E9), [fuzz] (E10), [repair] (E11), [throughput] (E12),
-    [telemetry] (E13), plus [batch]/[serve] to drive the parallel
+    [telemetry] (E13), [oracle] (E14), [scaling] (E15), plus
+    [batch]/[serve] to drive the parallel
     scenario service, [trace]/[stats] for the telemetry exporters,
     [list]/[run]/[layout] for exploration and [all] to regenerate
     everything. Experiment commands exit non-zero when the experiment
@@ -656,6 +657,34 @@ let oracle_cmd =
      access, clean runs flag-free, disabled overhead gated." (fun () ->
       report E.pp_e14 (E.e14 ()) E.e14_ok)
 
+(* ---- scaling: E15 ---- *)
+
+let scaling_cmd =
+  let jobs_t =
+    Arg.(
+      value & opt_all int []
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker-domain counts for the scaling sweep (repeatable; \
+                default 1 then 4). The gate compares the first count \
+                against the last, adapted to the host's core count.")
+  in
+  let repeats_t =
+    Arg.(
+      value & opt int 16
+      & info [ "repeats" ] ~docv:"N"
+          ~doc:"Repetitions of the benign request stream per sweep point.")
+  in
+  let run jobs repeats =
+    let scale = match jobs with [] -> [ 1; 4 ] | js -> js in
+    report E.pp_e15 (E.e15 ~repeats ~scale ()) E.e15_ok
+  in
+  Cmd.v
+    (Cmd.info "scaling"
+       ~doc:"E15: the Vmem fast path is byte-identical to the per-byte \
+             reference path and pays for itself; pooled execution matches \
+             the sequential driver and scales across domains.")
+    Term.(const run $ jobs_t $ repeats_t)
+
 (* ---- check / exec: the toolchain on user-supplied source files ---- *)
 
 let parse_file path =
@@ -781,6 +810,7 @@ let () =
             stats_cmd;
             telemetry_cmd;
             oracle_cmd;
+            scaling_cmd;
             harden_cmd;
             all_cmd;
           ]))

@@ -16,6 +16,12 @@ type result = {
           was sanitized *)
 }
 
+val env_sanitize : bool
+(** True when the [PNA_SANITIZE] environment variable asked for the
+    shadow-memory oracle at process start — the default for every
+    [?sanitize] flag here and the one serving layers should share, so a
+    pooled run and a sequential run of the same job sanitize alike. *)
+
 val run : ?config:Config.t -> ?max_steps:int -> ?sanitize:bool -> Catalog.t -> result
 (** Load, compute attacker input against the image, run, judge.
     [max_steps] bounds the interpreter budget — the same deadline knob

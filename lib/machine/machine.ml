@@ -237,9 +237,7 @@ let intern_string ?(tainted = false) t s =
     end;
     let addr = t.rodata_cursor in
     t.rodata_cursor <- addr + len;
-    String.iteri
-      (fun i c -> Pna_vmem.Vmem.poke_u8 t.mem (addr + i) (Char.code c))
-      s;
+    Pna_vmem.Vmem.poke_bytes t.mem addr s;
     Pna_vmem.Vmem.poke_u8 t.mem (addr + String.length s) 0;
     if tainted && String.length s > 0 then
       Pna_vmem.Vmem.set_taint t.mem addr (String.length s) true

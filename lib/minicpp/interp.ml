@@ -569,11 +569,8 @@ and builtin st name argv =
     let payload = Machine.next_string st.m in
     let maxlen = Value.as_bits (arg 1) in
     let len = min maxlen (String.length payload) in
-    String.iteri
-      (fun i c ->
-        if i < len then
-          Vmem.write_u8 ~tag:"recv" ~taint:true mem (addr 0 + i) (Char.code c))
-      payload;
+    Vmem.write_bytes ~tag:"recv" ~taint:true mem (addr 0)
+      (String.sub payload 0 len);
     Some (Some (Value.int_ len))
   | "store", 2 ->
     (* model of "send this memory to persistent storage / the network":

@@ -60,7 +60,20 @@ type 'ctx t = {
    concurrent path on small CI hosts (domains oversubscribe harmlessly). *)
 let clamp_jobs n = max 1 (min n (max 4 (Domain.recommended_domain_count ())))
 
-let worker pool mk_ctx () =
+(* The minor heap is domain-local in OCaml 5 and spawned domains start at
+   the runtime default (256k words). Interpreter workloads allocate hard,
+   and every minor collection is a stop-the-world rendezvous across *all*
+   domains — with several busy workers the default period makes the pool
+   spend most of its time parked at barriers instead of executing jobs
+   (measured 3x on the 32-job batch bench at 4 domains). Each worker
+   therefore grows its own minor heap before taking work; [Gc.set] only
+   resizes the calling domain, so this must run in the worker body. *)
+let default_minor_words = 4 * 1024 * 1024
+
+let worker pool ~minor_words mk_ctx () =
+  let g = Gc.get () in
+  if g.Gc.minor_heap_size < minor_words then
+    Gc.set { g with Gc.minor_heap_size = minor_words };
   let ctx = mk_ctx () in
   let rec loop () =
     Mutex.lock pool.mutex;
@@ -80,7 +93,8 @@ let worker pool mk_ctx () =
   in
   loop ()
 
-let create ?(queue_cap = 64) ~jobs ~mk_ctx () =
+let create ?(queue_cap = 64) ?(minor_words = default_minor_words) ~jobs ~mk_ctx
+    () =
   if queue_cap < 1 then invalid_arg "Pool.create: queue_cap must be positive";
   let jobs = clamp_jobs jobs in
   let pool =
@@ -95,7 +109,8 @@ let create ?(queue_cap = 64) ~jobs ~mk_ctx () =
       workers = [||];
     }
   in
-  pool.workers <- Array.init jobs (fun _ -> Domain.spawn (worker pool mk_ctx));
+  pool.workers <-
+    Array.init jobs (fun _ -> Domain.spawn (worker pool ~minor_words mk_ctx));
   pool
 
 let jobs t = t.jobs

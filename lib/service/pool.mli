@@ -14,9 +14,19 @@ val clamp_jobs : int -> int
     ceiling of 4, so concurrency tests still exercise the parallel path on
     small hosts). *)
 
-val create : ?queue_cap:int -> jobs:int -> mk_ctx:(unit -> 'ctx) -> unit -> 'ctx t
+val create :
+  ?queue_cap:int ->
+  ?minor_words:int ->
+  jobs:int ->
+  mk_ctx:(unit -> 'ctx) ->
+  unit ->
+  'ctx t
 (** Spawn [clamp_jobs jobs] worker domains. [queue_cap] (default 64)
-    bounds the number of queued-but-unstarted jobs.
+    bounds the number of queued-but-unstarted jobs. Each worker grows its
+    domain-local minor heap to [minor_words] words (default 4M) before
+    taking work: minor collections are stop-the-world across all domains,
+    and the runtime default period makes an allocation-heavy pool spend
+    more time at GC barriers than executing.
     @raise Invalid_argument on a non-positive [queue_cap]. *)
 
 val jobs : 'ctx t -> int

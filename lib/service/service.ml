@@ -24,6 +24,7 @@ module Outcome = Pna_minicpp.Outcome
 module Plan = Pna_chaos.Plan
 module Metrics = Pna_telemetry.Metrics
 module Trace = Pna_telemetry.Trace
+module Clock = Pna_telemetry.Clock
 module Jsonx = Pna_telemetry.Jsonx
 
 (* ------------------------------------------------------------------ *)
@@ -40,7 +41,8 @@ type job = {
           it (supervision rebuilds machines mid-run) *)
 }
 
-let job ?chaos_seed ?max_steps ?(sanitize = false) ?(config = Config.none)
+let job ?chaos_seed ?max_steps ?(sanitize = Driver.env_sanitize)
+    ?(config = Config.none)
     attack =
   { j_attack = attack; j_config = config; j_chaos_seed = chaos_seed;
     j_max_steps = max_steps; j_sanitize = sanitize }
@@ -167,10 +169,60 @@ let stats_json s : Jsonx.t =
 (* ------------------------------------------------------------------ *)
 (* The service                                                         *)
 
-(* Per-worker context: the prepared-scenario cache. Machines are a couple
-   of megabytes each (contents + taint, twice: live + snapshot), so the
-   cache is bounded with FIFO eviction; hot scenarios stay prepared, a
-   cold sweep degrades to load-per-job. *)
+(* A local histogram: the same log2 bucketing as the registry's, as
+   plain mutable fields. One per shard and timing leg, written only by
+   the owning worker domain; merged into the registry on export. *)
+type lhist = {
+  mutable lh_count : int;
+  mutable lh_sum : float;  (* µs *)
+  lh_buckets : int array;
+}
+
+let mk_lhist () = { lh_count = 0; lh_sum = 0.; lh_buckets = Array.make 64 0 }
+
+let lh_observe lh v =
+  lh.lh_count <- lh.lh_count + 1;
+  lh.lh_sum <- lh.lh_sum +. v;
+  let i = Metrics.bucket_of v in
+  lh.lh_buckets.(i) <- lh.lh_buckets.(i) + 1
+
+(* Per-worker metrics shard. Between submit and reply a worker touches
+   only this (and its memo shard): plain mutable ints bumped without
+   synchronization, so job accounting never rendezvouses domains on a
+   shared cache line or registry mutex. [sh_mutex] guards only the
+   outcome table (its resizes must not race the export reader); counter
+   fields are single-word and read racily by exporters, exactly when a
+   racy read is observable only mid-batch. *)
+type shard = {
+  mutable sh_jobs : int;
+  mutable sh_hits : int;
+  mutable sh_misses : int;
+  mutable sh_restores : int;
+  mutable sh_loads : int;
+  sh_mutex : Mutex.t;
+  sh_outcomes : (string, int) Hashtbl.t;  (* status key -> count *)
+  sh_queue_wait : lhist;
+  sh_execute : lhist;
+}
+
+let mk_shard () =
+  {
+    sh_jobs = 0;
+    sh_hits = 0;
+    sh_misses = 0;
+    sh_restores = 0;
+    sh_loads = 0;
+    sh_mutex = Mutex.create ();
+    sh_outcomes = Hashtbl.create 16;
+    sh_queue_wait = mk_lhist ();
+    sh_execute = mk_lhist ();
+  }
+
+(* Per-worker context: the prepared-scenario cache plus this worker's
+   metrics shard. Machines are a couple of megabytes each (contents +
+   taint, twice: live + snapshot), so the cache is bounded with FIFO
+   eviction; hot scenarios stay prepared, a cold sweep degrades to
+   load-per-job. *)
 type ctx = {
   cx_prepared : (string * string * bool, Driver.prepared * int) Hashtbl.t;
       (** prepared scenario + the hash of its attacker input; the input
@@ -179,14 +231,34 @@ type ctx = {
           hits cost two table lookups with no machine work *)
   cx_order : (string * string * bool) Queue.t;
   cx_cap : int;
+  cx_shard : shard;
 }
 
 type memo_key = string * string * int option * int * bool
 
+(* The memo cache, sharded by key hash with one lock per shard so
+   concurrent lookups from different workers almost never contend (the
+   old design funneled every lookup and store through one global
+   mutex). *)
+let memo_shard_count = 16  (* power of two: shard = hash land (n-1) *)
+
+type memo = {
+  mc_tables : (memo_key, reply) Hashtbl.t array;
+  mc_locks : Mutex.t array;
+}
+
+let mk_memo () =
+  {
+    mc_tables = Array.init memo_shard_count (fun _ -> Hashtbl.create 32);
+    mc_locks = Array.init memo_shard_count (fun _ -> Mutex.create ());
+  }
+
+let memo_shard_of key = Hashtbl.hash key land (memo_shard_count - 1)
+
 (* Registry-backed instrumentation, one registry per service instance so
    tests (and parallel services) see isolated counters. The interned
    instruments are held directly; outcome counters are keyed by status
-   and interned on first use. *)
+   and interned on flush. *)
 type instruments = {
   i_registry : Metrics.registry;
   i_jobs : Metrics.counter;
@@ -218,74 +290,187 @@ let mk_instruments () =
     i_execute = Metrics.histogram reg "pna_service_execute_us";
   }
 
+(* What has already been flushed from the shards into the registry, so
+   a flush publishes only deltas and repeated exports stay idempotent. *)
+type published = {
+  mutable p_jobs : int;
+  mutable p_hits : int;
+  mutable p_misses : int;
+  mutable p_restores : int;
+  mutable p_loads : int;
+  p_outcomes : (string, int) Hashtbl.t;
+  p_queue_wait : lhist;
+  p_execute : lhist;
+}
+
 type t = {
   pool : ctx Pool.t;
-  memo : (memo_key, reply) Hashtbl.t option;  (** [None]: memoization off *)
-  memo_mutex : Mutex.t;
+  shards : shard list Atomic.t;  (** one per worker, registered at spawn *)
+  memo : memo option;  (** [None]: memoization off *)
   ins : instruments;
+  flush_mutex : Mutex.t;
+  pub : published;
 }
 
 let create ?(jobs = Domain.recommended_domain_count ()) ?queue_cap
     ?(memo = true) ?(prepared_cap = 16) () =
   if prepared_cap < 1 then
     invalid_arg "Service.create: prepared_cap must be positive";
+  let shards = Atomic.make [] in
+  let register sh =
+    let rec go () =
+      let cur = Atomic.get shards in
+      if not (Atomic.compare_and_set shards cur (sh :: cur)) then go ()
+    in
+    go ()
+  in
+  (* runs inside each worker domain at spawn *)
   let mk_ctx () =
+    let sh = mk_shard () in
+    register sh;
     {
       cx_prepared = Hashtbl.create prepared_cap;
       cx_order = Queue.create ();
       cx_cap = prepared_cap;
+      cx_shard = sh;
     }
   in
   {
     pool = Pool.create ?queue_cap ~jobs ~mk_ctx ();
-    memo = (if memo then Some (Hashtbl.create 256) else None);
-    memo_mutex = Mutex.create ();
+    shards;
+    memo = (if memo then Some (mk_memo ()) else None);
     ins = mk_instruments ();
+    flush_mutex = Mutex.create ();
+    pub = {
+      p_jobs = 0;
+      p_hits = 0;
+      p_misses = 0;
+      p_restores = 0;
+      p_loads = 0;
+      p_outcomes = Hashtbl.create 16;
+      p_queue_wait = mk_lhist ();
+      p_execute = mk_lhist ();
+    };
   }
 
 let jobs t = Pool.jobs t.pool
 
-let registry t = t.ins.i_registry
+(* -- shard aggregation --------------------------------------------- *)
+
+let fold_shards t f init = List.fold_left f init (Atomic.get t.shards)
+
+let merged_outcomes t =
+  let acc = Hashtbl.create 16 in
+  List.iter
+    (fun sh ->
+      Mutex.lock sh.sh_mutex;
+      Hashtbl.iter
+        (fun k n ->
+          Hashtbl.replace acc k (n + Option.value ~default:0 (Hashtbl.find_opt acc k)))
+        sh.sh_outcomes;
+      Mutex.unlock sh.sh_mutex)
+    (Atomic.get t.shards);
+  acc
+
+let merged_lhist t leg =
+  let total = mk_lhist () in
+  List.iter
+    (fun sh ->
+      let lh = leg sh in
+      total.lh_count <- total.lh_count + lh.lh_count;
+      total.lh_sum <- total.lh_sum +. lh.lh_sum;
+      Array.iteri
+        (fun i n -> total.lh_buckets.(i) <- total.lh_buckets.(i) + n)
+        lh.lh_buckets)
+    (Atomic.get t.shards);
+  total
+
+(* Flush shard deltas into the registry. Exports (prometheus dump, JSON,
+   [registry]) see the same external totals the per-job registry writes
+   used to produce — the sharding only moves *when* the shared structure
+   is touched from per-job to per-export. *)
+let flush t =
+  Mutex.lock t.flush_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.flush_mutex) @@ fun () ->
+  let i = t.ins and p = t.pub in
+  let counter_delta total pub set ins =
+    if total > pub then begin
+      Metrics.incr ~by:(total - pub) ins;
+      set total
+    end
+  in
+  counter_delta (fold_shards t (fun a sh -> a + sh.sh_jobs) 0) p.p_jobs
+    (fun v -> p.p_jobs <- v) i.i_jobs;
+  counter_delta (fold_shards t (fun a sh -> a + sh.sh_hits) 0) p.p_hits
+    (fun v -> p.p_hits <- v) i.i_memo_hit;
+  counter_delta (fold_shards t (fun a sh -> a + sh.sh_misses) 0) p.p_misses
+    (fun v -> p.p_misses <- v) i.i_memo_miss;
+  counter_delta (fold_shards t (fun a sh -> a + sh.sh_restores) 0) p.p_restores
+    (fun v -> p.p_restores <- v) i.i_restores;
+  counter_delta (fold_shards t (fun a sh -> a + sh.sh_loads) 0) p.p_loads
+    (fun v -> p.p_loads <- v) i.i_loads;
+  Hashtbl.iter
+    (fun k total ->
+      let pub = Option.value ~default:0 (Hashtbl.find_opt p.p_outcomes k) in
+      if total > pub then begin
+        Metrics.incr ~by:(total - pub)
+          (Metrics.counter i.i_registry "pna_service_outcomes_total"
+             ~labels:[ ("status", k) ]);
+        Hashtbl.replace p.p_outcomes k total
+      end)
+    (merged_outcomes t);
+  let flush_hist leg pub ins =
+    let total = merged_lhist t leg in
+    if total.lh_count > pub.lh_count then begin
+      let buckets =
+        Array.init 64 (fun b -> total.lh_buckets.(b) - pub.lh_buckets.(b))
+      in
+      Metrics.absorb ins ~count:(total.lh_count - pub.lh_count)
+        ~sum:(total.lh_sum -. pub.lh_sum) ~buckets;
+      pub.lh_count <- total.lh_count;
+      pub.lh_sum <- total.lh_sum;
+      Array.blit total.lh_buckets 0 pub.lh_buckets 0 64
+    end
+  in
+  flush_hist (fun sh -> sh.sh_queue_wait) p.p_queue_wait i.i_queue_wait;
+  flush_hist (fun sh -> sh.sh_execute) p.p_execute i.i_execute
+
+let registry t =
+  flush t;
+  t.ins.i_registry
 
 let pp_prometheus ppf t = Metrics.pp_prometheus ppf (registry t)
 
 let stats t =
-  let i = t.ins in
   let outcomes =
-    List.filter_map
-      (function
-        | Metrics.Counter_info { name = "pna_service_outcomes_total"; labels; count }
-          -> (
-          match List.assoc_opt "status" labels with
-          | Some k -> Some (k, count)
-          | None -> None)
-        | _ -> None)
-      (Metrics.snapshot i.i_registry)
+    Hashtbl.fold (fun k n acc -> (k, n) :: acc) (merged_outcomes t) []
     |> List.sort compare
   in
+  let qw = merged_lhist t (fun sh -> sh.sh_queue_wait) in
+  let ex = merged_lhist t (fun sh -> sh.sh_execute) in
   {
-    st_jobs = Metrics.count i.i_jobs;
-    st_memo_hits = Metrics.count i.i_memo_hit;
-    st_memo_misses = Metrics.count i.i_memo_miss;
-    st_snapshot_restores = Metrics.count i.i_restores;
-    st_fresh_loads = Metrics.count i.i_loads;
+    st_jobs = fold_shards t (fun a sh -> a + sh.sh_jobs) 0;
+    st_memo_hits = fold_shards t (fun a sh -> a + sh.sh_hits) 0;
+    st_memo_misses = fold_shards t (fun a sh -> a + sh.sh_misses) 0;
+    st_snapshot_restores = fold_shards t (fun a sh -> a + sh.sh_restores) 0;
+    st_fresh_loads = fold_shards t (fun a sh -> a + sh.sh_loads) 0;
     st_outcomes = outcomes;
-    st_queue_wait_us = (Metrics.hist_count i.i_queue_wait, Metrics.hist_sum i.i_queue_wait);
-    st_execute_us = (Metrics.hist_count i.i_execute, Metrics.hist_sum i.i_execute);
+    st_queue_wait_us = (qw.lh_count, qw.lh_sum);
+    st_execute_us = (ex.lh_count, ex.lh_sum);
   }
 
 let shutdown t = Pool.shutdown t.pool
 
 (* --- worker-side execution --- *)
 
-let prepared_for t ctx (j : job) =
+let prepared_for ctx (j : job) =
   let key = (j.j_attack.Catalog.id, j.j_config.Config.name, j.j_sanitize) in
   match Hashtbl.find_opt ctx.cx_prepared key with
   | Some entry -> entry
   | None ->
     let p = Driver.prepare ~config:j.j_config ~sanitize:j.j_sanitize j.j_attack in
     let entry = (p, Hashtbl.hash (Driver.prepared_input p)) in
-    Metrics.incr t.ins.i_loads;
+    ctx.cx_shard.sh_loads <- ctx.cx_shard.sh_loads + 1;
     if Hashtbl.length ctx.cx_prepared >= ctx.cx_cap then begin
       match Queue.take_opt ctx.cx_order with
       | Some oldest -> Hashtbl.remove ctx.cx_prepared oldest
@@ -298,34 +483,40 @@ let prepared_for t ctx (j : job) =
 let memo_find t key =
   match t.memo with
   | None -> None
-  | Some tbl ->
-    Mutex.lock t.memo_mutex;
-    let r = Hashtbl.find_opt tbl key in
-    Mutex.unlock t.memo_mutex;
+  | Some mc ->
+    let s = memo_shard_of key in
+    Mutex.lock mc.mc_locks.(s);
+    let r = Hashtbl.find_opt mc.mc_tables.(s) key in
+    Mutex.unlock mc.mc_locks.(s);
     r
 
 let memo_store t key reply =
   match t.memo with
   | None -> ()
-  | Some tbl ->
-    Mutex.lock t.memo_mutex;
-    if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key reply;
-    Mutex.unlock t.memo_mutex
+  | Some mc ->
+    let s = memo_shard_of key in
+    Mutex.lock mc.mc_locks.(s);
+    if not (Hashtbl.mem mc.mc_tables.(s) key) then
+      Hashtbl.add mc.mc_tables.(s) key reply;
+    Mutex.unlock mc.mc_locks.(s)
 
-let account t reply ~restores ~memo_hit =
-  let i = t.ins in
-  Metrics.incr i.i_jobs;
-  Metrics.incr (if memo_hit then i.i_memo_hit else i.i_memo_miss);
-  Metrics.incr ~by:restores i.i_restores;
+(* All per-job accounting lands in the worker's own shard. *)
+let account ctx reply ~restores ~memo_hit =
+  let sh = ctx.cx_shard in
+  sh.sh_jobs <- sh.sh_jobs + 1;
+  if memo_hit then sh.sh_hits <- sh.sh_hits + 1
+  else sh.sh_misses <- sh.sh_misses + 1;
+  sh.sh_restores <- sh.sh_restores + restores;
   (* count over the rendered status's stable key prefix *)
   let k =
     match String.index_opt reply.r_status ' ' with
     | Some idx -> String.sub reply.r_status 0 idx
     | None -> reply.r_status
   in
-  Metrics.incr
-    (Metrics.counter i.i_registry "pna_service_outcomes_total"
-       ~labels:[ ("status", k) ])
+  Mutex.lock sh.sh_mutex;
+  Hashtbl.replace sh.sh_outcomes k
+    (1 + Option.value ~default:0 (Hashtbl.find_opt sh.sh_outcomes k));
+  Mutex.unlock sh.sh_mutex
 
 let execute t ctx (j : job) =
   Trace.with_span ~cat:"service" "job"
@@ -335,7 +526,7 @@ let execute t ctx (j : job) =
         ("config", Trace.Str j.j_config.Config.name);
       ]
   @@ fun () ->
-  let p, input_hash = prepared_for t ctx j in
+  let p, input_hash = prepared_for ctx j in
   let restores_before = Driver.restores p in
   (* the memo key includes the attacker-input hash computed against the
      prepared image — same scenario, same config, same input: same
@@ -351,11 +542,11 @@ let execute t ctx (j : job) =
   | Some cached ->
     let reply = { cached with r_cached = true } in
     Trace.add_args [ ("memo", Trace.Bool true) ];
-    account t reply ~restores:(Driver.restores p - restores_before)
+    account ctx reply ~restores:(Driver.restores p - restores_before)
       ~memo_hit:true;
     reply
   | None ->
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now_ns () in
     let reply =
       match j.j_chaos_seed with
       | None ->
@@ -369,11 +560,12 @@ let execute t ctx (j : job) =
         in
         reply_of_supervised ~chaos_seed:seed s
     in
-    Metrics.observe t.ins.i_execute ((Unix.gettimeofday () -. t0) *. 1e6);
+    lh_observe ctx.cx_shard.sh_execute
+      (Clock.elapsed_us ~a:t0 ~b:(Clock.now_ns ()));
     Trace.add_args
       [ ("memo", Trace.Bool false); ("status", Trace.Str reply.r_status) ];
     memo_store t key reply;
-    account t reply ~restores:(Driver.restores p - restores_before)
+    account ctx reply ~restores:(Driver.restores p - restores_before)
       ~memo_hit:false;
     reply
 
@@ -381,12 +573,14 @@ let execute t ctx (j : job) =
 
 (* Queue-wait is measured from submission to the moment a worker picks
    the job up — the closure runs on the worker, so the delta between the
-   two clocks below is exactly the time spent queued. *)
+   two samples below is exactly the time spent queued. The clock is
+   monotonic (one sample per transition), so a wall-clock step can never
+   produce a negative or garbage wait. *)
 let submit t j =
-  let enqueued = Unix.gettimeofday () in
+  let enqueued = Clock.now_ns () in
   Pool.submit t.pool (fun ctx ->
-      Metrics.observe t.ins.i_queue_wait
-        ((Unix.gettimeofday () -. enqueued) *. 1e6);
+      lh_observe ctx.cx_shard.sh_queue_wait
+        (Clock.elapsed_us ~a:enqueued ~b:(Clock.now_ns ()));
       execute t ctx j)
 
 let exec t j = Pool.await (submit t j)
@@ -424,8 +618,8 @@ let synth_stream ?(chaos_every = 7) ~seed ~n () =
 
 let now () = Unix.gettimeofday ()
 
-(* Wall-clock a thunk: (result, seconds). *)
+(* Time a thunk on the monotonic clock: (result, seconds). *)
 let timed f =
-  let t0 = now () in
+  let t0 = Clock.now_ns () in
   let v = f () in
-  (v, now () -. t0)
+  (v, Clock.elapsed_s ~a:t0 ~b:(Clock.now_ns ()))

@@ -20,7 +20,9 @@ type job = {
   j_max_steps : int option;  (** per-job deadline in interpreter steps *)
   j_sanitize : bool;
       (** attach the PNASan oracle; plain runs only — a chaos job ignores
-          it (supervision rebuilds machines mid-run) *)
+          it (supervision rebuilds machines mid-run). Defaults to
+          {!Driver.env_sanitize} so a [PNA_SANITIZE=1] process sanitizes
+          pooled and sequential runs alike. *)
 }
 
 val job :
@@ -88,14 +90,17 @@ val jobs : t -> int
 (** Effective worker count. *)
 
 val stats : t -> stats
-(** Derived from the service's metrics registry. *)
+(** Aggregated over the per-worker metric shards. Job accounting is
+    sharded per domain — workers touch only domain-local state between
+    submit and reply — and merged here on demand. *)
 
 val registry : t -> Pna_telemetry.Metrics.registry
-(** The per-instance registry backing {!stats} — counters
-    [pna_service_jobs_total], [pna_service_memo_total{result}],
-    [pna_service_images_total{source}],
+(** The per-instance registry — counters [pna_service_jobs_total],
+    [pna_service_memo_total{result}], [pna_service_images_total{source}],
     [pna_service_outcomes_total{status}] and histograms
-    [pna_service_queue_wait_us], [pna_service_execute_us]. *)
+    [pna_service_queue_wait_us], [pna_service_execute_us]. Shard deltas
+    are flushed into it on each call, so the external totals are the
+    same as when every job wrote the registry directly. *)
 
 val pp_prometheus : Format.formatter -> t -> unit
 (** Prometheus text-exposition dump of {!registry}. *)
@@ -124,4 +129,4 @@ val synth_stream : ?chaos_every:int -> seed:int -> n:int -> unit -> job list
 
 val now : unit -> float
 val timed : (unit -> 'a) -> 'a * float
-(** Wall-clock a thunk: (result, seconds). *)
+(** Time a thunk on the monotonic clock: (result, seconds). *)

@@ -1,0 +1,15 @@
+(** Monotonic time for interval measurement.
+
+    Wall-clock ([Unix.gettimeofday]) steps under NTP and can run
+    backwards, which turned queue-wait observations negative; every
+    duration in the telemetry and service layers is measured on
+    [CLOCK_MONOTONIC] instead. The raw reading is an [int64] nanosecond
+    count from an arbitrary origin — only differences are meaningful. *)
+
+let now_ns () : int64 = Monotonic_clock.now ()
+
+(* Difference [b - a] in microseconds; [b] was sampled after [a], so on a
+   monotonic clock the result is always >= 0. *)
+let elapsed_us ~a ~b = Int64.to_float (Int64.sub b a) /. 1e3
+
+let elapsed_s ~a ~b = Int64.to_float (Int64.sub b a) /. 1e9

@@ -114,6 +114,18 @@ let observe h v =
 let hist_count h = locked h.h_mutex (fun () -> h.h_count)
 let hist_sum h = locked h.h_mutex (fun () -> h.h_sum)
 
+(* Merge a batch of observations accumulated off-registry — how a
+   per-domain shard flushes into the shared histogram on export.
+   [buckets] must use the same log2 bucketing as {!bucket_of} and may be
+   shorter than 64 entries. *)
+let absorb h ~count ~sum ~buckets =
+  locked h.h_mutex (fun () ->
+      h.h_count <- h.h_count + count;
+      h.h_sum <- h.h_sum +. sum;
+      Array.iteri
+        (fun i n -> if n <> 0 then h.h_buckets.(i) <- h.h_buckets.(i) + n)
+        buckets)
+
 (* -- snapshots ------------------------------------------------------ *)
 
 type hist_info = {

@@ -73,9 +73,10 @@ let key : buffer Domain.DLS.key =
 
 let buffer () = Domain.DLS.get key
 
-let epoch = Unix.gettimeofday ()
+(* Monotonic so span durations can't be skewed by wall-clock steps. *)
+let epoch = Clock.now_ns ()
 
-let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
+let now_us () = Clock.elapsed_us ~a:epoch ~b:(Clock.now_ns ())
 
 let locked m f =
   Mutex.lock m;

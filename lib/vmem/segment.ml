@@ -16,6 +16,17 @@ let kind_name = function
   | Stack -> "stack"
   | Mmap -> "mmap"
 
+let kind_count = 6
+
+(* Dense index used by Vmem's per-kind accounting rows. *)
+let kind_index = function
+  | Text -> 0
+  | Data -> 1
+  | Bss -> 2
+  | Heap -> 3
+  | Stack -> 4
+  | Mmap -> 5
+
 type t = {
   kind : kind;
   base : int;

@@ -6,6 +6,11 @@ type kind = Text | Data | Bss | Heap | Stack | Mmap
 
 val kind_name : kind -> string
 
+val kind_count : int
+
+val kind_index : kind -> int
+(** Dense index in [0, kind_count): declaration order. *)
+
 type t = {
   kind : kind;
   base : int;

@@ -6,7 +6,20 @@
     accesses are little-endian, matching the x86 Ubuntu system of the paper.
 
     Values of 32-bit words are represented as OCaml [int] in the range
-    [0, 0xffff_ffff]; use {!to_signed32} for the signed view. *)
+    [0, 0xffff_ffff]; use {!to_signed32} for the signed view.
+
+    Access model: every checked accessor has two equivalent
+    implementations. The {e byte path} walks the access one byte at a
+    time — full segment search, permission check, stats bump, observer
+    and chaos dispatch, trace record per byte — and is the semantic
+    reference. The {e fast path} services a multi-byte access in one
+    step against the segment's backing [Bytes], and engages only when
+    (a) no chaos hook, no observer and no write trace is armed, and
+    (b) the whole range lies inside one segment with the required
+    permission. Anything else — straddles, unmapped gaps, protection
+    boundaries, armed hooks — falls back to the byte path, so fault
+    constructors, fault addresses, sanitizer observations, taint
+    propagation and chaos injection are bit-identical either way. *)
 
 type write_record = { w_addr : int; w_len : int; w_tag : string }
 
@@ -36,22 +49,41 @@ type access_stats = {
 
 type stats = {
   by_kind : (Segment.kind * access_stats) list;  (* all six kinds *)
+  rows : access_stats array;  (* same rows, indexed by Segment.kind_index *)
   mutable faults : int;  (* unmapped + protection, any kind *)
+  mutable trace_dropped : int;  (* write records evicted by the trace ring *)
 }
 
 let fresh_stats () =
+  let rows =
+    Array.init Segment.kind_count (fun _ ->
+        { a_reads = 0; a_writes = 0; a_taint_writes = 0 })
+  in
   {
     by_kind =
       List.map
-        (fun k -> (k, { a_reads = 0; a_writes = 0; a_taint_writes = 0 }))
+        (fun k -> (k, rows.(Segment.kind_index k)))
         Segment.[ Text; Data; Bss; Heap; Stack; Mmap ];
+    rows;
     faults = 0;
+    trace_dropped = 0;
   }
+
+(* The write trace is a bounded ring so long-running traced sessions
+   cannot grow memory without bound: entries at [0, trace_len) while
+   filling (oldest at 0), and once [trace_len = trace_cap] the oldest
+   record sits at [trace_pos] and each new record overwrites it,
+   counting a drop. *)
+let default_trace_cap = 65_536
 
 type t = {
   mutable segments : Segment.t list;
+  mutable hot : Segment.t option;  (* last segment hit by a checked access *)
   mutable trace_enabled : bool;
-  mutable trace : write_record list;  (* most recent first *)
+  mutable trace_cap : int;
+  mutable trace_buf : write_record array;  (* grown on demand up to cap *)
+  mutable trace_len : int;  (* live records, <= trace_cap *)
+  mutable trace_pos : int;  (* oldest record once full; else 0 *)
   mutable chaos : chaos_hook option;
   mutable observer : access_hook option;
   stats : stats;
@@ -62,8 +94,12 @@ let word_size = 4
 let create () =
   {
     segments = [];
+    hot = None;
     trace_enabled = false;
-    trace = [];
+    trace_cap = default_trace_cap;
+    trace_buf = [||];
+    trace_len = 0;
+    trace_pos = 0;
     chaos = None;
     observer = None;
     stats = fresh_stats ();
@@ -71,7 +107,7 @@ let create () =
 
 let access_stats t = t.stats
 
-let stats_row t kind = List.assq kind t.stats.by_kind
+let stats_row t kind = t.stats.rows.(Segment.kind_index kind)
 
 let set_chaos t hook = t.chaos <- hook
 let set_observer t hook = t.observer <- hook
@@ -96,32 +132,93 @@ let find_segment t addr = List.find_opt (fun s -> Segment.contains s addr) t.seg
 let segment_of_kind t kind =
   List.find_opt (fun s -> s.Segment.kind = kind) t.segments
 
+(* ------------------------------------------------------------------ *)
+(* Write tracing (bounded ring)                                        *)
+
 let enable_trace t = t.trace_enabled <- true
-let clear_trace t = t.trace <- []
-let trace t = List.rev t.trace
+
+let clear_trace t =
+  t.trace_len <- 0;
+  t.trace_pos <- 0
+
+let trace t =
+  if t.trace_len < t.trace_cap then
+    Array.to_list (Array.sub t.trace_buf 0 t.trace_len)
+  else
+    List.init t.trace_len (fun i ->
+        t.trace_buf.((t.trace_pos + i) mod t.trace_cap))
+
+let trace_dropped t = t.stats.trace_dropped
+
+(* Restock the ring from an oldest-first record list (restore,
+   [set_trace_cap]); surplus beyond the cap is the oldest and drops. *)
+let refill_trace t records =
+  let n = List.length records in
+  let surplus = max 0 (n - t.trace_cap) in
+  let kept = if surplus > 0 then List.filteri (fun i _ -> i >= surplus) records
+             else records in
+  t.stats.trace_dropped <- t.stats.trace_dropped + surplus;
+  t.trace_buf <- Array.of_list kept;
+  t.trace_len <- List.length kept;
+  t.trace_pos <- 0
+
+let set_trace_cap t cap =
+  if cap < 1 then invalid_arg "Vmem.set_trace_cap: cap must be positive";
+  let records = trace t in
+  t.trace_cap <- cap;
+  refill_trace t records
 
 let record_write t addr len tag =
-  if t.trace_enabled then
-    t.trace <- { w_addr = addr; w_len = len; w_tag = tag } :: t.trace
+  if t.trace_enabled then begin
+    let r = { w_addr = addr; w_len = len; w_tag = tag } in
+    if t.trace_len < t.trace_cap then begin
+      if t.trace_len >= Array.length t.trace_buf then begin
+        (* grow geometrically toward the cap *)
+        let size = min t.trace_cap (max 64 (2 * Array.length t.trace_buf)) in
+        let buf = Array.make size r in
+        Array.blit t.trace_buf 0 buf 0 t.trace_len;
+        t.trace_buf <- buf
+      end;
+      t.trace_buf.(t.trace_len) <- r;
+      t.trace_len <- t.trace_len + 1
+    end
+    else begin
+      t.trace_buf.(t.trace_pos) <- r;
+      t.trace_pos <- (t.trace_pos + 1) mod t.trace_cap;
+      t.stats.trace_dropped <- t.stats.trace_dropped + 1
+    end
+  end
 
-(* Locate the segment for a checked access, enforcing permissions. *)
+(* ------------------------------------------------------------------ *)
+(* Checked access: byte path                                           *)
+
+(* Locate the segment for a checked access, enforcing permissions. The
+   last segment hit is cached: segments are disjoint, so the cache can
+   only ever return the same segment the full search would. *)
 let checked t addr access =
-  match find_segment t addr with
-  | None ->
+  let seg =
+    match t.hot with
+    | Some s when Segment.contains s addr -> s
+    | _ -> (
+      match find_segment t addr with
+      | Some s ->
+        t.hot <- Some s;
+        s
+      | None ->
+        t.stats.faults <- t.stats.faults + 1;
+        Fault.raise_ (Fault.Unmapped (addr, access)))
+  in
+  let ok =
+    match access with
+    | Fault.Read -> seg.Segment.perm.Perm.read
+    | Fault.Write -> seg.Segment.perm.Perm.write
+    | Fault.Execute -> seg.Segment.perm.Perm.execute
+  in
+  if not ok then begin
     t.stats.faults <- t.stats.faults + 1;
-    Fault.raise_ (Fault.Unmapped (addr, access))
-  | Some seg ->
-    let ok =
-      match access with
-      | Fault.Read -> seg.Segment.perm.Perm.read
-      | Fault.Write -> seg.Segment.perm.Perm.write
-      | Fault.Execute -> seg.Segment.perm.Perm.execute
-    in
-    if not ok then begin
-      t.stats.faults <- t.stats.faults + 1;
-      Fault.raise_ (Fault.Protection (addr, access))
-    end;
-    seg
+    Fault.raise_ (Fault.Protection (addr, access))
+  end;
+  seg
 
 let read_u8 t addr =
   let seg = checked t addr Fault.Read in
@@ -156,9 +253,9 @@ let write_u8 ?(tag = "") ?(taint = false) t addr v =
   Segment.set_taint seg addr taint;
   record_write t addr 1 tag
 
-(* Multi-byte little-endian accessors. Each byte is checked individually so
-   that an access straddling a segment boundary faults exactly where a real
-   MMU would. *)
+(* Multi-byte little-endian accessors, byte path. Each byte is checked
+   individually so that an access straddling a segment boundary faults
+   exactly where a real MMU would. *)
 
 let read_uN t addr n =
   let rec go i acc =
@@ -172,20 +269,107 @@ let write_uN ?(tag = "") ?(taint = false) t addr n v =
     write_u8 ~tag ~taint t (addr + i) ((v lsr (8 * i)) land 0xff)
   done
 
-let read_u16 t addr = read_uN t addr 2
-let write_u16 ?tag ?taint t addr v = write_uN ?tag ?taint t addr 2 v
-let read_u32 t addr = read_uN t addr 4
-let write_u32 ?tag ?taint t addr v = write_uN ?tag ?taint t addr 4 (v land 0xffffffff)
+(* ------------------------------------------------------------------ *)
+(* Checked access: fast path                                           *)
+
+(* The segment wholly containing [addr, addr+len) with [access]
+   permitted, or [None]. Never raises and never counts a fault: callers
+   fall back to the byte path, which faults (and counts) at exactly the
+   byte a per-byte walk would reach. *)
+let seg_span t addr len access =
+  let seg =
+    match t.hot with
+    | Some s when Segment.contains s addr -> t.hot
+    | _ -> (
+      match find_segment t addr with
+      | Some _ as s ->
+        t.hot <- s;
+        s
+      | None -> None)
+  in
+  match seg with
+  | Some s
+    when addr + len <= Segment.limit s
+         && (match access with
+            | Fault.Read -> s.Segment.perm.Perm.read
+            | Fault.Write -> s.Segment.perm.Perm.write
+            | Fault.Execute -> s.Segment.perm.Perm.execute) ->
+    seg
+  | _ -> None
+
+(* Fast-path gate: only when no chaos hook, no observer and no write
+   trace is armed may an access skip the per-byte dispatch. *)
+let[@inline] quiet t =
+  t.chaos == None && t.observer == None && not t.trace_enabled
+
+let[@inline] fast_span t addr len access =
+  if quiet t then seg_span t addr len access else None
+
+let[@inline] taint_char taint = if taint then '\001' else '\000'
+
+let[@inline] bump_reads t (seg : Segment.t) n =
+  let row = t.stats.rows.(Segment.kind_index seg.Segment.kind) in
+  row.a_reads <- row.a_reads + n
+
+let[@inline] bump_writes t (seg : Segment.t) n ~tainted =
+  let row = t.stats.rows.(Segment.kind_index seg.Segment.kind) in
+  row.a_writes <- row.a_writes + n;
+  if tainted > 0 then row.a_taint_writes <- row.a_taint_writes + tainted
+
+let read_u16 t addr =
+  match fast_span t addr 2 Fault.Read with
+  | Some seg ->
+    bump_reads t seg 2;
+    Bytes.get_uint16_le seg.Segment.bytes (addr - seg.Segment.base)
+  | None -> read_uN t addr 2
+
+let write_u16 ?tag ?(taint = false) t addr v =
+  match fast_span t addr 2 Fault.Write with
+  | Some seg ->
+    bump_writes t seg 2 ~tainted:(if taint then 2 else 0);
+    let off = addr - seg.Segment.base in
+    Bytes.set_uint16_le seg.Segment.bytes off v;
+    Bytes.fill seg.Segment.taint off 2 (taint_char taint)
+  | None -> write_uN ?tag ~taint t addr 2 v
+
+let read_u32 t addr =
+  match fast_span t addr 4 Fault.Read with
+  | Some seg ->
+    bump_reads t seg 4;
+    Int32.to_int (Bytes.get_int32_le seg.Segment.bytes (addr - seg.Segment.base))
+    land 0xffffffff
+  | None -> read_uN t addr 4
+
+let write_u32 ?tag ?(taint = false) t addr v =
+  match fast_span t addr 4 Fault.Write with
+  | Some seg ->
+    bump_writes t seg 4 ~tainted:(if taint then 4 else 0);
+    let off = addr - seg.Segment.base in
+    Bytes.set_int32_le seg.Segment.bytes off (Int32.of_int v);
+    Bytes.fill seg.Segment.taint off 4 (taint_char taint)
+  | None -> write_uN ?tag ~taint t addr 4 (v land 0xffffffff)
 
 let read_u64 t addr =
-  let lo = Int64.of_int (read_u32 t addr) in
-  let hi = Int64.of_int (read_u32 t (addr + 4)) in
-  Int64.logor lo (Int64.shift_left hi 32)
+  match fast_span t addr 8 Fault.Read with
+  | Some seg ->
+    bump_reads t seg 8;
+    Bytes.get_int64_le seg.Segment.bytes (addr - seg.Segment.base)
+  | None ->
+    let lo = Int64.of_int (read_uN t addr 4) in
+    let hi = Int64.of_int (read_uN t (addr + 4) 4) in
+    Int64.logor lo (Int64.shift_left hi 32)
 
-let write_u64 ?tag ?taint t addr v =
-  write_u32 ?tag ?taint t addr Int64.(to_int (logand v 0xffffffffL));
-  write_u32 ?tag ?taint t (addr + 4)
-    Int64.(to_int (logand (shift_right_logical v 32) 0xffffffffL))
+let write_u64 ?tag ?(taint = false) t addr v =
+  match fast_span t addr 8 Fault.Write with
+  | Some seg ->
+    bump_writes t seg 8 ~tainted:(if taint then 8 else 0);
+    let off = addr - seg.Segment.base in
+    Bytes.set_int64_le seg.Segment.bytes off v;
+    Bytes.fill seg.Segment.taint off 8 (taint_char taint)
+  | None ->
+    write_uN ?tag ~taint t addr 4 Int64.(to_int (logand v 0xffffffffL));
+    write_uN ?tag ~taint t (addr + 4) 4
+      Int64.(to_int (logand (shift_right_logical v 32) 0xffffffffL))
 
 let read_f64 t addr = Int64.float_of_bits (read_u64 t addr)
 let write_f64 ?tag ?taint t addr v = write_u64 ?tag ?taint t addr (Int64.bits_of_float v)
@@ -203,6 +387,17 @@ let poke_u32 t addr v =
     poke_u8 t (addr + i) ((v lsr (8 * i)) land 0xff)
   done
 
+(* Bulk loader store: like [poke_u8] it bypasses permissions, hooks,
+   stats and taint (existing taint is preserved). One blit when the
+   range sits inside one segment; per-byte otherwise. *)
+let poke_bytes t addr s =
+  let len = String.length s in
+  if len > 0 then
+    match find_segment t addr with
+    | Some seg when addr + len <= Segment.limit seg ->
+      Bytes.blit_string s 0 seg.Segment.bytes (addr - seg.Segment.base) len
+    | _ -> String.iteri (fun i c -> poke_u8 t (addr + i) (Char.code c)) s
+
 let to_signed32 v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
 let of_signed32 v = v land 0xffffffff
 
@@ -217,7 +412,7 @@ let write_i32 ?tag ?taint t addr v = write_u32 ?tag ?taint t addr (of_signed32 v
    *simulator* allocate gigabytes). *)
 let max_buffered_copy = 0x100000
 
-let blit ?(tag = "blit") t ~src ~dst ~len =
+let blit_bytepath ~tag t ~src ~dst ~len =
   if len <= max_buffered_copy then
     (* Copy via an intermediate buffer so overlapping ranges behave like
        memmove; overflow exploits in the paper never rely on memcpy-style
@@ -230,17 +425,59 @@ let blit ?(tag = "blit") t ~src ~dst ~len =
       write_u8 ~tag ~taint:tn t (dst + i) b
     done
 
-let fill ?(tag = "fill") ?(taint = false) t ~dst ~len v =
-  for i = 0 to len - 1 do
-    write_u8 ~tag ~taint t (dst + i) v
-  done
+let blit ?(tag = "blit") t ~src ~dst ~len =
+  let spans =
+    if len > 0 && quiet t then
+      match seg_span t src len Fault.Read with
+      | Some sseg -> (
+        match seg_span t dst len Fault.Write with
+        | Some dseg -> Some (sseg, dseg)
+        | None -> None)
+      | None -> None
+    else None
+  in
+  match spans with
+  | Some (sseg, dseg) ->
+    let soff = src - sseg.Segment.base and doff = dst - dseg.Segment.base in
+    (* Bytes.blit is memmove: both copies tolerate src/dst overlap inside
+       one segment, matching the buffered byte path. *)
+    Bytes.blit sseg.Segment.bytes soff dseg.Segment.bytes doff len;
+    Bytes.blit sseg.Segment.taint soff dseg.Segment.taint doff len;
+    let tainted = ref 0 in
+    for i = doff to doff + len - 1 do
+      if Bytes.unsafe_get dseg.Segment.taint i <> '\000' then incr tainted
+    done;
+    bump_reads t sseg len;
+    bump_writes t dseg len ~tainted:!tainted
+  | None -> blit_bytepath ~tag t ~src ~dst ~len
 
-let write_string ?(tag = "str") ?(taint = false) t addr s =
-  String.iteri (fun i c -> write_u8 ~tag ~taint t (addr + i) (Char.code c)) s
+let fill ?(tag = "fill") ?(taint = false) t ~dst ~len v =
+  match fast_span t dst len Fault.Write with
+  | Some seg when len > 0 ->
+    bump_writes t seg len ~tainted:(if taint then len else 0);
+    let off = dst - seg.Segment.base in
+    Bytes.fill seg.Segment.bytes off len (Char.chr (v land 0xff));
+    Bytes.fill seg.Segment.taint off len (taint_char taint)
+  | _ ->
+    for i = 0 to len - 1 do
+      write_u8 ~tag ~taint t (dst + i) v
+    done
+
+let write_bytes ?(tag = "blit") ?(taint = false) t addr s =
+  let len = String.length s in
+  match fast_span t addr len Fault.Write with
+  | Some seg when len > 0 ->
+    bump_writes t seg len ~tainted:(if taint then len else 0);
+    let off = addr - seg.Segment.base in
+    Bytes.blit_string s 0 seg.Segment.bytes off len;
+    Bytes.fill seg.Segment.taint off len (taint_char taint)
+  | _ -> String.iteri (fun i c -> write_u8 ~tag ~taint t (addr + i) (Char.code c)) s
+
+let write_string ?(tag = "str") ?taint t addr s = write_bytes ~tag ?taint t addr s
 
 (* Read a NUL-terminated C string, bounded to avoid walking the whole
    address space on corrupted data. *)
-let read_cstring ?(max_len = 4096) t addr =
+let read_cstring_bytepath ~max_len t addr =
   let buf = Buffer.create 16 in
   let rec go i =
     if i >= max_len then Buffer.contents buf
@@ -253,33 +490,91 @@ let read_cstring ?(max_len = 4096) t addr =
   in
   go 0
 
+let read_cstring ?(max_len = 4096) t addr =
+  if max_len <= 0 then ""
+  else
+    match fast_span t addr 1 Fault.Read with
+    | Some seg ->
+      let off = addr - seg.Segment.base in
+      let avail = min max_len (seg.Segment.size - off) in
+      let bytes = seg.Segment.bytes in
+      let rec nul_at j =
+        if j >= avail then -1
+        else if Bytes.unsafe_get bytes (off + j) = '\000' then j
+        else nul_at (j + 1)
+      in
+      (match nul_at 0 with
+      | d when d >= 0 ->
+        (* the terminating NUL is read (and counted) but not returned *)
+        bump_reads t seg (d + 1);
+        Bytes.sub_string bytes off d
+      | _ when avail >= max_len ->
+        bump_reads t seg max_len;
+        Bytes.sub_string bytes off max_len
+      | _ ->
+        (* no NUL before the segment ends: the byte path decides whether
+           the walk continues into an adjacent segment or faults *)
+        read_cstring_bytepath ~max_len t addr)
+    | None -> read_cstring_bytepath ~max_len t addr
+
 (* Buffer-based so that an attacker-controlled length faults at the segment
    boundary instead of asking the host for a multi-gigabyte string. *)
 let read_bytes t addr len =
-  let b = Buffer.create (max 16 (min len 4096)) in
-  for i = 0 to len - 1 do
-    Buffer.add_char b (Char.chr (read_u8 t (addr + i)))
-  done;
-  Buffer.contents b
+  match fast_span t addr len Fault.Read with
+  | Some seg when len > 0 ->
+    bump_reads t seg len;
+    Bytes.sub_string seg.Segment.bytes (addr - seg.Segment.base) len
+  | _ ->
+    let b = Buffer.create (max 16 (min len 4096)) in
+    for i = 0 to len - 1 do
+      Buffer.add_char b (Char.chr (read_u8 t (addr + i)))
+    done;
+    Buffer.contents b
 
-(* Taint queries used by attack drivers to prove corruption provenance. *)
+(* Taint queries used by attack drivers to prove corruption provenance.
+   These bypass hooks and accounting by design, so the fast scan only
+   needs the range to sit inside one readable segment. *)
 
 let range_tainted t addr len =
-  let rec go i = i < len && (taint_of t (addr + i) || go (i + 1)) in
-  go 0
+  match seg_span t addr len Fault.Read with
+  | Some seg when len > 0 ->
+    let off = addr - seg.Segment.base in
+    let taint = seg.Segment.taint in
+    let rec go i =
+      i < len && (Bytes.unsafe_get taint (off + i) <> '\000' || go (i + 1))
+    in
+    go 0
+  | _ ->
+    let rec go i = i < len && (taint_of t (addr + i) || go (i + 1)) in
+    go 0
 
 let tainted_bytes t addr len =
-  let n = ref 0 in
-  for i = 0 to len - 1 do
-    if taint_of t (addr + i) then incr n
-  done;
-  !n
+  match seg_span t addr len Fault.Read with
+  | Some seg when len > 0 ->
+    let off = addr - seg.Segment.base in
+    let taint = seg.Segment.taint in
+    let n = ref 0 in
+    for i = 0 to len - 1 do
+      if Bytes.unsafe_get taint (off + i) <> '\000' then incr n
+    done;
+    !n
+  | _ ->
+    let n = ref 0 in
+    for i = 0 to len - 1 do
+      if taint_of t (addr + i) then incr n
+    done;
+    !n
 
 let set_taint t addr len tainted =
-  for i = 0 to len - 1 do
-    let seg = checked t (addr + i) Fault.Read in
-    Segment.set_taint seg (addr + i) tainted
-  done
+  match seg_span t addr len Fault.Read with
+  | Some seg when len > 0 ->
+    Bytes.fill seg.Segment.taint (addr - seg.Segment.base) len
+      (taint_char tainted)
+  | _ ->
+    for i = 0 to len - 1 do
+      let seg = checked t (addr + i) Fault.Read in
+      Segment.set_taint seg (addr + i) tainted
+    done
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot / restore                                                   *)
@@ -299,7 +594,7 @@ type frozen_segment = {
 type snapshot = {
   sn_segments : frozen_segment list;
   sn_trace_enabled : bool;
-  sn_trace : write_record list;
+  sn_trace : write_record list;  (* retained ring contents, oldest first *)
 }
 
 let snapshot t =
@@ -317,7 +612,7 @@ let snapshot t =
           })
         t.segments;
     sn_trace_enabled = t.trace_enabled;
-    sn_trace = t.trace;
+    sn_trace = trace t;
   }
 
 (* Restore contents, taint, permissions and trace state to the snapshot.
@@ -350,8 +645,10 @@ let restore t snap =
       snap.sn_segments
   in
   t.segments <- restored;
+  (* the cached segment may have been mapped after the snapshot *)
+  t.hot <- None;
   t.trace_enabled <- snap.sn_trace_enabled;
-  t.trace <- snap.sn_trace
+  refill_trace t snap.sn_trace
 
 (* ------------------------------------------------------------------ *)
 (* Access accounting queries                                            *)

@@ -4,7 +4,15 @@
     {!Fault.Fault} exactly where a real MMU would trap. 32-bit word values
     are OCaml [int]s in [0, 0xffff_ffff]; {!to_signed32} gives the signed
     view. Every write carries a taint flag; taint marks bytes whose value
-    derives from attacker input and travels with copies. *)
+    derives from attacker input and travels with copies.
+
+    Multi-byte accessors take a fast path — one segment lookup, one
+    permission check, one stats bump, one taint splat against the
+    segment's backing bytes — whenever the whole range lies inside one
+    segment and no chaos hook, observer or write trace is armed. Any
+    other case (straddle, unmapped gap, protection boundary, armed
+    hook) falls back to the per-byte reference path, so faults,
+    observations, taint and chaos injection are bit-identical. *)
 
 type write_record = { w_addr : int; w_len : int; w_tag : string }
 
@@ -56,13 +64,23 @@ val of_signed32 : int -> int
 val poke_u8 : t -> int -> int -> unit
 val poke_u32 : t -> int -> int -> unit
 
+val poke_bytes : t -> int -> string -> unit
+(** Raw multi-byte store; existing taint on the range is preserved. *)
+
 (** {1 Block operations} *)
 
 val blit : ?tag:string -> t -> src:int -> dst:int -> len:int -> unit
 (** memmove semantics; taint travels with the bytes. *)
 
 val fill : ?tag:string -> ?taint:bool -> t -> dst:int -> len:int -> int -> unit
+
+val write_bytes : ?tag:string -> ?taint:bool -> t -> int -> string -> unit
+(** Store a whole string at [addr] — the [memcpy]/[recv]-shaped bulk
+    write (default tag ["blit"]). One checked blit when the range sits
+    inside one writable segment; per-byte otherwise. *)
+
 val write_string : ?tag:string -> ?taint:bool -> t -> int -> string -> unit
+(** {!write_bytes} with default tag ["str"]. *)
 
 val read_cstring : ?max_len:int -> t -> int -> string
 (** Read a NUL-terminated string, bounded by [max_len] (default 4096). *)
@@ -130,7 +148,12 @@ type access_stats = {
 
 type stats = {
   by_kind : (Segment.kind * access_stats) list;
+  rows : access_stats array;
+      (** the same rows, indexed by {!Segment.kind_index} — the form the
+          accessors' hot path uses *)
   mutable faults : int;
+  mutable trace_dropped : int;
+      (** write records evicted by the bounded trace ring *)
 }
 
 val access_stats : t -> stats
@@ -140,11 +163,24 @@ val total_taint_writes : t -> int
 val total_faults : t -> int
 val pp_stats : Format.formatter -> t -> unit
 
-(** {1 Write tracing} *)
+(** {1 Write tracing}
+
+    Enabling the trace forces every write onto the per-byte path (one
+    record per byte written). Records land in a bounded ring: once
+    [cap] records are retained each new record evicts the oldest and
+    counts into [stats.trace_dropped]. *)
 
 val enable_trace : t -> unit
 val clear_trace : t -> unit
+
+val set_trace_cap : t -> int -> unit
+(** Bound the ring to [cap] records (default 65536), evicting the
+    oldest surplus. @raise Invalid_argument when [cap < 1]. *)
+
+val trace_dropped : t -> int
+(** Total records evicted from the ring; monotonic like {!stats}. *)
+
 val trace : t -> write_record list
-(** Oldest first. *)
+(** Retained records, oldest first. *)
 
 val pp : Format.formatter -> t -> unit

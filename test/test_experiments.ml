@@ -174,6 +174,29 @@ let test_e13_telemetry () =
   Alcotest.(check bool) "telemetry left disabled" false
     (Pna_telemetry.Telemetry.enabled ())
 
+let test_e15_fast_path () =
+  (* scale:[] skips the wall-clock scaling sweep (hardware-dependent; CI
+     asserts it via `pna scaling`); the equivalence and live-speed claims
+     are structural and hold on any host *)
+  let r = E.e15 ~iters:100_000 ~scale:[] () in
+  Alcotest.(check bool) "rows cover all scenarios x 2 configs" true
+    (List.length r.E.t15_rows = 2 * List.length Pna_attacks.All.attacks);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool)
+        (Fmt.str "%s/%s fast==byte" row.E.fq_scenario row.E.fq_config)
+        true
+        (E.e15_equiv_row_ok row))
+    r.E.t15_rows;
+  Alcotest.(check bool) "pooled matches sequential" true r.E.t15_pool_agree;
+  Alcotest.(check bool) "both speed legs timed" true
+    (r.E.t15_speed.E.fs_fast_ns > 0. && r.E.t15_speed.E.fs_byte_ns > 0.);
+  (* the real gate is >= 3x via `pna scaling`; the tier-1 floor only
+     requires the fast path to win at all, so scheduler noise on a loaded
+     CI box cannot flake the suite *)
+  Alcotest.(check bool) "fast path beats byte path" true
+    (r.E.t15_speed.E.fs_ratio > 1.)
+
 let test_workload_heap_churn () =
   let o = Pna.Workloads.run Pna.Workloads.heap_churn ~n:500 in
   match o.O.status with
@@ -198,5 +221,6 @@ let suite =
       t "E11: repair neutralizes all but copy loops" test_e11_repair_headline;
       t "E12: service matches driver; memo pays off" test_e12_service_throughput;
       t "E13: traces complete, no drops" test_e13_telemetry;
+      t "E15: fast path equivalent and faster" test_e15_fast_path;
       t "workload: heap churn" test_workload_heap_churn;
     ] )

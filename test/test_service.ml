@@ -351,6 +351,62 @@ let test_service_deadline () =
     (String.length r.Service.r_status >= 7
     && String.sub r.Service.r_status 0 7 = "TIMEOUT")
 
+(* The queue-wait histogram is sampled on the monotonic clock: one
+   observation per executed job and never a negative wait. The old
+   wall-clock sampling could go backwards under NTP steps and record
+   negative waits; this pins the fix. *)
+let test_queue_wait_monotonic () =
+  let svc = Service.create ~jobs:2 () in
+  let js =
+    List.map
+      (fun (a : Catalog.t) -> Service.job ~config:Config.none a)
+      [ Pna_attacks.L13_stack_ret.attack; Pna_attacks.L11_data_bss.attack ]
+  in
+  let (_ : Service.reply list) = Service.run_batch svc (js @ js @ js) in
+  let st = Service.stats svc in
+  Service.shutdown svc;
+  let waits, wait_total = st.Service.st_queue_wait_us in
+  let execs, exec_total = st.Service.st_execute_us in
+  Alcotest.(check int) "one wait sample per job" 6 waits;
+  Alcotest.(check bool) "waits never negative" true (wait_total >= 0.);
+  (* memo hits skip execution: 2 misses (one per distinct job), 4 hits *)
+  Alcotest.(check int) "one execute sample per miss" 2 execs;
+  Alcotest.(check bool) "execute times positive" true (exec_total > 0.)
+
+let test_clock_monotonic_across_domains () =
+  let module Clock = Pna_telemetry.Clock in
+  let a = Clock.now_ns () in
+  let b = Domain.join (Domain.spawn (fun () -> Clock.now_ns ())) in
+  let c = Clock.now_ns () in
+  Alcotest.(check bool) "ordered across a domain spawn" true
+    (Int64.compare a b <= 0 && Int64.compare b c <= 0);
+  Alcotest.(check bool) "elapsed_us of an ordered pair >= 0" true
+    (Clock.elapsed_us ~a ~b:c >= 0.)
+
+(* Sharded metrics: the registry a caller sees is the same whether jobs
+   ran on one worker or many, and repeated exports do not double-count. *)
+let test_sharded_registry_stable () =
+  let svc = Service.create ~jobs:4 () in
+  let js = Service.matrix_jobs ~configs:[ Config.none ] ~max_steps:60_000 () in
+  let (_ : Service.reply list) = Service.run_batch svc js in
+  let dump () = Fmt.str "%a" Service.pp_prometheus svc in
+  let first = dump () in
+  let again = dump () in
+  let st = Service.stats svc in
+  Service.shutdown svc;
+  Alcotest.(check string) "repeated export identical (flush is delta-based)"
+    first again;
+  Alcotest.(check int) "stats see every job" (List.length js) st.Service.st_jobs;
+  let has fragment =
+    let nh = String.length first and nn = String.length fragment in
+    let rec go i = i + nn <= nh && (String.sub first i nn = fragment || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "jobs counter exported" true
+    (has (Fmt.str "pna_service_jobs_total %d" (List.length js)));
+  Alcotest.(check bool) "queue-wait histogram exported" true
+    (has (Fmt.str "pna_service_queue_wait_us_count %d" (List.length js)))
+
 (* ------------------------------------------------------------------ *)
 
 let suite =
@@ -375,4 +431,7 @@ let suite =
       t "memo off still reuses snapshots" test_memo_off_recomputes;
       t "synthetic stream is seed-deterministic" test_synth_stream_deterministic;
       t "per-job deadline enforced through the service" test_service_deadline;
+      t "queue-wait sampled monotonically, one per job" test_queue_wait_monotonic;
+      t "monotonic clock ordered across domains" test_clock_monotonic_across_domains;
+      t "sharded registry: stable, complete exports" test_sharded_registry_stable;
     ] )

@@ -194,6 +194,219 @@ let prop_fill_then_read =
       Vmem.read_u8 m 0x1100 = v land 0xff
       && Vmem.read_u8 m (0x1100 + len) = 0x77)
 
+(* bounded write-trace ring *)
+
+let test_trace_ring_bounded () =
+  let m = mk () in
+  Vmem.enable_trace m;
+  Vmem.set_trace_cap m 8;
+  for i = 0 to 19 do
+    Vmem.write_u8 ~tag:"w" m (0x1000 + i) i
+  done;
+  let t = Vmem.trace m in
+  Alcotest.(check int) "ring holds cap records" 8 (List.length t);
+  Alcotest.(check (list int)) "oldest evicted, newest retained, in order"
+    [ 0x100c; 0x100d; 0x100e; 0x100f; 0x1010; 0x1011; 0x1012; 0x1013 ]
+    (List.map (fun r -> r.Vmem.w_addr) t);
+  Alcotest.(check int) "evictions counted" 12 (Vmem.trace_dropped m);
+  Alcotest.(check int) "surfaced in stats" 12
+    (Vmem.access_stats m).Vmem.trace_dropped
+
+let test_set_trace_cap () =
+  let m = mk () in
+  Alcotest.check_raises "cap must be positive"
+    (Invalid_argument "Vmem.set_trace_cap: cap must be positive") (fun () ->
+      Vmem.set_trace_cap m 0);
+  Vmem.enable_trace m;
+  for i = 0 to 5 do
+    Vmem.write_u8 m (0x1000 + i) i
+  done;
+  Vmem.set_trace_cap m 4;
+  Alcotest.(check (list int)) "shrinking evicts the oldest"
+    [ 0x1002; 0x1003; 0x1004; 0x1005 ]
+    (List.map (fun r -> r.Vmem.w_addr) (Vmem.trace m));
+  Alcotest.(check int) "shrink evictions counted" 2 (Vmem.trace_dropped m)
+
+let test_trace_survives_restore () =
+  let m = mk () in
+  Vmem.enable_trace m;
+  Vmem.write_u8 ~tag:"before" m 0x1000 1;
+  Vmem.write_u8 ~tag:"before" m 0x1001 2;
+  let snap = Vmem.snapshot m in
+  Vmem.write_u8 ~tag:"after" m 0x1002 3;
+  Vmem.restore m snap;
+  Alcotest.(check (list string)) "trace rewound with memory"
+    [ "before"; "before" ]
+    (List.map (fun r -> r.Vmem.w_tag) (Vmem.trace m))
+
+(* armed hooks force the per-byte path: exactly one hook call per byte
+   accessed, as the pre-fast-path accessors behaved *)
+
+let bulk_ops m =
+  Vmem.write_u32 m 0x1000 0xdeadbeef;
+  ignore (Vmem.read_u32 m 0x1000);
+  ignore (Vmem.read_u64 m 0x1008);
+  Vmem.write_u16 m 0x1010 0xbeef;
+  Vmem.blit m ~src:0x1000 ~dst:0x1100 ~len:16;
+  Vmem.write_bytes m 0x1200 "user\000";
+  ignore (Vmem.read_bytes m 0x1200 5);
+  ignore (Vmem.read_cstring m 0x1200);
+  Vmem.fill m ~dst:0x1300 ~len:8 0x2a
+
+(* write_u32 4w; read_u32 4r; read_u64 8r; write_u16 2w; blit 16r+16w;
+   write_bytes 5w; read_bytes 5r; read_cstring 5r (incl. NUL); fill 8w *)
+let bulk_reads = 4 + 8 + 16 + 5 + 5
+let bulk_writes = 4 + 2 + 16 + 5 + 8
+
+let test_observer_bypasses_fast_path () =
+  let m = mk () in
+  let calls = ref 0 in
+  Vmem.set_observer m (Some (fun ~access:_ ~addr:_ ~taint:_ -> incr calls));
+  bulk_ops m;
+  Alcotest.(check int) "one observer call per byte" (bulk_reads + bulk_writes)
+    !calls;
+  Alcotest.(check int) "reads counted per byte" bulk_reads (Vmem.total_reads m);
+  Alcotest.(check int) "writes counted per byte" bulk_writes
+    (Vmem.total_writes m)
+
+let test_chaos_bypasses_fast_path () =
+  let m = mk () in
+  let calls = ref 0 in
+  Vmem.set_chaos m
+    (Some
+       (fun ~access:_ ~addr:_ ~byte ->
+         incr calls;
+         byte));
+  bulk_ops m;
+  Alcotest.(check int) "one chaos call per byte" (bulk_reads + bulk_writes)
+    !calls
+
+let test_trace_bypasses_fast_path () =
+  let m = mk () in
+  Vmem.enable_trace m;
+  bulk_ops m;
+  let recorded = List.fold_left (fun n r -> n + r.Vmem.w_len) 0 (Vmem.trace m) in
+  Alcotest.(check int) "every written byte traced" bulk_writes recorded
+
+(* the fast-path accounting matches a hook-free twin exactly *)
+let test_fast_path_accounting () =
+  let quiet = mk () in
+  bulk_ops quiet;
+  Alcotest.(check int) "fast-path reads" bulk_reads (Vmem.total_reads quiet);
+  Alcotest.(check int) "fast-path writes" bulk_writes (Vmem.total_writes quiet)
+
+(* property: for any layout and operation sequence, the fast path and
+   the per-byte reference path (forced by a no-op observer) agree on
+   values, faults, final memory, taint and accounting *)
+
+type eq_op =
+  | R8 of int
+  | R16 of int
+  | R32 of int
+  | R64 of int
+  | W8 of int * int * bool
+  | W16 of int * int * bool
+  | W32 of int * int * bool
+  | W64 of int * int * bool
+  | Blit of int * int * int
+  | Fill of int * int * int * bool
+  | WBytes of int * string * bool
+  | RBytes of int * int
+  | Cstr of int * int
+  | SetTaint of int * int * bool
+  | TaintQ of int * int
+
+let eq_layouts =
+  [|
+    (* adjacent rw|rx boundary plus a gap before an rwx segment *)
+    [ (Segment.Data, 0x1000, 0x200, Perm.rw);
+      (Segment.Text, 0x1200, 0x100, Perm.rx);
+      (Segment.Stack, 0x1400, 0x200, Perm.rwx) ];
+    (* small segments with an unmapped hole and a read-only tail *)
+    [ (Segment.Data, 0x1000, 0x100, Perm.rw);
+      (Segment.Heap, 0x1180, 0x80, Perm.ro) ];
+    (* one odd-sized segment, everything else unmapped *)
+    [ (Segment.Bss, 0x1000, 0x3ff, Perm.rw) ];
+  |]
+
+let mk_eq_layout i =
+  let m = Vmem.create () in
+  List.iter
+    (fun (kind, base, size, perm) -> ignore (Vmem.map m ~kind ~base ~size ~perm))
+    eq_layouts.(i mod Array.length eq_layouts);
+  m
+
+let eq_gen =
+  QCheck.Gen.(
+    let addr = int_range 0xf80 0x1700 in
+    let len = int_range 0 64 in
+    let byte = int_bound 0xff in
+    let tnt = bool in
+    let op =
+      oneof
+        [
+          map (fun a -> R8 a) addr;
+          map (fun a -> R16 a) addr;
+          map (fun a -> R32 a) addr;
+          map (fun a -> R64 a) addr;
+          map3 (fun a v t -> W8 (a, v, t)) addr byte tnt;
+          map3 (fun a v t -> W16 (a, v, t)) addr (int_bound 0xffff) tnt;
+          map3 (fun a v t -> W32 (a, v, t)) addr (int_bound 0xffffffff) tnt;
+          map3 (fun a v t -> W64 (a, v, t)) addr (int_bound 0xffffffff) tnt;
+          map3 (fun s d l -> Blit (s, d, l)) addr addr len;
+          map3 (fun d l (v, t) -> Fill (d, l, v, t)) addr len (pair byte tnt);
+          map3 (fun a s t -> WBytes (a, s, t)) addr (string_size ~gen:char (int_range 0 32)) tnt;
+          map2 (fun a l -> RBytes (a, l)) addr len;
+          map2 (fun a l -> Cstr (a, l)) addr (int_range 0 16);
+          map3 (fun a l t -> SetTaint (a, l, t)) addr len tnt;
+          map2 (fun a l -> TaintQ (a, l)) addr len;
+        ]
+    in
+    pair (int_bound 1000) (list_size (int_range 1 40) op))
+
+let eq_apply m = function
+  | R8 a -> string_of_int (Vmem.read_u8 m a)
+  | R16 a -> string_of_int (Vmem.read_u16 m a)
+  | R32 a -> string_of_int (Vmem.read_u32 m a)
+  | R64 a -> Int64.to_string (Vmem.read_u64 m a)
+  | W8 (a, v, taint) -> Vmem.write_u8 ~taint m a v; ""
+  | W16 (a, v, taint) -> Vmem.write_u16 ~taint m a v; ""
+  | W32 (a, v, taint) -> Vmem.write_u32 ~taint m a v; ""
+  | W64 (a, v, taint) -> Vmem.write_u64 ~taint m a (Int64.of_int v); ""
+  | Blit (src, dst, len) -> Vmem.blit m ~src ~dst ~len; ""
+  | Fill (dst, len, v, taint) -> Vmem.fill ~taint m ~dst ~len v; ""
+  | WBytes (a, s, taint) -> Vmem.write_bytes ~taint m a s; ""
+  | RBytes (a, len) -> Vmem.read_bytes m a len
+  | Cstr (a, max_len) -> Vmem.read_cstring ~max_len m a
+  | SetTaint (a, len, b) -> Vmem.set_taint m a len b; ""
+  | TaintQ (a, len) ->
+    Printf.sprintf "%b/%d" (Vmem.range_tainted m a len)
+      (Vmem.tainted_bytes m a len)
+
+let eq_outcome m op =
+  match eq_apply m op with
+  | s -> "ok:" ^ s
+  | exception Fault.Fault f -> "fault:" ^ Fault.to_string f
+
+let eq_state m =
+  ( List.map
+      (fun s ->
+        (s.Segment.base, Bytes.to_string s.Segment.bytes,
+         Bytes.to_string s.Segment.taint))
+      (Vmem.segments m),
+    (Vmem.total_reads m, Vmem.total_writes m, Vmem.total_taint_writes m,
+     Vmem.total_faults m) )
+
+let prop_fast_equals_bytepath =
+  QCheck.Test.make ~count:300
+    ~name:"vmem: fast path == per-byte path (values, faults, state, stats)"
+    (QCheck.make eq_gen) (fun (layout, ops) ->
+      let fast = mk_eq_layout layout in
+      let slow = mk_eq_layout layout in
+      Vmem.set_observer slow (Some (fun ~access:_ ~addr:_ ~taint:_ -> ()));
+      List.for_all (fun op -> eq_outcome fast op = eq_outcome slow op) ops
+      && eq_state fast = eq_state slow)
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   ( "vmem",
@@ -221,8 +434,16 @@ let suite =
       t "write trace" test_trace;
       t "find_segment" test_find_segment;
       t "segments sorted" test_segments_sorted;
+      t "trace ring bounded, drops counted" test_trace_ring_bounded;
+      t "set_trace_cap validates and evicts" test_set_trace_cap;
+      t "trace state survives restore" test_trace_survives_restore;
+      t "observer forces per-byte path" test_observer_bypasses_fast_path;
+      t "chaos hook forces per-byte path" test_chaos_bypasses_fast_path;
+      t "trace forces per-byte writes" test_trace_bypasses_fast_path;
+      t "fast path counts like byte path" test_fast_path_accounting;
       QCheck_alcotest.to_alcotest prop_u32_roundtrip;
       QCheck_alcotest.to_alcotest prop_signed_roundtrip;
       QCheck_alcotest.to_alcotest prop_blit_preserves_bytes;
       QCheck_alcotest.to_alcotest prop_fill_then_read;
+      QCheck_alcotest.to_alcotest prop_fast_equals_bytepath;
     ] )
