@@ -391,6 +391,88 @@ let telemetry_group =
         ignore (Fmt.str "%t" (fun ppf -> Trace.export_chrome ppf))));
   ]
 
+(* net: the wire layer's own cost — frame encode/decode (the per-request
+   protocol tax), CRC32 over a frame-sized buffer, and the memo-entry
+   codec the persistent log pays per record. The end-to-end latency rows
+   (net/loadgen_p50 and friends) are not Bechamel estimates: they come
+   from a real server + load generator on loopback, appended after the
+   group runs. *)
+let net_group =
+  let module Frame = Pna_net.Frame in
+  let req =
+    Frame.Request
+      {
+        Frame.rq_corr = 42;
+        rq_attack = "L13-stack-ret";
+        rq_config = "stackguard";
+        rq_chaos_seed = None;
+        rq_max_steps = Some 60_000;
+        rq_sanitize = false;
+      }
+  in
+  let encoded = Frame.encode req in
+  let entry_bytes =
+    Frame.encode_memo_entry
+      {
+        Service.me_attack = "L13-stack-ret";
+        me_config = "stackguard";
+        me_chaos_seed = None;
+        me_input_hash = 0x1234;
+        me_sanitize = false;
+        me_reply =
+          {
+            Service.r_id = "L13-stack-ret";
+            r_config = "stackguard";
+            r_chaos_seed = None;
+            r_status = "exited 0";
+            r_success = false;
+            r_detail = "canary intact";
+            r_attempts = 1;
+            r_cached = false;
+            r_violations = 0;
+          };
+      }
+  in
+  [
+    Test.make ~name:"net/frame_encode_request" (stage (fun () ->
+        ignore (Frame.encode req)));
+    Test.make ~name:"net/frame_decode_request" (stage (fun () ->
+        ignore (Frame.decode encoded)));
+    Test.make ~name:"net/crc32_64B" (stage (fun () ->
+        ignore (Pna_net.Crc32.string encoded)));
+    Test.make ~name:"net/memo_entry_decode" (stage (fun () ->
+        ignore (Frame.decode_memo_entry entry_bytes)));
+  ]
+
+(* End-to-end request latency over loopback: serve a warm (memoized)
+   stream so the rows measure the wire + scheduling path, not scenario
+   compute. Reported in ns to match every other row. *)
+let net_loadgen_rows () =
+  let module Server = Pna_net.Server in
+  let module Loadgen = Pna_net.Loadgen in
+  let svc = Service.create ~jobs:2 () in
+  let server = Server.start svc in
+  let port = Server.port server in
+  let run n =
+    (* one fixed seed: the spec stream is seed-derived, so the warmup
+       pass fills the memo with exactly the keys the measured pass asks *)
+    Loadgen.run ~conns:2 ~window:16 ~timeout_s:30. ~distinct:16
+      ~host:"127.0.0.1" ~port ~n ~seed:1 ()
+  in
+  let (_ : Loadgen.result) = run 64 in
+  let r = run 2_000 in
+  Server.stop server;
+  Service.shutdown svc;
+  let ns us = Some (us *. 1000.) in
+  [
+    ("net/loadgen_p50", ns r.Loadgen.lg_p50_us);
+    ("net/loadgen_p99", ns r.Loadgen.lg_p99_us);
+    ("net/loadgen_mean", ns r.Loadgen.lg_mean_us);
+  ]
+
+(* rows appended to a group's table after its Bechamel tests run *)
+let extra_rows = [ ("net", net_loadgen_rows) ]
+
 (* ------------------------------------------------------------------ *)
 
 let groups =
@@ -413,6 +495,7 @@ let groups =
     ("service", service_group);
     ("telemetry", telemetry_group);
     ("sanitizer", sanitizer_group);
+    ("net", net_group);
   ]
 
 let selected_groups () =
@@ -485,7 +568,12 @@ let () =
     (fun (gname, tests) ->
       Fmt.pr "@.== %s ==@.%-40s %16s@.%s@." gname "benchmark" "time/run"
         (String.make 58 '-');
-      let rows = List.concat_map measure tests in
+      let rows =
+        List.concat_map measure tests
+        @ (match List.assoc_opt gname extra_rows with
+          | Some f -> f ()
+          | None -> [])
+      in
       List.iter
         (fun (name, est) ->
           Fmt.pr "%-40s %16s@." name

@@ -4,9 +4,10 @@
     [matrix] (E1), [stackguard] (E2/E3), [leak] (E4), [dos] (E5),
     [memleak] (E6), [audit] (E7), [defmatrix]/[overhead] (E8),
     [chaos] (E9), [fuzz] (E10), [repair] (E11), [throughput] (E12),
-    [telemetry] (E13), [oracle] (E14), [scaling] (E15), plus
-    [batch]/[serve] to drive the parallel
-    scenario service, [trace]/[stats] for the telemetry exporters,
+    [telemetry] (E13), [oracle] (E14), [scaling] (E15), [netgate] (E16),
+    plus [batch]/[serve] to drive the parallel scenario service,
+    [serve-tcp]/[loadgen]/[compact] for the TCP front end and its
+    crash-safe memo log, [trace]/[stats] for the telemetry exporters,
     [list]/[run]/[layout] for exploration and [all] to regenerate
     everything. Experiment commands exit non-zero when the experiment
     fails its verdict, so they can gate CI. *)
@@ -438,7 +439,7 @@ let throughput_cmd =
     Term.(const run $ repeats_t $ metrics_t)
 
 let all_cmd =
-  simple "all" "Run every experiment (E1-E13)." (fun () ->
+  simple "all" "Run every experiment (E1-E16)." (fun () ->
       E.run_all Fmt.stdout ())
 
 (* ---- layout ---- *)
@@ -685,6 +686,146 @@ let scaling_cmd =
              the sequential driver and scales across domains.")
     Term.(const run $ jobs_t $ repeats_t)
 
+(* ---- net: the TCP front end (serve-tcp / loadgen / compact / netgate) ---- *)
+
+module Server = Pna_net.Server
+module Loadgen = Pna_net.Loadgen
+module Memolog = Pna_net.Memolog
+
+let host_t =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+         ~doc:"Address to bind or connect to.")
+
+let serve_tcp_cmd =
+  let port_t =
+    Arg.(value & opt int 7341 & info [ "p"; "port" ] ~docv:"PORT"
+           ~doc:"Port to listen on (0 picks an ephemeral port).")
+  in
+  let inflight_t =
+    Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N"
+           ~doc:"Admission-control cap: requests admitted but unfinished.              Excess is answered with a shed reply and a retry-after hint,              never queued without bound.")
+  in
+  let memo_log_t =
+    Arg.(value & opt (some string) None & info [ "memo-log" ] ~docv:"PATH"
+           ~doc:"Persist the memo cache to this append-only log: recovered              on start (a torn tail from a crash is truncated), appended as              workers compute. Compact offline with $(b,compact).")
+  in
+  let steps_cap_t =
+    Arg.(value & opt int 2_000_000 & info [ "max-steps-cap" ] ~docv:"N"
+           ~doc:"Ceiling clamped onto every request's step deadline.")
+  in
+  let run jobs host port max_inflight memo_log max_steps_cap metrics =
+    if metrics then Telemetry.enable ();
+    let svc = Service.create ~jobs () in
+    let server =
+      Server.start
+        ~config:
+          { Server.default_config with host; port; max_inflight; memo_log;
+            max_steps_cap }
+        svc
+    in
+    Fmt.pr "pna: serving on %s:%d (%d workers%s)@." host (Server.port server)
+      (Service.jobs svc)
+      (match memo_log with
+      | None -> ""
+      | Some p ->
+        Fmt.str ", memo log %s: %d entries recovered, %d torn bytes dropped" p
+          (Server.recovered server) (Server.torn_bytes server));
+    let stop = ref false in
+    let handler = Sys.Signal_handle (fun _ -> stop := true) in
+    Sys.set_signal Sys.sigint handler;
+    Sys.set_signal Sys.sigterm handler;
+    while not !stop do
+      Unix.sleepf 0.2
+    done;
+    Fmt.pr "pna: draining...@.";
+    Server.stop server;
+    Fmt.pr "%a@." Metrics.pp_prometheus (Server.registry server);
+    Fmt.pr "%a@." Service.pp_stats (Service.stats svc);
+    Service.shutdown svc
+  in
+  Cmd.v
+    (Cmd.info "serve-tcp"
+       ~doc:"Serve the scenario service over TCP: length-prefixed CRC-framed              requests, bounded admission with shed replies, graceful drain on              SIGINT/SIGTERM, optional crash-safe on-disk memo log.")
+    Term.(const run $ jobs_t $ host_t $ port_t $ inflight_t $ memo_log_t
+          $ steps_cap_t $ metrics_t)
+
+let loadgen_cmd =
+  let port_t =
+    Arg.(required & opt (some int) None & info [ "p"; "port" ] ~docv:"PORT"
+           ~doc:"Server port to drive.")
+  in
+  let n_t =
+    Arg.(value & opt int 10_000 & info [ "n"; "requests" ] ~docv:"N"
+           ~doc:"Total requests to issue.")
+  in
+  let conns_t =
+    Arg.(value & opt int 4 & info [ "c"; "conns" ] ~docv:"N"
+           ~doc:"Parallel connections (one domain each).")
+  in
+  let window_t =
+    Arg.(value & opt int 32 & info [ "window" ] ~docv:"N"
+           ~doc:"Pipelined requests outstanding per connection.")
+  in
+  let chaos_t =
+    Arg.(value & flag & info [ "chaos" ]
+           ~doc:"Inject socket faults on the send path: partial writes,              stalls, corrupt bytes, hard resets.")
+  in
+  let seed_t =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+           ~doc:"Request-mix and fault-plan seed.")
+  in
+  let run host port n conns window chaos seed =
+    let r = Loadgen.run ~conns ~window ~chaos ~host ~port ~n ~seed () in
+    Fmt.pr "%a@." Loadgen.pp r;
+    if r.Loadgen.lg_hung > 0 || r.Loadgen.lg_sig_conflicts > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a serve-tcp server with a deterministic pipelined request              mix and report latency percentiles; exits non-zero on hung              requests or divergent replies.")
+    Term.(const run $ host_t $ port_t $ n_t $ conns_t $ window_t $ chaos_t
+          $ seed_t)
+
+let compact_cmd =
+  let path_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MEMO-LOG")
+  in
+  let run path =
+    match Memolog.compact path with
+    | kept, dropped ->
+      Fmt.pr "%s: kept %d record(s), dropped %d duplicate(s)@." path kept
+        dropped
+    | exception Sys_error m | exception Failure m ->
+      Fmt.epr "compact: %s@." m;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:"Offline-compact a memo log: drop duplicate records, keeping the              first per key (what the in-memory cache would have served),              atomically via write-aside and rename.")
+    Term.(const run $ path_t)
+
+let netgate_cmd =
+  let requests_t =
+    Arg.(value & opt (some int) None & info [ "n"; "requests" ] ~docv:"N"
+           ~doc:"Load-phase request count. Default adapts to the host:              1M with 8+ cores, 100k otherwise; $(b,PNA_E16_N) overrides.")
+  in
+  let chaos_requests_t =
+    Arg.(value & opt int 1_500 & info [ "chaos-requests" ] ~docv:"N"
+           ~doc:"Chaos-soak request count.")
+  in
+  let fuzz_t =
+    Arg.(value & opt int 120 & info [ "fuzz-frames" ] ~docv:"N"
+           ~doc:"Malformed frames for the protocol-fuzz phase.")
+  in
+  let run requests chaos_requests fuzz_frames =
+    report E.pp_e16
+      (E.e16 ?requests ~chaos_requests ~fuzz_frames ())
+      E.e16_ok
+  in
+  Cmd.v
+    (Cmd.info "netgate"
+       ~doc:"E16: the wire gate — load with latency percentiles, protocol              fuzz (every malformed frame classified, server survives), chaos              soak (verdicts identical to the in-process driver).")
+    Term.(const run $ requests_t $ chaos_requests_t $ fuzz_t)
+
 (* ---- check / exec: the toolchain on user-supplied source files ---- *)
 
 let parse_file path =
@@ -811,6 +952,10 @@ let () =
             telemetry_cmd;
             oracle_cmd;
             scaling_cmd;
+            serve_tcp_cmd;
+            loadgen_cmd;
+            compact_cmd;
+            netgate_cmd;
             harden_cmd;
             all_cmd;
           ]))

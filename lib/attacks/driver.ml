@@ -198,6 +198,16 @@ type supervised = {
 
 let default_budget = 2_000_000
 
+(* Fleet-level retry accounting lands in the process-wide registry —
+   supervision has no per-instance owner the way the service does. *)
+module Metrics = Pna_telemetry.Metrics
+
+let retries_total =
+  lazy (Metrics.counter Metrics.default "pna_supervise_retries_total")
+
+let giveups_total =
+  lazy (Metrics.counter Metrics.default "pna_supervise_giveups_total")
+
 (* A transient status is one worth retrying when it was provoked by an
    injected fault: the fault is one-shot, so the next attempt runs clean.
    Hijacks and defense stops are never retried — those are the behaviours
@@ -207,9 +217,21 @@ let transient (o : Outcome.t) =
   | Outcome.Crashed _ | Outcome.Out_of_memory | Outcome.Timeout _ -> true
   | _ -> false
 
-let supervise ?(config = Config.none) ?(max_retries = 3)
+let supervise ?(config = Config.none) ?(max_retries = 3) ?(jitter_pct = 0)
     ?(max_steps = default_budget) ?reload ~plan (a : Catalog.t) =
   let eng = Chaos.create plan in
+  (* Jitter is seeded from the plan, so a supervised run stays replayable
+     from its plan alone — same plan, same backoff schedule. *)
+  let jitter_rng =
+    if jitter_pct > 0 then Some (Random.State.make [| 0xb40f; plan.Plan.seed |])
+    else None
+  in
+  let backoff_ms attempt =
+    let base = 1 lsl (attempt - 1) in
+    match jitter_rng with
+    | None -> base
+    | Some rng -> base + Random.State.int rng (1 + (base * jitter_pct / 100))
+  in
   let load =
     (* [reload] lets a serving layer hand out a rewound prepared machine
        instead of rebuilding the image for every attempt *)
@@ -262,16 +284,20 @@ let supervise ?(config = Config.none) ?(max_retries = 3)
     in
     let injected = List.length (Chaos.fired eng) > fired_before in
     if injected && transient outcome && attempt <= max_retries then begin
-      (* backoff is simulated (recorded, not slept): 1, 2, 4, ... ms *)
+      (* backoff is simulated (recorded, not slept): 1, 2, 4, ... ms,
+         plus seeded jitter when [jitter_pct] asks for it *)
+      let ms = backoff_ms attempt in
+      Metrics.incr (Lazy.force retries_total);
       Trace.instant ~cat:"driver" "retry"
         ~args:
-          [
-            ("after_attempt", Trace.Int attempt);
-            ("backoff_ms", Trace.Int (1 lsl (attempt - 1)));
-          ];
-      go (attempt + 1) ((1 lsl (attempt - 1)) :: backoffs)
+          [ ("after_attempt", Trace.Int attempt); ("backoff_ms", Trace.Int ms) ];
+      go (attempt + 1) (ms :: backoffs)
     end
-    else
+    else begin
+      (* a transient, injected failure that exhausted the attempt cap is
+         a give-up — distinct from a verdict reached on a clean run *)
+      if injected && transient outcome && attempt > max_retries then
+        Metrics.incr (Lazy.force giveups_total);
       (* [attempt] is the attempt whose run produced this outcome: the
          supervisor retries strictly in sequence, so the surviving run
          is both the last and the verdict-producing one. Record it
@@ -307,6 +333,7 @@ let supervise ?(config = Config.none) ?(max_retries = 3)
         sv_outcome = outcome;
         sv_verdict = verdict;
       }
+    end
   in
   Trace.with_span ~cat:"driver" "supervise"
     ~args:

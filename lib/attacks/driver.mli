@@ -91,6 +91,7 @@ type supervised = {
 val supervise :
   ?config:Config.t ->
   ?max_retries:int ->
+  ?jitter_pct:int ->
   ?max_steps:int ->
   ?reload:(unit -> Machine.t) ->
   plan:Pna_chaos.Plan.t ->
@@ -104,7 +105,14 @@ val supervise :
     [Outcome.Recovered]. No injected fault ever escapes as a raw
     exception; every termination is a classified outcome. [reload]
     replaces the per-attempt image build; a serving layer passes a thunk
-    that rewinds a prepared machine ({!reset}) instead. *)
+    that rewinds a prepared machine ({!reset}) instead.
+
+    [jitter_pct] (default 0: pure powers of two, the historical schedule)
+    adds up to that percentage of each backoff step, drawn from a
+    generator seeded by the plan — replays of the same plan see the same
+    schedule. Retries and give-ups are counted in the process-wide
+    registry as [pna_supervise_retries_total] /
+    [pna_supervise_giveups_total]. *)
 
 val pp_supervised : Format.formatter -> supervised -> unit
 

@@ -17,9 +17,12 @@ type t = {
   mutable fired : string list;  (** labels, newest first *)
   mutable accesses : int;
   mutable allocs : int;
+  mutable sends : int;
 }
 
-let create plan = { plan; pending = plan.Plan.faults; fired = []; accesses = 0; allocs = 0 }
+let create plan =
+  { plan; pending = plan.Plan.faults; fired = []; accesses = 0; allocs = 0;
+    sends = 0 }
 
 let plan t = t.plan
 let fired t = List.rev t.fired
@@ -121,3 +124,63 @@ let perturb_strings t strings =
         | _ -> ())
       t.plan.Plan.faults;
     if !dup then !head :: !head :: rest else !head :: rest
+
+(* -- socket faults: pure decisions, executed by the net layer ------------ *)
+
+(** What a chaotic network does to one socket send. The engine owns no
+    file descriptors (this library stays unix-free): it returns a script
+    of steps and the caller performs them — write the bytes, stall, or
+    abort the connection. [Reset] is always the final step of its
+    script. *)
+type send_step =
+  | Send of string  (** write these bytes *)
+  | Delay_ms of int  (** stall this many milliseconds *)
+  | Reset  (** abort the connection; nothing further is sent *)
+
+(* Faults targeting the same send compose deterministically: corruption
+   rewrites the bytes first, a reset truncates and ends the script, an
+   (un-reset) split halves it, and delays prepend. Like every other
+   fault they are one-shot — the [at_send] index runs across the
+   engine's whole lifetime. *)
+let on_send t data =
+  let i = t.sends in
+  t.sends <- t.sends + 1;
+  let data = ref data in
+  let delay = ref 0 and split = ref None and reset = ref None in
+  List.iter
+    (fun f ->
+      if List.mem f t.pending then
+        match f with
+        | Plan.Sock_corrupt { at_send; pos; mask } when at_send = i ->
+          spend t f;
+          data := Wire.flip_byte ~pos ~mask !data
+        | Plan.Sock_delay { at_send; ms } when at_send = i ->
+          spend t f;
+          delay := !delay + ms
+        | Plan.Sock_split { at_send; at_byte; ms } when at_send = i ->
+          spend t f;
+          split := Some (at_byte, ms)
+        | Plan.Sock_reset { at_send; after_bytes } when at_send = i ->
+          spend t f;
+          reset := Some after_bytes
+        | _ -> ())
+    t.plan.Plan.faults;
+  let steps =
+    match !reset with
+    | Some keep ->
+      let keep = min (max 0 keep) (String.length !data) in
+      if keep = 0 then [ Reset ] else [ Send (String.sub !data 0 keep); Reset ]
+    | None -> (
+      match !split with
+      | Some (at, ms) when String.length !data > 1 ->
+        let at = 1 + (abs at mod (String.length !data - 1)) in
+        [
+          Send (String.sub !data 0 at);
+          Delay_ms ms;
+          Send (String.sub !data at (String.length !data - at));
+        ]
+      | _ -> [ Send !data ])
+  in
+  if !delay > 0 then Delay_ms !delay :: steps else steps
+
+let sends t = t.sends

@@ -22,6 +22,18 @@ type fault =
   | Wire_corrupt of { pos : int; mask : int }
       (** XOR [mask] into the datagram byte at [pos]. *)
   | Wire_duplicate  (** Deliver the datagram twice. *)
+  | Sock_delay of { at_send : int; ms : int }
+      (** Stall [ms] milliseconds before the [at_send]th socket send. *)
+  | Sock_split of { at_send : int; at_byte : int; ms : int }
+      (** Split the [at_send]th socket send at byte [at_byte] with an
+          [ms]-millisecond stall between the halves — the receiver sees a
+          partial read. *)
+  | Sock_corrupt of { at_send : int; pos : int; mask : int }
+      (** XOR [mask] into byte [pos] of the [at_send]th socket send — a
+          corrupt frame on the wire. *)
+  | Sock_reset of { at_send : int; after_bytes : int }
+      (** Deliver only the first [after_bytes] bytes of the [at_send]th
+          socket send, then reset the connection. *)
 
 type t = { seed : int; faults : fault list }
 
@@ -30,12 +42,15 @@ let empty seed = { seed; faults = [] }
 (* Generation: the fault mix below is tuned so that every category shows
    up within a few dozen seeds while most plans stay small (1-3 faults),
    keeping perturbed runs close enough to the baseline for the
-   degradation oracle to be meaningful. *)
-let generate ?(rate = 1.0) ~seed () =
+   degradation oracle to be meaningful. [~sock] widens the pick to the
+   socket fault classes; it is off by default so every pre-existing
+   seeded sweep (E9 in particular) generates exactly the plans it always
+   has. *)
+let generate ?(rate = 1.0) ?(sock = false) ~seed () =
   let st = Random.State.make [| 0x9a05; seed; 0x7e57 |] in
   let n = max 1 (int_of_float (rate *. 3.0 *. Random.State.float st 1.0)) in
   let pick () =
-    match Random.State.int st 7 with
+    match Random.State.int st (if sock then 11 else 7) with
     | 0 ->
       Flip_bit
         { at_access = Random.State.int st 20_000; bit = Random.State.int st 8 }
@@ -46,7 +61,27 @@ let generate ?(rate = 1.0) ~seed () =
     | 5 ->
       Wire_corrupt
         { pos = Random.State.int st 64; mask = 1 + Random.State.int st 255 }
-    | _ -> Wire_duplicate
+    | 6 -> Wire_duplicate
+    | 7 ->
+      Sock_delay
+        { at_send = Random.State.int st 24; ms = 1 + Random.State.int st 20 }
+    | 8 ->
+      Sock_split
+        {
+          at_send = Random.State.int st 24;
+          at_byte = 1 + Random.State.int st 64;
+          ms = Random.State.int st 5;
+        }
+    | 9 ->
+      Sock_corrupt
+        {
+          at_send = Random.State.int st 24;
+          pos = Random.State.int st 80;
+          mask = 1 + Random.State.int st 255;
+        }
+    | _ ->
+      Sock_reset
+        { at_send = Random.State.int st 24; after_bytes = Random.State.int st 48 }
   in
   { seed; faults = List.init n (fun _ -> pick ()) }
 
@@ -58,6 +93,13 @@ let fault_label = function
   | Wire_truncate { keep } -> Fmt.str "wire-truncate keep %d" keep
   | Wire_corrupt { pos; mask } -> Fmt.str "wire-corrupt pos %d mask %d" pos mask
   | Wire_duplicate -> "wire-duplicate"
+  | Sock_delay { at_send; ms } -> Fmt.str "sock-delay send %d ms %d" at_send ms
+  | Sock_split { at_send; at_byte; ms } ->
+    Fmt.str "sock-split send %d byte %d ms %d" at_send at_byte ms
+  | Sock_corrupt { at_send; pos; mask } ->
+    Fmt.str "sock-corrupt send %d pos %d mask %d" at_send pos mask
+  | Sock_reset { at_send; after_bytes } ->
+    Fmt.str "sock-reset send %d after %d" at_send after_bytes
 
 let to_string t =
   String.concat "\n"
@@ -93,6 +135,24 @@ let fault_of_line line =
     | Some pos, Some mask -> Ok (Wire_corrupt { pos; mask })
     | _ -> Error (Fmt.str "bad wire-corrupt line: %S" line))
   | [ "wire-duplicate" ] -> Ok Wire_duplicate
+  | [ "sock-delay"; "send"; s; "ms"; m ] -> (
+    match (int_of_string_opt s, int_of_string_opt m) with
+    | Some at_send, Some ms -> Ok (Sock_delay { at_send; ms })
+    | _ -> Error (Fmt.str "bad sock-delay line: %S" line))
+  | [ "sock-split"; "send"; s; "byte"; b; "ms"; m ] -> (
+    match (int_of_string_opt s, int_of_string_opt b, int_of_string_opt m) with
+    | Some at_send, Some at_byte, Some ms ->
+      Ok (Sock_split { at_send; at_byte; ms })
+    | _ -> Error (Fmt.str "bad sock-split line: %S" line))
+  | [ "sock-corrupt"; "send"; s; "pos"; p; "mask"; m ] -> (
+    match (int_of_string_opt s, int_of_string_opt p, int_of_string_opt m) with
+    | Some at_send, Some pos, Some mask ->
+      Ok (Sock_corrupt { at_send; pos; mask })
+    | _ -> Error (Fmt.str "bad sock-corrupt line: %S" line))
+  | [ "sock-reset"; "send"; s; "after"; a ] -> (
+    match (int_of_string_opt s, int_of_string_opt a) with
+    | Some at_send, Some after_bytes -> Ok (Sock_reset { at_send; after_bytes })
+    | _ -> Error (Fmt.str "bad sock-reset line: %S" line))
   | _ -> Error (Fmt.str "unrecognised fault line: %S" line)
 
 let of_string s : (t, string) result =

@@ -1337,6 +1337,306 @@ let pp_e15 ppf r =
   Fmt.pf ppf "=> %s@]" gate
 
 (* ------------------------------------------------------------------ *)
+(* E16 (extension): the wire gate — load, protocol fuzz, chaos soak      *)
+
+module Server = Pna_net.Server
+module Nclient = Pna_net.Client
+module Nframe = Pna_net.Frame
+module Loadgen = Pna_net.Loadgen
+module Metrics = Pna_telemetry.Metrics
+
+(* Host-adaptive request count: >= 100k everywhere (the CI floor), >= 1M
+   on hosts with real parallelism. [PNA_E16_N] overrides either way. *)
+let e16_requests ?requests () =
+  match requests with
+  | Some n -> max 1 n
+  | None -> (
+    match Sys.getenv_opt "PNA_E16_N" with
+    | Some s -> ( try max 1 (int_of_string s) with _ -> 100_000)
+    | None ->
+      if Domain.recommended_domain_count () >= 8 then 1_000_000 else 100_000)
+
+type e16_fuzz = {
+  nf_frames : int;  (** malformed frames sent *)
+  nf_rejected : int;  (** answered with a classified [Reply_error] *)
+  nf_closed : int;  (** connection closed without a reply (EOF cases) *)
+  nf_hung : int;  (** client receive timeouts — the gate requires 0 *)
+  nf_alive : bool;  (** the server answers a ping after the storm *)
+  nf_classes : (string * int) list;
+      (** server-side [pna_net_protocol_errors_total] per class *)
+}
+
+(* One malformed frame per connection (the server hangs up after a
+   protocol error), raw sockets so nothing on the client side repairs
+   the damage before it hits the wire. *)
+let e16_fuzz ?(frames = 120) ~host ~port ~registry ~seed () =
+  let rng = Random.State.make [| 0xf022; seed |] in
+  let le32 b off v =
+    for i = 0 to 3 do
+      Bytes.set b (off + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+    done
+  in
+  let fix_crc b =
+    let crc =
+      Pna_net.Crc32.string
+        ~crc:(Pna_net.Crc32.string (Bytes.sub_string b 0 12))
+        ~off:Nframe.header_len
+        ~len:(Bytes.length b - Nframe.header_len)
+        (Bytes.to_string b)
+    in
+    le32 b 12 crc
+  in
+  let base () =
+    Bytes.of_string
+      (Nframe.encode
+         (Nframe.Request
+            {
+              Nframe.rq_corr = 7;
+              rq_attack = "overflow-vptr";
+              rq_config = "none";
+              rq_chaos_seed = None;
+              rq_max_steps = Some 1000;
+              rq_sanitize = false;
+            }))
+  in
+  let rejected = ref 0 and closed = ref 0 and hung = ref 0 in
+  for _ = 1 to frames do
+    let truncate_close = ref false in
+    let frame =
+      let b = base () in
+      match Random.State.int rng 6 with
+      | 0 ->
+        (* single bit flip anywhere lands in Bad_crc (or an earlier
+           header check) — never an uncaught exception *)
+        let i = Random.State.int rng (Bytes.length b) in
+        Bytes.set b i
+          (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Random.State.int rng 8)));
+        b
+      | 1 ->
+        truncate_close := true;
+        Bytes.sub b 0 (1 + Random.State.int rng (Bytes.length b - 1))
+      | 2 ->
+        le32 b 8 0x7fff_ffff;
+        (* inflated length must fail fast, CRC or no CRC *)
+        b
+      | 3 ->
+        let g = Bytes.create 32 in
+        for i = 0 to 31 do
+          Bytes.set g i (Char.chr (Random.State.int rng 256))
+        done;
+        g
+      | 4 ->
+        Bytes.set b 4 '\x09';
+        fix_crc b;
+        (* CRC-valid frame from the future: Bad_version *)
+        b
+      | _ ->
+        Bytes.set b 5 '\xee';
+        fix_crc b;
+        (* CRC-valid unknown kind: Bad_kind *)
+        b
+    in
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+       Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.;
+       let rec write_all off =
+         if off < Bytes.length frame then
+           write_all (off + Unix.write fd frame off (Bytes.length frame - off))
+       in
+       write_all 0;
+       if !truncate_close then incr closed
+       else begin
+         let buf = Bytes.create 4096 and acc = ref "" and decided = ref false in
+         while not !decided do
+           match Nframe.decode !acc with
+           | Nframe.Msg (Nframe.Reply_error _, _) ->
+             incr rejected;
+             decided := true
+           | Nframe.Msg (_, used) ->
+             acc := String.sub !acc used (String.length !acc - used)
+           | Nframe.Fail _ ->
+             incr closed;
+             decided := true
+           | Nframe.Need _ -> (
+             match Unix.read fd buf 0 4096 with
+             | 0 ->
+               incr closed;
+               decided := true
+             | n -> acc := !acc ^ Bytes.sub_string buf 0 n
+             | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+               ->
+               incr hung;
+               decided := true)
+         done
+       end
+     with Unix.Unix_error _ -> incr closed);
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  done;
+  let alive =
+    match Nclient.connect ~timeout_s:5. ~host ~port () with
+    | Error _ -> false
+    | Ok c ->
+      let ok = Nclient.ping c 42 = Ok () in
+      Nclient.close c;
+      ok
+  in
+  {
+    nf_frames = frames;
+    nf_rejected = !rejected;
+    nf_closed = !closed;
+    nf_hung = !hung;
+    nf_alive = alive;
+    nf_classes =
+      List.filter_map
+        (fun cls ->
+          let c =
+            Metrics.counter ~labels:[ ("class", cls) ] registry
+              "pna_net_protocol_errors_total"
+          in
+          match Metrics.count c with 0 -> None | n -> Some (cls, n))
+        [ "magic"; "version"; "kind"; "oversize"; "crc"; "payload" ];
+  }
+
+(* The in-process mirror of one wire request: exactly what the server's
+   service executes, minus the socket — the comparison point for the
+   verdict-equivalence half of the gate. *)
+let e16_expected_sig ~max_steps (s : Loadgen.spec) =
+  match
+    ( List.find_opt
+        (fun (a : Catalog.t) -> a.Catalog.id = s.Loadgen.s_attack)
+        All.attacks,
+      List.find_opt
+        (fun (c : Config.t) -> c.Config.name = s.Loadgen.s_config)
+        Config.all )
+  with
+  | Some attack, Some config ->
+    let reply =
+      match s.Loadgen.s_chaos_seed with
+      | None ->
+        (* the load generator requests sanitize=false, so pin it here
+           too — the PNA_SANITIZE=1 test pass must not skew the mirror *)
+        Service.reply_of_result
+          (Driver.run ~config ~max_steps ~sanitize:false attack)
+      | Some seed ->
+        let p = Driver.prepare ~config attack in
+        let s =
+          Driver.supervise ~config ~max_steps
+            ~reload:(fun () -> Driver.reset p)
+            ~plan:(Plan.generate ~seed ()) attack
+        in
+        Service.reply_of_supervised ~chaos_seed:seed s
+    in
+    Some (Loadgen.signature (Nframe.rep_of_reply reply))
+  | _ -> None
+
+(* Compare every wire-sampled reply signature against the in-process
+   driver: (agreeing, total). *)
+let e16_verdict_check ~max_steps ~distinct ~seed (r : Loadgen.result) =
+  let specs = Loadgen.specs ~distinct ~seed () in
+  let expected = Hashtbl.create 64 in
+  Array.iter
+    (fun s ->
+      let k = Loadgen.spec_key s in
+      if not (Hashtbl.mem expected k) then
+        Hashtbl.add expected k (e16_expected_sig ~max_steps s))
+    specs;
+  List.fold_left
+    (fun (agree, total) (key, sig_) ->
+      match Hashtbl.find_opt expected key with
+      | Some (Some exp) when exp = sig_ -> (agree + 1, total + 1)
+      | _ -> (agree, total + 1))
+    (0, 0) r.Loadgen.lg_samples
+
+type e16_report = {
+  t16_load : Loadgen.result;
+  t16_fuzz : e16_fuzz;
+  t16_chaos : Loadgen.result;
+  t16_agree : int;  (** wire reply signatures matching the in-process driver *)
+  t16_total : int;  (** ... out of this many distinct sampled specs *)
+  t16_cores : int;
+}
+
+let lg_rejected_count (r : Loadgen.result) =
+  List.fold_left (fun a (_, n) -> a + n) 0 r.Loadgen.lg_rejected
+
+(* every request ends in exactly one bucket *)
+let lg_accounted (r : Loadgen.result) =
+  r.Loadgen.lg_served + r.Loadgen.lg_shed_final + lg_rejected_count r
+  + r.Loadgen.lg_hung
+  = r.Loadgen.lg_n
+
+let e16 ?requests ?(chaos_requests = 1_500) ?(fuzz_frames = 120) ?(seed = 16)
+    () =
+  let n = e16_requests ?requests () in
+  let cores = Domain.recommended_domain_count () in
+  let svc = Service.create () in
+  let server =
+    Server.start
+      ~config:
+        (* idle timeout well under the fuzz client's 5s read timeout, so
+           a half-sent frame is visibly reaped, never mistaken for a
+           hang *)
+        { Server.default_config with max_inflight = 128; idle_timeout_s = 2. }
+      svc
+  in
+  let host = "127.0.0.1" and port = Server.port server in
+  let conns = max 2 (min 8 cores) in
+  let distinct = 48 in
+  let load = Loadgen.run ~conns ~distinct ~host ~port ~n ~seed () in
+  let fuzz =
+    e16_fuzz ~frames:fuzz_frames ~host ~port ~registry:(Server.registry server)
+      ~seed ()
+  in
+  let chaos =
+    Loadgen.run ~chaos:true ~conns:2 ~distinct ~host ~port ~n:chaos_requests
+      ~seed:(seed + 7) ()
+  in
+  Server.stop server;
+  Service.shutdown svc;
+  (* what the server clamps each request's deadline to: the spec budget
+     is below the default cap, so it passes through unchanged *)
+  let max_steps =
+    min Loadgen.default_max_steps Server.default_config.Server.max_steps_cap
+  in
+  let a1, t1 = e16_verdict_check ~max_steps ~distinct ~seed load in
+  let a2, t2 = e16_verdict_check ~max_steps ~distinct ~seed:(seed + 7) chaos in
+  {
+    t16_load = load;
+    t16_fuzz = fuzz;
+    t16_chaos = chaos;
+    t16_agree = a1 + a2;
+    t16_total = t1 + t2;
+    t16_cores = cores;
+  }
+
+let pp_e16 ppf r =
+  Fmt.pf ppf
+    "@[<v>E16 — the wire gate: load, protocol fuzz, chaos soak@,%s@,\
+     load:  %a@,\
+     fuzz:  %d malformed frames -> %d rejected / %d closed / %d hung; server \
+     %s@,"
+    (String.make 100 '-') Loadgen.pp r.t16_load r.t16_fuzz.nf_frames
+    r.t16_fuzz.nf_rejected r.t16_fuzz.nf_closed r.t16_fuzz.nf_hung
+    (if r.t16_fuzz.nf_alive then "alive" else "DEAD");
+  if r.t16_fuzz.nf_classes <> [] then
+    Fmt.pf ppf "       classified server-side: %a@,"
+      Fmt.(list ~sep:(any "  ") (pair ~sep:(any "=") string int))
+      r.t16_fuzz.nf_classes;
+  Fmt.pf ppf "chaos: %a@,verdicts: %d/%d sampled wire replies identical to \
+              the in-process driver@,=> %s on %d core(s)@]"
+    Loadgen.pp r.t16_chaos r.t16_agree r.t16_total
+    (if
+       r.t16_load.Loadgen.lg_hung = 0
+       && r.t16_chaos.Loadgen.lg_hung = 0
+       && r.t16_fuzz.nf_hung = 0
+       && r.t16_fuzz.nf_alive
+       && r.t16_agree = r.t16_total
+     then "wire gate holds"
+     else "WIRE GATE FAILS")
+    r.t16_cores
+
+(* ------------------------------------------------------------------ *)
 (* Pass/fail verdicts per experiment, so callers (the CLI in
    particular) can turn a regressed experiment into a non-zero exit. *)
 
@@ -1442,6 +1742,37 @@ let e15_ok r =
   && r.t15_speed.fs_ratio >= 3.0
   && e15_scale_ok ~cores:r.t15_cores r.t15_scale
 
+(* The wire gate: every request accounted for with none hung, no
+   spurious rejections on the clean run, every malformed frame answered
+   or closed with the server still alive, chaos-soaked replies
+   signature-identical to the in-process driver, and a real latency
+   distribution. The latency ceilings are deliberately generous
+   multiples of the committed 1-core BENCH_net.json baseline (p50
+   ~0.9ms warm, ~116ms under the mixed load) — they are not a perf
+   benchmark but a collapse detector: a retry death-spiral or a stalled
+   select loop pushes p99 past seconds, and that must fail the gate on
+   any host. *)
+let e16_p50_ceiling_us = 1_000_000.
+let e16_p99_ceiling_us = 5_000_000.
+
+let e16_ok r =
+  let load = r.t16_load and chaos = r.t16_chaos and fuzz = r.t16_fuzz in
+  lg_accounted load && lg_accounted chaos
+  && load.Loadgen.lg_hung = 0
+  && chaos.Loadgen.lg_hung = 0
+  && load.Loadgen.lg_sig_conflicts = 0
+  && chaos.Loadgen.lg_sig_conflicts = 0
+  && lg_rejected_count load = 0
+  && load.Loadgen.lg_served > 0
+  && chaos.Loadgen.lg_served > 0
+  && fuzz.nf_hung = 0 && fuzz.nf_alive
+  && fuzz.nf_rejected + fuzz.nf_closed = fuzz.nf_frames
+  && r.t16_agree = r.t16_total && r.t16_total > 0
+  && load.Loadgen.lg_p50_us > 0.
+  && load.Loadgen.lg_p50_us <= load.Loadgen.lg_p99_us
+  && load.Loadgen.lg_p50_us <= e16_p50_ceiling_us
+  && load.Loadgen.lg_p99_us <= e16_p99_ceiling_us
+
 (* ------------------------------------------------------------------ *)
 
 let run_all ppf () =
@@ -1450,4 +1781,7 @@ let run_all ppf () =
     pp_e7 (e7 ()) pp_e8_matrix (e8_matrix ()) pp_e8_overhead (e8_overhead ())
     pp_e9 (e9 ());
   Fmt.pf ppf "@.%a@.@.%a@.@.%a@.@.%a@.@.%a@.@.%a@." pp_e10 (e10 ()) pp_e11
-    (e11 ()) pp_e12 (e12 ()) pp_e13 (e13 ()) pp_e14 (e14 ()) pp_e15 (e15 ())
+    (e11 ()) pp_e12 (e12 ()) pp_e13 (e13 ()) pp_e14 (e14 ()) pp_e15 (e15 ());
+  (* the wire gate at a sampling request count — the full host-adaptive
+     run is the dedicated [e16] / netgate entry point *)
+  Fmt.pf ppf "@.%a@." pp_e16 (e16 ~requests:20_000 ~chaos_requests:600 ())

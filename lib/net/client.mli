@@ -1,0 +1,66 @@
+(** Protocol client: blocking sockets with receive timeouts, classified
+    transport failures, and a retrying one-shot {!call} with seeded
+    jittered exponential backoff.
+
+    With [?chaos], a {!Pna_chaos.Chaos} engine scripts socket-level
+    faults onto the send path (partial writes, stalls, corrupt bytes,
+    hard resets) — the fault-injection vehicle for the chaos soak. *)
+
+type failure =
+  | Retryable of string
+      (** may have been lost in flight; the service is memoized and
+          deterministic, so re-sending is safe *)
+  | Terminal of string  (** retrying cannot help *)
+
+val failure_label : failure -> string
+
+type response =
+  | Served of Frame.rep
+  | Shed of int  (** retry-after hint, ms *)
+  | Rejected of string  (** server-side [Reply_error] *)
+
+type t
+
+val connect :
+  ?timeout_s:float ->
+  ?chaos:Pna_chaos.Chaos.t ->
+  host:string ->
+  port:int ->
+  unit ->
+  (t, failure) result
+
+val request : t -> Frame.req -> (response, failure) result
+(** One request/reply exchange; a receive timeout, peer close or
+    injected reset comes back [Retryable], a protocol breakdown
+    [Terminal]. Never raises, never blocks past the timeout. *)
+
+val ping : t -> int -> (unit, failure) result
+
+val send_msg : t -> Frame.msg -> (unit, failure) result
+val recv_msg : t -> (Frame.msg, failure) result
+(** Raw framed send/receive for pipelined callers (the load generator
+    keeps a window of outstanding requests and matches correlation ids
+    itself). *)
+
+val close : t -> unit
+val abort : t -> unit
+(** [abort] resets (SO_LINGER 0 — the peer sees RST); [close] is a
+    graceful FIN. Both are idempotent. *)
+
+val call :
+  ?attempts:int ->
+  ?base_ms:int ->
+  ?jitter_pct:int ->
+  ?seed:int ->
+  ?timeout_s:float ->
+  ?chaos:Pna_chaos.Chaos.t ->
+  host:string ->
+  port:int ->
+  Frame.req ->
+  (response, failure) result
+(** Connect-request-close with retry: retryable failures and shed
+    replies back off ([base_ms] * 2^attempt plus up to [jitter_pct]%
+    jitter from a generator seeded by [seed]) and retry up to [attempts]
+    total tries; terminal failures return immediately. Retries and
+    give-ups are counted in the default registry
+    ([pna_net_client_retries_total] / [pna_net_client_giveups_total]). *)

@@ -1,0 +1,58 @@
+(** The crash-safe TCP front end for the {!Pna_service.Service} pool.
+
+    A select loop in its own domain speaks the {!Frame} protocol:
+    requests are admitted under an in-flight cap (excess is answered
+    with [Reply_shed] + retry-after, never queued without bound),
+    malformed frames are answered with a classified [Reply_error] and a
+    connection close (never a crash or a hang — an idle timeout reaps
+    half-sent frames), and {!stop} drains gracefully: in-flight jobs
+    finish and replies flush before sockets close.
+
+    With [memo_log] set, the service's memo cache is persisted through
+    {!Memolog}: recovered entries are preloaded at {!start} and fresh
+    ones appended as workers compute them, so a [kill -9] loses at most
+    the torn tail of the log. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; read it back with {!port} *)
+  max_inflight : int;  (** admitted-but-unfinished request cap *)
+  max_conns : int;
+  idle_timeout_s : float;
+  drain_timeout_s : float;  (** graceful-stop budget *)
+  max_steps_cap : int;  (** ceiling clamped onto every request deadline *)
+  retry_after_ms : int;  (** hint carried on shed replies *)
+  memo_log : string option;  (** persist the memo cache here *)
+}
+
+val default_config : config
+
+type t
+
+val start : ?config:config -> Pna_service.Service.t -> t
+(** Bind, recover the memo log (if configured), spawn the loop domain.
+    The service outlives the server: {!stop} does not shut the pool
+    down. *)
+
+val port : t -> int
+(** The bound port — the ephemeral one when [config.port] was 0. *)
+
+val registry : t -> Pna_telemetry.Metrics.registry
+(** Counters [pna_net_accepts_total], [pna_net_requests_total],
+    [pna_net_served_total], [pna_net_shed_total],
+    [pna_net_internal_errors_total],
+    [pna_net_protocol_errors_total{class}],
+    [pna_net_closes_total{reason}]; histogram [pna_net_request_us];
+    gauges [pna_net_open_conns], [pna_net_inflight]. *)
+
+val recovered : t -> int
+(** Memo entries preloaded from the log at startup. *)
+
+val torn_bytes : t -> int
+(** Bytes truncated off the memo log's torn tail at startup. *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, drain in-flight work and output
+    up to [drain_timeout_s], join the loop domain, close the memo log.
+    Idempotent in effect; safe to call once the loop has already
+    exited. *)

@@ -115,13 +115,21 @@ let create ?(queue_cap = 64) ?(minor_words = default_minor_words) ~jobs ~mk_ctx
 
 let jobs t = t.jobs
 
-let submit t f =
+(* [notify] runs on the worker after the future is fulfilled — the hook a
+   select loop uses to wake itself (write to a self-pipe) when a result
+   becomes peekable. It must never kill the worker, so exceptions are
+   swallowed. *)
+let mk_task ?notify f fut ctx =
+  (match f ctx with
+  | v -> fulfil fut (Done v)
+  | exception exn -> fulfil fut (Failed exn));
+  match notify with
+  | None -> ()
+  | Some g -> ( try g () with _ -> ())
+
+let submit ?notify t f =
   let fut = { f_mutex = Mutex.create (); f_cond = Condition.create (); f_state = Pending } in
-  let task ctx =
-    match f ctx with
-    | v -> fulfil fut (Done v)
-    | exception exn -> fulfil fut (Failed exn)
-  in
+  let task = mk_task ?notify f fut in
   Mutex.lock t.mutex;
   if t.closing then begin
     Mutex.unlock t.mutex;
@@ -138,6 +146,24 @@ let submit t f =
   Condition.signal t.not_empty;
   Mutex.unlock t.mutex;
   fut
+
+(* Non-blocking admission: [None] when the queue is full or the pool is
+   closing, instead of stalling the caller. A server's accept loop must
+   never block on its own backpressure — it sheds instead. *)
+let try_submit ?notify t f =
+  let fut = { f_mutex = Mutex.create (); f_cond = Condition.create (); f_state = Pending } in
+  let task = mk_task ?notify f fut in
+  Mutex.lock t.mutex;
+  if t.closing || Queue.length t.queue >= t.queue_cap then begin
+    Mutex.unlock t.mutex;
+    None
+  end
+  else begin
+    Queue.add task t.queue;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.mutex;
+    Some fut
+  end
 
 (* Stop accepting work, let the workers drain what is queued, join them. *)
 let shutdown t =

@@ -32,9 +32,18 @@ val create :
 val jobs : 'ctx t -> int
 (** The effective (clamped) worker count. *)
 
-val submit : 'ctx t -> ('ctx -> 'a) -> 'a future
+val submit : ?notify:(unit -> unit) -> 'ctx t -> ('ctx -> 'a) -> 'a future
 (** Enqueue a job; blocks while the queue is full (backpressure).
+    [notify] runs on the worker right after the future is fulfilled (its
+    exceptions are swallowed) — the hook an event loop uses to wake
+    itself when the result becomes peekable.
     @raise Invalid_argument after {!shutdown}. *)
+
+val try_submit :
+  ?notify:(unit -> unit) -> 'ctx t -> ('ctx -> 'a) -> 'a future option
+(** Non-blocking {!submit}: [None] when the queue is full or the pool is
+    shutting down. Admission control for callers that must never stall —
+    a server sheds load instead of blocking its accept loop. *)
 
 val await : 'a future -> 'a
 (** Block until the job completes; re-raises the job's exception. *)

@@ -104,6 +104,7 @@ type stats = {
   st_jobs : int;  (** replies produced *)
   st_memo_hits : int;
   st_memo_misses : int;
+  st_memo_evictions : int;  (** LRU entries dropped at the cap *)
   st_snapshot_restores : int;  (** machine rewinds in place of loads *)
   st_fresh_loads : int;  (** machines actually built from programs *)
   st_outcomes : (string * int) list;  (** status key -> count, sorted *)
@@ -134,10 +135,11 @@ let mean_ms (n, total_us) =
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "@[<v>jobs: %d@,memo: %d hit / %d miss@,images: %d restored / %d \
-     loaded@,queue wait: %.3f ms mean / execute: %.3f ms mean@,outcomes: %a@]"
-    s.st_jobs s.st_memo_hits s.st_memo_misses s.st_snapshot_restores
-    s.st_fresh_loads
+    "@[<v>jobs: %d@,memo: %d hit / %d miss / %d evicted@,images: %d restored \
+     / %d loaded@,queue wait: %.3f ms mean / execute: %.3f ms \
+     mean@,outcomes: %a@]"
+    s.st_jobs s.st_memo_hits s.st_memo_misses s.st_memo_evictions
+    s.st_snapshot_restores s.st_fresh_loads
     (mean_ms s.st_queue_wait_us)
     (mean_ms s.st_execute_us)
     Fmt.(list ~sep:(any " ") (pair ~sep:(any ":") string int))
@@ -158,6 +160,7 @@ let stats_json s : Jsonx.t =
       ("jobs", Jsonx.Int s.st_jobs);
       ("memo_hits", Jsonx.Int s.st_memo_hits);
       ("memo_misses", Jsonx.Int s.st_memo_misses);
+      ("memo_evictions", Jsonx.Int s.st_memo_evictions);
       ("snapshot_restores", Jsonx.Int s.st_snapshot_restores);
       ("fresh_loads", Jsonx.Int s.st_fresh_loads);
       ( "outcomes",
@@ -239,21 +242,80 @@ type memo_key = string * string * int option * int * bool
 (* The memo cache, sharded by key hash with one lock per shard so
    concurrent lookups from different workers almost never contend (the
    old design funneled every lookup and store through one global
-   mutex). *)
+   mutex).
+
+   Each shard is a bounded LRU: entries carry a last-use generation and
+   the order queue holds (key, generation) stamps. A hit re-stamps the
+   entry and enqueues a fresh stamp; eviction pops stamps from the front
+   and only trusts one that still matches its entry — stale stamps (the
+   entry was used again later) are discarded. This keeps hits O(1) with
+   no list splicing, at the cost of lazy deletion in the queue, which
+   [compact_order] bounds. *)
 let memo_shard_count = 16  (* power of two: shard = hash land (n-1) *)
 
-type memo = {
-  mc_tables : (memo_key, reply) Hashtbl.t array;
-  mc_locks : Mutex.t array;
+type memo_shard = {
+  ms_mutex : Mutex.t;
+  ms_tbl : (memo_key, reply * int ref) Hashtbl.t;  (* reply + last-use gen *)
+  ms_order : (memo_key * int) Queue.t;  (* (key, gen at stamp time) *)
+  mutable ms_gen : int;
+  mutable ms_evictions : int;
 }
 
-let mk_memo () =
+type memo = {
+  mc_shards : memo_shard array;
+  mc_cap : int;  (** per-shard entry cap *)
+}
+
+let mk_memo ~cap =
   {
-    mc_tables = Array.init memo_shard_count (fun _ -> Hashtbl.create 32);
-    mc_locks = Array.init memo_shard_count (fun _ -> Mutex.create ());
+    mc_shards =
+      Array.init memo_shard_count (fun _ ->
+          {
+            ms_mutex = Mutex.create ();
+            ms_tbl = Hashtbl.create 32;
+            ms_order = Queue.create ();
+            ms_gen = 0;
+            ms_evictions = 0;
+          });
+    mc_cap = max 1 (cap / memo_shard_count);
   }
 
 let memo_shard_of key = Hashtbl.hash key land (memo_shard_count - 1)
+
+let stamp ms key genref =
+  ms.ms_gen <- ms.ms_gen + 1;
+  genref := ms.ms_gen;
+  Queue.add (key, ms.ms_gen) ms.ms_order
+
+(* Drop stale stamps so the order queue stays proportional to the table.
+   A fresh head is re-stamped to the back — a bounded pass, since at most
+   [cap] live entries can be fresh. *)
+let compact_order ms ~cap =
+  if Queue.length ms.ms_order > 4 * cap then begin
+    let budget = ref (Queue.length ms.ms_order) in
+    while Queue.length ms.ms_order > 2 * cap && !budget > 0 do
+      decr budget;
+      match Queue.take_opt ms.ms_order with
+      | None -> budget := 0
+      | Some (k, g) -> (
+        match Hashtbl.find_opt ms.ms_tbl k with
+        | Some (_, gr) when !gr = g -> stamp ms k gr
+        | _ -> ())
+    done
+  end
+
+let evict_lru ms ~cap =
+  let give_up = ref false in
+  while Hashtbl.length ms.ms_tbl > cap && not !give_up do
+    match Queue.take_opt ms.ms_order with
+    | None -> give_up := true  (* unreachable: every entry has a stamp *)
+    | Some (k, g) -> (
+      match Hashtbl.find_opt ms.ms_tbl k with
+      | Some (_, gr) when !gr = g ->
+        Hashtbl.remove ms.ms_tbl k;
+        ms.ms_evictions <- ms.ms_evictions + 1
+      | _ -> ())
+  done
 
 (* Registry-backed instrumentation, one registry per service instance so
    tests (and parallel services) see isolated counters. The interned
@@ -266,6 +328,7 @@ type instruments = {
   i_memo_miss : Metrics.counter;
   i_restores : Metrics.counter;
   i_loads : Metrics.counter;
+  i_evictions : Metrics.counter;
   i_queue_wait : Metrics.histogram;  (** µs from submit to dequeue *)
   i_execute : Metrics.histogram;  (** µs executing (memo hits excluded) *)
 }
@@ -286,6 +349,7 @@ let mk_instruments () =
     i_loads =
       Metrics.counter reg "pna_service_images_total"
         ~labels:[ ("source", "fresh_load") ];
+    i_evictions = Metrics.counter reg "pna_memo_evictions_total";
     i_queue_wait = Metrics.histogram reg "pna_service_queue_wait_us";
     i_execute = Metrics.histogram reg "pna_service_execute_us";
   }
@@ -298,24 +362,44 @@ type published = {
   mutable p_misses : int;
   mutable p_restores : int;
   mutable p_loads : int;
+  mutable p_evictions : int;
   p_outcomes : (string, int) Hashtbl.t;
   p_queue_wait : lhist;
   p_execute : lhist;
+}
+
+(* A memo entry in portable form: the full key fields plus the reply —
+   what the persistence layer appends to its log and feeds back through
+   [preload_memo] on recovery. *)
+type memo_entry = {
+  me_attack : string;
+  me_config : string;
+  me_chaos_seed : int option;
+  me_input_hash : int;
+  me_sanitize : bool;
+  me_reply : reply;
 }
 
 type t = {
   pool : ctx Pool.t;
   shards : shard list Atomic.t;  (** one per worker, registered at spawn *)
   memo : memo option;  (** [None]: memoization off *)
+  memo_sink : (memo_entry -> unit) option Atomic.t;
+      (** mirrors fresh memo entries; runs on the worker that computed
+          them *)
   ins : instruments;
   flush_mutex : Mutex.t;
   pub : published;
 }
 
+let default_memo_cap = 65_536
+
 let create ?(jobs = Domain.recommended_domain_count ()) ?queue_cap
-    ?(memo = true) ?(prepared_cap = 16) () =
+    ?(memo = true) ?(memo_cap = default_memo_cap) ?(prepared_cap = 16) () =
   if prepared_cap < 1 then
     invalid_arg "Service.create: prepared_cap must be positive";
+  if memo_cap < 1 then
+    invalid_arg "Service.create: memo_cap must be positive";
   let shards = Atomic.make [] in
   let register sh =
     let rec go () =
@@ -338,7 +422,8 @@ let create ?(jobs = Domain.recommended_domain_count ()) ?queue_cap
   {
     pool = Pool.create ?queue_cap ~jobs ~mk_ctx ();
     shards;
-    memo = (if memo then Some (mk_memo ()) else None);
+    memo = (if memo then Some (mk_memo ~cap:memo_cap) else None);
+    memo_sink = Atomic.make None;
     ins = mk_instruments ();
     flush_mutex = Mutex.create ();
     pub = {
@@ -347,6 +432,7 @@ let create ?(jobs = Domain.recommended_domain_count ()) ?queue_cap
       p_misses = 0;
       p_restores = 0;
       p_loads = 0;
+      p_evictions = 0;
       p_outcomes = Hashtbl.create 16;
       p_queue_wait = mk_lhist ();
       p_execute = mk_lhist ();
@@ -354,6 +440,18 @@ let create ?(jobs = Domain.recommended_domain_count ()) ?queue_cap
   }
 
 let jobs t = Pool.jobs t.pool
+
+let memo_evictions t =
+  match t.memo with
+  | None -> 0
+  | Some mc ->
+    Array.fold_left
+      (fun a ms ->
+        Mutex.lock ms.ms_mutex;
+        let n = a + ms.ms_evictions in
+        Mutex.unlock ms.ms_mutex;
+        n)
+      0 mc.mc_shards
 
 (* -- shard aggregation --------------------------------------------- *)
 
@@ -409,6 +507,8 @@ let flush t =
     (fun v -> p.p_restores <- v) i.i_restores;
   counter_delta (fold_shards t (fun a sh -> a + sh.sh_loads) 0) p.p_loads
     (fun v -> p.p_loads <- v) i.i_loads;
+  counter_delta (memo_evictions t) p.p_evictions
+    (fun v -> p.p_evictions <- v) i.i_evictions;
   Hashtbl.iter
     (fun k total ->
       let pub = Option.value ~default:0 (Hashtbl.find_opt p.p_outcomes k) in
@@ -452,6 +552,7 @@ let stats t =
     st_jobs = fold_shards t (fun a sh -> a + sh.sh_jobs) 0;
     st_memo_hits = fold_shards t (fun a sh -> a + sh.sh_hits) 0;
     st_memo_misses = fold_shards t (fun a sh -> a + sh.sh_misses) 0;
+    st_memo_evictions = memo_evictions t;
     st_snapshot_restores = fold_shards t (fun a sh -> a + sh.sh_restores) 0;
     st_fresh_loads = fold_shards t (fun a sh -> a + sh.sh_loads) 0;
     st_outcomes = outcomes;
@@ -484,21 +585,40 @@ let memo_find t key =
   match t.memo with
   | None -> None
   | Some mc ->
-    let s = memo_shard_of key in
-    Mutex.lock mc.mc_locks.(s);
-    let r = Hashtbl.find_opt mc.mc_tables.(s) key in
-    Mutex.unlock mc.mc_locks.(s);
+    let ms = mc.mc_shards.(memo_shard_of key) in
+    Mutex.lock ms.ms_mutex;
+    let r =
+      match Hashtbl.find_opt ms.ms_tbl key with
+      | None -> None
+      | Some (reply, genref) ->
+        stamp ms key genref;
+        compact_order ms ~cap:mc.mc_cap;
+        Some reply
+    in
+    Mutex.unlock ms.ms_mutex;
     r
 
+(* [true] iff the entry is new — the caller mirrors fresh entries to the
+   persistence sink, and only fresh ones. *)
 let memo_store t key reply =
   match t.memo with
-  | None -> ()
+  | None -> false
   | Some mc ->
-    let s = memo_shard_of key in
-    Mutex.lock mc.mc_locks.(s);
-    if not (Hashtbl.mem mc.mc_tables.(s) key) then
-      Hashtbl.add mc.mc_tables.(s) key reply;
-    Mutex.unlock mc.mc_locks.(s)
+    let ms = mc.mc_shards.(memo_shard_of key) in
+    Mutex.lock ms.ms_mutex;
+    let added =
+      if Hashtbl.mem ms.ms_tbl key then false
+      else begin
+        let genref = ref 0 in
+        Hashtbl.add ms.ms_tbl key (reply, genref);
+        stamp ms key genref;
+        evict_lru ms ~cap:mc.mc_cap;
+        true
+      end
+    in
+    Mutex.unlock ms.ms_mutex;
+    added
+
 
 (* All per-job accounting lands in the worker's own shard. *)
 let account ctx reply ~restores ~memo_hit =
@@ -564,7 +684,21 @@ let execute t ctx (j : job) =
       (Clock.elapsed_us ~a:t0 ~b:(Clock.now_ns ()));
     Trace.add_args
       [ ("memo", Trace.Bool false); ("status", Trace.Str reply.r_status) ];
-    memo_store t key reply;
+    if memo_store t key reply then begin
+      match Atomic.get t.memo_sink with
+      | None -> ()
+      | Some sink ->
+        let id, config, chaos_seed, input_hash, sanitize = key in
+        sink
+          {
+            me_attack = id;
+            me_config = config;
+            me_chaos_seed = chaos_seed;
+            me_input_hash = input_hash;
+            me_sanitize = sanitize;
+            me_reply = reply;
+          }
+    end;
     account ctx reply ~restores:(Driver.restores p - restores_before)
       ~memo_hit:false;
     reply
@@ -576,14 +710,45 @@ let execute t ctx (j : job) =
    two samples below is exactly the time spent queued. The clock is
    monotonic (one sample per transition), so a wall-clock step can never
    produce a negative or garbage wait. *)
-let submit t j =
+let submit ?notify t j =
   let enqueued = Clock.now_ns () in
-  Pool.submit t.pool (fun ctx ->
+  Pool.submit ?notify t.pool (fun ctx ->
+      lh_observe ctx.cx_shard.sh_queue_wait
+        (Clock.elapsed_us ~a:enqueued ~b:(Clock.now_ns ()));
+      execute t ctx j)
+
+(* Non-blocking admission for the network front end: [None] means the
+   queue is full and the caller should shed the request. *)
+let try_submit ?notify t j =
+  let enqueued = Clock.now_ns () in
+  Pool.try_submit ?notify t.pool (fun ctx ->
       lh_observe ctx.cx_shard.sh_queue_wait
         (Clock.elapsed_us ~a:enqueued ~b:(Clock.now_ns ()));
       execute t ctx j)
 
 let exec t j = Pool.await (submit t j)
+
+(* -- memo persistence hooks ---------------------------------------- *)
+
+let set_memo_sink t sink = Atomic.set t.memo_sink sink
+
+(* Recovery path: replayed log entries become warm cache state. Existing
+   keys win — the log is append-only, so the first record for a key is
+   the authoritative one (matching [memo_store]'s first-writer-wins). The
+   sink is deliberately not invoked: preloaded entries are already on
+   disk. *)
+let preload_memo t entries =
+  let loaded = ref 0 in
+  List.iter
+    (fun e ->
+      let key =
+        (e.me_attack, e.me_config, e.me_chaos_seed, e.me_input_hash,
+         e.me_sanitize)
+      in
+      if memo_store t key { e.me_reply with r_cached = false } then
+        incr loaded)
+    entries;
+  !loaded
 
 (* Submission order is reply order: futures are awaited in sequence, so a
    batch is deterministic however the pool interleaves the work. *)

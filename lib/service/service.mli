@@ -59,6 +59,7 @@ type stats = {
   st_jobs : int;
   st_memo_hits : int;
   st_memo_misses : int;
+  st_memo_evictions : int;  (** LRU entries dropped at the cap *)
   st_snapshot_restores : int;  (** machine rewinds in place of loads *)
   st_fresh_loads : int;  (** machines actually built from programs *)
   st_outcomes : (string * int) list;  (** status key -> count, sorted *)
@@ -80,11 +81,20 @@ val stats_json : stats -> Pna_telemetry.Jsonx.t
 type t
 
 val create :
-  ?jobs:int -> ?queue_cap:int -> ?memo:bool -> ?prepared_cap:int -> unit -> t
+  ?jobs:int ->
+  ?queue_cap:int ->
+  ?memo:bool ->
+  ?memo_cap:int ->
+  ?prepared_cap:int ->
+  unit ->
+  t
 (** [jobs] defaults to [Domain.recommended_domain_count] and is clamped by
     {!Pool.clamp_jobs}; [queue_cap] bounds the job queue (backpressure);
-    [memo] (default true) enables the result cache; [prepared_cap]
-    (default 16) bounds each worker's prepared-machine cache. *)
+    [memo] (default true) enables the result cache; [memo_cap] (default
+    65536) bounds total memo entries — each of the 16 shards holds an LRU
+    of [memo_cap/16], so multi-hour soaks cannot grow memory without
+    limit; [prepared_cap] (default 16) bounds each worker's
+    prepared-machine cache. *)
 
 val jobs : t -> int
 (** Effective worker count. *)
@@ -96,11 +106,15 @@ val stats : t -> stats
 
 val registry : t -> Pna_telemetry.Metrics.registry
 (** The per-instance registry — counters [pna_service_jobs_total],
-    [pna_service_memo_total{result}], [pna_service_images_total{source}],
+    [pna_service_memo_total{result}], [pna_memo_evictions_total],
+    [pna_service_images_total{source}],
     [pna_service_outcomes_total{status}] and histograms
     [pna_service_queue_wait_us], [pna_service_execute_us]. Shard deltas
     are flushed into it on each call, so the external totals are the
     same as when every job wrote the registry directly. *)
+
+val memo_evictions : t -> int
+(** Total memo entries evicted at the LRU cap since creation. *)
 
 val pp_prometheus : Format.formatter -> t -> unit
 (** Prometheus text-exposition dump of {!registry}. *)
@@ -109,10 +123,42 @@ val shutdown : t -> unit
 
 (** {1 Execution} *)
 
-val submit : t -> job -> reply Pool.future
-(** Enqueue one job; blocks only when the queue is full. *)
+val submit : ?notify:(unit -> unit) -> t -> job -> reply Pool.future
+(** Enqueue one job; blocks only when the queue is full. [notify] runs on
+    the worker right after the reply becomes peekable (see
+    {!Pool.submit}). *)
+
+val try_submit : ?notify:(unit -> unit) -> t -> job -> reply Pool.future option
+(** Non-blocking {!submit}: [None] when the job queue is full or the
+    service is shutting down — admission control for callers that shed
+    load instead of stalling. *)
 
 val exec : t -> job -> reply
+
+(** {1 Memo persistence}
+
+    Hooks the on-disk memo log attaches to: fresh memo entries stream out
+    through the sink as they are computed, and a recovered log streams
+    back in through {!preload_memo} at startup. *)
+
+type memo_entry = {
+  me_attack : string;
+  me_config : string;
+  me_chaos_seed : int option;
+  me_input_hash : int;
+  me_sanitize : bool;
+  me_reply : reply;
+}
+
+val set_memo_sink : t -> (memo_entry -> unit) option -> unit
+(** [Some f]: call [f] for every entry newly added to the memo cache (on
+    the worker domain that computed it — [f] must be thread-safe).
+    Preloaded entries do not reach the sink. *)
+
+val preload_memo : t -> memo_entry list -> int
+(** Warm the cache from recovered log entries; existing keys are kept
+    (first writer wins, matching the append-only log). Returns how many
+    entries were actually loaded. *)
 
 val run_batch : t -> job list -> reply list
 (** Replies in submission order, whatever the pool interleaving. *)

@@ -39,26 +39,37 @@ let test_plan_parse_rejects_garbage () =
     [ ""; "flip-bit access 1 bit 2"; "seed x"; "seed 1\nflip-bit access a bit 2";
       "seed 1\nnot-a-fault" ]
 
+let fault_category = function
+  | Plan.Flip_bit _ -> "flip"
+  | Plan.Fail_alloc _ -> "alloc"
+  | Plan.Raise_fault _ -> "fault"
+  | Plan.Budget_jitter _ -> "budget"
+  | Plan.Wire_truncate _ -> "trunc"
+  | Plan.Wire_corrupt _ -> "corrupt"
+  | Plan.Wire_duplicate -> "dup"
+  | Plan.Sock_delay _ -> "sock-delay"
+  | Plan.Sock_split _ -> "sock-split"
+  | Plan.Sock_corrupt _ -> "sock-corrupt"
+  | Plan.Sock_reset _ -> "sock-reset"
+
 (* every fault category shows up across a modest seed range *)
 let test_generation_covers_all_categories () =
   let seen = Hashtbl.create 8 in
   for seed = 1 to 200 do
     List.iter
-      (fun f ->
-        let key =
-          match f with
-          | Plan.Flip_bit _ -> "flip"
-          | Plan.Fail_alloc _ -> "alloc"
-          | Plan.Raise_fault _ -> "fault"
-          | Plan.Budget_jitter _ -> "budget"
-          | Plan.Wire_truncate _ -> "trunc"
-          | Plan.Wire_corrupt _ -> "corrupt"
-          | Plan.Wire_duplicate -> "dup"
-        in
-        Hashtbl.replace seen key ())
+      (fun f -> Hashtbl.replace seen (fault_category f) ())
       (Plan.generate ~seed ()).Plan.faults
   done;
-  Alcotest.(check int) "all 7 categories generated" 7 (Hashtbl.length seen)
+  Alcotest.(check int) "all 7 default categories generated" 7
+    (Hashtbl.length seen);
+  (* socket faults only appear when asked for — and then all of them do *)
+  for seed = 1 to 400 do
+    List.iter
+      (fun f -> Hashtbl.replace seen (fault_category f) ())
+      (Plan.generate ~sock:true ~seed ()).Plan.faults
+  done;
+  Alcotest.(check int) "all 11 categories with ~sock:true" 11
+    (Hashtbl.length seen)
 
 (* ---- supervisor ---- *)
 
@@ -152,6 +163,86 @@ let test_wire_faults_fire_once () =
   | [ d' ] -> Alcotest.(check int) "second delivery untouched" 20 (String.length d')
   | _ -> Alcotest.fail "one datagram expected"
 
+(* ---- socket faults: the on_send script ---- *)
+
+let sock_plan faults = { Plan.seed = 0; faults }
+
+let sent steps =
+  String.concat ""
+    (List.filter_map (function Chaos.Send s -> Some s | _ -> None) steps)
+
+let test_on_send_clean_passthrough () =
+  let eng = Chaos.create (sock_plan []) in
+  Alcotest.(check bool) "no faults: one verbatim Send" true
+    (Chaos.on_send eng "hello" = [ Chaos.Send "hello" ])
+
+let test_on_send_split () =
+  let eng =
+    Chaos.create
+      (sock_plan [ Plan.Sock_split { at_send = 0; at_byte = 3; ms = 2 } ])
+  in
+  (match Chaos.on_send eng "abcdef" with
+  | [ Chaos.Send a; Chaos.Delay_ms 2; Chaos.Send b ] ->
+    Alcotest.(check string) "bytes intact across the stall" "abcdef" (a ^ b);
+    Alcotest.(check bool) "both halves non-empty" true
+      (String.length a > 0 && String.length b > 0)
+  | _ -> Alcotest.fail "expected Send/Delay/Send");
+  (* one-shot: the next send is clean *)
+  Alcotest.(check bool) "second send untouched" true
+    (Chaos.on_send eng "xy" = [ Chaos.Send "xy" ])
+
+let test_on_send_corrupt () =
+  let eng =
+    Chaos.create
+      (sock_plan [ Plan.Sock_corrupt { at_send = 0; pos = 2; mask = 0xff } ])
+  in
+  let out = sent (Chaos.on_send eng "abcd") in
+  Alcotest.(check int) "same length" 4 (String.length out);
+  Alcotest.(check bool) "exactly the masked byte differs" true
+    (out.[0] = 'a' && out.[1] = 'b' && out.[2] <> 'c' && out.[3] = 'd')
+
+let test_on_send_reset () =
+  let eng =
+    Chaos.create
+      (sock_plan [ Plan.Sock_reset { at_send = 0; after_bytes = 2 } ])
+  in
+  (match Chaos.on_send eng "abcd" with
+  | [ Chaos.Send "ab"; Chaos.Reset ] -> ()
+  | _ -> Alcotest.fail "expected a truncated Send then Reset");
+  let eng0 =
+    Chaos.create
+      (sock_plan [ Plan.Sock_reset { at_send = 0; after_bytes = 0 } ])
+  in
+  Alcotest.(check bool) "zero bytes: bare Reset" true
+    (Chaos.on_send eng0 "abcd" = [ Chaos.Reset ])
+
+let test_on_send_delay_prepends () =
+  let eng =
+    Chaos.create (sock_plan [ Plan.Sock_delay { at_send = 1; ms = 7 } ])
+  in
+  Alcotest.(check bool) "send 0 clean" true
+    (Chaos.on_send eng "a" = [ Chaos.Send "a" ]);
+  Alcotest.(check bool) "send 1 stalls first, bytes intact" true
+    (Chaos.on_send eng "bc" = [ Chaos.Delay_ms 7; Chaos.Send "bc" ])
+
+(* faults on the same send compose: corruption rewrites, reset truncates
+   and ends the script — and the truncation can hide the corrupted byte,
+   which is exactly what a real half-delivered mangled packet looks like *)
+let test_on_send_compose () =
+  let eng =
+    Chaos.create
+      (sock_plan
+         [
+           Plan.Sock_corrupt { at_send = 0; pos = 0; mask = 0x01 };
+           Plan.Sock_reset { at_send = 0; after_bytes = 3 };
+         ])
+  in
+  match Chaos.on_send eng "abcdef" with
+  | [ Chaos.Send s; Chaos.Reset ] ->
+    Alcotest.(check int) "reset truncates" 3 (String.length s);
+    Alcotest.(check bool) "corruption applied before the cut" true (s.[0] <> 'a')
+  | _ -> Alcotest.fail "expected corrupted truncated Send then Reset"
+
 (* ---- the E9 sweep (acceptance criteria) ---- *)
 
 let test_e9_sweep_holds () =
@@ -193,6 +284,13 @@ let suite =
       t "clean plan leaves the run untouched" test_clean_plan_is_invisible;
       t "supervised replay is deterministic" test_supervised_replay_is_deterministic;
       t "wire faults are one-shot" test_wire_faults_fire_once;
+      t "on_send: clean passthrough" test_on_send_clean_passthrough;
+      t "on_send: split stalls mid-frame, bytes intact" test_on_send_split;
+      t "on_send: corrupt flips exactly one byte" test_on_send_corrupt;
+      t "on_send: reset truncates and ends the script" test_on_send_reset;
+      t "on_send: delay prepends, one-shot by send index"
+        test_on_send_delay_prepends;
+      t "on_send: faults on one send compose" test_on_send_compose;
       t "E9: >=200 classified runs, invariant holds" test_e9_sweep_holds;
       t "E9: byte-for-byte deterministic" test_e9_deterministic_byte_for_byte;
     ] )

@@ -28,4 +28,5 @@ let () =
       Test_experiments.suite;
       Test_service.suite;
       Test_telemetry.suite;
+      Test_net.suite;
     ]

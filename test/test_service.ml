@@ -312,6 +312,56 @@ let test_memo_hits_repeated_jobs () =
   Alcotest.(check int) "hits never touch the machine" 1
     st.Service.st_snapshot_restores
 
+(* The memo cache is bounded: with a cap of 16 over 16 shards each shard
+   holds one entry, so a spread of distinct keys must evict. An unbounded
+   cache would make multi-day soaks an OOM, so this pins the bound. *)
+let test_memo_lru_evicts_at_cap () =
+  let svc = Service.create ~jobs:1 ~memo_cap:16 () in
+  let job seed =
+    Service.job ~chaos_seed:seed ~max_steps:60_000 ~config:Config.none
+      Pna_attacks.L13_stack_ret.attack
+  in
+  let seeds = List.init 24 (fun i -> i + 1) in
+  let (_ : Service.reply list) =
+    Service.run_batch svc (List.map job seeds)
+  in
+  let evicted = Service.memo_evictions svc in
+  let st = Service.stats svc in
+  (* the survivors still serve from memo, evicted keys recompute — and
+     both still answer with the same verdict *)
+  let again = Service.run_batch svc (List.map job seeds) in
+  let st2 = Service.stats svc in
+  Service.shutdown svc;
+  Alcotest.(check bool) "cap forces evictions" true (evicted > 0);
+  Alcotest.(check int) "stats expose the eviction count" evicted
+    st.Service.st_memo_evictions;
+  Alcotest.(check bool) "some repeats still hit the memo" true
+    (st2.Service.st_memo_hits > st.Service.st_memo_hits);
+  Alcotest.(check bool) "evicted keys recompute, not fail" true
+    (List.for_all (fun (r : Service.reply) -> r.Service.r_status <> "") again)
+
+let test_try_submit_and_notify () =
+  let svc = Service.create ~jobs:1 () in
+  let notified = Atomic.make 0 in
+  let j = Service.job ~config:Config.none Pna_attacks.L13_stack_ret.attack in
+  (match
+     Service.try_submit ~notify:(fun () -> Atomic.incr notified) svc j
+   with
+  | None -> Alcotest.fail "try_submit rejected an idle service"
+  | Some fut ->
+    let r = Pool.await fut in
+    Alcotest.(check bool) "reply delivered" true (String.length r.Service.r_id > 0));
+  (* notify runs on the worker right after the future is fulfilled, so
+     await can return first — give the worker a moment *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  while Atomic.get notified = 0 && Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check int) "notify ran once" 1 (Atomic.get notified);
+  Service.shutdown svc;
+  Alcotest.(check bool) "try_submit after shutdown is None" true
+    (Service.try_submit svc j = None)
+
 let test_memo_off_recomputes () =
   let svc = Service.create ~jobs:1 ~memo:false () in
   let j = Service.job ~config:Config.none Pna_attacks.L11_data_bss.attack in
@@ -428,6 +478,9 @@ let suite =
       t "chaos jobs through the pool == direct supervise"
         test_batch_chaos_matches_supervise;
       t "memo cache serves repeats without executing" test_memo_hits_repeated_jobs;
+      t "memo LRU evicts at the cap, keeps serving" test_memo_lru_evicts_at_cap;
+      t "try_submit admits, notifies, rejects after shutdown"
+        test_try_submit_and_notify;
       t "memo off still reuses snapshots" test_memo_off_recomputes;
       t "synthetic stream is seed-deterministic" test_synth_stream_deterministic;
       t "per-job deadline enforced through the service" test_service_deadline;
