@@ -470,8 +470,58 @@ let net_loadgen_rows () =
     ("net/loadgen_mean", ns r.Loadgen.lg_mean_us);
   ]
 
+(* gen: the generative catalogue's cost model — grammar drawing, genome
+   codec, program synthesis and one full differential-oracle pass. The
+   campaign row (appended after the group, like net's latency rows) is
+   the figure that matters operationally: amortized wall-clock per
+   scenario for a real campaign, which bounds how many scenarios a CI
+   fuzz-smoke budget buys. *)
+let gen_group =
+  let module Genome = Pna_gen.Genome in
+  let module GBuild = Pna_gen.Build in
+  let module GOracle = Pna_gen.Oracle in
+  let module GCorpus = Pna_gen.Corpus in
+  let fixed = Genome.generate (Pna_rand.Rand.create 0xbe9c4) in
+  let encoded = Genome.encode fixed in
+  let small_corpus =
+    let rng = Pna_rand.Rand.create 0xbe9c5 in
+    List.init 100 (fun _ -> Genome.generate rng)
+  in
+  let corpus_bytes = GCorpus.to_string small_corpus in
+  [
+    Test.make ~name:"gen/generate_100" (stage (
+        let rng = Pna_rand.Rand.create 0x5eed in
+        fun () ->
+          for _ = 1 to 100 do
+            ignore (Genome.generate rng)
+          done));
+    Test.make ~name:"gen/genome_codec_roundtrip" (stage (fun () ->
+        ignore (Genome.decode (Genome.encode fixed))));
+    Test.make ~name:"gen/genome_decode" (stage (fun () ->
+        ignore (Genome.decode encoded)));
+    Test.make ~name:"gen/build_program" (stage (fun () ->
+        ignore (GBuild.program_of fixed)));
+    Test.make ~name:"gen/oracle_run" (stage (fun () ->
+        ignore (GOracle.run ~max_steps:20_000 fixed)));
+    Test.make ~name:"gen/corpus_roundtrip_100" (stage (fun () ->
+        ignore (GCorpus.of_string corpus_bytes)));
+  ]
+
+(* Amortized campaign throughput: everything a scenario costs end to end
+   (generation, ~11 oracle executions, checker, coverage, filtering),
+   reported as ns per scenario so it diffs like every other row. *)
+let gen_campaign_rows () =
+  let module Fuzz = Pna_gen.Fuzz in
+  let t0 = Unix.gettimeofday () in
+  let s = Fuzz.campaign ~n:200 ~seed:1 () in
+  let dt = Unix.gettimeofday () -. t0 in
+  [
+    ( "gen/campaign_per_scenario",
+      Some (dt *. 1e9 /. float_of_int s.Fuzz.f_generated) );
+  ]
+
 (* rows appended to a group's table after its Bechamel tests run *)
-let extra_rows = [ ("net", net_loadgen_rows) ]
+let extra_rows = [ ("net", net_loadgen_rows); ("gen", gen_campaign_rows) ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -496,6 +546,7 @@ let groups =
     ("telemetry", telemetry_group);
     ("sanitizer", sanitizer_group);
     ("net", net_group);
+    ("gen", gen_group);
   ]
 
 let selected_groups () =

@@ -3,9 +3,11 @@
     Subcommands map one-to-one onto the experiments of DESIGN.md:
     [matrix] (E1), [stackguard] (E2/E3), [leak] (E4), [dos] (E5),
     [memleak] (E6), [audit] (E7), [defmatrix]/[overhead] (E8),
-    [chaos] (E9), [fuzz] (E10), [repair] (E11), [throughput] (E12),
+    [chaos] (E9), [randtest] (E10), [repair] (E11), [throughput] (E12),
     [telemetry] (E13), [oracle] (E14), [scaling] (E15), [netgate] (E16),
-    plus [batch]/[serve] to drive the parallel scenario service,
+    [gengate] (E17), plus [generate]/[fuzz]/[corpus] for the generative
+    attack catalogue, [batch]/[serve] to drive the parallel scenario
+    service,
     [serve-tcp]/[loadgen]/[compact] for the TCP front end and its
     crash-safe memo log, [trace]/[stats] for the telemetry exporters,
     [list]/[run]/[layout] for exploration and [all] to regenerate
@@ -217,8 +219,10 @@ let overhead_cmd =
   simple "overhead" "E8: benign workload under each defense." (fun () ->
       report E.pp_e8_overhead (E.e8_overhead ()) E.e8_overhead_ok)
 
-let fuzz_cmd =
-  simple "fuzz" "E10: random testing vs the directed attacker." (fun () ->
+let randtest_cmd =
+  simple "randtest"
+    "E10: random testing vs the directed attacker (formerly `fuzz'; the \
+     generative campaign now owns that name)." (fun () ->
       report E.pp_e10 (E.e10 ()) E.e10_ok)
 
 let repair_cmd =
@@ -438,9 +442,8 @@ let throughput_cmd =
        ~doc:"E12: scenario-service throughput — snapshot reuse, memoization              and domain scaling.")
     Term.(const run $ repeats_t $ metrics_t)
 
-let all_cmd =
-  simple "all" "Run every experiment (E1-E16)." (fun () ->
-      E.run_all Fmt.stdout ())
+(* [all_cmd] is defined after the gen section so it can close with the
+   E17 gate. *)
 
 (* ---- layout ---- *)
 
@@ -686,6 +689,178 @@ let scaling_cmd =
              the sequential driver and scales across domains.")
     Term.(const run $ jobs_t $ repeats_t)
 
+(* ---- gen: the generative attack catalogue (generate / fuzz / corpus /
+   gengate = E17) ---- *)
+
+module Genome = Pna_gen.Genome
+module GenBuild = Pna_gen.Build
+module GenOracle = Pna_gen.Oracle
+module GenFuzz = Pna_gen.Fuzz
+module GenCorpus = Pna_gen.Corpus
+module GenGate = Pna_gen.Gate
+
+let gen_seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+         ~doc:"Generator seed. The genome stream, every oracle verdict and              the corpus bytes are a pure function of it.")
+
+let gen_n_t default =
+  Arg.(value & opt int default & info [ "n"; "count" ] ~docv:"N"
+         ~doc:"Scenarios to generate.")
+
+let load_corpus path =
+  match GenCorpus.load path with
+  | Ok gs -> gs
+  | Error m ->
+    Fmt.epr "%s: %s@." path m;
+    exit 1
+
+let pp_genome_line ppf g =
+  Fmt.pf ppf "%-14s %s" (Genome.id g) (Genome.summary g)
+
+let show_genome gs id where =
+  match List.find_opt (fun g -> Genome.id g = id) gs with
+  | None ->
+    Fmt.epr "no genome %s in %s@." id where;
+    exit 1
+  | Some g ->
+    Fmt.pr "// %s — %s@.@.%a@." (Genome.id g) (Genome.summary g)
+      Pna_minicpp.Cpp_print.pp_program (GenBuild.program_of g)
+
+let generate_cmd =
+  let out_t =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH"
+           ~doc:"Save the raw (unfiltered) genome stream as a corpus file.")
+  in
+  let show_t =
+    Arg.(value & opt (some string) None & info [ "show" ] ~docv:"GENOME-ID"
+           ~doc:"Print one genome's scenario as C++ source instead of the              table.")
+  in
+  let run seed n out show =
+    let rng = Pna_rand.Rand.create (seed lxor 0x9e47f3) in
+    let gs = List.init n (fun _ -> Genome.generate rng) in
+    (match show with
+    | Some id -> show_genome gs id (Fmt.str "the first %d draws of seed %d" n seed)
+    | None -> List.iter (fun g -> Fmt.pr "%a@." pp_genome_line g) gs);
+    Option.iter
+      (fun p ->
+        GenCorpus.save p gs;
+        Fmt.epr "wrote %d genome(s) to %s@." (List.length gs) p)
+      out
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Draw placement-new scenarios from the seeded grammar: list their              shapes, print one as C++ source, or save the stream as a corpus              file.")
+    Term.(const run $ gen_seed_t $ gen_n_t 20 $ out_t $ show_t)
+
+let fuzz_cmd =
+  let out_t =
+    Arg.(value & opt (some string) None & info [ "o"; "corpus" ] ~docv:"PATH"
+           ~doc:"Save the coverage-novel corpus (the genomes that lit new              statement or shadow-state features).")
+  in
+  let repros_t =
+    Arg.(value & opt (some string) None & info [ "repros" ] ~docv:"PATH"
+           ~doc:"Save the minimized genome of every divergence fingerprint as              a corpus file — the replayable repro artifact.")
+  in
+  let budget_t =
+    Arg.(value & opt int 40 & info [ "minimize-budget" ] ~docv:"N"
+           ~doc:"Oracle re-runs the minimizer may spend per divergence.")
+  in
+  let run seed n out repros budget =
+    let s = GenFuzz.campaign ~n ~minimize_budget:budget ~seed () in
+    Fmt.pr "%a@." GenFuzz.pp s;
+    List.iter
+      (fun (d : GenFuzz.divergence) ->
+        Fmt.pr "divergence [%s] %s@.  first %s, minimized %s, %d hit(s)@."
+          (GenOracle.dkind_label d.GenFuzz.c_kind)
+          d.GenFuzz.c_detail
+          (Genome.id d.GenFuzz.c_genome)
+          (Genome.id d.GenFuzz.c_minimized)
+          d.GenFuzz.c_hits)
+      s.GenFuzz.f_divergences;
+    Option.iter
+      (fun p ->
+        GenCorpus.save p s.GenFuzz.f_corpus;
+        Fmt.epr "wrote %d corpus genome(s) to %s@." s.GenFuzz.f_kept p)
+      out;
+    Option.iter
+      (fun p ->
+        let ms =
+          List.map (fun (d : GenFuzz.divergence) -> d.GenFuzz.c_minimized)
+            s.GenFuzz.f_divergences
+        in
+        GenCorpus.save p ms;
+        Fmt.epr "wrote %d minimized repro(s) to %s@." (List.length ms) p)
+      repros;
+    if s.GenFuzz.f_escaped > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Run a generative fuzz campaign: a seeded genome stream through              the differential oracle, with coverage-filtered corpus              collection, divergence dedup + minimization and static-checker              precision/recall. Exits non-zero on any escaped exception.")
+    Term.(const run $ gen_seed_t $ gen_n_t 1000 $ out_t $ repros_t $ budget_t)
+
+let corpus_cmd =
+  let path_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CORPUS")
+  in
+  let replay_t =
+    Arg.(value & flag & info [ "replay" ]
+           ~doc:"Run every genome back through the differential oracle and              print its verdict line; exits non-zero if any run escapes.")
+  in
+  let show_t =
+    Arg.(value & opt (some string) None & info [ "show" ] ~docv:"GENOME-ID"
+           ~doc:"Print one genome's scenario as C++ source instead of the              table.")
+  in
+  let run path replay show =
+    let gs = load_corpus path in
+    match show with
+    | Some id -> show_genome gs id path
+    | None ->
+      Fmt.pr "%s: %d genome(s)@." path (List.length gs);
+      let escaped = ref 0 in
+      List.iter
+        (fun g ->
+          if replay then begin
+            let rep = GenOracle.run g in
+            if rep.GenOracle.o_escaped then incr escaped;
+            Fmt.pr "%-14s %-9s %-6s viol:[%s] div:%d@." (Genome.id g)
+              rep.GenOracle.o_status
+              (if rep.GenOracle.o_write_viol then "hot" else "benign")
+              (String.concat ","
+                 (List.map
+                    (fun (k, n) ->
+                      Fmt.str "%s x%d" (Pna_sanitizer.Sanitizer.kind_name k) n)
+                    rep.GenOracle.o_viol))
+              (List.length rep.GenOracle.o_divergences)
+          end
+          else Fmt.pr "%a@." pp_genome_line g)
+        gs;
+      if !escaped > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:"Inspect a saved corpus: list genomes, replay them through the              differential oracle, or print one as C++ source.")
+    Term.(const run $ path_t $ replay_t $ show_t)
+
+let gengate_cmd =
+  let run seed n =
+    let g = GenGate.run ~seed ~n () in
+    Fmt.pr "%a@." GenGate.pp g;
+    if not g.GenGate.e_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "gengate"
+       ~doc:"E17: the generative-corpus gate — two seeded campaigns agree to              the byte, zero unclassified oracle crashes, every divergence              ships as a minimized reproducing genome, and the static              checker's precision/recall is measured on generated truth.")
+    Term.(const run $ gen_seed_t $ gen_n_t 1000)
+
+let all_cmd =
+  simple "all" "Run every experiment (E1-E17)." (fun () ->
+      E.run_all Fmt.stdout ();
+      (* E17 at a sampling count — the full 1000-genome double campaign
+         is the dedicated [gengate] entry point *)
+      let g = GenGate.run ~n:300 () in
+      Fmt.pr "@.%a@." GenGate.pp g;
+      if not g.GenGate.e_ok then exit 1)
+
 (* ---- net: the TCP front end (serve-tcp / loadgen / compact / netgate) ---- *)
 
 module Server = Pna_net.Server
@@ -713,8 +888,19 @@ let serve_tcp_cmd =
     Arg.(value & opt int 2_000_000 & info [ "max-steps-cap" ] ~docv:"N"
            ~doc:"Ceiling clamped onto every request's step deadline.")
   in
-  let run jobs host port max_inflight memo_log max_steps_cap metrics =
+  let corpus_t =
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"PATH"
+           ~doc:"Load a generated corpus and register its scenarios, so              requests can target gen-XXXXXXXX ids alongside the paper              catalogue.")
+  in
+  let run jobs host port max_inflight memo_log max_steps_cap corpus metrics =
     if metrics then Telemetry.enable ();
+    Option.iter
+      (fun p ->
+        let gs = load_corpus p in
+        List.iter (fun g -> All.register (GenBuild.scenario g)) gs;
+        Fmt.pr "pna: registered %d generated scenario(s) from %s@."
+          (List.length gs) p)
+      corpus;
     let svc = Service.create ~jobs () in
     let server =
       Server.start
@@ -747,7 +933,7 @@ let serve_tcp_cmd =
     (Cmd.info "serve-tcp"
        ~doc:"Serve the scenario service over TCP: length-prefixed CRC-framed              requests, bounded admission with shed replies, graceful drain on              SIGINT/SIGTERM, optional crash-safe on-disk memo log.")
     Term.(const run $ jobs_t $ host_t $ port_t $ inflight_t $ memo_log_t
-          $ steps_cap_t $ metrics_t)
+          $ steps_cap_t $ corpus_t $ metrics_t)
 
 let loadgen_cmd =
   let port_t =
@@ -774,16 +960,25 @@ let loadgen_cmd =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
            ~doc:"Request-mix and fault-plan seed.")
   in
-  let run host port n conns window chaos seed =
-    let r = Loadgen.run ~conns ~window ~chaos ~host ~port ~n ~seed () in
+  let corpus_t =
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"PATH"
+           ~doc:"Draw the request mix from a generated corpus's genome ids              instead of the paper catalogue. The server must have been              started with the same $(b,--corpus) file.")
+  in
+  let run host port n conns window chaos seed corpus =
+    let targets =
+      Option.map
+        (fun p -> List.map (fun g -> Genome.id g) (load_corpus p))
+        corpus
+    in
+    let r = Loadgen.run ?targets ~conns ~window ~chaos ~host ~port ~n ~seed () in
     Fmt.pr "%a@." Loadgen.pp r;
     if r.Loadgen.lg_hung > 0 || r.Loadgen.lg_sig_conflicts > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "loadgen"
-       ~doc:"Drive a serve-tcp server with a deterministic pipelined request              mix and report latency percentiles; exits non-zero on hung              requests or divergent replies.")
+       ~doc:"Drive a serve-tcp server with a deterministic pipelined request              mix — over the paper catalogue or a generated corpus — and              report latency percentiles; exits non-zero on hung requests or              divergent replies.")
     Term.(const run $ host_t $ port_t $ n_t $ conns_t $ window_t $ chaos_t
-          $ seed_t)
+          $ seed_t $ corpus_t)
 
 let compact_cmd =
   let path_t =
@@ -936,8 +1131,12 @@ let () =
             defmatrix_cmd;
             overhead_cmd;
             chaos_cmd;
-            fuzz_cmd;
+            randtest_cmd;
             repair_cmd;
+            generate_cmd;
+            fuzz_cmd;
+            corpus_cmd;
+            gengate_cmd;
             batch_cmd;
             serve_cmd;
             throughput_cmd;

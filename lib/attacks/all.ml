@@ -33,7 +33,22 @@ let attacks : Catalog.t list =
     Ser_remote_object.course_count;
   ]
 
-let find id = List.find_opt (fun a -> a.Catalog.id = id) attacks
+(* Dynamically registered scenarios (e.g. a generated fuzz corpus loaded
+   at startup). The static catalogue always wins on id collision, so a
+   registration can never shadow a paper attack. *)
+let registered : (string, Catalog.t) Hashtbl.t = Hashtbl.create 64
+
+let register (a : Catalog.t) =
+  if not (List.exists (fun b -> b.Catalog.id = a.Catalog.id) attacks) then
+    Hashtbl.replace registered a.Catalog.id a
+
+let registered_ids () =
+  Hashtbl.fold (fun id _ acc -> id :: acc) registered [] |> List.sort compare
+
+let find id =
+  match List.find_opt (fun a -> a.Catalog.id = id) attacks with
+  | Some _ as r -> r
+  | None -> Hashtbl.find_opt registered id
 
 let hardened_ids =
   List.filter_map

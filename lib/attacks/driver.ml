@@ -223,14 +223,16 @@ let supervise ?(config = Config.none) ?(max_retries = 3) ?(jitter_pct = 0)
   (* Jitter is seeded from the plan, so a supervised run stays replayable
      from its plan alone — same plan, same backoff schedule. *)
   let jitter_rng =
-    if jitter_pct > 0 then Some (Random.State.make [| 0xb40f; plan.Plan.seed |])
+    if jitter_pct > 0 then
+      Some (Pna_rand.Rand.create (plan.Plan.seed lxor 0xb40ff5))
     else None
   in
   let backoff_ms attempt =
     let base = 1 lsl (attempt - 1) in
     match jitter_rng with
     | None -> base
-    | Some rng -> base + Random.State.int rng (1 + (base * jitter_pct / 100))
+    | Some rng ->
+      base + Pna_rand.Rand.int rng (1 + (base * jitter_pct / 100))
   in
   let load =
     (* [reload] lets a serving layer hand out a rewound prepared machine

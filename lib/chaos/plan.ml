@@ -43,45 +43,31 @@ let empty seed = { seed; faults = [] }
    up within a few dozen seeds while most plans stay small (1-3 faults),
    keeping perturbed runs close enough to the baseline for the
    degradation oracle to be meaningful. [~sock] widens the pick to the
-   socket fault classes; it is off by default so every pre-existing
-   seeded sweep (E9 in particular) generates exactly the plans it always
-   has. *)
+   socket fault classes; it is off by default so seeded sweeps over the
+   original fault set (E9 in particular) stay within it. Plans draw from
+   the shared SplitMix64 stream, so a (seed, rate, sock) triple fully
+   determines the plan independent of the stdlib generator. *)
 let generate ?(rate = 1.0) ?(sock = false) ~seed () =
-  let st = Random.State.make [| 0x9a05; seed; 0x7e57 |] in
-  let n = max 1 (int_of_float (rate *. 3.0 *. Random.State.float st 1.0)) in
+  let module R = Pna_rand.Rand in
+  let st = R.create (seed lxor 0x9a057e57) in
+  let n = max 1 (int_of_float (rate *. 3.0 *. R.float st)) in
   let pick () =
-    match Random.State.int st (if sock then 11 else 7) with
-    | 0 ->
-      Flip_bit
-        { at_access = Random.State.int st 20_000; bit = Random.State.int st 8 }
-    | 1 -> Fail_alloc { at_alloc = Random.State.int st 6 }
-    | 2 -> Raise_fault { at_step = 1 + Random.State.int st 4_000 }
-    | 3 -> Budget_jitter { pct = 5 + Random.State.int st 75 }
-    | 4 -> Wire_truncate { keep = Random.State.int st 36 }
-    | 5 ->
-      Wire_corrupt
-        { pos = Random.State.int st 64; mask = 1 + Random.State.int st 255 }
+    match R.int st (if sock then 11 else 7) with
+    | 0 -> Flip_bit { at_access = R.int st 20_000; bit = R.int st 8 }
+    | 1 -> Fail_alloc { at_alloc = R.int st 6 }
+    | 2 -> Raise_fault { at_step = 1 + R.int st 4_000 }
+    | 3 -> Budget_jitter { pct = 5 + R.int st 75 }
+    | 4 -> Wire_truncate { keep = R.int st 36 }
+    | 5 -> Wire_corrupt { pos = R.int st 64; mask = 1 + R.int st 255 }
     | 6 -> Wire_duplicate
-    | 7 ->
-      Sock_delay
-        { at_send = Random.State.int st 24; ms = 1 + Random.State.int st 20 }
+    | 7 -> Sock_delay { at_send = R.int st 24; ms = 1 + R.int st 20 }
     | 8 ->
       Sock_split
-        {
-          at_send = Random.State.int st 24;
-          at_byte = 1 + Random.State.int st 64;
-          ms = Random.State.int st 5;
-        }
+        { at_send = R.int st 24; at_byte = 1 + R.int st 64; ms = R.int st 5 }
     | 9 ->
       Sock_corrupt
-        {
-          at_send = Random.State.int st 24;
-          pos = Random.State.int st 80;
-          mask = 1 + Random.State.int st 255;
-        }
-    | _ ->
-      Sock_reset
-        { at_send = Random.State.int st 24; after_bytes = Random.State.int st 48 }
+        { at_send = R.int st 24; pos = R.int st 80; mask = 1 + R.int st 255 }
+    | _ -> Sock_reset { at_send = R.int st 24; after_bytes = R.int st 48 }
   in
   { seed; faults = List.init n (fun _ -> pick ()) }
 

@@ -55,6 +55,79 @@ let report t (prog : Ast.program) =
 
 let functions_entered t = Hashtbl.length t.per_func
 
+(* -- per-statement bitmap --------------------------------------------- *)
+
+(* The generator's coverage feedback wants statement *sites*, not kind
+   totals: index every statement of the program (in [fold_program]
+   order) and count hits per site. Sites are matched by physical
+   identity — the interpreter hands back the very stmt values the AST
+   holds, and structural equality would merge distinct-but-identical
+   statements into one site. *)
+
+type bitmap = {
+  bm_sites : (string * Ast.stmt) array;  (** (function, stmt), program order *)
+  bm_hits : int array;
+}
+
+let bitmap (prog : Ast.program) =
+  let sites =
+    List.concat_map
+      (fun fn ->
+        List.rev
+          (Ast.fold_stmts
+             (fun acc s -> (fn.Ast.fn_name, s) :: acc)
+             (fun acc _ -> acc)
+             [] fn.Ast.fn_body))
+      prog.Ast.p_funcs
+  in
+  let bm =
+    { bm_sites = Array.of_list sites; bm_hits = Array.make (List.length sites) 0 }
+  in
+  let hook fname stmt =
+    (* linear scan over the site table: generated programs hold tens of
+       statements, and physical equality is one word compare *)
+    let n = Array.length bm.bm_sites in
+    let rec find i =
+      if i >= n then ()
+      else
+        let fn, s = bm.bm_sites.(i) in
+        if s == stmt && fn = fname then
+          bm.bm_hits.(i) <- bm.bm_hits.(i) + 1
+        else find (i + 1)
+    in
+    find 0
+  in
+  (bm, hook)
+
+let sites bm = Array.length bm.bm_hits
+let hit_count bm idx = bm.bm_hits.(idx)
+let site_label bm idx =
+  let fn, s = bm.bm_sites.(idx) in
+  Fmt.str "%s#%d:%s" fn idx (Ast.stmt_kind s)
+
+let hit_sites bm =
+  let acc = ref [] in
+  for i = Array.length bm.bm_hits - 1 downto 0 do
+    if bm.bm_hits.(i) > 0 then acc := i :: !acc
+  done;
+  !acc
+
+let hits bm = List.length (hit_sites bm)
+let reset bm = Array.fill bm.bm_hits 0 (Array.length bm.bm_hits) 0
+
+let merge ~into bm =
+  if Array.length into.bm_hits <> Array.length bm.bm_hits then
+    invalid_arg "Coverage.merge: bitmaps cover different programs";
+  let fresh = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        if into.bm_hits.(i) = 0 then incr fresh;
+        into.bm_hits.(i) <- into.bm_hits.(i) + c
+      end)
+    bm.bm_hits;
+  !fresh
+
 let pp ppf (t, prog) =
   Fmt.pf ppf "@[<v>%d statements executed across %d function(s)@," t.total
     (functions_entered t);

@@ -1,0 +1,65 @@
+(** The shared seeded RNG: SplitMix64 (Steele, Lea & Flood 2014).
+
+    One tested primitive instead of a per-module zoo of [Random.State]
+    instances with hand-picked magic arrays. Streams are fully determined
+    by the integer seed and independent of the OCaml stdlib's generator,
+    so seeded artifacts (chaos plans, load mixes, generated scenarios)
+    are reproducible across compiler versions.
+
+    [int] is exact-uniform: rejection sampling over a 62-bit draw, never
+    a biased modulo — the difference matters when a corpus size is not a
+    power of two and a gate replays "the same" stream elsewhere. *)
+
+type t = { mutable state : int64 }
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* the reference mix: z = (state += gamma); twice xor-shift-multiply *)
+let next t =
+  t.state <- Int64.add t.state gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let fork t = { state = next t }
+
+let bits62 t = Int64.to_int (Int64.shift_right_logical (next t) 2)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rand.int: bound must be positive";
+  if n land (n - 1) = 0 then
+    (* power of two: low bits of the mixed word are already uniform *)
+    Int64.to_int (Int64.logand (next t) (Int64.of_int (n - 1)))
+  else begin
+    (* rejection sampling: [bits] is uniform on [0, 2^62); accept unless
+       it falls in the final partial block of size [2^62 mod n] *)
+    let rec go () =
+      let bits = bits62 t in
+      let v = bits mod n in
+      if bits - v > max_int - (n - 1) then go () else v
+    in
+    go ()
+  end
+
+let range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rand.range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t =
+  (* 53 uniform bits into [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical (next t) 11) *. 0x1.p-53
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rand.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t = function
+  | [] -> invalid_arg "Rand.pick_list: empty list"
+  | l -> List.nth l (int t (List.length l))

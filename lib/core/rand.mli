@@ -1,0 +1,32 @@
+(** Shared seeded SplitMix64 RNG — the one deterministic randomness
+    primitive for chaos plans, client backoff jitter, load mixes and the
+    scenario generator. Streams depend only on the seed, never on the
+    OCaml stdlib generator, and [int] is exact-uniform (rejection
+    sampling, no modulo bias). *)
+
+type t
+
+val create : int -> t
+(** A fresh stream; equal seeds give byte-identical streams. *)
+
+val copy : t -> t
+
+val next : t -> int64
+(** The raw 64-bit SplitMix64 output. *)
+
+val fork : t -> t
+(** An independent child stream seeded from this one (advances it). *)
+
+val int : t -> int -> int
+(** Uniform on [[0, n)]. @raise Invalid_argument when [n <= 0]. *)
+
+val range : t -> lo:int -> hi:int -> int
+(** Uniform on [[lo, hi]] inclusive. @raise Invalid_argument when [hi < lo]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform on [[0, 1)], 53 bits. *)
+
+val pick : t -> 'a array -> 'a
+val pick_list : t -> 'a list -> 'a

@@ -1,0 +1,315 @@
+(** Genome → runnable catalogue entry.
+
+    The builder lowers a {!Genome.t} to a MiniC++ program in the house
+    style of the hand-transcribed listings: victims are declared before
+    the arena (earlier stack locals sit at higher addresses, so an
+    overflow out of the arena climbs into them — the L16 idiom), the
+    attacker's script writes through the placed derived pointer, and the
+    last statements copy whatever the attack targeted into globals so
+    corruption stays observable after the frame dies. *)
+
+open Pna_minicpp.Dsl
+module G = Genome
+module C = Pna_attacks.Catalog
+module Class_def = Pna_layout.Class_def
+module Layout = Pna_layout.Layout
+module Ctype = Pna_layout.Ctype
+module Machine = Pna_machine.Machine
+module Event = Pna_machine.Event
+module O = Pna_minicpp.Outcome
+
+let base_name = "GBase"
+let mid_name = "GMid"
+let deriv_name = "GDeriv"
+
+let member_ty = function
+  | G.M_int -> int
+  | G.M_double -> double
+  | G.M_int_arr k -> int_arr k
+  | G.M_char_arr k -> char_arr k
+
+let named prefix ms = List.mapi (fun i m -> (Fmt.str "%s%d" prefix i, m)) ms
+
+(* -- classes ---------------------------------------------------------- *)
+
+let classes (g : G.t) =
+  let fields prefix ms =
+    List.map (fun (n, m) -> (n, member_ty m)) (named prefix ms)
+  in
+  let base =
+    Class_def.v base_name
+      ~methods:
+        (if g.G.g_virtual then
+           [ Class_def.virtual_method ~impl:(base_name ^ "::probe") "probe" ]
+         else [])
+      (fields "bm" g.G.g_base_members)
+  in
+  let mid =
+    Class_def.v mid_name ~bases:[ base_name ] [ ("mm0", int) ]
+  in
+  let deriv_base = if g.G.g_depth >= 2 then mid_name else base_name in
+  let deriv =
+    Class_def.v deriv_name ~bases:[ deriv_base ]
+      ~methods:
+        (if g.G.g_virtual then
+           [ Class_def.virtual_method ~impl:(deriv_name ^ "::probe") "probe" ]
+         else [])
+      (fields "em" g.G.g_extra)
+  in
+  if g.G.g_depth >= 2 then [ base; mid; deriv ] else [ base; deriv ]
+
+let sizes (g : G.t) =
+  let env = Layout.create_env () in
+  List.iter (Layout.define env) (classes g);
+  ( Layout.sizeof env (Ctype.Class base_name),
+    Layout.sizeof env (Ctype.Class deriv_name) )
+
+(* -- geometry --------------------------------------------------------- *)
+
+(* buffer length for the delta-coded arenas *)
+let buf_len deriv_size delta = max 8 (deriv_size + delta)
+
+(* arena bytes actually available past the placement point *)
+let avail (g : G.t) =
+  let base_size, deriv_size = sizes g in
+  match g.G.g_arena with
+  | G.A_stack_obj | G.A_heap_obj -> base_size
+  | G.A_stack_buf d | G.A_global_buf d | G.A_heap_buf d ->
+    max 1 (buf_len deriv_size d - g.G.g_internal_off)
+
+(* -- support functions ------------------------------------------------ *)
+
+let zero_member this (name, m) =
+  match m with
+  | G.M_int -> [ set (arrow (v this) name) (i 0) ]
+  | G.M_double -> [ set (arrow (v this) name) (fl 0.0) ]
+  | G.M_int_arr _ | G.M_char_arr _ ->
+    [ set (idx (arrow (v this) name) (i 0)) (i 0) ]
+
+let support_funcs (g : G.t) =
+  let this c = ("this", ptr (cls c)) in
+  let ctor c body = func (c ^ "::ctor") ~params:[ this c ] body in
+  [
+    ctor base_name
+      (List.concat_map (zero_member "this") (named "bm" g.G.g_base_members));
+    ctor deriv_name [];
+  ]
+  @ (if g.G.g_depth >= 2 then [ ctor mid_name [] ] else [])
+  @ (if g.G.g_virtual then
+       [
+         func (base_name ^ "::probe") ~params:[ this base_name ]
+           [ set (v "probe_out") (i 1) ];
+         func (deriv_name ^ "::probe") ~params:[ this deriv_name ]
+           [ set (v "probe_out") (i 2) ];
+       ]
+     else [])
+  @
+  match g.G.g_target with
+  | G.T_funptr -> [ func "benign_fn" [ set (v "fp_out") (i 1) ] ]
+  | _ -> []
+
+(* -- the attack function ---------------------------------------------- *)
+
+(* a global sentinel only works when it can be bss-adjacent to the arena *)
+let global_sentinel (g : G.t) =
+  match (g.G.g_arena, g.G.g_target) with
+  | G.A_global_buf _, G.T_member -> true
+  | _ -> false
+
+let place_expr (g : G.t) buf =
+  if g.G.g_internal_off > 0 then addr (idx (v buf) (i g.G.g_internal_off))
+  else addr (v buf)
+
+(* one round of the attacker's write script through [gp] *)
+let script_stmts (g : G.t) ~round =
+  let nv = Fmt.str "n%d" round and jv = Fmt.str "j%d" round in
+  let gp = v "gp" in
+  match g.G.g_script with
+  | G.S_fields ->
+    List.concat_map
+      (fun (name, m) ->
+        match m with
+        | G.M_int -> [ set (arrow gp name) cin ]
+        | G.M_double -> [ set (arrow gp name) (fl 9.75) ]
+        | G.M_int_arr k ->
+          if k >= 2 then
+            [
+              set (idx (arrow gp name) (i 0)) cin;
+              set (idx (arrow gp name) (i (k - 1))) cin;
+            ]
+          else [ set (idx (arrow gp name) (i 0)) cin ]
+        | G.M_char_arr k -> [ set (idx (arrow gp name) (i (k - 1))) cin ])
+      (named "em" g.G.g_extra)
+  | G.S_loop ->
+    let arr_name, arr_len =
+      let rec first i = function
+        | G.M_int_arr k :: _ -> (Fmt.str "em%d" i, k)
+        | _ :: tl -> first (i + 1) tl
+        | [] -> ("em0", 1)
+        (* generator guarantees an int array; degrade gracefully *)
+      in
+      first 0 g.G.g_extra
+    in
+    let body =
+      [
+        decli jv int (i 0);
+        while_
+          (v jv <: v nv)
+          [
+            set (idx (arrow gp arr_name) (v jv)) cin;
+            set (v jv) (v jv +: i 1);
+          ];
+      ]
+    in
+    decli nv int cin
+    :: (if g.G.g_guard then [ when_ (v nv <=: i arr_len) body ] else body)
+  | G.S_memset ->
+    if g.G.g_guard then
+      [
+        decli nv int cin;
+        when_
+          (v nv <=: i (avail g))
+          [ expr (call "memset" [ cast char_p gp; i 0x41; v nv ]) ];
+      ]
+    else [ expr (call "memset" [ cast char_p gp; i 0x41; cin ]) ]
+
+let attack_func (g : G.t) =
+  let _, deriv_size = sizes g in
+  let victim_decls, tail, observe =
+    match g.G.g_target with
+    | G.T_member ->
+      if global_sentinel g then ([], [], [ set (v "observed") (v "gsent") ])
+      else
+        ( [ decli "sentinel" int (i 0x11c0de) ],
+          [],
+          [ set (v "observed") (v "sentinel") ] )
+    | G.T_adjacent ->
+      ( [ obj "victim" base_name [] ],
+        [],
+        [ set (v "observed") (fld (v "victim") "bm0") ] )
+    | G.T_funptr ->
+      ( [ decli "fp" fun_ptr (fun_addr "benign_fn") ],
+        [ expr (fpcall (v "fp") []) ],
+        [ set (v "observed") (v "fp_out") ] )
+    | G.T_vtable ->
+      ( [ obj "victim" base_name [] ],
+        [ expr (mcall (v "victim") "probe" []) ],
+        [ set (v "observed") (v "probe_out") ] )
+  in
+  let arena_decls, place =
+    match g.G.g_arena with
+    | G.A_stack_obj -> ([ obj "arena" base_name [] ], addr (v "arena"))
+    | G.A_stack_buf d ->
+      ([ decl "buf" (char_arr (buf_len deriv_size d)) ], place_expr g "buf")
+    | G.A_global_buf _ -> ([], place_expr g "gbuf")
+    | G.A_heap_obj ->
+      ( [ decli "hp" (ptr (cls base_name)) (new_ (cls base_name) []) ],
+        v "hp" )
+    | G.A_heap_buf d ->
+      let n = buf_len deriv_size d in
+      ( [ decli "hb" char_p (new_arr char (i n)) ],
+        if g.G.g_internal_off > 0 then
+          addr (idx (v "hb") (i g.G.g_internal_off))
+        else v "hb" )
+  in
+  let placement round =
+    if round = 0 then
+      [ decli "gp" (ptr (cls deriv_name)) (pnew place (cls deriv_name) []) ]
+    else [ set (v "gp") (pnew place (cls deriv_name) []) ]
+  in
+  let rounds =
+    List.concat
+      (List.init g.G.g_place_count (fun round ->
+           placement round @ script_stmts g ~round))
+  in
+  func "attack" (victim_decls @ arena_decls @ rounds @ tail @ observe)
+
+let globals_of (g : G.t) =
+  let _, deriv_size = sizes g in
+  [ global "observed" int ]
+  @ (if g.G.g_virtual then [ global "probe_out" int ] else [])
+  @ (match g.G.g_target with
+    | G.T_funptr -> [ global "fp_out" int ]
+    | _ -> [])
+  @
+  match g.G.g_arena with
+  | G.A_global_buf d ->
+    (* the sentinel is registered right after the buffer so the overflow
+       climbs into it — both zero-initialized, so both live in bss *)
+    [ global "gbuf" (char_arr (buf_len deriv_size d)) ]
+    @ (if global_sentinel g then [ global "gsent" int ] else [])
+  | _ -> []
+
+let program_of (g : G.t) =
+  program ~classes:(classes g) ~globals:(globals_of g)
+    (support_funcs g
+    @ [
+        attack_func g;
+        func "main" [ expr (call "attack" []); ret (i 0) ];
+      ])
+
+(* -- attacker input --------------------------------------------------- *)
+
+let junk = 0x41414141
+
+let payload_value (g : G.t) m =
+  match g.G.g_payload with
+  | G.P_junk -> junk
+  | G.P_system -> (
+    match m with
+    | Some m -> ( try Machine.function_addr m "system" with _ -> junk)
+    | None -> junk)
+
+let fields_cin_count (g : G.t) =
+  List.fold_left
+    (fun acc m ->
+      match m with
+      | G.M_int -> acc + 1
+      | G.M_double -> acc
+      | G.M_int_arr k -> acc + if k >= 2 then 2 else 1
+      | G.M_char_arr _ -> acc + 1)
+    0 g.G.g_extra
+
+let input_ints (g : G.t) m =
+  let p = payload_value g m in
+  let round =
+    match g.G.g_script with
+    | G.S_fields -> List.init (fields_cin_count g) (fun _ -> p)
+    | G.S_loop -> g.G.g_loop_n :: List.init g.G.g_loop_n (fun _ -> p)
+    | G.S_memset -> [ g.G.g_loop_n * 4 ]
+  in
+  List.concat (List.init g.G.g_place_count (fun _ -> round))
+
+(* -- verdict ---------------------------------------------------------- *)
+
+(* Deterministic and observable from the run alone: the attack "wins"
+   when control was hijacked or an oversize placement actually executed
+   (placed footprint past its registered arena), and a defense that
+   stopped the run wins instead. The differential oracle judges the
+   interesting part — this verdict only needs to be stable. *)
+let check _m (o : O.t) =
+  let oversize =
+    List.exists
+      (function
+        | Event.Placement { size; arena = Some a; _ } -> size > a
+        | _ -> false)
+      o.O.events
+  in
+  if O.blocked o then C.failure "defense stopped the run (%a)" O.pp_status o.O.status
+  else if O.hijacked o then C.success "control hijacked (%a)" O.pp_status o.O.status
+  else if oversize then C.success "oversize placement executed"
+  else C.failure "no oversize placement (%a)" O.pp_status o.O.status
+
+let segment_of (g : G.t) =
+  match g.G.g_arena with
+  | G.A_stack_obj | G.A_stack_buf _ -> C.Stack
+  | G.A_global_buf _ -> C.Data_bss
+  | G.A_heap_obj | G.A_heap_buf _ -> C.Heap
+
+let scenario (g : G.t) =
+  C.make ~id:(G.id g) ~section:"gen" ~name:(G.summary g)
+    ~segment:(segment_of g)
+    ~goal:"generated placement-new scenario (differential-oracle corpus)"
+    ~program:(program_of g)
+    ~mk_input:(fun m -> (input_ints g (Some m), []))
+    ~check ()

@@ -1,0 +1,96 @@
+(** Corpus persistence: a genome list as one self-checking binary file.
+
+    Layout: 8-byte magic, u32 genome count, then per genome a u32 length
+    prefix and the {!Genome} codec bytes, then a trailing FNV-1a word
+    over everything before it. Loading is total — truncation, a bad
+    checksum or a malformed genome is an [Error], never an exception —
+    because corpus files round-trip through CI artifacts and human
+    hands. Writing the same genomes always produces the same bytes; the
+    E17 gate diffs two independently generated corpora for equality. *)
+
+module Wire = Pna_serial.Wire
+
+let magic = "PNAGENC1"
+
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+let to_string (genomes : Genome.t list) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  Buffer.add_string b (Wire.le32 (List.length genomes));
+  List.iter
+    (fun g ->
+      let s = Genome.encode g in
+      Buffer.add_string b (Wire.le32 (String.length s));
+      Buffer.add_string b s)
+    genomes;
+  let body = Buffer.contents b in
+  body ^ Wire.le32 (fnv1a body)
+
+let of_string s =
+  let len = String.length s in
+  let err fmt = Fmt.kstr (fun m -> Error m) fmt in
+  if len < String.length magic + 8 then err "corpus too short (%d bytes)" len
+  else if String.sub s 0 (String.length magic) <> magic then
+    err "bad corpus magic"
+  else begin
+    let body = String.sub s 0 (len - 4) in
+    let stored = Wire.rd32 s (len - 4) in
+    if fnv1a body <> stored then err "corpus checksum mismatch"
+    else begin
+      let pos = ref (String.length magic) in
+      let rd32 () =
+        let v = Wire.rd32 s !pos in
+        pos := !pos + 4;
+        v
+      in
+      let count = rd32 () in
+      if count > 1_000_000 then err "implausible corpus count %d" count
+      else begin
+        let rec read k acc =
+          if k = 0 then Ok (List.rev acc)
+          else if !pos + 4 > len - 4 then
+            err "truncated corpus: %d of %d genomes" (count - k) count
+          else begin
+            let glen = rd32 () in
+            if glen > len - 4 - !pos then
+              err "genome %d overruns the corpus" (count - k)
+            else begin
+              let gs = String.sub s !pos glen in
+              pos := !pos + glen;
+              match Genome.decode gs with
+              | Ok g -> read (k - 1) (g :: acc)
+              | Error m -> err "genome %d: %s" (count - k) m
+            end
+          end
+        in
+        match read count [] with
+        | Ok gs when !pos <> len - 4 ->
+          ignore gs;
+          err "%d trailing bytes in corpus" (len - 4 - !pos)
+        | r -> r
+      end
+    end
+  end
+
+let save path genomes =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string genomes))
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> of_string s
+  | exception Sys_error m -> Error m
+  | exception End_of_file -> Error "corpus truncated while reading"

@@ -1,0 +1,368 @@
+(** The scenario genome: a compact, fully serializable description of one
+    placement-new attack shape. Everything downstream — the MiniC++
+    program, the attacker input, the catalogue entry — is a pure function
+    of this value, so a corpus of genomes is a corpus of replayable
+    scenarios.
+
+    The grammar spans the paper's attack surface: class hierarchies of
+    varying depth with or without vtables, arena geometries over every
+    segment (declared buffers, whole objects, heap blocks, §3.5 internal
+    placements where the declared extent is invisible), §4.1 repeated
+    placement, overflow targets (adjacent member, function pointer,
+    vtable pointer), and input scripts from straight field writes to
+    attacker-counted loops and tainted-size memset. *)
+
+module R = Pna_rand.Rand
+module Wire = Pna_serial.Wire
+
+type member = M_int | M_double | M_int_arr of int | M_char_arr of int
+
+type arena =
+  | A_stack_obj  (** place over a declared base-class local (§3.1) *)
+  | A_stack_buf of int  (** local char buffer; payload = size delta *)
+  | A_global_buf of int  (** bss char buffer; payload = size delta *)
+  | A_heap_obj  (** place over a heap-allocated base object (§3.3) *)
+  | A_heap_buf of int  (** heap char block; payload = size delta *)
+
+(* the [int] payloads above are signed deltas relative to the derived
+   class's footprint: negative = undersized arena (overflow), zero =
+   exact, positive = oversized (benign placement with a stale tail) *)
+
+type target = T_member | T_adjacent | T_funptr | T_vtable
+type script = S_fields | S_loop | S_memset
+type payload = P_junk | P_system
+
+type t = {
+  g_virtual : bool;
+  g_depth : int;  (** 1: Base <- Deriv; 2: Base <- Mid <- Deriv *)
+  g_base_members : member list;  (** head is always [M_int] *)
+  g_extra : member list;  (** members the derived class adds *)
+  g_arena : arena;
+  g_internal_off : int;  (** >0: place into the buffer's interior (§3.5) *)
+  g_place_count : int;  (** 2 = re-place and re-write (§4.1) *)
+  g_target : target;
+  g_script : script;
+  g_guard : bool;  (** bound-check the attacker count before writing *)
+  g_payload : payload;
+  g_loop_n : int;  (** attacker-supplied count / memset length seed *)
+}
+
+(* -- random generation ------------------------------------------------ *)
+
+let gen_member r =
+  match R.int r 4 with
+  | 0 -> M_int
+  | 1 -> M_double
+  | 2 -> M_int_arr (1 + R.int r 6)
+  | _ -> M_char_arr (1 + R.int r 12)
+
+let has_int_arr = List.exists (function M_int_arr _ -> true | _ -> false)
+
+let generate r =
+  let g_virtual = R.bool r in
+  let g_target =
+    match R.int r 4 with
+    | 0 -> T_member
+    | 1 -> T_adjacent
+    | 2 -> T_funptr
+    | _ -> if g_virtual then T_vtable else T_adjacent
+  in
+  let g_script =
+    match R.int r 3 with 0 -> S_fields | 1 -> S_loop | _ -> S_memset
+  in
+  let g_base_members = M_int :: List.init (R.int r 3) (fun _ -> gen_member r) in
+  let extras = List.init (1 + R.int r 3) (fun _ -> gen_member r) in
+  let g_extra =
+    if g_script = S_loop && not (has_int_arr extras) then
+      M_int_arr (2 + R.int r 5) :: extras
+    else extras
+  in
+  let delta =
+    match R.int r 4 with
+    | 0 -> -4 * (1 + R.int r 8)
+    | 1 -> 0
+    | 2 -> 4 * (1 + R.int r 8)
+    | _ -> -R.int r 48
+  in
+  let g_arena =
+    match R.int r 5 with
+    | 0 -> A_stack_obj
+    | 1 -> A_stack_buf delta
+    | 2 -> A_global_buf delta
+    | 3 -> A_heap_obj
+    | _ -> A_heap_buf delta
+  in
+  let bufferish =
+    match g_arena with
+    | A_stack_buf _ | A_global_buf _ | A_heap_buf _ -> true
+    | A_stack_obj | A_heap_obj -> false
+  in
+  let g_internal_off =
+    if bufferish && R.int r 4 = 0 then 4 * (1 + R.int r 3) else 0
+  in
+  {
+    g_virtual;
+    g_depth = 1 + R.int r 2;
+    g_base_members;
+    g_extra;
+    g_arena;
+    g_internal_off;
+    g_place_count = (if R.int r 5 = 0 then 2 else 1);
+    g_target;
+    g_script;
+    g_guard = (match g_script with S_fields -> false | _ -> R.int r 3 = 0);
+    g_payload = (if R.int r 6 = 0 then P_system else P_junk);
+    g_loop_n = R.int r 25;
+  }
+
+(* -- binary codec ----------------------------------------------------- *)
+
+let version = 1
+
+(* signed deltas ride the unsigned wire word through a fixed bias *)
+let bias = 0x8000
+let w32 b n = Buffer.add_string b (Wire.le32 n)
+
+let encode_member b = function
+  | M_int -> w32 b 0
+  | M_double -> w32 b 1
+  | M_int_arr k ->
+    w32 b 2;
+    w32 b k
+  | M_char_arr k ->
+    w32 b 3;
+    w32 b k
+
+let encode_members b ms =
+  w32 b (List.length ms);
+  List.iter (encode_member b) ms
+
+let encode g =
+  let b = Buffer.create 96 in
+  w32 b version;
+  w32 b (if g.g_virtual then 1 else 0);
+  w32 b g.g_depth;
+  encode_members b g.g_base_members;
+  encode_members b g.g_extra;
+  (match g.g_arena with
+  | A_stack_obj -> w32 b 0
+  | A_stack_buf d ->
+    w32 b 1;
+    w32 b (d + bias)
+  | A_global_buf d ->
+    w32 b 2;
+    w32 b (d + bias)
+  | A_heap_obj -> w32 b 3
+  | A_heap_buf d ->
+    w32 b 4;
+    w32 b (d + bias));
+  w32 b g.g_internal_off;
+  w32 b g.g_place_count;
+  w32 b
+    (match g.g_target with
+    | T_member -> 0
+    | T_adjacent -> 1
+    | T_funptr -> 2
+    | T_vtable -> 3);
+  w32 b (match g.g_script with S_fields -> 0 | S_loop -> 1 | S_memset -> 2);
+  w32 b (if g.g_guard then 1 else 0);
+  w32 b (match g.g_payload with P_junk -> 0 | P_system -> 1);
+  w32 b g.g_loop_n;
+  Buffer.contents b
+
+(* Total decoder: every malformed input is an [Error], never an
+   exception — corpus files are external input. *)
+let decode s =
+  let pos = ref 0 in
+  let err fmt = Fmt.kstr (fun m -> raise (Failure m)) fmt in
+  let rd () =
+    if !pos + 4 > String.length s then err "truncated at byte %d" !pos;
+    let v = Wire.rd32 s !pos in
+    pos := !pos + 4;
+    v
+  in
+  let rd_bounded label hi =
+    let v = rd () in
+    if v > hi then err "%s out of range: %d" label v;
+    v
+  in
+  let rd_member () =
+    match rd () with
+    | 0 -> M_int
+    | 1 -> M_double
+    | 2 -> M_int_arr (rd_bounded "array size" 4096)
+    | 3 -> M_char_arr (rd_bounded "array size" 4096)
+    | t -> err "bad member tag %d" t
+  in
+  let rd_members label =
+    let n = rd_bounded label 64 in
+    List.init n (fun _ -> rd_member ())
+  in
+  match
+    let v = rd () in
+    if v <> version then err "unsupported genome version %d" v;
+    let g_virtual = rd () <> 0 in
+    let g_depth = rd_bounded "depth" 2 in
+    let g_base_members = rd_members "base member count" in
+    let g_extra = rd_members "extra member count" in
+    let g_arena =
+      match rd () with
+      | 0 -> A_stack_obj
+      | 1 -> A_stack_buf (rd () - bias)
+      | 2 -> A_global_buf (rd () - bias)
+      | 3 -> A_heap_obj
+      | 4 -> A_heap_buf (rd () - bias)
+      | t -> err "bad arena tag %d" t
+    in
+    let g_internal_off = rd_bounded "internal offset" 4096 in
+    let g_place_count = rd_bounded "place count" 4 in
+    let g_target =
+      match rd () with
+      | 0 -> T_member
+      | 1 -> T_adjacent
+      | 2 -> T_funptr
+      | 3 -> T_vtable
+      | t -> err "bad target tag %d" t
+    in
+    let g_script =
+      match rd () with
+      | 0 -> S_fields
+      | 1 -> S_loop
+      | 2 -> S_memset
+      | t -> err "bad script tag %d" t
+    in
+    let g_guard = rd () <> 0 in
+    let g_payload =
+      match rd () with
+      | 0 -> P_junk
+      | 1 -> P_system
+      | t -> err "bad payload tag %d" t
+    in
+    let g_loop_n = rd_bounded "loop count" 1_000_000 in
+    if !pos <> String.length s then err "%d trailing bytes" (String.length s - !pos);
+    {
+      g_virtual;
+      g_depth = max 1 g_depth;
+      g_base_members;
+      g_extra;
+      g_arena;
+      g_internal_off;
+      g_place_count = max 1 g_place_count;
+      g_target;
+      g_script;
+      g_guard;
+      g_payload;
+      g_loop_n;
+    }
+  with
+  | g -> Ok g
+  | exception Failure m -> Error m
+
+(* -- stable id -------------------------------------------------------- *)
+
+(* FNV-1a over the encoded bytes: stable across OCaml versions, unlike
+   [Hashtbl.hash] — corpus ids must not move under a compiler upgrade. *)
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+let id g = Fmt.str "gen-%08x" (fnv1a (encode g))
+
+(* -- labels ----------------------------------------------------------- *)
+
+let member_label = function
+  | M_int -> "int"
+  | M_double -> "double"
+  | M_int_arr k -> Fmt.str "int[%d]" k
+  | M_char_arr k -> Fmt.str "char[%d]" k
+
+let arena_label = function
+  | A_stack_obj -> "stack-obj"
+  | A_stack_buf d -> Fmt.str "stack-buf%+d" d
+  | A_global_buf d -> Fmt.str "bss-buf%+d" d
+  | A_heap_obj -> "heap-obj"
+  | A_heap_buf d -> Fmt.str "heap-buf%+d" d
+
+let target_label = function
+  | T_member -> "member"
+  | T_adjacent -> "adjacent"
+  | T_funptr -> "funptr"
+  | T_vtable -> "vtable"
+
+let script_label = function
+  | S_fields -> "fields"
+  | S_loop -> "loop"
+  | S_memset -> "memset"
+
+let summary g =
+  Fmt.str "%s/%s/%s d%d%s%s%s%s n%d" (arena_label g.g_arena)
+    (target_label g.g_target) (script_label g.g_script) g.g_depth
+    (if g.g_virtual then " virt" else "")
+    (if g.g_internal_off > 0 then Fmt.str " int@%d" g.g_internal_off else "")
+    (if g.g_place_count > 1 then " x2" else "")
+    (if g.g_guard then " guarded" else "")
+    g.g_loop_n
+
+let pp ppf g = Fmt.string ppf (summary g)
+
+(* -- shrinking -------------------------------------------------------- *)
+
+(* Candidate one-step simplifications, most aggressive first. The
+   minimizer keeps a candidate only when the divergence fingerprint
+   survives, so these just have to be strictly "smaller": fewer members,
+   smaller arrays and counts, shallower hierarchy, plainer script. *)
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let shrink_member = function
+  | M_int_arr k when k > 1 -> Some (M_int_arr (k / 2))
+  | M_char_arr k when k > 1 -> Some (M_char_arr (k / 2))
+  | _ -> None
+
+let shrink_candidates g =
+  let cands = ref [] in
+  let add c = if c <> g then cands := c :: !cands in
+  (* structural drops *)
+  if g.g_place_count > 1 then add { g with g_place_count = 1 };
+  if g.g_depth > 1 then add { g with g_depth = 1 };
+  if g.g_virtual && g.g_target <> T_vtable then add { g with g_virtual = false };
+  if g.g_payload = P_system then add { g with g_payload = P_junk };
+  if g.g_internal_off > 0 then add { g with g_internal_off = 0 };
+  if g.g_guard then add { g with g_guard = false };
+  if g.g_script <> S_fields then add { g with g_script = S_fields };
+  (* member drops: keep the mandatory head int in the base *)
+  List.iteri
+    (fun i _ ->
+      if i > 0 then add { g with g_base_members = drop_nth g.g_base_members i })
+    g.g_base_members;
+  List.iteri
+    (fun i _ ->
+      if List.length g.g_extra > 1 then
+        add { g with g_extra = drop_nth g.g_extra i })
+    g.g_extra;
+  (* size shrinks *)
+  List.iteri
+    (fun i m ->
+      match shrink_member m with
+      | Some m' ->
+        add
+          {
+            g with
+            g_extra = List.mapi (fun j x -> if j = i then m' else x) g.g_extra;
+          }
+      | None -> ())
+    g.g_extra;
+  if g.g_loop_n > 1 then add { g with g_loop_n = g.g_loop_n / 2 };
+  if g.g_loop_n > 0 then add { g with g_loop_n = 0 };
+  let shrink_delta mk d =
+    if d < -4 then add (mk (-4)) else if d > 4 then add (mk 4)
+  in
+  (match g.g_arena with
+  | A_stack_buf d -> shrink_delta (fun d -> { g with g_arena = A_stack_buf d }) d
+  | A_global_buf d ->
+    shrink_delta (fun d -> { g with g_arena = A_global_buf d }) d
+  | A_heap_buf d -> shrink_delta (fun d -> { g with g_arena = A_heap_buf d }) d
+  | A_stack_obj | A_heap_obj -> ());
+  List.rev !cands

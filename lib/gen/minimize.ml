@@ -1,0 +1,26 @@
+(** Greedy corpus minimization: shrink a diverging genome while the
+    divergence fingerprint survives.
+
+    Classic delta-debugging over the genome instead of the program text:
+    {!Genome.shrink_candidates} proposes strictly-simpler genomes
+    (fewer members, smaller arrays and counts, shallower hierarchy,
+    plainer script, no re-placement); the first candidate that still
+    reproduces the fingerprint becomes the new current genome and the
+    walk restarts from it. The walk is deterministic and bounded by
+    [budget] oracle re-runs, so minimization cannot stall a campaign. *)
+
+let minimize ?(budget = 60) ~reproduces g =
+  let spent = ref 0 in
+  let rec go g =
+    let rec try_cands = function
+      | [] -> g
+      | c :: tl ->
+        if !spent >= budget then g
+        else begin
+          incr spent;
+          if reproduces c then go c else try_cands tl
+        end
+    in
+    if !spent >= budget then g else try_cands (Genome.shrink_candidates g)
+  in
+  go g

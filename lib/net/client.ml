@@ -184,16 +184,16 @@ let ping t nonce =
 (* -- the retrying one-shot call -------------------------------------- *)
 
 (* Jittered exponential backoff: base * 2^(attempt-1) plus up to
-   [jitter_pct] percent, drawn from a caller-seeded generator so tests
-   replay. Sleeps are real (this side of the wire is wall-clock). *)
+   [jitter_pct] percent, drawn from a caller-seeded SplitMix64 stream so
+   tests replay. Sleeps are real (this side of the wire is wall-clock). *)
 let backoff_ms ~rng ~base_ms ~jitter_pct attempt =
   let base = base_ms * (1 lsl min (attempt - 1) 16) in
   if jitter_pct <= 0 then base
-  else base + Random.State.int rng (1 + (base * jitter_pct / 100))
+  else base + Pna_rand.Rand.int rng (1 + (base * jitter_pct / 100))
 
 let call ?(attempts = 4) ?(base_ms = 1) ?(jitter_pct = 50) ?(seed = 0)
     ?(timeout_s = 10.) ?chaos ~host ~port (rq : Frame.req) =
-  let rng = Random.State.make [| 0xca11; seed |] in
+  let rng = Pna_rand.Rand.create (seed lxor 0xca11ba5e) in
   let rec go attempt =
     let retry reason =
       if attempt >= attempts then begin

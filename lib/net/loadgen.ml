@@ -42,19 +42,28 @@ let spec_key s =
 let default_max_steps = 60_000
 
 let specs ?(distinct = 48) ?(chaos_every = 6) ?(max_steps = default_max_steps)
-    ~seed () =
-  let rng = Random.State.make [| 0x10ad; seed |] in
-  let attacks = Array.of_list All.attacks in
+    ?targets ~seed () =
+  let module R = Pna_rand.Rand in
+  (* the shared RNG's [int] is rejection-sampled, so the pick over the
+     target pool is exactly uniform (and the stream a pure function of
+     [seed]) even when the pool size is not a power of two — a corpus of
+     e.g. 1000 generated scenarios gets no modulo skew towards its low
+     indices *)
+  let rng = R.create (seed lxor 0x10ad5eed) in
+  let targets =
+    match targets with
+    | Some (_ :: _ as ids) -> Array.of_list ids
+    | Some [] | None ->
+      Array.of_list (List.map (fun a -> a.Catalog.id) All.attacks)
+  in
   let configs = Array.of_list Config.all in
   Array.init distinct (fun i ->
       {
-        s_attack =
-          attacks.(Random.State.int rng (Array.length attacks)).Catalog.id;
-        s_config =
-          configs.(Random.State.int rng (Array.length configs)).Config.name;
+        s_attack = R.pick rng targets;
+        s_config = (R.pick rng configs).Config.name;
         s_chaos_seed =
           (if chaos_every > 0 && i mod chaos_every = chaos_every - 1 then
-             Some (1 + Random.State.int rng 1000)
+             Some (1 + R.int rng 1000)
            else None);
         s_max_steps = Some max_steps;
       })
@@ -356,8 +365,9 @@ let percentile sorted p =
   else sorted.(min (n - 1) (int_of_float (Float.of_int n *. p)))
 
 let run ?(conns = 4) ?(window = 32) ?(retry_shed = 3) ?(chaos = false)
-    ?(timeout_s = 10.) ?max_steps ?(distinct = 48) ~host ~port ~n ~seed () =
-  let specs = specs ~distinct ?max_steps ~seed () in
+    ?(timeout_s = 10.) ?max_steps ?(distinct = 48) ?targets ~host ~port ~n
+    ~seed () =
+  let specs = specs ~distinct ?max_steps ?targets ~seed () in
   let conns = max 1 (min conns n) in
   let indices =
     List.init conns (fun d ->

@@ -120,8 +120,9 @@ let proto_counter t cls =
 
 let enqueue c msg = Queue.add (Frame.encode msg) c.out
 
-let find_attack id =
-  List.find_opt (fun (a : Catalog.t) -> a.Catalog.id = id) All.attacks
+(* [All.find] also sees dynamically registered scenarios (a generated
+   corpus loaded at startup), not just the static paper catalogue. *)
+let find_attack id = All.find id
 
 let find_config name =
   List.find_opt (fun (c : Config.t) -> c.Config.name = name) Config.all

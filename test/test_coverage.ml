@@ -61,6 +61,75 @@ let test_no_hook_no_cost () =
   Alcotest.(check int) "same steps" o2.Pna_minicpp.Outcome.steps
     o1.Pna_minicpp.Outcome.steps
 
+(* ---- the per-statement bitmap (fuzzing's coverage-feedback signal) ---- *)
+
+let run_bitmap prog =
+  let bm, hook = Coverage.bitmap prog in
+  let o = Interp.execute ~config:Config.none ~on_stmt:hook prog in
+  (bm, o)
+
+let test_bitmap_counts () =
+  let prog = prog_loops 10 in
+  let bm, _ = run_bitmap prog in
+  Alcotest.(check bool) "site table is nonempty" true (Coverage.sites bm > 0);
+  Alcotest.(check bool) "some sites lit" true (Coverage.hits bm > 0);
+  Alcotest.(check bool) "idle never lit" true
+    (List.for_all
+       (fun i ->
+         not
+           (String.length (Coverage.site_label bm i) >= 4
+            && String.sub (Coverage.site_label bm i) 0 4 = "idle"))
+       (Coverage.hit_sites bm));
+  (* tick's single statement ran exactly 10 times *)
+  let tick_sites =
+    List.filter
+      (fun i ->
+        String.length (Coverage.site_label bm i) >= 4
+        && String.sub (Coverage.site_label bm i) 0 4 = "tick")
+      (Coverage.hit_sites bm)
+  in
+  Alcotest.(check (list int)) "tick hit-counts" [ 10 ]
+    (List.map (Coverage.hit_count bm) tick_sites)
+
+let test_bitmap_reset () =
+  let prog = prog_loops 5 in
+  let bm, _ = run_bitmap prog in
+  let lit_before = Coverage.hits bm in
+  Coverage.reset bm;
+  Alcotest.(check int) "reset zeroes every count" 0 (Coverage.hits bm);
+  Alcotest.(check bool) "site table survives reset" true
+    (Coverage.sites bm > 0 && lit_before > 0);
+  Alcotest.(check (list int)) "no hit sites after reset" []
+    (Coverage.hit_sites bm)
+
+let test_bitmap_merge () =
+  let prog = prog_loops 5 in
+  let a, _ = run_bitmap prog in
+  let acc, _ = Coverage.bitmap prog in
+  let first = Coverage.merge ~into:acc a in
+  Alcotest.(check int) "every lit site is new on first merge"
+    (Coverage.hits a) first;
+  let again = Coverage.merge ~into:acc a in
+  Alcotest.(check int) "second merge lights nothing new" 0 again;
+  (* counts accumulate: each site in acc now holds twice a's count *)
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Fmt.str "doubled count at %s" (Coverage.site_label acc i))
+        (2 * Coverage.hit_count a i)
+        (Coverage.hit_count acc i))
+    (Coverage.hit_sites acc);
+  let other, _ = Coverage.bitmap (prog_loops 3) in
+  ignore other;
+  (* a bitmap of a different program has a different site table *)
+  let wrong, _ =
+    Coverage.bitmap
+      (program ~globals:[ global "acc" int ] [ func "main" [ ret (i 0) ] ])
+  in
+  Alcotest.check_raises "merging foreign bitmaps is refused"
+    (Invalid_argument "Coverage.merge: bitmaps cover different programs")
+    (fun () -> ignore (Coverage.merge ~into:acc wrong))
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   ( "coverage",
@@ -70,4 +139,7 @@ let suite =
       t "static statement counts" test_static_counts;
       t "per-kind histogram" test_kind_histogram;
       t "tracer does not change behaviour" test_no_hook_no_cost;
+      t "bitmap: sites, hits and per-site counts" test_bitmap_counts;
+      t "bitmap: reset keeps the site table" test_bitmap_reset;
+      t "bitmap: merge accumulates and reports novelty" test_bitmap_merge;
     ] )

@@ -434,6 +434,42 @@ let test_mini_chaos_soak () =
   Alcotest.(check bool) "most requests served" true
     (r.Loadgen.lg_served > r.Loadgen.lg_n / 2)
 
+(* ---- loadgen request-mix determinism ---- *)
+
+let test_loadgen_mix_seeded () =
+  let mix ?targets seed =
+    Array.to_list
+      (Array.map Loadgen.spec_key (Loadgen.specs ?targets ~distinct:64 ~seed ()))
+  in
+  Alcotest.(check (list string)) "same seed, same stream" (mix 11) (mix 11);
+  Alcotest.(check bool) "different seed, different stream" true
+    (mix 11 <> mix 12);
+  (* a non-power-of-two target pool (the modulo-bias regression): the
+     stream stays a pure function of the seed and only draws from the
+     pool — rejection sampling may consume a varying number of raw draws
+     per pick, which the old mixing scheme turned into bias *)
+  let pool = List.init 13 (fun i -> Fmt.str "corpus-%02d" i) in
+  Alcotest.(check (list string)) "seeded over 13 targets"
+    (mix ~targets:pool 21) (mix ~targets:pool 21);
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "spec drawn from the pool" true
+        (List.mem s.Loadgen.s_attack pool))
+    (Loadgen.specs ~targets:pool ~distinct:64 ~seed:21 ());
+  (* every target of a small pool is reachable: no index starvation *)
+  let drawn =
+    Array.fold_left
+      (fun acc s -> if List.mem s.Loadgen.s_attack acc then acc
+                    else s.Loadgen.s_attack :: acc)
+      []
+      (Loadgen.specs ~targets:pool ~distinct:512 ~seed:33 ())
+  in
+  Alcotest.(check int) "all 13 targets drawn in 512 specs" 13
+    (List.length drawn);
+  (* [Some []] and [None] both mean the full catalogue *)
+  Alcotest.(check (list string)) "empty target list = catalogue"
+    (mix ~targets:[] 5) (mix 5)
+
 let suite =
   ( "net",
     [
@@ -459,4 +495,6 @@ let suite =
       Alcotest.test_case "client retry classification" `Quick
         test_client_retry_classification;
       Alcotest.test_case "mini chaos soak" `Quick test_mini_chaos_soak;
+      Alcotest.test_case "loadgen mix is seed-determined over any pool" `Quick
+        test_loadgen_mix_seeded;
     ] )

@@ -10,6 +10,7 @@ let () =
 let () =
   Alcotest.run "pna"
     [
+      Test_rand.suite;
       Test_vmem.suite;
       Test_layout.suite;
       Test_heap.suite;
@@ -29,4 +30,5 @@ let () =
       Test_service.suite;
       Test_telemetry.suite;
       Test_net.suite;
+      Test_gen.suite;
     ]

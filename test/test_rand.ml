@@ -1,0 +1,136 @@
+(* The shared SplitMix64 stream: reference vectors, determinism, and the
+   uniformity properties the generator and load mix lean on. *)
+
+module R = Pna_rand.Rand
+
+let check = Alcotest.check
+let int' = Alcotest.int
+
+(* Canonical SplitMix64 outputs (Steele/Lea/Flood reference, seed 0 and a
+   non-trivial seed) — pins the algorithm, not just self-consistency. *)
+let test_reference_vectors () =
+  let t = R.create 0 in
+  check Alcotest.int64 "seed 0 / draw 1" 0xe220a8397b1dcdafL (R.next t);
+  check Alcotest.int64 "seed 0 / draw 2" 0x6e789e6aa1b965f4L (R.next t);
+  check Alcotest.int64 "seed 0 / draw 3" 0x06c45d188009454fL (R.next t);
+  let t = R.create 1234567 in
+  check Alcotest.int64 "seed 1234567 / draw 1" 0x599ed017fb08fc85L (R.next t);
+  check Alcotest.int64 "seed 1234567 / draw 2" 0x2c73f08458540fa5L (R.next t);
+  check Alcotest.int64 "seed 1234567 / draw 3" 0x883ebce5a3f27c77L (R.next t)
+
+let test_determinism () =
+  for seed = 1 to 50 do
+    let a = R.create seed and b = R.create seed in
+    for _ = 1 to 200 do
+      check int' "same seed, same stream" (R.int a 1000) (R.int b 1000)
+    done
+  done
+
+let test_copy_is_independent () =
+  let a = R.create 42 in
+  for _ = 1 to 17 do
+    ignore (R.next a)
+  done;
+  let b = R.copy a in
+  let xs = List.init 50 (fun _ -> R.int a 997) in
+  let ys = List.init 50 (fun _ -> R.int b 997) in
+  check (Alcotest.list int') "copy continues the same stream" xs ys
+
+let test_fork_diverges () =
+  let a = R.create 7 in
+  let b = R.fork a in
+  let xs = List.init 32 (fun _ -> R.int a 1_000_000) in
+  let ys = List.init 32 (fun _ -> R.int b 1_000_000) in
+  Alcotest.(check bool) "forked stream differs" true (xs <> ys)
+
+let test_int_bounds () =
+  let t = R.create 3 in
+  List.iter
+    (fun n ->
+      for _ = 1 to 2_000 do
+        let v = R.int t n in
+        if v < 0 || v >= n then
+          Alcotest.failf "R.int %d produced out-of-range %d" n v
+      done)
+    [ 1; 2; 3; 7; 10; 100; 1000; 12_345; 1 lsl 30 ];
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Rand.int: bound must be positive") (fun () ->
+      ignore (R.int t 0))
+
+(* Every residue of a non-power-of-two bound within 20% of its fair
+   share over 30k draws — catches both modulo bias and a broken mix. *)
+let test_int_uniform_non_pow2 () =
+  let t = R.create 11 in
+  let n = 10 in
+  let draws = 30_000 in
+  let buckets = Array.make n 0 in
+  for _ = 1 to draws do
+    let v = R.int t n in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  let fair = draws / n in
+  Array.iteri
+    (fun i c ->
+      if c < fair * 8 / 10 || c > fair * 12 / 10 then
+        Alcotest.failf "bucket %d has %d of %d draws (fair %d)" i c draws fair)
+    buckets
+
+let test_bool_balanced () =
+  let t = R.create 23 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if R.bool t then incr trues
+  done;
+  if !trues < 4_500 || !trues > 5_500 then
+    Alcotest.failf "bool heavily skewed: %d/10000 true" !trues
+
+let test_float_range_and_mean () =
+  let t = R.create 5 in
+  let sum = ref 0. in
+  for _ = 1 to 10_000 do
+    let f = R.float t in
+    if f < 0. || f >= 1. then Alcotest.failf "float out of [0,1): %f" f;
+    sum := !sum +. f
+  done;
+  let mean = !sum /. 10_000. in
+  if mean < 0.45 || mean > 0.55 then Alcotest.failf "float mean off: %f" mean
+
+let test_range_inclusive () =
+  let t = R.create 9 in
+  let lo = -3 and hi = 3 in
+  let seen = Hashtbl.create 8 in
+  for _ = 1 to 1_000 do
+    let v = R.range t ~lo ~hi in
+    if v < lo || v > hi then Alcotest.failf "range out of bounds: %d" v;
+    Hashtbl.replace seen v ()
+  done;
+  check int' "all 7 values of [-3,3] reached" 7 (Hashtbl.length seen)
+
+let test_pick () =
+  let t = R.create 13 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 200 do
+    let v = R.pick t arr in
+    Alcotest.(check bool) "picked member" true (Array.mem v arr)
+  done;
+  check Alcotest.string "pick_list member" "x" (R.pick_list t [ "x" ]);
+  Alcotest.check_raises "empty array rejected"
+    (Invalid_argument "Rand.pick: empty array") (fun () ->
+      ignore (R.pick t [||]))
+
+let suite =
+  ( "rand",
+    [
+      Alcotest.test_case "reference vectors" `Quick test_reference_vectors;
+      Alcotest.test_case "determinism across seeds" `Quick test_determinism;
+      Alcotest.test_case "copy is independent" `Quick test_copy_is_independent;
+      Alcotest.test_case "fork diverges" `Quick test_fork_diverges;
+      Alcotest.test_case "int bounds" `Quick test_int_bounds;
+      Alcotest.test_case "int uniform (non-pow2)" `Quick
+        test_int_uniform_non_pow2;
+      Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
+      Alcotest.test_case "float range and mean" `Quick
+        test_float_range_and_mean;
+      Alcotest.test_case "range inclusive" `Quick test_range_inclusive;
+      Alcotest.test_case "pick helpers" `Quick test_pick;
+    ] )
