@@ -380,6 +380,15 @@ let telemetry_group =
     Test.make ~name:"telemetry/instant_enabled" (stage (fun () ->
         Tel.enable ();
         Trace.instant "bench"));
+    Test.make ~name:"telemetry/span_ctx_enabled" (stage (
+        let ctx = Some (Trace.new_ctx ()) in
+        fun () ->
+          Tel.enable ();
+          Trace.with_ctx ctx (fun () ->
+              Trace.with_span "bench" (fun () -> ()))));
+    Test.make ~name:"telemetry/emit_retroactive" (stage (fun () ->
+        Tel.enable ();
+        Trace.emit ~name:"bench" ~ts_us:1.0 ~dur_us:1.0 ~trace:(1, 2, 3) ()));
     Test.make ~name:"telemetry/counter_incr" (stage (fun () -> Metrics.incr ctr));
     Test.make ~name:"telemetry/histogram_observe" (stage (fun () ->
         Metrics.observe hist 123.4));
@@ -408,9 +417,16 @@ let net_group =
         rq_chaos_seed = None;
         rq_max_steps = Some 60_000;
         rq_sanitize = false;
+        rq_trace = None;
       }
   in
   let encoded = Frame.encode req in
+  let traced_req =
+    match req with
+    | Frame.Request r -> Frame.Request { r with rq_trace = Some (0xabc, 0xdef) }
+    | m -> m
+  in
+  let traced_encoded = Frame.encode traced_req in
   let entry_bytes =
     Frame.encode_memo_entry
       {
@@ -438,6 +454,10 @@ let net_group =
         ignore (Frame.encode req)));
     Test.make ~name:"net/frame_decode_request" (stage (fun () ->
         ignore (Frame.decode encoded)));
+    Test.make ~name:"net/frame_encode_request_traced" (stage (fun () ->
+        ignore (Frame.encode traced_req)));
+    Test.make ~name:"net/frame_decode_request_traced" (stage (fun () ->
+        ignore (Frame.decode traced_encoded)));
     Test.make ~name:"net/crc32_64B" (stage (fun () ->
         ignore (Pna_net.Crc32.string encoded)));
     Test.make ~name:"net/memo_entry_decode" (stage (fun () ->

@@ -5,14 +5,17 @@
     [memleak] (E6), [audit] (E7), [defmatrix]/[overhead] (E8),
     [chaos] (E9), [randtest] (E10), [repair] (E11), [throughput] (E12),
     [telemetry] (E13), [oracle] (E14), [scaling] (E15), [netgate] (E16),
-    [gengate] (E17), plus [generate]/[fuzz]/[corpus] for the generative
-    attack catalogue, [batch]/[serve] to drive the parallel scenario
-    service,
+    [gengate] (E17), [tracegate] (E18), plus [generate]/[fuzz]/[corpus]
+    for the generative attack catalogue, [batch]/[serve] to drive the
+    parallel scenario service,
     [serve-tcp]/[loadgen]/[compact] for the TCP front end and its
-    crash-safe memo log, [trace]/[stats] for the telemetry exporters,
-    [list]/[run]/[layout] for exploration and [all] to regenerate
-    everything. Experiment commands exit non-zero when the experiment
-    fails its verdict, so they can gate CI. *)
+    crash-safe memo log, [trace]/[stats] for the telemetry exporters
+    ([trace --wire] for a cross-process sampled run, [trace --merge] to
+    fuse per-process exports), [forensics] to replay an attack from its
+    flight-recorder bundle, [top] to poll a serving process's metrics
+    over the wire, [list]/[run]/[layout] for exploration and [all] to
+    regenerate everything. Experiment commands exit non-zero when the
+    experiment fails its verdict, so they can gate CI. *)
 
 open Cmdliner
 module Catalog = Pna_attacks.Catalog
@@ -23,6 +26,12 @@ module E = Pna.Experiments
 module Telemetry = Pna_telemetry.Telemetry
 module Trace = Pna_telemetry.Trace
 module Metrics = Pna_telemetry.Metrics
+module Jsonx = Pna_telemetry.Jsonx
+module Flight = Pna_flight.Flight
+module Server = Pna_net.Server
+module Client = Pna_net.Client
+module Loadgen = Pna_net.Loadgen
+module Memolog = Pna_net.Memolog
 
 let config_arg =
   let parse s =
@@ -586,37 +595,90 @@ let coverage_cmd =
 
 let trace_cmd =
   let id_t =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTACK-ID")
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ATTACK-ID")
   in
   let chaos_seed_t =
     Arg.(value & opt (some int) None & info [ "chaos-seed" ] ~docv:"N"
            ~doc:"Run supervised under the fault plan generated from seed N,              so retry attempts appear as spans.")
   in
-  let run id config chaos_seed =
-    match All.find id with
-    | None ->
-      Fmt.epr "unknown attack %s@." id;
-      exit 1
-    | Some a ->
-      Telemetry.enable ();
-      Trace.reset ();
-      (match chaos_seed with
-      | None ->
-        let r = Driver.run ~config a in
-        Fmt.epr "%s under %s: %a@." a.Catalog.id config.Config.name
-          Pna_minicpp.Outcome.pp_status r.Driver.outcome.Pna_minicpp.Outcome.status
-      | Some seed ->
-        let plan = Pna_chaos.Plan.generate ~seed () in
-        let s = Driver.supervise ~config ~plan a in
-        Fmt.epr "%a@." Driver.pp_supervised s);
-      (* the trace goes to stdout so `pna trace l13 > trace.json` loads
-         straight into Perfetto; the verdict above goes to stderr *)
-      Trace.export_chrome Fmt.stdout
+  let wire_t =
+    Arg.(value & flag & info [ "wire" ]
+           ~doc:"Instead of one scenario, run an in-process server plus a              sampled load generator and emit the merged client+server              Chrome trace: every sampled request is one connected span              tree across the wire.")
+  in
+  let merge_t =
+    Arg.(value & opt_all string [] & info [ "merge" ] ~docv:"TRACE.json"
+           ~doc:"Merge already-exported Chrome traces (e.g. the client and              server halves of a wire run, from two processes) into one              document on stdout; span linkage survives because it lives              in trace_id/span_id/parent_id args. Repeatable.")
+  in
+  let wire_n_t =
+    Arg.(value & opt int 96 & info [ "wire-requests" ] ~docv:"N"
+           ~doc:"Requests for the $(b,--wire) run.")
+  in
+  let run id config chaos_seed wire merge wire_n =
+    match merge with
+    | _ :: _ ->
+      let traces =
+        List.map
+          (fun path ->
+            match Pna_telemetry.Jsonx.of_string (read_file path) with
+            | Ok j -> j
+            | Error e ->
+              Fmt.epr "%s: %s@." path e;
+              exit 1
+            | exception Sys_error e ->
+              Fmt.epr "%s@." e;
+              exit 1)
+          merge
+      in
+      Fmt.pr "%s@."
+        (Pna_telemetry.Jsonx.to_string (Trace.merge_chrome traces))
+    | [] ->
+      if wire then begin
+        Telemetry.enable ();
+        Trace.reset ();
+        let svc = Service.create ~jobs:2 () in
+        let server = Server.start svc in
+        let r =
+          Loadgen.run ~conns:2 ~window:8 ~distinct:12 ~sample_every:4
+            ~host:"127.0.0.1" ~port:(Server.port server) ~n:wire_n ~seed:18 ()
+        in
+        Server.stop server;
+        Service.shutdown svc;
+        Fmt.epr "%a@." Loadgen.pp r;
+        Trace.export_chrome Fmt.stdout
+      end
+      else
+        match id with
+        | None ->
+          Fmt.epr "trace: need an ATTACK-ID (or --wire / --merge)@.";
+          exit 1
+        | Some id -> (
+          match All.find id with
+          | None ->
+            Fmt.epr "unknown attack %s@." id;
+            exit 1
+          | Some a ->
+            Telemetry.enable ();
+            Trace.reset ();
+            (match chaos_seed with
+            | None ->
+              let r = Driver.run ~config a in
+              Fmt.epr "%s under %s: %a@." a.Catalog.id config.Config.name
+                Pna_minicpp.Outcome.pp_status
+                r.Driver.outcome.Pna_minicpp.Outcome.status
+            | Some seed ->
+              let plan = Pna_chaos.Plan.generate ~seed () in
+              let s = Driver.supervise ~config ~plan a in
+              Fmt.epr "%a@." Driver.pp_supervised s);
+            (* the trace goes to stdout so `pna trace l13 > trace.json`
+               loads straight into Perfetto; the verdict above goes to
+               stderr *)
+            Trace.export_chrome Fmt.stdout)
   in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Run one scenario with telemetry on and emit a Chrome Trace Event              JSON file (Perfetto / chrome://tracing) on stdout.")
-    Term.(const run $ id_t $ config_t $ chaos_seed_t)
+       ~doc:"Run one scenario with telemetry on and emit a Chrome Trace Event              JSON file (Perfetto / chrome://tracing) on stdout; or              $(b,--wire) for a traced client+server run, or $(b,--merge) to              combine per-process trace files.")
+    Term.(const run $ id_t $ config_t $ chaos_seed_t $ wire_t $ merge_t
+          $ wire_n_t)
 
 (* ---- stats: registry dump over a sequential sweep ---- *)
 
@@ -765,8 +827,15 @@ let fuzz_cmd =
     Arg.(value & opt int 40 & info [ "minimize-budget" ] ~docv:"N"
            ~doc:"Oracle re-runs the minimizer may spend per divergence.")
   in
-  let run seed n out repros budget =
-    let s = GenFuzz.campaign ~n ~minimize_budget:budget ~seed () in
+  let progress_t =
+    Arg.(value & opt int 0 & info [ "progress" ] ~docv:"N"
+           ~doc:"Print a deterministic progress line to stderr every N              genomes (0 disables). Counts only — two campaigns with the              same seed print identical lines.")
+  in
+  let run seed n out repros budget progress =
+    let s =
+      GenFuzz.campaign ~n ~minimize_budget:budget ~progress_every:progress
+        ~seed ()
+    in
     Fmt.pr "%a@." GenFuzz.pp s;
     List.iter
       (fun (d : GenFuzz.divergence) ->
@@ -796,7 +865,8 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Run a generative fuzz campaign: a seeded genome stream through              the differential oracle, with coverage-filtered corpus              collection, divergence dedup + minimization and static-checker              precision/recall. Exits non-zero on any escaped exception.")
-    Term.(const run $ gen_seed_t $ gen_n_t 1000 $ out_t $ repros_t $ budget_t)
+    Term.(const run $ gen_seed_t $ gen_n_t 1000 $ out_t $ repros_t $ budget_t
+          $ progress_t)
 
 let corpus_cmd =
   let path_t =
@@ -863,10 +933,6 @@ let all_cmd =
 
 (* ---- net: the TCP front end (serve-tcp / loadgen / compact / netgate) ---- *)
 
-module Server = Pna_net.Server
-module Loadgen = Pna_net.Loadgen
-module Memolog = Pna_net.Memolog
-
 let host_t =
   Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
          ~doc:"Address to bind or connect to.")
@@ -892,8 +958,13 @@ let serve_tcp_cmd =
     Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"PATH"
            ~doc:"Load a generated corpus and register its scenarios, so              requests can target gen-XXXXXXXX ids alongside the paper              catalogue.")
   in
-  let run jobs host port max_inflight memo_log max_steps_cap corpus metrics =
-    if metrics then Telemetry.enable ();
+  let trace_out_t =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"PATH"
+           ~doc:"With $(b,--metrics): write the server-side Chrome trace here              on drain, for merging with a client trace via              $(b,pna trace --merge).")
+  in
+  let run jobs host port max_inflight memo_log max_steps_cap corpus metrics
+      trace_out =
+    if metrics || trace_out <> None then Telemetry.enable ();
     Option.iter
       (fun p ->
         let gs = load_corpus p in
@@ -914,8 +985,12 @@ let serve_tcp_cmd =
       (match memo_log with
       | None -> ""
       | Some p ->
-        Fmt.str ", memo log %s: %d entries recovered, %d torn bytes dropped" p
-          (Server.recovered server) (Server.torn_bytes server));
+        Fmt.str
+          ", memo log %s: %d entries recovered, %d torn bytes dropped, %d \
+           duplicate(s) a compaction would drop"
+          p
+          (Server.recovered server) (Server.torn_bytes server)
+          (Server.dup_entries server));
     let stop = ref false in
     let handler = Sys.Signal_handle (fun _ -> stop := true) in
     Sys.set_signal Sys.sigint handler;
@@ -927,13 +1002,21 @@ let serve_tcp_cmd =
     Server.stop server;
     Fmt.pr "%a@." Metrics.pp_prometheus (Server.registry server);
     Fmt.pr "%a@." Service.pp_stats (Service.stats svc);
+    Option.iter
+      (fun path ->
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> Trace.export_chrome (Format.formatter_of_out_channel oc));
+        Fmt.pr "pna: wrote server trace to %s@." path)
+      trace_out;
     Service.shutdown svc
   in
   Cmd.v
     (Cmd.info "serve-tcp"
        ~doc:"Serve the scenario service over TCP: length-prefixed CRC-framed              requests, bounded admission with shed replies, graceful drain on              SIGINT/SIGTERM, optional crash-safe on-disk memo log.")
     Term.(const run $ jobs_t $ host_t $ port_t $ inflight_t $ memo_log_t
-          $ steps_cap_t $ corpus_t $ metrics_t)
+          $ steps_cap_t $ corpus_t $ metrics_t $ trace_out_t)
 
 let loadgen_cmd =
   let port_t =
@@ -964,21 +1047,122 @@ let loadgen_cmd =
     Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"PATH"
            ~doc:"Draw the request mix from a generated corpus's genome ids              instead of the paper catalogue. The server must have been              started with the same $(b,--corpus) file.")
   in
-  let run host port n conns window chaos seed corpus =
+  let sample_t =
+    Arg.(value & opt int 0 & info [ "sample" ] ~docv:"N"
+           ~doc:"Wire-trace every Nth request (0 disables): the request              carries a trace context, the server links its spans under              ours, and the client-side trace is exported for merging              with the server's.")
+  in
+  let trace_out_t =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"PATH"
+           ~doc:"Write the client-side Chrome trace here after the run              (merge with the server's via $(b,pna trace --merge)).")
+  in
+  let run host port n conns window chaos seed corpus sample trace_out =
     let targets =
       Option.map
         (fun p -> List.map (fun g -> Genome.id g) (load_corpus p))
         corpus
     in
-    let r = Loadgen.run ?targets ~conns ~window ~chaos ~host ~port ~n ~seed () in
+    if sample > 0 then Telemetry.enable ();
+    let r =
+      Loadgen.run ?targets ~conns ~window ~chaos ~sample_every:sample ~host
+        ~port ~n ~seed ()
+    in
     Fmt.pr "%a@." Loadgen.pp r;
+    Option.iter
+      (fun path ->
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> Trace.export_chrome (Format.formatter_of_out_channel oc));
+        Fmt.epr "wrote client trace to %s@." path)
+      trace_out;
     if r.Loadgen.lg_hung > 0 || r.Loadgen.lg_sig_conflicts > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:"Drive a serve-tcp server with a deterministic pipelined request              mix — over the paper catalogue or a generated corpus — and              report latency percentiles; exits non-zero on hung requests or              divergent replies.")
     Term.(const run $ host_t $ port_t $ n_t $ conns_t $ window_t $ chaos_t
-          $ seed_t $ corpus_t)
+          $ seed_t $ corpus_t $ sample_t $ trace_out_t)
+
+(* ---- forensics: flight-recorder bundle + timeline reconstruction ---- *)
+
+let forensics_cmd =
+  let id_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTACK-ID")
+  in
+  let out_t =
+    Arg.(value & opt string "pna-forensics" & info [ "o"; "out" ] ~docv:"DIR"
+           ~doc:"Directory to write the forensic bundle under (one              subdirectory per scenario/config pair).")
+  in
+  let run id config out =
+    match All.find id with
+    | None ->
+      Fmt.epr "unknown attack %s@." id;
+      exit 1
+    | Some a ->
+      let r, _session, bundle = Driver.run_forensic ~config ~dir:out a in
+      Fmt.pr "%a@." Flight.report bundle;
+      Fmt.pr "bundle: %s@." bundle;
+      ignore r
+  in
+  Cmd.v
+    (Cmd.info "forensics"
+       ~doc:"Run one scenario fully instrumented — PNASan oracle, Vmem write              trace, flight-recorder session — dump the forensic bundle              (timeline, events, writes, trace, shadow excerpt, verdict) and              print the reconstructed attack timeline.")
+    Term.(const run $ id_t $ config_t $ out_t)
+
+(* ---- top: poll a server's metrics over the wire ---- *)
+
+let top_cmd =
+  let port_t =
+    Arg.(required & opt (some int) None & info [ "p"; "port" ] ~docv:"PORT"
+           ~doc:"Server port to poll.")
+  in
+  let polls_t =
+    Arg.(value & opt int 1 & info [ "n"; "polls" ] ~docv:"N"
+           ~doc:"How many snapshots to take.")
+  in
+  let interval_t =
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECONDS"
+           ~doc:"Delay between snapshots.")
+  in
+  let run host port polls interval =
+    match Client.connect ~host ~port () with
+    | Error f ->
+      Fmt.epr "top: %s@." (Client.failure_label f);
+      exit 1
+    | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          for i = 1 to polls do
+            match Client.stats c i with
+            | Ok payload ->
+              if polls > 1 then Fmt.pr "-- poll %d/%d --@." i polls;
+              Fmt.pr "%s@?" payload;
+              if i < polls then Unix.sleepf interval
+            | Error f ->
+              Fmt.epr "top: %s@." (Client.failure_label f);
+              exit 1
+          done)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Poll a serve-tcp server's Prometheus snapshot over the wire              (Stats frames) — server and service-pool registries, no HTTP              endpoint needed.")
+    Term.(const run $ host_t $ port_t $ polls_t $ interval_t)
+
+(* ---- tracegate: E18 ---- *)
+
+let tracegate_cmd =
+  let requests_t =
+    Arg.(value & opt int 96 & info [ "n"; "requests" ] ~docv:"N"
+           ~doc:"Requests for the traced wire phase.")
+  in
+  let run requests =
+    report E.pp_e18 (E.e18 ~requests ()) E.e18_ok
+  in
+  Cmd.v
+    (Cmd.info "tracegate"
+       ~doc:"E18: the observability gate — sampled wire traces merge into              connected span trees with zero orphans and zero ring drops,              every catalogue attack's forensic bundle names the same first              corrupting access as the live PNASan verdict, v1 frames still              decode, and disabled telemetry stays within 5%.")
+    Term.(const run $ requests_t)
 
 let compact_cmd =
   let path_t =
@@ -1155,6 +1339,9 @@ let () =
             loadgen_cmd;
             compact_cmd;
             netgate_cmd;
+            forensics_cmd;
+            top_cmd;
+            tracegate_cmd;
             harden_cmd;
             all_cmd;
           ]))

@@ -8,6 +8,7 @@ module Outcome = Pna_minicpp.Outcome
 module Vmem = Pna_vmem.Vmem
 module Trace = Pna_telemetry.Trace
 module San = Pna_sanitizer.Sanitizer
+module Flight = Pna_flight.Flight
 
 type result = {
   attack : Catalog.t;
@@ -35,18 +36,42 @@ let site_hook san =
        (fun () ->
          Fmt.str "%s: %a" func (Pna_minicpp.Cpp_print.pp_stmt 0) stmt))
 
+(* The always-on black box: with PNA_FLIGHT_DIR set, every sanitized
+   run records into an ambient flight session and a violating, crashed
+   or timed-out run dumps its forensic bundle there automatically. *)
+let flight_dir = Sys.getenv_opt "PNA_FLIGHT_DIR"
+
+let crashed (o : Outcome.t) =
+  match o.Outcome.status with
+  | Outcome.Crashed _ | Outcome.Out_of_memory | Outcome.Timeout _ -> true
+  | _ -> false
+
 (* Judge, run and check on an already-loaded machine. [run] and
    [run_prepared] share this so a rewound machine and a fresh load are
    driven identically — the determinism the service layer relies on.
    The caller is expected to hold a "run" span open; memory-access
-   deltas and the verdict are published into it. *)
-let run_on ?max_steps ?san m (a : Catalog.t) ~config =
+   deltas and the verdict are published into it. [flight] attaches the
+   given flight-recorder session for the duration of the run. *)
+let run_on ?max_steps ?san ?flight m (a : Catalog.t) ~config =
   let mem = Machine.mem m in
   let r0 = Vmem.total_reads mem and w0 = Vmem.total_writes mem in
   let f0 = Vmem.total_faults mem in
   let ints, strings = a.Catalog.mk_input m in
   Machine.set_input ~ints ~strings m;
-  let on_stmt =
+  let auto, fl =
+    match (flight, san, flight_dir) with
+    | Some fl, _, _ -> (false, Some fl)
+    | None, Some _, Some _ ->
+      ( true,
+        Some
+          (Flight.start ~scenario:a.Catalog.id
+             ~config:config.Config.name) )
+    | _ -> (false, None)
+  in
+  (match (fl, san) with
+  | Some fl, Some s -> Flight.attach fl s
+  | _ -> ());
+  let site =
     Option.map
       (fun s ->
         San.set_scenario s a.Catalog.id;
@@ -54,12 +79,29 @@ let run_on ?max_steps ?san m (a : Catalog.t) ~config =
         site_hook s)
       san
   in
+  let on_stmt =
+    match (site, fl) with
+    | None, None -> None
+    | _ ->
+      Some
+        (fun func stmt ->
+          Option.iter Flight.tick fl;
+          match site with Some h -> h func stmt | None -> ())
+  in
   let outcome =
     Interp.run ?max_steps ?on_stmt m a.Catalog.program ~entry:a.Catalog.entry
   in
   (* The oracle stops recording before the verdict: checks legitimately
      inspect freed blocks and stale tails to prove corruption. *)
   Option.iter San.seal san;
+  (match (auto, fl, flight_dir) with
+  | true, Some fl, Some dir
+    when Flight.first_violation fl <> None || crashed outcome ->
+    ignore
+      (Flight.dump ~dir ~machine:m ?san
+         ~status:(Fmt.str "%a" Outcome.pp_status outcome.Outcome.status)
+         fl)
+  | _ -> ());
   let verdict =
     Trace.with_span ~cat:"driver" "verdict" @@ fun () -> a.Catalog.check m outcome
   in
@@ -107,6 +149,26 @@ let run ?(config = Config.none) ?max_steps ?(sanitize = env_sanitize)
   let m = Interp.load ~config a.Catalog.program in
   let san = if sanitize then Some (oracle m ~scenario:a.Catalog.id) else None in
   run_on ?max_steps ?san m a ~config
+
+(* A fully instrumented forensic run: sanitizer attached, Vmem write
+   trace armed (so the bundle can name the writes that produced the
+   corrupting bytes), a dedicated flight session, and the bundle dumped
+   under [dir] whatever the outcome. *)
+let run_forensic ?(config = Config.none) ?max_steps ~dir (a : Catalog.t) =
+  run_span ~image:"fresh-load" a ~config @@ fun () ->
+  let m = Interp.load ~config a.Catalog.program in
+  let san = oracle m ~scenario:a.Catalog.id in
+  Vmem.enable_trace (Machine.mem m);
+  let fl =
+    Flight.start ~scenario:a.Catalog.id ~config:config.Config.name
+  in
+  let r = run_on ?max_steps ~san ~flight:fl m a ~config in
+  let bundle =
+    Flight.dump ~dir ~machine:m ~san
+      ~status:(Fmt.str "%a" Outcome.pp_status r.outcome.Outcome.status)
+      fl
+  in
+  (r, fl, bundle)
 
 (* Run the §5.1 hardened variant of [a] under the same attacker input. The
    hardened program is judged safe when it terminates normally and no

@@ -22,6 +22,13 @@ val env_sanitize : bool
     [?sanitize] flag here and the one serving layers should share, so a
     pooled run and a sequential run of the same job sanitize alike. *)
 
+val flight_dir : string option
+(** The [PNA_FLIGHT_DIR] environment variable at process start. When
+    set, every sanitized run records into an ambient
+    {!Pna_flight.Flight} session and any violating, crashed or
+    timed-out run dumps its forensic bundle under that directory
+    automatically — the always-on black box. *)
+
 val run : ?config:Config.t -> ?max_steps:int -> ?sanitize:bool -> Catalog.t -> result
 (** Load, compute attacker input against the image, run, judge.
     [max_steps] bounds the interpreter budget — the same deadline knob
@@ -33,6 +40,18 @@ val run : ?config:Config.t -> ?max_steps:int -> ?sanitize:bool -> Catalog.t -> r
     halting execution, so the verdict is unchanged) and returned in
     [violations], sealed before the verdict check so attack checks can
     inspect freed and stale memory freely. *)
+
+val run_forensic :
+  ?config:Config.t ->
+  ?max_steps:int ->
+  dir:string ->
+  Catalog.t ->
+  result * Pna_flight.Flight.session * string
+(** A fully instrumented forensic run: the PNASan oracle attached, the
+    Vmem write trace armed (so the bundle names the writes that produced
+    the corrupting bytes), and a dedicated flight-recorder session.
+    The bundle is dumped under [dir] whatever the outcome; the returned
+    string is the bundle directory. *)
 
 val run_hardened :
   ?config:Config.t ->

@@ -10,6 +10,8 @@
 
 module R = Pna_rand.Rand
 module Finding = Pna_analysis.Finding
+module Metrics = Pna_telemetry.Metrics
+module Clock = Pna_telemetry.Clock
 
 (* -- static-checker scoring ------------------------------------------- *)
 
@@ -79,8 +81,29 @@ let union_recall s =
   if s.f_union_tp + s.f_union_fn = 0 then 1.0
   else float_of_int s.f_union_tp /. float_of_int (s.f_union_tp + s.f_union_fn)
 
-let campaign ?(n = 1000) ?(minimize_budget = 40) ?max_steps ~seed () =
+(* Live campaign instruments in the process-wide registry, so a scrape
+   (or `pna top` against a serving process) sees fuzz progress without
+   touching the deterministic result. Lazy: a process that never fuzzes
+   registers nothing. *)
+let m_genomes =
+  lazy (Metrics.counter Metrics.default "pna_fuzz_genomes_total")
+
+let m_kept = lazy (Metrics.counter Metrics.default "pna_fuzz_kept_total")
+
+let m_frontier =
+  lazy (Metrics.gauge Metrics.default "pna_fuzz_frontier_features")
+
+let m_rate = lazy (Metrics.gauge Metrics.default "pna_fuzz_genomes_per_s")
+
+let m_divergence kind =
+  Metrics.counter
+    ~labels:[ ("class", Oracle.dkind_label kind) ]
+    Metrics.default "pna_fuzz_divergences_total"
+
+let campaign ?(n = 1000) ?(minimize_budget = 40) ?max_steps
+    ?(progress_every = 0) ~seed () =
   let rng = R.create (seed lxor 0x9e47f3) in
+  let t0 = Clock.now_ns () in
   let seen_ids : (string, unit) Hashtbl.t = Hashtbl.create (2 * n) in
   let seen_features : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
   let divmap : (string, divergence) Hashtbl.t = Hashtbl.create 64 in
@@ -101,8 +124,22 @@ let campaign ?(n = 1000) ?(minimize_budget = 40) ?max_steps ~seed () =
   and oversize = ref 0
   and escaped = ref 0 in
   let utp = ref 0 and ufp = ref 0 and ufn = ref 0 and utn = ref 0 in
-  for _ = 1 to n do
+  (* Progress is a pure function of seed-deterministic counters — no
+     timestamps — so two campaigns with the same seed print identical
+     lines (and E17 runs with it off either way). *)
+  let progress attempted =
+    Metrics.set (Lazy.force m_rate)
+      (float_of_int attempted
+      /. Float.max 1e-9 (Clock.elapsed_s ~a:t0 ~b:(Clock.now_ns ())));
+    if progress_every > 0 && attempted mod progress_every = 0 then
+      Fmt.epr "fuzz: %d/%d genomes  %d kept  frontier %d  %d divergence(s)@."
+        attempted n !kept
+        (Hashtbl.length seen_features)
+        (Hashtbl.length divmap)
+  in
+  for i = 1 to n do
     let g = Genome.generate rng in
+    Metrics.incr (Lazy.force m_genomes);
     let id = Genome.id g in
     if Hashtbl.mem seen_ids id then incr duplicates
     else begin
@@ -138,11 +175,15 @@ let campaign ?(n = 1000) ?(minimize_budget = 40) ?max_steps ~seed () =
       if novel then begin
         List.iter (fun f -> Hashtbl.replace seen_features f ()) rep.Oracle.o_features;
         incr kept;
+        Metrics.incr (Lazy.force m_kept);
+        Metrics.set (Lazy.force m_frontier)
+          (float_of_int (Hashtbl.length seen_features));
         corpus := g :: !corpus
       end;
       (* dedup + minimize divergences *)
       List.iter
         (fun (d : Oracle.divergence) ->
+          Metrics.incr (m_divergence d.Oracle.d_kind);
           match Hashtbl.find_opt divmap d.Oracle.d_fingerprint with
           | Some c ->
             Hashtbl.replace divmap d.Oracle.d_fingerprint
@@ -168,7 +209,8 @@ let campaign ?(n = 1000) ?(minimize_budget = 40) ?max_steps ~seed () =
               };
             div_order := d.Oracle.d_fingerprint :: !div_order)
         rep.Oracle.o_divergences
-    end
+    end;
+    progress i
   done;
   {
     f_seed = seed;

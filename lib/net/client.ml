@@ -11,6 +11,7 @@
 
 module Chaos = Pna_chaos.Chaos
 module Metrics = Pna_telemetry.Metrics
+module Trace = Pna_telemetry.Trace
 
 (** Transport failures, classified for the retry loop. [Retryable]: the
     request may have been lost in flight and the service is memoized and
@@ -148,6 +149,13 @@ let recv_msg t =
    a different correlation id (left over from a pipelined predecessor)
    are skipped, as are Pongs. *)
 let request t (rq : Frame.req) =
+  (* inside an ambient trace and not explicitly traced already: stamp
+     the wire context so the server's spans link under the caller's *)
+  let rq =
+    match (rq.Frame.rq_trace, Trace.wire_ctx ()) with
+    | None, Some wire -> { rq with Frame.rq_trace = Some wire }
+    | _ -> rq
+  in
   match send_msg t (Frame.Request rq) with
   | Error _ as e -> e
   | Ok () ->
@@ -177,6 +185,19 @@ let ping t nonce =
       match recv_msg t with
       | Error _ as e -> e
       | Ok (Frame.Pong n) when n = nonce -> Ok ()
+      | Ok _ -> await ()
+    in
+    await ())
+
+let stats t nonce =
+  match send_msg t (Frame.Stats_req nonce) with
+  | Error _ as e -> e
+  | Ok () -> (
+    let rec await () =
+      match recv_msg t with
+      | Error _ as e -> e
+      | Ok (Frame.Stats_rep { st_nonce; st_payload }) when st_nonce = nonce ->
+        Ok st_payload
       | Ok _ -> await ()
     in
     await ())

@@ -32,9 +32,20 @@ val connect :
 val request : t -> Frame.req -> (response, failure) result
 (** One request/reply exchange; a receive timeout, peer close or
     injected reset comes back [Retryable], a protocol breakdown
-    [Terminal]. Never raises, never blocks past the timeout. *)
+    [Terminal]. Never raises, never blocks past the timeout.
+
+    When the caller runs inside an ambient trace
+    ({!Pna_telemetry.Trace.with_ctx}) and [rq_trace] is unset, the
+    request is stamped with the wire context so the server's spans link
+    under the caller's — distributed tracing without the call site
+    knowing about it. *)
 
 val ping : t -> int -> (unit, failure) result
+
+val stats : t -> int -> (string, failure) result
+(** Poll the server's metrics snapshot over the wire ([Stats_req]/
+    [Stats_rep]): the Prometheus text exposition of its registry plus
+    the service pool's, correlated by the nonce. *)
 
 val send_msg : t -> Frame.msg -> (unit, failure) result
 val recv_msg : t -> (Frame.msg, failure) result

@@ -22,6 +22,13 @@
 
 let magic = 0x31414e50 (* "PNA1" *)
 let version = 1
+
+(* Version 2 adds an optional trace context on requests (flags bit 8,
+   two u64s) and the Stats frame pair (kinds 7/8). A frame is stamped
+   v2 only when it actually uses a v2 feature, so untraced traffic is
+   byte-identical to v1 and old decoders keep working. v2-aware
+   decoders accept both. *)
+let trace_version = 2
 let header_len = 16
 let max_payload = 65_536
 
@@ -35,6 +42,9 @@ type req = {
   rq_chaos_seed : int option;  (** run supervised under this plan seed *)
   rq_max_steps : int option;  (** deadline in interpreter steps *)
   rq_sanitize : bool;
+  rq_trace : (int * int) option;
+      (** (trace id, parent span id) — links the server's spans under
+          the caller's trace; [None] encodes as a version-1 frame *)
 }
 
 type rep = {
@@ -59,6 +69,10 @@ type msg =
           to carry one *)
   | Ping of int
   | Pong of int
+  | Stats_req of int
+      (** nonce echoed in the reply; asks for a Prometheus snapshot *)
+  | Stats_rep of { st_nonce : int; st_payload : string }
+      (** Prometheus text exposition, truncated to {!max_str} bytes *)
 
 type error =
   | Bad_magic of int
@@ -164,6 +178,15 @@ let kind_of = function
   | Reply_error _ -> 4
   | Ping _ -> 5
   | Pong _ -> 6
+  | Stats_req _ -> 7
+  | Stats_rep _ -> 8
+
+(* The version stamped on the wire: v1 unless the message uses a v2
+   feature, so untraced frames stay byte-identical to the old format. *)
+let version_of = function
+  | Request { rq_trace = Some _; _ } | Stats_req _ | Stats_rep _ ->
+    trace_version
+  | _ -> version
 
 let payload_of b = function
   | Request r ->
@@ -173,11 +196,17 @@ let payload_of b = function
     let flags =
       (if r.rq_chaos_seed <> None then 1 else 0)
       lor (if r.rq_max_steps <> None then 2 else 0)
-      lor if r.rq_sanitize then 4 else 0
+      lor (if r.rq_sanitize then 4 else 0)
+      lor if r.rq_trace <> None then 8 else 0
     in
     add_u8 b flags;
     Option.iter (add_u32 b) r.rq_chaos_seed;
-    Option.iter (add_u32 b) r.rq_max_steps
+    Option.iter (add_u32 b) r.rq_max_steps;
+    Option.iter
+      (fun (tid, parent) ->
+        add_u64 b tid;
+        add_u64 b parent)
+      r.rq_trace
   | Reply_ok r ->
     add_u32 b r.rp_corr;
     add_str b r.rp_id;
@@ -200,6 +229,10 @@ let payload_of b = function
     add_u32 b e.er_corr;
     add_str b e.er_message
   | Ping n | Pong n -> add_u32 b n
+  | Stats_req nonce -> add_u32 b nonce
+  | Stats_rep s ->
+    add_u32 b s.st_nonce;
+    add_str b s.st_payload
 
 let parse_payload kind c =
   match kind with
@@ -214,6 +247,14 @@ let parse_payload kind c =
     let rq_max_steps =
       if flags land 2 <> 0 then Some (get_u32 c "max steps") else None
     in
+    let rq_sanitize = flags land 4 <> 0 in
+    let rq_trace =
+      if flags land 8 <> 0 then
+        let tid = get_u64 c "trace id" in
+        let parent = get_u64 c "parent span" in
+        Some (tid, parent)
+      else None
+    in
     Request
       {
         rq_corr;
@@ -221,7 +262,8 @@ let parse_payload kind c =
         rq_config;
         rq_chaos_seed;
         rq_max_steps;
-        rq_sanitize = flags land 4 <> 0;
+        rq_sanitize;
+        rq_trace;
       }
   | 2 ->
     let rp_corr = get_u32 c "corr" in
@@ -258,6 +300,11 @@ let parse_payload kind c =
     Reply_error { er_corr; er_message }
   | 5 -> Ping (get_u32 c "nonce")
   | 6 -> Pong (get_u32 c "nonce")
+  | 7 -> Stats_req (get_u32 c "nonce")
+  | 8 ->
+    let st_nonce = get_u32 c "nonce" in
+    let st_payload = get_str c "stats payload" in
+    Stats_rep { st_nonce; st_payload }
   | _ -> assert false (* kind is validated before the payload parse *)
 
 (* -- frame encode / decode ------------------------------------------ *)
@@ -271,7 +318,7 @@ let encode msg =
       (String.length payload) max_payload;
   let h = Buffer.create (header_len + String.length payload) in
   add_u32 h magic;
-  add_u8 h version;
+  add_u8 h (version_of msg);
   add_u8 h (kind_of msg);
   add_u16 h 0;
   add_u32 h (String.length payload);
@@ -296,10 +343,10 @@ let decode ?(off = 0) buf =
     if m <> magic then Fail (Bad_magic m)
     else
       let v = Char.code buf.[off + 4] in
-      if v <> version then Fail (Bad_version v)
+      if v < version || v > trace_version then Fail (Bad_version v)
       else
         let kind = Char.code buf.[off + 5] in
-        if kind < 1 || kind > 6 then Fail (Bad_kind kind)
+        if kind < 1 || kind > 8 then Fail (Bad_kind kind)
         else
           let plen = rd32 buf (off + 8) in
           if plen < 0 || plen > max_payload then Fail (Oversize plen)

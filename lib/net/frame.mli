@@ -21,8 +21,17 @@
 
 val magic : int
 val version : int
+
+val trace_version : int
+(** Version 2: adds an optional trace context on requests (flags bit 8)
+    and the {!msg.Stats_req}/{!msg.Stats_rep} frame pair. Frames that
+    use neither are stamped {!version} and stay byte-identical to the
+    v1 wire format, so old decoders keep working; v2-aware decoders
+    accept both versions. *)
+
 val header_len : int
 val max_payload : int
+val max_str : int
 
 type req = {
   rq_corr : int;  (** u32 correlation id, echoed in the reply *)
@@ -31,6 +40,9 @@ type req = {
   rq_chaos_seed : int option;  (** run supervised under this plan seed *)
   rq_max_steps : int option;  (** deadline in interpreter steps *)
   rq_sanitize : bool;
+  rq_trace : (int * int) option;
+      (** (trace id, parent span id) — links the server's spans under
+          the caller's trace; [None] encodes as a version-1 frame *)
 }
 
 type rep = {
@@ -55,6 +67,10 @@ type msg =
           enough to carry one *)
   | Ping of int
   | Pong of int
+  | Stats_req of int
+      (** nonce echoed in the reply; asks for a Prometheus snapshot *)
+  | Stats_rep of { st_nonce : int; st_payload : string }
+      (** Prometheus text exposition, truncated to {!max_str} bytes *)
 
 type error =
   | Bad_magic of int

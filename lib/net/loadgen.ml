@@ -20,6 +20,8 @@ module Catalog = Pna_attacks.Catalog
 module All = Pna_attacks.All
 module Config = Pna_defense.Config
 module Clock = Pna_telemetry.Clock
+module Trace = Pna_telemetry.Trace
+module Switch = Pna_telemetry.Switch
 
 type spec = {
   s_attack : string;
@@ -68,7 +70,7 @@ let specs ?(distinct = 48) ?(chaos_every = 6) ?(max_steps = default_max_steps)
         s_max_steps = Some max_steps;
       })
 
-let req_of_spec ~corr s =
+let req_of_spec ?trace ~corr s =
   {
     Frame.rq_corr = corr land 0xffffffff;
     rq_attack = s.s_attack;
@@ -76,6 +78,7 @@ let req_of_spec ~corr s =
     rq_chaos_seed = s.s_chaos_seed;
     rq_max_steps = s.s_max_steps;
     rq_sanitize = false;
+    rq_trace = trace;
   }
 
 let signature (r : Frame.rep) =
@@ -102,6 +105,9 @@ type result = {
   lg_sig_conflicts : int;
       (** same spec answered with different signatures — the gate
           requires 0 *)
+  lg_traced : int;
+      (** sampled requests that carried a wire trace context and came
+          back served — each contributes one client root span *)
 }
 
 let pp ppf r =
@@ -109,7 +115,7 @@ let pp ppf r =
     "@[<v>%d requests over %d conns in %.2fs (%.0f/s)@,\
      served %d  shed %d (retried %d)  rejected %d  hung %d  reconnects %d@,\
      latency us: p50 %.0f  p99 %.0f  mean %.0f@,\
-     %d distinct specs sampled, %d signature conflicts@]"
+     %d distinct specs sampled, %d signature conflicts%a@]"
     r.lg_n r.lg_conns r.lg_seconds
     (float_of_int r.lg_n /. Float.max 1e-9 r.lg_seconds)
     r.lg_served r.lg_shed_final r.lg_shed_retried
@@ -117,6 +123,8 @@ let pp ppf r =
     r.lg_hung r.lg_reconnects r.lg_p50_us r.lg_p99_us r.lg_mean_us
     (List.length r.lg_samples)
     r.lg_sig_conflicts
+    (fun ppf n -> if n > 0 then Fmt.pf ppf "@,%d requests wire-traced" n)
+    r.lg_traced
 
 (* -- per-domain worker ---------------------------------------------- *)
 
@@ -126,6 +134,9 @@ type outstanding = {
   mutable o_t0 : int64;  (** latency clock, restarted on re-send *)
   mutable o_sheds : int;
   mutable o_strikes : int;  (** transport failures seen by this request *)
+  o_trace : (int * int) option;
+      (** sampled: (trace id, client root span id) sent on the wire so
+          the server parents its request span under ours *)
 }
 
 type acc = {
@@ -139,6 +150,7 @@ type acc = {
   mutable a_lat_n : int;
   a_samples : (string, string) Hashtbl.t;
   mutable a_conflicts : int;
+  mutable a_traced : int;
 }
 
 let mk_acc () =
@@ -153,6 +165,7 @@ let mk_acc () =
     a_lat_n = 0;
     a_samples = Hashtbl.create 64;
     a_conflicts = 0;
+    a_traced = 0;
   }
 
 let push_lat acc v =
@@ -192,7 +205,7 @@ let max_strikes = 5
    so the next loop turn reconnects — a dead socket can never spin with
    an empty window. *)
 let worker ~host ~port ~timeout_s ~window ~retry_shed ~chaos ~seed
-    ~(specs : spec array) ~indices () =
+    ~sample_every ~(specs : spec array) ~indices () =
   let acc = mk_acc () in
   let eng_seed = ref (1000 * (seed + 1)) in
   let fresh_chaos () =
@@ -236,6 +249,14 @@ let worker ~host ~port ~timeout_s ~window ~retry_shed ~chaos ~seed
     if Queue.length resend > 0 then Some (Queue.pop resend)
     else if Queue.length todo > 0 then begin
       let i = Queue.pop todo in
+      (* every [sample_every]-th request gets its own wire trace: a
+         fresh trace id plus the client root span the server will
+         parent its request span under *)
+      let trace =
+        if sample_every > 0 && i mod sample_every = 0 && Switch.enabled ()
+        then Some (Trace.next_span_id (), Trace.next_span_id ())
+        else None
+      in
       Some
         {
           o_idx = i;
@@ -243,6 +264,7 @@ let worker ~host ~port ~timeout_s ~window ~retry_shed ~chaos ~seed
           o_t0 = Clock.now_ns ();
           o_sheds = 0;
           o_strikes = 0;
+          o_trace = trace;
         }
     end
     else None
@@ -250,7 +272,10 @@ let worker ~host ~port ~timeout_s ~window ~retry_shed ~chaos ~seed
   let send_one c o =
     incr corr;
     o.o_t0 <- Clock.now_ns ();
-    match Client.send_msg c (Frame.Request (req_of_spec ~corr:!corr o.o_spec)) with
+    match
+      Client.send_msg c
+        (Frame.Request (req_of_spec ?trace:o.o_trace ~corr:!corr o.o_spec))
+    with
     | Ok () ->
       Hashtbl.replace live !corr o;
       true
@@ -296,7 +321,20 @@ let worker ~host ~port ~timeout_s ~window ~retry_shed ~chaos ~seed
       | Some o ->
         incr resolved;
         acc.a_served <- acc.a_served + 1;
-        push_lat acc (Clock.elapsed_us ~a:o.o_t0 ~b:(Clock.now_ns ()));
+        let now = Clock.now_ns () in
+        push_lat acc (Clock.elapsed_us ~a:o.o_t0 ~b:now);
+        (match o.o_trace with
+        | Some (tid, root) ->
+          (* the client root span, emitted retroactively over the
+             request's last send-to-reply extent *)
+          acc.a_traced <- acc.a_traced + 1;
+          Trace.emit ~cat:"net" ~name:"client-request"
+            ~ts_us:(Trace.us_of_ns o.o_t0)
+            ~dur_us:(Clock.elapsed_us ~a:o.o_t0 ~b:now)
+            ~trace:(tid, root, 0)
+            ~args:[ ("target", Trace.Str o.o_spec.s_attack) ]
+            ()
+        | None -> ());
         record_sample acc (spec_key o.o_spec) (signature rep))
     | Frame.Reply_shed { sh_corr; sh_retry_after_ms } -> (
       match pop sh_corr with
@@ -321,7 +359,9 @@ let worker ~host ~port ~timeout_s ~window ~retry_shed ~chaos ~seed
         (* corr=0 or unknown: the server is tearing this connection down;
            the in-flight window will resurface via reconnect *)
         ())
-    | Frame.Request _ | Frame.Ping _ | Frame.Pong _ -> ()
+    | Frame.Request _ | Frame.Ping _ | Frame.Pong _ | Frame.Stats_req _
+    | Frame.Stats_rep _ ->
+      ()
   in
   let progress () =
     Queue.length todo > 0 || Queue.length resend > 0 || Hashtbl.length live > 0
@@ -365,8 +405,8 @@ let percentile sorted p =
   else sorted.(min (n - 1) (int_of_float (Float.of_int n *. p)))
 
 let run ?(conns = 4) ?(window = 32) ?(retry_shed = 3) ?(chaos = false)
-    ?(timeout_s = 10.) ?max_steps ?(distinct = 48) ?targets ~host ~port ~n
-    ~seed () =
+    ?(timeout_s = 10.) ?max_steps ?(distinct = 48) ?(sample_every = 0) ?targets
+    ~host ~port ~n ~seed () =
   let specs = specs ~distinct ?max_steps ?targets ~seed () in
   let conns = max 1 (min conns n) in
   let indices =
@@ -379,7 +419,7 @@ let run ?(conns = 4) ?(window = 32) ?(retry_shed = 3) ?(chaos = false)
       (fun d idx ->
         Domain.spawn
           (worker ~host ~port ~timeout_s ~window ~retry_shed ~chaos
-             ~seed:((seed * 131) + d) ~specs ~indices:idx))
+             ~seed:((seed * 131) + d) ~sample_every ~specs ~indices:idx))
       indices
   in
   let accs = List.map Domain.join domains in
@@ -427,4 +467,5 @@ let run ?(conns = 4) ?(window = 32) ?(retry_shed = 3) ?(chaos = false)
     lg_samples =
       Hashtbl.fold (fun k s l -> (k, s) :: l) samples [] |> List.sort compare;
     lg_sig_conflicts = !conflicts;
+    lg_traced = total (fun a -> a.a_traced);
   }

@@ -26,7 +26,10 @@ module Service = Pna_service.Service
 module Pool = Pna_service.Pool
 module Metrics = Pna_telemetry.Metrics
 module Trace = Pna_telemetry.Trace
+module Switch = Pna_telemetry.Switch
 module Clock = Pna_telemetry.Clock
+module Jsonx = Pna_telemetry.Jsonx
+module Flight = Pna_flight.Flight
 module Catalog = Pna_attacks.Catalog
 module All = Pna_attacks.All
 module Config = Pna_defense.Config
@@ -62,6 +65,10 @@ type pending = {
   p_corr : int;
   p_future : Service.reply Pool.future;
   p_t0 : int64;  (** admission timestamp, monotonic ns *)
+  p_trace : (int * int * int) option;
+      (** (trace id, server span id, client parent span) — set when the
+          request carried a trace context and telemetry is on; the
+          server's request span is emitted retroactively at reply time *)
 }
 
 type conn = {
@@ -73,6 +80,7 @@ type conn = {
   mutable last_activity : float;
   mutable draining : bool;  (** close once pending and out are empty *)
   mutable close_reason : string;
+  opened_us : float;  (** accept time on the trace clock *)
 }
 
 type t = {
@@ -92,9 +100,12 @@ type t = {
   m_request_us : Metrics.histogram;
   m_open_conns : Metrics.gauge;
   m_inflight : Metrics.gauge;
+  m_draining : Metrics.gauge;  (** 1 once a graceful stop began *)
+  m_queued_replies : Metrics.gauge;  (** frames waiting in output queues *)
   log : Memolog.t option;
   recovered : int;  (** memo entries preloaded from the log *)
   torn_bytes : int;
+  dup_entries : int;  (** log entries dropped as duplicates at preload *)
   mutable loop : unit Domain.t option;
 }
 
@@ -102,6 +113,7 @@ let port t = t.srv_port
 let registry t = t.reg
 let recovered t = t.recovered
 let torn_bytes t = t.torn_bytes
+let dup_entries t = t.dup_entries
 
 let wake t =
   (* a full pipe already guarantees a wakeup; a closed one means the
@@ -118,7 +130,35 @@ let proto_counter t cls =
   Metrics.counter t.reg "pna_net_protocol_errors_total"
     ~labels:[ ("class", cls) ]
 
-let enqueue c msg = Queue.add (Frame.encode msg) c.out
+let frame_kind = function
+  | Frame.Request _ -> "request"
+  | Frame.Reply_ok _ -> "ok"
+  | Frame.Reply_shed _ -> "shed"
+  | Frame.Reply_error _ -> "error"
+  | Frame.Ping _ -> "ping"
+  | Frame.Pong _ -> "pong"
+  | Frame.Stats_req _ -> "stats-req"
+  | Frame.Stats_rep _ -> "stats"
+
+let reply_counter t kind =
+  Metrics.counter t.reg "pna_net_replies_total" ~labels:[ ("kind", kind) ]
+
+(* Every outbound frame is counted by kind and noted in the flight
+   recorder's always-on ring — the "last N frames" a forensic bundle
+   replays. *)
+let enqueue t c msg =
+  Metrics.incr (reply_counter t (frame_kind msg));
+  Flight.note ~kind:"frame"
+    [ ("dir", Jsonx.Str "out"); ("frame", Jsonx.Str (frame_kind msg)) ];
+  Queue.add (Frame.encode msg) c.out
+
+(* The wire answer to a Stats_req: this registry plus the service's,
+   rendered as Prometheus text and clamped to one string field. *)
+let stats_payload t =
+  let s =
+    Fmt.str "%a%a" Metrics.pp_prometheus t.reg Service.pp_prometheus t.svc
+  in
+  if String.length s > Frame.max_str then String.sub s 0 Frame.max_str else s
 
 (* [All.find] also sees dynamically registered scenarios (a generated
    corpus loaded at startup), not just the static paper catalogue. *)
@@ -142,13 +182,18 @@ let serve t =
       orphans := List.map (fun p -> p.p_future) c.pending @ !orphans;
       c.pending <- [];
       Metrics.incr (close_counter t reason);
+      (* per-connection lifecycle span: accept to close *)
+      Trace.emit ~cat:"net" ~name:"connection" ~ts_us:c.opened_us
+        ~dur_us:(Trace.now_us () -. c.opened_us)
+        ~args:[ ("close_reason", Trace.Str reason) ]
+        ();
       Metrics.set t.m_open_conns (float_of_int (Hashtbl.length conns))
     end
   in
   let shed c corr =
     Metrics.incr t.m_shed;
     Trace.instant ~cat:"net" "shed" ~args:[ ("corr", Trace.Int corr) ];
-    enqueue c
+    enqueue t c
       (Frame.Reply_shed
          { sh_corr = corr; sh_retry_after_ms = t.cfg.retry_after_ms })
   in
@@ -156,14 +201,14 @@ let serve t =
     Metrics.incr t.m_requests;
     match (find_attack rq.Frame.rq_attack, find_config rq.Frame.rq_config) with
     | None, _ ->
-      enqueue c
+      enqueue t c
         (Frame.Reply_error
            {
              er_corr = rq.Frame.rq_corr;
              er_message = Fmt.str "unknown attack %S" rq.Frame.rq_attack;
            })
     | _, None ->
-      enqueue c
+      enqueue t c
         (Frame.Reply_error
            {
              er_corr = rq.Frame.rq_corr;
@@ -179,17 +224,32 @@ let serve t =
           | Some s when s >= 1 -> min s t.cfg.max_steps_cap
           | _ -> t.cfg.max_steps_cap
         in
+        (* A traced request gets a server-side request span: allocated
+           here so the pool can parent its queue-wait/job spans under
+           it, emitted retroactively when the reply resolves. *)
+        let p_trace =
+          match rq.Frame.rq_trace with
+          | Some (tid, parent) when Switch.enabled () ->
+            Some (tid, Trace.next_span_id (), parent)
+          | _ -> None
+        in
         let job =
           Service.job ?chaos_seed:rq.Frame.rq_chaos_seed ~max_steps
-            ~sanitize:rq.Frame.rq_sanitize ~config attack
+            ~sanitize:rq.Frame.rq_sanitize ~config
+            ?trace:(Option.map (fun (tid, sid, _) -> (tid, sid)) p_trace)
+            attack
         in
+        (* clocked before submission: the queue-wait the pool attributes
+           to this job starts inside [try_submit], and the request span
+           must enclose it *)
+        let p_t0 = Clock.now_ns () in
         match Service.try_submit ~notify:(fun () -> wake t) t.svc job with
         | None -> shed c rq.Frame.rq_corr
         | Some fut ->
           incr inflight;
           Metrics.set t.m_inflight (float_of_int !inflight);
           c.pending <-
-            { p_corr = rq.Frame.rq_corr; p_future = fut; p_t0 = Clock.now_ns () }
+            { p_corr = rq.Frame.rq_corr; p_future = fut; p_t0; p_trace }
             :: c.pending
       end
   in
@@ -200,15 +260,20 @@ let serve t =
       | Frame.Need _ -> continue := false
       | Frame.Msg (msg, used) ->
         c.rbuf <- String.sub c.rbuf used (String.length c.rbuf - used);
+        Flight.note ~kind:"frame"
+          [ ("dir", Jsonx.Str "in"); ("frame", Jsonx.Str (frame_kind msg)) ];
         (match msg with
         | Frame.Request rq -> handle_request c rq
-        | Frame.Ping n -> enqueue c (Frame.Pong n)
+        | Frame.Ping n -> enqueue t c (Frame.Pong n)
+        | Frame.Stats_req n ->
+          enqueue t c
+            (Frame.Stats_rep { st_nonce = n; st_payload = stats_payload t })
         | Frame.Reply_ok _ | Frame.Reply_shed _ | Frame.Reply_error _
-        | Frame.Pong _ ->
+        | Frame.Pong _ | Frame.Stats_rep _ ->
           (* well-formed but nonsensical from a client: answer, then
              hang up — misdirected traffic is not a crash *)
           Metrics.incr (proto_counter t "unexpected-kind");
-          enqueue c
+          enqueue t c
             (Frame.Reply_error
                { er_corr = 0; er_message = "unexpected frame kind" });
           c.draining <- true;
@@ -216,7 +281,7 @@ let serve t =
           continue := false)
       | Frame.Fail e ->
         Metrics.incr (proto_counter t (Frame.error_class e));
-        enqueue c
+        enqueue t c
           (Frame.Reply_error
              { er_corr = 0; er_message = Fmt.str "%a" Frame.pp_error e });
         (* no resync attempt: the stream is poisoned, drop it *)
@@ -235,19 +300,28 @@ let serve t =
         | Some r ->
           decr inflight;
           Metrics.set t.m_inflight (float_of_int !inflight);
+          let dur_us = Clock.elapsed_us ~a:p.p_t0 ~b:(Clock.now_ns ()) in
+          (* the server-side request span, closed at reply time: queue
+             wait + execution + the loop's own polling latency *)
+          (match p.p_trace with
+          | Some (tid, sid, parent) ->
+            Trace.emit ~cat:"net" ~name:"request"
+              ~ts_us:(Trace.us_of_ns p.p_t0) ~dur_us ~trace:(tid, sid, parent)
+              ~args:[ ("corr", Trace.Int p.p_corr) ]
+              ()
+          | None -> ());
           (match r with
           | Ok reply ->
             Metrics.incr t.m_served;
-            Metrics.observe t.m_request_us
-              (Clock.elapsed_us ~a:p.p_t0 ~b:(Clock.now_ns ()));
-            enqueue c
+            Metrics.observe t.m_request_us dur_us;
+            enqueue t c
               (Frame.Reply_ok
                  { (Frame.rep_of_reply reply) with Frame.rp_corr = p.p_corr })
           | Error exn ->
             (* the driver classifies everything it can; an exception here
                is genuinely internal, and still answered *)
             Metrics.incr t.m_internal;
-            enqueue c
+            enqueue t c
               (Frame.Reply_error
                  {
                    er_corr = p.p_corr;
@@ -300,6 +374,7 @@ let serve t =
             last_activity = Unix.gettimeofday ();
             draining = false;
             close_reason = "eof";
+            opened_us = Trace.now_us ();
           };
         Metrics.set t.m_open_conns (float_of_int (Hashtbl.length conns));
         if Hashtbl.length conns >= t.cfg.max_conns then continue := false
@@ -342,6 +417,7 @@ let serve t =
      with Unix.Unix_error _ -> ());
     if Atomic.get t.stop_flag && !drain_deadline = None then begin
       accepting := false;
+      Metrics.set t.m_draining 1.;
       (try Unix.close t.lsock with Unix.Unix_error _ -> ());
       drain_deadline :=
         Some (Unix.gettimeofday () +. t.cfg.drain_timeout_s);
@@ -368,6 +444,9 @@ let serve t =
     (* completions and flushes *)
     Hashtbl.iter (fun _ c -> if c.pending <> [] then poll_pending c) conns;
     Hashtbl.iter (fun _ c -> if not (Queue.is_empty c.out) then flush_out c) conns;
+    Metrics.set t.m_queued_replies
+      (float_of_int
+         (Hashtbl.fold (fun _ c acc -> acc + Queue.length c.out) conns 0));
     let finished =
       Hashtbl.fold
         (fun _ c acc ->
@@ -455,16 +534,30 @@ let start ?(config = default_config) svc =
   let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock pipe_r;
   Unix.set_nonblock pipe_w;
-  let log, recovered, torn_bytes =
+  let log, recovered, torn_bytes, dup_entries =
     match config.memo_log with
-    | None -> (None, 0, 0)
+    | None -> (None, 0, 0, 0)
     | Some path ->
       let o = Memolog.open_log path in
       let loaded = Service.preload_memo svc o.Memolog.entries in
       Service.set_memo_sink svc (Some (Memolog.append o.Memolog.log));
-      (Some o.Memolog.log, loaded, o.Memolog.torn_bytes)
+      ( Some o.Memolog.log,
+        loaded,
+        o.Memolog.torn_bytes,
+        List.length o.Memolog.entries - loaded )
   in
   let reg = Metrics.create () in
+  (* Memo-recovery facts as gauges, so a scrape sees what the startup
+     log line said: entries recovered, bytes truncated at the torn
+     tail, and duplicates a compaction would save. *)
+  if config.memo_log <> None then begin
+    Metrics.set (Metrics.gauge reg "pna_net_memo_recovered_entries")
+      (float_of_int recovered);
+    Metrics.set (Metrics.gauge reg "pna_net_memo_torn_bytes")
+      (float_of_int torn_bytes);
+    Metrics.set (Metrics.gauge reg "pna_net_memo_dup_entries")
+      (float_of_int dup_entries)
+  end;
   let t =
     {
       cfg = config;
@@ -483,9 +576,12 @@ let start ?(config = default_config) svc =
       m_request_us = Metrics.histogram reg "pna_net_request_us";
       m_open_conns = Metrics.gauge reg "pna_net_open_conns";
       m_inflight = Metrics.gauge reg "pna_net_inflight";
+      m_draining = Metrics.gauge reg "pna_net_draining";
+      m_queued_replies = Metrics.gauge reg "pna_net_queued_replies";
       log;
       recovered;
       torn_bytes;
+      dup_entries;
       loop = None;
     }
   in

@@ -42,14 +42,25 @@ val registry : t -> Pna_telemetry.Metrics.registry
     [pna_net_served_total], [pna_net_shed_total],
     [pna_net_internal_errors_total],
     [pna_net_protocol_errors_total{class}],
-    [pna_net_closes_total{reason}]; histogram [pna_net_request_us];
-    gauges [pna_net_open_conns], [pna_net_inflight]. *)
+    [pna_net_closes_total{reason}],
+    [pna_net_replies_total{kind}] (every outbound frame by kind);
+    histogram [pna_net_request_us];
+    gauges [pna_net_open_conns], [pna_net_inflight],
+    [pna_net_draining] (1 once a graceful stop began),
+    [pna_net_queued_replies] (frames waiting in output queues), and —
+    when a memo log is configured — the recovery facts
+    [pna_net_memo_recovered_entries], [pna_net_memo_torn_bytes],
+    [pna_net_memo_dup_entries]. *)
 
 val recovered : t -> int
 (** Memo entries preloaded from the log at startup. *)
 
 val torn_bytes : t -> int
 (** Bytes truncated off the memo log's torn tail at startup. *)
+
+val dup_entries : t -> int
+(** Log entries dropped as duplicates at preload — what a compaction
+    pass would save. *)
 
 val stop : t -> unit
 (** Graceful shutdown: stop accepting, drain in-flight work and output

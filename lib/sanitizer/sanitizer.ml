@@ -52,6 +52,12 @@ type t = {
   mutable recs : violation list;  (* most recent first *)
   mutable n_recs : int;
   mutable total : int;  (* exact violating byte accesses *)
+  mutable on_violation : (violation -> unit) option;
+      (* flight-recorder tap: fires once per new record, never on
+         byte-wise coalescing *)
+  mutable on_transition :
+    (op:string -> addr:int -> len:int -> state -> unit) option;
+      (* shadow-state transition tap (poison/unpoison calls) *)
 }
 
 (* Enough records for any catalogue run; pathological loops keep counting
@@ -150,12 +156,25 @@ let set_range t addr len st ~only_addressable =
         Bytes.set_uint8 sh.sh_states off code
   done
 
-let poison t ~addr ~len st = set_range t addr len st ~only_addressable:false
+let transition t op addr len st =
+  match t.on_transition with
+  | Some f -> f ~op ~addr ~len st
+  | None -> ()
+
+let poison t ~addr ~len st =
+  transition t "poison" addr len st;
+  set_range t addr len st ~only_addressable:false
+
 let poison_addressable t ~addr ~len st =
+  transition t "poison-addressable" addr len st;
   set_range t addr len st ~only_addressable:true
-let unpoison t ~addr ~len = set_range t addr len Addressable ~only_addressable:false
+
+let unpoison t ~addr ~len =
+  transition t "unpoison" addr len Addressable;
+  set_range t addr len Addressable ~only_addressable:false
 
 let unpoison_state t ~addr ~len st =
+  transition t "unpoison-state" addr len st;
   let code = st_code st in
   for i = 0 to len - 1 do
     match find_shadow t (addr + i) with
@@ -224,6 +243,7 @@ let record t kind st access addr taint =
       in
       t.recs <- v :: t.recs;
       t.n_recs <- t.n_recs + 1;
+      (match t.on_violation with Some f -> f v | None -> ());
       if Pna_telemetry.Switch.enabled () then
         Pna_telemetry.Metrics.(
           incr
@@ -271,12 +291,16 @@ let attach ?(scenario = "") mem =
       recs = [];
       n_recs = 0;
       total = 0;
+      on_violation = None;
+      on_transition = None;
     }
   in
   Vmem.set_observer mem (Some (fun ~access ~addr ~taint -> on_access t ~access ~addr ~taint));
   t
 
 let detach t = Vmem.set_observer t.mem None
+let set_on_violation t f = t.on_violation <- f
+let set_on_transition t f = t.on_transition <- f
 
 let violations t = List.rev t.recs
 let first t = match List.rev t.recs with [] -> None | v :: _ -> Some v

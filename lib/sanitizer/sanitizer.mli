@@ -62,6 +62,18 @@ val set_scenario : t -> string -> unit
 val set_site : t -> (unit -> string) option -> unit
 (** Lazy statement-context thunk; forced only when a violation records. *)
 
+val set_on_violation : t -> (violation -> unit) option -> unit
+(** Flight-recorder tap: called once per {e new} violation record — after
+    the site thunk is forced, never on byte-wise coalescing — so a black
+    box can latch the first corrupting access the instant it happens. *)
+
+val set_on_transition :
+  t -> (op:string -> addr:int -> len:int -> state -> unit) option -> unit
+(** Called on every shadow-state maintenance call ([op] is ["poison"],
+    ["poison-addressable"], ["unpoison"] or ["unpoison-state"]) before
+    the range is updated — the flight recorder's shadow-transition
+    stream. *)
+
 (** {1 Shadow map maintenance} *)
 
 val guard_len : int

@@ -39,13 +39,16 @@ type job = {
   j_sanitize : bool;
       (** attach the PNASan oracle; plain runs only — a chaos job ignores
           it (supervision rebuilds machines mid-run) *)
+  j_trace : (int * int) option;
+      (** (trace id, parent span) — worker-side spans link under the
+          submitter's trace; never part of the memo key *)
 }
 
 let job ?chaos_seed ?max_steps ?(sanitize = Driver.env_sanitize)
-    ?(config = Config.none)
+    ?(config = Config.none) ?trace
     attack =
   { j_attack = attack; j_config = config; j_chaos_seed = chaos_seed;
-    j_max_steps = max_steps; j_sanitize = sanitize }
+    j_max_steps = max_steps; j_sanitize = sanitize; j_trace = trace }
 
 type reply = {
   r_id : string;
@@ -710,21 +713,41 @@ let execute t ctx (j : job) =
    two samples below is exactly the time spent queued. The clock is
    monotonic (one sample per transition), so a wall-clock step can never
    produce a negative or garbage wait. *)
+(* A traced job retroactively records its queue wait as a span under
+   the submitter's parent, then runs [execute] with the trace context
+   installed so the job/run/verdict spans link into the same tree. *)
+let queue_wait_span (j : job) ~enqueued ~wait_us =
+  match j.j_trace with
+  | Some (tid, parent) ->
+    Trace.emit ~cat:"service" ~name:"queue-wait"
+      ~ts_us:(Trace.us_of_ns enqueued) ~dur_us:wait_us
+      ~trace:(tid, Trace.next_span_id (), parent) ()
+  | None -> ()
+
+let traced_execute t ctx (j : job) =
+  match j.j_trace with
+  | None -> execute t ctx j
+  | Some (tid, parent) ->
+    Trace.with_ctx (Some { Trace.trace_id = tid; parent_span = parent })
+      (fun () -> execute t ctx j)
+
 let submit ?notify t j =
   let enqueued = Clock.now_ns () in
   Pool.submit ?notify t.pool (fun ctx ->
-      lh_observe ctx.cx_shard.sh_queue_wait
-        (Clock.elapsed_us ~a:enqueued ~b:(Clock.now_ns ()));
-      execute t ctx j)
+      let wait_us = Clock.elapsed_us ~a:enqueued ~b:(Clock.now_ns ()) in
+      lh_observe ctx.cx_shard.sh_queue_wait wait_us;
+      queue_wait_span j ~enqueued ~wait_us;
+      traced_execute t ctx j)
 
 (* Non-blocking admission for the network front end: [None] means the
    queue is full and the caller should shed the request. *)
 let try_submit ?notify t j =
   let enqueued = Clock.now_ns () in
   Pool.try_submit ?notify t.pool (fun ctx ->
-      lh_observe ctx.cx_shard.sh_queue_wait
-        (Clock.elapsed_us ~a:enqueued ~b:(Clock.now_ns ()));
-      execute t ctx j)
+      let wait_us = Clock.elapsed_us ~a:enqueued ~b:(Clock.now_ns ()) in
+      lh_observe ctx.cx_shard.sh_queue_wait wait_us;
+      queue_wait_span j ~enqueued ~wait_us;
+      traced_execute t ctx j)
 
 let exec t j = Pool.await (submit t j)
 

@@ -23,6 +23,11 @@ type job = {
           it (supervision rebuilds machines mid-run). Defaults to
           {!Driver.env_sanitize} so a [PNA_SANITIZE=1] process sanitizes
           pooled and sequential runs alike. *)
+  j_trace : (int * int) option;
+      (** (trace id, parent span) — the worker retroactively records its
+          queue wait as a span under this parent and runs the job with
+          the trace context installed, so job/run/verdict spans link
+          into the submitter's trace. Never part of the memo key. *)
 }
 
 val job :
@@ -30,6 +35,7 @@ val job :
   ?max_steps:int ->
   ?sanitize:bool ->
   ?config:Config.t ->
+  ?trace:int * int ->
   Catalog.t ->
   job
 

@@ -14,6 +14,14 @@
 
 type arg = Str of string | Int of int | Bool of bool | Float of float
 
+(* A causal trace identity carried across layers (and, via {!Frame},
+   across processes): which trace a span belongs to and which span is
+   its parent. Span ids are process-unique; trace ids are drawn from
+   the same generator so two processes sampling independently will not
+   collide in practice (the generator is seeded from the monotonic
+   clock at module init, then strides). *)
+type ctx = { trace_id : int; parent_span : int }
+
 type event = {
   ev_name : string;
   ev_cat : string;
@@ -30,6 +38,8 @@ type open_span = {
   sp_name : string;
   sp_cat : string;
   sp_start : float;
+  sp_id : int; (* 0 when no ctx was installed at open time *)
+  sp_parent : int;
   mutable sp_args : (string * arg) list;
 }
 
@@ -40,6 +50,7 @@ type buffer = {
   mutable b_next : int; (* total events ever pushed *)
   mutable b_dropped : int; (* overwritten by ring wrap-around *)
   mutable b_stack : open_span list;
+  mutable b_ctx : ctx option; (* trace identity for spans opened here *)
 }
 
 let default_capacity = 16_384
@@ -66,6 +77,7 @@ let key : buffer Domain.DLS.key =
           b_next = 0;
           b_dropped = 0;
           b_stack = [];
+          b_ctx = None;
         }
       in
       register buf;
@@ -77,6 +89,53 @@ let buffer () = Domain.DLS.get key
 let epoch = Clock.now_ns ()
 
 let now_us () = Clock.elapsed_us ~a:epoch ~b:(Clock.now_ns ())
+
+(* Convert a raw [Clock.now_ns] stamp taken elsewhere into this
+   module's export timebase, for retroactive [emit]s. *)
+let us_of_ns ns = Clock.elapsed_us ~a:epoch ~b:ns
+
+(* -- trace identity ------------------------------------------------- *)
+
+(* Process-unique span/trace ids. Seeded from the monotonic clock so
+   two cooperating processes (client + server merged into one trace)
+   allocate from disjoint ranges with overwhelming probability; ids
+   only need uniqueness, not secrecy. 0 is reserved for "no parent". *)
+let id_counter =
+  let seed = Int64.to_int (Clock.now_ns ()) land 0x3f_ffff_ffff in
+  Atomic.make ((seed lsl 20) lor 1)
+
+let next_span_id () = Atomic.fetch_and_add id_counter 1
+
+let new_ctx () = { trace_id = next_span_id (); parent_span = 0 }
+
+let current () = (buffer ()).b_ctx
+
+(* The (trace_id, parent_span) pair an outgoing request should carry:
+   the innermost open span if there is one, else the installed ctx's
+   parent. None when tracing is off or no ctx is installed — untraced
+   requests stay byte-identical to the v1 wire format. *)
+let wire_ctx () =
+  if not (Switch.enabled ()) then None
+  else
+    let buf = buffer () in
+    match buf.b_ctx with
+    | None -> None
+    | Some ctx ->
+      let parent =
+        match buf.b_stack with
+        | top :: _ when top.sp_id <> 0 -> top.sp_id
+        | _ -> ctx.parent_span
+      in
+      Some (ctx.trace_id, parent)
+
+(* Install [ctx] for the dynamic extent of [f] on this domain: spans
+   opened inside carry the trace identity. [None] restores the default
+   (identity-less) behaviour. *)
+let with_ctx ctx f =
+  let buf = buffer () in
+  let saved = buf.b_ctx in
+  buf.b_ctx <- ctx;
+  Fun.protect ~finally:(fun () -> buf.b_ctx <- saved) f
 
 let locked m f =
   Mutex.lock m;
@@ -115,11 +174,39 @@ let add_args args =
     | [] -> ()
     | sp :: _ -> sp.sp_args <- sp.sp_args @ args
 
+(* Trace-identity args appended at close time, so merged traces can be
+   re-linked into span trees after export. Absent when no ctx is
+   installed — the common single-process path is byte-identical to the
+   pre-wire format. *)
+let identity_args buf sp =
+  match buf.b_ctx with
+  | None -> []
+  | Some ctx ->
+    [
+      ("trace_id", Int ctx.trace_id);
+      ("span_id", Int sp.sp_id);
+      ("parent_id", Int sp.sp_parent);
+    ]
+
 let with_span ?(cat = "span") ?(args = []) name f =
   if not (Switch.enabled ()) then f ()
   else begin
     let buf = buffer () in
-    let sp = { sp_name = name; sp_cat = cat; sp_start = now_us (); sp_args = args } in
+    let sp_id, sp_parent =
+      match buf.b_ctx with
+      | None -> (0, 0)
+      | Some ctx ->
+        let parent =
+          match buf.b_stack with
+          | top :: _ when top.sp_id <> 0 -> top.sp_id
+          | _ -> ctx.parent_span
+        in
+        (next_span_id (), parent)
+    in
+    let sp =
+      { sp_name = name; sp_cat = cat; sp_start = now_us (); sp_id;
+        sp_parent; sp_args = args }
+    in
     buf.b_stack <- sp :: buf.b_stack;
     let close () =
       (match buf.b_stack with
@@ -140,11 +227,39 @@ let with_span ?(cat = "span") ?(args = []) name f =
           ev_ts = sp.sp_start;
           ev_dur = now_us () -. sp.sp_start;
           ev_instant = false;
-          ev_args = sp.sp_args;
+          ev_args = sp.sp_args @ identity_args buf sp;
         }
     in
     Fun.protect ~finally:close f
   end
+
+(* Retroactive span: record an event whose start/duration were measured
+   elsewhere (e.g. a queue wait clocked by the pool, or a request span
+   closed when the reply is flushed rather than inside a [with_span]
+   extent). [trace] is (trace_id, span_id, parent_id). *)
+let emit ?(cat = "span") ?(args = []) ?trace ~name ~ts_us ~dur_us () =
+  if Switch.enabled () then
+    let buf = buffer () in
+    let identity =
+      match trace with
+      | None -> []
+      | Some (tid, id, parent) ->
+        [
+          ("trace_id", Int tid);
+          ("span_id", Int id);
+          ("parent_id", Int parent);
+        ]
+    in
+    push buf
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_track = buf.b_track;
+        ev_ts = ts_us;
+        ev_dur = dur_us;
+        ev_instant = false;
+        ev_args = args @ identity;
+      }
 
 (* -- reading back --------------------------------------------------- *)
 
@@ -236,3 +351,33 @@ let export_jsonl ppf =
   List.iter
     (fun ev -> Fmt.pf ppf "%s@." (Jsonx.to_string (event_json ev)))
     (events ())
+
+(* Merge several already-exported Chrome traces (e.g. client-side and
+   server-side halves of a wire run) into one: input [i] is re-homed to
+   pid [i+1] so per-process tracks stay distinct, and the traceEvents
+   arrays concatenate. Span linkage survives untouched because it lives
+   in trace_id/span_id/parent_id args, not in pids. *)
+let merge_chrome traces =
+  let repid pid = function
+    | Jsonx.Obj fields ->
+      Jsonx.Obj
+        (List.map
+           (fun (k, v) -> if k = "pid" then (k, Jsonx.Int pid) else (k, v))
+           fields)
+    | j -> j
+  in
+  let evs =
+    List.concat
+      (List.mapi
+         (fun i trace ->
+           let pid = i + 1 in
+           match Jsonx.member "traceEvents" trace with
+           | Some (Jsonx.List evs) -> List.map (repid pid) evs
+           | _ -> [])
+         traces)
+  in
+  Jsonx.Obj
+    [
+      ("traceEvents", Jsonx.List evs);
+      ("displayTimeUnit", Jsonx.Str "ms");
+    ]

@@ -11,6 +11,9 @@ module Service = Pna_service.Service
 module Driver = Pna_attacks.Driver
 module Catalog = Pna_attacks.Catalog
 module All = Pna_attacks.All
+module Telemetry = Pna_telemetry.Telemetry
+module Trace = Pna_telemetry.Trace
+module E = Pna.Experiments
 
 let contains ~sub s =
   let n = String.length sub and m = String.length s in
@@ -32,11 +35,14 @@ let gen_msg : Frame.msg QCheck.Gen.t =
        and* rq_config = str
        and* rq_chaos_seed = opt (int_bound 1000)
        and* rq_max_steps = opt (int_range 1 2_000_000)
-       and* rq_sanitize = bool in
+       and* rq_sanitize = bool
+       and* rq_trace =
+         opt (pair (int_range 1 0x3fffffff) (int_range 1 0x3fffffff))
+       in
        return
          (Frame.Request
             { rq_corr; rq_attack; rq_config; rq_chaos_seed; rq_max_steps;
-              rq_sanitize }));
+              rq_sanitize; rq_trace }));
       (let* rp_corr = corr
        and* rp_id = str
        and* rp_config = str
@@ -59,6 +65,10 @@ let gen_msg : Frame.msg QCheck.Gen.t =
        return (Frame.Ping n));
       (let* n = int_bound 0xffffff in
        return (Frame.Pong n));
+      (let* n = int_bound 0xffffff in
+       return (Frame.Stats_req n));
+      (let* st_nonce = int_bound 0xffffff and* st_payload = str in
+       return (Frame.Stats_rep { st_nonce; st_payload }));
     ]
 
 let arb_msg = QCheck.make ~print:(fun _ -> "<msg>") gen_msg
@@ -157,6 +167,64 @@ let test_garbage_prefix () =
   match Frame.decode "XXXXXXXXXXXXXXXXXXXX" with
   | Frame.Fail e -> Alcotest.(check string) "class" "magic" (Frame.error_class e)
   | _ -> Alcotest.fail "garbage accepted"
+
+(* ---- wire versioning: v2 is strictly additive ---- *)
+
+let version_byte m = Char.code (Frame.encode m).[4]
+
+let test_frame_versioning () =
+  let req trace =
+    Frame.Request
+      {
+        Frame.rq_corr = 1;
+        rq_attack = "overflow-vptr";
+        rq_config = "none";
+        rq_chaos_seed = None;
+        rq_max_steps = None;
+        rq_sanitize = false;
+        rq_trace = trace;
+      }
+  in
+  (* everything a v1 peer can say still carries the v1 version byte, so
+     an old decoder keeps accepting traffic from a new process *)
+  let legacy =
+    [
+      req None;
+      Frame.Reply_ok
+        {
+          rp_corr = 1; rp_id = "overflow-vptr"; rp_config = "none";
+          rp_chaos_seed = None; rp_status = "exited 0"; rp_success = true;
+          rp_detail = ""; rp_attempts = 1; rp_cached = false;
+          rp_violations = 0;
+        };
+      Frame.Reply_shed { sh_corr = 1; sh_retry_after_ms = 5 };
+      Frame.Reply_error { er_corr = 0; er_message = "m" };
+      Frame.Ping 1;
+      Frame.Pong 2;
+    ]
+  in
+  List.iter
+    (fun m ->
+      Alcotest.(check int) "legacy frame stamped v1" 1 (version_byte m);
+      match Frame.decode (Frame.encode m) with
+      | Frame.Msg (m', _) -> Alcotest.(check bool) "v1 round-trip" true (m = m')
+      | _ -> Alcotest.fail "legacy frame failed to decode")
+    legacy;
+  (* only frames that actually use a v2 feature pay the version bump *)
+  let v2 =
+    [
+      req (Some (0xabc, 0xdef));
+      Frame.Stats_req 3;
+      Frame.Stats_rep { st_nonce = 3; st_payload = "pna_up 1\n" };
+    ]
+  in
+  List.iter
+    (fun m ->
+      Alcotest.(check int) "v2 feature stamped v2" 2 (version_byte m);
+      match Frame.decode (Frame.encode m) with
+      | Frame.Msg (m', _) -> Alcotest.(check bool) "v2 round-trip" true (m = m')
+      | _ -> Alcotest.fail "v2 frame failed to decode")
+    v2
 
 (* ---- memo-entry codec + memo log ---- *)
 
@@ -285,7 +353,7 @@ let test_memolog_compact () =
 let attack_id = (List.hd All.attacks).Catalog.id
 
 let mk_req ?(corr = 1) ?(attack = attack_id) ?(config = "none")
-    ?(max_steps = 60_000) () =
+    ?(max_steps = 60_000) ?trace () =
   {
     Frame.rq_corr = corr;
     rq_attack = attack;
@@ -293,6 +361,7 @@ let mk_req ?(corr = 1) ?(attack = attack_id) ?(config = "none")
     rq_chaos_seed = None;
     rq_max_steps = Some max_steps;
     rq_sanitize = false;
+    rq_trace = trace;
   }
 
 let with_server ?config f =
@@ -434,6 +503,55 @@ let test_mini_chaos_soak () =
   Alcotest.(check bool) "most requests served" true
     (r.Loadgen.lg_served > r.Loadgen.lg_n / 2)
 
+(* ---- stats frames over a live server ---- *)
+
+let test_stats_over_wire () =
+  with_server @@ fun server ->
+  let port = Server.port server in
+  match Client.connect ~timeout_s:20. ~host:"127.0.0.1" ~port () with
+  | Error f -> Alcotest.failf "connect: %s" (Client.failure_label f)
+  | Ok c ->
+    (match Client.stats c 42 with
+    | Error f -> Alcotest.failf "stats: %s" (Client.failure_label f)
+    | Ok payload ->
+      Alcotest.(check bool) "Prometheus exposition payload" true
+        (contains ~sub:"pna_net_draining" payload);
+      (* the second poll sees the first one counted under its own kind *)
+      (match Client.stats c 43 with
+      | Ok p2 ->
+        Alcotest.(check bool) "stats replies counted by kind" true
+          (contains ~sub:"pna_net_replies_total{kind=\"stats\"}" p2)
+      | Error f -> Alcotest.failf "second stats: %s" (Client.failure_label f)));
+    (* the connection still serves ordinary traffic afterwards *)
+    Alcotest.(check bool) "ping after stats" true (Client.ping c 9 = Ok ());
+    Client.close c
+
+(* ---- cross-process trace merge ---- *)
+
+(* Satellite acceptance: a sampled load over loopback, the export split
+   into its client-side and server-side halves, the halves merged with
+   [Trace.merge_chrome] — every sampled request must come back as one
+   connected span tree with no orphans and queue-wait inside its
+   request span. *)
+let test_wire_trace_merge () =
+  Trace.reset ();
+  Fun.protect ~finally:Trace.reset @@ fun () ->
+  let w =
+    Telemetry.with_enabled (fun () ->
+        E.e18_wire ~requests:32 ~sample_every:4 ~seed:5 ())
+  in
+  Alcotest.(check bool) "some requests sampled" true (w.E.w_traced > 0);
+  Alcotest.(check int) "one trace per sampled request" w.E.w_traced
+    w.E.w_traces;
+  Alcotest.(check bool) "every trace rooted at client-request" true
+    w.E.w_roots_ok;
+  Alcotest.(check int) "no orphan spans after merge" 0 w.E.w_orphans;
+  Alcotest.(check bool) "client/request/queue-wait/job layers present" true
+    w.E.w_layers_ok;
+  Alcotest.(check bool) "queue-wait never outlasts its request" true
+    w.E.w_queue_ok;
+  Alcotest.(check int) "no trace-ring drops" 0 w.E.w_dropped
+
 (* ---- loadgen request-mix determinism ---- *)
 
 let test_loadgen_mix_seeded () =
@@ -479,6 +597,8 @@ let suite =
       QCheck_alcotest.to_alcotest prop_oversize_classified;
       Alcotest.test_case "stream decode" `Quick test_stream_decode;
       Alcotest.test_case "garbage prefix classified" `Quick test_garbage_prefix;
+      Alcotest.test_case "wire v2 is additive: version bytes + round-trips"
+        `Quick test_frame_versioning;
       Alcotest.test_case "memo-entry codec round-trip" `Quick
         test_memo_entry_roundtrip;
       Alcotest.test_case "memolog round-trip" `Quick test_memolog_roundtrip;
@@ -495,6 +615,10 @@ let suite =
       Alcotest.test_case "client retry classification" `Quick
         test_client_retry_classification;
       Alcotest.test_case "mini chaos soak" `Quick test_mini_chaos_soak;
+      Alcotest.test_case "stats frames over a live server" `Quick
+        test_stats_over_wire;
+      Alcotest.test_case "cross-process trace merge: connected span trees"
+        `Quick test_wire_trace_merge;
       Alcotest.test_case "loadgen mix is seed-determined over any pool" `Quick
         test_loadgen_mix_seeded;
     ] )

@@ -29,6 +29,7 @@ let () =
       Test_experiments.suite;
       Test_service.suite;
       Test_telemetry.suite;
+      Test_flight.suite;
       Test_net.suite;
       Test_gen.suite;
     ]

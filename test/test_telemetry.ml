@@ -202,6 +202,101 @@ let test_ring_overflow_counts_drops =
       Alcotest.(check int) "reset clears" 0 (List.length (Trace.events ()));
       Alcotest.(check int) "reset clears drops" 0 (Trace.dropped ()))
 
+(* ---------------- trace identity + wire context ---------------- *)
+
+let int_arg e k =
+  match List.assoc_opt k e.Trace.ev_args with
+  | Some (Trace.Int v) -> v
+  | _ -> Alcotest.failf "event %s missing int arg %s" e.Trace.ev_name k
+
+let test_ctx_links_spans =
+  isolated (fun () ->
+      Telemetry.enable ();
+      let ctx = Trace.new_ctx () in
+      Trace.with_ctx (Some ctx) (fun () ->
+          Trace.with_span "outer" (fun () ->
+              Trace.with_span "inner" (fun () -> ())));
+      (* identity-less spans stay identity-less: the single-process path
+         exports exactly what it exported before tracing grew a wire *)
+      Trace.with_span "plain" (fun () -> ());
+      let evs = Trace.events () in
+      let find n = List.find (fun e -> e.Trace.ev_name = n) evs in
+      let outer = find "outer" and inner = find "inner" in
+      Alcotest.(check int) "outer in ctx trace" ctx.Trace.trace_id
+        (int_arg outer "trace_id");
+      Alcotest.(check int) "inner in same trace" ctx.Trace.trace_id
+        (int_arg inner "trace_id");
+      Alcotest.(check int) "outer is a root" 0 (int_arg outer "parent_id");
+      Alcotest.(check int) "inner's parent is outer" (int_arg outer "span_id")
+        (int_arg inner "parent_id");
+      Alcotest.(check bool) "span ids nonzero and distinct" true
+        (int_arg outer "span_id" <> 0
+        && int_arg inner "span_id" <> 0
+        && int_arg outer "span_id" <> int_arg inner "span_id");
+      Alcotest.(check bool) "no identity outside ctx" true
+        (not (List.mem_assoc "trace_id" (find "plain").Trace.ev_args)))
+
+let test_wire_ctx =
+  isolated (fun () ->
+      Alcotest.(check bool) "switch off -> None" true (Trace.wire_ctx () = None);
+      Telemetry.enable ();
+      Alcotest.(check bool) "no ctx -> None" true (Trace.wire_ctx () = None);
+      let ctx = Trace.new_ctx () in
+      Trace.with_ctx (Some ctx) (fun () ->
+          (match Trace.wire_ctx () with
+          | Some (tid, 0) ->
+            Alcotest.(check int) "trace id carried" ctx.Trace.trace_id tid
+          | _ -> Alcotest.fail "expected the ctx with no parent span");
+          Trace.with_span "rpc" (fun () ->
+              match Trace.wire_ctx () with
+              | Some (tid, parent) ->
+                Alcotest.(check int) "trace id stable" ctx.Trace.trace_id tid;
+                Alcotest.(check bool) "parent is the open span" true
+                  (parent <> 0)
+              | None -> Alcotest.fail "ctx lost inside a span")))
+
+let test_emit_retroactive =
+  isolated (fun () ->
+      Telemetry.enable ();
+      (* a queue wait clocked elsewhere lands with its measured times and
+         its wire-carried identity intact *)
+      Trace.emit ~cat:"net" ~name:"queue-wait" ~ts_us:5.0 ~dur_us:2.5
+        ~trace:(7, 8, 9) ();
+      match Trace.events () with
+      | [ e ] ->
+        Alcotest.(check string) "name" "queue-wait" e.Trace.ev_name;
+        Alcotest.(check (float 1e-9)) "ts as measured" 5.0 e.Trace.ev_ts;
+        Alcotest.(check (float 1e-9)) "dur as measured" 2.5 e.Trace.ev_dur;
+        Alcotest.(check int) "trace id" 7 (int_arg e "trace_id");
+        Alcotest.(check int) "span id" 8 (int_arg e "span_id");
+        Alcotest.(check int) "parent id" 9 (int_arg e "parent_id")
+      | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs))
+
+let test_merge_chrome () =
+  let doc name =
+    J.Obj
+      [
+        ( "traceEvents",
+          J.List
+            [
+              J.Obj
+                [
+                  ("name", J.Str name); ("ph", J.Str "X"); ("pid", J.Int 1);
+                  ("tid", J.Int 0);
+                ];
+            ] );
+        ("displayTimeUnit", J.Str "ms");
+      ]
+  in
+  let merged = Trace.merge_chrome [ doc "client"; doc "server" ] in
+  match J.member "traceEvents" merged with
+  | Some (J.List evs) ->
+    Alcotest.(check int) "events concatenated" 2 (List.length evs);
+    let pid e = get (J.to_int (get (J.member "pid" e))) in
+    Alcotest.(check (list int)) "inputs re-homed to distinct pids" [ 1; 2 ]
+      (List.map pid evs)
+  | _ -> Alcotest.fail "merged document lost traceEvents"
+
 (* ---------------- exporters ---------------- *)
 
 let attack id =
@@ -311,6 +406,12 @@ let suite =
       t "trace: span nesting, instants, add_args" test_span_nesting;
       t "trace: span closed on exception" test_span_exception_safe;
       t "trace: ring overflow counts drops" test_ring_overflow_counts_drops;
+      t "trace: ctx links nested spans into a tree" test_ctx_links_spans;
+      t "trace: wire_ctx picks the innermost open span" test_wire_ctx;
+      t "trace: retroactive emit keeps measured times + identity"
+        test_emit_retroactive;
+      t "trace: merge_chrome re-homes pids, keeps linkage args"
+        test_merge_chrome;
       t "chrome export parses back (pna trace)" test_chrome_export_parses_back;
       t "jsonl export: one object per line" test_jsonl_export_lines;
       t "run span carries vmem deltas" test_run_span_args;
