@@ -417,6 +417,7 @@ let net_group =
         rq_chaos_seed = None;
         rq_max_steps = Some 60_000;
         rq_sanitize = false;
+        rq_engine = `Interp;
         rq_trace = None;
       }
   in
@@ -434,6 +435,7 @@ let net_group =
         me_config = "stackguard";
         me_chaos_seed = None;
         me_input_hash = 0x1234;
+        me_engine = "interp";
         me_sanitize = false;
         me_reply =
           {
@@ -540,6 +542,36 @@ let gen_campaign_rows () =
       Some (dt *. 1e9 /. float_of_int s.Fuzz.f_generated) );
   ]
 
+(* ------------------------------------------------------------------ *)
+(* interp: the execution engines (E19). The same prepared scenario
+   rewound and re-run on the tree-walking interpreter and on the
+   compiled bytecode VM — the arith pair is the committed evidence for
+   the E19 >= 3x floor (pure dispatch, interpreter-bound), the copy-loop
+   pair shows the honest ratio on a real catalogue attack whose runtime
+   is dominated by shared machine simulation. The compile rows price the
+   one-off translation a prepared scenario amortizes away. *)
+
+let interp_group =
+  let arith = Pna_gen.Vmgate.bench_scenario ~iters:30_000 in
+  let copy = Pna_attacks.L06_copy_loop.attack in
+  let prep engine a = Driver.prepare ~config:Config.none ~engine a in
+  let arith_i = prep `Interp arith and arith_b = prep `Bytecode arith in
+  let copy_i = prep `Interp copy and copy_b = prep `Bytecode copy in
+  [
+    Test.make ~name:"interp/arith30k_tree_walk" (stage (fun () ->
+        ignore (Driver.run_prepared ~max_steps:5_000_000 arith_i)));
+    Test.make ~name:"interp/arith30k_bytecode" (stage (fun () ->
+        ignore (Driver.run_prepared ~max_steps:5_000_000 arith_b)));
+    Test.make ~name:"interp/copy_loop_tree_walk" (stage (fun () ->
+        ignore (Driver.run_prepared ~max_steps:200_000 copy_i)));
+    Test.make ~name:"interp/copy_loop_bytecode" (stage (fun () ->
+        ignore (Driver.run_prepared ~max_steps:200_000 copy_b)));
+    Test.make ~name:"interp/compile_unit" (stage (fun () ->
+        ignore (Pna_minicpp.Compile.compile copy.Catalog.program)));
+    Test.make ~name:"interp/compile_cached" (stage (fun () ->
+        ignore (Pna_minicpp.Vm.load copy.Catalog.program)));
+  ]
+
 (* rows appended to a group's table after its Bechamel tests run *)
 let extra_rows = [ ("net", net_loadgen_rows); ("gen", gen_campaign_rows) ]
 
@@ -567,6 +599,7 @@ let groups =
     ("sanitizer", sanitizer_group);
     ("net", net_group);
     ("gen", gen_group);
+    ("interp", interp_group);
   ]
 
 let selected_groups () =

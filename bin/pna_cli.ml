@@ -5,7 +5,8 @@
     [memleak] (E6), [audit] (E7), [defmatrix]/[overhead] (E8),
     [chaos] (E9), [randtest] (E10), [repair] (E11), [throughput] (E12),
     [telemetry] (E13), [oracle] (E14), [scaling] (E15), [netgate] (E16),
-    [gengate] (E17), [tracegate] (E18), plus [generate]/[fuzz]/[corpus]
+    [gengate] (E17), [tracegate] (E18), [vmgate] (E19), plus
+    [generate]/[fuzz]/[corpus]
     for the generative attack catalogue, [batch]/[serve] to drive the
     parallel scenario service,
     [serve-tcp]/[loadgen]/[compact] for the TCP front end and its
@@ -760,6 +761,7 @@ module GenOracle = Pna_gen.Oracle
 module GenFuzz = Pna_gen.Fuzz
 module GenCorpus = Pna_gen.Corpus
 module GenGate = Pna_gen.Gate
+module VmGate = Pna_gen.Vmgate
 
 let gen_seed_t =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
@@ -922,14 +924,27 @@ let gengate_cmd =
        ~doc:"E17: the generative-corpus gate — two seeded campaigns agree to              the byte, zero unclassified oracle crashes, every divergence              ships as a minimized reproducing genome, and the static              checker's precision/recall is measured on generated truth.")
     Term.(const run $ gen_seed_t $ gen_n_t 1000)
 
+let vmgate_cmd =
+  let run seed n =
+    let g = VmGate.run ~seed ~n () in
+    Fmt.pr "%a@." VmGate.pp g;
+    if not g.VmGate.v_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "vmgate"
+       ~doc:"E19: the bytecode-engine gate — the compiled VM and the              tree-walking interpreter produce identical outcomes, verdicts,              sanitizer observations and access accounting over the whole              catalogue and a seeded genome stream, and the VM clears a 3x              rewound-run speed floor.")
+    Term.(const run $ gen_seed_t $ gen_n_t 1000)
+
 let all_cmd =
-  simple "all" "Run every experiment (E1-E17)." (fun () ->
+  simple "all" "Run every experiment (E1-E19)." (fun () ->
       E.run_all Fmt.stdout ();
-      (* E17 at a sampling count — the full 1000-genome double campaign
-         is the dedicated [gengate] entry point *)
+      (* E17/E19 at sampling counts — the full 1000-genome runs are the
+         dedicated [gengate] / [vmgate] entry points *)
       let g = GenGate.run ~n:300 () in
       Fmt.pr "@.%a@." GenGate.pp g;
-      if not g.GenGate.e_ok then exit 1)
+      let v = VmGate.run ~n:150 () in
+      Fmt.pr "@.%a@." VmGate.pp v;
+      if not (g.GenGate.e_ok && v.VmGate.v_ok) then exit 1)
 
 (* ---- net: the TCP front end (serve-tcp / loadgen / compact / netgate) ---- *)
 
@@ -1342,6 +1357,7 @@ let () =
             forensics_cmd;
             top_cmd;
             tracegate_cmd;
+            vmgate_cmd;
             harden_cmd;
             all_cmd;
           ]))

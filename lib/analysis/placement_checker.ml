@@ -44,6 +44,17 @@ type ctx = {
 
 let sizeof ctx ty = Layout.sizeof ctx.lenv ty
 
+(* The runtime allocator hands out blocks rounded up to 8 bytes
+   ([Heap.align8]) and registers the *rounded* size as the arena, so the
+   usable bytes behind a heap pointer include the padding. Judging a
+   heap placement against the unrounded [sizeof] reports provable
+   overflows the padding absorbs — a static false positive the E17
+   differential campaign surfaced. *)
+let align8_size = function
+  | Known n -> Known ((n + 7) land lnot 7)
+  | Bounded n -> Bounded ((n + 7) land lnot 7)
+  | (Tainted | Unknown) as s -> s
+
 let cname_of = function Ctype.Class c -> Some c | _ -> None
 
 let report ctx kind fmt =
@@ -183,14 +194,15 @@ let rec aeval ctx env (e : Ast.expr) : aval =
   | Ast.New (ty, args) ->
     List.iter (fun a -> ignore (aeval ctx env a)) args;
     Ptr_v
-      (region ~kind:Heap_region ~size:(Known (sizeof ctx ty)) ~align:8
-         ?class_:(cname_of ty)
+      (region ~kind:Heap_region
+         ~size:(align8_size (Known (sizeof ctx ty)))
+         ~align:8 ?class_:(cname_of ty)
          (Fmt.str "new %a" Ctype.pp ty))
   | Ast.New_arr (ty, n) ->
     let count = as_size (aeval ctx env n) in
     Ptr_v
       (region ~kind:Heap_region ~align:8
-         ~size:(mul count (Known (sizeof ctx ty)))
+         ~size:(align8_size (mul count (Known (sizeof ctx ty))))
          (Fmt.str "new %a[]" Ctype.pp ty))
   | Ast.Pnew (place, ty, args) ->
     List.iter (fun a -> ignore (aeval ctx env a)) args;
@@ -401,17 +413,47 @@ and record_call ctx env name args =
       Hashtbl.replace tbl name joined
     | _ -> ())
 
+(* The length argument of a bulk write, §3.2 by another route: a tainted
+   length lets the attacker steer how far the write runs, and a known
+   length larger than the destination arena is a provable overrun. The
+   E17 differential campaign surfaced the gap — [memset(p, c, cin)]
+   genomes corrupted memory with no placement site involved, so no rule
+   ever looked at the length and [Tainted_size] recall was 0.000 on
+   those shapes. *)
+and check_copy_length ctx env ~callee ~dst ~len =
+  let dest = place_region ctx env dst in
+  match fits ~placed:(as_size (aeval ctx env len)) ~arena:dest.r_size with
+  | Attacker_controlled ->
+    clobber env;
+    report ctx Finding.Tainted_size
+      "attacker input reaches the length %s writes into %a" callee pp_region
+      dest
+  | Overflows ->
+    clobber env;
+    report ctx Finding.Copy_overflow
+      "%s length exceeds the %a destination: the write runs past the object"
+      callee pp_region dest
+  | Fits | May_overflow | No_idea -> ()
+
 and check_call ctx env name args =
   record_call ctx env name args;
   match (name, args) with
+  | "memset", dst :: _byte :: len :: _ ->
+    check_copy_length ctx env ~callee:"memset" ~dst ~len;
+    ctx.sanitized <- (place_region ctx env dst).r_name :: ctx.sanitized
   | "memset", target :: _ -> (
     match place_region ctx env target with
     | r -> ctx.sanitized <- r.r_name :: ctx.sanitized)
   | "recv", target :: _ ->
     (* the datagram buffer now holds attacker bytes *)
     taint_region ctx env target
-  | ("strcpy" | "strncpy" | "memcpy"), dst :: src :: _ -> (
+  | (("strncpy" | "memcpy") as callee), dst :: src :: len :: _ ->
+    check_copy_length ctx env ~callee ~dst ~len;
     (* copying from attacker bytes taints the destination's contents *)
+    (match place_region ctx env src with
+    | r when region_tainted ctx r -> taint_region ctx env dst
+    | _ -> ())
+  | ("strcpy" | "strncpy" | "memcpy"), dst :: src :: _ -> (
     match place_region ctx env src with
     | r when region_tainted ctx r -> taint_region ctx env dst
     | _ -> ())
@@ -548,6 +590,20 @@ let rec wstmt ctx env (s : Ast.stmt) =
         ctx.guards <- (p, fp) :: ctx.guards;
         wblock ctx env t;
         ctx.guards <- saved
+      | Ast.Bin ((Ast.Le | Ast.Lt) as op, Ast.Var x, e) -> (
+        (* [if (x <= bound) { ... }]: inside the then-branch x is
+           bounded, however tainted it was outside — the guard is
+           exactly the correct-coding repair, so the copy-length rules
+           must not fire behind it *)
+        match aeval ctx env e with
+        | Int_v (Known k) | Int_v (Bounded k) ->
+          let saved = Hashtbl.find_opt env.vars x in
+          set env x (Int_v (Bounded (match op with Ast.Lt -> k - 1 | _ -> k)));
+          wblock ctx env t;
+          (match saved with
+          | Some v -> Hashtbl.replace env.vars x v
+          | None -> Hashtbl.remove env.vars x)
+        | _ -> wblock ctx env t)
       | _ -> wblock ctx env t);
       wblock ctx env f;
       refine_after_guard ctx env c t f))

@@ -4,6 +4,7 @@
 module Machine = Pna_machine.Machine
 module Config = Pna_defense.Config
 module Interp = Pna_minicpp.Interp
+module Vm = Pna_minicpp.Vm
 module Outcome = Pna_minicpp.Outcome
 module Vmem = Pna_vmem.Vmem
 module Trace = Pna_telemetry.Trace
@@ -46,13 +47,37 @@ let crashed (o : Outcome.t) =
   | Outcome.Crashed _ | Outcome.Out_of_memory | Outcome.Timeout _ -> true
   | _ -> false
 
+(* --- execution engine selection --- *)
+
+type engine = [ `Interp | `Bytecode ]
+
+(* Like PNA_SANITIZE below: CI's bytecode test pass exports
+   PNA_ENGINE=bytecode to run every driver-based test on the VM; explicit
+   [?engine] arguments still win. *)
+let env_engine : engine =
+  match Sys.getenv_opt "PNA_ENGINE" with
+  | Some ("bytecode" | "vm" | "compiled") -> `Bytecode
+  | _ -> `Interp
+
+let engine_name = function `Interp -> "interp" | `Bytecode -> "bytecode"
+
+(* One entry point for both engines; [unit_] lets a prepared scenario
+   reuse its compilation instead of consulting the unit cache. *)
+let exec ?max_steps ?on_stmt ?on_tick ~engine ?unit_ m prog ~entry =
+  match engine with
+  | `Interp -> Interp.run ?max_steps ?on_stmt ?on_tick m prog ~entry
+  | `Bytecode ->
+    let u = match unit_ with Some u -> u | None -> Vm.load prog in
+    Vm.run ?max_steps ?on_stmt ?on_tick m u ~entry
+
 (* Judge, run and check on an already-loaded machine. [run] and
    [run_prepared] share this so a rewound machine and a fresh load are
    driven identically — the determinism the service layer relies on.
    The caller is expected to hold a "run" span open; memory-access
    deltas and the verdict are published into it. [flight] attaches the
    given flight-recorder session for the duration of the run. *)
-let run_on ?max_steps ?san ?flight m (a : Catalog.t) ~config =
+let run_on ?max_steps ?san ?flight ?(engine = env_engine) ?unit_ m
+    (a : Catalog.t) ~config =
   let mem = Machine.mem m in
   let r0 = Vmem.total_reads mem and w0 = Vmem.total_writes mem in
   let f0 = Vmem.total_faults mem in
@@ -89,7 +114,8 @@ let run_on ?max_steps ?san ?flight m (a : Catalog.t) ~config =
           match site with Some h -> h func stmt | None -> ())
   in
   let outcome =
-    Interp.run ?max_steps ?on_stmt m a.Catalog.program ~entry:a.Catalog.entry
+    exec ?max_steps ?on_stmt ~engine ?unit_ m a.Catalog.program
+      ~entry:a.Catalog.entry
   in
   (* The oracle stops recording before the verdict: checks legitimately
      inspect freed blocks and stale tails to prove corruption. *)
@@ -108,6 +134,7 @@ let run_on ?max_steps ?san ?flight m (a : Catalog.t) ~config =
   Trace.add_args
     ([
        ("status", Trace.Str (Fmt.str "%a" Outcome.pp_status outcome.Outcome.status));
+       ("engine", Trace.Str (engine_name engine));
        ("success", Trace.Bool verdict.Catalog.success);
        ("steps", Trace.Int outcome.Outcome.steps);
        ("mem_reads", Trace.Int (Vmem.total_reads mem - r0));
@@ -144,17 +171,18 @@ let env_sanitize =
   | _ -> false
 
 let run ?(config = Config.none) ?max_steps ?(sanitize = env_sanitize)
-    (a : Catalog.t) =
+    ?(engine = env_engine) (a : Catalog.t) =
   run_span ~image:"fresh-load" a ~config @@ fun () ->
   let m = Interp.load ~config a.Catalog.program in
   let san = if sanitize then Some (oracle m ~scenario:a.Catalog.id) else None in
-  run_on ?max_steps ?san m a ~config
+  run_on ?max_steps ?san ~engine m a ~config
 
 (* A fully instrumented forensic run: sanitizer attached, Vmem write
    trace armed (so the bundle can name the writes that produced the
    corrupting bytes), a dedicated flight session, and the bundle dumped
    under [dir] whatever the outcome. *)
-let run_forensic ?(config = Config.none) ?max_steps ~dir (a : Catalog.t) =
+let run_forensic ?(config = Config.none) ?max_steps ?(engine = env_engine) ~dir
+    (a : Catalog.t) =
   run_span ~image:"fresh-load" a ~config @@ fun () ->
   let m = Interp.load ~config a.Catalog.program in
   let san = oracle m ~scenario:a.Catalog.id in
@@ -162,7 +190,7 @@ let run_forensic ?(config = Config.none) ?max_steps ~dir (a : Catalog.t) =
   let fl =
     Flight.start ~scenario:a.Catalog.id ~config:config.Config.name
   in
-  let r = run_on ?max_steps ~san ~flight:fl m a ~config in
+  let r = run_on ?max_steps ~san ~flight:fl ~engine m a ~config in
   let bundle =
     Flight.dump ~dir ~machine:m ~san
       ~status:(Fmt.str "%a" Outcome.pp_status r.outcome.Outcome.status)
@@ -175,7 +203,7 @@ let run_forensic ?(config = Config.none) ?max_steps ~dir (a : Catalog.t) =
    hijack or corruption event fired. With [sanitize] the shadow oracle
    rides along; its records come back for false-positive auditing. *)
 let run_hardened ?(config = Config.none) ?max_steps ?(sanitize = env_sanitize)
-    (a : Catalog.t) =
+    ?(engine = env_engine) (a : Catalog.t) =
   Option.map
     (fun program ->
       let m = Interp.load ~config program in
@@ -187,7 +215,7 @@ let run_hardened ?(config = Config.none) ?max_steps ?(sanitize = env_sanitize)
       let ints, strings = a.Catalog.mk_input m in
       Machine.set_input ~ints ~strings m;
       let on_stmt = Option.map site_hook san in
-      let outcome = Interp.run ?max_steps ?on_stmt m program ~entry:a.Catalog.entry in
+      let outcome = exec ?max_steps ?on_stmt ~engine m program ~entry:a.Catalog.entry in
       Option.iter San.seal san;
       let safe =
         Outcome.exited_normally outcome
@@ -204,10 +232,15 @@ type prepared = {
   pr_machine : Machine.t;
   pr_image : Machine.snapshot;  (** the post-load state rewound to *)
   pr_san : San.t option;
+  pr_engine : engine;
+  pr_unit : Pna_minicpp.Compile.t option;
+      (** compiled once at prepare time when the engine is bytecode, so
+          rewound runs pay zero compilation *)
   mutable pr_restores : int;
 }
 
-let prepare ?(config = Config.none) ?(sanitize = env_sanitize) (a : Catalog.t) =
+let prepare ?(config = Config.none) ?(sanitize = env_sanitize)
+    ?(engine = env_engine) (a : Catalog.t) =
   Trace.with_span ~cat:"driver" "prepare"
     ~args:[ ("scenario", Trace.Str a.Catalog.id) ]
   @@ fun () ->
@@ -221,6 +254,11 @@ let prepare ?(config = Config.none) ?(sanitize = env_sanitize) (a : Catalog.t) =
     pr_machine = m;
     pr_image = Machine.snapshot m;
     pr_san = san;
+    pr_engine = engine;
+    pr_unit =
+      (match engine with
+      | `Bytecode -> Some (Vm.load a.Catalog.program)
+      | `Interp -> None);
     pr_restores = 0;
   }
 
@@ -232,9 +270,12 @@ let reset p =
 
 let restores p = p.pr_restores
 
+let prepared_engine p = p.pr_engine
+
 let run_prepared ?max_steps p =
   run_span ~image:"rewind" p.pr_attack ~config:p.pr_config @@ fun () ->
-  run_on ?max_steps ?san:p.pr_san (reset p) p.pr_attack ~config:p.pr_config
+  run_on ?max_steps ?san:p.pr_san ~engine:p.pr_engine ?unit_:p.pr_unit (reset p)
+    p.pr_attack ~config:p.pr_config
 
 let prepared_input p =
   p.pr_attack.Catalog.mk_input (reset p)
@@ -280,7 +321,8 @@ let transient (o : Outcome.t) =
   | _ -> false
 
 let supervise ?(config = Config.none) ?(max_retries = 3) ?(jitter_pct = 0)
-    ?(max_steps = default_budget) ?reload ~plan (a : Catalog.t) =
+    ?(max_steps = default_budget) ?reload ?(engine = env_engine) ~plan
+    (a : Catalog.t) =
   let eng = Chaos.create plan in
   (* Jitter is seeded from the plan, so a supervised run stays replayable
      from its plan alone — same plan, same backoff schedule. *)
@@ -312,7 +354,7 @@ let supervise ?(config = Config.none) ?(max_retries = 3) ?(jitter_pct = 0)
       Chaos.arm eng m;
       let budget = Chaos.budget eng ~default:max_steps in
       let o =
-        Interp.run ~max_steps:budget ~on_tick:(Chaos.tick eng) m
+        exec ~max_steps:budget ~on_tick:(Chaos.tick eng) ~engine m
           a.Catalog.program ~entry:a.Catalog.entry
       in
       (o, Some m)

@@ -16,6 +16,22 @@ type result = {
           was sanitized *)
 }
 
+type engine = [ `Interp | `Bytecode ]
+(** Which execution engine drives the scenario: the tree-walking
+    interpreter or the compiled bytecode VM ({!Pna_minicpp.Vm}). The two
+    are observationally identical — same outcome, step counts, events,
+    sanitizer observations and taint (the E19 gate) — so the choice is
+    purely a speed lever. *)
+
+val env_engine : engine
+(** The engine the [PNA_ENGINE] environment variable selected at process
+    start (["bytecode"], ["vm"] or ["compiled"] pick the VM; anything else
+    the interpreter) — the default for every [?engine] flag here. *)
+
+val engine_name : engine -> string
+(** ["interp"] or ["bytecode"] — the spelling cache keys and wire frames
+    use. *)
+
 val env_sanitize : bool
 (** True when the [PNA_SANITIZE] environment variable asked for the
     shadow-memory oracle at process start — the default for every
@@ -29,7 +45,13 @@ val flight_dir : string option
     timed-out run dumps its forensic bundle under that directory
     automatically — the always-on black box. *)
 
-val run : ?config:Config.t -> ?max_steps:int -> ?sanitize:bool -> Catalog.t -> result
+val run :
+  ?config:Config.t ->
+  ?max_steps:int ->
+  ?sanitize:bool ->
+  ?engine:engine ->
+  Catalog.t ->
+  result
 (** Load, compute attacker input against the image, run, judge.
     [max_steps] bounds the interpreter budget — the same deadline knob
     {!supervise} has always taken, so a serving layer can enforce per-job
@@ -44,6 +66,7 @@ val run : ?config:Config.t -> ?max_steps:int -> ?sanitize:bool -> Catalog.t -> r
 val run_forensic :
   ?config:Config.t ->
   ?max_steps:int ->
+  ?engine:engine ->
   dir:string ->
   Catalog.t ->
   result * Pna_flight.Flight.session * string
@@ -57,6 +80,7 @@ val run_hardened :
   ?config:Config.t ->
   ?max_steps:int ->
   ?sanitize:bool ->
+  ?engine:engine ->
   Catalog.t ->
   (Outcome.t * bool * San.violation list) option
 (** Run the §5.1 hardened twin under the same attacker input; the boolean
@@ -75,9 +99,16 @@ val run_hardened :
 
 type prepared
 
-val prepare : ?config:Config.t -> ?sanitize:bool -> Catalog.t -> prepared
+val prepare :
+  ?config:Config.t -> ?sanitize:bool -> ?engine:engine -> Catalog.t -> prepared
 (** With [sanitize], the oracle is attached before the snapshot is
-    frozen, so every rewind restores the pristine shadow map too. *)
+    frozen, so every rewind restores the pristine shadow map too. With
+    the bytecode engine, the program is compiled here — once — and every
+    rewound run reuses the unit. *)
+
+val prepared_engine : prepared -> engine
+(** The engine this prepared image runs on — serving layers key their
+    memo entries on it, so mixed-engine batches never share a hit. *)
 
 val run_prepared : ?max_steps:int -> prepared -> result
 
@@ -113,6 +144,7 @@ val supervise :
   ?jitter_pct:int ->
   ?max_steps:int ->
   ?reload:(unit -> Machine.t) ->
+  ?engine:engine ->
   plan:Pna_chaos.Plan.t ->
   Catalog.t ->
   supervised

@@ -1401,6 +1401,7 @@ let e16_fuzz ?(frames = 120) ~host ~port ~registry ~seed () =
               rq_chaos_seed = None;
               rq_max_steps = Some 1000;
               rq_sanitize = false;
+              rq_engine = `Interp;
               rq_trace = None;
             }))
   in
@@ -1866,6 +1867,7 @@ let e18_compat () =
       rq_chaos_seed = None;
       rq_max_steps = Some 1000;
       rq_sanitize = false;
+      rq_engine = `Interp;
       rq_trace = trace;
     }
   in

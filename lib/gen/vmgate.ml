@@ -1,0 +1,239 @@
+(** E19 — the bytecode-engine gate.
+
+    The compiled VM ({!Pna_minicpp.Vm}) is only admissible as a speed
+    lever if it is observationally indistinguishable from the
+    tree-walking interpreter. This gate drives both engines over
+
+    - the whole attack catalogue under defenses off and fully on, plain
+      and sanitized, and
+    - a seeded stream of generated genomes (the E17 corpus
+      distribution), sanitized,
+
+    comparing the complete {!Pna_attacks.Driver.result} — outcome
+    (status, step count, event stream, program output), verdict, and the
+    PNASan violation list — plus the per-run Vmem access-accounting
+    deltas (reads, writes, taint writes, faults), which pin down taint
+    propagation byte for byte. Any divergence fails the gate.
+
+    The speed half prepares an interpreter-bound arithmetic loop once
+    per engine and times [run_prepared]: the VM must clear a 3x floor,
+    the payoff the committed BENCH_interp.json records. *)
+
+module Driver = Pna_attacks.Driver
+module Catalog = Pna_attacks.Catalog
+module All = Pna_attacks.All
+module Config = Pna_defense.Config
+module Machine = Pna_machine.Machine
+module Vmem = Pna_vmem.Vmem
+module Outcome = Pna_minicpp.Outcome
+module Ast = Pna_minicpp.Ast
+module Ctype = Pna_layout.Ctype
+module Clock = Pna_telemetry.Clock
+module R = Pna_rand.Rand
+
+type row = {
+  q_id : string;
+  q_config : string;
+  q_sanitized : bool;
+  q_outcome : bool;  (** status, steps, events, output all equal *)
+  q_verdict : bool;
+  q_violations : bool;  (** the sanitizer observations, taint included *)
+  q_accounting : bool;  (** reads/writes/taint-writes/faults deltas equal *)
+}
+
+let row_ok r = r.q_outcome && r.q_verdict && r.q_violations && r.q_accounting
+
+type speed = {
+  s_steps : int;  (** steps per run — identical on both engines *)
+  s_interp_ms : float;
+  s_vm_ms : float;
+  s_ratio : float;  (** interp / vm — the compiled payoff; gate >= 3 *)
+}
+
+type t = {
+  v_rows : row list;  (** one per catalogue attack x config x sanitize *)
+  v_genomes : int;  (** generated genomes compared *)
+  v_genome_bad : row list;  (** the divergent ones — gate requires none *)
+  v_seed : int;
+  v_speed : speed;
+  v_ok : bool;
+}
+
+(* One rewound run with its access-accounting delta, E15-style: the
+   stats sampled immediately around [run_prepared] so only the run
+   itself is in the window. *)
+let accounted_run ~max_steps p =
+  let mem = Machine.mem (Driver.reset p) in
+  let sample () =
+    ( Vmem.total_reads mem,
+      Vmem.total_writes mem,
+      Vmem.total_taint_writes mem,
+      Vmem.total_faults mem )
+  in
+  let r0, w0, t0, f0 = sample () in
+  let r = Driver.run_prepared ~max_steps p in
+  let r1, w1, t1, f1 = sample () in
+  (r, (r1 - r0, w1 - w0, t1 - t0, f1 - f0))
+
+let compare_engines ~max_steps ~config ~sanitize (a : Catalog.t) =
+  let once engine =
+    accounted_run ~max_steps (Driver.prepare ~config ~sanitize ~engine a)
+  in
+  let ri, di = once `Interp in
+  let rv, dv = once `Bytecode in
+  {
+    q_id = a.Catalog.id;
+    q_config = config.Config.name;
+    q_sanitized = sanitize;
+    q_outcome = ri.Driver.outcome = rv.Driver.outcome;
+    q_verdict = ri.Driver.verdict = rv.Driver.verdict;
+    q_violations = ri.Driver.violations = rv.Driver.violations;
+    q_accounting = di = dv;
+  }
+
+let catalogue_budget = 200_000
+
+let catalogue () =
+  List.concat_map
+    (fun (a : Catalog.t) ->
+      List.concat_map
+        (fun config ->
+          List.map
+            (fun sanitize ->
+              compare_engines ~max_steps:catalogue_budget ~config ~sanitize a)
+            [ false; true ])
+        [ Config.none; Config.full ])
+    All.attacks
+
+(* The generated stream reuses the oracle's step budget: a genome the
+   oracle can classify is a genome both engines must agree on. *)
+let genomes ~seed ~n =
+  let rng = R.create (seed lxor 0x19e4b3) in
+  let bad = ref [] in
+  for _ = 1 to n do
+    let g = Genome.generate rng in
+    let row =
+      compare_engines ~max_steps:Oracle.default_max_steps ~config:Config.none
+        ~sanitize:true (Build.scenario g)
+    in
+    if not (row_ok row) then bad := row :: !bad
+  done;
+  List.rev !bad
+
+(* The speed floor scenario: a benign, interpreter-bound arithmetic loop
+   — no memory traffic to speak of, so the measured ratio is the
+   dispatch payoff itself, the dominant term in every loop-heavy
+   scenario. The catalogue attacks are too short-lived to time honestly
+   ([run_prepared] on them is dominated by snapshot restore). *)
+let bench_scenario ~iters =
+  let body =
+    Ast.
+      [
+        Assign
+          ( Var "acc",
+            Bin
+              ( Add,
+                Bin
+                  ( Mul,
+                    Bin
+                      ( Bor,
+                        Bin (Add, Bin (Mul, Var "i", Int 3), Int 1),
+                        Bin (Shr, Var "i", Int 2) ),
+                    Int 2 ),
+                Bin (Band, Var "acc", Int 7) ) );
+        Assign (Var "i", Bin (Add, Var "i", Int 1));
+      ]
+  in
+  let program =
+    Ast.
+      [
+        func ~ret:Ctype.Int "main"
+          [
+            Decl ("i", Ctype.Int, Some (Int 0));
+            Decl ("acc", Ctype.Int, Some (Int 0));
+            While (Bin (Lt, Var "i", Int iters), body);
+            Return (Some (Var "acc"));
+          ];
+      ]
+    |> Ast.program
+  in
+  Catalog.make ~id:"vm-bench-arith" ~section:"E19"
+    ~name:"interpreter-bound arithmetic loop" ~segment:Catalog.Stack
+    ~goal:"time the engine dispatch payoff on pure computation" ~program
+    ~mk_input:(fun _ -> ([], []))
+    ~check:(fun _ o ->
+      match o.Outcome.status with
+      | Outcome.Exited _ -> Catalog.success "loop completed"
+      | _ -> Catalog.failure "loop did not complete")
+    ()
+
+let speed ?(iters = 30_000) () =
+  let a = bench_scenario ~iters in
+  let max_steps = 100 * iters in
+  let time engine =
+    let p = Driver.prepare ~config:Config.none ~engine a in
+    let r0 = Driver.run_prepared ~max_steps p in
+    let best = ref Float.infinity in
+    for _ = 1 to 3 do
+      let t0 = Clock.now_ns () in
+      ignore (Driver.run_prepared ~max_steps p);
+      best := Float.min !best (Clock.elapsed_s ~a:t0 ~b:(Clock.now_ns ()))
+    done;
+    (r0, !best)
+  in
+  let ri, ti = time `Interp in
+  let rv, tv = time `Bytecode in
+  if ri.Driver.outcome <> rv.Driver.outcome then
+    invalid_arg "vmgate: bench scenario diverged between engines";
+  {
+    s_steps = ri.Driver.outcome.Outcome.steps;
+    s_interp_ms = ti *. 1e3;
+    s_vm_ms = tv *. 1e3;
+    s_ratio = (if tv > 0. then ti /. tv else Float.infinity);
+  }
+
+let speed_floor = 3.0
+
+let run ?(seed = 42) ?(n = 1000) ?iters () =
+  let rows = catalogue () in
+  let bad = genomes ~seed ~n in
+  let sp = speed ?iters () in
+  {
+    v_rows = rows;
+    v_genomes = n;
+    v_genome_bad = bad;
+    v_seed = seed;
+    v_speed = sp;
+    v_ok =
+      List.for_all row_ok rows && bad = [] && n > 0
+      && sp.s_ratio >= speed_floor;
+  }
+
+let pp_row ppf r =
+  Fmt.pf ppf "%-28s %-6s %-5s DIVERGES%s%s%s%s" r.q_id r.q_config
+    (if r.q_sanitized then "san" else "plain")
+    (if r.q_outcome then "" else "  [outcome]")
+    (if r.q_verdict then "" else "  [verdict]")
+    (if r.q_violations then "" else "  [violations]")
+    (if r.q_accounting then "" else "  [accounting]")
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>E19 — compiled bytecode == tree-walking interpreter@,%s@,"
+    (String.make 100 '-');
+  List.iter
+    (fun r -> if not (row_ok r) then Fmt.pf ppf "%a@," pp_row r)
+    t.v_rows;
+  List.iter (fun r -> Fmt.pf ppf "%a@," pp_row r) t.v_genome_bad;
+  Fmt.pf ppf
+    "catalogue: %d/%d engine pairs identical (outcome, verdict, violations, \
+     access accounting)@,\
+     generated: %d genomes (seed %d), %d divergence(s)@,\
+     speed: %d-step arith loop, interp %.1f ms vs vm %.1f ms rewound  (%.2fx, \
+     gate >= %.0f)@,\
+     => %s@]"
+    (List.length (List.filter row_ok t.v_rows))
+    (List.length t.v_rows) t.v_genomes t.v_seed
+    (List.length t.v_genome_bad)
+    t.v_speed.s_steps t.v_speed.s_interp_ms t.v_speed.s_vm_ms t.v_speed.s_ratio
+    speed_floor
+    (if t.v_ok then "OK" else "FAILED")

@@ -101,20 +101,21 @@ let store_scalar m addr ty v =
 
 (* What happens when control reaches [target]? A known symbol is an arc
    injection; a writable segment is code injection (unless NX); anything
-   else crashes. *)
-let classify st ~via ~target ~symbol ~tainted =
+   else crashes. Takes the machine (not the interpreter state) so the
+   bytecode engine shares the exact classification. *)
+let classify m ~via ~target ~symbol ~tainted =
   match symbol with
   | Some s -> Outcome.Arc_injection { via; symbol = s; tainted }
   | None -> (
-    match Vmem.find_segment (Machine.mem st.m) target with
+    match Vmem.find_segment (Machine.mem m) target with
     | None -> Outcome.Crashed (Fmt.str "jump to unmapped address 0x%08x" target)
     | Some seg -> (
       match seg.Segment.kind with
       | Segment.Text | Segment.Mmap ->
         Outcome.Crashed (Fmt.str "jump into non-function bytes at 0x%08x" target)
       | Segment.Data | Segment.Bss | Segment.Heap | Segment.Stack ->
-        if (Machine.config st.m).Config.nx_stack then begin
-          Machine.emit st.m (Event.Nx_blocked { addr = target });
+        if (Machine.config m).Config.nx_stack then begin
+          Machine.emit m (Event.Nx_blocked { addr = target });
           Outcome.Defense_blocked "nx-stack"
         end
         else Outcome.Code_injection { via; target; tainted }))
@@ -122,15 +123,15 @@ let classify st ~via ~target ~symbol ~tainted =
 (* ------------------------------------------------------------------ *)
 (* Method resolution                                                   *)
 
-let rec resolve_method st cname meth =
-  let c = Layout.find_class (env st) cname in
+let rec resolve_method env cname meth =
+  let c = Layout.find_class env cname in
   match Class_def.find_method c meth with
   | Some m -> m
   | None -> (
     let rec try_bases = function
       | [] -> type_error "class %s has no method %s" cname meth
       | b :: rest -> (
-        try resolve_method st b meth with Type_error _ -> try_bases rest)
+        try resolve_method env b meth with Type_error _ -> try_bases rest)
     in
     try_bases c.Class_def.c_bases)
 
@@ -416,7 +417,7 @@ and eval_method_call st ~func obj meth args =
       | Ctype.Ptr (Ctype.Class c) -> (Value.as_bits pv, c)
       | ty -> type_error "method call on %a" Ctype.pp ty)
   in
-  let mdef = resolve_method st cname meth in
+  let mdef = resolve_method (env st) cname meth in
   let this = Value.ptr ~ty:(Ctype.Ptr (Ctype.Class cname)) obj_addr in
   let argv = List.map (eval st ~func) args in
   if mdef.Class_def.m_virtual then begin
@@ -426,7 +427,7 @@ and eval_method_call st ~func obj meth args =
       | Some v -> v
       | None -> Value.int_ 0)
     | Machine.Virtual_hijacked { target; symbol; tainted } ->
-      raise (Halt (classify st ~via:Outcome.Vtable ~target ~symbol ~tainted))
+      raise (Halt (classify st.m ~via:Outcome.Vtable ~target ~symbol ~tainted))
   end
   else
     match call_function st ~caller:func mdef.Class_def.m_impl (this :: argv) with
@@ -445,7 +446,7 @@ and eval_fun_ptr_call st ~func f args =
   if tainted then begin
     Machine.emit st.m
       (Event.Fun_ptr_hijacked { name = "<indirect>"; actual = target; symbol; tainted });
-    raise (Halt (classify st ~via:Outcome.Function_pointer ~target ~symbol ~tainted))
+    raise (Halt (classify st.m ~via:Outcome.Function_pointer ~target ~symbol ~tainted))
   end
   else
     match symbol with
@@ -458,7 +459,7 @@ and eval_fun_ptr_call st ~func f args =
       raise
         (Halt (Outcome.Arc_injection { via = Outcome.Function_pointer; symbol = s; tainted }))
     | None ->
-      raise (Halt (classify st ~via:Outcome.Function_pointer ~target ~symbol ~tainted))
+      raise (Halt (classify st.m ~via:Outcome.Function_pointer ~target ~symbol ~tainted))
 
 (* Run a constructor body at [addr]. With no user-defined constructor, one
    pointer argument of class type invokes the implicit shallow copy
@@ -489,7 +490,7 @@ and construct st ~func ~addr ~cname args =
 (* Calls                                                               *)
 
 and call_function st ~caller name argv =
-  match builtin st name argv with
+  match builtin st.m name argv with
   | Some r -> r
   | None -> (
     match Ast.find_func st.prog name with
@@ -521,13 +522,13 @@ and invoke st ~caller fn argv =
   match Machine.pop_frame st.m with
   | Machine.Returned -> result
   | Machine.Hijacked { target; symbol; tainted } ->
-    raise (Halt (classify st ~via:Outcome.Return_address ~target ~symbol ~tainted))
+    raise (Halt (classify st.m ~via:Outcome.Return_address ~target ~symbol ~tainted))
 
 (* ------------------------------------------------------------------ *)
 (* Builtins                                                            *)
 
-and builtin st name argv =
-  let mem = Machine.mem st.m in
+and builtin m name argv =
+  let mem = Machine.mem m in
   let arg i = List.nth argv i in
   let addr i = Value.as_bits (arg i) in
   match (name, List.length argv) with
@@ -559,14 +560,14 @@ and builtin st name argv =
        backing this address still have? 0 when unknown. The hardener emits
        calls to this intrinsic (§5.1 bounds checking as source repair). *)
     let remaining =
-      Pna_machine.Arena.remaining (Machine.arenas st.m) (addr 0)
+      Pna_machine.Arena.remaining (Machine.arenas m) (addr 0)
     in
     Some (Some (Value.int_ (Option.value remaining ~default:0)))
   | "recv", 2 ->
     (* read one raw datagram from the attacker into [dst], up to [maxlen]
        bytes; unlike cin_str the payload may contain NULs. Returns the
        number of bytes written. Every byte is tainted. *)
-    let payload = Machine.next_string st.m in
+    let payload = Machine.next_string m in
     let maxlen = Value.as_bits (arg 1) in
     let len = min maxlen (String.length payload) in
     Vmem.write_bytes ~tag:"recv" ~taint:true mem (addr 0)
@@ -576,7 +577,7 @@ and builtin st name argv =
     (* model of "send this memory to persistent storage / the network":
        emits the raw bytes to program output where the driver can observe
        leaked secrets (§4.3) *)
-    Machine.print st.m (Vmem.read_bytes mem (addr 0) (Value.as_bits (arg 1)));
+    Machine.print m (Vmem.read_bytes mem (addr 0) (Value.as_bits (arg 1)));
     Some None
   | "exit", 1 -> raise (Halt (Outcome.Exited (Value.as_int (arg 0))))
   | _ -> None
@@ -668,6 +669,16 @@ and assign_into st ~func (addr, ty) e =
   | _ ->
     let v = eval st ~func e in
     store_scalar st.m addr ty v
+
+(* The static (name, arity) pairs [builtin] dispatches on — the bytecode
+   compiler pre-binds these so calls skip the name scan. Must stay in
+   lockstep with the match in [builtin]. *)
+let is_builtin name arity =
+  match (name, arity) with
+  | ("strlen" | "__arena_size" | "exit"), 1 -> true
+  | ("strcpy" | "recv" | "store"), 2 -> true
+  | ("strncpy" | "memcpy" | "memset"), 3 -> true
+  | _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Loading and running                                                 *)

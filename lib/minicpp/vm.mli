@@ -1,0 +1,35 @@
+(** Bytecode engine entry points: {!Interp.run}/{!Interp.execute}'s exact
+    contract, driven by compiled units instead of the AST. Outcomes, step
+    counts, events and taint are byte-identical to the interpreter (gated
+    by E19); telemetry spans carry [cat:"vm"]. *)
+
+val load : Ast.program -> Compile.t
+(** Fetch (or compile) the unit for a program, under a [cat:"vm"] "load"
+    span. Units are cached by physical program identity. *)
+
+val run :
+  ?max_steps:int ->
+  ?max_depth:int ->
+  ?on_stmt:(string -> Ast.stmt -> unit) ->
+  ?on_tick:(int -> unit) ->
+  Pna_machine.Machine.t ->
+  Compile.t ->
+  entry:string ->
+  Outcome.t
+(** Execute [entry] from a compiled unit. Never raises; defaults match
+    {!Interp.run} (2,000,000 steps, depth 256). *)
+
+val execute :
+  ?heap_size:int ->
+  ?max_steps:int ->
+  ?max_depth:int ->
+  ?on_stmt:(string -> Ast.stmt -> unit) ->
+  ?on_tick:(int -> unit) ->
+  config:Pna_defense.Config.t ->
+  ?input_ints:int list ->
+  ?input_strings:string list ->
+  ?entry:string ->
+  Ast.program ->
+  Outcome.t
+(** [Interp.load] + set input + compile + {!run} in one call, with the
+    same load-failure classification as {!Interp.execute}. *)

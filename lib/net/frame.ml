@@ -42,6 +42,9 @@ type req = {
   rq_chaos_seed : int option;  (** run supervised under this plan seed *)
   rq_max_steps : int option;  (** deadline in interpreter steps *)
   rq_sanitize : bool;
+  rq_engine : [ `Interp | `Bytecode ];
+      (** flags bit 16 on the wire; frames without it decode as
+          [`Interp], so pre-engine clients keep their old meaning *)
   rq_trace : (int * int) option;
       (** (trace id, parent span id) — links the server's spans under
           the caller's trace; [None] encodes as a version-1 frame *)
@@ -197,7 +200,8 @@ let payload_of b = function
       (if r.rq_chaos_seed <> None then 1 else 0)
       lor (if r.rq_max_steps <> None then 2 else 0)
       lor (if r.rq_sanitize then 4 else 0)
-      lor if r.rq_trace <> None then 8 else 0
+      lor (if r.rq_trace <> None then 8 else 0)
+      lor if r.rq_engine = `Bytecode then 16 else 0
     in
     add_u8 b flags;
     Option.iter (add_u32 b) r.rq_chaos_seed;
@@ -263,6 +267,7 @@ let parse_payload kind c =
         rq_chaos_seed;
         rq_max_steps;
         rq_sanitize;
+        rq_engine = (if flags land 16 <> 0 then `Bytecode else `Interp);
         rq_trace;
       }
   | 2 ->
@@ -420,7 +425,8 @@ let encode_memo_entry (e : Service.memo_entry) =
     (if e.Service.me_chaos_seed <> None then 1 else 0)
     lor (if e.Service.me_sanitize then 2 else 0)
     lor (if r.Service.r_success then 4 else 0)
-    lor if r.Service.r_cached then 8 else 0
+    lor (if r.Service.r_cached then 8 else 0)
+    lor if e.Service.me_engine = "bytecode" then 16 else 0
   in
   add_u8 b flags;
   Option.iter (add_u32 b) e.Service.me_chaos_seed;
@@ -451,6 +457,9 @@ let decode_memo_entry s : (Service.memo_entry, string) result =
       me_chaos_seed;
       me_input_hash;
       me_sanitize = flags land 2 <> 0;
+      (* pre-engine logs have the bit clear and decode as interpreter
+         entries — exactly what produced them *)
+      me_engine = (if flags land 16 <> 0 then "bytecode" else "interp");
       me_reply =
         {
           Service.r_id = me_attack;

@@ -39,16 +39,20 @@ type job = {
   j_sanitize : bool;
       (** attach the PNASan oracle; plain runs only — a chaos job ignores
           it (supervision rebuilds machines mid-run) *)
+  j_engine : Driver.engine;
+      (** which execution engine drives the run; part of every prepared
+          and memo key, so mixed-engine batches never share an entry *)
   j_trace : (int * int) option;
       (** (trace id, parent span) — worker-side spans link under the
           submitter's trace; never part of the memo key *)
 }
 
 let job ?chaos_seed ?max_steps ?(sanitize = Driver.env_sanitize)
-    ?(config = Config.none) ?trace
+    ?(engine = Driver.env_engine) ?(config = Config.none) ?trace
     attack =
   { j_attack = attack; j_config = config; j_chaos_seed = chaos_seed;
-    j_max_steps = max_steps; j_sanitize = sanitize; j_trace = trace }
+    j_max_steps = max_steps; j_sanitize = sanitize; j_engine = engine;
+    j_trace = trace }
 
 type reply = {
   r_id : string;
@@ -230,17 +234,22 @@ let mk_shard () =
    eviction; hot scenarios stay prepared, a cold sweep degrades to
    load-per-job. *)
 type ctx = {
-  cx_prepared : (string * string * bool, Driver.prepared * int) Hashtbl.t;
-      (** prepared scenario + the hash of its attacker input; the input
-          against a freshly rewound image is a pure function of the
-          prepared scenario, so it is hashed once at load time and memo
-          hits cost two table lookups with no machine work *)
-  cx_order : (string * string * bool) Queue.t;
+  cx_prepared :
+    (string * string * bool * string, Driver.prepared * int) Hashtbl.t;
+      (** keyed by (scenario, config, sanitize, engine name): a bytecode
+          prepared scenario owns a compiled unit alongside its snapshot,
+          an interpreter one does not, so the two must never alias. The
+          value is the prepared scenario + the hash of its attacker
+          input; the input against a freshly rewound image is a pure
+          function of the prepared scenario, so it is hashed once at
+          load time and memo hits cost two table lookups with no
+          machine work *)
+  cx_order : (string * string * bool * string) Queue.t;
   cx_cap : int;
   cx_shard : shard;
 }
 
-type memo_key = string * string * int option * int * bool
+type memo_key = string * string * int option * int * bool * string
 
 (* The memo cache, sharded by key hash with one lock per shard so
    concurrent lookups from different workers almost never contend (the
@@ -380,6 +389,9 @@ type memo_entry = {
   me_chaos_seed : int option;
   me_input_hash : int;
   me_sanitize : bool;
+  me_engine : string;
+      (** {!Driver.engine_name} spelling; older logs without the field
+          decode as ["interp"] *)
   me_reply : reply;
 }
 
@@ -568,11 +580,19 @@ let shutdown t = Pool.shutdown t.pool
 (* --- worker-side execution --- *)
 
 let prepared_for ctx (j : job) =
-  let key = (j.j_attack.Catalog.id, j.j_config.Config.name, j.j_sanitize) in
+  let key =
+    ( j.j_attack.Catalog.id,
+      j.j_config.Config.name,
+      j.j_sanitize,
+      Driver.engine_name j.j_engine )
+  in
   match Hashtbl.find_opt ctx.cx_prepared key with
   | Some entry -> entry
   | None ->
-    let p = Driver.prepare ~config:j.j_config ~sanitize:j.j_sanitize j.j_attack in
+    let p =
+      Driver.prepare ~config:j.j_config ~sanitize:j.j_sanitize
+        ~engine:j.j_engine j.j_attack
+    in
     let entry = (p, Hashtbl.hash (Driver.prepared_input p)) in
     ctx.cx_shard.sh_loads <- ctx.cx_shard.sh_loads + 1;
     if Hashtbl.length ctx.cx_prepared >= ctx.cx_cap then begin
@@ -659,7 +679,8 @@ let execute t ctx (j : job) =
       j.j_config.Config.name,
       j.j_chaos_seed,
       input_hash,
-      j.j_sanitize )
+      j.j_sanitize,
+      Driver.engine_name j.j_engine )
   in
   match memo_find t key with
   | Some cached ->
@@ -678,6 +699,7 @@ let execute t ctx (j : job) =
         let plan = Plan.generate ~seed () in
         let s =
           Driver.supervise ~config:j.j_config ?max_steps:j.j_max_steps
+            ~engine:j.j_engine
             ~reload:(fun () -> Driver.reset p)
             ~plan j.j_attack
         in
@@ -691,7 +713,7 @@ let execute t ctx (j : job) =
       match Atomic.get t.memo_sink with
       | None -> ()
       | Some sink ->
-        let id, config, chaos_seed, input_hash, sanitize = key in
+        let id, config, chaos_seed, input_hash, sanitize, engine = key in
         sink
           {
             me_attack = id;
@@ -699,6 +721,7 @@ let execute t ctx (j : job) =
             me_chaos_seed = chaos_seed;
             me_input_hash = input_hash;
             me_sanitize = sanitize;
+            me_engine = engine;
             me_reply = reply;
           }
     end;
@@ -766,7 +789,7 @@ let preload_memo t entries =
     (fun e ->
       let key =
         (e.me_attack, e.me_config, e.me_chaos_seed, e.me_input_hash,
-         e.me_sanitize)
+         e.me_sanitize, e.me_engine)
       in
       if memo_store t key { e.me_reply with r_cached = false } then
         incr loaded)

@@ -1,7 +1,7 @@
 (** The scenario-execution service: runs catalogue jobs on a {!Pool} of
     domain workers, rewinding prepared machine snapshots between requests
     and memoizing results by [(scenario, config, chaos seed, input hash,
-    sanitize)].
+    sanitize, engine)].
 
     Replies are derived purely from per-job state, so a batch at any
     worker count is verdict-identical to the sequential {!Driver.run}. *)
@@ -23,6 +23,14 @@ type job = {
           it (supervision rebuilds machines mid-run). Defaults to
           {!Driver.env_sanitize} so a [PNA_SANITIZE=1] process sanitizes
           pooled and sequential runs alike. *)
+  j_engine : Driver.engine;
+      (** which execution engine drives the run (default
+          {!Driver.env_engine}). Part of every prepared-cache and memo
+          key — the engines are observationally identical (the E19
+          gate), but the service never assumes the theorem it exists to
+          exercise, so mixed-engine batches keep separate entries. A
+          bytecode job's prepared scenario carries its compiled unit,
+          so rewound runs reuse the compilation. *)
   j_trace : (int * int) option;
       (** (trace id, parent span) — the worker retroactively records its
           queue wait as a span under this parent and runs the job with
@@ -34,6 +42,7 @@ val job :
   ?chaos_seed:int ->
   ?max_steps:int ->
   ?sanitize:bool ->
+  ?engine:Driver.engine ->
   ?config:Config.t ->
   ?trace:int * int ->
   Catalog.t ->
@@ -153,6 +162,9 @@ type memo_entry = {
   me_chaos_seed : int option;
   me_input_hash : int;
   me_sanitize : bool;
+  me_engine : string;
+      (** {!Driver.engine_name} spelling; logs written before the engine
+          field decode as ["interp"] *)
   me_reply : reply;
 }
 

@@ -316,6 +316,31 @@ let[@inline] bump_writes t (seg : Segment.t) n ~tainted =
   row.a_writes <- row.a_writes + n;
   if tainted > 0 then row.a_taint_writes <- row.a_taint_writes + tainted
 
+(* Shadow the byte-path [read_u8]/[write_u8] above with fast-span
+   variants. The byte path stays the fallback — and the reference
+   semantics — for straddles (impossible at width 1, but unmapped or
+   protected bytes land there) and armed hooks. Accounting is
+   identical: one read/write bump on the segment's row, taint splat,
+   and no write record (the trace forces the byte path). *)
+let read_u8_byte = read_u8
+let write_u8_byte = write_u8
+
+let read_u8 t addr =
+  match fast_span t addr 1 Fault.Read with
+  | Some seg ->
+    bump_reads t seg 1;
+    Char.code (Bytes.unsafe_get seg.Segment.bytes (addr - seg.Segment.base))
+  | None -> read_u8_byte t addr
+
+let write_u8 ?(tag = "") ?(taint = false) t addr v =
+  match fast_span t addr 1 Fault.Write with
+  | Some seg ->
+    bump_writes t seg 1 ~tainted:(if taint then 1 else 0);
+    let off = addr - seg.Segment.base in
+    Bytes.unsafe_set seg.Segment.bytes off (Char.unsafe_chr (v land 0xff));
+    Bytes.unsafe_set seg.Segment.taint off (taint_char taint)
+  | None -> write_u8_byte ~tag ~taint t addr v
+
 let read_u16 t addr =
   match fast_span t addr 2 Fault.Read with
   | Some seg ->
@@ -564,6 +589,77 @@ let tainted_bytes t addr len =
       if taint_of t (addr + i) then incr n
     done;
     !n
+
+(* Combined scalar reads: value and taint in one segment resolution.
+   The scalar engines load a value and then ask whether any contributing
+   byte was tainted — done naively that resolves the segment twice per
+   load. The fast path here requires the same conditions as [fast_span]
+   (quiet memory, one spanning segment) and performs exactly the same
+   accounting as [read_uN]+[range_tainted] would: reads bumped by [len],
+   taint scanned without accounting. Anything else falls back to those
+   two calls in the order the engines always made them (taint query
+   first — it bypasses hooks — then the checked read). *)
+
+let read_u8_taint t addr =
+  match fast_span t addr 1 Fault.Read with
+  | Some seg ->
+    bump_reads t seg 1;
+    let off = addr - seg.Segment.base in
+    (Char.code (Bytes.unsafe_get seg.Segment.bytes off) lsl 1)
+    lor (if Bytes.unsafe_get seg.Segment.taint off <> '\000' then 1 else 0)
+  | None ->
+    let tainted = range_tainted t addr 1 in
+    (read_u8 t addr lsl 1) lor (if tainted then 1 else 0)
+
+let read_u16_taint t addr =
+  match fast_span t addr 2 Fault.Read with
+  | Some seg ->
+    bump_reads t seg 2;
+    let off = addr - seg.Segment.base in
+    let taint = seg.Segment.taint in
+    (Bytes.get_uint16_le seg.Segment.bytes off lsl 1)
+    lor
+    (if
+       Bytes.unsafe_get taint off <> '\000'
+       || Bytes.unsafe_get taint (off + 1) <> '\000'
+     then 1
+     else 0)
+  | None ->
+    let tainted = range_tainted t addr 2 in
+    (read_u16 t addr lsl 1) lor (if tainted then 1 else 0)
+
+let read_u32_taint t addr =
+  match fast_span t addr 4 Fault.Read with
+  | Some seg ->
+    bump_reads t seg 4;
+    let off = addr - seg.Segment.base in
+    let taint = seg.Segment.taint in
+    (Int32.to_int (Bytes.get_int32_le seg.Segment.bytes off)
+     land 0xffffffff)
+    lsl 1
+    lor
+    (if
+       Bytes.unsafe_get taint off <> '\000'
+       || Bytes.unsafe_get taint (off + 1) <> '\000'
+       || Bytes.unsafe_get taint (off + 2) <> '\000'
+       || Bytes.unsafe_get taint (off + 3) <> '\000'
+     then 1
+     else 0)
+  | None ->
+    let tainted = range_tainted t addr 4 in
+    (read_u32 t addr lsl 1) lor (if tainted then 1 else 0)
+
+let read_f64_taint t addr =
+  match fast_span t addr 8 Fault.Read with
+  | Some seg ->
+    bump_reads t seg 8;
+    let off = addr - seg.Segment.base in
+    let taint = seg.Segment.taint in
+    let rec any i = i < 8 && (Bytes.unsafe_get taint (off + i) <> '\000' || any (i + 1)) in
+    (Int64.float_of_bits (Bytes.get_int64_le seg.Segment.bytes off), any 0)
+  | None ->
+    let tainted = range_tainted t addr 8 in
+    (read_f64 t addr, tainted)
 
 let set_taint t addr len tainted =
   match seg_span t addr len Fault.Read with

@@ -6,7 +6,7 @@
     view. Every write carries a taint flag; taint marks bytes whose value
     derives from attacker input and travels with copies.
 
-    Multi-byte accessors take a fast path — one segment lookup, one
+    Scalar accessors take a fast path — one segment lookup, one
     permission check, one stats bump, one taint splat against the
     segment's backing bytes — whenever the whole range lies inside one
     segment and no chaos hook, observer or write trace is armed. Any
@@ -55,6 +55,23 @@ val write_i32 : ?tag:string -> ?taint:bool -> t -> int -> int -> unit
 
 val to_signed32 : int -> int
 val of_signed32 : int -> int
+
+(** {1 Combined scalar reads}
+
+    Value plus any-byte-tainted in a single segment resolution — the
+    scalar-load fast path for the execution engines, which otherwise pay
+    one resolution for the taint query and another for the read.
+    Accounting and semantics are exactly [read_uN] + [range_tainted]:
+    reads are bumped by the access width, the taint scan is unaccounted,
+    and when the fast path does not apply (hooks armed, straddling span)
+    the two calls are made in that order. The integer variants return
+    [bits lsl 1 lor taint] — packed in one immediate so the hot load
+    path stays allocation-free. *)
+
+val read_u8_taint : t -> int -> int
+val read_u16_taint : t -> int -> int
+val read_u32_taint : t -> int -> int
+val read_f64_taint : t -> int -> float * bool
 
 (** {1 Loader-only raw access}
 

@@ -203,6 +203,54 @@ let test_copy_loop_constant_ok () =
   in
   Alcotest.(check bool) "3 <= capacity 3" false (has F.Copy_overflow (PC.analyze p))
 
+(* the E17-surfaced miss: an attacker-controlled memset length is a
+   tainted copy size even though no loop or placement is in sight *)
+let test_tainted_memset_flagged () =
+  let p =
+    prog
+      ~globals:[ global "pool" (char_arr 64) ]
+      [ decli "n" int cin; expr (call "memset" [ v "pool"; i 0x41; v "n" ]) ]
+  in
+  Alcotest.(check bool) "tainted memset length" true
+    (has F.Tainted_size (PC.analyze p))
+
+let test_guarded_memset_quiet () =
+  let p =
+    prog
+      ~globals:[ global "pool" (char_arr 64) ]
+      [
+        decli "n" int cin;
+        if_ (v "n" <=: i 64)
+          [ expr (call "memset" [ v "pool"; i 0x41; v "n" ]) ]
+          [];
+      ]
+  in
+  Alcotest.(check (list string)) "guard bounds the length" []
+    (List.map F.kind_name (kinds (PC.analyze p)))
+
+let test_oversize_memset_flagged () =
+  let p =
+    prog
+      ~globals:[ global "pool" (char_arr 64) ]
+      [ expr (call "memset" [ v "pool"; i 0; i 100 ]) ]
+  in
+  Alcotest.(check bool) "constant 100 > 64" true
+    (has F.Copy_overflow (PC.analyze p))
+
+(* the E17-surfaced false positive: the runtime heap hands out
+   align8-rounded blocks ([Heap.block_size]), so a 16-byte object in a
+   [new char[13]] block fits the 16 bytes actually allocated *)
+let test_heap_padding_not_flagged () =
+  let p =
+    prog
+      [
+        decli "g" (ptr char) (new_arr char (i 13));
+        expr (pnew (v "g") (cls "Student") []);
+      ]
+  in
+  Alcotest.(check (list string)) "padding absorbs the placement" []
+    (List.map F.kind_name (kinds (PC.analyze p)))
+
 let test_info_leak_flagged_and_memset_suppresses () =
   let leaky =
     prog
@@ -493,6 +541,10 @@ let suite =
         t "placement into a member field checked" test_member_placement_flagged;
         t "remote-bounded copy loop flagged" test_copy_loop_flagged;
         t "constant copy loop within capacity quiet" test_copy_loop_constant_ok;
+        t "tainted memset length flagged" test_tainted_memset_flagged;
+        t "guarded memset quiet" test_guarded_memset_quiet;
+        t "oversize constant memset flagged" test_oversize_memset_flagged;
+        t "heap padding absorbs exact placement" test_heap_padding_not_flagged;
         t "info leak flagged; memset suppresses" test_info_leak_flagged_and_memset_suppresses;
         t "placement-delete mismatch flagged" test_delete_placed_flagged;
         t "heap-pointer placement checked" test_placement_through_heap_pointer;

@@ -36,13 +36,14 @@ let gen_msg : Frame.msg QCheck.Gen.t =
        and* rq_chaos_seed = opt (int_bound 1000)
        and* rq_max_steps = opt (int_range 1 2_000_000)
        and* rq_sanitize = bool
+       and* rq_engine = oneofl [ `Interp; `Bytecode ]
        and* rq_trace =
          opt (pair (int_range 1 0x3fffffff) (int_range 1 0x3fffffff))
        in
        return
          (Frame.Request
             { rq_corr; rq_attack; rq_config; rq_chaos_seed; rq_max_steps;
-              rq_sanitize; rq_trace }));
+              rq_sanitize; rq_engine; rq_trace }));
       (let* rp_corr = corr
        and* rp_id = str
        and* rp_config = str
@@ -182,6 +183,7 @@ let test_frame_versioning () =
         rq_chaos_seed = None;
         rq_max_steps = None;
         rq_sanitize = false;
+        rq_engine = `Interp;
         rq_trace = trace;
       }
   in
@@ -229,13 +231,14 @@ let test_frame_versioning () =
 (* ---- memo-entry codec + memo log ---- *)
 
 let mk_entry ?(attack = "overflow-vptr") ?(config = "none") ?(seed = None)
-    ?(hash = 0x1234) () =
+    ?(hash = 0x1234) ?(engine = "interp") () =
   {
     Service.me_attack = attack;
     me_config = config;
     me_chaos_seed = seed;
     me_input_hash = hash;
     me_sanitize = false;
+    me_engine = engine;
     me_reply =
       {
         Service.r_id = attack;
@@ -361,6 +364,7 @@ let mk_req ?(corr = 1) ?(attack = attack_id) ?(config = "none")
     rq_chaos_seed = None;
     rq_max_steps = Some max_steps;
     rq_sanitize = false;
+    rq_engine = Pna_attacks.Driver.env_engine;
     rq_trace = trace;
   }
 

@@ -32,4 +32,5 @@ let () =
       Test_flight.suite;
       Test_net.suite;
       Test_gen.suite;
+      Test_vm.suite;
     ]
