@@ -5,8 +5,8 @@
     [memleak] (E6), [audit] (E7), [defmatrix]/[overhead] (E8),
     [chaos] (E9), [randtest] (E10), [repair] (E11), [throughput] (E12),
     [telemetry] (E13), [oracle] (E14), [scaling] (E15), [netgate] (E16),
-    [gengate] (E17), [tracegate] (E18), [vmgate] (E19), plus
-    [generate]/[fuzz]/[corpus]
+    [gengate] (E17), [tracegate] (E18), [vmgate] (E19), [cowgate] (E20),
+    plus [generate]/[fuzz]/[corpus]
     for the generative attack catalogue, [batch]/[serve] to drive the
     parallel scenario service,
     [serve-tcp]/[loadgen]/[compact] for the TCP front end and its
@@ -762,6 +762,7 @@ module GenFuzz = Pna_gen.Fuzz
 module GenCorpus = Pna_gen.Corpus
 module GenGate = Pna_gen.Gate
 module VmGate = Pna_gen.Vmgate
+module CowGate = Pna_gen.Cowgate
 
 let gen_seed_t =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
@@ -935,16 +936,29 @@ let vmgate_cmd =
        ~doc:"E19: the bytecode-engine gate — the compiled VM and the              tree-walking interpreter produce identical outcomes, verdicts,              sanitizer observations and access accounting over the whole              catalogue and a seeded genome stream, and the VM clears a 3x              rewound-run speed floor.")
     Term.(const run $ gen_seed_t $ gen_n_t 1000)
 
+let cowgate_cmd =
+  let run seed n =
+    let g = CowGate.run ~seed ~n () in
+    Fmt.pr "%a@." CowGate.pp g;
+    if not g.CowGate.c_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "cowgate"
+       ~doc:"E20: the copy-on-write equivalence gate — dirty-page rewinds and              thawed image replicas reproduce the full-copy reference              bit-for-bit (results, memory, taint, permissions, shadow map)              over the whole catalogue and a seeded genome stream.")
+    Term.(const run $ gen_seed_t $ gen_n_t 300)
+
 let all_cmd =
-  simple "all" "Run every experiment (E1-E19)." (fun () ->
+  simple "all" "Run every experiment (E1-E20)." (fun () ->
       E.run_all Fmt.stdout ();
-      (* E17/E19 at sampling counts — the full 1000-genome runs are the
-         dedicated [gengate] / [vmgate] entry points *)
+      (* E17/E19/E20 at sampling counts — the full-stream runs are the
+         dedicated [gengate] / [vmgate] / [cowgate] entry points *)
       let g = GenGate.run ~n:300 () in
       Fmt.pr "@.%a@." GenGate.pp g;
       let v = VmGate.run ~n:150 () in
       Fmt.pr "@.%a@." VmGate.pp v;
-      if not (g.GenGate.e_ok && v.VmGate.v_ok) then exit 1)
+      let c = CowGate.run ~n:100 () in
+      Fmt.pr "@.%a@." CowGate.pp c;
+      if not (g.GenGate.e_ok && v.VmGate.v_ok && c.CowGate.c_ok) then exit 1)
 
 (* ---- net: the TCP front end (serve-tcp / loadgen / compact / netgate) ---- *)
 
@@ -969,6 +983,10 @@ let serve_tcp_cmd =
     Arg.(value & opt int 2_000_000 & info [ "max-steps-cap" ] ~docv:"N"
            ~doc:"Ceiling clamped onto every request's step deadline.")
   in
+  let loops_t =
+    Arg.(value & opt int 1 & info [ "loops" ] ~docv:"N"
+           ~doc:"Select-loop domains sharing the listener (accept-fanout).              Each connection is owned by the loop that accepted it for its              whole life; the in-flight and connection caps stay global.")
+  in
   let corpus_t =
     Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"PATH"
            ~doc:"Load a generated corpus and register its scenarios, so              requests can target gen-XXXXXXXX ids alongside the paper              catalogue.")
@@ -977,8 +995,8 @@ let serve_tcp_cmd =
     Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"PATH"
            ~doc:"With $(b,--metrics): write the server-side Chrome trace here              on drain, for merging with a client trace via              $(b,pna trace --merge).")
   in
-  let run jobs host port max_inflight memo_log max_steps_cap corpus metrics
-      trace_out =
+  let run jobs host port max_inflight memo_log max_steps_cap loops corpus
+      metrics trace_out =
     if metrics || trace_out <> None then Telemetry.enable ();
     Option.iter
       (fun p ->
@@ -992,11 +1010,11 @@ let serve_tcp_cmd =
       Server.start
         ~config:
           { Server.default_config with host; port; max_inflight; memo_log;
-            max_steps_cap }
+            max_steps_cap; loops = max 1 loops }
         svc
     in
-    Fmt.pr "pna: serving on %s:%d (%d workers%s)@." host (Server.port server)
-      (Service.jobs svc)
+    Fmt.pr "pna: serving on %s:%d (%d workers, %d loop(s)%s)@." host
+      (Server.port server) (Service.jobs svc) (max 1 loops)
       (match memo_log with
       | None -> ""
       | Some p ->
@@ -1031,7 +1049,7 @@ let serve_tcp_cmd =
     (Cmd.info "serve-tcp"
        ~doc:"Serve the scenario service over TCP: length-prefixed CRC-framed              requests, bounded admission with shed replies, graceful drain on              SIGINT/SIGTERM, optional crash-safe on-disk memo log.")
     Term.(const run $ jobs_t $ host_t $ port_t $ inflight_t $ memo_log_t
-          $ steps_cap_t $ corpus_t $ metrics_t $ trace_out_t)
+          $ steps_cap_t $ loops_t $ corpus_t $ metrics_t $ trace_out_t)
 
 let loadgen_cmd =
   let port_t =
@@ -1358,6 +1376,7 @@ let () =
             top_cmd;
             tracegate_cmd;
             vmgate_cmd;
+            cowgate_cmd;
             harden_cmd;
             all_cmd;
           ]))

@@ -280,6 +280,73 @@ let run_prepared ?max_steps p =
 let prepared_input p =
   p.pr_attack.Catalog.mk_input (reset p)
 
+(* --- frozen images: share one prepared snapshot across domains --- *)
+
+(* Everything needed to rebuild a [prepared] without re-running
+   [Interp.load]: the frozen post-load snapshot plus the immutable
+   inputs. The snapshot is only ever read — [Machine.restore] never
+   writes into it — so one image can back any number of domain-local
+   replicas; frozen segment pages are shared, and each replica's rewinds
+   are dirty-page blits against the shared backing. *)
+type image = {
+  im_attack : Catalog.t;
+  im_config : Config.t;
+  im_sanitize : bool;
+  im_engine : engine;
+  im_unit : Pna_minicpp.Compile.t option;
+  im_snapshot : Machine.snapshot;
+  im_env : Pna_layout.Layout.env;
+}
+
+let freeze p =
+  {
+    im_attack = p.pr_attack;
+    im_config = p.pr_config;
+    im_sanitize = p.pr_san <> None;
+    im_engine = p.pr_engine;
+    im_unit = p.pr_unit;
+    im_snapshot = p.pr_image;
+    im_env = Machine.env p.pr_machine;
+  }
+
+(* Instantiate a domain-local replica: a blank machine shell over the
+   same fixed address map, the oracle re-attached when the image was
+   sanitized, then one full-copy restore to the shared snapshot. After
+   that first restore the replica is synced, so its per-run rewinds blit
+   only dirty pages. [Layout.of_class] memoizes into the env's tables, so
+   each replica gets its own copy of the env rather than racing other
+   domains on the shared one (the layout values themselves are
+   immutable). *)
+let thaw im =
+  Trace.with_span ~cat:"driver" "thaw"
+    ~args:[ ("scenario", Trace.Str im.im_attack.Catalog.id) ]
+  @@ fun () ->
+  let env =
+    {
+      Pna_layout.Layout.classes = Hashtbl.copy im.im_env.Pna_layout.Layout.classes;
+      layouts = Hashtbl.copy im.im_env.Pna_layout.Layout.layouts;
+    }
+  in
+  let m = Machine.create ~config:im.im_config env in
+  let san =
+    if im.im_sanitize then Some (oracle m ~scenario:im.im_attack.Catalog.id)
+    else None
+  in
+  Machine.restore m im.im_snapshot;
+  {
+    pr_attack = im.im_attack;
+    pr_config = im.im_config;
+    pr_machine = m;
+    pr_image = im.im_snapshot;
+    pr_san = san;
+    pr_engine = im.im_engine;
+    pr_unit = im.im_unit;
+    pr_restores = 0;
+  }
+
+let image_engine im = im.im_engine
+let image_sanitized im = im.im_sanitize
+
 (* --- supervised execution under a fault plan --- *)
 
 module Chaos = Pna_chaos.Chaos

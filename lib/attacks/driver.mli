@@ -122,6 +122,30 @@ val prepared_input : prepared -> int list * string list
 (** The attacker input computed against the (rewound) prepared image —
     what a memoizing cache hashes. *)
 
+(** {1 Frozen images: one prepared snapshot, many domain replicas}
+
+    An [image] is the immutable part of a prepared scenario — the frozen
+    post-load snapshot plus program, config, engine and compiled unit.
+    It is only ever read, so one image may be shared between domains;
+    {!thaw} instantiates a domain-local replica around it without
+    re-running [Interp.load]. Replicas share the image's frozen segment
+    backing, and their per-run rewinds are dirty-page blits against it. *)
+
+type image
+
+val freeze : prepared -> image
+(** The prepared scenario's shareable part. The prepared value remains
+    usable; it and every thawed replica rewind to the same snapshot. *)
+
+val thaw : image -> prepared
+(** Build a fresh machine shell over the image's address map (with the
+    oracle re-attached when the image was sanitized), restore it to the
+    frozen snapshot once, and return it as a domain-local replica —
+    byte-identical to the prepared value the image was frozen from. *)
+
+val image_engine : image -> engine
+val image_sanitized : image -> bool
+
 (** {1 Supervised execution under a fault plan} *)
 
 type supervised = {

@@ -2056,12 +2056,14 @@ let e14_ok r =
   && r.t14_overhead.ov_ratio <= 1.05
 
 (* The scaling gate adapts to the host: with enough cores for the
-   largest worker count the pool must actually be faster (1.5x at 4+
-   domains, 1.2x at 2-3 — parallel overheads eat more of a 2-way run);
-   oversubscribed hosts (CI smoke on small runners, 1-core dev boxes)
-   only have to bound the anti-scaling — domains that fight for one core
-   may lose ground to context switches and GC rendezvous, but a healthy
-   pool loses at most 2.5x, not the ~6x an untuned minor heap costs. *)
+   largest worker count the pool must actually be faster (2x at 4+
+   domains now that rewinds are dirty-page blits and dispatch is
+   per-worker deques, 1.2x at 2-3 — parallel overheads eat more of a
+   2-way run); oversubscribed hosts (CI smoke on small runners, 1-core
+   dev boxes) only have to bound the anti-scaling — domains that fight
+   for one core may lose ground to context switches and GC rendezvous,
+   but a healthy pool loses at most 2.5x, not the ~6x an untuned minor
+   heap costs. *)
 let e15_scale_ok ~cores rows =
   match rows with
   | first :: (_ :: _ as rest) ->
@@ -2071,7 +2073,7 @@ let e15_scale_ok ~cores rows =
       else Float.infinity
     in
     if cores >= last.sc_jobs then
-      speedup >= (if last.sc_jobs >= 4 then 1.5 else 1.2)
+      speedup >= (if last.sc_jobs >= 4 then 2.0 else 1.2)
     else speedup >= 1. /. 2.5
   | _ -> true
 

@@ -41,6 +41,10 @@ type t = {
       (* table address -> (class, vptr offset) *)
   globals : (string, int * Ctype.t) Hashtbl.t;
   literals : (string, int) Hashtbl.t;  (** interned untainted strings *)
+  mutable tbl_gen : int;
+      (* generation token over the four tables above; minted fresh at
+         every mutation so [restore] can prove them unchanged *)
+  mutable cow : bool;  (* false forces full-copy restores at every layer *)
   mutable input_ints : int list;
   mutable input_strings : string list;
   mutable output : string list;  (** newest first *)
@@ -92,6 +96,8 @@ let create ?(heap_size = default_heap_size) ~config env =
     vtable_classes = Hashtbl.create 8;
     globals = Hashtbl.create 16;
     literals = Hashtbl.create 16;
+    tbl_gen = Pna_vmem.Cow.fresh_gen ();
+    cow = true;
     input_ints = [];
     input_strings = [];
     output = [];
@@ -170,6 +176,10 @@ let symbol_at t addr = Text.symbol_at t.text addr
    (override-resolved) implementations — the Itanium-ABI shape, minus
    thunks. Must be called after all classes are defined and all method
    implementation symbols registered. *)
+(* Any mutation of the vtable/global/literal tables must mint a fresh
+   generation token, or [restore] would wrongly skip rebuilding them. *)
+let[@inline] touch_tables t = t.tbl_gen <- Pna_vmem.Cow.fresh_gen ()
+
 let emit_vtables t =
   let classes =
     Hashtbl.fold (fun name _ acc -> name :: acc) t.env.Layout.classes []
@@ -178,6 +188,7 @@ let emit_vtables t =
   let emit_table cname ~vptr_off slots =
     let addr = t.rodata_cursor in
     t.rodata_cursor <- t.rodata_cursor + (4 * List.length slots);
+    touch_tables t;
     Hashtbl.replace t.vtable_classes addr (cname, vptr_off);
     List.iteri
       (fun i (_, impl) ->
@@ -212,6 +223,7 @@ let emit_vtables t =
                   Some (off, emit_table cname ~vptr_off:off slots))
             l.Layout.l_bases
         in
+        touch_tables t;
         Hashtbl.replace t.vtable_addrs cname ((0, primary) :: secondaries)
       end)
     classes
@@ -241,7 +253,10 @@ let intern_string ?(tainted = false) t s =
     Pna_vmem.Vmem.poke_u8 t.mem (addr + String.length s) 0;
     if tainted && String.length s > 0 then
       Pna_vmem.Vmem.set_taint t.mem addr (String.length s) true
-    else Hashtbl.replace t.literals s addr;
+    else begin
+      touch_tables t;
+      Hashtbl.replace t.literals s addr
+    end;
     addr
 
 (* The class' primary vtable address. *)
@@ -368,6 +383,7 @@ let add_global ?(initialized = false) t name ty =
       a
     end
   in
+  touch_tables t;
   Hashtbl.replace t.globals name (addr, ty);
   Arena.register t.arenas ~base:addr ~size ~origin:(Arena.Global name);
   addr
@@ -715,6 +731,7 @@ type snapshot = {
   ms_vtable_classes : (int, string * int) Hashtbl.t;
   ms_globals : (string, int * Ctype.t) Hashtbl.t;
   ms_literals : (string, int) Hashtbl.t;
+  ms_tbl_gen : int;
   ms_input_ints : int list;
   ms_input_strings : string list;
   ms_output : string list;
@@ -743,6 +760,7 @@ let snapshot t =
     ms_vtable_classes = Hashtbl.copy t.vtable_classes;
     ms_globals = Hashtbl.copy t.globals;
     ms_literals = Hashtbl.copy t.literals;
+    ms_tbl_gen = t.tbl_gen;
     ms_input_ints = t.input_ints;
     ms_input_strings = t.input_strings;
     ms_output = t.output;
@@ -759,7 +777,7 @@ let restore_table dst src =
 let restore t snap =
   Pna_vmem.Vmem.restore t.mem snap.ms_mem;
   Heap.restore t.heap snap.ms_heap;
-  Text.restore t.text snap.ms_text;
+  Text.restore ~force:(not t.cow) t.text snap.ms_text;
   Arena.restore t.arenas snap.ms_arenas;
   t.sp <- snap.ms_sp;
   t.fp <- snap.ms_fp;
@@ -769,10 +787,18 @@ let restore t snap =
   t.data_cursor <- snap.ms_data_cursor;
   t.bss_cursor <- snap.ms_bss_cursor;
   t.rodata_cursor <- snap.ms_rodata_cursor;
-  restore_table t.vtable_addrs snap.ms_vtable_addrs;
-  restore_table t.vtable_classes snap.ms_vtable_classes;
-  restore_table t.globals snap.ms_globals;
-  restore_table t.literals snap.ms_literals;
+  (* Token equality proves the four tables were not mutated since the
+     snapshot (every mutation mints a fresh one), making the rebuild
+     skippable — which on the service's rewind path is every time:
+     vtables, globals and literals are load-time state, and runtime
+     interning of attacker strings is tainted and thus uninterned. *)
+  if (not t.cow) || t.tbl_gen <> snap.ms_tbl_gen then begin
+    restore_table t.vtable_addrs snap.ms_vtable_addrs;
+    restore_table t.vtable_classes snap.ms_vtable_classes;
+    restore_table t.globals snap.ms_globals;
+    restore_table t.literals snap.ms_literals;
+    t.tbl_gen <- snap.ms_tbl_gen
+  end;
   t.input_ints <- snap.ms_input_ints;
   t.input_strings <- snap.ms_input_strings;
   t.output <- snap.ms_output;
@@ -784,6 +810,14 @@ let restore t snap =
   | _ -> ());
   set_chaos t None;
   set_chaos_alloc t None
+
+(* Force (or re-enable) copy-on-write rewinds across every layer that
+   implements them: segment pages, shadow pages, and the generation-token
+   skip over the symbol and vtable/global/literal tables. *)
+let set_cow t b =
+  t.cow <- b;
+  Pna_vmem.Vmem.set_cow t.mem b;
+  Option.iter (fun s -> San.set_cow s b) t.san
 
 let pp_events ppf t =
   Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Event.pp) (events t)

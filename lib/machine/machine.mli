@@ -73,7 +73,16 @@ val snapshot : t -> snapshot
 
 val restore : t -> snapshot -> unit
 (** Rewind to the snapshot. Chaos hooks are cleared: a restored machine
-    behaves exactly like a freshly loaded one. *)
+    behaves exactly like a freshly loaded one. Rewinds are copy-on-write
+    end to end — segment and shadow pages blit dirty runs only, and the
+    symbol/vtable/global/literal tables rebuild only when a generation
+    token proves they were mutated — with results bit-identical to the
+    full-copy reference path (the E20 gate). *)
+
+val set_cow : t -> bool -> unit
+(** Enable (default) or disable copy-on-write rewinds for the address
+    space and any attached sanitizer; disabling forces the full-copy
+    reference path the E20 equivalence gate compares against. *)
 
 (** {1 Text symbols and vtables} *)
 

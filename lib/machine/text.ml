@@ -14,6 +14,7 @@ type t = {
   mutable next : int;
   by_name : (string, int) Hashtbl.t;
   by_addr : (int, string) Hashtbl.t;
+  mutable gen : int;  (* generation token; see [Pna_vmem.Cow.fresh_gen] *)
 }
 
 (* Each function gets a 16-byte slot; call sites live at +5 (the width of a
@@ -29,6 +30,7 @@ let create ~base ~size =
     next = base;
     by_name = Hashtbl.create 32;
     by_addr = Hashtbl.create 32;
+    gen = Pna_vmem.Cow.fresh_gen ();
   }
 
 let register t name =
@@ -41,6 +43,7 @@ let register t name =
     t.next <- t.next + slot_size;
     Hashtbl.replace t.by_name name addr;
     Hashtbl.replace t.by_addr addr name;
+    t.gen <- Pna_vmem.Cow.fresh_gen ();
     addr
 
 let address t name = Hashtbl.find_opt t.by_name name
@@ -62,6 +65,7 @@ type snapshot = {
   sn_next : int;
   sn_by_name : (string, int) Hashtbl.t;
   sn_by_addr : (int, string) Hashtbl.t;
+  sn_gen : int;
 }
 
 let snapshot t =
@@ -69,14 +73,23 @@ let snapshot t =
     sn_next = t.next;
     sn_by_name = Hashtbl.copy t.by_name;
     sn_by_addr = Hashtbl.copy t.by_addr;
+    sn_gen = t.gen;
   }
 
-let restore t snap =
-  t.next <- snap.sn_next;
-  Hashtbl.reset t.by_name;
-  Hashtbl.iter (Hashtbl.replace t.by_name) snap.sn_by_name;
-  Hashtbl.reset t.by_addr;
-  Hashtbl.iter (Hashtbl.replace t.by_addr) snap.sn_by_addr
+(* A matching generation token proves the table was not mutated since
+   the snapshot ([register] mints a fresh token), so the rebuild can be
+   skipped — symbol tables are load-time state, so on the service's
+   rewind path this is every time. [force] takes the unconditional
+   rebuild path (the E20 reference behaviour). *)
+let restore ?(force = false) t snap =
+  if force || t.gen <> snap.sn_gen then begin
+    t.next <- snap.sn_next;
+    Hashtbl.reset t.by_name;
+    Hashtbl.iter (Hashtbl.replace t.by_name) snap.sn_by_name;
+    Hashtbl.reset t.by_addr;
+    Hashtbl.iter (Hashtbl.replace t.by_addr) snap.sn_by_addr;
+    t.gen <- snap.sn_gen
+  end
 
 let symbols t =
   Hashtbl.fold (fun name addr acc -> (name, addr) :: acc) t.by_name []

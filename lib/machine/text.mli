@@ -33,4 +33,8 @@ val symbols : t -> (string * int) list
 type snapshot
 
 val snapshot : t -> snapshot
-val restore : t -> snapshot -> unit
+
+val restore : ?force:bool -> t -> snapshot -> unit
+(** Rebuild the symbol tables from the snapshot. Skipped when a
+    generation token proves them unchanged, unless [force] (the
+    full-copy reference path). *)

@@ -52,6 +52,13 @@ let connect ?(timeout_s = 10.) ?chaos ~host ~port () =
     let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
     (try
        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+       (* the server disables Nagle on accepted sockets but that does
+          nothing for this direction: a pipelined client issues many
+          small writes, and an un-ACKed segment held by Nagle waits on
+          the peer's *delayed* ACK — a multi-millisecond p99 tail on
+          requests that are sub-millisecond at p50 *)
+       (try Unix.setsockopt fd Unix.TCP_NODELAY true
+        with Unix.Unix_error _ -> ());
        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
        Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
      with e ->

@@ -101,6 +101,7 @@ type result = {
   lg_reconnects : int;
   lg_p50_us : float;
   lg_p99_us : float;
+  lg_p999_us : float;
   lg_mean_us : float;
   lg_seconds : float;
   lg_samples : (string * string) list;
@@ -117,13 +118,14 @@ let pp ppf r =
   Fmt.pf ppf
     "@[<v>%d requests over %d conns in %.2fs (%.0f/s)@,\
      served %d  shed %d (retried %d)  rejected %d  hung %d  reconnects %d@,\
-     latency us: p50 %.0f  p99 %.0f  mean %.0f@,\
+     latency us: p50 %.0f  p99 %.0f  p99.9 %.0f  mean %.0f@,\
      %d distinct specs sampled, %d signature conflicts%a@]"
     r.lg_n r.lg_conns r.lg_seconds
     (float_of_int r.lg_n /. Float.max 1e-9 r.lg_seconds)
     r.lg_served r.lg_shed_final r.lg_shed_retried
     (List.fold_left (fun a (_, n) -> a + n) 0 r.lg_rejected)
-    r.lg_hung r.lg_reconnects r.lg_p50_us r.lg_p99_us r.lg_mean_us
+    r.lg_hung r.lg_reconnects r.lg_p50_us r.lg_p99_us r.lg_p999_us
+    r.lg_mean_us
     (List.length r.lg_samples)
     r.lg_sig_conflicts
     (fun ppf n -> if n > 0 then Fmt.pf ppf "@,%d requests wire-traced" n)
@@ -465,6 +467,7 @@ let run ?(conns = 4) ?(window = 32) ?(retry_shed = 3) ?(chaos = false)
     lg_reconnects = total (fun a -> a.a_reconnects);
     lg_p50_us = percentile lat 0.50;
     lg_p99_us = percentile lat 0.99;
+    lg_p999_us = percentile lat 0.999;
     lg_mean_us = mean;
     lg_seconds = seconds;
     lg_samples =

@@ -1,5 +1,13 @@
-(** The TCP front end: a select-loop in its own domain bridging socket
-    I/O to the {!Pna_service.Service} pool.
+(** The TCP front end: sharded select-loops in their own domains
+    bridging socket I/O to the {!Pna_service.Service} pool.
+
+    [loops] (default 1) select-loop domains share one nonblocking
+    listener — accept-fanout: every loop includes the listener in its
+    read set and whichever loop wins the [accept] owns that connection
+    for its whole life (read, decode, submit, reply). Connection state
+    never migrates, so each loop's tables stay domain-private; only the
+    admission counters (open connections, in-flight jobs) are shared
+    atomics, keeping [max_conns]/[max_inflight] global caps.
 
     Robustness properties, each load-bearing for the E16 gates:
 
@@ -37,7 +45,10 @@ module Config = Pna_defense.Config
 type config = {
   host : string;
   port : int;  (** 0 picks an ephemeral port; read it back with {!port} *)
-  max_inflight : int;  (** admitted-but-unfinished request cap *)
+  loops : int;
+      (** select-loop domains sharing the listener (accept-fanout); 1
+          recovers the historical single-loop front end *)
+  max_inflight : int;  (** admitted-but-unfinished request cap, global *)
   max_conns : int;
   idle_timeout_s : float;
   drain_timeout_s : float;  (** graceful-stop budget *)
@@ -50,6 +61,7 @@ let default_config =
   {
     host = "127.0.0.1";
     port = 0;
+    loops = 1;
     max_inflight = 64;
     max_conns = 128;
     idle_timeout_s = 10.;
@@ -87,10 +99,18 @@ type t = {
   cfg : config;
   svc : Service.t;
   lsock : Unix.file_descr;
+  lsock_closed : bool Atomic.t;
+      (** CAS-guarded: exactly one loop closes the shared listener at
+          drain time *)
   srv_port : int;
-  pipe_r : Unix.file_descr;
-  pipe_w : Unix.file_descr;
+  pipes : (Unix.file_descr * Unix.file_descr) array;
+      (** one self-pipe per loop; workers poke the admitting loop's *)
   stop_flag : bool Atomic.t;
+  conn_count : int Atomic.t;  (** open connections across all loops *)
+  inflight : int Atomic.t;  (** admitted-but-unfinished jobs, all loops *)
+  queued_frames : int array;
+      (** per-loop count of frames waiting in output queues; each slot is
+          written only by its loop, summed for the gauge *)
   reg : Metrics.registry;
   m_accepts : Metrics.counter;
   m_requests : Metrics.counter;
@@ -106,7 +126,7 @@ type t = {
   recovered : int;  (** memo entries preloaded from the log *)
   torn_bytes : int;
   dup_entries : int;  (** log entries dropped as duplicates at preload *)
-  mutable loop : unit Domain.t option;
+  mutable loop_domains : unit Domain.t list;
 }
 
 let port t = t.srv_port
@@ -115,11 +135,13 @@ let recovered t = t.recovered
 let torn_bytes t = t.torn_bytes
 let dup_entries t = t.dup_entries
 
-let wake t =
-  (* a full pipe already guarantees a wakeup; a closed one means the
-     loop is gone — both are fine to ignore *)
-  try ignore (Unix.write t.pipe_w (Bytes.make 1 '!') 0 1)
+(* a full pipe already guarantees a wakeup; a closed one means the
+   loop is gone — both are fine to ignore *)
+let wake_loop t i =
+  try ignore (Unix.write (snd t.pipes.(i)) (Bytes.make 1 '!') 0 1)
   with Unix.Unix_error _ -> ()
+
+let wake t = Array.iteri (fun i _ -> wake_loop t i) t.pipes
 
 (* -- the loop -------------------------------------------------------- *)
 
@@ -167,12 +189,12 @@ let find_attack id = All.find id
 let find_config name =
   List.find_opt (fun (c : Config.t) -> c.Config.name = name) Config.all
 
-let serve t =
+let serve t i =
+  let pipe_r = fst t.pipes.(i) in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 32 in
   (* futures of connections that died before their reply: still polled,
      so the in-flight gauge cannot leak *)
   let orphans = ref [] in
-  let inflight = ref 0 in
   let accepting = ref true in
   let drain_deadline = ref None in
   let close_conn c reason =
@@ -187,7 +209,8 @@ let serve t =
         ~dur_us:(Trace.now_us () -. c.opened_us)
         ~args:[ ("close_reason", Trace.Str reason) ]
         ();
-      Metrics.set t.m_open_conns (float_of_int (Hashtbl.length conns))
+      ignore (Atomic.fetch_and_add t.conn_count (-1));
+      Metrics.set t.m_open_conns (float_of_int (Atomic.get t.conn_count))
     end
   in
   let shed c corr =
@@ -215,7 +238,8 @@ let serve t =
              er_message = Fmt.str "unknown config %S" rq.Frame.rq_config;
            })
     | Some attack, Some config ->
-      if !inflight >= t.cfg.max_inflight then shed c rq.Frame.rq_corr
+      if Atomic.get t.inflight >= t.cfg.max_inflight then
+        shed c rq.Frame.rq_corr
       else begin
         (* the request deadline is honored but capped: a client cannot
            buy an unbounded interpreter run *)
@@ -243,11 +267,11 @@ let serve t =
            to this job starts inside [try_submit], and the request span
            must enclose it *)
         let p_t0 = Clock.now_ns () in
-        match Service.try_submit ~notify:(fun () -> wake t) t.svc job with
+        match Service.try_submit ~notify:(fun () -> wake_loop t i) t.svc job with
         | None -> shed c rq.Frame.rq_corr
         | Some fut ->
-          incr inflight;
-          Metrics.set t.m_inflight (float_of_int !inflight);
+          ignore (Atomic.fetch_and_add t.inflight 1);
+          Metrics.set t.m_inflight (float_of_int (Atomic.get t.inflight));
           c.pending <-
             { p_corr = rq.Frame.rq_corr; p_future = fut; p_t0; p_trace }
             :: c.pending
@@ -298,8 +322,8 @@ let serve t =
         match Pool.peek p.p_future with
         | None -> still := p :: !still
         | Some r ->
-          decr inflight;
-          Metrics.set t.m_inflight (float_of_int !inflight);
+          ignore (Atomic.fetch_and_add t.inflight (-1));
+          Metrics.set t.m_inflight (float_of_int (Atomic.get t.inflight));
           let dur_us = Clock.elapsed_us ~a:p.p_t0 ~b:(Clock.now_ns ()) in
           (* the server-side request span, closed at reply time: queue
              wait + execution + the loop's own polling latency *)
@@ -376,14 +400,24 @@ let serve t =
             close_reason = "eof";
             opened_us = Trace.now_us ();
           };
-        Metrics.set t.m_open_conns (float_of_int (Hashtbl.length conns));
-        if Hashtbl.length conns >= t.cfg.max_conns then continue := false
+        ignore (Atomic.fetch_and_add t.conn_count 1);
+        Metrics.set t.m_open_conns (float_of_int (Atomic.get t.conn_count));
+        if Atomic.get t.conn_count >= t.cfg.max_conns then continue := false
       | exception
           Unix.Unix_error
             ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
         ->
+        (* EAGAIN includes losing the accept race to a sibling loop —
+           the listener is shared, whoever wins owns the connection *)
         continue := false
-      | exception Unix.Unix_error (Unix.EBADF, _, _) -> continue := false
+      | exception
+          Unix.Unix_error
+            ((Unix.EBADF | Unix.EINVAL | Unix.ENOTSOCK | Unix.EMFILE | Unix.ENFILE), _, _)
+        ->
+        (* EBADF/EINVAL/ENOTSOCK: the listener was closed (drain) and
+           possibly reused under us; EMFILE/ENFILE: out of descriptors —
+           back off, existing connections still progress *)
+        continue := false
     done
   in
   let read_ready c =
@@ -411,14 +445,17 @@ let serve t =
     (* drain the wake pipe *)
     (try
        let b = Bytes.create 64 in
-       while Unix.read t.pipe_r b 0 64 > 0 do
+       while Unix.read pipe_r b 0 64 > 0 do
          ()
        done
      with Unix.Unix_error _ -> ());
     if Atomic.get t.stop_flag && !drain_deadline = None then begin
       accepting := false;
       Metrics.set t.m_draining 1.;
-      (try Unix.close t.lsock with Unix.Unix_error _ -> ());
+      (* one loop closes the shared listener; the others just stop
+         selecting on it *)
+      if Atomic.compare_and_set t.lsock_closed false true then
+        (try Unix.close t.lsock with Unix.Unix_error _ -> ());
       drain_deadline :=
         Some (Unix.gettimeofday () +. t.cfg.drain_timeout_s);
       (* no new requests from open connections either *)
@@ -444,9 +481,12 @@ let serve t =
     (* completions and flushes *)
     Hashtbl.iter (fun _ c -> if c.pending <> [] then poll_pending c) conns;
     Hashtbl.iter (fun _ c -> if not (Queue.is_empty c.out) then flush_out c) conns;
+    (* this loop's slot, then the gauge over all slots — each slot has a
+       single writer, so the sum is at worst one tick stale *)
+    t.queued_frames.(i) <-
+      Hashtbl.fold (fun _ c acc -> acc + Queue.length c.out) conns 0;
     Metrics.set t.m_queued_replies
-      (float_of_int
-         (Hashtbl.fold (fun _ c acc -> acc + Queue.length c.out) conns 0));
+      (float_of_int (Array.fold_left ( + ) 0 t.queued_frames));
     let finished =
       Hashtbl.fold
         (fun _ c acc ->
@@ -461,25 +501,29 @@ let serve t =
           match Pool.peek fut with
           | None -> true
           | Some _ ->
-            decr inflight;
-            Metrics.set t.m_inflight (float_of_int !inflight);
+            ignore (Atomic.fetch_and_add t.inflight (-1));
+            Metrics.set t.m_inflight (float_of_int (Atomic.get t.inflight));
             false)
         !orphans;
+    (* drain exit waits on the *global* in-flight count: sibling loops
+       quiesce together, so no worker ever fulfils into a dead pool *)
     (match !drain_deadline with
-    | Some d when Hashtbl.length conns = 0 && !orphans = [] && !inflight = 0 ->
+    | Some d
+      when Hashtbl.length conns = 0 && !orphans = []
+           && Atomic.get t.inflight = 0 ->
       ignore d;
       running := false
     | Some d when Unix.gettimeofday () > d ->
       (* deadline passed: force-close stragglers, but keep the loop until
-         orphaned jobs finish so no worker fulfils into a dead pool *)
+         orphaned jobs finish *)
       Hashtbl.fold (fun _ c acc -> c :: acc) conns []
       |> List.iter (fun c -> close_conn c "drain-forced");
-      if !orphans = [] && !inflight = 0 then running := false
+      if !orphans = [] && Atomic.get t.inflight = 0 then running := false
     | _ -> ());
     if !running then begin
       let rds =
-        t.pipe_r
-        :: (if !accepting && Hashtbl.length conns < t.cfg.max_conns then
+        pipe_r
+        :: (if !accepting && Atomic.get t.conn_count < t.cfg.max_conns then
               [ t.lsock ]
             else [])
         @ Hashtbl.fold
@@ -510,9 +554,9 @@ let serve t =
           wready
     end
   done;
-  (* loop exit: everything is closed and accounted *)
-  (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
-  (try Unix.close t.pipe_w with Unix.Unix_error _ -> ())
+  (* loop exit: everything this loop owned is closed and accounted *)
+  (try Unix.close pipe_r with Unix.Unix_error _ -> ());
+  (try Unix.close (snd t.pipes.(i)) with Unix.Unix_error _ -> ())
 
 (* -- lifecycle ------------------------------------------------------- *)
 
@@ -531,9 +575,14 @@ let start ?(config = default_config) svc =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> config.port
   in
-  let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
-  Unix.set_nonblock pipe_r;
-  Unix.set_nonblock pipe_w;
+  let loops = max 1 config.loops in
+  let pipes =
+    Array.init loops (fun _ ->
+        let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
+        Unix.set_nonblock pipe_r;
+        Unix.set_nonblock pipe_w;
+        (pipe_r, pipe_w))
+  in
   let log, recovered, torn_bytes, dup_entries =
     match config.memo_log with
     | None -> (None, 0, 0, 0)
@@ -563,10 +612,13 @@ let start ?(config = default_config) svc =
       cfg = config;
       svc;
       lsock;
+      lsock_closed = Atomic.make false;
       srv_port;
-      pipe_r;
-      pipe_w;
+      pipes;
       stop_flag = Atomic.make false;
+      conn_count = Atomic.make 0;
+      inflight = Atomic.make 0;
+      queued_frames = Array.make loops 0;
       reg;
       m_accepts = Metrics.counter reg "pna_net_accepts_total";
       m_requests = Metrics.counter reg "pna_net_requests_total";
@@ -582,20 +634,18 @@ let start ?(config = default_config) svc =
       recovered;
       torn_bytes;
       dup_entries;
-      loop = None;
+      loop_domains = [];
     }
   in
-  t.loop <- Some (Domain.spawn (fun () -> serve t));
+  t.loop_domains <-
+    List.init loops (fun i -> Domain.spawn (fun () -> serve t i));
   t
 
 let stop t =
   Atomic.set t.stop_flag true;
   wake t;
-  (match t.loop with
-  | Some d ->
-    Domain.join d;
-    t.loop <- None
-  | None -> ());
+  List.iter Domain.join t.loop_domains;
+  t.loop_domains <- [];
   (match t.log with
   | Some log ->
     Service.set_memo_sink t.svc None;

@@ -39,12 +39,23 @@ type violation = {
   v_seq : int;
 }
 
-(* Shadow of one segment: states packed one byte each. *)
-type shadow = { sh_base : int; sh_size : int; sh_states : Bytes.t }
+module Cow = Pna_vmem.Cow
+
+(* Shadow of one segment: states packed one byte each, plus a dirty-page
+   bitmap so snapshot rewinds blit only touched pages. *)
+type shadow = {
+  sh_base : int;
+  sh_size : int;
+  sh_states : Bytes.t;
+  sh_dirty : Cow.Bitmap.t;
+}
 
 type t = {
   mem : Vmem.t;
   mutable shadows : shadow list;
+  mutable sync_id : int;
+      (* 0, or the snapshot token every clean shadow page equals *)
+  mutable cow : bool;
   mutable scenario : string;
   mutable site : (unit -> string) option;
   mutable exempt_depth : int;
@@ -145,6 +156,10 @@ let state_at t addr =
   | None -> Addressable
   | Some sh -> st_of_code (Bytes.get_uint8 sh.sh_states (addr - sh.sh_base))
 
+let shadow_images t =
+  List.map (fun sh -> (sh.sh_base, sh.sh_states)) t.shadows
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let set_range t addr len st ~only_addressable =
   let code = st_code st in
   for i = 0 to len - 1 do
@@ -152,8 +167,10 @@ let set_range t addr len st ~only_addressable =
     | None -> ()
     | Some sh ->
       let off = addr + i - sh.sh_base in
-      if (not only_addressable) || Bytes.get_uint8 sh.sh_states off = 0 then
-        Bytes.set_uint8 sh.sh_states off code
+      if (not only_addressable) || Bytes.get_uint8 sh.sh_states off = 0 then begin
+        Bytes.set_uint8 sh.sh_states off code;
+        Cow.Bitmap.mark sh.sh_dirty off 1
+      end
   done
 
 let transition t op addr len st =
@@ -181,8 +198,10 @@ let unpoison_state t ~addr ~len st =
     | None -> ()
     | Some sh ->
       let off = addr + i - sh.sh_base in
-      if Bytes.get_uint8 sh.sh_states off = code then
-        Bytes.set_uint8 sh.sh_states off 0
+      if Bytes.get_uint8 sh.sh_states off = code then begin
+        Bytes.set_uint8 sh.sh_states off 0;
+        Cow.Bitmap.mark sh.sh_dirty off 1
+      end
   done
 
 let set_scenario t s = t.scenario <- s
@@ -265,8 +284,10 @@ let on_access t ~access ~addr ~taint =
         | None -> ());
         (* A write over a stale tail re-initializes the byte: the leaked
            secret is gone, so later reads are clean. *)
-        if st = Stale_tail && access = Fault.Write then
-          Bytes.set_uint8 sh.sh_states off 0
+        if st = Stale_tail && access = Fault.Write then begin
+          Bytes.set_uint8 sh.sh_states off 0;
+          Cow.Bitmap.mark sh.sh_dirty off 1
+        end
       end
 
 let attach ?(scenario = "") mem =
@@ -277,6 +298,7 @@ let attach ?(scenario = "") mem =
           sh_base = s.Segment.base;
           sh_size = s.Segment.size;
           sh_states = Bytes.make s.Segment.size '\000';
+          sh_dirty = Cow.Bitmap.create s.Segment.size;
         })
       (Vmem.segments mem)
   in
@@ -284,6 +306,8 @@ let attach ?(scenario = "") mem =
     {
       mem;
       shadows;
+      sync_id = 0;
+      cow = true;
       scenario;
       site = None;
       exempt_depth = 0;
@@ -317,28 +341,59 @@ let count_by_kind t =
 (* Snapshot / restore                                                   *)
 
 type snapshot = {
+  sn_id : int;  (* sync token, globally unique *)
   sn_states : (int * Bytes.t) list;  (* keyed by segment base *)
   sn_recs : violation list;
   sn_n_recs : int;
   sn_total : int;
 }
 
+(* Same copy-on-write protocol as [Vmem]: a snapshot or a restore leaves
+   shadow contents equal to the snapshot's frozen states, so the sync
+   token is set and the dirty bitmaps cleared; every poison/unpoison/
+   stale-reset above marks what it touches; restoring the snapshot the
+   shadows are synced to then blits only dirty pages. *)
+let sync_to t snap =
+  if t.cow then begin
+    List.iter (fun sh -> Cow.Bitmap.clear sh.sh_dirty) t.shadows;
+    t.sync_id <- snap.sn_id
+  end
+
+let set_cow t b =
+  t.cow <- b;
+  t.sync_id <- 0
+
 let snapshot t =
-  {
-    sn_states = List.map (fun sh -> (sh.sh_base, Bytes.copy sh.sh_states)) t.shadows;
-    sn_recs = t.recs;
-    sn_n_recs = t.n_recs;
-    sn_total = t.total;
-  }
+  let snap =
+    {
+      sn_id = Cow.fresh_gen ();
+      sn_states =
+        List.map (fun sh -> (sh.sh_base, Bytes.copy sh.sh_states)) t.shadows;
+      sn_recs = t.recs;
+      sn_n_recs = t.n_recs;
+      sn_total = t.total;
+    }
+  in
+  sync_to t snap;
+  snap
 
 let restore t snap =
+  let synced = t.cow && t.sync_id = snap.sn_id && t.sync_id <> 0 in
   List.iter
     (fun sh ->
       match List.assoc_opt sh.sh_base snap.sn_states with
       | Some b when Bytes.length b = sh.sh_size ->
-        Bytes.blit b 0 sh.sh_states 0 sh.sh_size
+        if synced then begin
+          if Cow.Bitmap.any sh.sh_dirty then begin
+            Cow.Bitmap.iter_runs sh.sh_dirty (fun off len ->
+                Bytes.blit b off sh.sh_states off len);
+            Cow.Bitmap.clear sh.sh_dirty
+          end
+        end
+        else Bytes.blit b 0 sh.sh_states 0 sh.sh_size
       | _ -> ())
     t.shadows;
+  if not synced then sync_to t snap;
   t.recs <- snap.sn_recs;
   t.n_recs <- snap.sn_n_recs;
   t.total <- snap.sn_total

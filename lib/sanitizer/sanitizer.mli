@@ -99,6 +99,12 @@ val state_at : t -> int -> state
 (** Bytes outside the shadow (segments mapped after {!attach}) read as
     {!Addressable}. *)
 
+val shadow_images : t -> (int * Bytes.t) list
+(** [(base, states)] per shadow region, sorted by base — one state-code
+    byte per simulated byte, the live backing (not a copy). Read-only
+    view for digests and equivalence checks (the E20 gate hashes it);
+    mutate through {!poison}/{!unpoison} only, or dirty tracking breaks. *)
+
 (** {1 Check control} *)
 
 val exempt : t -> (unit -> 'a) -> 'a
@@ -137,7 +143,15 @@ val snapshot : t -> snapshot
 val restore : t -> snapshot -> unit
 (** Rewind shadow states, recorded violations and sequencing; scenario,
     site thunk, seal and exempt flags are runtime configuration and are
-    untouched. *)
+    untouched. Restores are copy-on-write: rewinding to the snapshot the
+    shadows are currently synced to blits only dirty pages; any other
+    case takes the full-copy path. Results are bit-identical either
+    way. *)
+
+val set_cow : t -> bool -> unit
+(** Enable (default) or disable dirty-page shadow rewinds; disabling
+    drops the sync so every restore full-copies (the E20 reference
+    behaviour). *)
 
 (** {1 Printing / names} *)
 

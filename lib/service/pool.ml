@@ -1,11 +1,22 @@
-(** A fixed-size pool of OCaml 5 domains draining a bounded job queue.
+(** A fixed-size pool of OCaml 5 domains draining per-worker job queues
+    with work stealing.
 
-    The queue is the backpressure mechanism: [submit] blocks once
-    [queue_cap] jobs are waiting, so a fast producer cannot outrun the
-    workers by an unbounded margin. Each worker owns a private context
-    built by [mk_ctx] *inside* its own domain — the service layer keeps
-    its per-worker machine caches there, so no simulated machine is ever
-    touched by two domains. *)
+    The original pool funneled every submit, every task take and every
+    idle wait through one mutex + condition pair — at four domains the
+    workers spent more time rendezvousing on that lock than executing
+    (the dispatch path serialised exactly the work the pool exists to
+    parallelise). Here each worker owns a private queue; submissions are
+    placed round-robin, a worker drains its own queue first and steals
+    from its siblings when empty, and the shared mutex is touched only to
+    park/unpark (empty pool) and for shutdown. The hot dispatch path is
+    one per-deque lock plus one atomic counter update.
+
+    The total queued count is still the backpressure mechanism: [submit]
+    blocks once [queue_cap] jobs are waiting across all deques, so a fast
+    producer cannot outrun the workers by an unbounded margin. Each
+    worker owns a private context built by [mk_ctx] *inside* its own
+    domain — the service layer keeps its per-worker machine caches there,
+    so no simulated machine is ever touched by two domains. *)
 
 type 'a state = Pending | Done of 'a | Failed of exn
 
@@ -43,13 +54,28 @@ let peek fut =
   Mutex.unlock fut.f_mutex;
   match st with Pending -> None | Done v -> Some (Ok v) | Failed e -> Some (Error e)
 
+(* One worker's queue. A mutex per deque, never held while running a
+   task: contention on any one lock is owner + occasional thief, not
+   every domain in the pool. FIFO within a deque keeps batch order
+   roughly arrival order, which the latency histograms prefer. *)
+type 'ctx deque = {
+  d_mutex : Mutex.t;
+  d_q : ('ctx -> unit) Queue.t;
+}
+
 type 'ctx t = {
   jobs : int;
   queue_cap : int;
-  mutex : Mutex.t;
-  not_empty : Condition.t;
-  not_full : Condition.t;
-  queue : ('ctx -> unit) Queue.t;
+  deques : 'ctx deque array;  (** one per worker, index = worker id *)
+  rr : int Atomic.t;  (** round-robin placement cursor for submissions *)
+  queued : int Atomic.t;  (** tasks pushed but not yet taken, all deques *)
+  submit_waiters : int Atomic.t;
+      (** submitters blocked on [not_full]; workers consult it after
+          decrementing [queued] so the common take never locks [mutex] *)
+  mutex : Mutex.t;  (** parking, admission waits, [closing]; cold paths *)
+  not_empty : Condition.t;  (** workers park here when the pool is empty *)
+  not_full : Condition.t;  (** submitters park here at the cap *)
+  mutable sleepers : int;  (** workers parked on [not_empty]; under [mutex] *)
   mutable closing : bool;
   mutable workers : unit Domain.t array;
 }
@@ -70,26 +96,81 @@ let clamp_jobs n = max 1 (min n (max 4 (Domain.recommended_domain_count ())))
    resizes the calling domain, so this must run in the worker body. *)
 let default_minor_words = 4 * 1024 * 1024
 
-let worker pool ~minor_words mk_ctx () =
+(* Take from one deque; on success [queued] is decremented inside the
+   critical section, so "closing and [queued] = 0" reliably means every
+   task is either finished or held by a running worker. *)
+let take_from pool dq =
+  Mutex.lock dq.d_mutex;
+  let task = Queue.take_opt dq.d_q in
+  (match task with
+  | Some _ -> ignore (Atomic.fetch_and_add pool.queued (-1))
+  | None -> ());
+  Mutex.unlock dq.d_mutex;
+  task
+
+(* A submitter parked at the cap advertises itself in [submit_waiters]
+   (incremented *before* it re-reads [queued]); the taker decrements
+   [queued] before reading [submit_waiters]. Sequential consistency of
+   the two atomics means at least one side sees the other, so the wakeup
+   cannot be lost — and the wake only costs a mutex when someone is
+   actually parked. *)
+let wake_submitters pool =
+  if Atomic.get pool.submit_waiters > 0 then begin
+    Mutex.lock pool.mutex;
+    Condition.broadcast pool.not_full;
+    Mutex.unlock pool.mutex
+  end
+
+(* Own deque first; steal a task from a sibling otherwise. The scan
+   starts at [i + 1] so thieves spread over victims instead of mobbing
+   worker 0. *)
+let try_take pool i =
+  match take_from pool pool.deques.(i) with
+  | Some _ as t ->
+    wake_submitters pool;
+    t
+  | None ->
+    if Atomic.get pool.queued = 0 then None
+    else begin
+      let n = Array.length pool.deques in
+      let found = ref None in
+      let k = ref 1 in
+      while !found = None && !k < n do
+        found := take_from pool pool.deques.((i + !k) mod n);
+        incr k
+      done;
+      if !found <> None then wake_submitters pool;
+      !found
+    end
+
+let worker pool ~minor_words mk_ctx i () =
   let g = Gc.get () in
   if g.Gc.minor_heap_size < minor_words then
     Gc.set { g with Gc.minor_heap_size = minor_words };
   let ctx = mk_ctx () in
   let rec loop () =
-    Mutex.lock pool.mutex;
-    while Queue.is_empty pool.queue && not pool.closing do
-      Condition.wait pool.not_empty pool.mutex
-    done;
-    match Queue.take_opt pool.queue with
-    | None ->
-      (* empty and closing: drain complete *)
-      Mutex.unlock pool.mutex;
-      ()
+    match try_take pool i with
     | Some task ->
-      Condition.signal pool.not_full;
-      Mutex.unlock pool.mutex;
       task ctx;
       loop ()
+    | None ->
+      (* Nothing anywhere: park, unless draining is complete. The empty
+         re-check runs under [mutex], and submitters publish (bump
+         [queued], push, signal) under the same mutex — a worker
+         committing to sleep cannot miss a concurrent submission. *)
+      Mutex.lock pool.mutex;
+      if Atomic.get pool.queued > 0 then begin
+        Mutex.unlock pool.mutex;
+        loop ()
+      end
+      else if pool.closing then Mutex.unlock pool.mutex  (* drain complete *)
+      else begin
+        pool.sleepers <- pool.sleepers + 1;
+        Condition.wait pool.not_empty pool.mutex;
+        pool.sleepers <- pool.sleepers - 1;
+        Mutex.unlock pool.mutex;
+        loop ()
+      end
   in
   loop ()
 
@@ -101,16 +182,22 @@ let create ?(queue_cap = 64) ?(minor_words = default_minor_words) ~jobs ~mk_ctx
     {
       jobs;
       queue_cap;
+      deques =
+        Array.init jobs (fun _ ->
+            { d_mutex = Mutex.create (); d_q = Queue.create () });
+      rr = Atomic.make 0;
+      queued = Atomic.make 0;
+      submit_waiters = Atomic.make 0;
       mutex = Mutex.create ();
       not_empty = Condition.create ();
       not_full = Condition.create ();
-      queue = Queue.create ();
+      sleepers = 0;
       closing = false;
       workers = [||];
     }
   in
   pool.workers <-
-    Array.init jobs (fun _ -> Domain.spawn (worker pool ~minor_words mk_ctx));
+    Array.init jobs (fun i -> Domain.spawn (worker pool ~minor_words mk_ctx i));
   pool
 
 let jobs t = t.jobs
@@ -127,6 +214,19 @@ let mk_task ?notify f fut ctx =
   | None -> ()
   | Some g -> ( try g () with _ -> ())
 
+(* Place a task round-robin. Called with [t.mutex] held: admission,
+   the [closing] check, the push and the sleeper wake form one atomic
+   step against [shutdown], so an admitted task is always seen by the
+   drain loop (lock order: [t.mutex] then [d_mutex], never reversed). *)
+let push_locked t task =
+  let i = Atomic.fetch_and_add t.rr 1 in
+  let dq = t.deques.(i mod Array.length t.deques) in
+  Atomic.incr t.queued;
+  Mutex.lock dq.d_mutex;
+  Queue.add task dq.d_q;
+  Mutex.unlock dq.d_mutex;
+  if t.sleepers > 0 then Condition.signal t.not_empty
+
 let submit ?notify t f =
   let fut = { f_mutex = Mutex.create (); f_cond = Condition.create (); f_state = Pending } in
   let task = mk_task ?notify f fut in
@@ -135,15 +235,16 @@ let submit ?notify t f =
     Mutex.unlock t.mutex;
     invalid_arg "Pool.submit: pool is shut down"
   end;
-  while Queue.length t.queue >= t.queue_cap && not t.closing do
+  Atomic.incr t.submit_waiters;
+  while Atomic.get t.queued >= t.queue_cap && not t.closing do
     Condition.wait t.not_full t.mutex
   done;
+  Atomic.decr t.submit_waiters;
   if t.closing then begin
     Mutex.unlock t.mutex;
     invalid_arg "Pool.submit: pool is shut down"
   end;
-  Queue.add task t.queue;
-  Condition.signal t.not_empty;
+  push_locked t task;
   Mutex.unlock t.mutex;
   fut
 
@@ -154,13 +255,12 @@ let try_submit ?notify t f =
   let fut = { f_mutex = Mutex.create (); f_cond = Condition.create (); f_state = Pending } in
   let task = mk_task ?notify f fut in
   Mutex.lock t.mutex;
-  if t.closing || Queue.length t.queue >= t.queue_cap then begin
+  if t.closing || Atomic.get t.queued >= t.queue_cap then begin
     Mutex.unlock t.mutex;
     None
   end
   else begin
-    Queue.add task t.queue;
-    Condition.signal t.not_empty;
+    push_locked t task;
     Mutex.unlock t.mutex;
     Some fut
   end

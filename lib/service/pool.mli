@@ -1,9 +1,14 @@
-(** A fixed-size pool of OCaml 5 domains draining a bounded job queue.
+(** A fixed-size pool of OCaml 5 domains draining per-worker job queues
+    with work stealing.
 
-    The bounded queue is the backpressure mechanism: {!submit} blocks once
-    [queue_cap] jobs are waiting. Each worker owns a private context built
-    by [mk_ctx] inside its own domain — per-worker caches live there, so
-    no state is shared between domains without a lock. *)
+    Submissions are placed round-robin across per-worker queues; a worker
+    drains its own queue first and steals from its siblings when empty,
+    so the hot dispatch path touches one per-queue lock instead of
+    rendezvousing every domain on a shared one. The total queued count is
+    still bounded: {!submit} blocks once [queue_cap] jobs are waiting
+    across all queues. Each worker owns a private context built by
+    [mk_ctx] inside its own domain — per-worker caches live there, so no
+    state is shared between domains without a lock. *)
 
 type 'ctx t
 
@@ -21,8 +26,9 @@ val create :
   mk_ctx:(unit -> 'ctx) ->
   unit ->
   'ctx t
-(** Spawn [clamp_jobs jobs] worker domains. [queue_cap] (default 64)
-    bounds the number of queued-but-unstarted jobs. Each worker grows its
+(** Spawn [clamp_jobs jobs] worker domains, each owning one queue.
+    [queue_cap] (default 64) bounds the total number of
+    queued-but-unstarted jobs across all queues. Each worker grows its
     domain-local minor heap to [minor_words] words (default 4M) before
     taking work: minor collections are stop-the-world across all domains,
     and the runtime default period makes an allocation-heavy pool spend

@@ -114,6 +114,10 @@ type stats = {
   st_memo_evictions : int;  (** LRU entries dropped at the cap *)
   st_snapshot_restores : int;  (** machine rewinds in place of loads *)
   st_fresh_loads : int;  (** machines actually built from programs *)
+  st_replica_clones : int;
+      (** domain-local replicas thawed from the shared image store —
+          machines built by restoring a frozen snapshot instead of
+          re-running the loader *)
   st_outcomes : (string * int) list;  (** status key -> count, sorted *)
   st_queue_wait_us : int * float;  (** (observations, total µs) queued *)
   st_execute_us : int * float;  (** (observations, total µs) executing *)
@@ -134,8 +138,8 @@ let status_key st =
 
 (* compact single-line form for tabular reports *)
 let pp_stats_line ppf s =
-  Fmt.pf ppf "memo %d/%d  images %dR/%dL" s.st_memo_hits s.st_memo_misses
-    s.st_snapshot_restores s.st_fresh_loads
+  Fmt.pf ppf "memo %d/%d  images %dR/%dL/%dC" s.st_memo_hits s.st_memo_misses
+    s.st_snapshot_restores s.st_fresh_loads s.st_replica_clones
 
 let mean_ms (n, total_us) =
   if n = 0 then 0. else total_us /. float_of_int n /. 1000.
@@ -143,10 +147,10 @@ let mean_ms (n, total_us) =
 let pp_stats ppf s =
   Fmt.pf ppf
     "@[<v>jobs: %d@,memo: %d hit / %d miss / %d evicted@,images: %d restored \
-     / %d loaded@,queue wait: %.3f ms mean / execute: %.3f ms \
+     / %d loaded / %d cloned@,queue wait: %.3f ms mean / execute: %.3f ms \
      mean@,outcomes: %a@]"
     s.st_jobs s.st_memo_hits s.st_memo_misses s.st_memo_evictions
-    s.st_snapshot_restores s.st_fresh_loads
+    s.st_snapshot_restores s.st_fresh_loads s.st_replica_clones
     (mean_ms s.st_queue_wait_us)
     (mean_ms s.st_execute_us)
     Fmt.(list ~sep:(any " ") (pair ~sep:(any ":") string int))
@@ -170,6 +174,7 @@ let stats_json s : Jsonx.t =
       ("memo_evictions", Jsonx.Int s.st_memo_evictions);
       ("snapshot_restores", Jsonx.Int s.st_snapshot_restores);
       ("fresh_loads", Jsonx.Int s.st_fresh_loads);
+      ("replica_clones", Jsonx.Int s.st_replica_clones);
       ( "outcomes",
         Jsonx.Obj (List.map (fun (k, n) -> (k, Jsonx.Int n)) s.st_outcomes) );
       hist "queue_wait" s.st_queue_wait_us;
@@ -209,6 +214,7 @@ type shard = {
   mutable sh_misses : int;
   mutable sh_restores : int;
   mutable sh_loads : int;
+  mutable sh_replicas : int;
   sh_mutex : Mutex.t;
   sh_outcomes : (string, int) Hashtbl.t;  (* status key -> count *)
   sh_queue_wait : lhist;
@@ -222,6 +228,7 @@ let mk_shard () =
     sh_misses = 0;
     sh_restores = 0;
     sh_loads = 0;
+    sh_replicas = 0;
     sh_mutex = Mutex.create ();
     sh_outcomes = Hashtbl.create 16;
     sh_queue_wait = mk_lhist ();
@@ -340,6 +347,7 @@ type instruments = {
   i_memo_miss : Metrics.counter;
   i_restores : Metrics.counter;
   i_loads : Metrics.counter;
+  i_replicas : Metrics.counter;
   i_evictions : Metrics.counter;
   i_queue_wait : Metrics.histogram;  (** µs from submit to dequeue *)
   i_execute : Metrics.histogram;  (** µs executing (memo hits excluded) *)
@@ -361,6 +369,9 @@ let mk_instruments () =
     i_loads =
       Metrics.counter reg "pna_service_images_total"
         ~labels:[ ("source", "fresh_load") ];
+    i_replicas =
+      Metrics.counter reg "pna_service_images_total"
+        ~labels:[ ("source", "replica_thaw") ];
     i_evictions = Metrics.counter reg "pna_memo_evictions_total";
     i_queue_wait = Metrics.histogram reg "pna_service_queue_wait_us";
     i_execute = Metrics.histogram reg "pna_service_execute_us";
@@ -374,6 +385,7 @@ type published = {
   mutable p_misses : int;
   mutable p_restores : int;
   mutable p_loads : int;
+  mutable p_replicas : int;
   mutable p_evictions : int;
   p_outcomes : (string, int) Hashtbl.t;
   p_queue_wait : lhist;
@@ -398,6 +410,14 @@ type memo_entry = {
 type t = {
   pool : ctx Pool.t;
   shards : shard list Atomic.t;  (** one per worker, registered at spawn *)
+  images : (string * string * bool * string, Driver.image) Hashtbl.t;
+      (** the shared frozen-image store, same key as [cx_prepared]. The
+          first worker to miss on a key pays [Driver.prepare] and
+          publishes the frozen image; every other domain thaws a local
+          replica from it instead of re-running the loader. Entries are
+          immutable and never evicted — one image per (scenario, config,
+          sanitize, engine) point, bounded by the catalogue. *)
+  images_mutex : Mutex.t;  (** guards [images]; cold path only *)
   memo : memo option;  (** [None]: memoization off *)
   memo_sink : (memo_entry -> unit) option Atomic.t;
       (** mirrors fresh memo entries; runs on the worker that computed
@@ -437,6 +457,8 @@ let create ?(jobs = Domain.recommended_domain_count ()) ?queue_cap
   {
     pool = Pool.create ?queue_cap ~jobs ~mk_ctx ();
     shards;
+    images = Hashtbl.create 64;
+    images_mutex = Mutex.create ();
     memo = (if memo then Some (mk_memo ~cap:memo_cap) else None);
     memo_sink = Atomic.make None;
     ins = mk_instruments ();
@@ -447,6 +469,7 @@ let create ?(jobs = Domain.recommended_domain_count ()) ?queue_cap
       p_misses = 0;
       p_restores = 0;
       p_loads = 0;
+      p_replicas = 0;
       p_evictions = 0;
       p_outcomes = Hashtbl.create 16;
       p_queue_wait = mk_lhist ();
@@ -522,6 +545,8 @@ let flush t =
     (fun v -> p.p_restores <- v) i.i_restores;
   counter_delta (fold_shards t (fun a sh -> a + sh.sh_loads) 0) p.p_loads
     (fun v -> p.p_loads <- v) i.i_loads;
+  counter_delta (fold_shards t (fun a sh -> a + sh.sh_replicas) 0) p.p_replicas
+    (fun v -> p.p_replicas <- v) i.i_replicas;
   counter_delta (memo_evictions t) p.p_evictions
     (fun v -> p.p_evictions <- v) i.i_evictions;
   Hashtbl.iter
@@ -570,6 +595,7 @@ let stats t =
     st_memo_evictions = memo_evictions t;
     st_snapshot_restores = fold_shards t (fun a sh -> a + sh.sh_restores) 0;
     st_fresh_loads = fold_shards t (fun a sh -> a + sh.sh_loads) 0;
+    st_replica_clones = fold_shards t (fun a sh -> a + sh.sh_replicas) 0;
     st_outcomes = outcomes;
     st_queue_wait_us = (qw.lh_count, qw.lh_sum);
     st_execute_us = (ex.lh_count, ex.lh_sum);
@@ -579,7 +605,21 @@ let shutdown t = Pool.shutdown t.pool
 
 (* --- worker-side execution --- *)
 
-let prepared_for ctx (j : job) =
+(* The worker's prepared scenario for a job, three tiers deep:
+
+   1. the worker's own [cx_prepared] — domain-local, no synchronization,
+      the hot path for every repeat of a warm key;
+   2. the service-wide frozen-image store — on a local miss, thaw a
+      domain-local replica from the shared image (a snapshot restore,
+      ~three orders of magnitude cheaper than the loader) rather than
+      re-deriving it;
+   3. [Driver.prepare] — the one true cold path. The resulting image is
+      frozen and published first-writer-wins, so concurrent cold misses
+      on the same key waste at most one duplicate load each.
+
+   Replicas never cross domains: the shared store holds only immutable
+   images; every machine a worker touches was built on that worker. *)
+let prepared_for t ctx (j : job) =
   let key =
     ( j.j_attack.Catalog.id,
       j.j_config.Config.name,
@@ -589,12 +629,31 @@ let prepared_for ctx (j : job) =
   match Hashtbl.find_opt ctx.cx_prepared key with
   | Some entry -> entry
   | None ->
+    let shared =
+      Mutex.lock t.images_mutex;
+      let im = Hashtbl.find_opt t.images key in
+      Mutex.unlock t.images_mutex;
+      im
+    in
     let p =
-      Driver.prepare ~config:j.j_config ~sanitize:j.j_sanitize
-        ~engine:j.j_engine j.j_attack
+      match shared with
+      | Some im ->
+        let p = Driver.thaw im in
+        ctx.cx_shard.sh_replicas <- ctx.cx_shard.sh_replicas + 1;
+        p
+      | None ->
+        let p =
+          Driver.prepare ~config:j.j_config ~sanitize:j.j_sanitize
+            ~engine:j.j_engine j.j_attack
+        in
+        ctx.cx_shard.sh_loads <- ctx.cx_shard.sh_loads + 1;
+        let im = Driver.freeze p in
+        Mutex.lock t.images_mutex;
+        if not (Hashtbl.mem t.images key) then Hashtbl.add t.images key im;
+        Mutex.unlock t.images_mutex;
+        p
     in
     let entry = (p, Hashtbl.hash (Driver.prepared_input p)) in
-    ctx.cx_shard.sh_loads <- ctx.cx_shard.sh_loads + 1;
     if Hashtbl.length ctx.cx_prepared >= ctx.cx_cap then begin
       match Queue.take_opt ctx.cx_order with
       | Some oldest -> Hashtbl.remove ctx.cx_prepared oldest
@@ -669,7 +728,7 @@ let execute t ctx (j : job) =
         ("config", Trace.Str j.j_config.Config.name);
       ]
   @@ fun () ->
-  let p, input_hash = prepared_for ctx j in
+  let p, input_hash = prepared_for t ctx j in
   let restores_before = Driver.restores p in
   (* the memo key includes the attacker-input hash computed against the
      prepared image — same scenario, same config, same input: same

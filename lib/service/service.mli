@@ -77,6 +77,9 @@ type stats = {
   st_memo_evictions : int;  (** LRU entries dropped at the cap *)
   st_snapshot_restores : int;  (** machine rewinds in place of loads *)
   st_fresh_loads : int;  (** machines actually built from programs *)
+  st_replica_clones : int;
+      (** domain-local replicas thawed from the shared image store — one
+          worker pays the loader per key, every other domain clones *)
   st_outcomes : (string * int) list;  (** status key -> count, sorted *)
   st_queue_wait_us : int * float;  (** (observations, total µs) queued *)
   st_execute_us : int * float;  (** (observations, total µs) executing *)
@@ -86,7 +89,7 @@ val status_key : Pna_minicpp.Outcome.status -> string
 val pp_stats : Format.formatter -> stats -> unit
 
 val pp_stats_line : Format.formatter -> stats -> unit
-(** Compact [memo h/m  images R/L] form for tabular reports. *)
+(** Compact [memo h/m  images R/L/C] form for tabular reports. *)
 
 val stats_json : stats -> Pna_telemetry.Jsonx.t
 (** Machine-readable form of {!pp_stats} for [--json] CLI output. *)

@@ -1,0 +1,35 @@
+(** Copy-on-write building blocks shared by the snapshot layers:
+    process-wide generation tokens and page-granular dirty bitmaps. *)
+
+val fresh_gen : unit -> int
+(** Mint a globally unique, never-zero generation token. Mint one at
+    every mutation of a versioned structure and record it in snapshots;
+    token equality then proves the structure is unchanged since the
+    snapshot, because no token is ever paired with two states — across
+    machines and domains (the counter is process-wide and atomic). *)
+
+module Bitmap : sig
+  type t
+
+  val page_shift : int
+  val page_size : int
+
+  val create : int -> t
+  (** [create len] covers [len] bytes, initially fully dirty (nothing
+      has been synced yet). @raise Invalid_argument when [len < 0]. *)
+
+  val mark : t -> int -> int -> unit
+  (** [mark t off len]: mark the pages covering bytes
+      [off, off+len) as touched. No-op when [len <= 0]. *)
+
+  val mark_all : t -> unit
+  val clear : t -> unit
+
+  val any : t -> bool
+  (** [false] guarantees no page is marked — the cheap
+      "nothing to rewind" test. *)
+
+  val iter_runs : t -> (int -> int -> unit) -> unit
+  (** Apply [f off len] to each maximal run of dirty pages, clamped to
+      the covered length. *)
+end

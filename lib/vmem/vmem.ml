@@ -76,6 +76,32 @@ let fresh_stats () =
    counting a drop. *)
 let default_trace_cap = 65_536
 
+(* One frozen segment: identity (kind/base/size) plus deep copies of the
+   mutable payload. The copies are private to the snapshot — [restore]
+   only reads them and [snapshot] never aliases live arrays into them —
+   so a snapshot stays valid however the live space is mutated, and its
+   backing may be shared read-only between domains. *)
+type frozen_segment = {
+  fz_kind : Segment.kind;
+  fz_base : int;
+  fz_size : int;
+  fz_perm : Perm.t;
+  fz_bytes : Bytes.t;
+  fz_taint : Bytes.t;
+}
+
+type snapshot = {
+  sn_id : int;  (* globally unique sync token *)
+  sn_segments : frozen_segment list;
+  sn_trace_enabled : bool;
+  sn_trace : write_record list;  (* retained ring contents, oldest first *)
+}
+
+(* Snapshot identities are global (not per-[t]) so that a snapshot taken
+   on one address space and restored into another — the service's
+   replica-thaw path — can never collide with a locally minted id. *)
+let snap_ids = Atomic.make 0
+
 type t = {
   mutable segments : Segment.t list;
   mutable hot : Segment.t option;  (* last segment hit by a checked access *)
@@ -86,6 +112,13 @@ type t = {
   mutable trace_pos : int;  (* oldest record once full; else 0 *)
   mutable chaos : chaos_hook option;
   mutable observer : access_hook option;
+  mutable cow : bool;  (* false forces full-copy snapshot/restore *)
+  mutable sync_id : int;
+  (* 0, or the [sn_id] of the snapshot whose contents every *clean* page
+     currently equals — the licence for dirty-only restores. Invalidated
+     by [add_segment] (shape change) and by [set_cow]. *)
+  mutable last_snap : snapshot option;
+      (* the snapshot [sync_id] refers to, for clean-segment sharing *)
   stats : stats;
 }
 
@@ -102,8 +135,19 @@ let create () =
     trace_pos = 0;
     chaos = None;
     observer = None;
+    cow = true;
+    sync_id = 0;
+    last_snap = None;
     stats = fresh_stats ();
   }
+
+let cow_enabled t = t.cow
+
+(* The E20 gate flips this off to force reference full-copy rewinds. *)
+let set_cow t b =
+  t.cow <- b;
+  t.sync_id <- 0;
+  t.last_snap <- None
 
 let access_stats t = t.stats
 
@@ -119,6 +163,9 @@ let add_segment t seg =
   if List.exists overlaps t.segments then
     invalid_arg "Vmem.add_segment: overlapping segment";
   t.segments <- seg :: t.segments;
+  (* shape changed: existing snapshots no longer describe every segment *)
+  t.sync_id <- 0;
+  t.last_snap <- None;
   seg
 
 let map t ~kind ~base ~size ~perm =
@@ -338,7 +385,8 @@ let write_u8 ?(tag = "") ?(taint = false) t addr v =
     bump_writes t seg 1 ~tainted:(if taint then 1 else 0);
     let off = addr - seg.Segment.base in
     Bytes.unsafe_set seg.Segment.bytes off (Char.unsafe_chr (v land 0xff));
-    Bytes.unsafe_set seg.Segment.taint off (taint_char taint)
+    Bytes.unsafe_set seg.Segment.taint off (taint_char taint);
+    Segment.mark_dirty seg off 1
   | None -> write_u8_byte ~tag ~taint t addr v
 
 let read_u16 t addr =
@@ -354,7 +402,8 @@ let write_u16 ?tag ?(taint = false) t addr v =
     bump_writes t seg 2 ~tainted:(if taint then 2 else 0);
     let off = addr - seg.Segment.base in
     Bytes.set_uint16_le seg.Segment.bytes off v;
-    Bytes.fill seg.Segment.taint off 2 (taint_char taint)
+    Bytes.fill seg.Segment.taint off 2 (taint_char taint);
+    Segment.mark_dirty seg off 2
   | None -> write_uN ?tag ~taint t addr 2 v
 
 let read_u32 t addr =
@@ -371,7 +420,8 @@ let write_u32 ?tag ?(taint = false) t addr v =
     bump_writes t seg 4 ~tainted:(if taint then 4 else 0);
     let off = addr - seg.Segment.base in
     Bytes.set_int32_le seg.Segment.bytes off (Int32.of_int v);
-    Bytes.fill seg.Segment.taint off 4 (taint_char taint)
+    Bytes.fill seg.Segment.taint off 4 (taint_char taint);
+    Segment.mark_dirty seg off 4
   | None -> write_uN ?tag ~taint t addr 4 (v land 0xffffffff)
 
 let read_u64 t addr =
@@ -390,7 +440,8 @@ let write_u64 ?tag ?(taint = false) t addr v =
     bump_writes t seg 8 ~tainted:(if taint then 8 else 0);
     let off = addr - seg.Segment.base in
     Bytes.set_int64_le seg.Segment.bytes off v;
-    Bytes.fill seg.Segment.taint off 8 (taint_char taint)
+    Bytes.fill seg.Segment.taint off 8 (taint_char taint);
+    Segment.mark_dirty seg off 8
   | None ->
     write_uN ?tag ~taint t addr 4 Int64.(to_int (logand v 0xffffffffL));
     write_uN ?tag ~taint t (addr + 4) 4
@@ -420,7 +471,9 @@ let poke_bytes t addr s =
   if len > 0 then
     match find_segment t addr with
     | Some seg when addr + len <= Segment.limit seg ->
-      Bytes.blit_string s 0 seg.Segment.bytes (addr - seg.Segment.base) len
+      let off = addr - seg.Segment.base in
+      Bytes.blit_string s 0 seg.Segment.bytes off len;
+      Segment.mark_dirty seg off len
     | _ -> String.iteri (fun i c -> poke_u8 t (addr + i) (Char.code c)) s
 
 let to_signed32 v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
@@ -468,6 +521,7 @@ let blit ?(tag = "blit") t ~src ~dst ~len =
        one segment, matching the buffered byte path. *)
     Bytes.blit sseg.Segment.bytes soff dseg.Segment.bytes doff len;
     Bytes.blit sseg.Segment.taint soff dseg.Segment.taint doff len;
+    Segment.mark_dirty dseg doff len;
     let tainted = ref 0 in
     for i = doff to doff + len - 1 do
       if Bytes.unsafe_get dseg.Segment.taint i <> '\000' then incr tainted
@@ -482,7 +536,8 @@ let fill ?(tag = "fill") ?(taint = false) t ~dst ~len v =
     bump_writes t seg len ~tainted:(if taint then len else 0);
     let off = dst - seg.Segment.base in
     Bytes.fill seg.Segment.bytes off len (Char.chr (v land 0xff));
-    Bytes.fill seg.Segment.taint off len (taint_char taint)
+    Bytes.fill seg.Segment.taint off len (taint_char taint);
+    Segment.mark_dirty seg off len
   | _ ->
     for i = 0 to len - 1 do
       write_u8 ~tag ~taint t (dst + i) v
@@ -495,7 +550,8 @@ let write_bytes ?(tag = "blit") ?(taint = false) t addr s =
     bump_writes t seg len ~tainted:(if taint then len else 0);
     let off = addr - seg.Segment.base in
     Bytes.blit_string s 0 seg.Segment.bytes off len;
-    Bytes.fill seg.Segment.taint off len (taint_char taint)
+    Bytes.fill seg.Segment.taint off len (taint_char taint);
+    Segment.mark_dirty seg off len
   | _ -> String.iteri (fun i c -> write_u8 ~tag ~taint t (addr + i) (Char.code c)) s
 
 let write_string ?(tag = "str") ?taint t addr s = write_bytes ~tag ?taint t addr s
@@ -664,8 +720,9 @@ let read_f64_taint t addr =
 let set_taint t addr len tainted =
   match seg_span t addr len Fault.Read with
   | Some seg when len > 0 ->
-    Bytes.fill seg.Segment.taint (addr - seg.Segment.base) len
-      (taint_char tainted)
+    let off = addr - seg.Segment.base in
+    Bytes.fill seg.Segment.taint off len (taint_char tainted);
+    Segment.mark_dirty seg off len
   | _ ->
     for i = 0 to len - 1 do
       let seg = checked t (addr + i) Fault.Read in
@@ -675,60 +732,90 @@ let set_taint t addr len tainted =
 (* ------------------------------------------------------------------ *)
 (* Snapshot / restore                                                   *)
 
-(* One frozen segment: identity (kind/base/size) plus deep copies of the
-   mutable payload. The copies are private to the snapshot, so a snapshot
-   stays valid however the live address space is mutated afterwards. *)
-type frozen_segment = {
-  fz_kind : Segment.kind;
-  fz_base : int;
-  fz_size : int;
-  fz_perm : Perm.t;
-  fz_bytes : Bytes.t;
-  fz_taint : Bytes.t;
-}
+(* [t.sync_id = snap.sn_id] licences dirty-only rewinds. The invariant it
+   certifies: every page not marked dirty holds exactly the bytes (and
+   taint) the snapshot froze. It is established whenever live contents
+   and a snapshot's contents are known equal — right after [snapshot]
+   (the copy just happened) and right after [restore] (the blit just
+   happened) — and every write path above marks the pages it touches, so
+   the invariant is maintained until the shape changes ([add_segment]
+   clears the token) or a different snapshot is restored (id mismatch
+   forces the full path, which re-syncs). *)
 
-type snapshot = {
-  sn_segments : frozen_segment list;
-  sn_trace_enabled : bool;
-  sn_trace : write_record list;  (* retained ring contents, oldest first *)
-}
+let fz_of_segment (s : Segment.t) =
+  {
+    fz_kind = s.Segment.kind;
+    fz_base = s.Segment.base;
+    fz_size = s.Segment.size;
+    fz_perm = s.Segment.perm;
+    fz_bytes = Bytes.copy s.Segment.bytes;
+    fz_taint = Bytes.copy s.Segment.taint;
+  }
+
+let[@inline] same_identity (s : Segment.t) fz =
+  s.Segment.base = fz.fz_base
+  && s.Segment.size = fz.fz_size
+  && s.Segment.kind = fz.fz_kind
+
+(* Mark every segment clean and record [snap] as the sync point. *)
+let sync_to t snap =
+  if t.cow then begin
+    List.iter Segment.clear_dirty t.segments;
+    t.sync_id <- snap.sn_id;
+    t.last_snap <- Some snap
+  end
 
 let snapshot t =
-  {
-    sn_segments =
-      List.map
-        (fun (s : Segment.t) ->
-          {
-            fz_kind = s.Segment.kind;
-            fz_base = s.Segment.base;
-            fz_size = s.Segment.size;
-            fz_perm = s.Segment.perm;
-            fz_bytes = Bytes.copy s.Segment.bytes;
-            fz_taint = Bytes.copy s.Segment.taint;
-          })
-        t.segments;
-    sn_trace_enabled = t.trace_enabled;
-    sn_trace = trace t;
-  }
+  let shared =
+    (* Clean segments are byte-identical to the sync snapshot's frozen
+       copies, and frozen arrays are immutable — share them instead of
+       recopying. Permissions are not dirty-tracked, so the current word
+       is recorded explicitly. *)
+    match t.last_snap with
+    | Some prev when t.cow && t.sync_id <> 0 && prev.sn_id = t.sync_id ->
+      fun (s : Segment.t) ->
+        if s.Segment.dirty_any then None
+        else
+          (match List.find_opt (same_identity s) prev.sn_segments with
+          | Some fz -> Some { fz with fz_perm = s.Segment.perm }
+          | None -> None)
+    | _ -> fun _ -> None
+  in
+  let snap =
+    {
+      sn_id = 1 + Atomic.fetch_and_add snap_ids 1;
+      sn_segments =
+        List.map
+          (fun (s : Segment.t) ->
+            match shared s with
+            | Some fz -> fz
+            | None -> fz_of_segment s)
+          t.segments;
+      sn_trace_enabled = t.trace_enabled;
+      sn_trace = trace t;
+    }
+  in
+  sync_to t snap;
+  snap
 
 (* Restore contents, taint, permissions and trace state to the snapshot.
    Segments mapped after the snapshot are unmapped again; segments present
    at snapshot time are restored *in place*, so references held elsewhere
    (the heap allocator, attack checks) stay valid. The chaos hook is
-   deliberately untouched: it is runtime configuration, not memory state. *)
-let restore t snap =
+   deliberately untouched: it is runtime configuration, not memory state.
+
+   When the sync token matches the snapshot, only dirty page runs are
+   blitted; the full-copy path below is the semantic reference and the
+   fallback for everything else (foreign snapshots, shape changes, COW
+   disabled). *)
+
+let restore_full t snap =
   let live = t.segments in
   let restored =
     List.map
       (fun fz ->
         let seg =
-          match
-            List.find_opt
-              (fun (s : Segment.t) ->
-                s.Segment.base = fz.fz_base && s.Segment.size = fz.fz_size
-                && s.Segment.kind = fz.fz_kind)
-              live
-          with
+          match List.find_opt (fun s -> same_identity s fz) live with
           | Some s -> s
           | None ->
             Segment.create ~kind:fz.fz_kind ~base:fz.fz_base ~size:fz.fz_size
@@ -744,7 +831,38 @@ let restore t snap =
   (* the cached segment may have been mapped after the snapshot *)
   t.hot <- None;
   t.trace_enabled <- snap.sn_trace_enabled;
-  refill_trace t snap.sn_trace
+  refill_trace t snap.sn_trace;
+  sync_to t snap
+
+(* Defensive: the sync token should already guarantee alignment (only
+   [restore]/[snapshot] set it and [add_segment] clears it), but a
+   mismatch must degrade to the full path, never corrupt. *)
+let rec aligned segs fzs =
+  match (segs, fzs) with
+  | [], [] -> true
+  | (s : Segment.t) :: ss, fz :: fs -> same_identity s fz && aligned ss fs
+  | _ -> false
+
+let restore t snap =
+  if t.cow && t.sync_id = snap.sn_id && t.sync_id <> 0
+     && aligned t.segments snap.sn_segments
+  then begin
+    List.iter2
+      (fun (s : Segment.t) fz ->
+        s.Segment.perm <- fz.fz_perm;
+        if s.Segment.dirty_any then begin
+          Segment.iter_dirty_runs s (fun off len ->
+              Bytes.blit fz.fz_bytes off s.Segment.bytes off len;
+              Bytes.blit fz.fz_taint off s.Segment.taint off len);
+          Segment.clear_dirty s
+        end)
+      t.segments snap.sn_segments;
+    (* the segment list is unchanged, so [t.hot] stays valid *)
+    t.trace_enabled <- snap.sn_trace_enabled;
+    if t.trace_len > 0 || snap.sn_trace <> [] then refill_trace t snap.sn_trace;
+    t.last_snap <- Some snap
+  end
+  else restore_full t snap
 
 (* ------------------------------------------------------------------ *)
 (* Access accounting queries                                            *)

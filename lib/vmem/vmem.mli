@@ -136,7 +136,15 @@ val set_observer : t -> access_hook option -> unit
     address space once, then rewind to it between requests instead of
     rebuilding the image. A snapshot owns deep copies of every segment's
     contents and taint, the permission words and the write-trace state, so
-    it remains valid however the live space is mutated afterwards. *)
+    it remains valid however the live space is mutated afterwards; frozen
+    backing is immutable, so snapshots may be shared across domains.
+
+    Rewinds are copy-on-write: every write path marks the 256-byte pages
+    it touches, and restoring the snapshot the space is currently synced
+    to blits only dirty pages. Any other case — a different or foreign
+    snapshot, a shape change, COW disabled — takes the full-copy
+    reference path and re-establishes the sync. Restored state is
+    bit-identical either way (the E20 gate proves it). *)
 
 type snapshot
 
@@ -148,6 +156,14 @@ val restore : t -> snapshot -> unit
     segments present at snapshot time are restored in place, so
     [Segment.t] references held elsewhere stay valid. The chaos hook is
     untouched — it is runtime configuration, not memory state. *)
+
+val set_cow : t -> bool -> unit
+(** Enable (default) or disable dirty-page rewinds and clean-segment
+    sharing. Disabling also drops the current sync, so every subsequent
+    snapshot and restore deep-copies — the reference behaviour the E20
+    equivalence gate compares against. *)
+
+val cow_enabled : t -> bool
 
 (** {1 Access accounting}
 

@@ -412,6 +412,32 @@ let test_server_lifecycle () =
       (Client.ping c 100 = Ok ());
     Client.close c
 
+(* Accept-fanout: several select loops share one listener. Connections
+   land on whichever loop wins the accept, every one must serve, and a
+   graceful stop must drain all loops (the shared listener is closed
+   exactly once). *)
+let test_sharded_accept () =
+  let config = { Server.default_config with loops = 3 } in
+  with_server ~config @@ fun server ->
+  let port = Server.port server in
+  let clients =
+    List.init 6 (fun i ->
+        match Client.connect ~timeout_s:20. ~host:"127.0.0.1" ~port () with
+        | Error f -> Alcotest.failf "connect %d: %s" i (Client.failure_label f)
+        | Ok c -> c)
+  in
+  List.iteri
+    (fun i c ->
+      match Client.request c (mk_req ~corr:(100 + i) ()) with
+      | Ok (Client.Served rep) ->
+        Alcotest.(check int) "corr echoed" (100 + i) rep.Frame.rp_corr
+      | Ok _ -> Alcotest.failf "conn %d: expected Served" i
+      | Error f -> Alcotest.failf "request %d: %s" i (Client.failure_label f))
+    clients;
+  List.iter (fun c -> Alcotest.(check bool) "ping" true (Client.ping c 7 = Ok ()))
+    clients;
+  List.iter Client.close clients
+
 let test_server_rejects_malformed () =
   with_server @@ fun server ->
   let port = Server.port server in
@@ -612,6 +638,8 @@ let suite =
         test_memolog_corrupt_middle;
       Alcotest.test_case "memolog compaction" `Quick test_memolog_compact;
       Alcotest.test_case "server lifecycle" `Quick test_server_lifecycle;
+      Alcotest.test_case "sharded accept-fanout serves and drains" `Quick
+        test_sharded_accept;
       Alcotest.test_case "malformed frames rejected, server survives" `Quick
         test_server_rejects_malformed;
       Alcotest.test_case "memo-log recovery across restarts" `Quick

@@ -404,9 +404,11 @@ let test_service_deadline () =
 (* The queue-wait histogram is sampled on the monotonic clock: one
    observation per executed job and never a negative wait. The old
    wall-clock sampling could go backwards under NTP steps and record
-   negative waits; this pins the fix. *)
+   negative waits; this pins the fix. One worker so the duplicate jobs
+   are deterministically memo hits: with two workers, both copies of a
+   distinct job can race past the memo store and execute twice. *)
 let test_queue_wait_monotonic () =
-  let svc = Service.create ~jobs:2 () in
+  let svc = Service.create ~jobs:1 () in
   let js =
     List.map
       (fun (a : Catalog.t) -> Service.job ~config:Config.none a)
@@ -457,6 +459,34 @@ let test_sharded_registry_stable () =
   Alcotest.(check bool) "queue-wait histogram exported" true
     (has (Fmt.str "pna_service_queue_wait_us_count %d" (List.length js)))
 
+(* The shared frozen-image store: with memo off, every worker that
+   touches a scenario needs its own prepared replica, but only cold
+   misses pay Interp.load — later workers thaw the published image.
+   Which workers execute is the scheduler's business, so the invariant
+   is structural: every worker's first encounter counts exactly one of
+   (fresh load | replica thaw), so loads + thaws is at most the worker
+   count, at least one load published the image, and all replies are
+   identical. *)
+let test_replica_store_bounds_loads () =
+  let svc = Service.create ~jobs:4 ~memo:false () in
+  let j = Service.job ~config:Config.none ~max_steps:60_000
+      Pna_attacks.L13_stack_ret.attack in
+  let replies = Service.run_batch svc (List.init 64 (fun _ -> j)) in
+  let st = Service.stats svc in
+  let workers = Service.jobs svc in
+  Service.shutdown svc;
+  Alcotest.(check int) "all jobs answered" 64 (List.length replies);
+  Alcotest.(check bool) "one fingerprint" true
+    (match List.map reply_fingerprint replies with
+    | [] -> false
+    | f :: rest -> List.for_all (( = ) f) rest);
+  Alcotest.(check bool) "at least one cold load" true
+    (st.Service.st_fresh_loads >= 1);
+  Alcotest.(check bool) "first encounters bounded by workers" true
+    (st.Service.st_fresh_loads + st.Service.st_replica_clones <= workers);
+  (* every executed job beyond each worker's first is a local rewind *)
+  Alcotest.(check int) "every job executed (memo off)" 64 st.Service.st_jobs
+
 (* ------------------------------------------------------------------ *)
 
 let suite =
@@ -487,4 +517,6 @@ let suite =
       t "queue-wait sampled monotonically, one per job" test_queue_wait_monotonic;
       t "monotonic clock ordered across domains" test_clock_monotonic_across_domains;
       t "sharded registry: stable, complete exports" test_sharded_registry_stable;
+      t "replica store: cold loads bounded by workers"
+        test_replica_store_bounds_loads;
     ] )

@@ -407,6 +407,109 @@ let prop_fast_equals_bytepath =
       List.for_all (fun op -> eq_outcome fast op = eq_outcome slow op) ops
       && eq_state fast = eq_state slow)
 
+(* property: dirty-page rewinds reproduce the snapshot bit for bit — the
+   same segment bytes, taint and permissions (and shadow states when the
+   oracle rides along) as a twin space running the full-copy reference
+   path, through nested snapshot/restore, re-dirtying between rewinds,
+   and whichever write path (fast, straddling, per-byte under the
+   sanitizer's observer) did the dirtying *)
+
+module San = Pna_sanitizer.Sanitizer
+
+(* fold sanitizer maintenance into the op stream, so shadow pages dirty
+   alongside the memory pages they shadow *)
+let shadow_mix sn = function
+  | W8 (a, v, _) ->
+    San.poison sn ~addr:a ~len:(1 + (v land 31))
+      (if v land 32 = 0 then San.Heap_redzone else San.Freed)
+  | Fill (d, l, _, _) -> San.unpoison sn ~addr:d ~len:l
+  | SetTaint (a, l, _) -> San.poison sn ~addr:a ~len:l San.Stack_meta
+  | _ -> ()
+
+let cow_state m san =
+  ( List.map
+      (fun s ->
+        (s.Segment.base, Bytes.to_string s.Segment.bytes,
+         Bytes.to_string s.Segment.taint, Perm.to_string s.Segment.perm))
+      (Vmem.segments m),
+    Option.map
+      (fun sn ->
+        List.map (fun (b, st) -> (b, Bytes.to_string st)) (San.shadow_images sn))
+      san )
+
+let prop_cow_restore_bitexact =
+  QCheck.Test.make ~count:200
+    ~name:"vmem: dirty-tracked restore == full-copy restore, bit for bit"
+    (QCheck.make eq_gen) (fun (layout, ops) ->
+      let cow = mk_eq_layout layout in
+      let full = mk_eq_layout layout in
+      Vmem.set_cow full false;
+      (* half the cases attach the oracle: its observer forces every op
+         down the per-byte path, and its shadow map must rewind too *)
+      let sans =
+        if layout land 1 = 0 then begin
+          let sc = San.attach cow and sf = San.attach full in
+          San.set_cow sf false;
+          Some (sc, sf)
+        end
+        else None
+      in
+      let state m = cow_state m (Option.map (if m == cow then fst else snd) sans) in
+      let drive part =
+        List.iter
+          (fun op ->
+            ignore (eq_outcome cow op);
+            ignore (eq_outcome full op);
+            match sans with
+            | None -> ()
+            | Some (sc, sf) ->
+              shadow_mix sc op;
+              shadow_mix sf op)
+          part
+      in
+      let snap () =
+        ( (Vmem.snapshot cow, Vmem.snapshot full),
+          Option.map (fun (sc, sf) -> (San.snapshot sc, San.snapshot sf)) sans )
+      in
+      let restore ((vc, vf), sn) =
+        Vmem.restore cow vc;
+        Vmem.restore full vf;
+        match (sans, sn) with
+        | Some (sc, sf), Some (hc, hf) ->
+          San.restore sc hc;
+          San.restore sf hf
+        | _ -> ()
+      in
+      let agree want = state cow = want && state full = want in
+      let half = List.length ops / 2 in
+      let h1 = List.filteri (fun i _ -> i < half) ops in
+      let h2 = List.filteri (fun i _ -> i >= half) ops in
+      drive h1;
+      let snap1 = snap () in
+      let want1 = state cow in
+      let ok0 = state full = want1 in
+      drive h2;
+      let snap2 = snap () in
+      let want2 = state cow in
+      drive h1;
+      (* rewind to the snapshot the spaces are synced to: the COW side
+         blits dirty pages only *)
+      restore snap2;
+      let ok1 = agree want2 in
+      drive h2;
+      (* rewind to the older snapshot: a sync miss on the COW side, so
+         it must fall back to the full-copy path and re-sync *)
+      restore snap1;
+      let ok2 = agree want1 in
+      (* clean rewind: nothing dirty, the fast no-op path *)
+      restore snap1;
+      let ok3 = agree want1 in
+      (* the bitmaps must still track after nested rewinds *)
+      drive h1;
+      restore snap1;
+      let ok4 = agree want1 in
+      ok0 && ok1 && ok2 && ok3 && ok4)
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   ( "vmem",
@@ -446,4 +549,5 @@ let suite =
       QCheck_alcotest.to_alcotest prop_blit_preserves_bytes;
       QCheck_alcotest.to_alcotest prop_fill_then_read;
       QCheck_alcotest.to_alcotest prop_fast_equals_bytepath;
+      QCheck_alcotest.to_alcotest prop_cow_restore_bitexact;
     ] )
